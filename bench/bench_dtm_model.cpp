@@ -1,0 +1,114 @@
+// Experiment E11 (Section 4, Figure 6): throughput of the two execution
+// layers — the faithful tape-level distributed Turing machine and the
+// metered local-algorithm layer — on the same ALL-SELECTED workload, plus
+// the cost of neighborhood gathering as a function of the radius.
+//
+// Expected shape: both layers scale linearly in the number of nodes for this
+// O(1)-round machine; gather cost grows with the radius as view sizes grow.
+
+#include "dtm/local.hpp"
+#include "dtm/turing.hpp"
+#include "graph/generators.hpp"
+#include "machines/deciders.hpp"
+#include "machines/turing_examples.hpp"
+
+#include <benchmark/benchmark.h>
+
+namespace {
+
+using namespace lph;
+
+void BM_TuringAllSelected(benchmark::State& state) {
+    const std::size_t n = static_cast<std::size_t>(state.range(0));
+    const LabeledGraph g = cycle_graph(n, "1");
+    const auto id = make_global_ids(g);
+    const TuringMachine m = make_all_selected_turing();
+    std::uint64_t steps = 0;
+    for (auto _ : state) {
+        const auto result = run_turing(m, g, id);
+        steps = result.total_steps;
+        benchmark::DoNotOptimize(result.accepted);
+    }
+    state.counters["nodes"] = static_cast<double>(n);
+    state.counters["tm_steps"] = static_cast<double>(steps);
+}
+BENCHMARK(BM_TuringAllSelected)->Arg(8)->Arg(32)->Arg(128)->Arg(512);
+
+void BM_LocalAllSelected(benchmark::State& state) {
+    const std::size_t n = static_cast<std::size_t>(state.range(0));
+    const LabeledGraph g = cycle_graph(n, "1");
+    const auto id = make_global_ids(g);
+    const AllSelectedDecider m;
+    std::uint64_t steps = 0;
+    for (auto _ : state) {
+        const auto result = run_local(m, g, id);
+        steps = result.total_steps;
+        benchmark::DoNotOptimize(result.accepted);
+    }
+    state.counters["nodes"] = static_cast<double>(n);
+    state.counters["metered_steps"] = static_cast<double>(steps);
+}
+BENCHMARK(BM_LocalAllSelected)->Arg(8)->Arg(32)->Arg(128)->Arg(512);
+
+void BM_TuringLabelsAgree(benchmark::State& state) {
+    const std::size_t n = static_cast<std::size_t>(state.range(0));
+    const LabeledGraph g = cycle_graph(n, "1011");
+    const auto id = make_global_ids(g);
+    const TuringMachine m = make_labels_agree_turing();
+    std::uint64_t bytes = 0;
+    for (auto _ : state) {
+        const auto result = run_turing(m, g, id);
+        bytes = result.total_message_bytes;
+        benchmark::DoNotOptimize(result.accepted);
+    }
+    state.counters["message_bytes"] = static_cast<double>(bytes);
+}
+BENCHMARK(BM_TuringLabelsAgree)->Arg(8)->Arg(32)->Arg(128);
+
+/// Gather cost vs radius (the r+2-round flooding of the view layer).
+class NullGather : public NeighborhoodGatherMachine {
+public:
+    explicit NullGather(int radius) : NeighborhoodGatherMachine(radius) {}
+    std::string decide(const NeighborhoodView&, StepMeter&) const override {
+        return "1";
+    }
+};
+
+void BM_GatherRadius(benchmark::State& state) {
+    const int radius = static_cast<int>(state.range(0));
+    const LabeledGraph g = cycle_graph(64, "1");
+    const auto id = make_global_ids(g);
+    const NullGather m(radius);
+    std::uint64_t bytes = 0;
+    for (auto _ : state) {
+        const auto result = run_local(m, g, id);
+        bytes = result.total_message_bytes;
+        benchmark::DoNotOptimize(result.rounds);
+    }
+    state.counters["radius"] = static_cast<double>(radius);
+    state.counters["message_bytes"] = static_cast<double>(bytes);
+}
+BENCHMARK(BM_GatherRadius)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+/// The Lemma 10 content, measured: metered step time of one node per round is
+/// bounded by a polynomial of its local input, independent of graph size.
+void BM_StepTimeLocality(benchmark::State& state) {
+    const std::size_t n = static_cast<std::size_t>(state.range(0));
+    const LabeledGraph g = cycle_graph(n, "1");
+    const auto id = make_global_ids(g);
+    const EulerianDecider m;
+    std::uint64_t max_round_steps = 0;
+    for (auto _ : state) {
+        const auto result = run_local(m, g, id);
+        max_round_steps = 0;
+        for (const auto& stats : result.node_stats) {
+            max_round_steps = std::max(max_round_steps, stats.max_round_steps);
+        }
+        benchmark::DoNotOptimize(max_round_steps);
+    }
+    // This counter should be flat across graph sizes — the locality claim.
+    state.counters["max_node_round_steps"] = static_cast<double>(max_round_steps);
+}
+BENCHMARK(BM_StepTimeLocality)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
+
+} // namespace

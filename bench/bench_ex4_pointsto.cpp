@@ -1,0 +1,123 @@
+// Experiment E12 companion (Example 4 at scale): the PointsTo game solved
+// with Eve's constructive strategy versus the brute-force Exists-P game.
+// The strategy scales linearly, the exhaustive game exponentially — the
+// practical face of "alternation is expensive to search but cheap to play
+// when you own the proof".
+
+#include "graph/generators.hpp"
+#include "graphalg/hamiltonian.hpp"
+#include "hierarchy/hamiltonian_game.hpp"
+#include "hierarchy/pointsto_game.hpp"
+
+#include <benchmark/benchmark.h>
+
+namespace {
+
+using namespace lph;
+
+const NodePredicate kUnselected = [](const LabeledGraph& h, NodeId u) {
+    return h.label(u) != "1";
+};
+
+void BM_ConstructiveStrategy(benchmark::State& state) {
+    const std::size_t n = static_cast<std::size_t>(state.range(0));
+    LabeledGraph g = cycle_graph(n, "1");
+    g.set_label(n / 2, "0");
+    bool wins = false;
+    for (auto _ : state) {
+        wins = exists_unselected_by_game(g);
+        benchmark::DoNotOptimize(wins);
+    }
+    state.counters["nodes"] = static_cast<double>(n);
+    state.counters["eve_wins"] = wins ? 1.0 : 0.0;
+}
+BENCHMARK(BM_ConstructiveStrategy)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_ExhaustiveParentGame(benchmark::State& state) {
+    const std::size_t n = static_cast<std::size_t>(state.range(0));
+    LabeledGraph g = cycle_graph(n, "1");
+    g.set_label(0, "0");
+    std::uint64_t tried = 0;
+    for (auto _ : state) {
+        const auto result = play_points_to_game(g, kUnselected);
+        tried = result.parent_assignments_tried;
+        benchmark::DoNotOptimize(result.eve_wins);
+    }
+    state.counters["nodes"] = static_cast<double>(n);
+    state.counters["parent_assignments"] = static_cast<double>(tried);
+}
+BENCHMARK(BM_ExhaustiveParentGame)->Arg(3)->Arg(4)->Arg(5)->Arg(6);
+
+void BM_ExhaustiveNoInstance(benchmark::State& state) {
+    // All-selected: Eve must exhaust her entire P space.
+    const std::size_t n = static_cast<std::size_t>(state.range(0));
+    const LabeledGraph g = cycle_graph(n, "1");
+    std::uint64_t tried = 0;
+    for (auto _ : state) {
+        const auto result = play_points_to_game(g, kUnselected);
+        tried = result.parent_assignments_tried;
+        benchmark::DoNotOptimize(result.eve_wins);
+    }
+    state.counters["nodes"] = static_cast<double>(n);
+    state.counters["parent_assignments"] = static_cast<double>(tried);
+}
+BENCHMARK(BM_ExhaustiveNoInstance)->Arg(3)->Arg(4)->Arg(5);
+
+void BM_NonColorableGame(benchmark::State& state) {
+    // Example 5: Adam's 8^n proposals against Eve's constructive refutations.
+    const std::size_t n = static_cast<std::size_t>(state.range(0));
+    const LabeledGraph g = complete_graph(n, "");
+    std::uint64_t proposals = 0;
+    bool value = false;
+    for (auto _ : state) {
+        const auto result = non_three_colorable_by_game(g);
+        proposals = result.adam_colorings_tried;
+        value = result.non_colorable;
+        benchmark::DoNotOptimize(value);
+    }
+    state.counters["nodes"] = static_cast<double>(n);
+    state.counters["adam_proposals"] = static_cast<double>(proposals);
+    state.counters["non_colorable"] = value ? 1.0 : 0.0;
+}
+BENCHMARK(BM_NonColorableGame)->Arg(3)->Arg(4)->Arg(5);
+
+void BM_HamiltonianSigma5Game(benchmark::State& state) {
+    // Example 6: the Sigma_5 game over 2-factors, with every Adam move
+    // replayed on Eve's winning cycle.
+    const std::size_t n = static_cast<std::size_t>(state.range(0));
+    const LabeledGraph g = complete_graph(n, "");
+    bool wins = false;
+    std::uint64_t factors = 0;
+    for (auto _ : state) {
+        const auto result = hamiltonian_game(g);
+        wins = result.eve_wins;
+        factors = result.two_factors_tried;
+        benchmark::DoNotOptimize(wins);
+    }
+    state.counters["nodes"] = static_cast<double>(n);
+    state.counters["eve_wins"] = wins ? 1.0 : 0.0;
+    state.counters["two_factors"] = static_cast<double>(factors);
+    state.counters["truth"] = is_hamiltonian(g) ? 1.0 : 0.0;
+}
+BENCHMARK(BM_HamiltonianSigma5Game)->Arg(4)->Arg(5)->Arg(6)->Arg(7);
+
+void BM_NonHamiltonianPi4Game(benchmark::State& state) {
+    // Example 7: Adam enumerates every edge subset; Eve's constructive
+    // refutations hold exactly on non-Hamiltonian inputs.
+    const std::size_t n = static_cast<std::size_t>(state.range(0));
+    const LabeledGraph g = star_graph(n, "");
+    bool wins = false;
+    std::uint64_t tried = 0;
+    for (auto _ : state) {
+        const auto result = non_hamiltonian_game(g);
+        wins = result.eve_wins;
+        tried = result.adam_subgraphs_tried;
+        benchmark::DoNotOptimize(wins);
+    }
+    state.counters["nodes"] = static_cast<double>(n);
+    state.counters["eve_wins"] = wins ? 1.0 : 0.0;
+    state.counters["adam_subgraphs"] = static_cast<double>(tried);
+}
+BENCHMARK(BM_NonHamiltonianPi4Game)->Arg(4)->Arg(8)->Arg(12);
+
+} // namespace

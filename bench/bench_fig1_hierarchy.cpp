@@ -1,0 +1,151 @@
+// Experiment E1 (Figure 1/11): the hierarchy diagram, witnessed.  Each
+// benchmark runs the experiment that separates or relates two classes of the
+// figure and reports the verdicts as counters:
+//
+//   LP < NLP                (Prop. 21: symmetry breaking on glued cycles)
+//   coLP incomparable NLP   (Prop. 23: both failure horns on labeled cycles)
+//   LP-complete EULERIAN    (Prop. 15: decision at scale)
+//   NLP membership          (Thm. 11: certificate games solve 3-COLORABLE)
+//   level-wise distinctness machinery (Sec. 9.2: the Matz scale on pictures)
+
+#include "graph/generators.hpp"
+#include "graphalg/coloring.hpp"
+#include "graphalg/eulerian.hpp"
+#include "hierarchy/fagin.hpp"
+#include "hierarchy/game.hpp"
+#include "hierarchy/separations.hpp"
+#include "logic/examples.hpp"
+#include "machines/deciders.hpp"
+#include "machines/verifiers.hpp"
+#include "pictures/matz.hpp"
+#include "pictures/tiling.hpp"
+
+#include <benchmark/benchmark.h>
+
+namespace {
+
+using namespace lph;
+
+void BM_Row_LP_vs_NLP(benchmark::State& state) {
+    // 2-COLORABLE is in NLP (a certificate game decides it) but no LP
+    // machine can decide it (transcript equality on glued cycles).
+    const LocalBipartiteDecider lp_candidate(1);
+    const ColoringVerifier nlp_verifier(2);
+    SymmetryExperiment symmetry;
+    bool nlp_even = false;
+    bool nlp_odd = true;
+    for (auto _ : state) {
+        symmetry = run_prop21_experiment(lp_candidate, 9);
+        class Domain : public CertificateDomain {
+        public:
+            explicit Domain(const ColoringVerifier& v) {
+                for (int c = 0; c < v.k(); ++c) {
+                    options_.push_back(v.encode_color(c));
+                }
+            }
+            std::vector<BitString> options(const LabeledGraph&,
+                                           const IdentifierAssignment&,
+                                           NodeId) const override {
+                return options_;
+            }
+
+        private:
+            std::vector<BitString> options_;
+        };
+        const Domain domain(nlp_verifier);
+        const LabeledGraph even = cycle_graph(6, "1");
+        const LabeledGraph odd = cycle_graph(9, "1");
+        nlp_even = find_accepting_certificate(nlp_verifier, domain, even,
+                                              make_global_ids(even))
+                       .has_value();
+        nlp_odd = find_accepting_certificate(nlp_verifier, domain, odd,
+                                             make_global_ids(odd))
+                      .has_value();
+        benchmark::DoNotOptimize(nlp_even);
+    }
+    state.counters["lp_transcripts_blind"] = symmetry.transcripts_match ? 1.0 : 0.0;
+    state.counters["nlp_decides_even"] = nlp_even ? 1.0 : 0.0;
+    state.counters["nlp_rejects_odd"] = nlp_odd ? 0.0 : 1.0;
+}
+BENCHMARK(BM_Row_LP_vs_NLP);
+
+void BM_Row_coLP_vs_NLP(benchmark::State& state) {
+    // NOT-ALL-SELECTED is coLP-complete but outside NLP: the pointer-chain
+    // verifier (complete) is fooled by the splice; the distance verifier
+    // (sound) cannot certify long yes-instances.
+    SpliceExperiment unsound;
+    SpliceExperiment incomplete;
+    for (auto _ : state) {
+        unsound = run_prop23_splice(
+            PointerChainVerifier{},
+            [](const LabeledGraph& g, const IdentifierAssignment& id) {
+                return pointer_certificates(g, id);
+            },
+            90, 9, 2);
+        incomplete = run_prop23_splice(
+            BoundedDistanceVerifier(2),
+            [](const LabeledGraph& g, const IdentifierAssignment&) {
+                return distance_certificates(g, 2);
+            },
+            24, 12, 1);
+        benchmark::DoNotOptimize(unsound.spliced_accepted);
+    }
+    state.counters["pointer_fooled"] = unsound.spliced_accepted ? 1.0 : 0.0;
+    state.counters["distance_incomplete"] =
+        incomplete.original_accepted ? 0.0 : 1.0;
+}
+BENCHMARK(BM_Row_coLP_vs_NLP);
+
+void BM_Row_LPComplete_Eulerian(benchmark::State& state) {
+    // EULERIAN is LP-complete (Prop. 15): decidable by a radius-1 machine at
+    // scale.
+    const std::size_t n = static_cast<std::size_t>(state.range(0));
+    Rng rng(n);
+    const LabeledGraph g = random_connected_graph(n, n, rng, "1");
+    const auto id = make_global_ids(g);
+    const EulerianDecider decider;
+    bool agree = false;
+    for (auto _ : state) {
+        agree = run_local(decider, g, id).accepted == is_eulerian(g);
+        benchmark::DoNotOptimize(agree);
+    }
+    state.counters["machine_matches_oracle"] = agree ? 1.0 : 0.0;
+}
+BENCHMARK(BM_Row_LPComplete_Eulerian)->Arg(32)->Arg(128);
+
+void BM_Row_NLPComplete_ThreeColorable(benchmark::State& state) {
+    // 3-COLORABLE is NLP-complete (Thm. 20): the Sigma_1 game decides it and
+    // the formula side agrees (Thm. 11).
+    Rng rng(5);
+    const LabeledGraph g = random_connected_graph(5, 3, rng, "");
+    FaginOptions options;
+    options.run_machine_side = false;
+    bool agree = false;
+    for (auto _ : state) {
+        agree = eval_sentence_on_graph(paper_formulas::three_colorable(), g,
+                                       options) == is_k_colorable(g, 3);
+        benchmark::DoNotOptimize(agree);
+    }
+    state.counters["formula_matches_oracle"] = agree ? 1.0 : 0.0;
+}
+BENCHMARK(BM_Row_NLPComplete_ThreeColorable);
+
+void BM_Row_InfinitenessMachinery(benchmark::State& state) {
+    // Section 9.2: the level-1 separating language realized by a tiling
+    // system (existential monadic SO on pictures); higher levels scale as
+    // iterated exponentials.
+    const TilingSystem counter = binary_counter_tiling_system();
+    bool level1_ok = false;
+    for (auto _ : state) {
+        level1_ok = counter.recognizes(blank_picture(3, 8)) &&
+                    !counter.recognizes(blank_picture(3, 7)) &&
+                    !counter.recognizes(blank_picture(3, 16));
+        benchmark::DoNotOptimize(level1_ok);
+    }
+    state.counters["level1_language_realized"] = level1_ok ? 1.0 : 0.0;
+    state.counters["level2_width_h2"] = static_cast<double>(iterated_exp(2, 2));
+    state.counters["level3_width_h1"] = static_cast<double>(iterated_exp(3, 1));
+}
+BENCHMARK(BM_Row_InfinitenessMachinery);
+
+} // namespace

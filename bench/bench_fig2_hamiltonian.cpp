@@ -1,0 +1,99 @@
+// Experiment E2 (Proposition 16, Figure 2/8): the distributed reduction
+// ALL-SELECTED -> HAMILTONIAN.  Regenerates the figure's construction on
+// growing instances and records: reduction cost (distributed metered steps),
+// output blow-up (~2 nodes per input edge + pendants), and the equivalence
+// "all selected <=> G' Hamiltonian" verified by backtracking search on the
+// small sizes.
+
+#include "graph/generators.hpp"
+#include "graphalg/hamiltonian.hpp"
+#include "reductions/classic_reductions.hpp"
+#include "reductions/verify.hpp"
+
+#include <benchmark/benchmark.h>
+
+namespace {
+
+using namespace lph;
+
+LabeledGraph instance(std::size_t n, bool all_selected, unsigned seed) {
+    Rng rng(seed);
+    LabeledGraph g = random_connected_graph(n, n / 2, rng, "1");
+    if (!all_selected) {
+        g.set_label(rng.index(n), "0");
+    }
+    return g;
+}
+
+void BM_ReduceToHamiltonian(benchmark::State& state) {
+    const std::size_t n = static_cast<std::size_t>(state.range(0));
+    const LabeledGraph g = instance(n, true, 1);
+    const auto id = make_global_ids(g);
+    const AllSelectedToHamiltonian reduction;
+    std::size_t out_nodes = 0;
+    std::uint64_t steps = 0;
+    for (auto _ : state) {
+        const ReducedGraph reduced = apply_reduction(reduction, g, id);
+        out_nodes = reduced.graph.num_nodes();
+        benchmark::DoNotOptimize(reduced.graph.num_edges());
+    }
+    {
+        const auto run = run_local(reduction, g, id);
+        steps = run.total_steps;
+    }
+    state.counters["in_nodes"] = static_cast<double>(n);
+    state.counters["out_nodes"] = static_cast<double>(out_nodes);
+    state.counters["reduction_steps"] = static_cast<double>(steps);
+}
+BENCHMARK(BM_ReduceToHamiltonian)->Arg(4)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+/// The full figure check: equivalence on both yes- and no-instances
+/// (Hamiltonian search limits this to small graphs).
+void BM_EquivalenceSweep(benchmark::State& state) {
+    const std::size_t n = static_cast<std::size_t>(state.range(0));
+    std::size_t checked = 0;
+    std::size_t correct = 0;
+    for (auto _ : state) {
+        checked = 0;
+        correct = 0;
+        for (unsigned seed = 0; seed < 6; ++seed) {
+            for (bool all : {true, false}) {
+                const LabeledGraph g = instance(n, all, seed + 10);
+                const auto result = check_reduction(
+                    AllSelectedToHamiltonian{}, g, make_global_ids(g),
+                    [](const LabeledGraph& h) {
+                        for (NodeId u = 0; u < h.num_nodes(); ++u) {
+                            if (h.label(u) != "1") return false;
+                        }
+                        return true;
+                    },
+                    [](const LabeledGraph& h) { return is_hamiltonian(h); });
+                ++checked;
+                correct += result.equivalence_holds && result.cluster_map_ok;
+            }
+        }
+        benchmark::DoNotOptimize(correct);
+    }
+    state.counters["instances"] = static_cast<double>(checked);
+    state.counters["equivalences_hold"] = static_cast<double>(correct);
+}
+BENCHMARK(BM_EquivalenceSweep)->Arg(4)->Arg(6);
+
+/// Euler-tour witness: on all-selected instances, the reduced graph's
+/// Hamiltonian cycle exists and is found quickly (the spanning-tree tour).
+void BM_WitnessSearchOnYesInstances(benchmark::State& state) {
+    const std::size_t n = static_cast<std::size_t>(state.range(0));
+    const LabeledGraph g = instance(n, true, 3);
+    const ReducedGraph reduced =
+        apply_reduction(AllSelectedToHamiltonian{}, g, make_global_ids(g));
+    bool found = false;
+    for (auto _ : state) {
+        found = is_hamiltonian(reduced.graph);
+        benchmark::DoNotOptimize(found);
+    }
+    state.counters["hamiltonian"] = found ? 1.0 : 0.0;
+    state.counters["out_nodes"] = static_cast<double>(reduced.graph.num_nodes());
+}
+BENCHMARK(BM_WitnessSearchOnYesInstances)->Arg(4)->Arg(6)->Arg(8);
+
+} // namespace

@@ -1,0 +1,106 @@
+// Experiment E3 (Proposition 15, Figure 7): the distributed reduction
+// ALL-SELECTED -> EULERIAN, plus the LP-decider for EULERIAN itself.
+// Eulerianness is cheap to decide (Euler's theorem), so the equivalence can
+// be verified at much larger scale than the Hamiltonian analogue —
+// exhibiting the LP-complete vs LP/coLP-hard contrast of Section 8.
+
+#include "graph/generators.hpp"
+#include "graphalg/eulerian.hpp"
+#include "machines/deciders.hpp"
+#include "reductions/classic_reductions.hpp"
+#include "reductions/verify.hpp"
+
+#include <benchmark/benchmark.h>
+
+namespace {
+
+using namespace lph;
+
+LabeledGraph instance(std::size_t n, bool all_selected, unsigned seed) {
+    Rng rng(seed);
+    LabeledGraph g = random_connected_graph(n, n / 2, rng, "1");
+    if (!all_selected) {
+        g.set_label(rng.index(n), "0");
+    }
+    return g;
+}
+
+void BM_ReduceToEulerian(benchmark::State& state) {
+    const std::size_t n = static_cast<std::size_t>(state.range(0));
+    const LabeledGraph g = instance(n, true, 2);
+    const auto id = make_global_ids(g);
+    const AllSelectedToEulerian reduction;
+    std::size_t out_nodes = 0;
+    for (auto _ : state) {
+        const ReducedGraph reduced = apply_reduction(reduction, g, id);
+        out_nodes = reduced.graph.num_nodes();
+        benchmark::DoNotOptimize(out_nodes);
+    }
+    state.counters["in_nodes"] = static_cast<double>(n);
+    state.counters["out_nodes"] = static_cast<double>(out_nodes);
+}
+BENCHMARK(BM_ReduceToEulerian)->Arg(8)->Arg(32)->Arg(128)->Arg(512);
+
+void BM_EquivalenceSweepLarge(benchmark::State& state) {
+    const std::size_t n = static_cast<std::size_t>(state.range(0));
+    std::size_t correct = 0;
+    std::size_t checked = 0;
+    for (auto _ : state) {
+        correct = 0;
+        checked = 0;
+        for (unsigned seed = 0; seed < 8; ++seed) {
+            for (bool all : {true, false}) {
+                const LabeledGraph g = instance(n, all, seed);
+                const auto result = check_reduction(
+                    AllSelectedToEulerian{}, g, make_global_ids(g),
+                    [](const LabeledGraph& h) {
+                        for (NodeId u = 0; u < h.num_nodes(); ++u) {
+                            if (h.label(u) != "1") return false;
+                        }
+                        return true;
+                    },
+                    [](const LabeledGraph& h) { return is_eulerian(h); });
+                ++checked;
+                correct += result.equivalence_holds && result.cluster_map_ok;
+            }
+        }
+        benchmark::DoNotOptimize(correct);
+    }
+    state.counters["instances"] = static_cast<double>(checked);
+    state.counters["equivalences_hold"] = static_cast<double>(correct);
+}
+BENCHMARK(BM_EquivalenceSweepLarge)->Arg(8)->Arg(32)->Arg(96);
+
+void BM_EulerianDecider(benchmark::State& state) {
+    const std::size_t n = static_cast<std::size_t>(state.range(0));
+    const LabeledGraph g = cycle_graph(n, "1");
+    const auto id = make_global_ids(g);
+    const EulerianDecider decider;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(run_local(decider, g, id).accepted);
+    }
+    state.counters["nodes"] = static_cast<double>(n);
+}
+BENCHMARK(BM_EulerianDecider)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_HierholzerCrossCheck(benchmark::State& state) {
+    // The centralized Hierholzer substrate agrees with Euler's theorem on
+    // every instance — a continuous sanity check at benchmark scale.
+    const std::size_t n = static_cast<std::size_t>(state.range(0));
+    std::size_t agree = 0;
+    for (auto _ : state) {
+        agree = 0;
+        for (unsigned seed = 0; seed < 10; ++seed) {
+            Rng rng(seed + 77);
+            const LabeledGraph g = random_connected_graph(n, n, rng);
+            const auto cycle = find_eulerian_cycle(g);
+            agree += cycle.has_value() == is_eulerian(g) &&
+                     (!cycle.has_value() || verify_eulerian_cycle(g, *cycle));
+        }
+        benchmark::DoNotOptimize(agree);
+    }
+    state.counters["agree_of_10"] = static_cast<double>(agree);
+}
+BENCHMARK(BM_HierholzerCrossCheck)->Arg(16)->Arg(64);
+
+} // namespace

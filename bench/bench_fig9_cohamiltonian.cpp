@@ -1,0 +1,91 @@
+// Experiment E4 (Proposition 17, Figure 9): the distributed reduction
+// NOT-ALL-SELECTED -> HAMILTONIAN with the two-deck construction.  Records
+// the 2*(2d+3)-per-node blow-up and verifies the equivalence on small
+// instances (the target check is a Hamiltonian-cycle search).
+
+#include "graph/generators.hpp"
+#include "graphalg/hamiltonian.hpp"
+#include "reductions/classic_reductions.hpp"
+#include "reductions/verify.hpp"
+
+#include <benchmark/benchmark.h>
+
+namespace {
+
+using namespace lph;
+
+LabeledGraph instance(std::size_t n, bool has_unselected, unsigned seed) {
+    Rng rng(seed);
+    LabeledGraph g = random_connected_graph(n, n / 3, rng, "1");
+    if (has_unselected) {
+        g.set_label(rng.index(n), "0");
+    }
+    return g;
+}
+
+void BM_ReduceTwoDecks(benchmark::State& state) {
+    const std::size_t n = static_cast<std::size_t>(state.range(0));
+    const LabeledGraph g = instance(n, true, 5);
+    const auto id = make_global_ids(g);
+    const NotAllSelectedToHamiltonian reduction;
+    std::size_t out_nodes = 0;
+    for (auto _ : state) {
+        const ReducedGraph reduced = apply_reduction(reduction, g, id);
+        out_nodes = reduced.graph.num_nodes();
+        benchmark::DoNotOptimize(out_nodes);
+    }
+    state.counters["in_nodes"] = static_cast<double>(n);
+    state.counters["out_nodes"] = static_cast<double>(out_nodes);
+}
+BENCHMARK(BM_ReduceTwoDecks)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_EquivalenceSweep(benchmark::State& state) {
+    const std::size_t n = static_cast<std::size_t>(state.range(0));
+    std::size_t correct = 0;
+    std::size_t checked = 0;
+    for (auto _ : state) {
+        correct = 0;
+        checked = 0;
+        for (unsigned seed = 0; seed < 4; ++seed) {
+            for (bool unselected : {true, false}) {
+                const LabeledGraph g = instance(n, unselected, seed + 30);
+                const auto result = check_reduction(
+                    NotAllSelectedToHamiltonian{}, g, make_global_ids(g),
+                    [](const LabeledGraph& h) {
+                        for (NodeId u = 0; u < h.num_nodes(); ++u) {
+                            if (h.label(u) != "1") return true;
+                        }
+                        return false;
+                    },
+                    [](const LabeledGraph& h) { return is_hamiltonian(h); });
+                ++checked;
+                correct += result.equivalence_holds && result.cluster_map_ok &&
+                           result.output_connected;
+            }
+        }
+        benchmark::DoNotOptimize(correct);
+    }
+    state.counters["instances"] = static_cast<double>(checked);
+    state.counters["equivalences_hold"] = static_cast<double>(correct);
+}
+BENCHMARK(BM_EquivalenceSweep)->Arg(2)->Arg(3);
+
+void BM_DeckSwitchWitness(benchmark::State& state) {
+    // On a yes-instance (one unselected node), the Hamiltonian cycle must use
+    // both vertical edges of that node's cluster — find it.
+    const std::size_t n = static_cast<std::size_t>(state.range(0));
+    LabeledGraph g = path_graph(n, "1");
+    g.set_label(0, "0");
+    const ReducedGraph reduced =
+        apply_reduction(NotAllSelectedToHamiltonian{}, g, make_global_ids(g));
+    bool found = false;
+    for (auto _ : state) {
+        found = is_hamiltonian(reduced.graph);
+        benchmark::DoNotOptimize(found);
+    }
+    state.counters["hamiltonian"] = found ? 1.0 : 0.0;
+    state.counters["out_nodes"] = static_cast<double>(reduced.graph.num_nodes());
+}
+BENCHMARK(BM_DeckSwitchWitness)->Arg(2)->Arg(3)->Arg(4);
+
+} // namespace

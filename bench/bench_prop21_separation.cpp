@@ -1,0 +1,46 @@
+// Experiment E7 (Proposition 21): the symmetry-breaking separation LP < NLP.
+// For growing odd cycles, the candidate LP decider's transcripts on C_n and
+// on the doubled C_2n (with replicated identifiers) are compared; they are
+// always identical although exactly one of the two graphs is 2-colorable.
+
+#include "hierarchy/separations.hpp"
+
+#include <benchmark/benchmark.h>
+
+namespace {
+
+using namespace lph;
+
+void BM_GluedCycleTranscripts(benchmark::State& state) {
+    const std::size_t n = static_cast<std::size_t>(state.range(0));
+    const LocalBipartiteDecider decider(1);
+    SymmetryExperiment result;
+    for (auto _ : state) {
+        result = run_prop21_experiment(decider, n);
+        benchmark::DoNotOptimize(result.transcripts_match);
+    }
+    state.counters["transcripts_match"] = result.transcripts_match ? 1.0 : 0.0;
+    state.counters["odd_is_bipartite"] = result.g_bipartite ? 1.0 : 0.0;
+    state.counters["doubled_is_bipartite"] = result.g2_bipartite ? 1.0 : 0.0;
+    state.counters["same_acceptance"] =
+        result.g_accepted == result.g2_accepted ? 1.0 : 0.0;
+}
+BENCHMARK(BM_GluedCycleTranscripts)->Arg(9)->Arg(33)->Arg(129)->Arg(513);
+
+void BM_RadiusSweep(benchmark::State& state) {
+    // The separation survives any constant radius (cycle length permitting).
+    const int radius = static_cast<int>(state.range(0));
+    const std::size_t n = 4 * static_cast<std::size_t>(radius) + 9 +
+                          (4 * static_cast<std::size_t>(radius) + 9 + 1) % 2;
+    const LocalBipartiteDecider decider(radius);
+    SymmetryExperiment result;
+    for (auto _ : state) {
+        result = run_prop21_experiment(decider, n % 2 == 1 ? n : n + 1);
+        benchmark::DoNotOptimize(result.transcripts_match);
+    }
+    state.counters["radius"] = static_cast<double>(radius);
+    state.counters["transcripts_match"] = result.transcripts_match ? 1.0 : 0.0;
+}
+BENCHMARK(BM_RadiusSweep)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+} // namespace

@@ -1,0 +1,83 @@
+// Experiment E8 (Proposition 23): the pigeonhole cut-and-splice.  For
+// growing cycle lengths, Eve's accepted certificate assignment on the
+// one-unselected cycle is transplanted onto an all-selected cycle that the
+// bounded-certificate verifier still accepts — the unsoundness horn — while
+// the exact-distance verifier exhibits the incompleteness horn.
+
+#include "hierarchy/separations.hpp"
+
+#include <benchmark/benchmark.h>
+
+namespace {
+
+using namespace lph;
+
+void BM_PointerSplice(benchmark::State& state) {
+    const std::size_t length = static_cast<std::size_t>(state.range(0));
+    const PointerChainVerifier verifier;
+    SpliceExperiment result;
+    for (auto _ : state) {
+        result = run_prop23_splice(
+            verifier,
+            [](const LabeledGraph& g, const IdentifierAssignment& id) {
+                return pointer_certificates(g, id);
+            },
+            length, /*id_period=*/9, /*window_radius=*/2);
+        benchmark::DoNotOptimize(result.spliced_accepted);
+    }
+    state.counters["yes_accepted"] = result.original_accepted ? 1.0 : 0.0;
+    state.counters["pair_found"] = result.window_pair_found ? 1.0 : 0.0;
+    state.counters["spliced_len"] = static_cast<double>(result.spliced_length);
+    state.counters["spliced_all_selected"] =
+        result.spliced_all_selected ? 1.0 : 0.0;
+    state.counters["spliced_accepted_WRONGLY"] =
+        result.spliced_accepted ? 1.0 : 0.0;
+}
+BENCHMARK(BM_PointerSplice)->Arg(45)->Arg(90)->Arg(180)->Arg(360)->Arg(720);
+
+void BM_DistanceIncompleteness(benchmark::State& state) {
+    // For B-bit counters, Eve has a play iff the cycle radius fits in B
+    // bits: report the acceptance frontier.
+    const std::size_t length = static_cast<std::size_t>(state.range(0));
+    const int bits = 3; // distances up to 7 -> works up to length 15
+    SpliceExperiment result;
+    for (auto _ : state) {
+        result = run_prop23_splice(
+            BoundedDistanceVerifier(bits),
+            [](const LabeledGraph& g, const IdentifierAssignment&) {
+                return distance_certificates(g, 3);
+            },
+            length, /*id_period=*/length, /*window_radius=*/1);
+        benchmark::DoNotOptimize(result.original_accepted);
+    }
+    state.counters["len"] = static_cast<double>(length);
+    state.counters["yes_instance_accepted"] =
+        result.original_accepted ? 1.0 : 0.0;
+}
+BENCHMARK(BM_DistanceIncompleteness)->Arg(9)->Arg(12)->Arg(15)->Arg(18)->Arg(24);
+
+/// The pigeonhole bound itself: how far apart the first identical window
+/// pair lies as the id period grows (the paper's n > (r+1)(2^(m+2)-2)^(2r+1)
+/// bound is astronomically generous; in practice pairs appear at one id
+/// period).
+void BM_WindowCollisionDistance(benchmark::State& state) {
+    const std::size_t period = static_cast<std::size_t>(state.range(0));
+    const std::size_t length = period * 6;
+    const PointerChainVerifier verifier;
+    SpliceExperiment result;
+    for (auto _ : state) {
+        result = run_prop23_splice(
+            verifier,
+            [](const LabeledGraph& g, const IdentifierAssignment& id) {
+                return pointer_certificates(g, id);
+            },
+            length, period, /*window_radius=*/2);
+        benchmark::DoNotOptimize(result.window_pair_found);
+    }
+    state.counters["period"] = static_cast<double>(period);
+    state.counters["spliced_len"] = static_cast<double>(result.spliced_length);
+    state.counters["fooled"] = result.spliced_accepted ? 1.0 : 0.0;
+}
+BENCHMARK(BM_WindowCollisionDistance)->Arg(9)->Arg(18)->Arg(36);
+
+} // namespace

@@ -1,0 +1,98 @@
+// Experiment E9 (Section 9.2, Theorems 27/29): pictures and tiling systems.
+// Regenerates the machinery of the infiniteness proof: tiling-system
+// recognition of the square language and of the level-1 Matz language
+// (width = 2^height), and the picture <-> graph encoding of Section 9.2.2.
+
+#include "core/rng.hpp"
+#include "pictures/matz.hpp"
+#include "pictures/picture.hpp"
+#include "pictures/tiling.hpp"
+
+#include <benchmark/benchmark.h>
+
+namespace {
+
+using namespace lph;
+
+void BM_SquareRecognition(benchmark::State& state) {
+    const std::size_t n = static_cast<std::size_t>(state.range(0));
+    const TilingSystem system = square_tiling_system();
+    const Picture yes = blank_picture(n, n);
+    const Picture no = blank_picture(n, n + 1);
+    bool both_right = false;
+    for (auto _ : state) {
+        both_right = system.recognizes(yes) && !system.recognizes(no);
+        benchmark::DoNotOptimize(both_right);
+    }
+    state.counters["n"] = static_cast<double>(n);
+    state.counters["correct"] = both_right ? 1.0 : 0.0;
+}
+BENCHMARK(BM_SquareRecognition)->Arg(3)->Arg(6)->Arg(10)->Arg(14);
+
+void BM_CounterRecognition(benchmark::State& state) {
+    const std::size_t m = static_cast<std::size_t>(state.range(0));
+    const TilingSystem system = binary_counter_tiling_system();
+    const Picture yes = blank_picture(m, static_cast<std::size_t>(iterated_exp(1, m)));
+    bool accepted = false;
+    for (auto _ : state) {
+        accepted = system.recognizes(yes);
+        benchmark::DoNotOptimize(accepted);
+    }
+    state.counters["height"] = static_cast<double>(m);
+    state.counters["width"] = static_cast<double>(iterated_exp(1, m));
+    state.counters["accepted"] = accepted ? 1.0 : 0.0;
+}
+BENCHMARK(BM_CounterRecognition)->Arg(1)->Arg(2)->Arg(3)->Arg(4)->Arg(5);
+
+void BM_CounterRejectsNearMisses(benchmark::State& state) {
+    const std::size_t m = static_cast<std::size_t>(state.range(0));
+    const TilingSystem system = binary_counter_tiling_system();
+    const std::size_t w = static_cast<std::size_t>(iterated_exp(1, m));
+    std::size_t rejected = 0;
+    for (auto _ : state) {
+        rejected = 0;
+        rejected += !system.recognizes(blank_picture(m, w - 1));
+        rejected += !system.recognizes(blank_picture(m, w + 1));
+        rejected += !system.recognizes(blank_picture(m, 2 * w));
+        benchmark::DoNotOptimize(rejected);
+    }
+    state.counters["rejected_of_3"] = static_cast<double>(rejected);
+}
+BENCHMARK(BM_CounterRejectsNearMisses)->Arg(2)->Arg(3)->Arg(4);
+
+void BM_PictureGraphRoundTrip(benchmark::State& state) {
+    const std::size_t n = static_cast<std::size_t>(state.range(0));
+    Picture p(n, n, 1);
+    Rng rng(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+            p.set(i, j, rng.chance(0.5) ? "1" : "0");
+        }
+    }
+    bool ok = false;
+    for (auto _ : state) {
+        const LabeledGraph g = picture_to_graph(p);
+        const auto back = graph_to_picture(g, 1);
+        ok = back.has_value() && *back == p;
+        benchmark::DoNotOptimize(ok);
+    }
+    state.counters["pixels"] = static_cast<double>(n * n);
+    state.counters["roundtrip_ok"] = ok ? 1.0 : 0.0;
+}
+BENCHMARK(BM_PictureGraphRoundTrip)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_MatzScale(benchmark::State& state) {
+    // The iterated-exponential widths that drive the hierarchy's
+    // infiniteness: level l is 2^(level l-1).
+    const int level = static_cast<int>(state.range(0));
+    std::uint64_t width = 0;
+    for (auto _ : state) {
+        width = iterated_exp(level, 3);
+        benchmark::DoNotOptimize(width);
+    }
+    state.counters["level"] = static_cast<double>(level);
+    state.counters["width_of_height3"] = static_cast<double>(width);
+}
+BENCHMARK(BM_MatzScale)->Arg(1)->Arg(2)->Arg(3);
+
+} // namespace

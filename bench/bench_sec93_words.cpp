@@ -1,0 +1,113 @@
+// Experiment E10 (Section 9.3): words and automata.  The
+// Büchi–Elgot–Trakhtenbrot compiler turns MSO sentences into DFAs (timed per
+// sentence), and the Myhill–Nerode class counts separate regular properties
+// (bounded classes) from MAJORITY-style global properties (growing classes)
+// — the mechanism behind the paper's "outside the hierarchy" results.
+
+#include "automata/mso_words.hpp"
+#include "logic/formula.hpp"
+
+#include <benchmark/benchmark.h>
+
+namespace {
+
+using namespace lph;
+using namespace fl;
+
+Formula first_position(const std::string& x) {
+    return negate(exists("y_" + x, binary(1, "y_" + x, x)));
+}
+
+void BM_CompileSomeOne(benchmark::State& state) {
+    const Formula sentence = exists("x", unary(1, "x"));
+    std::size_t states = 0;
+    for (auto _ : state) {
+        const Dfa dfa = compile_mso_to_dfa(sentence);
+        states = dfa.num_states();
+        benchmark::DoNotOptimize(states);
+    }
+    state.counters["dfa_states"] = static_cast<double>(states);
+}
+BENCHMARK(BM_CompileSomeOne);
+
+void BM_CompileConsecutiveOnes(benchmark::State& state) {
+    const Formula sentence =
+        exists("x", exists("y", conj(binary(1, "x", "y"),
+                                     conj(unary(1, "x"), unary(1, "y")))));
+    std::size_t states = 0;
+    for (auto _ : state) {
+        const Dfa dfa = compile_mso_to_dfa(sentence);
+        states = dfa.num_states();
+        benchmark::DoNotOptimize(states);
+    }
+    state.counters["dfa_states"] = static_cast<double>(states);
+}
+BENCHMARK(BM_CompileConsecutiveOnes);
+
+void BM_CompileParityViaSets(benchmark::State& state) {
+    // The even-parity sentence with one monadic set: the compiler's
+    // projection + determinization pipeline at work.
+    const Formula base = forall(
+        "p", implies(first_position("p"), iff(apply("X", {"p"}), unary(1, "p"))));
+    const Formula step = forall(
+        "q", forall("r", implies(binary(1, "q", "r"),
+                                 iff(apply("X", {"r"}),
+                                     iff(apply("X", {"q"}),
+                                         negate(unary(1, "r")))))));
+    const Formula end = forall(
+        "s", implies(negate(exists("t", binary(1, "s", "t"))),
+                     negate(apply("X", {"s"}))));
+    const Formula sentence = exists_so("X", 1, conj(base, conj(step, end)));
+    std::size_t states = 0;
+    for (auto _ : state) {
+        const Dfa dfa = compile_mso_to_dfa(sentence);
+        states = dfa.num_states();
+        benchmark::DoNotOptimize(states);
+    }
+    state.counters["dfa_states"] = static_cast<double>(states);
+}
+BENCHMARK(BM_CompileParityViaSets);
+
+bool majority(const BitString& w) {
+    std::size_t ones = 0;
+    for (char c : w) {
+        ones += c == '1';
+    }
+    return 2 * ones >= w.size();
+}
+
+bool parity_lang(const BitString& w) {
+    std::size_t ones = 0;
+    for (char c : w) {
+        ones += c == '1';
+    }
+    return ones % 2 == 0;
+}
+
+void BM_NerodeParity(benchmark::State& state) {
+    const std::size_t len = static_cast<std::size_t>(state.range(0));
+    std::size_t classes = 0;
+    for (auto _ : state) {
+        classes = count_nerode_classes(parity_lang, len, len);
+        benchmark::DoNotOptimize(classes);
+    }
+    // Flat at 2 — regular.
+    state.counters["classes"] = static_cast<double>(classes);
+}
+BENCHMARK(BM_NerodeParity)->Arg(4)->Arg(6)->Arg(8);
+
+void BM_NerodeMajority(benchmark::State& state) {
+    const std::size_t len = static_cast<std::size_t>(state.range(0));
+    std::size_t classes = 0;
+    for (auto _ : state) {
+        classes = count_nerode_classes(majority, len, len);
+        benchmark::DoNotOptimize(classes);
+    }
+    // Grows with the length — MAJORITY has no finite automaton, hence (by the
+    // Section 9.3 argument) escapes bounded-certificate verification on
+    // paths.
+    state.counters["classes"] = static_cast<double>(classes);
+}
+BENCHMARK(BM_NerodeMajority)->Arg(4)->Arg(6)->Arg(8)->Arg(10);
+
+} // namespace

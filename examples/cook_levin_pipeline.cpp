@@ -1,0 +1,97 @@
+// The distributed Cook-Levin pipeline (Theorems 19 and 20, Figure 3):
+//   Sigma_1^LFO sentence  ->  SAT-GRAPH  ->  3-SAT-GRAPH  ->  3-COLORABLE.
+// Every arrow is a local-polynomial reduction executed as a distributed
+// machine; satisfiability is cross-checked with the DPLL solver and
+// colorability with a DPLL encoding of proper coloring.
+
+#include "graph/generators.hpp"
+#include "graphalg/coloring.hpp"
+#include "logic/examples.hpp"
+#include "reductions/cook_levin.hpp"
+#include "reductions/three_coloring.hpp"
+#include "sat/coloring_sat.hpp"
+
+#include <iostream>
+
+using namespace lph;
+
+namespace {
+
+void run_pipeline(const Formula& sentence, const LabeledGraph& g,
+                  const std::string& title, bool expected, bool run_coloring) {
+    std::cout << "=== " << title << " ===\n";
+    const CookLevinReduction cook(sentence);
+    const auto id = make_global_ids(g);
+
+    // Step 1: Theorem 19 — to a Boolean graph.
+    const ReducedGraph step1 = apply_reduction(cook, g, id);
+    const BooleanGraph bg = BooleanGraph::decode(step1.graph);
+    std::size_t total_size = 0;
+    for (NodeId u = 0; u < bg.num_nodes(); ++u) {
+        total_size += bool_size(bg.formula(u));
+    }
+    std::cout << "SAT-GRAPH: " << bg.num_nodes() << " nodes, total formula size "
+              << total_size << ", satisfiable: " << is_sat_graph(bg) << "\n";
+
+    // Step 2: Tseytin per node — to a 3-CNF Boolean graph.
+    const SatGraphTo3Sat to3sat;
+    const ReducedGraph step2 =
+        apply_reduction(to3sat, step1.graph, make_global_ids(step1.graph));
+    const BooleanGraph bg3 = BooleanGraph::decode(step2.graph);
+    std::cout << "3-SAT-GRAPH: is 3-CNF: " << bg3.is_3cnf_graph()
+              << ", satisfiable: " << is_sat_graph(bg3) << "\n";
+
+    if (run_coloring) {
+        // Step 3: Theorem 20 — to a coloring instance.  Satisfiable inputs
+        // are certified with the constructive coloring of the completeness
+        // proof; unsatisfiable ones are refuted by search when small.
+        const ThreeSatTo3Colorable to3col;
+        const ReducedGraph step3 =
+            apply_reduction(to3col, step2.graph, make_global_ids(step2.graph));
+        std::cout << "3-COLORABLE instance: " << step3.graph.num_nodes()
+                  << " nodes, " << step3.graph.num_edges() << " edges\n";
+        const auto vals = find_graph_valuation(bg3);
+        bool colorable = false;
+        if (vals.has_value()) {
+            const auto coloring = construct_gadget_coloring(step3, bg3, *vals);
+            colorable = coloring.has_value() &&
+                        verify_coloring(step3.graph, *coloring, 3);
+            std::cout << "  constructive 3-coloring verified: " << colorable
+                      << "\n";
+        } else if (step3.graph.num_nodes() <= 64) {
+            colorable = is_k_colorable_dsatur(step3.graph, 3);
+            std::cout << "  exhaustive search says 3-colorable: " << colorable
+                      << "\n";
+        } else {
+            std::cout << "  (non-colorability too large to refute by search)\n";
+            colorable = false;
+        }
+        std::cout << "  pipeline faithful: "
+                  << (colorable == expected ? "yes" : "NO - BUG") << "\n";
+    } else {
+        std::cout << "  (coloring step skipped at this size)\n";
+    }
+    std::cout << "\n";
+}
+
+} // namespace
+
+int main() {
+    // The classical special case (Remark 13): single-node graphs are strings,
+    // and the pipeline is exactly Cook-Levin + the textbook 3-coloring
+    // reduction.
+    const Formula selected_sentence = fl::exists_so(
+        "X", 1, paper_formulas::forall_node("x", paper_formulas::is_selected("x")));
+    run_pipeline(selected_sentence, single_node_graph("1"),
+                 "single node, label 1 (yes-instance)", true, true);
+    run_pipeline(selected_sentence, single_node_graph("0"),
+                 "single node, label 0 (no-instance)", false, true);
+
+    // Genuinely distributed instances: 2-COLORABLE on a path versus a
+    // triangle.
+    run_pipeline(paper_formulas::k_colorable(2), path_graph(2, ""),
+                 "P2 with 2-COLORABLE sentence (yes-instance)", true, true);
+    run_pipeline(paper_formulas::k_colorable(2), complete_graph(3, ""),
+                 "K3 with 2-COLORABLE sentence (no-instance)", false, true);
+    return 0;
+}

@@ -1,0 +1,103 @@
+// lph_decide: a small command-line front end.  Reads a graph in the
+// src/graph/serialize.hpp text format from a file (or stdin with "-") and
+// runs one of the library's deciders/verifiers/games on it.
+//
+// Usage:
+//   lph_decide <property> <graph-file>
+//
+// Properties:
+//   all-selected       LP decider (Remark 14)
+//   eulerian           LP decider (Prop. 15)
+//   2-colorable        Sigma_1 certificate game (Example 3)
+//   3-colorable        Sigma_1 certificate game (Example 3)
+//   not-all-selected   Sigma_3 PointsTo game, constructive (Example 4)
+//   hamiltonian        Sigma_5 two-factor game (Example 6, small graphs)
+//
+// Exit status: 0 = property holds, 1 = it does not, 2 = usage/parse error.
+
+#include "graph/serialize.hpp"
+#include "hierarchy/game.hpp"
+#include "hierarchy/hamiltonian_game.hpp"
+#include "hierarchy/pointsto_game.hpp"
+#include "machines/deciders.hpp"
+#include "machines/verifiers.hpp"
+
+#include <fstream>
+#include <iostream>
+
+using namespace lph;
+
+namespace {
+
+class ColorDomain : public CertificateDomain {
+public:
+    explicit ColorDomain(const ColoringVerifier& verifier) {
+        for (int c = 0; c < verifier.k(); ++c) {
+            options_.push_back(verifier.encode_color(c));
+        }
+    }
+    std::vector<BitString> options(const LabeledGraph&, const IdentifierAssignment&,
+                                   NodeId) const override {
+        return options_;
+    }
+
+private:
+    std::vector<BitString> options_;
+};
+
+int decide(const std::string& property, const LabeledGraph& g) {
+    const auto id = make_global_ids(g);
+    if (property == "all-selected") {
+        return run_local(AllSelectedDecider{}, g, id).accepted ? 0 : 1;
+    }
+    if (property == "eulerian") {
+        return run_local(EulerianDecider{}, g, id).accepted ? 0 : 1;
+    }
+    if (property == "2-colorable" || property == "3-colorable") {
+        const ColoringVerifier verifier(property[0] == '2' ? 2 : 3);
+        const ColorDomain domain(verifier);
+        return find_accepting_certificate(verifier, domain, g, id).has_value() ? 0
+                                                                               : 1;
+    }
+    if (property == "not-all-selected") {
+        return exists_unselected_by_game(g) ? 0 : 1;
+    }
+    if (property == "hamiltonian") {
+        return hamiltonian_game(g).eve_wins ? 0 : 1;
+    }
+    std::cerr << "unknown property '" << property << "'\n";
+    return 2;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    if (argc != 3) {
+        std::cerr << "usage: lph_decide <property> <graph-file|->\n"
+                  << "properties: all-selected eulerian 2-colorable "
+                     "3-colorable not-all-selected hamiltonian\n";
+        return 2;
+    }
+    try {
+        LabeledGraph g;
+        if (std::string(argv[2]) == "-") {
+            g = read_graph(std::cin);
+        } else {
+            std::ifstream file(argv[2]);
+            if (!file) {
+                std::cerr << "cannot open " << argv[2] << "\n";
+                return 2;
+            }
+            g = read_graph(file);
+        }
+        g.validate();
+        const int verdict = decide(argv[1], g);
+        if (verdict <= 1) {
+            std::cout << argv[1] << ": " << (verdict == 0 ? "yes" : "no") << "\n";
+        }
+        return verdict;
+    } catch (const std::exception& e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return 2;
+    }
+}

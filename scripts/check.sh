@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Full verification: configure, build, run the test suite, smoke-run every
+# benchmark binary (short measurement time).  Mirrors what CI would do.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure
+
+for b in build/bench/bench_*; do
+    echo "== $b"
+    "$b" --benchmark_min_time=0.01 >/dev/null
+done
+echo "all checks passed"

@@ -1,0 +1,286 @@
+#include "automata/dfa.hpp"
+
+#include "core/check.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <set>
+
+namespace lph {
+
+namespace {
+constexpr std::size_t kUnset = static_cast<std::size_t>(-1);
+} // namespace
+
+Dfa::Dfa(std::size_t num_states, std::size_t alphabet_size, std::size_t start)
+    : alphabet_size_(alphabet_size), start_(start),
+      delta_(num_states, std::vector<std::size_t>(alphabet_size, kUnset)),
+      accepting_(num_states, false) {
+    check(num_states > 0, "Dfa: need at least one state");
+    check(alphabet_size > 0, "Dfa: need a nonempty alphabet");
+    check(start < num_states, "Dfa: start state out of range");
+}
+
+void Dfa::set_transition(std::size_t state, std::size_t symbol, std::size_t target) {
+    check(state < num_states() && symbol < alphabet_size_ && target < num_states(),
+          "Dfa::set_transition: out of range");
+    delta_[state][symbol] = target;
+}
+
+std::size_t Dfa::transition(std::size_t state, std::size_t symbol) const {
+    check(state < num_states() && symbol < alphabet_size_,
+          "Dfa::transition: out of range");
+    const std::size_t target = delta_[state][symbol];
+    check(target != kUnset, "Dfa::transition: transition not set");
+    return target;
+}
+
+void Dfa::set_accepting(std::size_t state, bool accepting) {
+    check(state < num_states(), "Dfa::set_accepting: out of range");
+    accepting_[state] = accepting;
+}
+
+bool Dfa::is_accepting(std::size_t state) const {
+    check(state < num_states(), "Dfa::is_accepting: out of range");
+    return accepting_[state];
+}
+
+bool Dfa::accepts(const std::vector<std::size_t>& word) const {
+    std::size_t state = start_;
+    for (std::size_t symbol : word) {
+        state = transition(state, symbol);
+    }
+    return accepting_[state];
+}
+
+void Dfa::validate() const {
+    for (const auto& row : delta_) {
+        for (std::size_t target : row) {
+            check(target != kUnset, "Dfa::validate: incomplete transition table");
+        }
+    }
+}
+
+Dfa Dfa::complemented() const {
+    validate();
+    Dfa result = *this;
+    for (std::size_t q = 0; q < num_states(); ++q) {
+        result.accepting_[q] = !accepting_[q];
+    }
+    return result;
+}
+
+namespace {
+
+Dfa product(const Dfa& a, const Dfa& b, bool conjunction) {
+    check(a.alphabet_size() == b.alphabet_size(), "Dfa product: alphabet mismatch");
+    a.validate();
+    b.validate();
+    const std::size_t nb = b.num_states();
+    Dfa result(a.num_states() * nb, a.alphabet_size(), a.start() * nb + b.start());
+    for (std::size_t qa = 0; qa < a.num_states(); ++qa) {
+        for (std::size_t qb = 0; qb < nb; ++qb) {
+            const std::size_t q = qa * nb + qb;
+            const bool acc = conjunction
+                                 ? a.is_accepting(qa) && b.is_accepting(qb)
+                                 : a.is_accepting(qa) || b.is_accepting(qb);
+            result.set_accepting(q, acc);
+            for (std::size_t s = 0; s < a.alphabet_size(); ++s) {
+                result.set_transition(q, s,
+                                      a.transition(qa, s) * nb + b.transition(qb, s));
+            }
+        }
+    }
+    return result;
+}
+
+} // namespace
+
+Dfa Dfa::intersection(const Dfa& a, const Dfa& b) { return product(a, b, true); }
+Dfa Dfa::union_of(const Dfa& a, const Dfa& b) { return product(a, b, false); }
+
+Dfa Dfa::minimized() const {
+    validate();
+    // Restrict to reachable states.
+    std::vector<std::size_t> reachable;
+    std::vector<std::size_t> index(num_states(), kUnset);
+    std::deque<std::size_t> queue{start_};
+    index[start_] = 0;
+    reachable.push_back(start_);
+    while (!queue.empty()) {
+        const std::size_t q = queue.front();
+        queue.pop_front();
+        for (std::size_t s = 0; s < alphabet_size_; ++s) {
+            const std::size_t t = delta_[q][s];
+            if (index[t] == kUnset) {
+                index[t] = reachable.size();
+                reachable.push_back(t);
+                queue.push_back(t);
+            }
+        }
+    }
+    const std::size_t n = reachable.size();
+
+    // Partition refinement (Moore's algorithm).
+    std::vector<std::size_t> block(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        block[i] = accepting_[reachable[i]] ? 1 : 0;
+    }
+    std::size_t num_blocks = 2;
+    while (true) {
+        std::map<std::vector<std::size_t>, std::size_t> signature_to_block;
+        std::vector<std::size_t> next_block(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            std::vector<std::size_t> signature{block[i]};
+            for (std::size_t s = 0; s < alphabet_size_; ++s) {
+                signature.push_back(block[index[delta_[reachable[i]][s]]]);
+            }
+            const auto [it, inserted] =
+                signature_to_block.emplace(signature, signature_to_block.size());
+            next_block[i] = it->second;
+            (void)inserted;
+        }
+        const std::size_t new_count = signature_to_block.size();
+        block = std::move(next_block);
+        if (new_count == num_blocks) {
+            break;
+        }
+        num_blocks = new_count;
+    }
+
+    Dfa result(num_blocks, alphabet_size_, block[0]);
+    for (std::size_t i = 0; i < n; ++i) {
+        result.set_accepting(block[i], accepting_[reachable[i]]);
+        for (std::size_t s = 0; s < alphabet_size_; ++s) {
+            result.set_transition(block[i], s, block[index[delta_[reachable[i]][s]]]);
+        }
+    }
+    return result;
+}
+
+bool Dfa::is_empty() const { return shortest_accepted().empty() && !accepting_[start_]; }
+
+std::vector<std::size_t> Dfa::shortest_accepted() const {
+    validate();
+    if (accepting_[start_]) {
+        return {};
+    }
+    std::vector<std::pair<std::size_t, std::size_t>> parent(
+        num_states(), {kUnset, kUnset}); // (previous state, symbol)
+    std::vector<bool> visited(num_states(), false);
+    std::deque<std::size_t> queue{start_};
+    visited[start_] = true;
+    while (!queue.empty()) {
+        const std::size_t q = queue.front();
+        queue.pop_front();
+        for (std::size_t s = 0; s < alphabet_size_; ++s) {
+            const std::size_t t = delta_[q][s];
+            if (visited[t]) {
+                continue;
+            }
+            visited[t] = true;
+            parent[t] = {q, s};
+            if (accepting_[t]) {
+                std::vector<std::size_t> word;
+                std::size_t current = t;
+                while (parent[current].first != kUnset) {
+                    word.push_back(parent[current].second);
+                    current = parent[current].first;
+                }
+                std::reverse(word.begin(), word.end());
+                return word;
+            }
+            queue.push_back(t);
+        }
+    }
+    return {};
+}
+
+bool Dfa::equivalent(const Dfa& a, const Dfa& b) {
+    const Dfa only_a = intersection(a, b.complemented());
+    const Dfa only_b = intersection(b, a.complemented());
+    return only_a.is_empty() && only_b.is_empty();
+}
+
+Nfa::Nfa(std::size_t num_states, std::size_t alphabet_size)
+    : alphabet_size_(alphabet_size), start_(num_states, false),
+      delta_(num_states,
+             std::vector<std::vector<std::size_t>>(alphabet_size)),
+      accepting_(num_states, false) {
+    check(num_states > 0, "Nfa: need at least one state");
+}
+
+void Nfa::add_transition(std::size_t state, std::size_t symbol, std::size_t target) {
+    check(state < num_states() && symbol < alphabet_size_ && target < num_states(),
+          "Nfa::add_transition: out of range");
+    delta_[state][symbol].push_back(target);
+}
+
+void Nfa::set_start(std::size_t state) {
+    check(state < num_states(), "Nfa::set_start: out of range");
+    start_[state] = true;
+}
+
+void Nfa::set_accepting(std::size_t state, bool accepting) {
+    check(state < num_states(), "Nfa::set_accepting: out of range");
+    accepting_[state] = accepting;
+}
+
+Dfa Nfa::determinized() const {
+    using StateSet = std::set<std::size_t>;
+    StateSet initial;
+    for (std::size_t q = 0; q < num_states(); ++q) {
+        if (start_[q]) {
+            initial.insert(q);
+        }
+    }
+    std::map<StateSet, std::size_t> index;
+    std::vector<StateSet> sets{initial};
+    index.emplace(initial, 0);
+    std::vector<std::vector<std::size_t>> delta;
+    std::vector<bool> accepting;
+    for (std::size_t i = 0; i < sets.size(); ++i) {
+        const StateSet current = sets[i];
+        delta.emplace_back(alphabet_size_, 0);
+        bool acc = false;
+        for (std::size_t q : current) {
+            acc = acc || accepting_[q];
+        }
+        accepting.push_back(acc);
+        for (std::size_t s = 0; s < alphabet_size_; ++s) {
+            StateSet next;
+            for (std::size_t q : current) {
+                next.insert(delta_[q][s].begin(), delta_[q][s].end());
+            }
+            const auto [it, inserted] = index.emplace(next, sets.size());
+            if (inserted) {
+                sets.push_back(next);
+            }
+            delta[i][s] = it->second;
+        }
+    }
+    Dfa result(sets.size(), alphabet_size_, 0);
+    for (std::size_t q = 0; q < sets.size(); ++q) {
+        result.set_accepting(q, accepting[q]);
+        for (std::size_t s = 0; s < alphabet_size_; ++s) {
+            result.set_transition(q, s, delta[q][s]);
+        }
+    }
+    return result;
+}
+
+Nfa Nfa::from_dfa(const Dfa& dfa) {
+    dfa.validate();
+    Nfa nfa(dfa.num_states(), dfa.alphabet_size());
+    nfa.set_start(dfa.start());
+    for (std::size_t q = 0; q < dfa.num_states(); ++q) {
+        nfa.set_accepting(q, dfa.is_accepting(q));
+        for (std::size_t s = 0; s < dfa.alphabet_size(); ++s) {
+            nfa.add_transition(q, s, dfa.transition(q, s));
+        }
+    }
+    return nfa;
+}
+
+} // namespace lph

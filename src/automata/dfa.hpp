@@ -1,0 +1,75 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace lph {
+
+/// A complete deterministic finite automaton over the alphabet
+/// {0, ..., alphabet_size-1}.
+class Dfa {
+public:
+    Dfa(std::size_t num_states, std::size_t alphabet_size, std::size_t start);
+
+    std::size_t num_states() const { return accepting_.size(); }
+    std::size_t alphabet_size() const { return alphabet_size_; }
+    std::size_t start() const { return start_; }
+
+    void set_transition(std::size_t state, std::size_t symbol, std::size_t target);
+    std::size_t transition(std::size_t state, std::size_t symbol) const;
+    void set_accepting(std::size_t state, bool accepting = true);
+    bool is_accepting(std::size_t state) const;
+
+    bool accepts(const std::vector<std::size_t>& word) const;
+
+    /// Throws unless every transition has been set.
+    void validate() const;
+
+    Dfa complemented() const;
+    static Dfa intersection(const Dfa& a, const Dfa& b);
+    static Dfa union_of(const Dfa& a, const Dfa& b);
+
+    /// Hopcroft-style minimization (partition refinement over reachable
+    /// states).
+    Dfa minimized() const;
+
+    /// Is the accepted language empty?
+    bool is_empty() const;
+
+    /// Language equivalence via emptiness of the symmetric difference.
+    static bool equivalent(const Dfa& a, const Dfa& b);
+
+    /// A shortest accepted word, if any.
+    std::vector<std::size_t> shortest_accepted() const;
+
+private:
+    std::size_t alphabet_size_;
+    std::size_t start_;
+    std::vector<std::vector<std::size_t>> delta_; // [state][symbol]
+    std::vector<bool> accepting_;
+};
+
+/// A nondeterministic automaton (no epsilon moves) with subset construction.
+class Nfa {
+public:
+    Nfa(std::size_t num_states, std::size_t alphabet_size);
+
+    void add_transition(std::size_t state, std::size_t symbol, std::size_t target);
+    void set_start(std::size_t state);
+    void set_accepting(std::size_t state, bool accepting = true);
+
+    std::size_t num_states() const { return accepting_.size(); }
+    std::size_t alphabet_size() const { return alphabet_size_; }
+
+    Dfa determinized() const;
+
+    static Nfa from_dfa(const Dfa& dfa);
+
+private:
+    std::size_t alphabet_size_;
+    std::vector<bool> start_;
+    std::vector<std::vector<std::vector<std::size_t>>> delta_;
+    std::vector<bool> accepting_;
+};
+
+} // namespace lph

@@ -1,0 +1,294 @@
+#include "automata/mso_words.hpp"
+
+#include "core/check.hpp"
+#include "logic/eval.hpp"
+#include "structure/structure.hpp"
+
+#include <map>
+#include <set>
+
+namespace lph {
+namespace {
+
+/// Assigns one alphabet track per quantified variable (track 0 is the base
+/// bit of the word); checks that bound names are distinct and arities are 1.
+void collect_tracks(const Formula& phi, std::map<std::string, std::size_t>& tracks) {
+    const FormulaNode& node = *phi;
+    switch (node.kind) {
+    case FormulaKind::ExistsFO:
+    case FormulaKind::ForallFO:
+    case FormulaKind::ExistsConn:
+    case FormulaKind::ForallConn:
+        check(tracks.emplace(node.var, tracks.size() + 1).second,
+              "compile_mso_to_dfa: variable name '" + node.var + "' bound twice");
+        break;
+    case FormulaKind::ExistsSO:
+    case FormulaKind::ForallSO:
+        check(node.arity == 1, "compile_mso_to_dfa: only monadic SO supported");
+        check(tracks.emplace(node.rel_var, tracks.size() + 1).second,
+              "compile_mso_to_dfa: variable name '" + node.rel_var + "' bound twice");
+        break;
+    case FormulaKind::Apply:
+        check(node.arity == 1, "compile_mso_to_dfa: only monadic SO supported");
+        break;
+    default:
+        break;
+    }
+    for (const auto& c : node.children) {
+        collect_tracks(c, tracks);
+    }
+}
+
+class Compiler {
+public:
+    explicit Compiler(std::map<std::string, std::size_t> tracks)
+        : tracks_(std::move(tracks)),
+          alphabet_(std::size_t{1} << (tracks_.size() + 1)) {
+        check(tracks_.size() <= 12, "compile_mso_to_dfa: too many variables");
+    }
+
+    std::size_t alphabet() const { return alphabet_; }
+
+    Dfa compile(const Formula& phi) {
+        const FormulaNode& node = *phi;
+        switch (node.kind) {
+        case FormulaKind::Top:
+            return constant(true);
+        case FormulaKind::Bottom:
+            return constant(false);
+        case FormulaKind::Unary: {
+            check(node.rel_index == 1, "compile_mso_to_dfa: words have one O");
+            // Every x-marked position carries base bit 1.
+            return marked_positions_satisfy(track_of(node.var),
+                                            [](std::size_t sym) { return sym & 1; });
+        }
+        case FormulaKind::Binary: {
+            check(node.rel_index == 1, "compile_mso_to_dfa: words have one ->");
+            return successor(track_of(node.var), track_of(node.var2));
+        }
+        case FormulaKind::Equals:
+            return tracks_agree(track_of(node.var), track_of(node.var2));
+        case FormulaKind::Apply: {
+            const std::size_t tx = track_of(node.args[0]);
+            const std::size_t tX = track_of(node.rel_var);
+            return marked_positions_satisfy(
+                tx, [tX](std::size_t sym) { return (sym >> tX) & 1; });
+        }
+        case FormulaKind::Not:
+            return compile(node.children[0]).complemented().minimized();
+        case FormulaKind::Or:
+            return Dfa::union_of(compile(node.children[0]), compile(node.children[1]))
+                .minimized();
+        case FormulaKind::And:
+            return Dfa::intersection(compile(node.children[0]),
+                                     compile(node.children[1]))
+                .minimized();
+        case FormulaKind::Implies:
+            return Dfa::union_of(compile(node.children[0]).complemented(),
+                                 compile(node.children[1]))
+                .minimized();
+        case FormulaKind::Iff: {
+            const Dfa a = compile(node.children[0]);
+            const Dfa b = compile(node.children[1]);
+            return Dfa::union_of(Dfa::intersection(a, b),
+                                 Dfa::intersection(a.complemented(),
+                                                   b.complemented()))
+                .minimized();
+        }
+        case FormulaKind::ExistsFO:
+            return project(
+                Dfa::intersection(compile(node.children[0]), singleton(track_of(node.var))),
+                track_of(node.var));
+        case FormulaKind::ForallFO: {
+            // forall x. phi == !exists x. !phi
+            const Dfa inner = compile(node.children[0]).complemented();
+            return project(Dfa::intersection(inner, singleton(track_of(node.var))),
+                           track_of(node.var))
+                .complemented()
+                .minimized();
+        }
+        case FormulaKind::ExistsConn:
+        case FormulaKind::ForallConn: {
+            // Desugar via the successor relation:
+            //   exists x ~ y. phi == exists x. ((x->y | y->x) & phi)
+            const Formula guard = fl::disj(fl::binary(1, node.var, node.var2),
+                                           fl::binary(1, node.var2, node.var));
+            if (node.kind == FormulaKind::ExistsConn) {
+                const Dfa body = Dfa::intersection(compile(guard),
+                                                   compile(node.children[0]));
+                return project(
+                    Dfa::intersection(body, singleton(track_of(node.var))),
+                    track_of(node.var));
+            }
+            // forall x ~ y. phi == !exists x. (guard & !phi)
+            const Dfa body = Dfa::intersection(
+                compile(guard), compile(node.children[0]).complemented());
+            return project(Dfa::intersection(body, singleton(track_of(node.var))),
+                           track_of(node.var))
+                .complemented()
+                .minimized();
+        }
+        case FormulaKind::ExistsSO:
+            return project(compile(node.children[0]), track_of(node.rel_var));
+        case FormulaKind::ForallSO:
+            return project(compile(node.children[0]).complemented(),
+                           track_of(node.rel_var))
+                .complemented()
+                .minimized();
+        }
+        check(false, "compile_mso_to_dfa: unreachable");
+        return constant(false);
+    }
+
+private:
+    std::size_t track_of(const std::string& var) const {
+        const auto it = tracks_.find(var);
+        check(it != tracks_.end(), "compile_mso_to_dfa: unknown variable " + var);
+        return it->second;
+    }
+
+    Dfa constant(bool value) const {
+        Dfa dfa(1, alphabet_, 0);
+        dfa.set_accepting(0, value);
+        for (std::size_t s = 0; s < alphabet_; ++s) {
+            dfa.set_transition(0, s, 0);
+        }
+        return dfa;
+    }
+
+    /// Every position marked on `track` satisfies pred(symbol).
+    Dfa marked_positions_satisfy(
+        std::size_t track, const std::function<bool(std::size_t)>& pred) const {
+        Dfa dfa(2, alphabet_, 0);
+        dfa.set_accepting(0, true);
+        for (std::size_t s = 0; s < alphabet_; ++s) {
+            const bool marked = (s >> track) & 1;
+            dfa.set_transition(0, s, marked && !pred(s) ? 1 : 0);
+            dfa.set_transition(1, s, 1);
+        }
+        return dfa;
+    }
+
+    /// Every position agrees on the two tracks.
+    Dfa tracks_agree(std::size_t t1, std::size_t t2) const {
+        Dfa dfa(2, alphabet_, 0);
+        dfa.set_accepting(0, true);
+        for (std::size_t s = 0; s < alphabet_; ++s) {
+            const bool agree = ((s >> t1) & 1) == ((s >> t2) & 1);
+            dfa.set_transition(0, s, agree ? 0 : 1);
+            dfa.set_transition(1, s, 1);
+        }
+        return dfa;
+    }
+
+    /// x -> y: an x-mark is immediately followed by a y-mark, y-marks appear
+    /// only there, and an x-mark at the last position is rejected.
+    Dfa successor(std::size_t tx, std::size_t ty) const {
+        // States: 0 = neutral (accepting), 1 = just saw x (expect y), 2 = dead.
+        Dfa dfa(3, alphabet_, 0);
+        dfa.set_accepting(0, true);
+        for (std::size_t s = 0; s < alphabet_; ++s) {
+            const bool x = (s >> tx) & 1;
+            const bool y = (s >> ty) & 1;
+            dfa.set_transition(0, s, y ? 2 : (x ? 1 : 0));
+            dfa.set_transition(1, s, (y && !x) ? 0 : 2);
+            dfa.set_transition(2, s, 2);
+        }
+        return dfa;
+    }
+
+    /// Exactly one mark on the track.
+    Dfa singleton(std::size_t track) const {
+        Dfa dfa(3, alphabet_, 0);
+        dfa.set_accepting(1, true);
+        for (std::size_t s = 0; s < alphabet_; ++s) {
+            const bool marked = (s >> track) & 1;
+            dfa.set_transition(0, s, marked ? 1 : 0);
+            dfa.set_transition(1, s, marked ? 2 : 1);
+            dfa.set_transition(2, s, 2);
+        }
+        return dfa;
+    }
+
+    /// Existential projection of a track: guess its bits nondeterministically.
+    Dfa project(const Dfa& dfa, std::size_t track) const {
+        dfa.validate();
+        Nfa nfa(dfa.num_states(), alphabet_);
+        nfa.set_start(dfa.start());
+        for (std::size_t q = 0; q < dfa.num_states(); ++q) {
+            nfa.set_accepting(q, dfa.is_accepting(q));
+            for (std::size_t s = 0; s < alphabet_; ++s) {
+                nfa.add_transition(q, s, dfa.transition(q, s));
+                nfa.add_transition(q, s,
+                                   dfa.transition(q, s ^ (std::size_t{1} << track)));
+            }
+        }
+        return nfa.determinized().minimized();
+    }
+
+    std::map<std::string, std::size_t> tracks_;
+    std::size_t alphabet_;
+};
+
+} // namespace
+
+Dfa compile_mso_to_dfa(const Formula& sentence) {
+    check(free_fo_variables(sentence).empty() && free_so_variables(sentence).empty(),
+          "compile_mso_to_dfa: sentence must be closed");
+    std::map<std::string, std::size_t> tracks;
+    collect_tracks(sentence, tracks);
+    Compiler compiler(std::move(tracks));
+    return compiler.compile(sentence).minimized();
+}
+
+bool dfa_accepts_bits(const Dfa& dfa, const BitString& word) {
+    check(is_bit_string(word), "dfa_accepts_bits: not a bit string");
+    std::vector<std::size_t> symbols;
+    symbols.reserve(word.size());
+    for (char c : word) {
+        symbols.push_back(c == '1' ? 1 : 0);
+    }
+    return dfa.accepts(symbols);
+}
+
+bool mso_holds_on_word(const Formula& sentence, const BitString& word) {
+    check(!word.empty(), "mso_holds_on_word: word must be nonempty");
+    Structure s(word.size(), 1, 1);
+    for (std::size_t i = 0; i < word.size(); ++i) {
+        if (word[i] == '1') {
+            s.set_unary(0, i);
+        }
+        if (i + 1 < word.size()) {
+            s.add_binary(0, i, i + 1);
+        }
+    }
+    return satisfies(s, sentence);
+}
+
+std::size_t count_nerode_classes(const std::function<bool(const BitString&)>& lang,
+                                 std::size_t prefix_len, std::size_t suffix_len) {
+    std::vector<BitString> words{""};
+    for (std::size_t len = 1; len <= std::max(prefix_len, suffix_len); ++len) {
+        const std::uint64_t count = std::uint64_t{1} << len;
+        for (std::uint64_t v = 0; v < count; ++v) {
+            words.push_back(encode_unsigned_width(v, static_cast<int>(len)));
+        }
+    }
+    std::set<std::vector<bool>> signatures;
+    for (const auto& prefix : words) {
+        if (prefix.size() > prefix_len) {
+            continue;
+        }
+        std::vector<bool> signature;
+        for (const auto& suffix : words) {
+            if (suffix.size() > suffix_len) {
+                continue;
+            }
+            signature.push_back(lang(prefix + suffix));
+        }
+        signatures.insert(std::move(signature));
+    }
+    return signatures.size();
+}
+
+} // namespace lph

@@ -1,0 +1,39 @@
+#pragma once
+
+#include "automata/dfa.hpp"
+#include "core/bitstring.hpp"
+#include "logic/formula.hpp"
+
+#include <functional>
+
+namespace lph {
+
+/// The Büchi–Elgot–Trakhtenbrot compiler (used by Section 9.3): translates a
+/// monadic second-order sentence over word structures — signature (1,1),
+/// O_1 = "bit is 1", ->_1 = position successor — into an equivalent DFA over
+/// the binary alphabet.
+///
+/// Supported formula shapes: the full Table 1 grammar restricted to unary
+/// second-order variables; bounded quantifiers are desugared via the
+/// successor relation.  All quantifier-bound variable names must be distinct.
+///
+/// The returned DFA reads one symbol per position ('0'/'1' mapped to 0/1)
+/// and accepts exactly the words whose structure satisfies the sentence.
+Dfa compile_mso_to_dfa(const Formula& sentence);
+
+/// Convenience: run a compiled DFA on a bit string.
+bool dfa_accepts_bits(const Dfa& dfa, const BitString& word);
+
+/// Evaluates the sentence directly on the word structure (reference
+/// semantics for cross-checking the compiler).
+bool mso_holds_on_word(const Formula& sentence, const BitString& word);
+
+/// Counts the Myhill–Nerode classes of a language restricted to prefixes of
+/// length <= prefix_len, distinguishing by suffixes of length <= suffix_len.
+/// A regular language has boundedly many classes; MAJORITY (at least half
+/// the bits are 1) does not — the empirical content of the Section 9.3
+/// non-membership arguments.
+std::size_t count_nerode_classes(const std::function<bool(const BitString&)>& lang,
+                                 std::size_t prefix_len, std::size_t suffix_len);
+
+} // namespace lph

@@ -1,0 +1,52 @@
+#pragma once
+
+#include "automata/dfa.hpp"
+#include "core/bitstring.hpp"
+
+#include <functional>
+#include <optional>
+
+namespace lph {
+
+/// The pumping lemma, made executable (used by the Section 9.3 arguments):
+/// any word accepted by a DFA with |w| >= #states decomposes as w = xyz with
+/// |xy| <= #states, y nonempty, and x y^i z accepted for every i.
+struct PumpingDecomposition {
+    std::vector<std::size_t> x;
+    std::vector<std::size_t> y;
+    std::vector<std::size_t> z;
+
+    std::vector<std::size_t> pumped(std::size_t i) const;
+};
+
+/// Finds the decomposition via the first repeated state on w's run.
+/// Requires dfa.accepts(w) and w.size() >= dfa.num_states().
+PumpingDecomposition pump_decomposition(const Dfa& dfa,
+                                        const std::vector<std::size_t>& word);
+
+/// A refutation that `dfa` decides `lang`: either a direct disagreement on a
+/// short word, or a pumped word where the DFA's verdict contradicts the
+/// language's.
+struct DfaRefutation {
+    std::vector<std::size_t> witness;
+    bool dfa_verdict = false;
+    bool lang_verdict = false;
+    bool via_pumping = false;
+};
+
+/// Searches words of length <= max_len (breadth-first over the alphabet) for
+/// a disagreement between the DFA and the language oracle; on each accepted
+/// long word it additionally tries pumped variants.  nullopt when no
+/// refutation was found within the budget.
+std::optional<DfaRefutation>
+refute_dfa_for_language(const Dfa& dfa,
+                        const std::function<bool(const std::vector<std::size_t>&)>& lang,
+                        std::size_t max_len);
+
+/// The Section 9.3-flavored demonstration: for ANY candidate DFA over {0,1},
+/// MAJORITY (at least half the bits are 1) yields a refutation — built from
+/// the Myhill–Nerode pair 1^i 0^j vs 1^j 0^j for colliding states i < j <=
+/// #states.  Always succeeds.
+DfaRefutation majority_nerode_refutation(const Dfa& dfa);
+
+} // namespace lph

@@ -1,0 +1,89 @@
+#include "core/bitstring.hpp"
+
+#include "core/check.hpp"
+
+#include <algorithm>
+
+namespace lph {
+
+bool is_bit_string(std::string_view s) {
+    return std::all_of(s.begin(), s.end(), [](char c) { return c == '0' || c == '1'; });
+}
+
+bool is_certificate_list_string(std::string_view s) {
+    return std::all_of(s.begin(), s.end(),
+                       [](char c) { return c == '0' || c == '1' || c == '#'; });
+}
+
+BitString encode_unsigned(std::uint64_t value) {
+    if (value == 0) {
+        return "0";
+    }
+    BitString bits;
+    while (value > 0) {
+        bits.push_back((value & 1) != 0 ? '1' : '0');
+        value >>= 1;
+    }
+    std::reverse(bits.begin(), bits.end());
+    return bits;
+}
+
+std::uint64_t decode_unsigned(std::string_view bits) {
+    std::uint64_t value = 0;
+    for (char c : bits) {
+        check(c == '0' || c == '1', "decode_unsigned: not a bit string");
+        value = (value << 1) | static_cast<std::uint64_t>(c == '1');
+    }
+    return value;
+}
+
+BitString encode_unsigned_width(std::uint64_t value, int width) {
+    check(width >= 0, "encode_unsigned_width: negative width");
+    BitString bits(static_cast<std::size_t>(width), '0');
+    for (int i = width - 1; i >= 0; --i) {
+        bits[static_cast<std::size_t>(i)] = (value & 1) != 0 ? '1' : '0';
+        value >>= 1;
+    }
+    check(value == 0, "encode_unsigned_width: value does not fit in width");
+    return bits;
+}
+
+std::string join_hash(const std::vector<std::string>& parts) {
+    std::string joined;
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+        if (i > 0) {
+            joined.push_back('#');
+        }
+        joined += parts[i];
+    }
+    return joined;
+}
+
+std::vector<std::string> split_hash(std::string_view s) {
+    std::vector<std::string> parts;
+    std::size_t start = 0;
+    while (true) {
+        const std::size_t pos = s.find('#', start);
+        if (pos == std::string_view::npos) {
+            parts.emplace_back(s.substr(start));
+            return parts;
+        }
+        parts.emplace_back(s.substr(start, pos - start));
+        start = pos + 1;
+    }
+}
+
+int bits_for(std::uint64_t n) {
+    if (n <= 2) {
+        return 1;
+    }
+    int bits = 0;
+    std::uint64_t capacity = 1;
+    while (capacity < n) {
+        capacity <<= 1;
+        ++bits;
+    }
+    return bits;
+}
+
+} // namespace lph

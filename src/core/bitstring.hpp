@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lph {
+
+/// A finite string over the alphabet {0,1}, stored as '0'/'1' characters.
+///
+/// Labels, identifiers, and certificates in the paper are all bit strings
+/// (Section 3).  The lexicographic order used for identifiers ("id(u) < id(v)
+/// if either id(u) is a proper prefix of id(v), or id(u)(i) < id(v)(i) at the
+/// first position i where the two strings differ") coincides with
+/// std::string's operator< on this representation.
+using BitString = std::string;
+
+/// Returns true when every character of s is '0' or '1'.
+bool is_bit_string(std::string_view s);
+
+/// Returns true when every character of s is '0', '1', or '#'.
+/// This is the alphabet of certificate lists (Section 3).
+bool is_certificate_list_string(std::string_view s);
+
+/// Encodes a nonnegative integer as its binary representation (MSB first).
+/// encode_unsigned(0) == "0".
+BitString encode_unsigned(std::uint64_t value);
+
+/// Inverse of encode_unsigned; empty strings decode to 0.
+std::uint64_t decode_unsigned(std::string_view bits);
+
+/// Encodes value as exactly `width` bits (MSB first); value must fit.
+BitString encode_unsigned_width(std::uint64_t value, int width);
+
+/// Joins parts with the separator '#' (no trailing separator).
+std::string join_hash(const std::vector<std::string>& parts);
+
+/// Splits s at every '#' (a trailing '#' yields a trailing empty part only
+/// if the string ends with "#" and keep_trailing_empty is true).
+std::vector<std::string> split_hash(std::string_view s);
+
+/// Number of bits needed to distinguish n values: ceil(log2(n)), at least 1.
+int bits_for(std::uint64_t n);
+
+} // namespace lph

@@ -1,0 +1,24 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace lph {
+
+/// Error thrown when a library precondition is violated.
+class precondition_error : public std::logic_error {
+public:
+    explicit precondition_error(const std::string& what) : std::logic_error(what) {}
+};
+
+/// Verifies a precondition; throws precondition_error when it fails.
+///
+/// Used at public API boundaries (see C++ Core Guidelines I.6): internal
+/// invariants use assert, caller-facing contracts use check.
+inline void check(bool condition, const std::string& message) {
+    if (!condition) {
+        throw precondition_error(message);
+    }
+}
+
+} // namespace lph

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace lph {
+
+/// Deterministic pseudo-random source used by generators and benchmarks.
+///
+/// Everything in this library that is randomized takes an explicit Rng so
+/// experiments are reproducible run to run.
+class Rng {
+public:
+    explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+    /// Uniform integer in [lo, hi] (inclusive); requires lo <= hi.
+    std::uint64_t uniform(std::uint64_t lo, std::uint64_t hi) {
+        return std::uniform_int_distribution<std::uint64_t>(lo, hi)(engine_);
+    }
+
+    /// Uniform index in [0, n); requires n > 0.
+    std::size_t index(std::size_t n) {
+        return static_cast<std::size_t>(uniform(0, static_cast<std::uint64_t>(n) - 1));
+    }
+
+    /// Bernoulli draw with probability p of true.
+    bool chance(double p) { return std::bernoulli_distribution(p)(engine_); }
+
+    std::mt19937_64& engine() { return engine_; }
+
+private:
+    std::mt19937_64 engine_;
+};
+
+} // namespace lph

@@ -1,0 +1,22 @@
+#include "dtm/execution.hpp"
+
+#include <algorithm>
+
+namespace lph {
+
+bool unanimous_accept(const std::vector<std::string>& outputs) {
+    return std::all_of(outputs.begin(), outputs.end(),
+                       [](const std::string& s) { return s == "1"; });
+}
+
+std::string filter_to_bits(const std::string& s) {
+    std::string bits;
+    for (char c : s) {
+        if (c == '0' || c == '1') {
+            bits.push_back(c);
+        }
+    }
+    return bits;
+}
+
+} // namespace lph

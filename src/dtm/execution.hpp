@@ -1,0 +1,65 @@
+#pragma once
+
+#include "core/bitstring.hpp"
+#include "graph/graph.hpp"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lph {
+
+/// Per-node resource usage over one execution.
+struct NodeStats {
+    std::uint64_t total_steps = 0;     ///< computation steps across all rounds
+    std::uint64_t max_round_steps = 0; ///< worst single round (step time)
+    std::uint64_t max_space = 0;       ///< peak tape/state usage in symbols
+};
+
+/// Outcome of executing a distributed machine on a graph (Section 4,
+/// "Result and decision").
+struct ExecutionResult {
+    /// Output string of each node: the bit string on its internal tape after
+    /// termination, non-0/1 symbols removed.
+    std::vector<std::string> outputs;
+
+    /// The unfiltered per-node output (the full tape/verdict string).  Graph
+    /// transformations read their cluster encodings from here (Section 8).
+    std::vector<std::string> raw_outputs;
+
+    /// Acceptance by unanimity: every node's output is exactly "1".
+    bool accepted = false;
+
+    /// Rounds until all nodes reached the stop state.
+    int rounds = 0;
+
+    std::vector<NodeStats> node_stats;
+    std::uint64_t total_steps = 0;
+    std::uint64_t total_message_bytes = 0;
+
+    /// Individual verdict of node u ("u accepts" iff output is "1").
+    bool node_accepts(NodeId u) const { return outputs.at(u) == "1"; }
+};
+
+/// Execution controls shared by the tape-level and local-algorithm runners.
+struct ExecutionOptions {
+    /// Hard guard against non-terminating machines.
+    int max_rounds = 1000;
+
+    /// Hard guard against non-halting local computations (per node, per round).
+    std::uint64_t max_steps_per_round = 50'000'000;
+
+    /// When true, runners verify the machine's declared round and step bounds
+    /// and throw on violation (this is what makes a machine
+    /// "local-polynomial" in the paper's sense).
+    bool enforce_declared_bounds = true;
+};
+
+/// Computes acceptance from per-node outputs.
+bool unanimous_accept(const std::vector<std::string>& outputs);
+
+/// Strips every character other than '0'/'1' (Section 4: "any symbols other
+/// than 0 and 1 are ignored" when reading a verdict off the internal tape).
+std::string filter_to_bits(const std::string& s);
+
+} // namespace lph

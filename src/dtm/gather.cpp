@@ -1,0 +1,196 @@
+#include "dtm/gather.hpp"
+
+#include "core/check.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace lph {
+
+LocalView LocalView::initial(const BitString& id, const BitString& label,
+                             const std::string& certificates) {
+    LocalView view;
+    view.self_ = id;
+    ViewNode self;
+    self.id = id;
+    self.label = label;
+    self.certificates = certificates;
+    self.dist = 0;
+    view.nodes_.emplace(id, std::move(self));
+    return view;
+}
+
+void LocalView::set_self_neighbors(std::vector<BitString> ids) {
+    nodes_.at(self_).neighbor_ids = std::move(ids);
+}
+
+void LocalView::merge_from_neighbor(const LocalView& other) {
+    for (const auto& [id, record] : other.nodes_) {
+        const int dist_via = record.dist + 1;
+        const auto it = nodes_.find(id);
+        if (it == nodes_.end()) {
+            ViewNode copy = record;
+            copy.dist = dist_via;
+            nodes_.emplace(id, std::move(copy));
+            continue;
+        }
+        ViewNode& mine = it->second;
+        mine.dist = std::min(mine.dist, dist_via);
+        // Neighbor lists are unioned; a record may arrive before its owner
+        // has learned its own neighbors.
+        for (const auto& nid : record.neighbor_ids) {
+            if (std::find(mine.neighbor_ids.begin(), mine.neighbor_ids.end(), nid) ==
+                mine.neighbor_ids.end()) {
+                mine.neighbor_ids.push_back(nid);
+            }
+        }
+    }
+}
+
+namespace {
+
+/// Identifiers and labels are over {0,1}; certificates over {0,1,#}; none of
+/// them contain the record separators used here.
+constexpr char kFieldSep = ',';
+constexpr char kRecordSep = '|';
+constexpr char kListSep = ' ';
+
+std::vector<std::string> split_on(const std::string& s, char sep) {
+    std::vector<std::string> parts;
+    std::string current;
+    for (char c : s) {
+        if (c == sep) {
+            parts.push_back(current);
+            current.clear();
+        } else {
+            current.push_back(c);
+        }
+    }
+    parts.push_back(current);
+    return parts;
+}
+
+} // namespace
+
+std::string LocalView::serialize() const {
+    // The self record goes first; the remaining records follow in key order.
+    std::ostringstream out;
+    auto write_record = [&out](const ViewNode& record, bool first) {
+        if (!first) {
+            out << kRecordSep;
+        }
+        out << record.id << kFieldSep << record.label << kFieldSep
+            << record.certificates << kFieldSep << record.dist << kFieldSep;
+        for (std::size_t i = 0; i < record.neighbor_ids.size(); ++i) {
+            if (i > 0) {
+                out << kListSep;
+            }
+            out << record.neighbor_ids[i];
+        }
+    };
+    write_record(nodes_.at(self_), true);
+    for (const auto& [id, record] : nodes_) {
+        if (id != self_) {
+            write_record(record, false);
+        }
+    }
+    return out.str();
+}
+
+LocalView LocalView::deserialize(const std::string& data) {
+    LocalView view;
+    bool first = true;
+    for (const auto& record_text : split_on(data, kRecordSep)) {
+        const auto fields = split_on(record_text, kFieldSep);
+        check(fields.size() == 5, "LocalView::deserialize: malformed record");
+        ViewNode record;
+        record.id = fields[0];
+        record.label = fields[1];
+        record.certificates = fields[2];
+        record.dist = std::stoi(fields[3].empty() ? "0" : fields[3]);
+        if (!fields[4].empty()) {
+            for (const auto& nid : split_on(fields[4], kListSep)) {
+                record.neighbor_ids.push_back(nid);
+            }
+        }
+        if (first) {
+            view.self_ = record.id;
+            first = false;
+        }
+        view.nodes_.emplace(record.id, std::move(record));
+    }
+    return view;
+}
+
+NeighborhoodGatherMachine::NeighborhoodGatherMachine(int radius) : radius_(radius) {
+    check(radius >= 0, "NeighborhoodGatherMachine: negative radius");
+}
+
+LocalMachine::RoundOutput
+NeighborhoodGatherMachine::on_round(const RoundInput& input, std::string& state,
+                                    StepMeter& meter) const {
+    LocalView view = input.round == 1
+                         ? LocalView::initial(input.id, input.label,
+                                              input.certificates)
+                         : LocalView::deserialize(state);
+
+    if (input.round >= 2) {
+        // Senders arrive in ascending identifier order; merge their views and
+        // learn our direct neighbors' ids from their self records.
+        std::vector<BitString> neighbor_ids;
+        for (const auto& message : input.messages) {
+            const LocalView other = LocalView::deserialize(message);
+            neighbor_ids.push_back(other.self());
+            view.merge_from_neighbor(other);
+            meter.charge(message.size());
+        }
+        view.set_self_neighbors(std::move(neighbor_ids));
+    }
+
+    RoundOutput output;
+    if (input.round == round_bound()) {
+        // Reconstruct N_r(self) and decide.
+        std::vector<const ViewNode*> in_range;
+        for (const auto& [id, record] : view.nodes()) {
+            if (record.dist <= radius_) {
+                in_range.push_back(&record);
+            }
+        }
+        // Deterministic order: ascending identifier (keys of the map).
+        NeighborhoodView neighborhood;
+        std::map<BitString, NodeId> index;
+        for (const ViewNode* record : in_range) {
+            const NodeId v = neighborhood.graph.add_node(record->label);
+            neighborhood.ids.push_back(record->id);
+            neighborhood.certs.push_back(record->certificates);
+            index.emplace(record->id, v);
+            if (record->id == view.self()) {
+                neighborhood.self = v;
+            }
+        }
+        for (const ViewNode* record : in_range) {
+            const NodeId u = index.at(record->id);
+            for (const auto& nid : record->neighbor_ids) {
+                const auto it = index.find(nid);
+                if (it != index.end() && it->second != u &&
+                    !neighborhood.graph.has_edge(u, it->second)) {
+                    neighborhood.graph.add_edge(u, it->second);
+                }
+            }
+        }
+        meter.charge(neighborhood.graph.num_nodes() +
+                     2 * neighborhood.graph.num_edges());
+        output.halt = true;
+        output.verdict = decide(neighborhood, meter);
+        return output;
+    }
+
+    const std::string serialized = view.serialize();
+    meter.charge(serialized.size());
+    state = serialized;
+    // Broadcast the full view to every neighbor.
+    output.send.assign(input.messages.size(), serialized);
+    return output;
+}
+
+} // namespace lph

@@ -1,0 +1,81 @@
+#pragma once
+
+#include "dtm/local.hpp"
+
+#include <map>
+
+namespace lph {
+
+/// What a node knows about one other node while flooding its neighborhood.
+struct ViewNode {
+    BitString id;
+    BitString label;
+    std::string certificates; ///< '#'-joined certificate list
+    int dist = 0;             ///< current best-known distance from the owner
+    std::vector<BitString> neighbor_ids;
+};
+
+/// A node's accumulating knowledge of its r-neighborhood.
+///
+/// Identifiers are used as keys, which is sound as long as the identifier
+/// assignment is locally unique at radius >= r (the machine declares this
+/// via LocalMachine::id_radius).
+class LocalView {
+public:
+    LocalView() = default;
+
+    static LocalView initial(const BitString& id, const BitString& label,
+                             const std::string& certificates);
+
+    const BitString& self() const { return self_; }
+    const std::map<BitString, ViewNode>& nodes() const { return nodes_; }
+
+    /// Records the ids of the owner's direct neighbors (learned in round 2).
+    void set_self_neighbors(std::vector<BitString> ids);
+
+    /// Merges a neighbor's view: every record's distance grows by one hop.
+    void merge_from_neighbor(const LocalView& other);
+
+    std::string serialize() const;
+    static LocalView deserialize(const std::string& data);
+
+private:
+    BitString self_;
+    std::map<BitString, ViewNode> nodes_;
+};
+
+/// The reconstructed r-neighborhood a gather machine decides on.
+struct NeighborhoodView {
+    LabeledGraph graph;              ///< N_r(self), labels included
+    NodeId self = 0;                 ///< index of the deciding node
+    std::vector<BitString> ids;      ///< identifier of each reconstructed node
+    std::vector<std::string> certs;  ///< certificate list of each node
+};
+
+/// Base for the common machine shape used throughout the paper's proofs
+/// (e.g. Theorem 12, backward direction): flood local views for a constant
+/// number of rounds until each node has reconstructed N_r(u) with all labels,
+/// identifiers, and certificates, then decide locally.
+class NeighborhoodGatherMachine : public LocalMachine {
+public:
+    explicit NeighborhoodGatherMachine(int radius);
+
+    int radius() const { return radius_; }
+    int round_bound() const override { return radius_ == 0 ? 1 : radius_ + 2; }
+
+    /// Views are keyed by identifier and records travel up to radius+2 hops,
+    /// so identifiers must be unique within 2*(radius+2); r_id = radius+2
+    /// guarantees that.
+    int id_radius() const override { return radius_ == 0 ? 1 : radius_ + 2; }
+
+    RoundOutput on_round(const RoundInput& input, std::string& state,
+                         StepMeter& meter) const final;
+
+    /// The local decision applied to the gathered neighborhood.
+    virtual std::string decide(const NeighborhoodView& view, StepMeter& meter) const = 0;
+
+private:
+    int radius_;
+};
+
+} // namespace lph

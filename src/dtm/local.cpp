@@ -1,0 +1,150 @@
+#include "dtm/local.hpp"
+
+#include "core/check.hpp"
+
+#include <algorithm>
+
+namespace lph {
+
+ExecutionResult run_local(const LocalMachine& m, const LabeledGraph& g,
+                          const IdentifierAssignment& id,
+                          const CertificateListAssignment& certs,
+                          const ExecutionOptions& options) {
+    g.validate();
+    check(id.size() == g.num_nodes(), "run_local: identifier assignment size");
+    check(certs.size() == g.num_nodes(), "run_local: certificate assignment size");
+    check(id.is_locally_unique(g, std::max(1, m.id_radius())),
+          "run_local: identifiers are not locally unique at the machine's radius");
+
+    const std::size_t n = g.num_nodes();
+    const Polynomial step_poly = m.step_bound();
+
+    std::vector<std::vector<NodeId>> ordered_neighbors(n);
+    for (NodeId u = 0; u < n; ++u) {
+        ordered_neighbors[u] = g.neighbors(u);
+        std::sort(ordered_neighbors[u].begin(), ordered_neighbors[u].end(),
+                  [&](NodeId a, NodeId b) {
+                      return std::make_pair(id(a), a) < std::make_pair(id(b), b);
+                  });
+    }
+
+    std::vector<std::string> states(n);
+    std::vector<bool> halted(n, false);
+    std::vector<std::string> verdicts(n);
+    std::vector<std::vector<std::string>> in_flight(n);
+    for (NodeId u = 0; u < n; ++u) {
+        in_flight[u].assign(g.degree(u), "");
+    }
+
+    ExecutionResult result;
+    result.node_stats.assign(n, NodeStats{});
+
+    int round = 0;
+    while (true) {
+        ++round;
+        check(round <= options.max_rounds, "run_local: exceeded max_rounds");
+        if (options.enforce_declared_bounds) {
+            check(round <= m.round_bound(),
+                  "run_local: machine exceeded its declared round bound");
+        }
+
+        std::vector<std::vector<std::string>> next_flight(n);
+        for (NodeId u = 0; u < n; ++u) {
+            next_flight[u].assign(g.degree(u), "");
+        }
+
+        for (NodeId u = 0; u < n; ++u) {
+            if (halted[u]) {
+                continue;
+            }
+            // Assemble incoming messages in ascending sender-identifier order.
+            std::vector<std::string> messages;
+            std::uint64_t receive_bytes = 0;
+            messages.reserve(ordered_neighbors[u].size());
+            for (NodeId v : ordered_neighbors[u]) {
+                const auto& v_order = ordered_neighbors[v];
+                const std::size_t slot = static_cast<std::size_t>(
+                    std::find(v_order.begin(), v_order.end(), u) - v_order.begin());
+                messages.push_back(in_flight[v][slot]);
+                receive_bytes += messages.back().size();
+                result.total_message_bytes += messages.back().size();
+            }
+
+            const std::uint64_t input_size =
+                receive_bytes + messages.size() + states[u].size();
+
+            StepMeter meter;
+            // Reading the inputs costs at least their length, as on a tape.
+            meter.charge(input_size);
+            if (round == 1) {
+                meter.charge(g.label(u).size() + id(u).size() + certs(u).size() + 2);
+            }
+
+            LocalMachine::RoundInput input{g.label(u), id(u), certs(u), round,
+                                           messages};
+            LocalMachine::RoundOutput output = m.on_round(input, states[u], meter);
+
+            check(output.send.size() <= g.degree(u),
+                  "run_local: machine sent more messages than neighbors");
+            for (std::size_t i = 0; i < output.send.size(); ++i) {
+                meter.charge(output.send[i].size());
+                next_flight[u][i] = std::move(output.send[i]);
+            }
+
+            NodeStats& stats = result.node_stats[u];
+            const std::uint64_t steps = meter.steps();
+            stats.total_steps += steps;
+            stats.max_round_steps = std::max(stats.max_round_steps, steps);
+            stats.max_space =
+                std::max<std::uint64_t>(stats.max_space, states[u].size());
+            result.total_steps += steps;
+
+            check(steps <= options.max_steps_per_round,
+                  "run_local: exceeded max_steps_per_round");
+            if (options.enforce_declared_bounds) {
+                // Step time is measured against the initial tape contents of
+                // the round: the received messages plus the internal state
+                // (on round 1 the state is the label#id#certificates string).
+                const std::uint64_t tape_len =
+                    round == 1 ? g.label(u).size() + id(u).size() +
+                                     certs(u).size() + 2 + input_size
+                               : input_size;
+                check(steps <= step_poly(std::max<std::uint64_t>(tape_len, 1)),
+                      "run_local: machine exceeded its declared step bound (" +
+                          std::to_string(steps) + " steps vs " +
+                          step_poly.to_string() + " at n=" +
+                          std::to_string(tape_len) + ", round " +
+                          std::to_string(round) + ")");
+            }
+
+            if (output.halt) {
+                halted[u] = true;
+                verdicts[u] = std::move(output.verdict);
+            }
+        }
+
+        in_flight = std::move(next_flight);
+        if (std::all_of(halted.begin(), halted.end(), [](bool h) { return h; })) {
+            break;
+        }
+    }
+
+    result.rounds = round;
+    result.outputs.reserve(n);
+    result.raw_outputs.reserve(n);
+    for (NodeId u = 0; u < n; ++u) {
+        result.raw_outputs.push_back(verdicts[u]);
+        result.outputs.push_back(filter_to_bits(verdicts[u]));
+    }
+    result.accepted = unanimous_accept(result.outputs);
+    return result;
+}
+
+ExecutionResult run_local(const LocalMachine& m, const LabeledGraph& g,
+                          const IdentifierAssignment& id,
+                          const ExecutionOptions& options) {
+    return run_local(m, g, id, CertificateListAssignment::empty(g.num_nodes()),
+                     options);
+}
+
+} // namespace lph

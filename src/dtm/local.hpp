@@ -1,0 +1,86 @@
+#pragma once
+
+#include "dtm/execution.hpp"
+#include "graph/certificates.hpp"
+#include "graph/identifiers.hpp"
+#include "graph/polynomial.hpp"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lph {
+
+/// Explicit work accounting for the local-algorithm layer.
+///
+/// The paper's machines are Turing machines whose step time is polynomial in
+/// the length of the receiving + internal tapes.  Writing every arbiter as a
+/// raw transition table is impractical, so the library also provides this
+/// metered layer: the runner automatically charges for every byte of input
+/// read and output written, and algorithms charge their own processing work
+/// via charge().  DESIGN.md (substitution 3) records this modeling choice;
+/// the tape-level model in dtm/turing.hpp is cross-validated against it.
+class StepMeter {
+public:
+    void charge(std::uint64_t steps) { steps_ += steps; }
+    std::uint64_t steps() const { return steps_; }
+
+private:
+    std::uint64_t steps_ = 0;
+};
+
+/// A synchronous message-passing machine in convenient form: one callback per
+/// round per node, with persistent per-node state standing in for the
+/// internal tape.
+class LocalMachine {
+public:
+    virtual ~LocalMachine() = default;
+
+    struct RoundInput {
+        const BitString& label;
+        const BitString& id;
+        const std::string& certificates; ///< '#'-joined certificate list
+        int round;                       ///< 1-based
+        /// Messages from neighbors, in ascending identifier order of the
+        /// senders; on round 1 all are empty.
+        const std::vector<std::string>& messages;
+    };
+
+    struct RoundOutput {
+        /// Message to the i-th neighbor (ascending identifier order); missing
+        /// entries default to the empty string.
+        std::vector<std::string> send;
+        /// When true, this node enters the stop state with the given verdict
+        /// written to its output ("1" = accept).
+        bool halt = false;
+        std::string verdict;
+    };
+
+    /// Constant bound on the number of rounds (constant round time).
+    virtual int round_bound() const = 0;
+
+    /// Declared step polynomial: per round, a node's metered work must not
+    /// exceed step_bound()(len(messages) + len(state)).  The default is a
+    /// generous cubic, which concrete machines tighten.
+    virtual Polynomial step_bound() const { return Polynomial{1024, 1024, 0, 1}; }
+
+    /// Radius of identifier uniqueness this machine assumes (r_id).
+    virtual int id_radius() const { return 1; }
+
+    /// Processes one round at one node.  `state` persists across rounds.
+    virtual RoundOutput on_round(const RoundInput& input, std::string& state,
+                                 StepMeter& meter) const = 0;
+};
+
+/// Executes a LocalMachine on g under id and certificates; verifies the
+/// declared round/step bounds when options.enforce_declared_bounds is set.
+ExecutionResult run_local(const LocalMachine& m, const LabeledGraph& g,
+                          const IdentifierAssignment& id,
+                          const CertificateListAssignment& certs,
+                          const ExecutionOptions& options = {});
+
+ExecutionResult run_local(const LocalMachine& m, const LabeledGraph& g,
+                          const IdentifierAssignment& id,
+                          const ExecutionOptions& options = {});
+
+} // namespace lph

@@ -1,0 +1,269 @@
+#include "dtm/turing.hpp"
+
+#include "core/check.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace lph {
+
+namespace tape {
+bool is_symbol(char c) {
+    return c == kLeftEnd || c == kBlank || c == kSep || c == kZero || c == kOne;
+}
+} // namespace tape
+
+void TuringMachine::add_transition(const std::string& state, std::array<char, 3> read,
+                                   TuringAction action) {
+    for (char c : read) {
+        check(c == '*' || tape::is_symbol(c),
+              "TuringMachine: invalid read symbol in transition");
+    }
+    for (char c : action.write) {
+        check(c == '=' || tape::is_symbol(c),
+              "TuringMachine: invalid write symbol in transition");
+    }
+    const bool has_wildcard =
+        std::any_of(read.begin(), read.end(), [](char c) { return c == '*'; });
+    if (has_wildcard) {
+        wildcard_.push_back({state, read, std::move(action)});
+    } else {
+        exact_.insert_or_assign({state, read}, std::move(action));
+    }
+}
+
+void TuringMachine::add_rule(const std::string& state, char r1, char r2, char r3,
+                             const std::string& next, char w1, char w2, char w3,
+                             Move m1, Move m2, Move m3) {
+    add_transition(state, {r1, r2, r3}, TuringAction{next, {w1, w2, w3}, {m1, m2, m3}});
+}
+
+std::optional<TuringAction> TuringMachine::transition(const std::string& state,
+                                                      std::array<char, 3> read) const {
+    const auto it = exact_.find({state, read});
+    if (it != exact_.end()) {
+        return it->second;
+    }
+    for (const auto& p : wildcard_) {
+        if (p.state != state) {
+            continue;
+        }
+        bool matches = true;
+        for (int i = 0; i < 3; ++i) {
+            if (p.read[static_cast<std::size_t>(i)] != '*' &&
+                p.read[static_cast<std::size_t>(i)] != read[static_cast<std::size_t>(i)]) {
+                matches = false;
+                break;
+            }
+        }
+        if (matches) {
+            return p.action;
+        }
+    }
+    return std::nullopt;
+}
+
+namespace {
+
+/// One node's three tapes plus head positions and machine state.
+struct NodeMachine {
+    std::array<std::string, 3> tapes; // each starts with the left-end marker
+    std::array<std::size_t, 3> heads{0, 0, 0};
+    std::string state = TuringMachine::kStart;
+    bool stopped = false;
+
+    char read(int t) const {
+        const auto& tp = tapes[static_cast<std::size_t>(t)];
+        const std::size_t h = heads[static_cast<std::size_t>(t)];
+        return h < tp.size() ? tp[h] : tape::kBlank;
+    }
+
+    void write(int t, char c) {
+        auto& tp = tapes[static_cast<std::size_t>(t)];
+        std::size_t h = heads[static_cast<std::size_t>(t)];
+        while (h >= tp.size()) {
+            tp.push_back(tape::kBlank);
+        }
+        tp[h] = c;
+    }
+
+    void move(int t, Move m) {
+        auto& h = heads[static_cast<std::size_t>(t)];
+        if (m == Move::Left) {
+            if (h > 0) {
+                --h;
+            }
+        } else if (m == Move::Right) {
+            ++h;
+        }
+    }
+
+    /// Content: symbols ignoring leading left-end marker and trailing blanks.
+    std::string content(int t) const {
+        std::string s = tapes[static_cast<std::size_t>(t)];
+        if (!s.empty() && s.front() == tape::kLeftEnd) {
+            s.erase(s.begin());
+        }
+        while (!s.empty() && s.back() == tape::kBlank) {
+            s.pop_back();
+        }
+        return s;
+    }
+
+    std::size_t space() const {
+        return tapes[0].size() + tapes[1].size() + tapes[2].size();
+    }
+};
+
+std::string fresh_tape() { return std::string(1, tape::kLeftEnd); }
+
+/// The first `count` '#'-separated bit strings on the sending tape, blanks
+/// ignored (Section 4, phase 3).
+std::vector<std::string> outgoing_messages(const std::string& send_content,
+                                           std::size_t count) {
+    std::string compact;
+    for (char c : send_content) {
+        if (c != tape::kBlank) {
+            compact.push_back(c);
+        }
+    }
+    const auto parts = split_hash(compact);
+    std::vector<std::string> messages(count, "");
+    for (std::size_t i = 0; i < count && i < parts.size(); ++i) {
+        messages[i] = parts[i];
+    }
+    return messages;
+}
+
+} // namespace
+
+ExecutionResult run_turing(const TuringMachine& m, const LabeledGraph& g,
+                           const IdentifierAssignment& id,
+                           const CertificateListAssignment& certs,
+                           const ExecutionOptions& options) {
+    g.validate();
+    check(id.size() == g.num_nodes(), "run_turing: identifier assignment size");
+    check(certs.size() == g.num_nodes(), "run_turing: certificate assignment size");
+    check(id.is_locally_unique(g, 1),
+          "run_turing: identifiers must be at least 1-locally unique");
+
+    const std::size_t n = g.num_nodes();
+
+    // Neighbor order: ascending identifiers (Section 4, phase 1), with node
+    // index as a deterministic tiebreaker for far-apart equal identifiers.
+    std::vector<std::vector<NodeId>> ordered_neighbors(n);
+    for (NodeId u = 0; u < n; ++u) {
+        ordered_neighbors[u] = g.neighbors(u);
+        std::sort(ordered_neighbors[u].begin(), ordered_neighbors[u].end(),
+                  [&](NodeId a, NodeId b) {
+                      return std::make_pair(id(a), a) < std::make_pair(id(b), b);
+                  });
+    }
+
+    std::vector<NodeMachine> nodes(n);
+    for (NodeId u = 0; u < n; ++u) {
+        nodes[u].tapes = {fresh_tape(), fresh_tape(), fresh_tape()};
+        nodes[u].tapes[1] += g.label(u) + "#" + id(u) + "#" + certs(u);
+    }
+
+    // Messages sent in the previous round, indexed by sender.
+    std::vector<std::vector<std::string>> in_flight(n);
+    for (NodeId u = 0; u < n; ++u) {
+        in_flight[u].assign(g.degree(u), "");
+    }
+
+    ExecutionResult result;
+    result.node_stats.assign(n, NodeStats{});
+
+    int round = 0;
+    while (true) {
+        ++round;
+        check(round <= options.max_rounds,
+              "run_turing: exceeded max_rounds; machine may not terminate");
+
+        for (NodeId u = 0; u < n; ++u) {
+            NodeMachine& node = nodes[u];
+
+            // Phase 1: deliver messages (ascending sender identifier order).
+            std::string recv;
+            for (std::size_t i = 0; i < ordered_neighbors[u].size(); ++i) {
+                const NodeId v = ordered_neighbors[u][i];
+                // Find u's slot in v's ordered neighbor list.
+                const auto& v_order = ordered_neighbors[v];
+                const std::size_t slot = static_cast<std::size_t>(
+                    std::find(v_order.begin(), v_order.end(), u) - v_order.begin());
+                recv += in_flight[v][slot];
+                recv += tape::kSep;
+                result.total_message_bytes += in_flight[v][slot].size();
+            }
+            node.tapes[0] = fresh_tape() + recv;
+
+            // Phase 2: local computation.
+            node.tapes[2] = fresh_tape(); // sending tape starts empty
+            if (node.state != TuringMachine::kStop) {
+                node.state = TuringMachine::kStart;
+                node.heads = {0, 0, 0};
+                std::uint64_t steps = 0;
+                while (node.state != TuringMachine::kPause &&
+                       node.state != TuringMachine::kStop) {
+                    const std::array<char, 3> scanned = {node.read(0), node.read(1),
+                                                         node.read(2)};
+                    const auto action = m.transition(node.state, scanned);
+                    check(action.has_value(),
+                          "run_turing: undefined transition from state '" +
+                              node.state + "' reading {" + scanned[0] + scanned[1] +
+                              scanned[2] + "}");
+                    for (int t = 0; t < 3; ++t) {
+                        const char w = action->write[static_cast<std::size_t>(t)];
+                        node.write(t, w == '=' ? scanned[static_cast<std::size_t>(t)] : w);
+                        node.move(t, action->move[static_cast<std::size_t>(t)]);
+                    }
+                    node.state = action->next_state;
+                    ++steps;
+                    check(steps <= options.max_steps_per_round,
+                          "run_turing: exceeded max_steps_per_round");
+                }
+                NodeStats& stats = result.node_stats[u];
+                stats.total_steps += steps;
+                stats.max_round_steps = std::max(stats.max_round_steps, steps);
+                stats.max_space = std::max<std::uint64_t>(stats.max_space, node.space());
+                result.total_steps += steps;
+            }
+        }
+
+        // Phase 3: collect outgoing messages for the next round.
+        bool all_stopped = true;
+        for (NodeId u = 0; u < n; ++u) {
+            in_flight[u] = outgoing_messages(nodes[u].content(2), g.degree(u));
+            for (const auto& msg : in_flight[u]) {
+                check(is_bit_string(msg),
+                      "run_turing: messages must be bit strings");
+            }
+            if (nodes[u].state != TuringMachine::kStop) {
+                all_stopped = false;
+            }
+        }
+        if (all_stopped) {
+            break;
+        }
+    }
+
+    result.rounds = round;
+    result.outputs.reserve(n);
+    result.raw_outputs.reserve(n);
+    for (NodeId u = 0; u < n; ++u) {
+        result.raw_outputs.push_back(nodes[u].content(1));
+        result.outputs.push_back(filter_to_bits(result.raw_outputs.back()));
+    }
+    result.accepted = unanimous_accept(result.outputs);
+    return result;
+}
+
+ExecutionResult run_turing(const TuringMachine& m, const LabeledGraph& g,
+                           const IdentifierAssignment& id,
+                           const ExecutionOptions& options) {
+    return run_turing(m, g, id, CertificateListAssignment::empty(g.num_nodes()),
+                      options);
+}
+
+} // namespace lph

@@ -1,0 +1,95 @@
+#pragma once
+
+#include "dtm/execution.hpp"
+#include "graph/certificates.hpp"
+#include "graph/identifiers.hpp"
+
+#include <array>
+#include <map>
+#include <optional>
+#include <string>
+
+namespace lph {
+
+/// Tape alphabet Sigma = {|-, blank, #, 0, 1} (Section 4), with ASCII stand-ins.
+namespace tape {
+constexpr char kLeftEnd = '>';  ///< left-end marker |-
+constexpr char kBlank = '_';    ///< blank
+constexpr char kSep = '#';
+constexpr char kZero = '0';
+constexpr char kOne = '1';
+
+/// True for a character of the tape alphabet.
+bool is_symbol(char c);
+} // namespace tape
+
+/// Head movement.
+enum class Move : int { Left = -1, Stay = 0, Right = 1 };
+
+/// A transition target: delta(q, a1, a2, a3) =
+/// (q', write recv, write int, write snd, move recv, move int, move snd).
+///
+/// The paper's delta writes to all three tapes; machines that treat the
+/// receiving tape as read-only simply rewrite the scanned symbol.
+struct TuringAction {
+    std::string next_state;
+    std::array<char, 3> write;
+    std::array<Move, 3> move;
+};
+
+/// A distributed Turing machine M = (Q, delta) (Section 4).
+///
+/// States are strings; the designated states are "start", "pause", "stop".
+/// Transitions may be registered with wildcards ('*' matches any symbol and
+/// '=' in a write slot means "write back what was read"); exact entries take
+/// precedence over wildcard entries.
+class TuringMachine {
+public:
+    static constexpr const char* kStart = "start";
+    static constexpr const char* kPause = "pause";
+    static constexpr const char* kStop = "stop";
+
+    /// Registers delta(state, read) = action.  `read` may contain '*'
+    /// wildcards; `action.write` may contain '=' (echo the scanned symbol).
+    void add_transition(const std::string& state, std::array<char, 3> read,
+                        TuringAction action);
+
+    /// Convenience: register one rule for every combination matching the
+    /// pattern, as add_transition but with explicit parameters.
+    void add_rule(const std::string& state, char r1, char r2, char r3,
+                  const std::string& next, char w1, char w2, char w3, Move m1,
+                  Move m2, Move m3);
+
+    /// Looks up the applicable action; nullopt when delta is undefined
+    /// (treated as a runtime error by the runner, since the paper's delta is
+    /// total and terminating).
+    std::optional<TuringAction> transition(const std::string& state,
+                                           std::array<char, 3> read) const;
+
+    std::size_t num_rules() const { return exact_.size() + wildcard_.size(); }
+
+private:
+    struct Pattern {
+        std::string state;
+        std::array<char, 3> read;
+        TuringAction action;
+    };
+
+    std::map<std::pair<std::string, std::array<char, 3>>, TuringAction> exact_;
+    std::vector<Pattern> wildcard_;
+};
+
+/// Executes M on g under id and certificate lists kappa (Section 4).
+/// Requires id to be at least 1-locally unique.  Message order follows the
+/// ascending identifier order of each node's neighbors.
+ExecutionResult run_turing(const TuringMachine& m, const LabeledGraph& g,
+                           const IdentifierAssignment& id,
+                           const CertificateListAssignment& certs,
+                           const ExecutionOptions& options = {});
+
+/// Executes M with the trivial (all-empty) certificate-list assignment.
+ExecutionResult run_turing(const TuringMachine& m, const LabeledGraph& g,
+                           const IdentifierAssignment& id,
+                           const ExecutionOptions& options = {});
+
+} // namespace lph

@@ -1,0 +1,64 @@
+#include "graph/certificates.hpp"
+
+#include "core/check.hpp"
+
+namespace lph {
+
+std::uint64_t neighborhood_information(const LabeledGraph& g,
+                                       const IdentifierAssignment& id, NodeId u,
+                                       int r) {
+    std::uint64_t total = 0;
+    for (NodeId v : g.ball(u, r)) {
+        total += 1 + g.label(v).size() + id(v).size();
+    }
+    return total;
+}
+
+bool is_rp_bounded(const CertificateAssignment& kappa, const LabeledGraph& g,
+                   const IdentifierAssignment& id, int r, const Polynomial& p) {
+    check(kappa.size() == g.num_nodes(), "is_rp_bounded: size mismatch");
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+        if (kappa(u).size() > p(neighborhood_information(g, id, u, r))) {
+            return false;
+        }
+    }
+    return true;
+}
+
+CertificateListAssignment CertificateListAssignment::empty(std::size_t n) {
+    CertificateListAssignment list;
+    list.lists_.assign(n, "");
+    list.layers_ = 0;
+    return list;
+}
+
+CertificateListAssignment
+CertificateListAssignment::concatenate(const std::vector<CertificateAssignment>& kappas,
+                                       std::size_t n) {
+    CertificateListAssignment list;
+    list.lists_.assign(n, "");
+    list.layers_ = kappas.size();
+    for (std::size_t u = 0; u < n; ++u) {
+        std::vector<std::string> parts;
+        parts.reserve(kappas.size());
+        for (const auto& kappa : kappas) {
+            check(kappa.size() == n, "CertificateListAssignment: size mismatch");
+            parts.push_back(kappa(u));
+        }
+        list.lists_[u] = join_hash(parts);
+    }
+    return list;
+}
+
+CertificateAssignment CertificateListAssignment::layer(std::size_t i) const {
+    check(i < layers_, "CertificateListAssignment::layer: index out of range");
+    std::vector<BitString> certs(lists_.size());
+    for (std::size_t u = 0; u < lists_.size(); ++u) {
+        const auto parts = split_hash(lists_[u]);
+        check(parts.size() == layers_, "CertificateListAssignment: malformed list");
+        certs[u] = parts[i];
+    }
+    return CertificateAssignment(std::move(certs));
+}
+
+} // namespace lph

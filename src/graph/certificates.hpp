@@ -1,0 +1,74 @@
+#pragma once
+
+#include "core/bitstring.hpp"
+#include "graph/graph.hpp"
+#include "graph/identifiers.hpp"
+#include "graph/polynomial.hpp"
+
+#include <vector>
+
+namespace lph {
+
+/// A certificate assignment kappa : V -> {0,1}* (Section 3).
+class CertificateAssignment {
+public:
+    CertificateAssignment() = default;
+    explicit CertificateAssignment(std::vector<BitString> certs)
+        : certs_(std::move(certs)) {}
+
+    /// The all-empty assignment for an n-node graph (the "trivial"
+    /// certificate-list assignment of Section 4).
+    static CertificateAssignment trivial(std::size_t n) {
+        return CertificateAssignment(std::vector<BitString>(n));
+    }
+
+    const BitString& operator()(NodeId u) const { return certs_.at(u); }
+    void set(NodeId u, BitString cert) { certs_.at(u) = std::move(cert); }
+    std::size_t size() const { return certs_.size(); }
+
+    bool operator==(const CertificateAssignment& other) const {
+        return certs_ == other.certs_;
+    }
+
+private:
+    std::vector<BitString> certs_;
+};
+
+/// The paper's measure of the information in u's r-neighborhood:
+/// sum over v in N_r(u) of 1 + len(label(v)) + len(id(v)).
+std::uint64_t neighborhood_information(const LabeledGraph& g,
+                                       const IdentifierAssignment& id, NodeId u, int r);
+
+/// True when len(kappa(u)) <= p(neighborhood_information(g,id,u,r)) for every
+/// node u, i.e. kappa is (r,p)-bounded (Section 3).
+bool is_rp_bounded(const CertificateAssignment& kappa, const LabeledGraph& g,
+                   const IdentifierAssignment& id, int r, const Polynomial& p);
+
+/// Several certificate assignments joined per node with '#' separators:
+/// kappa_1(u) # kappa_2(u) # ... # kappa_l(u) (Section 3).
+class CertificateListAssignment {
+public:
+    CertificateListAssignment() = default;
+
+    /// The empty list over an n-node graph (every node gets the empty string).
+    static CertificateListAssignment empty(std::size_t n);
+
+    /// Concatenation kappa_1 . kappa_2 . ... . kappa_l.
+    static CertificateListAssignment
+    concatenate(const std::vector<CertificateAssignment>& kappas, std::size_t n);
+
+    /// The string lambda#kappa_1#...#kappa_l handed to node u.
+    std::string operator()(NodeId u) const { return lists_.at(u); }
+
+    std::size_t size() const { return lists_.size(); }
+    std::size_t layers() const { return layers_; }
+
+    /// Recovers the i-th certificate assignment (0-based layer index).
+    CertificateAssignment layer(std::size_t i) const;
+
+private:
+    std::vector<std::string> lists_;
+    std::size_t layers_ = 0;
+};
+
+} // namespace lph

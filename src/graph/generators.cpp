@@ -1,0 +1,160 @@
+#include "graph/generators.hpp"
+
+#include "core/check.hpp"
+
+#include <algorithm>
+
+namespace lph {
+
+LabeledGraph path_graph(std::size_t n, const BitString& label) {
+    check(n >= 1, "path_graph: need at least one node");
+    LabeledGraph g;
+    for (std::size_t i = 0; i < n; ++i) {
+        g.add_node(label);
+    }
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+        g.add_edge(i, i + 1);
+    }
+    return g;
+}
+
+LabeledGraph cycle_graph(std::size_t n, const BitString& label) {
+    check(n >= 3, "cycle_graph: need at least three nodes");
+    LabeledGraph g = path_graph(n, label);
+    g.add_edge(n - 1, 0);
+    return g;
+}
+
+LabeledGraph complete_graph(std::size_t n, const BitString& label) {
+    check(n >= 1, "complete_graph: need at least one node");
+    LabeledGraph g;
+    for (std::size_t i = 0; i < n; ++i) {
+        g.add_node(label);
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = i + 1; j < n; ++j) {
+            g.add_edge(i, j);
+        }
+    }
+    return g;
+}
+
+LabeledGraph star_graph(std::size_t n, const BitString& label) {
+    check(n >= 2, "star_graph: need at least two nodes");
+    LabeledGraph g;
+    for (std::size_t i = 0; i < n; ++i) {
+        g.add_node(label);
+    }
+    for (std::size_t i = 1; i < n; ++i) {
+        g.add_edge(0, i);
+    }
+    return g;
+}
+
+LabeledGraph grid_graph(std::size_t rows, std::size_t cols, const BitString& label) {
+    check(rows >= 1 && cols >= 1, "grid_graph: need positive dimensions");
+    LabeledGraph g;
+    for (std::size_t i = 0; i < rows * cols; ++i) {
+        g.add_node(label);
+    }
+    const auto at = [cols](std::size_t r, std::size_t c) { return r * cols + c; };
+    for (std::size_t r = 0; r < rows; ++r) {
+        for (std::size_t c = 0; c < cols; ++c) {
+            if (c + 1 < cols) {
+                g.add_edge(at(r, c), at(r, c + 1));
+            }
+            if (r + 1 < rows) {
+                g.add_edge(at(r, c), at(r + 1, c));
+            }
+        }
+    }
+    return g;
+}
+
+LabeledGraph complete_bipartite_graph(std::size_t a, std::size_t b,
+                                      const BitString& label) {
+    check(a >= 1 && b >= 1, "complete_bipartite_graph: sides must be nonempty");
+    LabeledGraph g;
+    for (std::size_t i = 0; i < a + b; ++i) {
+        g.add_node(label);
+    }
+    for (std::size_t i = 0; i < a; ++i) {
+        for (std::size_t j = 0; j < b; ++j) {
+            g.add_edge(i, a + j);
+        }
+    }
+    return g;
+}
+
+LabeledGraph wheel_graph(std::size_t n, const BitString& label) {
+    check(n >= 4, "wheel_graph: need at least four nodes");
+    LabeledGraph g = cycle_graph(n - 1, label);
+    const NodeId hub = g.add_node(label);
+    for (NodeId u = 0; u < hub; ++u) {
+        g.add_edge(hub, u);
+    }
+    return g;
+}
+
+LabeledGraph petersen_graph(const BitString& label) {
+    LabeledGraph g;
+    for (int i = 0; i < 10; ++i) {
+        g.add_node(label);
+    }
+    // Outer 5-cycle 0..4, inner pentagram 5..9, spokes i -- i+5.
+    for (NodeId i = 0; i < 5; ++i) {
+        g.add_edge(i, (i + 1) % 5);
+        g.add_edge(5 + i, 5 + (i + 2) % 5);
+        g.add_edge(i, 5 + i);
+    }
+    return g;
+}
+
+LabeledGraph random_tree(std::size_t n, Rng& rng, const BitString& label) {
+    check(n >= 1, "random_tree: need at least one node");
+    LabeledGraph g;
+    g.add_node(label);
+    for (std::size_t i = 1; i < n; ++i) {
+        const NodeId parent = rng.index(i);
+        const NodeId child = g.add_node(label);
+        g.add_edge(parent, child);
+    }
+    return g;
+}
+
+LabeledGraph random_connected_graph(std::size_t n, std::size_t extra_edges, Rng& rng,
+                                    const BitString& label) {
+    LabeledGraph g = random_tree(n, rng, label);
+    std::vector<std::pair<NodeId, NodeId>> candidates;
+    for (NodeId u = 0; u < n; ++u) {
+        for (NodeId v = u + 1; v < n; ++v) {
+            if (!g.has_edge(u, v)) {
+                candidates.emplace_back(u, v);
+            }
+        }
+    }
+    std::shuffle(candidates.begin(), candidates.end(), rng.engine());
+    const std::size_t added = std::min(extra_edges, candidates.size());
+    for (std::size_t i = 0; i < added; ++i) {
+        g.add_edge(candidates[i].first, candidates[i].second);
+    }
+    return g;
+}
+
+void randomize_labels(LabeledGraph& g, std::size_t label_length, Rng& rng) {
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+        BitString label(label_length, '0');
+        for (char& c : label) {
+            c = rng.chance(0.5) ? '1' : '0';
+        }
+        g.set_label(u, label);
+    }
+}
+
+void set_all_labels(LabeledGraph& g, const BitString& label) {
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+        g.set_label(u, label);
+    }
+}
+
+} // namespace lph

@@ -1,0 +1,51 @@
+#pragma once
+
+#include "core/rng.hpp"
+#include "graph/graph.hpp"
+
+#include <vector>
+
+namespace lph {
+
+/// Path with n nodes (n >= 1), all labeled `label`.
+LabeledGraph path_graph(std::size_t n, const BitString& label = "1");
+
+/// Cycle with n nodes (n >= 3), all labeled `label`.
+LabeledGraph cycle_graph(std::size_t n, const BitString& label = "1");
+
+/// Complete graph on n nodes (n >= 1).
+LabeledGraph complete_graph(std::size_t n, const BitString& label = "1");
+
+/// Star with one hub and n-1 leaves (n >= 2).
+LabeledGraph star_graph(std::size_t n, const BitString& label = "1");
+
+/// rows x cols grid (rows, cols >= 1, rows*cols >= 1).
+LabeledGraph grid_graph(std::size_t rows, std::size_t cols,
+                        const BitString& label = "1");
+
+/// Complete bipartite graph K_{a,b} (a, b >= 1).
+LabeledGraph complete_bipartite_graph(std::size_t a, std::size_t b,
+                                      const BitString& label = "1");
+
+/// Wheel: a cycle of n-1 nodes plus a hub adjacent to all of them (n >= 4).
+LabeledGraph wheel_graph(std::size_t n, const BitString& label = "1");
+
+/// The Petersen graph (10 nodes, 3-regular): the classic hypohamiltonian
+/// instance — 3-chromatic, non-Hamiltonian, non-Eulerian.
+LabeledGraph petersen_graph(const BitString& label = "1");
+
+/// Uniform random labeled tree on n nodes (random attachment).
+LabeledGraph random_tree(std::size_t n, Rng& rng, const BitString& label = "1");
+
+/// Random connected graph: a random tree plus `extra_edges` additional
+/// distinct non-tree edges (clamped to the number available).
+LabeledGraph random_connected_graph(std::size_t n, std::size_t extra_edges, Rng& rng,
+                                    const BitString& label = "1");
+
+/// Assigns each node an independent random label of the given length.
+void randomize_labels(LabeledGraph& g, std::size_t label_length, Rng& rng);
+
+/// Sets every node's label to `label`.
+void set_all_labels(LabeledGraph& g, const BitString& label);
+
+} // namespace lph

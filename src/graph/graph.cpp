@@ -1,0 +1,178 @@
+#include "graph/graph.hpp"
+
+#include "core/check.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <sstream>
+
+namespace lph {
+
+void LabeledGraph::check_node(NodeId u) const {
+    check(u < adjacency_.size(), "LabeledGraph: node id out of range");
+}
+
+NodeId LabeledGraph::add_node(BitString label) {
+    check(is_bit_string(label), "LabeledGraph::add_node: label must be a bit string");
+    adjacency_.emplace_back();
+    labels_.push_back(std::move(label));
+    return adjacency_.size() - 1;
+}
+
+void LabeledGraph::add_edge(NodeId u, NodeId v) {
+    check_node(u);
+    check_node(v);
+    check(u != v, "LabeledGraph::add_edge: self-loops are not allowed");
+    check(!has_edge(u, v), "LabeledGraph::add_edge: duplicate edge");
+    auto insert_sorted = [](std::vector<NodeId>& list, NodeId w) {
+        list.insert(std::lower_bound(list.begin(), list.end(), w), w);
+    };
+    insert_sorted(adjacency_[u], v);
+    insert_sorted(adjacency_[v], u);
+    ++num_edges_;
+}
+
+const std::vector<NodeId>& LabeledGraph::neighbors(NodeId u) const {
+    check_node(u);
+    return adjacency_[u];
+}
+
+bool LabeledGraph::has_edge(NodeId u, NodeId v) const {
+    check_node(u);
+    check_node(v);
+    const auto& list = adjacency_[u];
+    return std::binary_search(list.begin(), list.end(), v);
+}
+
+const BitString& LabeledGraph::label(NodeId u) const {
+    check_node(u);
+    return labels_[u];
+}
+
+void LabeledGraph::set_label(NodeId u, BitString label) {
+    check_node(u);
+    check(is_bit_string(label), "LabeledGraph::set_label: label must be a bit string");
+    labels_[u] = std::move(label);
+}
+
+std::size_t LabeledGraph::structural_degree(NodeId u) const {
+    check_node(u);
+    return degree(u) + labels_[u].size();
+}
+
+std::size_t LabeledGraph::max_structural_degree() const {
+    std::size_t max_deg = 0;
+    for (NodeId u = 0; u < num_nodes(); ++u) {
+        max_deg = std::max(max_deg, structural_degree(u));
+    }
+    return max_deg;
+}
+
+bool LabeledGraph::is_connected() const {
+    if (num_nodes() == 0) {
+        return false;
+    }
+    const auto dist = distances_from(0);
+    return std::none_of(dist.begin(), dist.end(), [](int d) { return d < 0; });
+}
+
+void LabeledGraph::validate() const {
+    check(num_nodes() > 0, "LabeledGraph::validate: graph is empty");
+    check(is_connected(), "LabeledGraph::validate: graph is not connected");
+}
+
+std::vector<int> LabeledGraph::distances_from(NodeId u) const {
+    check_node(u);
+    std::vector<int> dist(num_nodes(), -1);
+    std::deque<NodeId> queue{u};
+    dist[u] = 0;
+    while (!queue.empty()) {
+        const NodeId v = queue.front();
+        queue.pop_front();
+        for (NodeId w : adjacency_[v]) {
+            if (dist[w] < 0) {
+                dist[w] = dist[v] + 1;
+                queue.push_back(w);
+            }
+        }
+    }
+    return dist;
+}
+
+int LabeledGraph::diameter() const {
+    check(is_connected(), "LabeledGraph::diameter: graph must be connected");
+    int diam = 0;
+    for (NodeId u = 0; u < num_nodes(); ++u) {
+        const auto dist = distances_from(u);
+        diam = std::max(diam, *std::max_element(dist.begin(), dist.end()));
+    }
+    return diam;
+}
+
+std::vector<NodeId> LabeledGraph::ball(NodeId u, int r) const {
+    check(r >= 0, "LabeledGraph::ball: negative radius");
+    const auto dist = distances_from(u);
+    std::vector<NodeId> nodes;
+    for (NodeId v = 0; v < num_nodes(); ++v) {
+        if (dist[v] >= 0 && dist[v] <= r) {
+            nodes.push_back(v);
+        }
+    }
+    return nodes;
+}
+
+InducedSubgraph LabeledGraph::induced(const std::vector<NodeId>& nodes) const {
+    InducedSubgraph result;
+    for (NodeId u : nodes) {
+        check_node(u);
+        check(result.from_original.find(u) == result.from_original.end(),
+              "LabeledGraph::induced: duplicate node");
+        const NodeId sub = result.graph.add_node(labels_[u]);
+        result.to_original.push_back(u);
+        result.from_original.emplace(u, sub);
+    }
+    for (NodeId u : nodes) {
+        for (NodeId v : adjacency_[u]) {
+            if (v > u) {
+                const auto it = result.from_original.find(v);
+                if (it != result.from_original.end()) {
+                    result.graph.add_edge(result.from_original.at(u), it->second);
+                }
+            }
+        }
+    }
+    return result;
+}
+
+InducedSubgraph LabeledGraph::neighborhood(NodeId u, int r) const {
+    return induced(ball(u, r));
+}
+
+std::string LabeledGraph::to_dot(const std::string& name) const {
+    std::ostringstream out;
+    out << "graph " << name << " {\n";
+    for (NodeId u = 0; u < num_nodes(); ++u) {
+        out << "  n" << u << " [label=\"" << u << ":" << labels_[u] << "\"];\n";
+    }
+    for (NodeId u = 0; u < num_nodes(); ++u) {
+        for (NodeId v : adjacency_[u]) {
+            if (v > u) {
+                out << "  n" << u << " -- n" << v << ";\n";
+            }
+        }
+    }
+    out << "}\n";
+    return out.str();
+}
+
+bool LabeledGraph::operator==(const LabeledGraph& other) const {
+    return adjacency_ == other.adjacency_ && labels_ == other.labels_;
+}
+
+LabeledGraph single_node_graph(BitString label) {
+    LabeledGraph g;
+    g.add_node(std::move(label));
+    return g;
+}
+
+} // namespace lph

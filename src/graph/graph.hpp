@@ -1,0 +1,98 @@
+#pragma once
+
+#include "core/bitstring.hpp"
+
+#include <cstddef>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace lph {
+
+/// Index of a node within a LabeledGraph (dense, 0-based).
+using NodeId = std::size_t;
+
+struct InducedSubgraph;
+
+/// A finite, simple, undirected, labeled graph (Section 3 of the paper).
+///
+/// Nodes carry bit-string labels.  The paper additionally requires graphs to
+/// be connected; construction is incremental, so connectivity is checked via
+/// is_connected() / validate() rather than enforced per edge.
+class LabeledGraph {
+public:
+    LabeledGraph() = default;
+
+    /// Adds an isolated node with the given label and returns its id.
+    NodeId add_node(BitString label = "");
+
+    /// Adds the undirected edge {u,v}; self-loops and duplicates are rejected.
+    void add_edge(NodeId u, NodeId v);
+
+    std::size_t num_nodes() const { return adjacency_.size(); }
+    std::size_t num_edges() const { return num_edges_; }
+
+    /// Neighbors of u in ascending NodeId order.
+    const std::vector<NodeId>& neighbors(NodeId u) const;
+
+    std::size_t degree(NodeId u) const { return neighbors(u).size(); }
+
+    bool has_edge(NodeId u, NodeId v) const;
+
+    const BitString& label(NodeId u) const;
+    void set_label(NodeId u, BitString label);
+
+    /// Degree of u plus the length of u's label (Section 9, "structural degree").
+    std::size_t structural_degree(NodeId u) const;
+
+    /// Maximum structural degree over all nodes; 0 for the empty graph.
+    std::size_t max_structural_degree() const;
+
+    /// True when the graph is nonempty and connected.
+    bool is_connected() const;
+
+    /// Throws precondition_error unless the graph is a valid paper graph
+    /// (nonempty, connected, all labels bit strings).
+    void validate() const;
+
+    /// BFS distances from u; -1 for unreachable nodes.
+    std::vector<int> distances_from(NodeId u) const;
+
+    /// Maximum finite distance between any two nodes; requires connectivity.
+    int diameter() const;
+
+    /// Nodes at distance at most r from u, in ascending NodeId order.
+    std::vector<NodeId> ball(NodeId u, int r) const;
+
+    /// Subgraph induced by `nodes` (labels included); `nodes` must be
+    /// distinct and ascending.
+    InducedSubgraph induced(const std::vector<NodeId>& nodes) const;
+
+    /// The r-neighborhood N_r(u) as an induced subgraph (Section 3).
+    InducedSubgraph neighborhood(NodeId u, int r) const;
+
+    /// Graphviz rendering, mainly for the examples.
+    std::string to_dot(const std::string& name = "G") const;
+
+    bool operator==(const LabeledGraph& other) const;
+
+private:
+    void check_node(NodeId u) const;
+
+    std::vector<std::vector<NodeId>> adjacency_;
+    std::vector<BitString> labels_;
+    std::size_t num_edges_ = 0;
+};
+
+/// An induced subgraph together with the mapping back to the host graph.
+struct InducedSubgraph {
+    LabeledGraph graph;
+    std::vector<NodeId> to_original;                  ///< sub id -> original id
+    std::unordered_map<NodeId, NodeId> from_original; ///< original id -> sub id
+};
+
+/// The single-node graph with the given label (the class NODE of the paper,
+/// identifying strings with single-node graphs).
+LabeledGraph single_node_graph(BitString label);
+
+} // namespace lph

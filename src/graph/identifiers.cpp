@@ -1,0 +1,115 @@
+#include "graph/identifiers.hpp"
+
+#include "core/check.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace lph {
+
+bool IdentifierAssignment::is_locally_unique(const LabeledGraph& g, int r_id) const {
+    check(ids_.size() == g.num_nodes(),
+          "IdentifierAssignment: size does not match graph");
+    check(r_id >= 0, "IdentifierAssignment: negative radius");
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+        const auto nearby = g.ball(u, 2 * r_id);
+        for (NodeId v : nearby) {
+            if (v != u && ids_[u] == ids_[v]) {
+                return false;
+            }
+        }
+    }
+    return true;
+}
+
+bool IdentifierAssignment::is_small(const LabeledGraph& g, int r_id) const {
+    if (!is_locally_unique(g, r_id)) {
+        return false;
+    }
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+        const std::size_t ball_size = g.ball(u, 2 * r_id).size();
+        const std::size_t limit =
+            ball_size <= 1 ? 0 : static_cast<std::size_t>(bits_for(ball_size));
+        if (ids_[u].size() > limit) {
+            return false;
+        }
+    }
+    return true;
+}
+
+bool IdentifierAssignment::is_globally_unique() const {
+    std::unordered_set<BitString> seen(ids_.begin(), ids_.end());
+    return seen.size() == ids_.size();
+}
+
+IdentifierAssignment make_small_local_ids(const LabeledGraph& g, int r_id) {
+    check(r_id >= 0, "make_small_local_ids: negative radius");
+    const std::size_t n = g.num_nodes();
+    std::vector<std::uint64_t> values(n, 0);
+    std::vector<bool> assigned(n, false);
+    std::vector<BitString> ids(n);
+    for (NodeId u = 0; u < n; ++u) {
+        const auto nearby = g.ball(u, 2 * r_id);
+        std::vector<std::uint64_t> used;
+        for (NodeId v : nearby) {
+            if (assigned[v]) {
+                used.push_back(values[v]);
+            }
+        }
+        std::sort(used.begin(), used.end());
+        std::uint64_t value = 0;
+        for (std::uint64_t taken : used) {
+            if (taken == value) {
+                ++value;
+            } else if (taken > value) {
+                break;
+            }
+        }
+        values[u] = value;
+        assigned[u] = true;
+        // Width: enough bits for the ball cardinality; 0 bits for a lone node.
+        const std::size_t ball_size = nearby.size();
+        if (ball_size <= 1) {
+            ids[u] = "";
+        } else {
+            ids[u] = encode_unsigned_width(value, bits_for(ball_size));
+        }
+    }
+    return IdentifierAssignment(std::move(ids));
+}
+
+IdentifierAssignment make_global_ids(const LabeledGraph& g) {
+    const std::size_t n = g.num_nodes();
+    const int width = bits_for(n);
+    std::vector<BitString> ids(n);
+    for (NodeId u = 0; u < n; ++u) {
+        ids[u] = encode_unsigned_width(u, width);
+    }
+    return IdentifierAssignment(std::move(ids));
+}
+
+IdentifierAssignment make_cyclic_ids(const LabeledGraph& g, std::size_t period) {
+    check(period > 0, "make_cyclic_ids: period must be positive");
+    const std::size_t n = g.num_nodes();
+    check(n % period == 0, "make_cyclic_ids: cycle length must be a multiple of period");
+    for (NodeId u = 0; u < n; ++u) {
+        check(g.degree(u) == 2 || n <= 2, "make_cyclic_ids: graph is not a cycle");
+    }
+    const int width = bits_for(period);
+    std::vector<BitString> ids(n);
+    // Walk around the cycle so that ids follow the cyclic order, not the
+    // (arbitrary) node numbering.
+    NodeId prev = 0;
+    NodeId current = 0;
+    for (std::size_t step = 0; step < n; ++step) {
+        ids[current] = encode_unsigned_width(step % period, width);
+        const auto& nb = g.neighbors(current);
+        const NodeId next = (nb[0] == prev && nb.size() > 1) ? nb[1] : nb[0];
+        prev = current;
+        current = next;
+    }
+    return IdentifierAssignment(std::move(ids));
+}
+
+} // namespace lph

@@ -1,0 +1,52 @@
+#pragma once
+
+#include "core/bitstring.hpp"
+#include "graph/graph.hpp"
+
+namespace lph {
+
+/// An assignment of bit-string identifiers to the nodes of a graph
+/// (Section 3).  Identifiers are compared lexicographically, which on this
+/// representation is std::string's operator<.
+class IdentifierAssignment {
+public:
+    IdentifierAssignment() = default;
+    explicit IdentifierAssignment(std::vector<BitString> ids) : ids_(std::move(ids)) {}
+
+    const BitString& operator()(NodeId u) const { return ids_.at(u); }
+    const BitString& id(NodeId u) const { return ids_.at(u); }
+    void set(NodeId u, BitString id) { ids_.at(u) = std::move(id); }
+    std::size_t size() const { return ids_.size(); }
+
+    /// True when any two distinct nodes lying in the r_id-neighborhood of a
+    /// common node (equivalently, within distance 2*r_id of each other) have
+    /// distinct identifiers.
+    bool is_locally_unique(const LabeledGraph& g, int r_id) const;
+
+    /// True when the assignment is r_id-locally unique *and* small, i.e.
+    /// len(id(u)) <= ceil(log2 card(N_{2 r_id}(u))) for every node (Section 3).
+    bool is_small(const LabeledGraph& g, int r_id) const;
+
+    /// True when all identifiers are pairwise distinct.
+    bool is_globally_unique() const;
+
+private:
+    std::vector<BitString> ids_;
+};
+
+/// Builds a small r_id-locally unique identifier assignment greedily
+/// (Remark 1): each node receives the least value unused within distance
+/// 2*r_id, encoded with just enough bits for its 2*r_id-ball cardinality.
+IdentifierAssignment make_small_local_ids(const LabeledGraph& g, int r_id);
+
+/// Globally unique identifiers: node u gets the binary encoding of u, padded
+/// to a common width.
+IdentifierAssignment make_global_ids(const LabeledGraph& g);
+
+/// Cyclic identifiers for cycle graphs (proof of Proposition 23): node i gets
+/// (i mod period) encoded in fixed width.  Requires the graph to be a cycle
+/// whose length is a multiple of `period`, so the assignment is
+/// r_id-locally unique whenever period >= 2*r_id + 1.
+IdentifierAssignment make_cyclic_ids(const LabeledGraph& g, std::size_t period);
+
+} // namespace lph

@@ -1,0 +1,108 @@
+#include "graph/isomorphism.hpp"
+
+#include "core/check.hpp"
+
+#include <algorithm>
+
+namespace lph {
+namespace {
+
+/// Backtracking matcher: assigns images for nodes of `a` in order.
+class Matcher {
+public:
+    Matcher(const LabeledGraph& a, const LabeledGraph& b) : a_(a), b_(b) {}
+
+    std::optional<std::vector<NodeId>> run() {
+        const std::size_t n = a_.num_nodes();
+        mapping_.assign(n, 0);
+        used_.assign(n, false);
+        if (extend(0)) {
+            return mapping_;
+        }
+        return std::nullopt;
+    }
+
+private:
+    bool extend(NodeId u) {
+        const std::size_t n = a_.num_nodes();
+        if (u == n) {
+            return true;
+        }
+        for (NodeId image = 0; image < n; ++image) {
+            if (used_[image] || !compatible(u, image)) {
+                continue;
+            }
+            mapping_[u] = image;
+            used_[image] = true;
+            if (extend(u + 1)) {
+                return true;
+            }
+            used_[image] = false;
+        }
+        return false;
+    }
+
+    bool compatible(NodeId u, NodeId image) const {
+        if (a_.degree(u) != b_.degree(image) || a_.label(u) != b_.label(image)) {
+            return false;
+        }
+        // Edges between u and already-mapped nodes must be mirrored exactly.
+        for (NodeId v = 0; v < u; ++v) {
+            if (a_.has_edge(u, v) != b_.has_edge(image, mapping_[v])) {
+                return false;
+            }
+        }
+        return true;
+    }
+
+    const LabeledGraph& a_;
+    const LabeledGraph& b_;
+    std::vector<NodeId> mapping_;
+    std::vector<bool> used_;
+};
+
+} // namespace
+
+std::optional<std::vector<NodeId>> find_isomorphism(const LabeledGraph& a,
+                                                    const LabeledGraph& b) {
+    if (a.num_nodes() != b.num_nodes() || a.num_edges() != b.num_edges()) {
+        return std::nullopt;
+    }
+    // Cheap invariant: multiset of (degree, label) pairs must agree.
+    using Key = std::pair<std::size_t, BitString>;
+    std::vector<Key> ka;
+    std::vector<Key> kb;
+    for (NodeId u = 0; u < a.num_nodes(); ++u) {
+        ka.emplace_back(a.degree(u), a.label(u));
+        kb.emplace_back(b.degree(u), b.label(u));
+    }
+    std::sort(ka.begin(), ka.end());
+    std::sort(kb.begin(), kb.end());
+    if (ka != kb) {
+        return std::nullopt;
+    }
+    return Matcher(a, b).run();
+}
+
+LabeledGraph permute_graph(const LabeledGraph& g, const std::vector<NodeId>& perm) {
+    check(perm.size() == g.num_nodes(), "permute_graph: permutation size mismatch");
+    LabeledGraph h;
+    std::vector<NodeId> inverse(perm.size());
+    for (NodeId u = 0; u < perm.size(); ++u) {
+        check(perm[u] < perm.size(), "permute_graph: index out of range");
+        inverse[perm[u]] = u;
+    }
+    for (NodeId w = 0; w < perm.size(); ++w) {
+        h.add_node(g.label(inverse[w]));
+    }
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+        for (NodeId v : g.neighbors(u)) {
+            if (u < v) {
+                h.add_edge(perm[u], perm[v]);
+            }
+        }
+    }
+    return h;
+}
+
+} // namespace lph

@@ -1,0 +1,28 @@
+#pragma once
+
+#include "graph/graph.hpp"
+
+#include <optional>
+#include <vector>
+
+namespace lph {
+
+/// Searches for a label-preserving graph isomorphism from a to b by
+/// backtracking with degree/label pruning.  Intended for the small instances
+/// used in tests and experiments (graph properties must be closed under
+/// isomorphism, Section 3, so tests verify invariance with this).
+///
+/// Returns the node mapping a -> b, or nullopt when the graphs are not
+/// isomorphic.
+std::optional<std::vector<NodeId>> find_isomorphism(const LabeledGraph& a,
+                                                    const LabeledGraph& b);
+
+inline bool are_isomorphic(const LabeledGraph& a, const LabeledGraph& b) {
+    return find_isomorphism(a, b).has_value();
+}
+
+/// Applies a node permutation to a graph: node u of g becomes node perm[u]
+/// of the result.  Used to test isomorphism invariance of deciders.
+LabeledGraph permute_graph(const LabeledGraph& g, const std::vector<NodeId>& perm);
+
+} // namespace lph

@@ -1,0 +1,103 @@
+#include "graph/polynomial.hpp"
+
+#include <limits>
+#include <sstream>
+
+namespace lph {
+namespace {
+
+constexpr std::uint64_t kSaturated = std::numeric_limits<std::uint64_t>::max();
+
+std::uint64_t saturating_mul(std::uint64_t a, std::uint64_t b) {
+    if (a == 0 || b == 0) {
+        return 0;
+    }
+    if (a > kSaturated / b) {
+        return kSaturated;
+    }
+    return a * b;
+}
+
+std::uint64_t saturating_add(std::uint64_t a, std::uint64_t b) {
+    return (a > kSaturated - b) ? kSaturated : a + b;
+}
+
+} // namespace
+
+Polynomial Polynomial::monomial(std::uint64_t c, unsigned k) {
+    std::vector<std::uint64_t> coefficients(k + 1, 0);
+    coefficients[k] = c;
+    return Polynomial(std::move(coefficients));
+}
+
+std::uint64_t Polynomial::evaluate(std::uint64_t n) const {
+    // Horner's method with saturation.
+    std::uint64_t value = 0;
+    for (auto it = coefficients_.rbegin(); it != coefficients_.rend(); ++it) {
+        value = saturating_add(saturating_mul(value, n), *it);
+    }
+    return value;
+}
+
+unsigned Polynomial::degree() const {
+    for (std::size_t i = coefficients_.size(); i > 0; --i) {
+        if (coefficients_[i - 1] != 0) {
+            return static_cast<unsigned>(i - 1);
+        }
+    }
+    return 0;
+}
+
+bool Polynomial::dominated_by(const Polynomial& other) const {
+    for (std::size_t i = 0; i < coefficients_.size(); ++i) {
+        const std::uint64_t mine = coefficients_[i];
+        const std::uint64_t theirs =
+            i < other.coefficients_.size() ? other.coefficients_[i] : 0;
+        if (mine > theirs) {
+            return false;
+        }
+    }
+    return true;
+}
+
+Polynomial Polynomial::max(const Polynomial& a, const Polynomial& b) {
+    std::vector<std::uint64_t> coefficients(
+        std::max(a.coefficients_.size(), b.coefficients_.size()), 0);
+    for (std::size_t i = 0; i < coefficients.size(); ++i) {
+        const std::uint64_t ca = i < a.coefficients_.size() ? a.coefficients_[i] : 0;
+        const std::uint64_t cb = i < b.coefficients_.size() ? b.coefficients_[i] : 0;
+        coefficients[i] = std::max(ca, cb);
+    }
+    return Polynomial(std::move(coefficients));
+}
+
+std::string Polynomial::to_string() const {
+    std::ostringstream out;
+    bool first = true;
+    for (std::size_t i = coefficients_.size(); i > 0; --i) {
+        const std::uint64_t c = coefficients_[i - 1];
+        if (c == 0 && !(first && i == 1)) {
+            continue;
+        }
+        if (!first) {
+            out << " + ";
+        }
+        first = false;
+        const unsigned k = static_cast<unsigned>(i - 1);
+        if (k == 0) {
+            out << c;
+        } else if (c == 1) {
+            out << "n";
+            if (k > 1) out << "^" << k;
+        } else {
+            out << c << "n";
+            if (k > 1) out << "^" << k;
+        }
+    }
+    if (first) {
+        out << 0;
+    }
+    return out.str();
+}
+
+} // namespace lph

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace lph {
+
+/// A polynomial with nonnegative integer coefficients, used for the step-time
+/// and certificate-size bounds of the paper (p : N -> N).
+///
+/// Evaluation saturates at the maximum uint64 value instead of overflowing,
+/// which is safe because the bounds are only ever compared with <=.
+class Polynomial {
+public:
+    Polynomial() = default;
+
+    /// coefficients[i] is the coefficient of n^i.
+    explicit Polynomial(std::vector<std::uint64_t> coefficients)
+        : coefficients_(std::move(coefficients)) {}
+
+    Polynomial(std::initializer_list<std::uint64_t> coefficients)
+        : coefficients_(coefficients) {}
+
+    /// The constant polynomial c.
+    static Polynomial constant(std::uint64_t c) { return Polynomial({c}); }
+
+    /// The monomial c * n^k.
+    static Polynomial monomial(std::uint64_t c, unsigned k);
+
+    std::uint64_t operator()(std::uint64_t n) const { return evaluate(n); }
+    std::uint64_t evaluate(std::uint64_t n) const;
+
+    /// Degree; 0 for the zero polynomial.
+    unsigned degree() const;
+
+    /// True when this(n) <= other(n) is guaranteed coefficientwise.
+    bool dominated_by(const Polynomial& other) const;
+
+    /// Coefficientwise maximum — a polynomial bounding both arguments.
+    static Polynomial max(const Polynomial& a, const Polynomial& b);
+
+    std::string to_string() const;
+
+private:
+    std::vector<std::uint64_t> coefficients_;
+};
+
+} // namespace lph

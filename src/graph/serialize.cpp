@@ -1,0 +1,87 @@
+#include "graph/serialize.hpp"
+
+#include "core/check.hpp"
+
+#include <sstream>
+
+namespace lph {
+
+void write_graph(std::ostream& out, const LabeledGraph& g) {
+    out << "graph " << g.num_nodes() << "\n";
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+        if (!g.label(u).empty()) {
+            out << "label " << u << " " << g.label(u) << "\n";
+        }
+    }
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+        for (NodeId v : g.neighbors(u)) {
+            if (u < v) {
+                out << "edge " << u << " " << v << "\n";
+            }
+        }
+    }
+}
+
+std::string graph_to_text(const LabeledGraph& g) {
+    std::ostringstream out;
+    write_graph(out, g);
+    return out.str();
+}
+
+LabeledGraph read_graph(std::istream& in) {
+    LabeledGraph g;
+    bool have_header = false;
+    std::string line;
+    std::size_t line_number = 0;
+    while (std::getline(in, line)) {
+        ++line_number;
+        const auto hash = line.find('#');
+        if (hash != std::string::npos) {
+            line.erase(hash);
+        }
+        std::istringstream fields(line);
+        std::string directive;
+        if (!(fields >> directive)) {
+            continue; // blank or comment-only line
+        }
+        const std::string where = " (line " + std::to_string(line_number) + ")";
+        if (directive == "graph") {
+            check(!have_header, "read_graph: duplicate header" + where);
+            std::size_t n = 0;
+            check(static_cast<bool>(fields >> n), "read_graph: bad header" + where);
+            for (std::size_t i = 0; i < n; ++i) {
+                g.add_node();
+            }
+            have_header = true;
+        } else if (directive == "label") {
+            check(have_header, "read_graph: label before header" + where);
+            std::size_t u = 0;
+            std::string bits;
+            check(static_cast<bool>(fields >> u >> bits),
+                  "read_graph: bad label line" + where);
+            check(u < g.num_nodes(), "read_graph: node out of range" + where);
+            check(is_bit_string(bits), "read_graph: label not a bit string" + where);
+            g.set_label(u, bits);
+        } else if (directive == "edge") {
+            check(have_header, "read_graph: edge before header" + where);
+            std::size_t u = 0;
+            std::size_t v = 0;
+            check(static_cast<bool>(fields >> u >> v),
+                  "read_graph: bad edge line" + where);
+            check(u < g.num_nodes() && v < g.num_nodes(),
+                  "read_graph: node out of range" + where);
+            g.add_edge(u, v);
+        } else {
+            check(false, "read_graph: unknown directive '" + directive + "'" + where);
+        }
+    }
+    check(have_header, "read_graph: missing 'graph <n>' header");
+    return g;
+}
+
+LabeledGraph graph_from_text(const std::string& text) {
+    std::istringstream in(text);
+    return read_graph(in);
+}
+
+} // namespace lph

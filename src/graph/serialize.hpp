@@ -1,0 +1,27 @@
+#pragma once
+
+#include "graph/graph.hpp"
+
+#include <iosfwd>
+#include <string>
+
+namespace lph {
+
+/// Plain-text graph format (one directive per line, '#' comments):
+///
+///     graph <n>
+///     label <node> <bits>
+///     edge <u> <v>
+///
+/// Nodes are 0-based; omitted labels default to the empty string.  Round
+/// trips exactly through to_text/from_text.
+std::string graph_to_text(const LabeledGraph& g);
+
+/// Parses the format above; throws precondition_error on malformed input.
+LabeledGraph graph_from_text(const std::string& text);
+
+/// Stream variants.
+void write_graph(std::ostream& out, const LabeledGraph& g);
+LabeledGraph read_graph(std::istream& in);
+
+} // namespace lph

@@ -1,0 +1,179 @@
+#include "graphalg/coloring.hpp"
+
+#include "core/check.hpp"
+
+#include <deque>
+
+namespace lph {
+namespace {
+
+bool extend_coloring(const LabeledGraph& g, int k, Coloring& colors, NodeId u) {
+    if (u == g.num_nodes()) {
+        return true;
+    }
+    for (int c = 0; c < k; ++c) {
+        bool ok = true;
+        for (NodeId v : g.neighbors(u)) {
+            if (v < u && colors[v] == c) {
+                ok = false;
+                break;
+            }
+        }
+        if (!ok) {
+            continue;
+        }
+        colors[u] = c;
+        if (extend_coloring(g, k, colors, u + 1)) {
+            return true;
+        }
+    }
+    colors[u] = -1;
+    return false;
+}
+
+} // namespace
+
+std::optional<Coloring> find_k_coloring(const LabeledGraph& g, int k) {
+    check(k >= 1, "find_k_coloring: k must be positive");
+    Coloring colors(g.num_nodes(), -1);
+    if (extend_coloring(g, k, colors, 0)) {
+        return colors;
+    }
+    return std::nullopt;
+}
+
+bool is_k_colorable(const LabeledGraph& g, int k) {
+    return find_k_coloring(g, k).has_value();
+}
+
+namespace {
+
+/// DSATUR backtracking state: pick the uncolored node with the most
+/// distinctly-colored neighbors (ties: higher degree), try its feasible
+/// colors, never introducing color c+1 before color c has been used.
+class DsaturSearch {
+public:
+    DsaturSearch(const LabeledGraph& g, int k) : g_(g), k_(k) {}
+
+    std::optional<Coloring> run() {
+        colors_.assign(g_.num_nodes(), -1);
+        if (extend(0, 0)) {
+            return colors_;
+        }
+        return std::nullopt;
+    }
+
+private:
+    int saturation(NodeId u) const {
+        bool seen[64] = {};
+        int count = 0;
+        for (NodeId v : g_.neighbors(u)) {
+            const int c = colors_[v];
+            if (c >= 0 && !seen[c]) {
+                seen[c] = true;
+                ++count;
+            }
+        }
+        return count;
+    }
+
+    bool extend(std::size_t assigned, int max_used) {
+        if (assigned == g_.num_nodes()) {
+            return true;
+        }
+        // Most saturated uncolored node.
+        NodeId pick = g_.num_nodes();
+        int best_sat = -1;
+        std::size_t best_deg = 0;
+        for (NodeId u = 0; u < g_.num_nodes(); ++u) {
+            if (colors_[u] >= 0) {
+                continue;
+            }
+            const int sat = saturation(u);
+            if (sat > best_sat ||
+                (sat == best_sat && g_.degree(u) > best_deg)) {
+                best_sat = sat;
+                best_deg = g_.degree(u);
+                pick = u;
+            }
+        }
+        const int limit = std::min(k_ - 1, max_used + 1);
+        for (int c = 0; c <= limit; ++c) {
+            bool feasible = true;
+            for (NodeId v : g_.neighbors(pick)) {
+                if (colors_[v] == c) {
+                    feasible = false;
+                    break;
+                }
+            }
+            if (!feasible) {
+                continue;
+            }
+            colors_[pick] = c;
+            if (extend(assigned + 1, std::max(max_used, c))) {
+                return true;
+            }
+            colors_[pick] = -1;
+        }
+        return false;
+    }
+
+    const LabeledGraph& g_;
+    int k_;
+    Coloring colors_;
+};
+
+} // namespace
+
+std::optional<Coloring> find_k_coloring_dsatur(const LabeledGraph& g, int k) {
+    check(k >= 1 && k <= 64, "find_k_coloring_dsatur: k out of range");
+    auto result = DsaturSearch(g, k).run();
+    if (result.has_value()) {
+        check(verify_coloring(g, *result, k),
+              "find_k_coloring_dsatur: internal error");
+    }
+    return result;
+}
+
+bool is_bipartite(const LabeledGraph& g) {
+    std::vector<int> side(g.num_nodes(), -1);
+    for (NodeId start = 0; start < g.num_nodes(); ++start) {
+        if (side[start] >= 0) {
+            continue;
+        }
+        side[start] = 0;
+        std::deque<NodeId> queue{start};
+        while (!queue.empty()) {
+            const NodeId u = queue.front();
+            queue.pop_front();
+            for (NodeId v : g.neighbors(u)) {
+                if (side[v] < 0) {
+                    side[v] = 1 - side[u];
+                    queue.push_back(v);
+                } else if (side[v] == side[u]) {
+                    return false;
+                }
+            }
+        }
+    }
+    return true;
+}
+
+bool verify_coloring(const LabeledGraph& g, const Coloring& colors, int k) {
+    if (colors.size() != g.num_nodes()) {
+        return false;
+    }
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+        if (colors[u] < 0 || colors[u] >= k) {
+            return false;
+        }
+        for (NodeId v : g.neighbors(u)) {
+            if (colors[u] == colors[v]) {
+                return false;
+            }
+        }
+    }
+    return true;
+}
+
+} // namespace lph

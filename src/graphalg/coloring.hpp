@@ -1,0 +1,34 @@
+#pragma once
+
+#include "graph/graph.hpp"
+
+#include <optional>
+#include <vector>
+
+namespace lph {
+
+/// A proper k-coloring: colors[u] in [0, k) and adjacent nodes differ.
+using Coloring = std::vector<int>;
+
+/// Backtracking search for a proper k-coloring (k >= 1).
+std::optional<Coloring> find_k_coloring(const LabeledGraph& g, int k);
+
+bool is_k_colorable(const LabeledGraph& g, int k);
+
+/// DSATUR-ordered backtracking with canonical-color pruning (a fresh color
+/// may only be introduced in increasing order).  Much faster than the
+/// index-ordered search on structured instances such as the Theorem 20
+/// gadget graphs; same answer.
+std::optional<Coloring> find_k_coloring_dsatur(const LabeledGraph& g, int k);
+
+inline bool is_k_colorable_dsatur(const LabeledGraph& g, int k) {
+    return find_k_coloring_dsatur(g, k).has_value();
+}
+
+/// BFS bipartiteness test — the polynomial special case k = 2.
+bool is_bipartite(const LabeledGraph& g);
+
+/// Verifies a proposed coloring against the graph and color count.
+bool verify_coloring(const LabeledGraph& g, const Coloring& colors, int k);
+
+} // namespace lph

@@ -1,0 +1,74 @@
+#include "graphalg/eulerian.hpp"
+
+#include "core/check.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace lph {
+
+bool is_eulerian(const LabeledGraph& g) {
+    if (!g.is_connected()) {
+        return false;
+    }
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+        if (g.degree(u) % 2 != 0) {
+            return false;
+        }
+    }
+    return true;
+}
+
+std::optional<std::vector<NodeId>> find_eulerian_cycle(const LabeledGraph& g) {
+    if (!is_eulerian(g)) {
+        return std::nullopt;
+    }
+    if (g.num_edges() == 0) {
+        return std::vector<NodeId>{0};
+    }
+    // Hierholzer with per-node cursors over mutable adjacency copies.
+    std::vector<std::vector<NodeId>> adj(g.num_nodes());
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+        adj[u] = g.neighbors(u);
+    }
+    auto remove_edge = [&adj](NodeId u, NodeId v) {
+        adj[u].erase(std::find(adj[u].begin(), adj[u].end(), v));
+        adj[v].erase(std::find(adj[v].begin(), adj[v].end(), u));
+    };
+    std::vector<NodeId> stack{0};
+    std::vector<NodeId> cycle;
+    while (!stack.empty()) {
+        const NodeId u = stack.back();
+        if (adj[u].empty()) {
+            cycle.push_back(u);
+            stack.pop_back();
+        } else {
+            const NodeId v = adj[u].back();
+            remove_edge(u, v);
+            stack.push_back(v);
+        }
+    }
+    std::reverse(cycle.begin(), cycle.end());
+    return cycle;
+}
+
+bool verify_eulerian_cycle(const LabeledGraph& g, const std::vector<NodeId>& cycle) {
+    if (g.num_edges() == 0) {
+        return cycle.size() == 1;
+    }
+    if (cycle.size() != g.num_edges() + 1 || cycle.front() != cycle.back()) {
+        return false;
+    }
+    std::set<std::pair<NodeId, NodeId>> used;
+    for (std::size_t i = 0; i + 1 < cycle.size(); ++i) {
+        const NodeId u = std::min(cycle[i], cycle[i + 1]);
+        const NodeId v = std::max(cycle[i], cycle[i + 1]);
+        if (!g.has_edge(u, v) || !used.emplace(u, v).second) {
+            return false;
+        }
+    }
+    return used.size() == g.num_edges();
+}
+
+} // namespace lph

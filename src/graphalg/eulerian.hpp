@@ -1,0 +1,22 @@
+#pragma once
+
+#include "graph/graph.hpp"
+
+#include <optional>
+#include <vector>
+
+namespace lph {
+
+/// Euler's theorem (used in Proposition 15): a connected graph is Eulerian
+/// iff every node has even degree.
+bool is_eulerian(const LabeledGraph& g);
+
+/// Extracts an Eulerian cycle with Hierholzer's algorithm, as the sequence of
+/// visited nodes (first == last); nullopt when the graph is not Eulerian.
+/// Cross-checks the degree characterization in tests.
+std::optional<std::vector<NodeId>> find_eulerian_cycle(const LabeledGraph& g);
+
+/// Verifies that `cycle` is a closed walk using every edge exactly once.
+bool verify_eulerian_cycle(const LabeledGraph& g, const std::vector<NodeId>& cycle);
+
+} // namespace lph

@@ -1,0 +1,94 @@
+#include "graphalg/hamiltonian.hpp"
+
+#include <algorithm>
+
+namespace lph {
+namespace {
+
+class CycleSearch {
+public:
+    explicit CycleSearch(const LabeledGraph& g) : g_(g) {}
+
+    std::optional<std::vector<NodeId>> run() {
+        const std::size_t n = g_.num_nodes();
+        if (n == 1) {
+            // A single node trivially fails: a cycle needs at least 3 nodes
+            // in a simple graph.
+            return std::nullopt;
+        }
+        if (n == 2) {
+            return std::nullopt;
+        }
+        // Quick necessary condition: minimum degree 2.
+        for (NodeId u = 0; u < n; ++u) {
+            if (g_.degree(u) < 2) {
+                return std::nullopt;
+            }
+        }
+        path_.push_back(0);
+        used_.assign(n, false);
+        used_[0] = true;
+        if (extend()) {
+            return path_;
+        }
+        return std::nullopt;
+    }
+
+private:
+    bool extend() {
+        if (path_.size() == g_.num_nodes()) {
+            return g_.has_edge(path_.back(), path_.front());
+        }
+        const NodeId u = path_.back();
+        for (NodeId v : g_.neighbors(u)) {
+            if (used_[v]) {
+                continue;
+            }
+            used_[v] = true;
+            path_.push_back(v);
+            if (extend()) {
+                return true;
+            }
+            path_.pop_back();
+            used_[v] = false;
+        }
+        return false;
+    }
+
+    const LabeledGraph& g_;
+    std::vector<NodeId> path_;
+    std::vector<bool> used_;
+};
+
+} // namespace
+
+std::optional<std::vector<NodeId>> find_hamiltonian_cycle(const LabeledGraph& g) {
+    return CycleSearch(g).run();
+}
+
+bool is_hamiltonian(const LabeledGraph& g) {
+    return find_hamiltonian_cycle(g).has_value();
+}
+
+bool verify_hamiltonian_cycle(const LabeledGraph& g,
+                              const std::vector<NodeId>& cycle) {
+    const std::size_t n = g.num_nodes();
+    if (n < 3 || cycle.size() != n) {
+        return false;
+    }
+    std::vector<bool> seen(n, false);
+    for (NodeId u : cycle) {
+        if (u >= n || seen[u]) {
+            return false;
+        }
+        seen[u] = true;
+    }
+    for (std::size_t i = 0; i + 1 < cycle.size(); ++i) {
+        if (!g.has_edge(cycle[i], cycle[i + 1])) {
+            return false;
+        }
+    }
+    return g.has_edge(cycle.back(), cycle.front());
+}
+
+} // namespace lph

@@ -1,0 +1,21 @@
+#pragma once
+
+#include "graph/graph.hpp"
+
+#include <optional>
+#include <vector>
+
+namespace lph {
+
+/// Searches for a Hamiltonian cycle by backtracking with degree pruning.
+/// Returns the cycle as a node sequence of length n (each node once; the
+/// closing edge back to the first node is implicit), or nullopt.
+std::optional<std::vector<NodeId>> find_hamiltonian_cycle(const LabeledGraph& g);
+
+bool is_hamiltonian(const LabeledGraph& g);
+
+/// Verifies a proposed Hamiltonian cycle (n distinct nodes, consecutive ones
+/// adjacent, last adjacent to first).
+bool verify_hamiltonian_cycle(const LabeledGraph& g, const std::vector<NodeId>& cycle);
+
+} // namespace lph

@@ -1,0 +1,80 @@
+#include "graphalg/spanning.hpp"
+
+#include "core/check.hpp"
+
+#include <deque>
+
+namespace lph {
+
+SpanningTree bfs_spanning_tree(const LabeledGraph& g, NodeId root) {
+    check(g.is_connected(), "bfs_spanning_tree: graph must be connected");
+    SpanningTree tree;
+    tree.root = root;
+    tree.parent.assign(g.num_nodes(), g.num_nodes());
+    tree.parent[root] = root;
+    std::deque<NodeId> queue{root};
+    while (!queue.empty()) {
+        const NodeId u = queue.front();
+        queue.pop_front();
+        for (NodeId v : g.neighbors(u)) {
+            if (tree.parent[v] == g.num_nodes()) {
+                tree.parent[v] = u;
+                queue.push_back(v);
+            }
+        }
+    }
+    return tree;
+}
+
+namespace {
+
+void tour_visit(const LabeledGraph& g, const SpanningTree& tree, NodeId u,
+                std::vector<NodeId>& walk) {
+    walk.push_back(u);
+    for (NodeId v : g.neighbors(u)) {
+        if (tree.parent[v] == u && v != tree.root) {
+            tour_visit(g, tree, v, walk);
+            walk.push_back(u);
+        }
+    }
+}
+
+} // namespace
+
+std::vector<NodeId> euler_tour(const LabeledGraph& g, const SpanningTree& tree) {
+    std::vector<NodeId> walk;
+    tour_visit(g, tree, tree.root, walk);
+    return walk;
+}
+
+bool verify_spanning_tree(const LabeledGraph& g, const SpanningTree& tree) {
+    if (tree.parent.size() != g.num_nodes() || tree.root >= g.num_nodes() ||
+        tree.parent[tree.root] != tree.root) {
+        return false;
+    }
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+        if (u == tree.root) {
+            continue;
+        }
+        if (tree.parent[u] >= g.num_nodes() || !g.has_edge(u, tree.parent[u])) {
+            return false;
+        }
+        // Walk to the root, guarding against cycles.
+        NodeId v = u;
+        for (std::size_t hops = 0; hops <= g.num_nodes(); ++hops) {
+            if (v == tree.root) {
+                break;
+            }
+            v = tree.parent[v];
+            if (hops == g.num_nodes()) {
+                return false;
+            }
+        }
+        if (v != tree.root) {
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace lph

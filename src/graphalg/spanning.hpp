@@ -1,0 +1,32 @@
+#pragma once
+
+#include "graph/graph.hpp"
+
+#include <vector>
+
+namespace lph {
+
+/// A rooted spanning tree as a parent array (parent[root] == root).
+struct SpanningTree {
+    NodeId root = 0;
+    std::vector<NodeId> parent;
+
+    bool is_tree_edge(NodeId u, NodeId v) const {
+        return parent[u] == v || parent[v] == u;
+    }
+};
+
+/// BFS spanning tree rooted at `root`.
+SpanningTree bfs_spanning_tree(const LabeledGraph& g, NodeId root);
+
+/// The Euler tour of a spanning tree (used by Proposition 16's reduction):
+/// a closed walk traversing every tree edge exactly twice, given as the node
+/// sequence of a depth-first traversal (first == last); a single node yields
+/// {root}.
+std::vector<NodeId> euler_tour(const LabeledGraph& g, const SpanningTree& tree);
+
+/// Verifies that `tree` spans g (every parent edge exists, all nodes reach
+/// the root).
+bool verify_spanning_tree(const LabeledGraph& g, const SpanningTree& tree);
+
+} // namespace lph

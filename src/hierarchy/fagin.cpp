@@ -1,0 +1,193 @@
+#include "hierarchy/fagin.hpp"
+
+#include "core/check.hpp"
+#include "dtm/local.hpp"
+
+#include <functional>
+
+namespace lph {
+
+std::vector<ElementTuple> local_tuple_universe(const GraphStructure& gs,
+                                               std::size_t arity, int radius,
+                                               bool node_elements_only) {
+    const LabeledGraph& g = gs.graph();
+    std::vector<ElementTuple> universe;
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+        // Candidate elements: those owned by nodes within `radius` of u.
+        std::vector<Element> nearby;
+        for (NodeId v : g.ball(u, radius)) {
+            nearby.push_back(gs.node_element(v));
+            if (!node_elements_only) {
+                for (std::size_t i = 1; i <= g.label(v).size(); ++i) {
+                    nearby.push_back(gs.bit_element(v, i));
+                }
+            }
+        }
+        // First elements owned by u.
+        std::vector<Element> firsts{gs.node_element(u)};
+        if (!node_elements_only) {
+            for (std::size_t i = 1; i <= g.label(u).size(); ++i) {
+                firsts.push_back(gs.bit_element(u, i));
+            }
+        }
+        for (Element first : firsts) {
+            if (arity == 1) {
+                universe.push_back({first});
+                continue;
+            }
+            std::vector<std::size_t> idx(arity - 1, 0);
+            while (true) {
+                ElementTuple tuple{first};
+                for (std::size_t i = 0; i + 1 < arity; ++i) {
+                    tuple.push_back(nearby[idx[i]]);
+                }
+                universe.push_back(std::move(tuple));
+                std::size_t pos = 0;
+                while (pos < idx.size()) {
+                    if (++idx[pos] < nearby.size()) {
+                        break;
+                    }
+                    idx[pos] = 0;
+                    ++pos;
+                }
+                if (pos == idx.size()) {
+                    break;
+                }
+            }
+        }
+    }
+    return universe;
+}
+
+namespace {
+
+/// Recursively quantifies the sentence's relation variables over subset
+/// enumeration of their universes, calling `leaf` with the complete
+/// assignment.  Variables are processed one at a time; polarity follows the
+/// block structure.
+class RelationGame {
+public:
+    using Leaf = std::function<bool(const std::map<std::string, RelationValue>&)>;
+
+    RelationGame(const PrefixSentence& prefix, const GraphStructure& gs,
+                 const FaginOptions& options)
+        : prefix_(prefix), options_(options) {
+        const int radius = options.locality_radius > 0 ? options.locality_radius
+                                                       : 2 * prefix.radius;
+        for (const SOBlock& block : prefix.blocks) {
+            for (const SOVariable& var : block.variables) {
+                flat_vars_.push_back(var);
+                universes_.push_back(local_tuple_universe(
+                    gs, var.arity, radius, options.node_elements_only));
+                check(universes_.back().size() <= options.max_tuples_per_variable,
+                      "fagin: tuple universe for " + var.name + " has " +
+                          std::to_string(universes_.back().size()) +
+                          " tuples; shrink the instance");
+            }
+        }
+    }
+
+    bool play(const Leaf& leaf, std::uint64_t& leaves) {
+        std::map<std::string, RelationValue> assignment;
+        return quantify(0, assignment, leaf, leaves);
+    }
+
+private:
+    bool quantify(std::size_t index,
+                  std::map<std::string, RelationValue>& assignment, const Leaf& leaf,
+                  std::uint64_t& leaves) {
+        if (index == flat_vars_.size()) {
+            ++leaves;
+            return leaf(assignment);
+        }
+        const SOVariable& var = flat_vars_[index];
+        const auto& universe = universes_[index];
+        const bool want = var.existential;
+        const std::uint64_t count = std::uint64_t{1} << universe.size();
+        for (std::uint64_t mask = 0; mask < count; ++mask) {
+            RelationValue value(var.arity);
+            for (std::size_t i = 0; i < universe.size(); ++i) {
+                if ((mask >> i) & 1) {
+                    value.insert(universe[i]);
+                }
+            }
+            assignment.insert_or_assign(var.name, std::move(value));
+            const bool inner = quantify(index + 1, assignment, leaf, leaves);
+            assignment.erase(var.name);
+            if (inner == want) {
+                return want;
+            }
+        }
+        return !want;
+    }
+
+    const PrefixSentence& prefix_;
+    const FaginOptions& options_;
+    std::vector<SOVariable> flat_vars_;
+    std::vector<std::vector<ElementTuple>> universes_;
+};
+
+} // namespace
+
+FaginReport check_fagin_agreement(const Formula& sentence, const LabeledGraph& g,
+                                  const IdentifierAssignment& id,
+                                  const FaginOptions& options) {
+    const PrefixSentence prefix = decompose_prefix_sentence(sentence);
+    const GraphStructure gs(g);
+    RelationGame game(prefix, gs, options);
+
+    FaginReport report;
+
+    // Logic side: evaluate the matrix "forall x. psi" directly.
+    const Formula matrix = fl::forall(prefix.matrix_var, prefix.matrix_body);
+    report.formula_value = game.play(
+        [&](const std::map<std::string, RelationValue>& relations) {
+            Assignment sigma;
+            sigma.so = relations;
+            return evaluate(gs.structure(), matrix, sigma);
+        },
+        report.formula_leaves);
+
+    if (!options.run_machine_side) {
+        report.machine_value = report.formula_value;
+        report.agree = true;
+        return report;
+    }
+
+    // Machine side: slice relations into per-layer certificates and run the
+    // generic arbiter of Theorem 12.
+    const FormulaArbiter arbiter(sentence);
+    report.machine_value = game.play(
+        [&](const std::map<std::string, RelationValue>& relations) {
+            std::vector<CertificateAssignment> layers;
+            for (const SOBlock& block : prefix.blocks) {
+                layers.push_back(slice_relations_to_certificates(
+                    gs, id, block.variables, relations));
+            }
+            const auto list =
+                CertificateListAssignment::concatenate(layers, g.num_nodes());
+            return run_local(arbiter, g, id, list, options.exec).accepted;
+        },
+        report.machine_leaves);
+
+    report.agree = report.formula_value == report.machine_value;
+    return report;
+}
+
+bool eval_sentence_on_graph(const Formula& sentence, const LabeledGraph& g,
+                            const FaginOptions& options) {
+    const PrefixSentence prefix = decompose_prefix_sentence(sentence);
+    const GraphStructure gs(g);
+    RelationGame game(prefix, gs, options);
+    const Formula matrix = fl::forall(prefix.matrix_var, prefix.matrix_body);
+    std::uint64_t leaves = 0;
+    return game.play(
+        [&](const std::map<std::string, RelationValue>& relations) {
+            Assignment sigma;
+            sigma.so = relations;
+            return evaluate(gs.structure(), matrix, sigma);
+        },
+        leaves);
+}
+
+} // namespace lph

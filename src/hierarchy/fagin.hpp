@@ -1,0 +1,65 @@
+#pragma once
+
+#include "dtm/execution.hpp"
+#include "graph/identifiers.hpp"
+#include "logic/eval.hpp"
+#include "logic/formula.hpp"
+#include "machines/formula_arbiter.hpp"
+
+#include <cstdint>
+
+namespace lph {
+
+/// Options for checking Theorem 12 agreement on a bounded instance.
+struct FaginOptions {
+    /// Tuple locality: relation tuples keep all elements within this graph
+    /// distance of the first element's owner (0 means "use the sentence's
+    /// own radius times two", the Theorem 12 restriction).
+    int locality_radius = 0;
+
+    /// When true, relations range over node elements only.  Exact for
+    /// sentences whose relation atoms are all guarded by IsNode — true of
+    /// every Section 5.2 formula — and shrinks the search space massively.
+    bool node_elements_only = true;
+
+    /// Guard: a relation variable whose tuple universe exceeds this many
+    /// tuples aborts (the enumeration is 2^universe).
+    std::size_t max_tuples_per_variable = 22;
+
+    /// Run the machine side as well (formula side alone is much cheaper).
+    bool run_machine_side = true;
+
+    ExecutionOptions exec;
+};
+
+/// Outcome of the two-sided evaluation of one sentence on one instance.
+struct FaginReport {
+    bool formula_value = false;   ///< game value with matrix evaluation leaves
+    bool machine_value = false;   ///< game value with FormulaArbiter leaves
+    bool agree = true;            ///< formula_value == machine_value (or machine skipped)
+    std::uint64_t formula_leaves = 0;
+    std::uint64_t machine_leaves = 0;
+};
+
+/// Evaluates a Sigma_l/Pi_l^LFO sentence on a graph by playing the
+/// second-order quantifier game over a shared local tuple universe, twice:
+/// once evaluating the LFO matrix directly (the logic side of Theorem 12),
+/// and once handing sliced relation certificates to the generic
+/// FormulaArbiter machine (the machine side).  Agreement of the two values
+/// is the empirical content of Theorem 12 on this instance.
+FaginReport check_fagin_agreement(const Formula& sentence, const LabeledGraph& g,
+                                  const IdentifierAssignment& id,
+                                  const FaginOptions& options = {});
+
+/// Just the formula value (logic side), using the same structured
+/// enumeration; usable as a reference decision procedure for any Section 5.2
+/// sentence on small graphs.
+bool eval_sentence_on_graph(const Formula& sentence, const LabeledGraph& g,
+                            const FaginOptions& options = {});
+
+/// The tuple universe used for one relation variable of the sentence.
+std::vector<ElementTuple> local_tuple_universe(const GraphStructure& gs,
+                                               std::size_t arity, int radius,
+                                               bool node_elements_only);
+
+} // namespace lph

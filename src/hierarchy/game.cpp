@@ -1,0 +1,159 @@
+#include "hierarchy/game.hpp"
+
+#include "core/check.hpp"
+
+#include <limits>
+
+namespace lph {
+
+RawBitStringDomain::RawBitStringDomain(std::size_t max_length) {
+    check(max_length <= 16, "RawBitStringDomain: keep max_length tiny");
+    options_.push_back("");
+    for (std::size_t len = 1; len <= max_length; ++len) {
+        const std::uint64_t count = std::uint64_t{1} << len;
+        for (std::uint64_t value = 0; value < count; ++value) {
+            options_.push_back(encode_unsigned_width(value, static_cast<int>(len)));
+        }
+    }
+}
+
+namespace {
+
+constexpr std::uint64_t kSaturated = std::numeric_limits<std::uint64_t>::max();
+
+std::uint64_t saturating_mul(std::uint64_t a, std::uint64_t b) {
+    if (a == 0 || b == 0) {
+        return 0;
+    }
+    return a > kSaturated / b ? kSaturated : a * b;
+}
+
+/// Per-layer option table: options[u] for every node.
+using OptionTable = std::vector<std::vector<BitString>>;
+
+OptionTable build_options(const CertificateDomain& domain, const LabeledGraph& g,
+                          const IdentifierAssignment& id) {
+    OptionTable table(g.num_nodes());
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+        table[u] = domain.options(g, id, u);
+        check(!table[u].empty(), "play_game: a certificate domain is empty");
+    }
+    return table;
+}
+
+std::uint64_t table_product(const OptionTable& table) {
+    std::uint64_t product = 1;
+    for (const auto& options : table) {
+        product = saturating_mul(product, options.size());
+    }
+    return product;
+}
+
+class GameSolver {
+public:
+    GameSolver(const GameSpec& spec, const LabeledGraph& g,
+               const IdentifierAssignment& id, const GameOptions& options)
+        : spec_(spec), g_(g), id_(id), options_(options) {
+        for (const CertificateDomain* domain : spec.layers) {
+            tables_.push_back(build_options(*domain, g, id));
+            check(table_product(tables_.back()) <= options.max_assignments_per_layer,
+                  "play_game: layer assignment space exceeds the guard");
+        }
+    }
+
+    GameResult run() {
+        GameResult result;
+        std::vector<CertificateAssignment> chosen;
+        result.accepted = value(0, chosen, result);
+        return result;
+    }
+
+private:
+    bool existential(std::size_t layer) const {
+        return spec_.starts_existential ? layer % 2 == 0 : layer % 2 == 1;
+    }
+
+    bool value(std::size_t layer, std::vector<CertificateAssignment>& chosen,
+               GameResult& result) {
+        if (layer == spec_.layers.size()) {
+            const auto list =
+                CertificateListAssignment::concatenate(chosen, g_.num_nodes());
+            const ExecutionResult exec =
+                run_local(*spec_.machine, g_, id_, list, options_.exec);
+            ++result.machine_runs;
+            return exec.accepted;
+        }
+        const bool want = existential(layer);
+        const OptionTable& table = tables_[layer];
+        std::vector<std::size_t> idx(g_.num_nodes(), 0);
+        while (true) {
+            std::vector<BitString> certs(g_.num_nodes());
+            for (NodeId u = 0; u < g_.num_nodes(); ++u) {
+                certs[u] = table[u][idx[u]];
+            }
+            chosen.emplace_back(std::move(certs));
+            const bool inner = value(layer + 1, chosen, result);
+            if (inner == want && layer == 0 && spec_.layers.size() == 1 && want) {
+                result.witness = chosen.back();
+            }
+            chosen.pop_back();
+            if (inner == want) {
+                return want;
+            }
+            // Odometer increment.
+            std::size_t pos = 0;
+            while (pos < idx.size()) {
+                if (++idx[pos] < table[pos].size()) {
+                    break;
+                }
+                idx[pos] = 0;
+                ++pos;
+            }
+            if (pos == idx.size()) {
+                return !want;
+            }
+        }
+    }
+
+    const GameSpec& spec_;
+    const LabeledGraph& g_;
+    const IdentifierAssignment& id_;
+    const GameOptions& options_;
+    std::vector<OptionTable> tables_;
+};
+
+} // namespace
+
+GameResult play_game(const GameSpec& spec, const LabeledGraph& g,
+                     const IdentifierAssignment& id, const GameOptions& options) {
+    check(spec.machine != nullptr, "play_game: no machine");
+    GameSolver solver(spec, g, id, options);
+    return solver.run();
+}
+
+std::optional<CertificateAssignment>
+find_accepting_certificate(const LocalMachine& verifier,
+                           const CertificateDomain& domain, const LabeledGraph& g,
+                           const IdentifierAssignment& id,
+                           const GameOptions& options) {
+    GameSpec spec;
+    spec.machine = &verifier;
+    spec.layers = {&domain};
+    spec.starts_existential = true;
+    GameResult result = play_game(spec, g, id, options);
+    if (!result.accepted) {
+        return std::nullopt;
+    }
+    return result.witness;
+}
+
+std::uint64_t game_tree_size(const GameSpec& spec, const LabeledGraph& g,
+                             const IdentifierAssignment& id) {
+    std::uint64_t total = 1;
+    for (const CertificateDomain* domain : spec.layers) {
+        total = saturating_mul(total, table_product(build_options(*domain, g, id)));
+    }
+    return total;
+}
+
+} // namespace lph

@@ -1,0 +1,91 @@
+#pragma once
+
+#include "dtm/local.hpp"
+
+#include <memory>
+#include <optional>
+
+namespace lph {
+
+/// A per-node enumerable space of certificates for one quantifier layer.
+///
+/// The paper quantifies over all (r,p)-bounded bit strings; the game engine
+/// instead enumerates *structured* domains — exactly the certificate shapes
+/// the paper's proofs use (a color, a parent pointer, a relation slice...) —
+/// as recorded in DESIGN.md (substitution 2).  RawBitStringDomain recovers
+/// the unstructured case for small p.
+class CertificateDomain {
+public:
+    virtual ~CertificateDomain() = default;
+    virtual std::vector<BitString> options(const LabeledGraph& g,
+                                           const IdentifierAssignment& id,
+                                           NodeId u) const = 0;
+};
+
+/// The same fixed option list at every node (e.g. the k colors).
+class FixedOptionsDomain : public CertificateDomain {
+public:
+    explicit FixedOptionsDomain(std::vector<BitString> options)
+        : options_(std::move(options)) {}
+    std::vector<BitString> options(const LabeledGraph&, const IdentifierAssignment&,
+                                   NodeId) const override {
+        return options_;
+    }
+
+private:
+    std::vector<BitString> options_;
+};
+
+/// Every bit string of length <= max_length — the paper's raw certificate
+/// space for a constant bound (2^(L+1)-1 options; keep L tiny).
+class RawBitStringDomain : public CertificateDomain {
+public:
+    explicit RawBitStringDomain(std::size_t max_length);
+    std::vector<BitString> options(const LabeledGraph&, const IdentifierAssignment&,
+                                   NodeId) const override {
+        return options_;
+    }
+
+private:
+    std::vector<BitString> options_;
+};
+
+/// The alternation game of Section 4: layers of certificate assignments
+/// chosen alternately by Eve (existential) and Adam (universal), arbitrated
+/// by a local machine.
+struct GameSpec {
+    const LocalMachine* machine = nullptr;
+    std::vector<const CertificateDomain*> layers;
+    /// True for Sigma-side games (Eve moves first), false for Pi-side.
+    bool starts_existential = true;
+};
+
+struct GameOptions {
+    /// Guard on the product of per-node option counts for one layer.
+    std::uint64_t max_assignments_per_layer = 50'000'000;
+    ExecutionOptions exec;
+};
+
+struct GameResult {
+    bool accepted = false;           ///< Eve has a winning strategy
+    std::uint64_t machine_runs = 0;  ///< leaves actually evaluated
+    /// For a winning Sigma_1 game: Eve's witness certificate assignment.
+    std::optional<CertificateAssignment> witness;
+};
+
+/// Solves the game exactly by enumeration with early exit.
+GameResult play_game(const GameSpec& spec, const LabeledGraph& g,
+                     const IdentifierAssignment& id, const GameOptions& options = {});
+
+/// Convenience for NLP (Sigma_1): searches for a certificate assignment the
+/// verifier accepts.
+std::optional<CertificateAssignment>
+find_accepting_certificate(const LocalMachine& verifier, const CertificateDomain& domain,
+                           const LabeledGraph& g, const IdentifierAssignment& id,
+                           const GameOptions& options = {});
+
+/// Number of leaf evaluations an exhaustive game would need (saturating).
+std::uint64_t game_tree_size(const GameSpec& spec, const LabeledGraph& g,
+                             const IdentifierAssignment& id);
+
+} // namespace lph

@@ -1,0 +1,293 @@
+#include "hierarchy/hamiltonian_game.hpp"
+
+#include "core/check.hpp"
+
+#include <algorithm>
+#include <deque>
+
+namespace lph {
+
+EdgeSet edge_set_from_cycle(const std::vector<NodeId>& cycle) {
+    EdgeSet h;
+    check(cycle.size() >= 3, "edge_set_from_cycle: need at least three nodes");
+    for (std::size_t i = 0; i < cycle.size(); ++i) {
+        const NodeId a = cycle[i];
+        const NodeId b = cycle[(i + 1) % cycle.size()];
+        h.emplace(std::min(a, b), std::max(a, b));
+    }
+    return h;
+}
+
+namespace {
+
+std::vector<std::size_t> h_degrees(const LabeledGraph& g, const EdgeSet& h) {
+    std::vector<std::size_t> degree(g.num_nodes(), 0);
+    for (const auto& [a, b] : h) {
+        ++degree[a];
+        ++degree[b];
+    }
+    return degree;
+}
+
+std::vector<std::vector<NodeId>> adjacency_of(const LabeledGraph& g,
+                                              const EdgeSet& h) {
+    std::vector<std::vector<NodeId>> adj(g.num_nodes());
+    for (const auto& [a, b] : h) {
+        adj[a].push_back(b);
+        adj[b].push_back(a);
+    }
+    return adj;
+}
+
+} // namespace
+
+bool all_degree_two(const LabeledGraph& g, const EdgeSet& h) {
+    const auto degree = h_degrees(g, h);
+    return std::all_of(degree.begin(), degree.end(),
+                       [](std::size_t d) { return d == 2; });
+}
+
+std::vector<std::vector<NodeId>> h_components(const LabeledGraph& g,
+                                              const EdgeSet& h) {
+    const auto adj = adjacency_of(g, h);
+    std::vector<int> component(g.num_nodes(), -1);
+    std::vector<std::vector<NodeId>> components;
+    for (NodeId start = 0; start < g.num_nodes(); ++start) {
+        if (component[start] >= 0) {
+            continue;
+        }
+        const int index = static_cast<int>(components.size());
+        components.emplace_back();
+        std::deque<NodeId> queue{start};
+        component[start] = index;
+        while (!queue.empty()) {
+            const NodeId u = queue.front();
+            queue.pop_front();
+            components.back().push_back(u);
+            for (NodeId v : adj[u]) {
+                if (component[v] < 0) {
+                    component[v] = index;
+                    queue.push_back(v);
+                }
+            }
+        }
+    }
+    return components;
+}
+
+bool has_discontinuity(const EdgeSet& h, const std::vector<bool>& s) {
+    for (const auto& [a, b] : h) {
+        if (s[a] != s[b]) {
+            return true;
+        }
+    }
+    return false;
+}
+
+bool eve_answers_s(const LabeledGraph& g, const EdgeSet& h,
+                   const std::vector<bool>& s) {
+    check(all_degree_two(g, h), "eve_answers_s: H must be 2-regular");
+    const std::size_t n = g.num_nodes();
+    const bool all_in = std::all_of(s.begin(), s.end(), [](bool b) { return b; });
+    const bool all_out = std::none_of(s.begin(), s.end(), [](bool b) { return b; });
+    if (all_in || all_out) {
+        // Trivial case: C = 0 everywhere; every node sees agreement on S.
+        return true;
+    }
+    // Partitioned case: C = 1 everywhere; Eve needs a forest toward a
+    // discontinuity (an H-edge crossing S), then wins the charge game.
+    const auto adj = adjacency_of(g, h);
+    const NodePredicate discontinuity = [&](const LabeledGraph&, NodeId u) {
+        for (NodeId v : adj[u]) {
+            if (s[u] != s[v]) {
+                return true;
+            }
+        }
+        return false;
+    };
+    (void)n;
+    const auto parents = constructive_parents(g, discontinuity);
+    if (!parents.has_value()) {
+        return false; // no discontinuity anywhere: Adam exposed a component
+    }
+    return parents_beat_every_adam_move(g, *parents, discontinuity);
+}
+
+bool adam_beats_disconnected(const LabeledGraph& g, const EdgeSet& h) {
+    check(all_degree_two(g, h), "adam_beats_disconnected: H must be 2-regular");
+    const auto components = h_components(g, h);
+    check(components.size() >= 2, "adam_beats_disconnected: H is connected");
+    // Adam's move: S = the first component.
+    std::vector<bool> s(g.num_nodes(), false);
+    for (NodeId u : components[0]) {
+        s[u] = true;
+    }
+    // Eve's option C = 0 (uniform): requires S trivial — it is not.
+    const bool s_trivial = components[0].size() == g.num_nodes();
+    if (s_trivial) {
+        return false;
+    }
+    // Eve's option C = 1 (uniform): requires a discontinuity — there is
+    // none, because S is a union of H-components.
+    if (has_discontinuity(h, s)) {
+        return false;
+    }
+    // Non-uniform C fails InAgreementOn[C] at some edge of the (connected)
+    // input graph, so Eve has no further options.
+    return true;
+}
+
+std::vector<EdgeSet> all_two_factors(const LabeledGraph& g, std::uint64_t guard) {
+    // Backtracking over the edge list with degree bounds.
+    std::vector<std::pair<NodeId, NodeId>> edges;
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+        for (NodeId v : g.neighbors(u)) {
+            if (u < v) {
+                edges.emplace_back(u, v);
+            }
+        }
+    }
+    std::vector<EdgeSet> factors;
+    std::vector<std::size_t> degree(g.num_nodes(), 0);
+    std::vector<std::size_t> remaining(g.num_nodes(), 0);
+    for (const auto& [a, b] : edges) {
+        ++remaining[a];
+        ++remaining[b];
+    }
+    EdgeSet current;
+    std::uint64_t visited = 0;
+
+    std::function<void(std::size_t)> recurse = [&](std::size_t index) {
+        check(++visited <= guard, "all_two_factors: search guard exceeded");
+        if (index == edges.size()) {
+            if (std::all_of(degree.begin(), degree.end(),
+                            [](std::size_t d) { return d == 2; })) {
+                factors.push_back(current);
+            }
+            return;
+        }
+        const auto [a, b] = edges[index];
+        --remaining[a];
+        --remaining[b];
+        // Option 1: skip the edge, if both endpoints can still reach 2.
+        if (degree[a] + remaining[a] >= 2 && degree[b] + remaining[b] >= 2) {
+            recurse(index + 1);
+        }
+        // Option 2: take the edge, if neither endpoint exceeds 2.
+        if (degree[a] < 2 && degree[b] < 2) {
+            ++degree[a];
+            ++degree[b];
+            current.emplace(a, b);
+            recurse(index + 1);
+            current.erase({a, b});
+            --degree[a];
+            --degree[b];
+        }
+        ++remaining[a];
+        ++remaining[b];
+    };
+    recurse(0);
+    return factors;
+}
+
+HamiltonianGameResult hamiltonian_game(const LabeledGraph& g,
+                                       std::uint64_t max_two_factors) {
+    HamiltonianGameResult result;
+    check(g.num_nodes() <= 16, "hamiltonian_game: graph too large");
+    const auto factors = all_two_factors(g, max_two_factors);
+    const std::uint64_t adam_moves = std::uint64_t{1} << g.num_nodes();
+    for (const EdgeSet& h : factors) {
+        ++result.two_factors_tried;
+        const auto components = h_components(g, h);
+        if (components.size() >= 2) {
+            // Eve's claim is false here; confirm Adam's winning move exists.
+            check(adam_beats_disconnected(g, h),
+                  "hamiltonian_game: Adam must beat a disconnected 2-factor");
+            continue;
+        }
+        // A connected 2-factor is a Hamiltonian cycle; Eve must beat every
+        // Adam move — replay them all.
+        bool beats_all = true;
+        for (std::uint64_t mask = 0; mask < adam_moves && beats_all; ++mask) {
+            std::vector<bool> s(g.num_nodes());
+            for (std::size_t i = 0; i < g.num_nodes(); ++i) {
+                s[i] = (mask >> i) & 1;
+            }
+            beats_all = eve_answers_s(g, h, s);
+        }
+        check(beats_all, "hamiltonian_game: Eve must beat every S on a cycle");
+        result.eve_wins = true;
+        result.winning_h = h;
+        return result;
+    }
+    return result;
+}
+
+NonHamiltonianGameResult non_hamiltonian_game(const LabeledGraph& g,
+                                              std::uint64_t max_subgraphs) {
+    NonHamiltonianGameResult result;
+    std::vector<std::pair<NodeId, NodeId>> edges;
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+        for (NodeId v : g.neighbors(u)) {
+            if (u < v) {
+                edges.emplace_back(u, v);
+            }
+        }
+    }
+    check(edges.size() < 63 &&
+              (std::uint64_t{1} << edges.size()) <= max_subgraphs,
+          "non_hamiltonian_game: Adam's subgraph space exceeds the guard");
+
+    const std::uint64_t count = std::uint64_t{1} << edges.size();
+    for (std::uint64_t mask = 0; mask < count; ++mask) {
+        ++result.adam_subgraphs_tried;
+        EdgeSet h;
+        for (std::size_t i = 0; i < edges.size(); ++i) {
+            if ((mask >> i) & 1) {
+                h.insert(edges[i]);
+            }
+        }
+        if (!all_degree_two(g, h)) {
+            // Eve: C = 0 and a forest toward a DegreeTwo violation.
+            const auto degree = h_degrees(g, h);
+            const NodePredicate violated = [&](const LabeledGraph&, NodeId u) {
+                return degree[u] != 2;
+            };
+            const auto parents = constructive_parents(g, violated);
+            check(parents.has_value() &&
+                      parents_beat_every_adam_move(g, *parents, violated),
+                  "non_hamiltonian_game: Eve must expose a degree violation");
+            continue;
+        }
+        const auto components = h_components(g, h);
+        if (components.size() == 1) {
+            // Adam produced a Hamiltonian cycle: Eve cannot refute it.
+            result.eve_wins = false;
+            return result;
+        }
+        // Eve: C = 1, S = first component (no discontinuity), forest toward
+        // a division witness (a graph edge crossing S).
+        std::vector<bool> s(g.num_nodes(), false);
+        for (NodeId u : components[0]) {
+            s[u] = true;
+        }
+        check(!has_discontinuity(h, s),
+              "non_hamiltonian_game: a component cannot be cut by H");
+        const NodePredicate division = [&](const LabeledGraph& graph, NodeId u) {
+            for (NodeId v : graph.neighbors(u)) {
+                if (s[u] != s[v]) {
+                    return true;
+                }
+            }
+            return false;
+        };
+        const auto parents = constructive_parents(g, division);
+        check(parents.has_value() &&
+                  parents_beat_every_adam_move(g, *parents, division),
+              "non_hamiltonian_game: Eve must expose the division");
+    }
+    result.eve_wins = true;
+    return result;
+}
+
+} // namespace lph

@@ -1,0 +1,85 @@
+#pragma once
+
+#include "graph/graph.hpp"
+#include "hierarchy/pointsto_game.hpp"
+
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <vector>
+
+namespace lph {
+
+/// Examples 6 and 7, executed: the Sigma_5 game for HAMILTONIAN and the
+/// Pi_4 game for NON-HAMILTONIAN, with both players following the
+/// constructive strategies of the paper's proofs.
+///
+/// Eve's Sigma_5 position: she proposes a 2-regular spanning subgraph H
+/// (claiming a Hamiltonian cycle); Adam answers with a node set S (claiming
+/// a proper component of H); Eve then labels the nodes with a bit C (all
+/// equal: was Adam's S trivial, or does it cut the cycle?) and, in the
+/// second case, a PointsTo forest toward a discontinuity (an H-edge with
+/// endpoints on both sides of S); Adam's X and Eve's Y are the charge game
+/// of Example 4.
+
+/// An undirected edge set representing H (pairs with first < second).
+using EdgeSet = std::set<std::pair<NodeId, NodeId>>;
+
+/// H from a Hamiltonian cycle (node sequence).
+EdgeSet edge_set_from_cycle(const std::vector<NodeId>& cycle);
+
+/// Is every node H-degree exactly 2 (the DegreeTwo(x) condition for all x)?
+bool all_degree_two(const LabeledGraph& g, const EdgeSet& h);
+
+/// Connected components of the subgraph (V, h).
+std::vector<std::vector<NodeId>> h_components(const LabeledGraph& g,
+                                              const EdgeSet& h);
+
+/// Does some H-edge cross S (the DiscontinuityAt witness)?
+bool has_discontinuity(const EdgeSet& h, const std::vector<bool>& s);
+
+/// Eve's reply to Adam's S when her H is a genuine Hamiltonian cycle:
+/// the C bit and, in the partitioned case, the PointsTo forest toward a
+/// discontinuity.  Returns false only if her reply fails some node's check
+/// — which the paper proves cannot happen.
+bool eve_answers_s(const LabeledGraph& g, const EdgeSet& h,
+                   const std::vector<bool>& s);
+
+/// Adam's winning argument against a disconnected 2-regular H: S = one
+/// component leaves no discontinuity and no trivial case, so every Eve
+/// reply fails.  Verified by enumerating her C choices and the PointsTo
+/// criterion.
+bool adam_beats_disconnected(const LabeledGraph& g, const EdgeSet& h);
+
+/// The Sigma_5 game value by enumerating Eve's 2-regular spanning subgraphs
+/// and, per the above, Adam's component answers; equals HAMILTONIAN (the
+/// content of Example 6).  Guarded enumeration: fine up to ~10 nodes.
+struct HamiltonianGameResult {
+    bool eve_wins = false;
+    std::uint64_t two_factors_tried = 0;
+    std::optional<EdgeSet> winning_h;
+};
+
+HamiltonianGameResult hamiltonian_game(const LabeledGraph& g,
+                                       std::uint64_t max_two_factors = 1'000'000);
+
+/// Example 7: the Pi_4 game value for NON-HAMILTONIAN.  Adam proposes any
+/// edge subset H; Eve refutes with C = 0 plus a forest toward a DegreeTwo
+/// violation, or C = 1 plus S = one component and a forest toward a
+/// division witness.  Equals NON-HAMILTONIAN on the instance; enumeration
+/// over H is 2^|E| — keep graphs tiny.
+struct NonHamiltonianGameResult {
+    bool eve_wins = false;
+    std::uint64_t adam_subgraphs_tried = 0;
+};
+
+NonHamiltonianGameResult
+non_hamiltonian_game(const LabeledGraph& g,
+                     std::uint64_t max_subgraphs = 5'000'000);
+
+/// Enumerates all 2-regular spanning edge subsets of g (the 2-factors) by
+/// backtracking; used by the Sigma_5 game and exposed for tests.
+std::vector<EdgeSet> all_two_factors(const LabeledGraph& g,
+                                     std::uint64_t guard = 1'000'000);
+
+} // namespace lph

@@ -1,0 +1,321 @@
+#include "hierarchy/pointsto_game.hpp"
+
+#include "core/check.hpp"
+
+#include <deque>
+
+namespace lph {
+
+namespace {
+
+/// True when the pointer graph of p (ignoring self-loops at roots) is
+/// acyclic, i.e. following parents from any node reaches a root.
+bool is_pointer_forest(const LabeledGraph& g, const ParentAssignment& p) {
+    const std::size_t n = g.num_nodes();
+    // 0 = unvisited, 1 = on the current path, 2 = proven to reach a root.
+    std::vector<int> state(n, 0);
+    for (NodeId start = 0; start < n; ++start) {
+        if (state[start] == 2) {
+            continue;
+        }
+        std::vector<NodeId> path;
+        NodeId u = start;
+        while (true) {
+            if (p[u] == u || state[u] == 2) {
+                break; // reached a root or a known-good node
+            }
+            if (state[u] == 1) {
+                return false; // cycle
+            }
+            state[u] = 1;
+            path.push_back(u);
+            u = p[u];
+        }
+        for (NodeId v : path) {
+            state[v] = 2;
+        }
+    }
+    return true;
+}
+
+bool parents_well_formed(const LabeledGraph& g, const ParentAssignment& p) {
+    if (p.size() != g.num_nodes()) {
+        return false;
+    }
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+        if (p[u] != u && !g.has_edge(u, p[u])) {
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace
+
+std::optional<std::vector<bool>> forced_charges(const LabeledGraph& g,
+                                                const ParentAssignment& p,
+                                                const std::vector<bool>& x,
+                                                const NodePredicate& theta) {
+    check(parents_well_formed(g, p), "forced_charges: invalid parent assignment");
+    check(x.size() == g.num_nodes(), "forced_charges: X size mismatch");
+    const std::size_t n = g.num_nodes();
+
+    // Roots must satisfy theta and be positively charged; each child's charge
+    // is determined by its parent's (copied outside X, inverted inside X).
+    // Propagate top-down; a pointer cycle leaves some node's charge
+    // over-constrained, which surfaces as a contradiction when we close the
+    // loop.
+    std::vector<int> charge(n, -1); // -1 unknown, 0 negative, 1 positive
+    for (NodeId u = 0; u < n; ++u) {
+        if (p[u] == u) {
+            if (!theta(g, u)) {
+                return std::nullopt; // RootCase violated: Eve loses outright
+            }
+            charge[u] = 1;
+        }
+    }
+    auto resolve_chains = [&]() {
+        bool changed = true;
+        while (changed) {
+            changed = false;
+            for (NodeId u = 0; u < n; ++u) {
+                if (charge[u] >= 0 || charge[p[u]] < 0) {
+                    continue;
+                }
+                // ChildCase: Y(u) = Y(parent) XOR X(u).
+                charge[u] = x[u] ? 1 - charge[p[u]] : charge[p[u]];
+                changed = true;
+            }
+        }
+    };
+    resolve_chains();
+    // Remaining unresolved nodes hang off pointer cycles.  A cycle admits a
+    // consistent charging iff the X-inversions around it cancel out; Adam's
+    // singleton X on a cycle therefore always defeats a cyclic P.
+    while (true) {
+        NodeId unresolved = n;
+        for (NodeId u = 0; u < n; ++u) {
+            if (charge[u] < 0) {
+                unresolved = u;
+                break;
+            }
+        }
+        if (unresolved == n) {
+            break;
+        }
+        // Follow parents to find the cycle (every unresolved chain ends in
+        // one, or chain resolution would have fired).
+        std::vector<int> seen(n, 0);
+        NodeId u = unresolved;
+        while (seen[u] == 0) {
+            seen[u] = 1;
+            u = p[u];
+        }
+        const NodeId cycle_start = u;
+        int inversions = 0;
+        do {
+            inversions ^= x[u] ? 1 : 0;
+            u = p[u];
+        } while (u != cycle_start);
+        if (inversions != 0) {
+            return std::nullopt; // Adam's X breaks this cycle: Eve loses
+        }
+        // Consistent: pick Y(cycle_start) = positive and propagate backwards
+        // along the cycle via Y(parent) = Y(child) XOR X(child).
+        int c = 1;
+        u = cycle_start;
+        do {
+            charge[u] = c;
+            c = x[u] ? 1 - c : c;
+            u = p[u];
+        } while (u != cycle_start);
+        resolve_chains();
+    }
+    std::vector<bool> y(n);
+    for (NodeId u = 0; u < n; ++u) {
+        y[u] = charge[u] == 1;
+    }
+    return y;
+}
+
+bool parents_beat_every_adam_move(const LabeledGraph& g, const ParentAssignment& p,
+                                  const NodePredicate& theta) {
+    if (!parents_well_formed(g, p)) {
+        return false;
+    }
+    // Roots must satisfy theta.
+    bool has_root = false;
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+        if (p[u] == u) {
+            has_root = true;
+            if (!theta(g, u)) {
+                return false;
+            }
+        }
+    }
+    if (!has_root) {
+        return false; // pure cycles: Adam wins (see below)
+    }
+    // A forest beats every X (Eve propagates charges); a cycle loses to the
+    // singleton X on that cycle (odd inversion count).
+    return is_pointer_forest(g, p);
+}
+
+PointsToGameResult play_points_to_game(const LabeledGraph& g,
+                                       const NodePredicate& theta,
+                                       std::uint64_t max_parent_assignments) {
+    const std::size_t n = g.num_nodes();
+    // Option lists: self plus each neighbor.
+    std::vector<std::vector<NodeId>> options(n);
+    std::uint64_t total = 1;
+    for (NodeId u = 0; u < n; ++u) {
+        options[u].push_back(u);
+        for (NodeId v : g.neighbors(u)) {
+            options[u].push_back(v);
+        }
+        total = total > max_parent_assignments / options[u].size()
+                    ? max_parent_assignments + 1
+                    : total * options[u].size();
+    }
+    check(total <= max_parent_assignments,
+          "play_points_to_game: parent space exceeds the guard");
+
+    PointsToGameResult result;
+    std::vector<std::size_t> idx(n, 0);
+    while (true) {
+        ParentAssignment p(n);
+        for (NodeId u = 0; u < n; ++u) {
+            p[u] = options[u][idx[u]];
+        }
+        ++result.parent_assignments_tried;
+        // Verify Eve's claim against every Adam move explicitly (the literal
+        // Forall X), cross-checked against the analytic criterion.
+        const bool analytic = parents_beat_every_adam_move(g, p, theta);
+        bool literal = true;
+        const std::uint64_t moves = std::uint64_t{1} << n;
+        for (std::uint64_t mask = 0; mask < moves && literal; ++mask) {
+            std::vector<bool> x(n);
+            for (std::size_t i = 0; i < n; ++i) {
+                x[i] = (mask >> i) & 1;
+            }
+            ++result.adam_moves_tried;
+            literal = forced_charges(g, p, x, theta).has_value();
+        }
+        check(analytic == literal,
+              "play_points_to_game: analytic and literal game values differ");
+        if (literal) {
+            result.eve_wins = true;
+            result.winning_parents = std::move(p);
+            return result;
+        }
+        // Odometer.
+        std::size_t pos = 0;
+        while (pos < n) {
+            if (++idx[pos] < options[pos].size()) {
+                break;
+            }
+            idx[pos] = 0;
+            ++pos;
+        }
+        if (pos == n) {
+            return result;
+        }
+    }
+}
+
+std::optional<ParentAssignment> constructive_parents(const LabeledGraph& g,
+                                                     const NodePredicate& theta) {
+    const std::size_t n = g.num_nodes();
+    ParentAssignment p(n, n);
+    std::deque<NodeId> queue;
+    for (NodeId u = 0; u < n; ++u) {
+        if (theta(g, u)) {
+            p[u] = u;
+            queue.push_back(u);
+        }
+    }
+    if (queue.empty()) {
+        return std::nullopt;
+    }
+    while (!queue.empty()) {
+        const NodeId u = queue.front();
+        queue.pop_front();
+        for (NodeId v : g.neighbors(u)) {
+            if (p[v] == n) {
+                p[v] = u;
+                queue.push_back(v);
+            }
+        }
+    }
+    return p;
+}
+
+bool exists_unselected_by_game(const LabeledGraph& g) {
+    const NodePredicate unselected = [](const LabeledGraph& h, NodeId u) {
+        return h.label(u) != "1";
+    };
+    // Eve's constructive strategy suffices (and is checked); when she has no
+    // theta-node to point at, no parent assignment can win.
+    const auto p = constructive_parents(g, unselected);
+    if (!p.has_value()) {
+        return false;
+    }
+    check(parents_beat_every_adam_move(g, *p, unselected),
+          "exists_unselected_by_game: constructive strategy must win");
+    return true;
+}
+
+NonColorableGameResult
+non_three_colorable_by_game(const LabeledGraph& g, std::uint64_t max_colorings) {
+    const std::size_t n = g.num_nodes();
+    check(n <= 20, "non_three_colorable_by_game: graph too large");
+    // Adam assigns each node a subset of {0,1,2} (its memberships in
+    // C0,C1,C2); 8 options per node.
+    std::uint64_t total = 1;
+    for (std::size_t i = 0; i < n; ++i) {
+        total = total > max_colorings / 8 ? max_colorings + 1 : total * 8;
+    }
+    check(total <= max_colorings,
+          "non_three_colorable_by_game: coloring space exceeds the guard");
+
+    NonColorableGameResult result;
+    std::vector<int> sets(n, 0); // 3-bit membership mask per node
+    while (true) {
+        ++result.adam_colorings_tried;
+        // Eve's target: ill-colored nodes under Adam's proposal.
+        const NodePredicate ill_colored = [&](const LabeledGraph& h, NodeId u) {
+            const int mask = sets[u];
+            const int count = (mask & 1) + ((mask >> 1) & 1) + ((mask >> 2) & 1);
+            if (count != 1) {
+                return true;
+            }
+            for (NodeId v : h.neighbors(u)) {
+                if (sets[v] & mask) {
+                    return true;
+                }
+            }
+            return false;
+        };
+        const auto p = constructive_parents(g, ill_colored);
+        if (!p.has_value() || !parents_beat_every_adam_move(g, *p, ill_colored)) {
+            // Adam found a proper coloring Eve cannot refute.
+            result.non_colorable = false;
+            return result;
+        }
+        // Odometer over Adam's proposals.
+        std::size_t pos = 0;
+        while (pos < n) {
+            if (++sets[pos] < 8) {
+                break;
+            }
+            sets[pos] = 0;
+            ++pos;
+        }
+        if (pos == n) {
+            result.non_colorable = true;
+            return result;
+        }
+    }
+}
+
+} // namespace lph

@@ -1,0 +1,82 @@
+#pragma once
+
+#include "graph/graph.hpp"
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+namespace lph {
+
+/// The PointsTo game of Example 4, played semantically.
+///
+/// Eve claims some node satisfies a target predicate.  She chooses a
+/// parent-pointer assignment P (each node points at itself — a root — or at
+/// a neighbor); Adam challenges with a node set X; Eve answers with charges
+/// Y subject to: roots are positively charged and satisfy the target
+/// predicate, children outside X copy their parent's charge, children inside
+/// X invert it.
+///
+/// Given P and X, Eve's optimal Y is forced by propagation (this is exactly
+/// her strategy in the paper's proof), so the game value is computed by
+/// enumerating P and X only.  Moreover, her winning P exists iff a
+/// forest of pointers toward predicate-satisfying roots exists, which the
+/// shortcut evaluation exploits; the exhaustive mode replays the full
+/// Exists-P Forall-X game to confirm the equivalence.
+
+/// A parent assignment: parents[u] == u marks a root.
+using ParentAssignment = std::vector<NodeId>;
+
+/// Target predicate theta(x) of the schema (e.g. "x is unselected").
+using NodePredicate = std::function<bool(const LabeledGraph&, NodeId)>;
+
+struct PointsToGameResult {
+    bool eve_wins = false;
+    std::uint64_t parent_assignments_tried = 0;
+    std::uint64_t adam_moves_tried = 0;
+    std::optional<ParentAssignment> winning_parents;
+};
+
+/// Checks whether P is a valid win for Eve against EVERY Adam move: all
+/// roots satisfy theta, and the pointer graph is a forest (a cycle lets Adam
+/// pick a one-node X that makes the charge constraints unsatisfiable).
+bool parents_beat_every_adam_move(const LabeledGraph& g, const ParentAssignment& p,
+                                  const NodePredicate& theta);
+
+/// For fixed P and X, Eve's forced charges; nullopt when no consistent Y
+/// exists (Adam wins this move).  Exposed for tests and for the literal
+/// replay of the paper's game.
+std::optional<std::vector<bool>> forced_charges(const LabeledGraph& g,
+                                                const ParentAssignment& p,
+                                                const std::vector<bool>& x,
+                                                const NodePredicate& theta);
+
+/// The full Exists-P Forall-X game by enumeration (guarded; the P space is
+/// prod(deg(u)+1)).  Sets winning_parents on a win.
+PointsToGameResult play_points_to_game(const LabeledGraph& g,
+                                       const NodePredicate& theta,
+                                       std::uint64_t max_parent_assignments = 5'000'000);
+
+/// Eve's constructive strategy from the paper: BFS pointers toward the
+/// nearest theta-node; nullopt when no node satisfies theta.
+std::optional<ParentAssignment> constructive_parents(const LabeledGraph& g,
+                                                     const NodePredicate& theta);
+
+/// Example 4: NOT-ALL-SELECTED via the game (theta = "label is not 1").
+bool exists_unselected_by_game(const LabeledGraph& g);
+
+/// Example 5: NON-3-COLORABLE via the outer Forall-C game: Adam proposes an
+/// arbitrary assignment of color sets to nodes, and Eve plays the PointsTo
+/// game with theta = "ill-colored" (no color, several colors, or a neighbor
+/// sharing the color).  Exponential in 8^n; guarded.
+struct NonColorableGameResult {
+    bool non_colorable = false;            ///< Eve wins the Pi_4 game
+    std::uint64_t adam_colorings_tried = 0;
+};
+
+NonColorableGameResult
+non_three_colorable_by_game(const LabeledGraph& g,
+                            std::uint64_t max_colorings = 5'000'000);
+
+} // namespace lph

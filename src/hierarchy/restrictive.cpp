@@ -1,0 +1,193 @@
+#include "hierarchy/restrictive.hpp"
+
+#include "core/check.hpp"
+
+#include <algorithm>
+#include <functional>
+
+namespace lph {
+
+NeighborhoodView subview(const NeighborhoodView& view, NodeId center, int radius) {
+    const auto sub = view.graph.neighborhood(center, radius);
+    NeighborhoodView result;
+    result.graph = sub.graph;
+    result.self = sub.from_original.at(center);
+    result.ids.resize(sub.to_original.size());
+    result.certs.resize(sub.to_original.size());
+    for (NodeId w = 0; w < sub.to_original.size(); ++w) {
+        result.ids[w] = view.ids[sub.to_original[w]];
+        result.certs[w] = view.certs[sub.to_original[w]];
+    }
+    return result;
+}
+
+std::vector<std::string> truncate_certificates(const std::vector<std::string>& certs,
+                                               std::size_t layers) {
+    std::vector<std::string> truncated;
+    truncated.reserve(certs.size());
+    for (const auto& list : certs) {
+        const auto parts = split_hash(list);
+        std::vector<std::string> kept;
+        for (std::size_t i = 0; i < layers && i < parts.size(); ++i) {
+            kept.push_back(parts[i]);
+        }
+        truncated.push_back(join_hash(kept));
+    }
+    return truncated;
+}
+
+namespace {
+
+/// Runs a gather component "virtually" at node `center` of a larger view:
+/// extracts the component's sub-view (optionally with certificates truncated
+/// to `layers`) and calls its decide().
+std::string component_verdict(const NeighborhoodGatherMachine& component,
+                              const NeighborhoodView& view, NodeId center,
+                              std::size_t layers, StepMeter& meter) {
+    NeighborhoodView sub = subview(view, center, component.radius());
+    sub.certs = truncate_certificates(sub.certs, layers);
+    return component.decide(sub, meter);
+}
+
+} // namespace
+
+GameResult play_restrictive_game(const RestrictiveGameSpec& spec,
+                                 const LabeledGraph& g,
+                                 const IdentifierAssignment& id,
+                                 const GameOptions& options) {
+    check(spec.arbiter != nullptr, "play_restrictive_game: no arbiter");
+    check(spec.layers.size() == spec.restrictors.size(),
+          "play_restrictive_game: one restrictor slot per layer");
+
+    // Option tables per layer.
+    std::vector<std::vector<std::vector<BitString>>> tables;
+    for (const CertificateDomain* domain : spec.layers) {
+        std::vector<std::vector<BitString>> table(g.num_nodes());
+        for (NodeId u = 0; u < g.num_nodes(); ++u) {
+            table[u] = domain->options(g, id, u);
+            check(!table[u].empty(), "play_restrictive_game: empty domain");
+        }
+        tables.push_back(std::move(table));
+    }
+
+    GameResult result;
+
+    // Recursive relativized game.
+    std::vector<CertificateAssignment> chosen;
+    std::function<bool(std::size_t)> value = [&](std::size_t layer) -> bool {
+        if (layer == spec.layers.size()) {
+            const auto list =
+                CertificateListAssignment::concatenate(chosen, g.num_nodes());
+            ++result.machine_runs;
+            return run_local(*spec.arbiter, g, id, list, options.exec).accepted;
+        }
+        const bool want =
+            spec.starts_existential ? layer % 2 == 0 : layer % 2 == 1;
+        const auto& table = tables[layer];
+        std::vector<std::size_t> idx(g.num_nodes(), 0);
+        while (true) {
+            std::vector<BitString> certs(g.num_nodes());
+            for (NodeId u = 0; u < g.num_nodes(); ++u) {
+                certs[u] = table[u][idx[u]];
+            }
+            chosen.emplace_back(std::move(certs));
+            // Relativization: the assignment must pass this layer's
+            // restrictor (prior layers were already validated).
+            bool admissible = true;
+            if (spec.restrictors[layer] != nullptr) {
+                const auto list =
+                    CertificateListAssignment::concatenate(chosen, g.num_nodes());
+                admissible = run_local(*spec.restrictors[layer], g, id, list,
+                                       options.exec)
+                                 .accepted;
+            }
+            bool inner = false;
+            if (admissible) {
+                inner = value(layer + 1);
+            }
+            chosen.pop_back();
+            if (admissible && inner == want) {
+                return want;
+            }
+            std::size_t pos = 0;
+            while (pos < idx.size()) {
+                if (++idx[pos] < table[pos].size()) {
+                    break;
+                }
+                idx[pos] = 0;
+                ++pos;
+            }
+            if (pos == idx.size()) {
+                return !want;
+            }
+        }
+    };
+    result.accepted = value(0);
+    return result;
+}
+
+namespace {
+
+int max_component_radius(const NeighborhoodGatherMachine& arbiter,
+                         const std::vector<const NeighborhoodGatherMachine*>& rs) {
+    int radius = arbiter.radius();
+    for (const auto* r : rs) {
+        if (r != nullptr) {
+            radius = std::max(radius, r->radius());
+        }
+    }
+    return radius;
+}
+
+} // namespace
+
+PermissiveWrapper::PermissiveWrapper(
+    const NeighborhoodGatherMachine& arbiter,
+    std::vector<const NeighborhoodGatherMachine*> restrictors,
+    bool starts_existential)
+    : NeighborhoodGatherMachine(max_component_radius(arbiter, restrictors) +
+                                arbiter.round_bound()),
+      arbiter_(arbiter), restrictors_(std::move(restrictors)),
+      starts_existential_(starts_existential),
+      flag_range_(arbiter.round_bound()) {}
+
+int PermissiveWrapper::id_radius() const {
+    int r = NeighborhoodGatherMachine::id_radius();
+    r = std::max(r, arbiter_.id_radius());
+    for (const auto* restrictor : restrictors_) {
+        if (restrictor != nullptr) {
+            r = std::max(r, restrictor->id_radius());
+        }
+    }
+    return r;
+}
+
+std::string PermissiveWrapper::decide(const NeighborhoodView& view,
+                                      StepMeter& meter) const {
+    // ok_i = AND of restrictor-i verdicts over the flag-propagation ball
+    // (the proof's error flags after round_bound rounds of flooding).
+    const auto nearby = view.graph.ball(view.self, flag_range_);
+    for (std::size_t layer = 0; layer < restrictors_.size(); ++layer) {
+        if (restrictors_[layer] == nullptr) {
+            continue; // trivial restrictor
+        }
+        bool ok = true;
+        for (NodeId v : nearby) {
+            if (component_verdict(*restrictors_[layer], view, v, layer + 1,
+                                  meter) != "1") {
+                ok = false;
+                break;
+            }
+        }
+        if (!ok) {
+            // Early verdict per the quantifier's polarity (proof of Lemma 8):
+            // an invalid existential choice is rejected, an invalid universal
+            // choice is accepted.
+            return layer_existential(layer) ? "0" : "1";
+        }
+    }
+    return component_verdict(arbiter_, view, view.self,
+                             restrictors_.size(), meter);
+}
+
+} // namespace lph

@@ -1,0 +1,78 @@
+#pragma once
+
+#include "dtm/gather.hpp"
+#include "hierarchy/game.hpp"
+
+#include <memory>
+
+namespace lph {
+
+/// Section 6: restrictive arbiters.
+///
+/// A *certificate restrictor* for layer i is a machine that checks the
+/// certificates of layers 1..i against an imposed restriction; quantifiers of
+/// the restrictive game range only over assignments every restrictor
+/// accepts.  Lemma 8 shows this adds no power: `PermissiveWrapper` performs
+/// the proof's conversion, simulating the restrictors, propagating error
+/// flags, and issuing the polarity-dependent early verdicts, so that the
+/// *unrestricted* game over the wrapped machine has the same value.
+///
+/// Restrictors here are NeighborhoodGatherMachine instances (every machine in
+/// this library is), which lets the wrapper compute any component's verdict
+/// at any nearby node from its own, larger, gathered view.
+
+struct RestrictiveGameSpec {
+    /// The restrictive arbiter M^a.
+    const NeighborhoodGatherMachine* arbiter = nullptr;
+    /// Certificate space per layer.
+    std::vector<const CertificateDomain*> layers;
+    /// Restrictor per layer; nullptr means the trivial (always-accepting)
+    /// restrictor.
+    std::vector<const NeighborhoodGatherMachine*> restrictors;
+    bool starts_existential = true;
+};
+
+/// Plays the restrictive game: layer-i assignments that some restrictor
+/// j <= i rejects are excluded from quantification (an existential layer
+/// with no valid choice is false; a universal one is true).
+GameResult play_restrictive_game(const RestrictiveGameSpec& spec,
+                                 const LabeledGraph& g,
+                                 const IdentifierAssignment& id,
+                                 const GameOptions& options = {});
+
+/// The Lemma 8 conversion: a permissive machine equivalent to the
+/// restrictive arbiter.  Each node recomputes every component's verdict for
+/// every node within flag-propagation range from its own enlarged view,
+/// forms the AND-ed ok-flags, and applies the proof's early-verdict rule
+/// (reject when the first violated layer is existential, accept when it is
+/// universal) before falling back to the arbiter's verdict.
+class PermissiveWrapper : public NeighborhoodGatherMachine {
+public:
+    PermissiveWrapper(const NeighborhoodGatherMachine& arbiter,
+                      std::vector<const NeighborhoodGatherMachine*> restrictors,
+                      bool starts_existential);
+
+    std::string decide(const NeighborhoodView& view, StepMeter& meter) const override;
+
+    int id_radius() const override;
+
+private:
+    bool layer_existential(std::size_t layer) const {
+        return starts_existential_ ? layer % 2 == 0 : layer % 2 == 1;
+    }
+
+    const NeighborhoodGatherMachine& arbiter_;
+    std::vector<const NeighborhoodGatherMachine*> restrictors_;
+    bool starts_existential_;
+    int flag_range_;
+};
+
+/// Extracts the sub-view of radius `radius` around `center` from a larger
+/// gathered view (used by the wrapper to re-run components at other nodes).
+NeighborhoodView subview(const NeighborhoodView& view, NodeId center, int radius);
+
+/// Truncates every node's certificate list to its first `layers` layers.
+std::vector<std::string> truncate_certificates(const std::vector<std::string>& certs,
+                                               std::size_t layers);
+
+} // namespace lph

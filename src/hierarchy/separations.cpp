@@ -1,0 +1,321 @@
+#include "hierarchy/separations.hpp"
+
+#include "core/check.hpp"
+#include "graph/generators.hpp"
+#include "graphalg/coloring.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace lph {
+
+std::string LocalBipartiteDecider::decide(const NeighborhoodView& view,
+                                          StepMeter& meter) const {
+    meter.charge(view.graph.num_nodes() + 2 * view.graph.num_edges());
+    return is_bipartite(view.graph) ? "1" : "0";
+}
+
+SymmetryExperiment run_prop21_experiment(const LocalMachine& decider,
+                                         std::size_t odd_length) {
+    check(odd_length % 2 == 1 && odd_length >= 3,
+          "run_prop21_experiment: need an odd cycle length >= 3");
+    const std::size_t r_id = static_cast<std::size_t>(decider.id_radius());
+    check(odd_length > 2 * r_id,
+          "run_prop21_experiment: cycle too short for the machine's id radius");
+
+    // G: the odd cycle; G': two copies glued into a cycle of double length,
+    // with the identifiers of G replicated on both halves (proof of Prop 21).
+    const LabeledGraph g = cycle_graph(odd_length, "");
+    const LabeledGraph g2 = cycle_graph(2 * odd_length, "");
+    const IdentifierAssignment id = make_global_ids(g);
+    std::vector<BitString> doubled(2 * odd_length);
+    for (std::size_t i = 0; i < odd_length; ++i) {
+        doubled[i] = id(i);
+        doubled[i + odd_length] = id(i);
+    }
+    const IdentifierAssignment id2{std::move(doubled)};
+
+    SymmetryExperiment result;
+    result.odd_length = odd_length;
+    result.g_bipartite = is_bipartite(g);
+    result.g2_bipartite = is_bipartite(g2);
+
+    const ExecutionResult run_g = run_local(decider, g, id);
+    const ExecutionResult run_g2 = run_local(decider, g2, id2);
+    result.g_accepted = run_g.accepted;
+    result.g2_accepted = run_g2.accepted;
+    result.transcripts_match = true;
+    for (std::size_t i = 0; i < odd_length; ++i) {
+        if (run_g.outputs[i] != run_g2.outputs[i] ||
+            run_g.outputs[i] != run_g2.outputs[i + odd_length]) {
+            result.transcripts_match = false;
+            break;
+        }
+    }
+    return result;
+}
+
+LabeledGraph one_unselected_cycle(std::size_t length) {
+    LabeledGraph g = cycle_graph(length, "1");
+    g.set_label(0, "0");
+    return g;
+}
+
+BoundedDistanceVerifier::BoundedDistanceVerifier(int bits)
+    : NeighborhoodGatherMachine(1), bits_(bits) {
+    check(bits >= 1 && bits <= 20, "BoundedDistanceVerifier: bits out of range");
+}
+
+namespace {
+
+std::string first_certificate(const std::string& list) {
+    const auto parts = split_hash(list);
+    return parts.empty() ? "" : parts[0];
+}
+
+/// Decodes a fixed-width counter certificate; -1 when malformed.
+std::int64_t decode_counter(const std::string& cert, int bits) {
+    if (cert.size() != static_cast<std::size_t>(bits) || !is_bit_string(cert)) {
+        return -1;
+    }
+    return static_cast<std::int64_t>(decode_unsigned(cert));
+}
+
+} // namespace
+
+std::string BoundedDistanceVerifier::decide(const NeighborhoodView& view,
+                                            StepMeter& meter) const {
+    meter.charge(view.certs[view.self].size() + 4);
+    const std::int64_t mine =
+        decode_counter(first_certificate(view.certs[view.self]), bits_);
+    if (mine < 0) {
+        return "0";
+    }
+    const bool selected = view.graph.label(view.self) == "1";
+    if ((mine == 0) == selected) {
+        return "0"; // counter 0 iff unselected, violated
+    }
+    if (mine == 0) {
+        return "1";
+    }
+    for (NodeId v : view.graph.neighbors(view.self)) {
+        meter.charge(view.certs[v].size() + 1);
+        if (decode_counter(first_certificate(view.certs[v]), bits_) == mine - 1) {
+            return "1";
+        }
+    }
+    return "0";
+}
+
+DistanceCertificateDomain::DistanceCertificateDomain(int bits) {
+    check(bits >= 1 && bits <= 12, "DistanceCertificateDomain: bits out of range");
+    const std::uint64_t count = std::uint64_t{1} << bits;
+    for (std::uint64_t value = 0; value < count; ++value) {
+        options_.push_back(encode_unsigned_width(value, bits));
+    }
+}
+
+std::string PointerChainVerifier::decide(const NeighborhoodView& view,
+                                         StepMeter& meter) const {
+    meter.charge(view.certs[view.self].size() + view.graph.num_nodes());
+    if (view.graph.label(view.self) != "1") {
+        return "1";
+    }
+    // Neighbors in ascending identifier order.
+    auto sorted_neighbors = [&](NodeId u) {
+        std::vector<NodeId> nb = view.graph.neighbors(u);
+        std::sort(nb.begin(), nb.end(),
+                  [&](NodeId a, NodeId b) { return view.ids[a] < view.ids[b]; });
+        return nb;
+    };
+    auto target_of = [&](NodeId u) -> std::optional<NodeId> {
+        const std::string cert = first_certificate(view.certs[u]);
+        if (cert != "0" && cert != "1") {
+            return std::nullopt;
+        }
+        const auto nb = sorted_neighbors(u);
+        const std::size_t index = cert == "1" ? 1 : 0;
+        if (index >= nb.size()) {
+            return std::nullopt;
+        }
+        return nb[index];
+    };
+    const auto target = target_of(view.self);
+    if (!target.has_value()) {
+        return "0";
+    }
+    if (view.graph.label(*target) != "1") {
+        return "1";
+    }
+    const auto target_target = target_of(*target);
+    if (!target_target.has_value()) {
+        return "0";
+    }
+    return *target_target == view.self ? "0" : "1";
+}
+
+std::optional<CertificateAssignment> distance_certificates(const LabeledGraph& g,
+                                                           int bits) {
+    // Multi-source BFS from every unselected node.
+    std::vector<int> dist(g.num_nodes(), -1);
+    std::vector<NodeId> frontier;
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+        if (g.label(u) != "1") {
+            dist[u] = 0;
+            frontier.push_back(u);
+        }
+    }
+    if (frontier.empty()) {
+        return std::nullopt; // all selected: Eve has no play
+    }
+    while (!frontier.empty()) {
+        std::vector<NodeId> next;
+        for (NodeId u : frontier) {
+            for (NodeId v : g.neighbors(u)) {
+                if (dist[v] < 0) {
+                    dist[v] = dist[u] + 1;
+                    next.push_back(v);
+                }
+            }
+        }
+        frontier = std::move(next);
+    }
+    const std::int64_t limit = (std::int64_t{1} << bits) - 1;
+    std::vector<BitString> certs(g.num_nodes());
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+        if (dist[u] > limit) {
+            return std::nullopt; // distance does not fit: incompleteness horn
+        }
+        certs[u] = encode_unsigned_width(static_cast<std::uint64_t>(dist[u]), bits);
+    }
+    return CertificateAssignment(std::move(certs));
+}
+
+std::optional<CertificateAssignment>
+pointer_certificates(const LabeledGraph& g, const IdentifierAssignment& id) {
+    // BFS parent pointers toward the nearest unselected node.
+    std::vector<NodeId> toward(g.num_nodes(), g.num_nodes());
+    std::vector<int> dist(g.num_nodes(), -1);
+    std::vector<NodeId> frontier;
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+        if (g.label(u) != "1") {
+            dist[u] = 0;
+            frontier.push_back(u);
+        }
+    }
+    if (frontier.empty()) {
+        return std::nullopt;
+    }
+    while (!frontier.empty()) {
+        std::vector<NodeId> next;
+        for (NodeId u : frontier) {
+            for (NodeId v : g.neighbors(u)) {
+                if (dist[v] < 0) {
+                    dist[v] = dist[u] + 1;
+                    toward[v] = u;
+                    next.push_back(v);
+                }
+            }
+        }
+        frontier = std::move(next);
+    }
+    std::vector<BitString> certs(g.num_nodes());
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+        NodeId target = toward[u];
+        if (target == g.num_nodes()) {
+            target = g.neighbors(u).front(); // unselected nodes point anywhere
+        }
+        std::vector<NodeId> nb = g.neighbors(u);
+        std::sort(nb.begin(), nb.end(),
+                  [&](NodeId a, NodeId b) { return id(a) < id(b); });
+        const auto it = std::find(nb.begin(), nb.end(), target);
+        certs[u] = it - nb.begin() == 0 ? "0" : "1";
+    }
+    return CertificateAssignment(std::move(certs));
+}
+
+SpliceExperiment run_prop23_splice(const NeighborhoodGatherMachine& verifier,
+                                   const EveStrategy& strategy,
+                                   std::size_t cycle_length, std::size_t id_period,
+                                   int window_radius, const ExecutionOptions& exec) {
+    check(window_radius >= verifier.radius(),
+          "run_prop23_splice: window radius must cover the verifier's radius");
+    check(id_period >= 2 * static_cast<std::size_t>(verifier.id_radius()) + 1,
+          "run_prop23_splice: id period too small for the verifier's id radius");
+
+    SpliceExperiment result;
+    result.original_length = cycle_length;
+
+    const LabeledGraph g = one_unselected_cycle(cycle_length);
+    const IdentifierAssignment id = make_cyclic_ids(g, id_period);
+
+    const auto certs = strategy(g, id);
+    if (!certs.has_value()) {
+        return result; // Eve cannot even play: the incompleteness horn
+    }
+    const auto list =
+        CertificateListAssignment::concatenate({*certs}, g.num_nodes());
+    result.original_accepted = run_local(verifier, g, id, list, exec).accepted;
+    if (!result.original_accepted) {
+        return result;
+    }
+
+    // Pigeonhole: find i < j with identical (label, id, certificate) windows,
+    // both windows and the kept arc [i, j) avoiding the unselected node 0,
+    // with j - i >= max(3, id_period) so the spliced cycle is well-formed.
+    const std::size_t wr = static_cast<std::size_t>(window_radius);
+    auto window_key = [&](std::size_t center) {
+        std::string key;
+        for (std::size_t off = 0; off <= 2 * wr; ++off) {
+            const std::size_t v = (center + cycle_length - wr + off) % cycle_length;
+            key += g.label(v) + "/" + id(v) + "/" + (*certs)(v) + ";";
+        }
+        return key;
+    };
+    std::map<std::string, std::size_t> seen;
+    std::size_t found_i = 0;
+    std::size_t found_j = 0;
+    for (std::size_t v = wr + 1; v + wr < cycle_length; ++v) {
+        const std::string key = window_key(v);
+        const auto it = seen.find(key);
+        if (it != seen.end()) {
+            const std::size_t gap = v - it->second;
+            if (gap >= std::max<std::size_t>(3, id_period)) {
+                found_i = it->second;
+                found_j = v;
+                result.window_pair_found = true;
+                break;
+            }
+        } else {
+            seen.emplace(key, v);
+        }
+    }
+    if (!result.window_pair_found) {
+        return result;
+    }
+
+    // Splice: keep nodes found_i .. found_j-1 as a cycle (identifying
+    // found_j with found_i); node 0 is cut away.
+    const std::size_t m = found_j - found_i;
+    result.spliced_length = m;
+    LabeledGraph spliced = cycle_graph(m, "1");
+    std::vector<BitString> spliced_ids(m);
+    std::vector<BitString> spliced_certs(m);
+    result.spliced_all_selected = true;
+    for (std::size_t k = 0; k < m; ++k) {
+        const std::size_t v = found_i + k;
+        spliced.set_label(k, g.label(v));
+        if (g.label(v) != "1") {
+            result.spliced_all_selected = false;
+        }
+        spliced_ids[k] = id(v);
+        spliced_certs[k] = (*certs)(v);
+    }
+    const IdentifierAssignment id2{std::move(spliced_ids)};
+    const auto list2 = CertificateListAssignment::concatenate(
+        {CertificateAssignment(std::move(spliced_certs))}, m);
+    result.spliced_accepted = run_local(verifier, spliced, id2, list2, exec).accepted;
+    return result;
+}
+
+} // namespace lph

@@ -1,0 +1,133 @@
+#pragma once
+
+#include "dtm/gather.hpp"
+#include "hierarchy/game.hpp"
+
+#include <functional>
+#include <optional>
+
+namespace lph {
+
+// ---------------------------------------------------------------------------
+// Proposition 21: LP < NLP via symmetry breaking on glued cycles.
+// ---------------------------------------------------------------------------
+
+/// A locally plausible LP candidate for 2-COLORABLE: accepts iff the node's
+/// r-neighborhood is bipartite.  On any cycle every neighborhood is a path,
+/// so this machine accepts all cycles — including odd ones.  Proposition 21
+/// shows every LP machine fails similarly.
+class LocalBipartiteDecider : public NeighborhoodGatherMachine {
+public:
+    explicit LocalBipartiteDecider(int radius) : NeighborhoodGatherMachine(radius) {}
+    std::string decide(const NeighborhoodView& view, StepMeter& meter) const override;
+};
+
+/// The Proposition 21 experiment: runs `decider` on an odd cycle G of length
+/// n and on the even cycle G' obtained by gluing two copies of G, with the
+/// identifier assignment of G replicated on both halves of G'.  Any machine
+/// whose id-radius fits produces identical per-node verdicts on G and G',
+/// although only G' is 2-colorable.
+struct SymmetryExperiment {
+    std::size_t odd_length = 0;
+    bool g_bipartite = false;       ///< ground truth for G (false: odd cycle)
+    bool g2_bipartite = false;      ///< ground truth for G' (true: even cycle)
+    bool g_accepted = false;
+    bool g2_accepted = false;
+    bool transcripts_match = false; ///< verdict(u_i) == verdict(u'_i) for all i
+};
+
+SymmetryExperiment run_prop21_experiment(const LocalMachine& decider,
+                                         std::size_t odd_length);
+
+// ---------------------------------------------------------------------------
+// Proposition 23: NOT-ALL-SELECTED is not in NLP — the two failure modes of
+// bounded-certificate verifiers on labeled cycles.
+// ---------------------------------------------------------------------------
+
+/// Candidate NOT-ALL-SELECTED verifier #1: the certificate is an exact
+/// distance counter d with `bits` bits.  A node accepts iff
+/// (label != "1") <-> (d == 0), and d > 0 implies some neighbor carries d-1.
+/// Sound (never accepts an all-selected cycle) but incomplete: a yes-cycle
+/// longer than 2^(bits+1) has nodes whose true distance does not fit.
+class BoundedDistanceVerifier : public NeighborhoodGatherMachine {
+public:
+    explicit BoundedDistanceVerifier(int bits);
+    int bits() const { return bits_; }
+    std::string decide(const NeighborhoodView& view, StepMeter& meter) const override;
+
+private:
+    int bits_;
+};
+
+/// The certificate domain matching BoundedDistanceVerifier: all fixed-width
+/// counters 0 .. 2^bits - 1.
+class DistanceCertificateDomain : public CertificateDomain {
+public:
+    explicit DistanceCertificateDomain(int bits);
+    std::vector<BitString> options(const LabeledGraph&, const IdentifierAssignment&,
+                                   NodeId) const override {
+        return options_;
+    }
+
+private:
+    std::vector<BitString> options_;
+};
+
+/// Candidate NOT-ALL-SELECTED verifier #2: the certificate is one bit naming
+/// which neighbor (in ascending identifier order) the node "points at",
+/// claiming an unselected node lies that way.  A node accepts iff its label
+/// is not "1", or its target has a non-"1" label, or its target does not
+/// point straight back at it.  Complete on cycles, but unsound — the
+/// pigeonhole splice of Proposition 23 exhibits an accepted all-selected
+/// cycle.  Radius 2 (a node must see its target's target).
+class PointerChainVerifier : public NeighborhoodGatherMachine {
+public:
+    PointerChainVerifier() : NeighborhoodGatherMachine(2) {}
+    std::string decide(const NeighborhoodView& view, StepMeter& meter) const override;
+};
+
+/// The Proposition 23 pigeonhole splice.  Builds the labeled cycle of length
+/// `cycle_length` with exactly one "0"-labeled node and cyclic identifiers of
+/// period `id_period`, asks the game engine for an accepting certificate of
+/// `verifier`, locates two nodes with identical (label, id, certificate)
+/// windows of radius `window_radius`, and splices out the arc between them
+/// that contains the unselected node.  The result is an all-selected cycle
+/// the verifier still accepts.
+struct SpliceExperiment {
+    bool original_accepted = false; ///< verifier accepts the yes-instance
+    bool window_pair_found = false;
+    std::size_t original_length = 0;
+    std::size_t spliced_length = 0;
+    bool spliced_all_selected = false; ///< ground truth: spliced is a no-instance
+    bool spliced_accepted = false;     ///< the verifier's (wrong) answer
+};
+
+/// Eve's strategy: produces the certificate assignment she plays on a given
+/// instance, or nullopt when she has no accepting play (the incompleteness
+/// horn).  Exhaustive search via the game engine is also possible for tiny
+/// instances; strategies keep large instances tractable, mirroring the
+/// constructive strategies in the paper's proofs.
+using EveStrategy = std::function<std::optional<CertificateAssignment>(
+    const LabeledGraph&, const IdentifierAssignment&)>;
+
+SpliceExperiment run_prop23_splice(const NeighborhoodGatherMachine& verifier,
+                                   const EveStrategy& strategy,
+                                   std::size_t cycle_length, std::size_t id_period,
+                                   int window_radius,
+                                   const ExecutionOptions& exec = {});
+
+/// Builds the Proposition 23 instance: a cycle of `length` nodes labeled "1"
+/// except node 0 labeled "0".
+LabeledGraph one_unselected_cycle(std::size_t length);
+
+/// Eve's strategy for BoundedDistanceVerifier: true distances to the
+/// unselected node, nullopt when some distance does not fit in `bits` bits.
+std::optional<CertificateAssignment> distance_certificates(const LabeledGraph& g,
+                                                           int bits);
+
+/// Eve's strategy for PointerChainVerifier on cycles: every selected node
+/// points along the shorter arc toward the unselected node.
+std::optional<CertificateAssignment>
+pointer_certificates(const LabeledGraph& g, const IdentifierAssignment& id);
+
+} // namespace lph

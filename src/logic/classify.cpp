@@ -1,0 +1,115 @@
+#include "logic/classify.hpp"
+
+#include <algorithm>
+
+namespace lph {
+namespace {
+
+bool contains_so_quantifier(const Formula& phi) {
+    if (phi->kind == FormulaKind::ExistsSO || phi->kind == FormulaKind::ForallSO) {
+        return true;
+    }
+    return std::any_of(phi->children.begin(), phi->children.end(),
+                       contains_so_quantifier);
+}
+
+bool contains_unbounded_fo(const Formula& phi) {
+    if (phi->kind == FormulaKind::ExistsFO || phi->kind == FormulaKind::ForallFO) {
+        return true;
+    }
+    return std::any_of(phi->children.begin(), phi->children.end(),
+                       contains_unbounded_fo);
+}
+
+bool all_so_monadic(const Formula& phi) {
+    if ((phi->kind == FormulaKind::ExistsSO || phi->kind == FormulaKind::ForallSO) &&
+        phi->arity != 1) {
+        return false;
+    }
+    return std::all_of(phi->children.begin(), phi->children.end(), all_so_monadic);
+}
+
+int bounded_depth(const Formula& phi) {
+    int depth = 0;
+    for (const auto& c : phi->children) {
+        depth = std::max(depth, bounded_depth(c));
+    }
+    if (phi->kind == FormulaKind::ExistsConn || phi->kind == FormulaKind::ForallConn) {
+        ++depth;
+    }
+    return depth;
+}
+
+bool is_bf(const Formula& phi) {
+    return !contains_so_quantifier(phi) && !contains_unbounded_fo(phi);
+}
+
+bool is_lfo(const Formula& phi) {
+    return phi->kind == FormulaKind::ForallFO && is_bf(phi->children[0]);
+}
+
+bool is_fo(const Formula& phi) { return !contains_so_quantifier(phi); }
+
+/// Strips the leading second-order prefix; returns the matrix and fills in
+/// the number of alternating blocks and the polarity of the first block.
+Formula strip_so_prefix(const Formula& phi, int& blocks, bool& starts_existential) {
+    blocks = 0;
+    starts_existential = false;
+    Formula current = phi;
+    bool first = true;
+    FormulaKind block_kind = FormulaKind::Top; // sentinel
+    while (current->kind == FormulaKind::ExistsSO ||
+           current->kind == FormulaKind::ForallSO) {
+        if (first) {
+            starts_existential = current->kind == FormulaKind::ExistsSO;
+            first = false;
+        }
+        if (current->kind != block_kind) {
+            block_kind = current->kind;
+            ++blocks;
+        }
+        current = current->children[0];
+    }
+    return current;
+}
+
+} // namespace
+
+FormulaClass classify(const Formula& phi) {
+    FormulaClass result;
+    result.first_order = is_fo(phi);
+    result.bounded = is_bf(phi);
+    result.local_fo = is_lfo(phi);
+    result.monadic = all_so_monadic(phi);
+    result.bf_depth = bounded_depth(phi);
+
+    const Formula matrix = strip_so_prefix(phi, result.so_blocks,
+                                           result.starts_existential);
+    result.matrix_is_lfo = is_lfo(matrix);
+    result.matrix_is_fo = is_fo(matrix);
+    return result;
+}
+
+int sigma_lfo_level(const Formula& phi) {
+    const FormulaClass c = classify(phi);
+    if (!c.matrix_is_lfo) {
+        return -1;
+    }
+    if (c.so_blocks == 0) {
+        return 0;
+    }
+    return c.starts_existential ? c.so_blocks : -1;
+}
+
+int pi_lfo_level(const Formula& phi) {
+    const FormulaClass c = classify(phi);
+    if (!c.matrix_is_lfo) {
+        return -1;
+    }
+    if (c.so_blocks == 0) {
+        return 0;
+    }
+    return c.starts_existential ? -1 : c.so_blocks;
+}
+
+} // namespace lph

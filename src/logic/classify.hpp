@@ -1,0 +1,53 @@
+#pragma once
+
+#include "logic/formula.hpp"
+
+namespace lph {
+
+/// Syntactic classification of a formula within the hierarchies of
+/// Section 5.1.
+struct FormulaClass {
+    /// No second-order quantifiers anywhere (FO grammar; free relation
+    /// variables are permitted, as in the paper's FO grammar).
+    bool first_order = false;
+
+    /// First-order and every first-order quantifier is bounded (BF grammar).
+    bool bounded = false;
+
+    /// Of the form forall x. psi with psi in BF (the class LFO).
+    bool local_fo = false;
+
+    /// Number of alternating second-order quantifier *blocks* in the prefix
+    /// (0 when the formula has no second-order prefix).
+    int so_blocks = 0;
+
+    /// True when the first block is existential (Sigma side).
+    bool starts_existential = false;
+
+    /// True when the matrix below the second-order prefix is an LFO formula,
+    /// i.e. the formula belongs to Sigma_l^LFO or Pi_l^LFO with l = so_blocks.
+    bool matrix_is_lfo = false;
+
+    /// True when the matrix below the second-order prefix is plain FO,
+    /// i.e. the formula belongs to Sigma_l^FO or Pi_l^FO.
+    bool matrix_is_fo = false;
+
+    /// All second-order quantifiers have arity 1 (monadic fragment).
+    bool monadic = false;
+
+    /// Maximum nesting depth of bounded first-order quantifiers — the radius
+    /// up to which a BF matrix can "see" (used by Theorem 12's arbiter).
+    int bf_depth = 0;
+};
+
+FormulaClass classify(const Formula& phi);
+
+/// Convenience: the level l such that phi is syntactically a
+/// Sigma_l^LFO-formula, or -1 when it is not in the local second-order
+/// hierarchy's Sigma side (level 0 means LFO itself).
+int sigma_lfo_level(const Formula& phi);
+
+/// Dual for Pi_l^LFO.
+int pi_lfo_level(const Formula& phi);
+
+} // namespace lph

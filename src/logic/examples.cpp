@@ -1,0 +1,255 @@
+#include "logic/examples.hpp"
+
+#include "core/check.hpp"
+
+namespace lph::paper_formulas {
+
+using namespace fl;
+
+Formula is_node(const std::string& x) {
+    // IsNode(x) = !exists y ~ x. (y ->_2 x)
+    return negate(exists_conn("$isnode_y", x, binary(2, "$isnode_y", x)));
+}
+
+Formula is_bit0(const std::string& x) {
+    return conj(negate(is_node(x)), negate(unary(1, x)));
+}
+
+Formula is_bit1(const std::string& x) {
+    return conj(negate(is_node(x)), unary(1, x));
+}
+
+Formula exists_node(const std::string& x, Formula phi) {
+    return exists(x, conj(is_node(x), std::move(phi)));
+}
+
+Formula forall_node(const std::string& x, Formula phi) {
+    return forall(x, implies(is_node(x), std::move(phi)));
+}
+
+Formula exists_node_conn(const std::string& x, const std::string& y, Formula phi) {
+    return exists_conn(x, y, conj(is_node(x), std::move(phi)));
+}
+
+Formula forall_node_conn(const std::string& x, const std::string& y, Formula phi) {
+    return forall_conn(x, y, implies(is_node(x), std::move(phi)));
+}
+
+Formula exists_node_within(const std::string& x, int r, const std::string& y,
+                           Formula phi) {
+    return exists_within(x, r, y, conj(is_node(x), std::move(phi)));
+}
+
+Formula forall_node_within(const std::string& x, int r, const std::string& y,
+                           Formula phi) {
+    return forall_within(x, r, y, implies(is_node(x), std::move(phi)));
+}
+
+Formula is_selected(const std::string& x) {
+    // IsSelected(x) = exists y ~ x. (IsBit1(y) &
+    //                                !exists z ~ y. (z ->_1 y | y ->_1 z))
+    const std::string y = "$sel_y";
+    const std::string z = "$sel_z";
+    return exists_conn(
+        y, x,
+        conj(is_bit1(y),
+             negate(exists_conn(z, y, disj(binary(1, z, y), binary(1, y, z))))));
+}
+
+Formula all_selected() { return forall_node("x", is_selected("x")); }
+
+Formula well_colored(const std::string& x) {
+    // One color and one color only; no neighbor shares it (Example 3).
+    std::vector<Formula> has_some;
+    std::vector<Formula> not_two;
+    std::vector<Formula> differs;
+    const std::vector<std::string> colors = {"C0", "C1", "C2"};
+    for (std::size_t i = 0; i < colors.size(); ++i) {
+        has_some.push_back(apply(colors[i], {x}));
+        for (std::size_t j = 0; j < colors.size(); ++j) {
+            if (i != j) {
+                not_two.push_back(
+                    negate(conj(apply(colors[i], {x}), apply(colors[j], {x}))));
+            }
+        }
+    }
+    const std::string y = "$wc_y";
+    for (const auto& c : colors) {
+        differs.push_back(negate(conj(apply(c, {x}), apply(c, {y}))));
+    }
+    return conj_all({disj_all(has_some), conj_all(not_two),
+                     forall_node_conn(y, x, conj_all(differs))});
+}
+
+Formula three_colorable() {
+    return exists_so(
+        "C0", 1,
+        exists_so("C1", 1,
+                  exists_so("C2", 1, forall_node("x", well_colored("x")))));
+}
+
+Formula k_colorable(int k) {
+    check(k >= 1, "k_colorable: k must be positive");
+    const std::string x = "x";
+    const std::string y = "$kc_y";
+    std::vector<std::string> colors;
+    for (int i = 0; i < k; ++i) {
+        colors.push_back("C" + std::to_string(i));
+    }
+    std::vector<Formula> has_some;
+    std::vector<Formula> not_two;
+    std::vector<Formula> differs;
+    for (int i = 0; i < k; ++i) {
+        has_some.push_back(apply(colors[i], {x}));
+        for (int j = 0; j < k; ++j) {
+            if (i != j) {
+                not_two.push_back(
+                    negate(conj(apply(colors[i], {x}), apply(colors[j], {x}))));
+            }
+        }
+        differs.push_back(negate(conj(apply(colors[i], {x}), apply(colors[i], {y}))));
+    }
+    Formula matrix = forall_node(
+        x, conj_all({disj_all(has_some), conj_all(not_two),
+                     forall_node_conn(y, x, conj_all(differs))}));
+    for (int i = k - 1; i >= 0; --i) {
+        matrix = exists_so(colors[i], 1, matrix);
+    }
+    return matrix;
+}
+
+Formula two_colorable() { return k_colorable(2); }
+
+Formula points_to(Formula theta_of_x, const std::string& x) {
+    // UniqueParent(x) = exists-node y ~(<=1) x. (P(x,y) &
+    //                     forall-node z ~(<=1) x. (P(x,z) -> z = y))
+    const std::string y = "$pt_y";
+    const std::string z = "$pt_z";
+    const Formula unique_parent = exists_node_within(
+        y, 1, x,
+        conj(apply("P", {x, y}),
+             forall_node_within(z, 1, x,
+                                implies(apply("P", {x, z}), equals(z, y)))));
+    // RootCase[theta](x) = P(x,x) -> (theta(x) & Y(x))
+    const Formula root_case =
+        implies(apply("P", {x, x}), conj(std::move(theta_of_x), apply("Y", {x})));
+    // ChildCase(x) = !P(x,x) -> exists-node y ~ x. (P(x,y) &
+    //                  (Y(x) <-> !(Y(y) <-> X(x))))
+    const std::string yc = "$pt_yc";
+    const Formula child_case = implies(
+        negate(apply("P", {x, x})),
+        exists_node_conn(
+            yc, x,
+            conj(apply("P", {x, yc}),
+                 iff(apply("Y", {x}),
+                     negate(iff(apply("Y", {yc}), apply("X", {x})))))));
+    return conj_all({unique_parent, root_case, child_case});
+}
+
+Formula exists_unselected_node() {
+    // ExistsUnselectedNode = EXISTS P. FORALL X. EXISTS Y.
+    //                        forall-node x. PointsTo[!IsSelected](x)
+    return exists_so(
+        "P", 2,
+        forall_so("X", 1,
+                  exists_so("Y", 1,
+                            forall_node("x", points_to(negate(is_selected("x")),
+                                                       "x")))));
+}
+
+Formula non_three_colorable() {
+    // FORALL C0,C1,C2. EXISTS P. FORALL X. EXISTS Y.
+    //   forall-node x. PointsTo[!WellColored](x)    (Example 5)
+    Formula inner = exists_so(
+        "P", 2,
+        forall_so(
+            "X", 1,
+            exists_so("Y", 1,
+                      forall_node("x",
+                                  points_to(negate(well_colored("x")), "x")))));
+    return forall_so("C0", 1, forall_so("C1", 1, forall_so("C2", 1, inner)));
+}
+
+Formula degree_two(const std::string& x) {
+    // Exactly two H-neighbors among x's graph neighbors (Example 6).
+    const std::string y1 = "$d2_y1";
+    const std::string y2 = "$d2_y2";
+    const std::string z = "$d2_z";
+    const Formula both_edges =
+        conj_all({apply("H", {x, y1}), apply("H", {y1, x}), apply("H", {x, y2}),
+                  apply("H", {y2, x})});
+    const Formula no_third = forall_node_conn(
+        z, x,
+        implies(disj(apply("H", {x, z}), apply("H", {z, x})),
+                disj(equals(z, y1), equals(z, y2))));
+    return exists_node_conn(
+        y1, x,
+        exists_node_conn(y2, x, conj_all({negate(equals(y1, y2)), both_edges,
+                                          no_third})));
+}
+
+Formula in_agreement_on(const std::string& rel, const std::string& x) {
+    const std::string y = "$agr_" + rel + "_y";
+    return forall_node_conn(y, x, iff(apply(rel, {x}), apply(rel, {y})));
+}
+
+namespace {
+
+/// DiscontinuityAt(x) over H and S (Example 6).
+Formula discontinuity_at(const std::string& x) {
+    const std::string y = "$disc_y";
+    return exists_node_conn(
+        y, x,
+        conj(apply("H", {x, y}),
+             iff(apply("S", {x}), negate(apply("S", {y})))));
+}
+
+} // namespace
+
+Formula hamiltonian() {
+    const std::string x = "x";
+    // ConnectivityTest(x) = InAgreementOn[C](x) & TrivialCase(x) &
+    //                       PartitionedCase(x)
+    const Formula trivial_case =
+        implies(negate(apply("C", {x})), in_agreement_on("S", x));
+    const Formula partitioned_case =
+        implies(apply("C", {x}), points_to(discontinuity_at(x), x));
+    const Formula connectivity_test =
+        conj_all({in_agreement_on("C", x), trivial_case, partitioned_case});
+    const Formula matrix =
+        forall_node(x, conj(degree_two(x), connectivity_test));
+    // EXISTS H. FORALL S. EXISTS C, P. FORALL X. EXISTS Y. matrix
+    return exists_so(
+        "H", 2,
+        forall_so(
+            "S", 1,
+            exists_so(
+                "C", 1,
+                exists_so("P", 2,
+                          forall_so("X", 1, exists_so("Y", 1, matrix))))));
+}
+
+Formula non_hamiltonian() {
+    const std::string x = "x";
+    // InvalidCase(x) = !C(x) -> PointsTo[!DegreeTwo](x)
+    const Formula invalid_case =
+        implies(negate(apply("C", {x})), points_to(negate(degree_two(x)), x));
+    // DisjointCase(x) = C(x) -> (!DiscontinuityAt(x) & PointsTo[DivisionAt](x))
+    const Formula division_at = negate(in_agreement_on("S", x));
+    const Formula disjoint_case =
+        implies(apply("C", {x}),
+                conj(negate(discontinuity_at(x)), points_to(division_at, x)));
+    const Formula matrix = forall_node(
+        x, conj_all({in_agreement_on("C", x), invalid_case, disjoint_case}));
+    // FORALL H. EXISTS C, S, P. FORALL X. EXISTS Y. matrix
+    return forall_so(
+        "H", 2,
+        exists_so(
+            "C", 1,
+            exists_so(
+                "S", 1,
+                exists_so("P", 2,
+                          forall_so("X", 1, exists_so("Y", 1, matrix))))));
+}
+
+} // namespace lph::paper_formulas

@@ -1,0 +1,74 @@
+#pragma once
+
+#include "logic/formula.hpp"
+
+namespace lph {
+
+/// The example formulas of Section 5.2, built exactly as in the paper.
+/// All are evaluated on structural representations of labeled graphs
+/// (signature (1,2); see GraphStructure).
+namespace paper_formulas {
+
+/// IsNode(x) = !exists y ~ x. (y ->_2 x): x is a node element, not a bit.
+Formula is_node(const std::string& x);
+
+/// IsBit0 / IsBit1: x is a labeling bit of value 0 / 1.
+Formula is_bit0(const std::string& x);
+Formula is_bit1(const std::string& x);
+
+/// exists-over-nodes: exists x. (IsNode(x) & phi) — and the duals/bounded
+/// forms used throughout Section 5.2.
+Formula exists_node(const std::string& x, Formula phi);
+Formula forall_node(const std::string& x, Formula phi);
+Formula exists_node_conn(const std::string& x, const std::string& y, Formula phi);
+Formula forall_node_conn(const std::string& x, const std::string& y, Formula phi);
+Formula exists_node_within(const std::string& x, int r, const std::string& y,
+                           Formula phi);
+Formula forall_node_within(const std::string& x, int r, const std::string& y,
+                           Formula phi);
+
+/// IsSelected(x): the node x is labeled with the string "1" (Example 2).
+Formula is_selected(const std::string& x);
+
+/// ALL-SELECTED as the LFO-sentence forall-node x. IsSelected(x) (Example 2).
+Formula all_selected();
+
+/// WellColored(x) over unary variables C0, C1, C2 (Example 3).
+Formula well_colored(const std::string& x);
+
+/// 3-COLORABLE as the Sigma_1^LFO-sentence of Example 3.
+Formula three_colorable();
+
+/// 2-COLORABLE analogously (used in Proposition 21).
+Formula two_colorable();
+
+/// k-COLORABLE for arbitrary k >= 1 over variables C0..C(k-1).
+Formula k_colorable(int k);
+
+/// The PointsTo[theta] schema of Example 4 over relation variables P (binary),
+/// X and Y (unary): x's parent pointer points toward a node satisfying theta,
+/// assuming Eve wins the charge game.
+Formula points_to(Formula theta_of_x, const std::string& x);
+
+/// NOT-ALL-SELECTED as the Sigma_3^LFO-sentence ExistsUnselectedNode
+/// (Example 4).
+Formula exists_unselected_node();
+
+/// NON-3-COLORABLE as the Pi_4^LFO-sentence of Example 5.
+Formula non_three_colorable();
+
+/// DegreeTwo(x) over the binary variable H (Example 6).
+Formula degree_two(const std::string& x);
+
+/// InAgreementOn[R](x) = forall-node y ~ x. (R(x) <-> R(y)) (Example 6).
+Formula in_agreement_on(const std::string& rel, const std::string& x);
+
+/// HAMILTONIAN as the Sigma_5^LFO-sentence of Example 6.
+Formula hamiltonian();
+
+/// NON-HAMILTONIAN as the Pi_4^LFO-sentence of Example 7.
+Formula non_hamiltonian();
+
+} // namespace paper_formulas
+
+} // namespace lph

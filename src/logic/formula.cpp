@@ -1,0 +1,461 @@
+#include "logic/formula.hpp"
+
+#include "core/check.hpp"
+
+#include <atomic>
+#include <sstream>
+
+namespace lph {
+namespace {
+
+Formula make(FormulaNode node) {
+    return std::make_shared<const FormulaNode>(std::move(node));
+}
+
+/// Fresh-variable source for shorthand expansion and capture avoidance.
+std::string fresh_variable() {
+    static std::atomic<std::uint64_t> counter{0};
+    return "$fresh" + std::to_string(counter.fetch_add(1));
+}
+
+} // namespace
+
+namespace fl {
+
+Formula top() {
+    FormulaNode node;
+    node.kind = FormulaKind::Top;
+    return make(std::move(node));
+}
+
+Formula bottom() {
+    FormulaNode node;
+    node.kind = FormulaKind::Bottom;
+    return make(std::move(node));
+}
+
+Formula unary(std::size_t i, const std::string& x) {
+    check(i >= 1, "fl::unary: relation indices are 1-based");
+    FormulaNode node;
+    node.kind = FormulaKind::Unary;
+    node.rel_index = i;
+    node.var = x;
+    return make(std::move(node));
+}
+
+Formula binary(std::size_t i, const std::string& x, const std::string& y) {
+    check(i >= 1, "fl::binary: relation indices are 1-based");
+    FormulaNode node;
+    node.kind = FormulaKind::Binary;
+    node.rel_index = i;
+    node.var = x;
+    node.var2 = y;
+    return make(std::move(node));
+}
+
+Formula equals(const std::string& x, const std::string& y) {
+    FormulaNode node;
+    node.kind = FormulaKind::Equals;
+    node.var = x;
+    node.var2 = y;
+    return make(std::move(node));
+}
+
+Formula apply(const std::string& rel, std::vector<std::string> args) {
+    check(!args.empty(), "fl::apply: relations have positive arity");
+    FormulaNode node;
+    node.kind = FormulaKind::Apply;
+    node.rel_var = rel;
+    node.arity = args.size();
+    node.args = std::move(args);
+    return make(std::move(node));
+}
+
+Formula negate(Formula phi) {
+    FormulaNode node;
+    node.kind = FormulaKind::Not;
+    node.children = {std::move(phi)};
+    return make(std::move(node));
+}
+
+namespace {
+Formula connective(FormulaKind kind, Formula a, Formula b) {
+    FormulaNode node;
+    node.kind = kind;
+    node.children = {std::move(a), std::move(b)};
+    return make(std::move(node));
+}
+} // namespace
+
+Formula disj(Formula a, Formula b) { return connective(FormulaKind::Or, a, b); }
+Formula conj(Formula a, Formula b) { return connective(FormulaKind::And, a, b); }
+Formula implies(Formula a, Formula b) { return connective(FormulaKind::Implies, a, b); }
+Formula iff(Formula a, Formula b) { return connective(FormulaKind::Iff, a, b); }
+
+Formula disj_all(std::vector<Formula> parts) {
+    if (parts.empty()) {
+        return bottom();
+    }
+    Formula result = parts[0];
+    for (std::size_t i = 1; i < parts.size(); ++i) {
+        result = disj(result, parts[i]);
+    }
+    return result;
+}
+
+Formula conj_all(std::vector<Formula> parts) {
+    if (parts.empty()) {
+        return top();
+    }
+    Formula result = parts[0];
+    for (std::size_t i = 1; i < parts.size(); ++i) {
+        result = conj(result, parts[i]);
+    }
+    return result;
+}
+
+namespace {
+Formula quantifier(FormulaKind kind, const std::string& x, Formula phi) {
+    FormulaNode node;
+    node.kind = kind;
+    node.var = x;
+    node.children = {std::move(phi)};
+    return make(std::move(node));
+}
+} // namespace
+
+Formula exists(const std::string& x, Formula phi) {
+    return quantifier(FormulaKind::ExistsFO, x, std::move(phi));
+}
+
+Formula forall(const std::string& x, Formula phi) {
+    return quantifier(FormulaKind::ForallFO, x, std::move(phi));
+}
+
+Formula exists_conn(const std::string& x, const std::string& y, Formula phi) {
+    check(x != y, "fl::exists_conn: bound and anchor variables must differ");
+    FormulaNode node;
+    node.kind = FormulaKind::ExistsConn;
+    node.var = x;
+    node.var2 = y;
+    node.children = {std::move(phi)};
+    return make(std::move(node));
+}
+
+Formula forall_conn(const std::string& x, const std::string& y, Formula phi) {
+    check(x != y, "fl::forall_conn: bound and anchor variables must differ");
+    FormulaNode node;
+    node.kind = FormulaKind::ForallConn;
+    node.var = x;
+    node.var2 = y;
+    node.children = {std::move(phi)};
+    return make(std::move(node));
+}
+
+Formula exists_so(const std::string& rel, std::size_t arity, Formula phi) {
+    check(arity >= 1, "fl::exists_so: arity must be positive");
+    FormulaNode node;
+    node.kind = FormulaKind::ExistsSO;
+    node.rel_var = rel;
+    node.arity = arity;
+    node.children = {std::move(phi)};
+    return make(std::move(node));
+}
+
+Formula forall_so(const std::string& rel, std::size_t arity, Formula phi) {
+    check(arity >= 1, "fl::forall_so: arity must be positive");
+    FormulaNode node;
+    node.kind = FormulaKind::ForallSO;
+    node.rel_var = rel;
+    node.arity = arity;
+    node.children = {std::move(phi)};
+    return make(std::move(node));
+}
+
+Formula exists_within(const std::string& x, int r, const std::string& y,
+                      Formula phi) {
+    check(r >= 0, "fl::exists_within: negative radius");
+    // Paper, Section 5.1:
+    //   exists x ~(<=0)   y. phi  ==  phi[x -> y]
+    //   exists x ~(<=r+1) y. phi  ==
+    //     exists x ~(<=r) y. (phi  |  exists x' ~ x. phi[x -> x'])
+    if (r == 0) {
+        return substitute_fo(phi, x, y);
+    }
+    const std::string xp = fresh_variable();
+    const Formula step = fl::disj(phi, fl::exists_conn(xp, x, substitute_fo(phi, x, xp)));
+    return exists_within(x, r - 1, y, step);
+}
+
+Formula forall_within(const std::string& x, int r, const std::string& y,
+                      Formula phi) {
+    check(r >= 0, "fl::forall_within: negative radius");
+    if (r == 0) {
+        return substitute_fo(phi, x, y);
+    }
+    const std::string xp = fresh_variable();
+    const Formula step =
+        fl::conj(phi, fl::forall_conn(xp, x, substitute_fo(phi, x, xp)));
+    return forall_within(x, r - 1, y, step);
+}
+
+} // namespace fl
+
+namespace {
+
+void collect_free_fo(const Formula& phi, std::set<std::string>& bound,
+                     std::set<std::string>& free) {
+    const FormulaNode& node = *phi;
+    switch (node.kind) {
+    case FormulaKind::Top:
+    case FormulaKind::Bottom:
+        return;
+    case FormulaKind::Unary:
+        if (bound.count(node.var) == 0) free.insert(node.var);
+        return;
+    case FormulaKind::Binary:
+    case FormulaKind::Equals:
+        if (bound.count(node.var) == 0) free.insert(node.var);
+        if (bound.count(node.var2) == 0) free.insert(node.var2);
+        return;
+    case FormulaKind::Apply:
+        for (const auto& a : node.args) {
+            if (bound.count(a) == 0) free.insert(a);
+        }
+        return;
+    case FormulaKind::Not:
+    case FormulaKind::Or:
+    case FormulaKind::And:
+    case FormulaKind::Implies:
+    case FormulaKind::Iff:
+    case FormulaKind::ExistsSO:
+    case FormulaKind::ForallSO:
+        for (const auto& c : node.children) {
+            collect_free_fo(c, bound, free);
+        }
+        return;
+    case FormulaKind::ExistsFO:
+    case FormulaKind::ForallFO: {
+        const bool was_bound = bound.count(node.var) > 0;
+        bound.insert(node.var);
+        collect_free_fo(node.children[0], bound, free);
+        if (!was_bound) bound.erase(node.var);
+        return;
+    }
+    case FormulaKind::ExistsConn:
+    case FormulaKind::ForallConn: {
+        // The anchor y is free in "exists x ~ y. phi" (Table 1, line 8).
+        if (bound.count(node.var2) == 0) free.insert(node.var2);
+        const bool was_bound = bound.count(node.var) > 0;
+        bound.insert(node.var);
+        collect_free_fo(node.children[0], bound, free);
+        if (!was_bound) bound.erase(node.var);
+        return;
+    }
+    }
+}
+
+void collect_free_so(const Formula& phi, std::set<std::string>& bound,
+                     std::set<std::string>& free) {
+    const FormulaNode& node = *phi;
+    if (node.kind == FormulaKind::Apply) {
+        if (bound.count(node.rel_var) == 0) free.insert(node.rel_var);
+        return;
+    }
+    if (node.kind == FormulaKind::ExistsSO || node.kind == FormulaKind::ForallSO) {
+        const bool was_bound = bound.count(node.rel_var) > 0;
+        bound.insert(node.rel_var);
+        collect_free_so(node.children[0], bound, free);
+        if (!was_bound) bound.erase(node.rel_var);
+        return;
+    }
+    for (const auto& c : node.children) {
+        collect_free_so(c, bound, free);
+    }
+}
+
+} // namespace
+
+std::set<std::string> free_fo_variables(const Formula& phi) {
+    std::set<std::string> bound;
+    std::set<std::string> free;
+    collect_free_fo(phi, bound, free);
+    return free;
+}
+
+std::set<std::string> free_so_variables(const Formula& phi) {
+    std::set<std::string> bound;
+    std::set<std::string> free;
+    collect_free_so(phi, bound, free);
+    return free;
+}
+
+Formula substitute_fo(const Formula& phi, const std::string& from,
+                      const std::string& to) {
+    const FormulaNode& node = *phi;
+    auto subst_var = [&](const std::string& v) { return v == from ? to : v; };
+    switch (node.kind) {
+    case FormulaKind::Top:
+    case FormulaKind::Bottom:
+        return phi;
+    case FormulaKind::Unary:
+        return fl::unary(node.rel_index, subst_var(node.var));
+    case FormulaKind::Binary:
+        return fl::binary(node.rel_index, subst_var(node.var), subst_var(node.var2));
+    case FormulaKind::Equals:
+        return fl::equals(subst_var(node.var), subst_var(node.var2));
+    case FormulaKind::Apply: {
+        std::vector<std::string> args;
+        args.reserve(node.args.size());
+        for (const auto& a : node.args) {
+            args.push_back(subst_var(a));
+        }
+        return fl::apply(node.rel_var, std::move(args));
+    }
+    case FormulaKind::Not:
+        return fl::negate(substitute_fo(node.children[0], from, to));
+    case FormulaKind::Or:
+        return fl::disj(substitute_fo(node.children[0], from, to),
+                        substitute_fo(node.children[1], from, to));
+    case FormulaKind::And:
+        return fl::conj(substitute_fo(node.children[0], from, to),
+                        substitute_fo(node.children[1], from, to));
+    case FormulaKind::Implies:
+        return fl::implies(substitute_fo(node.children[0], from, to),
+                           substitute_fo(node.children[1], from, to));
+    case FormulaKind::Iff:
+        return fl::iff(substitute_fo(node.children[0], from, to),
+                       substitute_fo(node.children[1], from, to));
+    case FormulaKind::ExistsSO:
+        return fl::exists_so(node.rel_var, node.arity,
+                             substitute_fo(node.children[0], from, to));
+    case FormulaKind::ForallSO:
+        return fl::forall_so(node.rel_var, node.arity,
+                             substitute_fo(node.children[0], from, to));
+    case FormulaKind::ExistsFO:
+    case FormulaKind::ForallFO:
+    case FormulaKind::ExistsConn:
+    case FormulaKind::ForallConn: {
+        std::string bound_var = node.var;
+        Formula body = node.children[0];
+        if (bound_var == from) {
+            // Bound occurrence shadows the substitution inside the body.
+            body = node.children[0];
+        } else {
+            if (bound_var == to) {
+                // Avoid capture: rename the bound variable first.
+                const std::string renamed = fresh_variable();
+                body = substitute_fo(body, bound_var, renamed);
+                bound_var = renamed;
+            }
+            body = substitute_fo(body, from, to);
+        }
+        switch (node.kind) {
+        case FormulaKind::ExistsFO:
+            return fl::exists(bound_var, body);
+        case FormulaKind::ForallFO:
+            return fl::forall(bound_var, body);
+        case FormulaKind::ExistsConn:
+            return fl::exists_conn(bound_var, subst_var(node.var2), body);
+        default:
+            return fl::forall_conn(bound_var, subst_var(node.var2), body);
+        }
+    }
+    }
+    check(false, "substitute_fo: unreachable");
+    return phi;
+}
+
+namespace {
+
+void print(const Formula& phi, std::ostringstream& out) {
+    const FormulaNode& node = *phi;
+    switch (node.kind) {
+    case FormulaKind::Top:
+        out << "T";
+        return;
+    case FormulaKind::Bottom:
+        out << "F";
+        return;
+    case FormulaKind::Unary:
+        out << "O" << node.rel_index << "(" << node.var << ")";
+        return;
+    case FormulaKind::Binary:
+        out << node.var << " ->" << node.rel_index << " " << node.var2;
+        return;
+    case FormulaKind::Equals:
+        out << node.var << " = " << node.var2;
+        return;
+    case FormulaKind::Apply: {
+        out << node.rel_var << "(";
+        for (std::size_t i = 0; i < node.args.size(); ++i) {
+            if (i > 0) out << ",";
+            out << node.args[i];
+        }
+        out << ")";
+        return;
+    }
+    case FormulaKind::Not:
+        out << "!(";
+        print(node.children[0], out);
+        out << ")";
+        return;
+    case FormulaKind::Or:
+    case FormulaKind::And:
+    case FormulaKind::Implies:
+    case FormulaKind::Iff: {
+        const char* op = node.kind == FormulaKind::Or        ? " | "
+                         : node.kind == FormulaKind::And     ? " & "
+                         : node.kind == FormulaKind::Implies ? " -> "
+                                                             : " <-> ";
+        out << "(";
+        print(node.children[0], out);
+        out << op;
+        print(node.children[1], out);
+        out << ")";
+        return;
+    }
+    case FormulaKind::ExistsFO:
+        out << "exists " << node.var << ". ";
+        print(node.children[0], out);
+        return;
+    case FormulaKind::ForallFO:
+        out << "forall " << node.var << ". ";
+        print(node.children[0], out);
+        return;
+    case FormulaKind::ExistsConn:
+        out << "exists " << node.var << "~" << node.var2 << ". ";
+        print(node.children[0], out);
+        return;
+    case FormulaKind::ForallConn:
+        out << "forall " << node.var << "~" << node.var2 << ". ";
+        print(node.children[0], out);
+        return;
+    case FormulaKind::ExistsSO:
+        out << "EXISTS " << node.rel_var << "/" << node.arity << ". ";
+        print(node.children[0], out);
+        return;
+    case FormulaKind::ForallSO:
+        out << "FORALL " << node.rel_var << "/" << node.arity << ". ";
+        print(node.children[0], out);
+        return;
+    }
+}
+
+} // namespace
+
+std::string to_string(const Formula& phi) {
+    std::ostringstream out;
+    print(phi, out);
+    return out.str();
+}
+
+std::size_t formula_size(const Formula& phi) {
+    std::size_t total = 1;
+    for (const auto& c : phi->children) {
+        total += formula_size(c);
+    }
+    return total;
+}
+
+} // namespace lph

@@ -1,0 +1,114 @@
+#pragma once
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace lph {
+
+/// Kinds of formula nodes (Table 1 plus the usual derived connectives, which
+/// are kept as primitive nodes for readability of printed formulas).
+enum class FormulaKind {
+    Top,          ///< truth constant
+    Bottom,       ///< falsity constant
+    Unary,        ///< O_i x
+    Binary,       ///< x ->_i y
+    Equals,       ///< x = y
+    Apply,        ///< R(x_1, ..., x_k)
+    Not,          ///< !phi
+    Or,           ///< phi_1 | phi_2
+    And,          ///< phi_1 & phi_2
+    Implies,      ///< phi_1 -> phi_2
+    Iff,          ///< phi_1 <-> phi_2
+    ExistsFO,     ///< exists x. phi            (unbounded, FO only)
+    ForallFO,     ///< forall x. phi            (unbounded, FO only)
+    ExistsConn,   ///< exists x ~ y. phi        (bounded, line 8 of Table 1)
+    ForallConn,   ///< forall x ~ y. phi        (bounded, dual)
+    ExistsSO,     ///< exists R. phi            (second order)
+    ForallSO,     ///< forall R. phi            (second order)
+};
+
+struct FormulaNode;
+
+/// Immutable, shareable formula handle.
+using Formula = std::shared_ptr<const FormulaNode>;
+
+struct FormulaNode {
+    FormulaKind kind = FormulaKind::Top;
+
+    /// Unary/Binary atoms: 1-based relation index, matching the paper's
+    /// O_1, ->_1, ->_2 notation.
+    std::size_t rel_index = 0;
+
+    /// Quantifiers: bound variable name.  Atoms: first argument.
+    std::string var;
+
+    /// Bounded quantifiers: the anchor variable y.  Binary/Equals atoms:
+    /// second argument.
+    std::string var2;
+
+    /// Apply / SO quantifiers: relation-variable name and arity.
+    std::string rel_var;
+    std::size_t arity = 0;
+
+    /// Apply: argument variables.
+    std::vector<std::string> args;
+
+    std::vector<Formula> children;
+};
+
+/// Builders for the grammar of Section 5.1.  Relation indices are 1-based as
+/// in the paper.
+namespace fl {
+
+Formula top();
+Formula bottom();
+Formula unary(std::size_t i, const std::string& x);
+Formula binary(std::size_t i, const std::string& x, const std::string& y);
+Formula equals(const std::string& x, const std::string& y);
+Formula apply(const std::string& rel, std::vector<std::string> args);
+Formula negate(Formula phi);
+Formula disj(Formula a, Formula b);
+Formula conj(Formula a, Formula b);
+Formula implies(Formula a, Formula b);
+Formula iff(Formula a, Formula b);
+/// n-ary variants fold left; empty input yields the neutral constant.
+Formula disj_all(std::vector<Formula> parts);
+Formula conj_all(std::vector<Formula> parts);
+Formula exists(const std::string& x, Formula phi);
+Formula forall(const std::string& x, Formula phi);
+/// exists x ~ y. phi — bounded first-order quantification; x != y required.
+Formula exists_conn(const std::string& x, const std::string& y, Formula phi);
+Formula forall_conn(const std::string& x, const std::string& y, Formula phi);
+Formula exists_so(const std::string& rel, std::size_t arity, Formula phi);
+Formula forall_so(const std::string& rel, std::size_t arity, Formula phi);
+
+/// The shorthand exists x ~(<=r) y. phi of Section 5.1 ("there is an x within
+/// distance r of y"), expanded by the paper's inductive definition with fresh
+/// variables.
+Formula exists_within(const std::string& x, int r, const std::string& y, Formula phi);
+
+/// Dual shorthand forall x ~(<=r) y. phi.
+Formula forall_within(const std::string& x, int r, const std::string& y, Formula phi);
+
+} // namespace fl
+
+/// Free first-order variables of phi.
+std::set<std::string> free_fo_variables(const Formula& phi);
+
+/// Free second-order variables of phi (names only).
+std::set<std::string> free_so_variables(const Formula& phi);
+
+/// Capture-avoiding substitution of free occurrences of first-order variable
+/// `from` by variable `to`.
+Formula substitute_fo(const Formula& phi, const std::string& from,
+                      const std::string& to);
+
+/// Human-readable rendering (ASCII approximations of the paper's symbols).
+std::string to_string(const Formula& phi);
+
+/// Total number of AST nodes.
+std::size_t formula_size(const Formula& phi);
+
+} // namespace lph

@@ -1,0 +1,23 @@
+#include "machines/deciders.hpp"
+
+namespace lph {
+
+std::string AllSelectedDecider::decide(const NeighborhoodView& view,
+                                       StepMeter& meter) const {
+    meter.charge(view.graph.label(view.self).size() + 1);
+    return view.graph.label(view.self) == "1" ? "1" : "0";
+}
+
+std::string EulerianDecider::decide(const NeighborhoodView& view,
+                                    StepMeter& meter) const {
+    meter.charge(view.graph.degree(view.self) + 1);
+    return view.graph.degree(view.self) % 2 == 0 ? "1" : "0";
+}
+
+std::string AllLabeledDecider::decide(const NeighborhoodView& view,
+                                      StepMeter& meter) const {
+    meter.charge(view.graph.label(view.self).size() + expected_.size() + 1);
+    return view.graph.label(view.self) == expected_ ? "1" : "0";
+}
+
+} // namespace lph

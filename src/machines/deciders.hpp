@@ -1,0 +1,40 @@
+#pragma once
+
+#include "dtm/gather.hpp"
+
+namespace lph {
+
+/// LP-decider for ALL-SELECTED: accepts iff every node's label is "1"
+/// (Remark 14: trivially LP-complete).  Radius 0 — a node inspects only its
+/// own label.
+class AllSelectedDecider : public NeighborhoodGatherMachine {
+public:
+    AllSelectedDecider() : NeighborhoodGatherMachine(0) {}
+    Polynomial step_bound() const override { return Polynomial{16, 4}; }
+    std::string decide(const NeighborhoodView& view, StepMeter& meter) const override;
+};
+
+/// LP-decider for EULERIAN via Euler's theorem (Proposition 15): since input
+/// graphs are connected by definition, Eulerianness is "every degree even".
+/// Radius 1 — a node needs only its degree.
+class EulerianDecider : public NeighborhoodGatherMachine {
+public:
+    EulerianDecider() : NeighborhoodGatherMachine(1) {}
+    Polynomial step_bound() const override { return Polynomial{512, 48}; }
+    std::string decide(const NeighborhoodView& view, StepMeter& meter) const override;
+};
+
+/// LP-decider for "every node's label equals the given constant" — the
+/// generalization of ALL-SELECTED used as a reduction source in tests.
+class AllLabeledDecider : public NeighborhoodGatherMachine {
+public:
+    explicit AllLabeledDecider(BitString expected)
+        : NeighborhoodGatherMachine(0), expected_(std::move(expected)) {}
+    Polynomial step_bound() const override { return Polynomial{16, 4}; }
+    std::string decide(const NeighborhoodView& view, StepMeter& meter) const override;
+
+private:
+    BitString expected_;
+};
+
+} // namespace lph

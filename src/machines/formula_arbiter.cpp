@@ -1,0 +1,287 @@
+#include "machines/formula_arbiter.hpp"
+
+#include "core/check.hpp"
+
+#include <sstream>
+
+namespace lph {
+
+PrefixSentence decompose_prefix_sentence(const Formula& sentence) {
+    PrefixSentence result;
+    Formula current = sentence;
+    while (current->kind == FormulaKind::ExistsSO ||
+           current->kind == FormulaKind::ForallSO) {
+        const bool existential = current->kind == FormulaKind::ExistsSO;
+        if (result.blocks.empty() || result.blocks.back().existential != existential) {
+            result.blocks.push_back(SOBlock{existential, {}});
+        }
+        result.blocks.back().variables.push_back(
+            SOVariable{current->rel_var, current->arity, existential});
+        current = current->children[0];
+    }
+    check(current->kind == FormulaKind::ForallFO,
+          "decompose_prefix_sentence: matrix must be 'forall x. psi'");
+    result.matrix_var = current->var;
+    result.matrix_body = current->children[0];
+    const FormulaClass c = classify(result.matrix_body);
+    check(c.bounded, "decompose_prefix_sentence: matrix body must be a BF formula");
+    result.radius = c.bf_depth;
+    return result;
+}
+
+namespace {
+
+/// ASCII layer format: relations (in block order) joined by '|'; tuples by
+/// ';'; elements by ','; element = id '.' position.  The ASCII text is then
+/// packed 8 bits per character, since certificates are bit strings.
+std::string render_slice(const RelationSlice& slice,
+                         const std::vector<SOVariable>& block_vars) {
+    std::ostringstream out;
+    for (std::size_t i = 0; i < block_vars.size(); ++i) {
+        if (i > 0) {
+            out << '|';
+        }
+        const auto it = slice.find(block_vars[i].name);
+        if (it == slice.end()) {
+            continue;
+        }
+        for (std::size_t t = 0; t < it->second.size(); ++t) {
+            if (t > 0) {
+                out << ';';
+            }
+            const RefTuple& tuple = it->second[t];
+            for (std::size_t e = 0; e < tuple.size(); ++e) {
+                if (e > 0) {
+                    out << ',';
+                }
+                out << tuple[e].owner_id << '.' << tuple[e].bit_position;
+            }
+        }
+    }
+    return out.str();
+}
+
+std::vector<std::string> split_on(const std::string& s, char sep) {
+    std::vector<std::string> parts;
+    std::string current;
+    for (char c : s) {
+        if (c == sep) {
+            parts.push_back(current);
+            current.clear();
+        } else {
+            current.push_back(c);
+        }
+    }
+    parts.push_back(current);
+    return parts;
+}
+
+BitString pack_ascii(const std::string& text) {
+    BitString bits;
+    bits.reserve(text.size() * 8);
+    for (char c : text) {
+        bits += encode_unsigned_width(static_cast<unsigned char>(c), 8);
+    }
+    return bits;
+}
+
+std::string unpack_ascii(const BitString& bits) {
+    check(bits.size() % 8 == 0, "relation certificate: length not a byte multiple");
+    std::string text;
+    text.reserve(bits.size() / 8);
+    for (std::size_t i = 0; i < bits.size(); i += 8) {
+        text.push_back(static_cast<char>(decode_unsigned(bits.substr(i, 8))));
+    }
+    return text;
+}
+
+} // namespace
+
+BitString encode_relation_certificate(const RelationSlice& slice,
+                                      const std::vector<SOVariable>& block_vars) {
+    return pack_ascii(render_slice(slice, block_vars));
+}
+
+RelationSlice decode_relation_certificate(const BitString& cert,
+                                          const std::vector<SOVariable>& block_vars) {
+    const std::string text = unpack_ascii(cert);
+    const auto sections = split_on(text, '|');
+    check(sections.size() == block_vars.size(),
+          "relation certificate: wrong number of relation sections");
+    RelationSlice slice;
+    for (std::size_t i = 0; i < block_vars.size(); ++i) {
+        std::vector<RefTuple> tuples;
+        if (!sections[i].empty()) {
+            for (const auto& tuple_text : split_on(sections[i], ';')) {
+                const auto element_texts = split_on(tuple_text, ',');
+                check(element_texts.size() == block_vars[i].arity,
+                      "relation certificate: tuple arity mismatch");
+                RefTuple tuple;
+                for (const auto& element_text : element_texts) {
+                    const auto dot = element_text.rfind('.');
+                    check(dot != std::string::npos,
+                          "relation certificate: malformed element reference");
+                    ElementRef ref;
+                    ref.owner_id = element_text.substr(0, dot);
+                    check(is_bit_string(ref.owner_id),
+                          "relation certificate: identifier is not a bit string");
+                    const std::string pos_text = element_text.substr(dot + 1);
+                    check(!pos_text.empty() &&
+                              pos_text.find_first_not_of("0123456789") ==
+                                  std::string::npos,
+                          "relation certificate: malformed bit position");
+                    ref.bit_position = static_cast<std::size_t>(std::stoul(pos_text));
+                    tuple.push_back(std::move(ref));
+                }
+                tuples.push_back(std::move(tuple));
+            }
+        }
+        slice.emplace(block_vars[i].name, std::move(tuples));
+    }
+    return slice;
+}
+
+FormulaArbiter::FormulaArbiter(const Formula& sentence)
+    : NeighborhoodGatherMachine(
+          std::max(1, decompose_prefix_sentence(sentence).radius)),
+      prefix_(decompose_prefix_sentence(sentence)) {}
+
+Polynomial FormulaArbiter::step_bound() const {
+    // Evaluating a fixed BF formula by exhaustive search over bounded
+    // neighborhoods is polynomial in the local input; the degree grows with
+    // the formula's quantifier depth.
+    return Polynomial::max(Polynomial{4096, 4096, 16},
+                           Polynomial::monomial(
+                               16, static_cast<unsigned>(prefix_.radius) + 2));
+}
+
+std::string FormulaArbiter::decide(const NeighborhoodView& view,
+                                   StepMeter& meter) const {
+    // Decode every layer of every in-view node.  Detecting a malformed layer
+    // ends the decision per the Lemma 8 relativization rule.
+    const auto own_layers = split_hash(view.certs[view.self]);
+    const std::size_t num_layers = prefix_.blocks.size();
+
+    std::vector<std::map<std::string, std::vector<RefTuple>>> layer_tuples(num_layers);
+    for (std::size_t layer = 0; layer < num_layers; ++layer) {
+        const SOBlock& block = prefix_.blocks[layer];
+        for (NodeId v = 0; v < view.graph.num_nodes(); ++v) {
+            const auto layers_v = split_hash(view.certs[v]);
+            const std::string cert =
+                layer < layers_v.size() ? layers_v[layer] : "";
+            RelationSlice slice;
+            try {
+                slice = decode_relation_certificate(cert, block.variables);
+            } catch (const precondition_error&) {
+                return block.existential ? "0" : "1";
+            }
+            for (auto& [name, tuples] : slice) {
+                auto& sink = layer_tuples[layer][name];
+                sink.insert(sink.end(), tuples.begin(), tuples.end());
+            }
+            meter.charge(cert.size() + 1);
+        }
+    }
+
+    // Build the structural representation of the gathered neighborhood and
+    // resolve element references; unresolvable tuples are dropped (they can
+    // never be inspected by a BF formula anchored at this node).
+    const GraphStructure gs(view.graph);
+    std::map<BitString, NodeId> by_id;
+    for (NodeId v = 0; v < view.graph.num_nodes(); ++v) {
+        by_id.emplace(view.ids[v], v);
+    }
+    auto resolve = [&](const ElementRef& ref) -> std::optional<Element> {
+        const auto it = by_id.find(ref.owner_id);
+        if (it == by_id.end()) {
+            return std::nullopt;
+        }
+        if (ref.bit_position == 0) {
+            return gs.node_element(it->second);
+        }
+        if (ref.bit_position > view.graph.label(it->second).size()) {
+            return std::nullopt;
+        }
+        return gs.bit_element(it->second, ref.bit_position);
+    };
+
+    Assignment sigma;
+    for (std::size_t layer = 0; layer < num_layers; ++layer) {
+        for (const SOVariable& var : prefix_.blocks[layer].variables) {
+            RelationValue value(var.arity);
+            const auto it = layer_tuples[layer].find(var.name);
+            if (it != layer_tuples[layer].end()) {
+                for (const RefTuple& tuple : it->second) {
+                    ElementTuple resolved;
+                    bool ok = true;
+                    for (const ElementRef& ref : tuple) {
+                        const auto element = resolve(ref);
+                        if (!element.has_value()) {
+                            ok = false;
+                            break;
+                        }
+                        resolved.push_back(*element);
+                    }
+                    if (ok) {
+                        value.insert(std::move(resolved));
+                    }
+                    meter.charge(tuple.size());
+                }
+            }
+            sigma.so.emplace(var.name, std::move(value));
+        }
+    }
+
+    // Evaluate psi at the elements representing this node and its bits.
+    std::vector<Element> anchors{gs.node_element(view.self)};
+    for (std::size_t i = 1; i <= view.graph.label(view.self).size(); ++i) {
+        anchors.push_back(gs.bit_element(view.self, i));
+    }
+    const std::uint64_t domain = gs.structure().domain_size();
+    meter.charge(formula_size(prefix_.matrix_body) * domain * anchors.size());
+    for (Element anchor : anchors) {
+        sigma.fo[prefix_.matrix_var] = anchor;
+        if (!evaluate(gs.structure(), prefix_.matrix_body, sigma)) {
+            return "0";
+        }
+    }
+    return "1";
+}
+
+CertificateAssignment slice_relations_to_certificates(
+    const GraphStructure& gs, const IdentifierAssignment& id,
+    const std::vector<SOVariable>& block_vars,
+    const std::map<std::string, RelationValue>& relations) {
+    const LabeledGraph& g = gs.graph();
+    auto to_ref = [&](Element e) {
+        ElementRef ref;
+        ref.owner_id = id(gs.owner(e));
+        ref.bit_position = gs.is_node_element(e) ? 0 : gs.bit_position(e);
+        return ref;
+    };
+    std::vector<BitString> certs(g.num_nodes());
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+        RelationSlice slice;
+        for (const SOVariable& var : block_vars) {
+            const auto it = relations.find(var.name);
+            check(it != relations.end(),
+                  "slice_relations_to_certificates: missing relation " + var.name);
+            std::vector<RefTuple> tuples;
+            for (const ElementTuple& tuple : it->second.tuples()) {
+                if (gs.owner(tuple[0]) != u) {
+                    continue;
+                }
+                RefTuple refs;
+                for (Element e : tuple) {
+                    refs.push_back(to_ref(e));
+                }
+                tuples.push_back(std::move(refs));
+            }
+            slice.emplace(var.name, std::move(tuples));
+        }
+        certs[u] = encode_relation_certificate(slice, block_vars);
+    }
+    return CertificateAssignment(std::move(certs));
+}
+
+} // namespace lph

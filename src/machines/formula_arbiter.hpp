@@ -1,0 +1,106 @@
+#pragma once
+
+#include "dtm/gather.hpp"
+#include "logic/classify.hpp"
+#include "logic/eval.hpp"
+#include "logic/formula.hpp"
+#include "structure/graph_structure.hpp"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace lph {
+
+/// A second-order variable of the sentence prefix.
+struct SOVariable {
+    std::string name;
+    std::size_t arity = 1;
+    bool existential = true;
+};
+
+/// One alternation block: consecutive same-polarity quantifiers.
+struct SOBlock {
+    bool existential = true;
+    std::vector<SOVariable> variables;
+};
+
+/// Decomposes a Sigma_l/Pi_l^LFO sentence into its quantifier blocks and the
+/// LFO matrix "forall x. psi(x)".  Throws unless the sentence has that shape.
+struct PrefixSentence {
+    std::vector<SOBlock> blocks;
+    std::string matrix_var;  ///< the universally quantified first-order x
+    Formula matrix_body;     ///< psi(x), a BF formula
+    int radius = 0;          ///< bf nesting depth of psi — the machine's r
+};
+
+PrefixSentence decompose_prefix_sentence(const Formula& sentence);
+
+/// A relation assignment restricted to what one node contributes: for each
+/// relation variable, the tuples whose first element is owned by that node.
+/// Elements are referenced as (owner identifier, bit position), position 0
+/// meaning the node element itself.
+struct ElementRef {
+    BitString owner_id;
+    std::size_t bit_position = 0; ///< 0 = node element, i >= 1 = i-th bit
+
+    bool operator<(const ElementRef& other) const {
+        return std::tie(owner_id, bit_position) <
+               std::tie(other.owner_id, other.bit_position);
+    }
+    bool operator==(const ElementRef& other) const {
+        return owner_id == other.owner_id && bit_position == other.bit_position;
+    }
+};
+
+using RefTuple = std::vector<ElementRef>;
+
+/// Per-node slice of the relations of one quantifier block.
+using RelationSlice = std::map<std::string, std::vector<RefTuple>>;
+
+/// Encodes a slice into a certificate bit string and back.
+BitString encode_relation_certificate(const RelationSlice& slice,
+                                      const std::vector<SOVariable>& block_vars);
+RelationSlice decode_relation_certificate(const BitString& cert,
+                                          const std::vector<SOVariable>& block_vars);
+
+/// The generic restrictive arbiter of Theorem 12 (backward direction): given
+/// a Sigma_l/Pi_l^LFO sentence, certificate layer i encodes each node's slice
+/// of the block-i relations; each node reconstructs its r-neighborhood,
+/// decodes all slices in view, and evaluates psi at the elements representing
+/// itself and its labeling bits.
+///
+/// Malformed certificates are treated per the Lemma 8 relativization: a node
+/// that detects its first malformed layer votes 0 when that layer is
+/// existential and 1 when it is universal.
+class FormulaArbiter : public NeighborhoodGatherMachine {
+public:
+    explicit FormulaArbiter(const Formula& sentence);
+
+    const PrefixSentence& prefix() const { return prefix_; }
+    std::size_t levels() const { return prefix_.blocks.size(); }
+
+    Polynomial step_bound() const override;
+
+    /// Certificate tuples may reference elements up to 2r away from their
+    /// owner (Theorem 12's restriction), so identifier resolution needs
+    /// uniqueness beyond the gather default.
+    int id_radius() const override {
+        return std::max(2 * radius(), NeighborhoodGatherMachine::id_radius());
+    }
+
+    std::string decide(const NeighborhoodView& view, StepMeter& meter) const override;
+
+private:
+    PrefixSentence prefix_;
+};
+
+/// Splits a global relation assignment (over the structural representation
+/// of g) into per-node certificates for one block — the encoding Eve/Adam
+/// use when playing the machine game (Theorem 12).
+CertificateAssignment slice_relations_to_certificates(
+    const GraphStructure& gs, const IdentifierAssignment& id,
+    const std::vector<SOVariable>& block_vars,
+    const std::map<std::string, RelationValue>& relations);
+
+} // namespace lph

@@ -1,0 +1,161 @@
+#include "machines/lcl.hpp"
+
+#include "core/check.hpp"
+
+namespace lph {
+
+LclDecider::LclDecider(LclProblem problem)
+    : NeighborhoodGatherMachine(problem.radius), problem_(std::move(problem)) {
+    check(problem_.radius >= 0, "LclDecider: negative radius");
+    check(static_cast<bool>(problem_.valid), "LclDecider: no validity predicate");
+}
+
+Polynomial LclDecider::step_bound() const {
+    // Constant degree and label bounds make the view constant-sized; the
+    // check is constant time plus reading the input.
+    return Polynomial{4096, 64};
+}
+
+std::string LclDecider::decide(const NeighborhoodView& view,
+                               StepMeter& meter) const {
+    meter.charge(view.graph.num_nodes() + view.graph.num_edges());
+    // Domain check: LCL problems live on GRAPH(Delta) with constant labels.
+    if (view.graph.degree(view.self) > problem_.max_degree ||
+        view.graph.label(view.self).size() > problem_.max_label_bits) {
+        return "0";
+    }
+    return problem_.valid(view) ? "1" : "0";
+}
+
+LclProblem lcl_proper_three_coloring() {
+    LclProblem problem;
+    problem.name = "proper-3-coloring";
+    problem.radius = 1;
+    problem.max_degree = 6;
+    problem.max_label_bits = 2;
+    problem.valid = [](const NeighborhoodView& view) {
+        const BitString& mine = view.graph.label(view.self);
+        if (mine.size() != 2 || decode_unsigned(mine) > 2) {
+            return false;
+        }
+        for (NodeId v : view.graph.neighbors(view.self)) {
+            if (view.graph.label(v) == mine) {
+                return false;
+            }
+        }
+        return true;
+    };
+    return problem;
+}
+
+LclProblem lcl_maximal_independent_set() {
+    LclProblem problem;
+    problem.name = "maximal-independent-set";
+    problem.radius = 1;
+    problem.max_degree = 6;
+    problem.max_label_bits = 1;
+    problem.valid = [](const NeighborhoodView& view) {
+        const bool selected = view.graph.label(view.self) == "1";
+        if (selected) {
+            // Independence.
+            for (NodeId v : view.graph.neighbors(view.self)) {
+                if (view.graph.label(v) == "1") {
+                    return false;
+                }
+            }
+            return true;
+        }
+        // Maximality: some neighbor is selected.
+        for (NodeId v : view.graph.neighbors(view.self)) {
+            if (view.graph.label(v) == "1") {
+                return true;
+            }
+        }
+        return false;
+    };
+    return problem;
+}
+
+LclProblem lcl_weak_two_coloring() {
+    LclProblem problem;
+    problem.name = "weak-2-coloring";
+    problem.radius = 1;
+    problem.max_degree = 6;
+    problem.max_label_bits = 1;
+    problem.valid = [](const NeighborhoodView& view) {
+        const BitString& mine = view.graph.label(view.self);
+        if (mine != "0" && mine != "1") {
+            return false;
+        }
+        if (view.graph.degree(view.self) == 0) {
+            return true; // isolated nodes are vacuously fine
+        }
+        for (NodeId v : view.graph.neighbors(view.self)) {
+            if (view.graph.label(v) != mine) {
+                return true;
+            }
+        }
+        return false;
+    };
+    return problem;
+}
+
+bool is_proper_three_coloring_labeling(const LabeledGraph& g) {
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+        if (g.label(u).size() != 2 || decode_unsigned(g.label(u)) > 2) {
+            return false;
+        }
+        for (NodeId v : g.neighbors(u)) {
+            if (g.label(v) == g.label(u)) {
+                return false;
+            }
+        }
+    }
+    return true;
+}
+
+bool is_maximal_independent_set_labeling(const LabeledGraph& g) {
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+        const bool selected = g.label(u) == "1";
+        if (!selected && g.label(u) != "0") {
+            return false;
+        }
+        bool has_selected_neighbor = false;
+        for (NodeId v : g.neighbors(u)) {
+            if (g.label(v) == "1") {
+                has_selected_neighbor = true;
+                if (selected) {
+                    return false;
+                }
+            }
+        }
+        if (!selected && !has_selected_neighbor) {
+            return false;
+        }
+    }
+    return true;
+}
+
+bool is_weak_two_coloring_labeling(const LabeledGraph& g) {
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+        if (g.label(u) != "0" && g.label(u) != "1") {
+            return false;
+        }
+        if (g.degree(u) == 0) {
+            continue;
+        }
+        bool has_different = false;
+        for (NodeId v : g.neighbors(u)) {
+            if (g.label(v) != g.label(u)) {
+                has_different = true;
+                break;
+            }
+        }
+        if (!has_different) {
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace lph

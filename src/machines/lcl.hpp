@@ -1,0 +1,58 @@
+#pragma once
+
+#include "dtm/gather.hpp"
+
+#include <functional>
+
+namespace lph {
+
+/// A locally checkable labeling problem (Naor–Stockmeyer), interpreted as a
+/// decision problem as in the paper's Section 1.3: a graph belongs to the
+/// property iff every node's r-neighborhood (labels included) is acceptable.
+///
+/// LCL imposes constant bounds on the maximum degree and the label length;
+/// within those bounds, the local check runs in constant time, so every LCL
+/// decision problem is decided by a local-polynomial machine — the
+/// inclusion LCL subseteq LP, realized by LclDecider.
+struct LclProblem {
+    std::string name;
+    int radius = 1;
+    std::size_t max_degree = 3;
+    std::size_t max_label_bits = 2;
+    /// Acceptability of one node's r-neighborhood view.
+    std::function<bool(const NeighborhoodView&)> valid;
+};
+
+/// The LP decider induced by an LCL problem: gathers radius r and applies
+/// the local predicate; graphs violating the degree/label bounds are
+/// rejected (they lie outside GRAPH(Delta), the problem's domain).
+class LclDecider : public NeighborhoodGatherMachine {
+public:
+    explicit LclDecider(LclProblem problem);
+
+    const LclProblem& problem() const { return problem_; }
+    Polynomial step_bound() const override;
+    std::string decide(const NeighborhoodView& view, StepMeter& meter) const override;
+
+private:
+    LclProblem problem_;
+};
+
+/// PROPER-3-COLORING as an LCL: labels are 2-bit colors 00/01/10, adjacent
+/// nodes differ.  (The decision version of the coloring construction task.)
+LclProblem lcl_proper_three_coloring();
+
+/// MAXIMAL-INDEPENDENT-SET as an LCL: labels are 1 bit; no two selected
+/// nodes are adjacent, and every unselected node has a selected neighbor.
+LclProblem lcl_maximal_independent_set();
+
+/// WEAK-2-COLORING as an LCL: every node has at least one differently
+/// labeled neighbor (1-bit labels).
+LclProblem lcl_weak_two_coloring();
+
+/// Reference oracles for the example LCLs (whole-graph checks used in tests).
+bool is_proper_three_coloring_labeling(const LabeledGraph& g);
+bool is_maximal_independent_set_labeling(const LabeledGraph& g);
+bool is_weak_two_coloring_labeling(const LabeledGraph& g);
+
+} // namespace lph

@@ -1,0 +1,246 @@
+#include "machines/regular_path.hpp"
+
+#include "core/check.hpp"
+
+#include <algorithm>
+
+namespace lph {
+
+LabeledGraph word_to_path(const BitString& word) {
+    check(!word.empty() && is_bit_string(word), "word_to_path: nonempty bit string");
+    LabeledGraph g;
+    for (char c : word) {
+        g.add_node(BitString(1, c));
+    }
+    for (std::size_t i = 0; i + 1 < word.size(); ++i) {
+        g.add_edge(i, i + 1);
+    }
+    return g;
+}
+
+std::optional<BitString> path_to_word(const LabeledGraph& g) {
+    if (g.num_nodes() == 0 || !g.is_connected()) {
+        return std::nullopt;
+    }
+    std::vector<NodeId> endpoints;
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+        if (g.label(u).size() != 1) {
+            return std::nullopt;
+        }
+        if (g.degree(u) > 2) {
+            return std::nullopt;
+        }
+        if (g.degree(u) <= 1) {
+            endpoints.push_back(u);
+        }
+    }
+    if (g.num_nodes() == 1) {
+        return g.label(0);
+    }
+    if (endpoints.size() != 2) {
+        return std::nullopt; // a cycle
+    }
+    BitString word;
+    NodeId prev = endpoints[0];
+    NodeId current = endpoints[0];
+    word += g.label(current);
+    while (current != endpoints[1]) {
+        const auto& nb = g.neighbors(current);
+        const NodeId next = (nb[0] == prev && nb.size() > 1) ? nb[1] : nb[0];
+        prev = current;
+        current = next;
+        word += g.label(current);
+    }
+    return word;
+}
+
+RegularPathVerifier::RegularPathVerifier(Dfa dfa)
+    : NeighborhoodGatherMachine(2), dfa_(std::move(dfa)),
+      state_bits_(bits_for(dfa_.num_states())) {
+    dfa_.validate();
+    check(dfa_.alphabet_size() >= 2, "RegularPathVerifier: need symbols 0 and 1");
+}
+
+BitString RegularPathVerifier::encode_certificate(bool has_prev,
+                                                  bool prev_is_higher_id,
+                                                  std::size_t state) const {
+    BitString cert;
+    cert.push_back(has_prev ? '1' : '0');
+    cert.push_back(prev_is_higher_id ? '1' : '0');
+    cert += encode_unsigned_width(state, state_bits_);
+    return cert;
+}
+
+std::optional<RegularPathVerifier::DecodedCert>
+RegularPathVerifier::decode(const std::string& cert) const {
+    if (cert.size() != 2 + static_cast<std::size_t>(state_bits_) ||
+        !is_bit_string(cert)) {
+        return std::nullopt;
+    }
+    DecodedCert d;
+    d.has_prev = cert[0] == '1';
+    d.prev_is_higher_id = cert[1] == '1';
+    d.state = decode_unsigned(cert.substr(2));
+    if (d.state >= dfa_.num_states()) {
+        return std::nullopt;
+    }
+    return d;
+}
+
+namespace {
+
+std::string first_certificate(const std::string& list) {
+    const auto parts = split_hash(list);
+    return parts.empty() ? "" : parts[0];
+}
+
+} // namespace
+
+std::string RegularPathVerifier::decide(const NeighborhoodView& view,
+                                        StepMeter& meter) const {
+    meter.charge(view.graph.num_nodes() + view.certs[view.self].size() + 8);
+    const NodeId self = view.self;
+    if (view.graph.degree(self) > 2 || view.graph.label(self).size() != 1) {
+        return "0"; // outside the path domain
+    }
+    const auto mine = decode(first_certificate(view.certs[self]));
+    if (!mine.has_value()) {
+        return "0";
+    }
+    const std::size_t my_bit = view.graph.label(self) == "1" ? 1 : 0;
+
+    // Resolve a node's prev-neighbor inside the view (sorted by identifier).
+    auto prev_of = [&](NodeId u, const DecodedCert& d) -> std::optional<NodeId> {
+        if (!d.has_prev) {
+            return std::nullopt;
+        }
+        std::vector<NodeId> nb = view.graph.neighbors(u);
+        if (nb.empty()) {
+            return std::nullopt;
+        }
+        std::sort(nb.begin(), nb.end(),
+                  [&](NodeId a, NodeId b) { return view.ids[a] < view.ids[b]; });
+        return d.prev_is_higher_id ? nb.back() : nb.front();
+    };
+
+    const auto my_prev = prev_of(self, *mine);
+    if (mine->has_prev && !my_prev.has_value()) {
+        return "0"; // claimed a predecessor with no neighbors
+    }
+
+    if (!mine->has_prev) {
+        // Start of the run: only endpoints (or isolated nodes) qualify, and
+        // the state is the one-step run from the initial state.
+        if (view.graph.degree(self) == 2) {
+            return "0";
+        }
+        if (mine->state != dfa_.transition(dfa_.start(), my_bit)) {
+            return "0";
+        }
+    } else {
+        const NodeId p = *my_prev;
+        const auto prev_cert = decode(first_certificate(view.certs[p]));
+        if (!prev_cert.has_value()) {
+            return "0";
+        }
+        // One DFA transition along the chain.
+        if (mine->state != dfa_.transition(prev_cert->state, my_bit)) {
+            return "0";
+        }
+        // The chain may not point back at me.
+        const auto prevs_prev = prev_of(p, *prev_cert);
+        if (prevs_prev.has_value() && *prevs_prev == self) {
+            return "0";
+        }
+    }
+
+    // Count neighbors that name me as their predecessor.
+    std::size_t successors = 0;
+    for (NodeId v : view.graph.neighbors(self)) {
+        const auto theirs = decode(first_certificate(view.certs[v]));
+        if (!theirs.has_value()) {
+            return "0";
+        }
+        const auto their_prev = prev_of(v, *theirs);
+        if (their_prev.has_value() && *their_prev == self) {
+            ++successors;
+        }
+    }
+    if (successors > 1) {
+        return "0"; // the run forked
+    }
+    if (successors == 0) {
+        // End of the run: acceptance.
+        if (!dfa_.is_accepting(mine->state)) {
+            return "0";
+        }
+    }
+    return "1";
+}
+
+std::optional<CertificateAssignment>
+RegularPathVerifier::eve_certificates(const LabeledGraph& g,
+                                      const IdentifierAssignment& id) const {
+    const std::size_t n = g.num_nodes();
+    if (n == 1) {
+        if (g.label(0).size() != 1) {
+            return std::nullopt;
+        }
+        const std::size_t state =
+            dfa_.transition(dfa_.start(), g.label(0) == "1" ? 1 : 0);
+        if (!dfa_.is_accepting(state)) {
+            return std::nullopt;
+        }
+        return CertificateAssignment(
+            std::vector<BitString>{encode_certificate(false, false, state)});
+    }
+    std::vector<NodeId> endpoints;
+    for (NodeId u = 0; u < n; ++u) {
+        if (g.label(u).size() != 1 || g.degree(u) > 2) {
+            return std::nullopt;
+        }
+        if (g.degree(u) == 1) {
+            endpoints.push_back(u);
+        }
+    }
+    if (endpoints.size() != 2) {
+        return std::nullopt;
+    }
+    // Try both orientations; keep one whose run accepts.
+    for (const NodeId start : {endpoints[0], endpoints[1]}) {
+        std::vector<BitString> certs(n);
+        NodeId prev = start;
+        NodeId current = start;
+        std::size_t state = dfa_.start();
+        bool first = true;
+        while (true) {
+            state = dfa_.transition(state, g.label(current) == "1" ? 1 : 0);
+            if (first) {
+                certs[current] = encode_certificate(false, false, state);
+                first = false;
+            } else {
+                // Is the predecessor the higher-id neighbor?
+                const auto& nb = g.neighbors(current);
+                BitString lowest = id(nb[0]);
+                for (NodeId v : nb) {
+                    lowest = std::min(lowest, id(v));
+                }
+                certs[current] =
+                    encode_certificate(true, id(prev) != lowest, state);
+            }
+            const auto& nb = g.neighbors(current);
+            const NodeId next = (nb[0] == prev && nb.size() > 1) ? nb[1] : nb[0];
+            if (next == prev || (current != start && g.degree(current) == 1)) {
+                break; // reached the other endpoint
+            }
+            prev = current;
+            current = next;
+        }
+        if (dfa_.is_accepting(state)) {
+            return CertificateAssignment(std::move(certs));
+        }
+    }
+    return std::nullopt;
+}
+
+} // namespace lph

@@ -1,0 +1,57 @@
+#pragma once
+
+#include "automata/dfa.hpp"
+#include "dtm/gather.hpp"
+
+#include <optional>
+
+namespace lph {
+
+/// Section 9.3 views path graphs with 1-bit labels as words.  These helpers
+/// convert between the two.
+LabeledGraph word_to_path(const BitString& word);
+
+/// The word spelled by a path graph, reading from its lower-identifier
+/// endpoint; nullopt when g is not a 1-bit-labeled path.
+std::optional<BitString> path_to_word(const LabeledGraph& g);
+
+/// NLP-verifier for a regular property of paths: Eve's certificate at each
+/// node encodes (a) which neighbor is its predecessor in the run direction
+/// (one bit; endpoints may point at nothing) and (b) the DFA state after
+/// reading the node's bit.  Nodes check chain consistency and one transition
+/// each; the start endpoint checks delta(q0, bit), the final endpoint checks
+/// acceptance.  Certificates are ceil(log2 |Q|) + 1 bits — constant size, so
+/// every regular path property is in NLP on paths, the positive counterpart
+/// of the Büchi–Elgot–Trakhtenbrot non-membership arguments.
+class RegularPathVerifier : public NeighborhoodGatherMachine {
+public:
+    explicit RegularPathVerifier(Dfa dfa);
+
+    const Dfa& dfa() const { return dfa_; }
+    Polynomial step_bound() const override { return Polynomial{512, 64}; }
+    std::string decide(const NeighborhoodView& view, StepMeter& meter) const override;
+
+    /// Encodes (has_predecessor, predecessor slot in id order, state).
+    BitString encode_certificate(bool has_prev, bool prev_is_higher_id,
+                                 std::size_t state) const;
+
+    /// Eve's strategy: run the DFA along the path from the lower-id endpoint
+    /// and emit the per-node certificates; nullopt when g is not a path or
+    /// the word is rejected (she has no winning play either way — the
+    /// verifier's completeness is exercised through this).
+    std::optional<CertificateAssignment>
+    eve_certificates(const LabeledGraph& g, const IdentifierAssignment& id) const;
+
+private:
+    struct DecodedCert {
+        bool has_prev = false;
+        bool prev_is_higher_id = false;
+        std::size_t state = 0;
+    };
+    std::optional<DecodedCert> decode(const std::string& cert) const;
+
+    Dfa dfa_;
+    int state_bits_;
+};
+
+} // namespace lph

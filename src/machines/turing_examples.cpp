@@ -1,0 +1,147 @@
+#include "machines/turing_examples.hpp"
+
+namespace lph {
+namespace {
+
+constexpr Move L = Move::Left;
+constexpr Move R = Move::Right;
+constexpr Move S = Move::Stay;
+
+using tape::kBlank;
+using tape::kLeftEnd;
+using tape::kSep;
+
+/// Adds the common tail: from state `enter` (internal head anywhere on the
+/// tape), erase the internal tape's content, return to the left end, write
+/// `verdict` at position 1, and stop.  Wildcard rules are matched in
+/// registration order, so specific rules come first.
+void add_erase_and_verdict(TuringMachine& m, const std::string& enter,
+                           char verdict) {
+    const std::string to_end = enter + "_end";
+    const std::string back = enter + "_back";
+    const std::string write = enter + "_write";
+    // Rewind to the left end first (content may lie on both sides).
+    m.add_rule(enter, '*', kLeftEnd, '*', to_end, '=', '=', '=', S, R, S);
+    m.add_rule(enter, '*', '*', '*', enter, '=', '=', '=', S, L, S);
+    // Erase rightwards until blank.
+    m.add_rule(to_end, '*', kBlank, '*', back, '=', '=', '=', S, L, S);
+    m.add_rule(to_end, '*', '*', '*', to_end, '=', kBlank, '=', S, R, S);
+    // Return to the left end.
+    m.add_rule(back, '*', kLeftEnd, '*', write, '=', '=', '=', S, R, S);
+    m.add_rule(back, '*', '*', '*', back, '=', '=', '=', S, L, S);
+    // Write the verdict and stop.
+    m.add_rule(write, '*', '*', '*', TuringMachine::kStop, '=', verdict, '=', S, S,
+               S);
+}
+
+} // namespace
+
+TuringMachine make_all_selected_turing() {
+    TuringMachine m;
+    // Skip the left-end marker.
+    m.add_rule(TuringMachine::kStart, '*', kLeftEnd, '*', "check1", '=', '=', '=', S,
+               R, S);
+    // First content symbol must be '1'.
+    m.add_rule("check1", '*', '1', '*', "check2", '=', '=', '=', S, R, S);
+    m.add_rule("check1", '*', '*', '*', "reject", '=', '=', '=', S, S, S);
+    // Second must be the separator (label is exactly "1").
+    m.add_rule("check2", '*', kSep, '*', "accept", '=', '=', '=', S, S, S);
+    m.add_rule("check2", '*', '*', '*', "reject", '=', '=', '=', S, S, S);
+    add_erase_and_verdict(m, "accept", '1');
+    add_erase_and_verdict(m, "reject", '0');
+    return m;
+}
+
+TuringMachine make_even_parity_turing() {
+    TuringMachine m;
+    m.add_rule(TuringMachine::kStart, '*', kLeftEnd, '*', "even", '=', '=', '=', S, R,
+               S);
+    // Scan the label (everything before the first separator), tracking parity.
+    m.add_rule("even", '*', '0', '*', "even", '=', '=', '=', S, R, S);
+    m.add_rule("even", '*', '1', '*', "odd", '=', '=', '=', S, R, S);
+    m.add_rule("even", '*', '*', '*', "accept", '=', '=', '=', S, S, S);
+    m.add_rule("odd", '*', '0', '*', "odd", '=', '=', '=', S, R, S);
+    m.add_rule("odd", '*', '1', '*', "even", '=', '=', '=', S, R, S);
+    m.add_rule("odd", '*', '*', '*', "reject", '=', '=', '=', S, S, S);
+    add_erase_and_verdict(m, "accept", '1');
+    add_erase_and_verdict(m, "reject", '0');
+    return m;
+}
+
+TuringMachine make_labels_agree_turing() {
+    // Two rounds.  Round 1: send one copy of the label to every neighbor
+    // (the round-1 receiving tape "#^d" reveals the degree), then rewrite the
+    // internal tape from "label#id#certs" to "#label" as a round marker.
+    // Round 2 (detected by the leading '#'): compare every received message
+    // against the stored label.  Precondition: labels are nonempty (the
+    // marker would otherwise be ambiguous with an empty identifier).
+    TuringMachine m;
+
+    // --- Dispatch on the round marker. ---
+    m.add_rule(TuringMachine::kStart, '*', kLeftEnd, '*', "detect", '=', '=', '=', S,
+               R, S);
+    m.add_rule("detect", '*', kSep, '*', "cmp_enter", '=', '=', '=', R, R, S);
+    m.add_rule("detect", '*', '*', '*', "r1_scan", '=', '=', '=', R, L, S);
+
+    // --- Round 1: for every '#' on the receiving tape, copy the label to the
+    // sending tape followed by a separator.  Invariant at r1_scan: internal
+    // head on the left-end marker. ---
+    m.add_rule("r1_scan", kSep, '*', '*', "copy", '=', '=', '=', R, R, S);
+    m.add_rule("r1_scan", kBlank, '*', '*', "find_end", '=', '=', '=', S, R, S);
+    // copy: stream label symbols onto the sending tape.
+    m.add_rule("copy", '*', '0', '*', "copy", '=', '=', '0', S, R, R);
+    m.add_rule("copy", '*', '1', '*', "copy", '=', '=', '1', S, R, R);
+    m.add_rule("copy", '*', kSep, '*', "rewind", '=', '=', kSep, S, L, R);
+    // rewind the internal head to the left end, then continue scanning.
+    m.add_rule("rewind", '*', kLeftEnd, '*', "r1_scan", '=', '=', '=', S, S, S);
+    m.add_rule("rewind", '*', '*', '*', "rewind", '=', '=', '=', S, L, S);
+
+    // --- Transform "label#rest" into "#label": erase everything after the
+    // label, then shift the label one cell right and plant the marker. ---
+    // find_end: walk to the label's separator (internal head starts at pos 1).
+    m.add_rule("find_end", '*', kSep, '*', "erase_rest", '=', '=', '=', S, R, S);
+    m.add_rule("find_end", '*', '*', '*', "find_end", '=', '=', '=', S, R, S);
+    m.add_rule("erase_rest", '*', kBlank, '*', "back_to_label", '=', '=', '=', S, L,
+               S);
+    m.add_rule("erase_rest", '*', '*', '*', "erase_rest", '=', kBlank, '=', S, R, S);
+    // back_to_label: skip blanks leftwards; the first non-blank is the
+    // label's separator, which the shift will overwrite.
+    m.add_rule("back_to_label", '*', kBlank, '*', "back_to_label", '=', '=', '=', S,
+               L, S);
+    m.add_rule("back_to_label", '*', kSep, '*', "shift_read", '=', kBlank, '=', S, L,
+               S);
+    // shift_read at position i: remember the symbol, write it at i+1.
+    m.add_rule("shift_read", '*', '0', '*', "shift_put0", '=', '=', '=', S, R, S);
+    m.add_rule("shift_read", '*', '1', '*', "shift_put1", '=', '=', '=', S, R, S);
+    m.add_rule("shift_read", '*', kLeftEnd, '*', "plant", '=', '=', '=', S, R, S);
+    m.add_rule("shift_put0", '*', '*', '*', "shift_step", '=', '0', '=', S, L, S);
+    m.add_rule("shift_put1", '*', '*', '*', "shift_step", '=', '1', '=', S, L, S);
+    m.add_rule("shift_step", '*', '*', '*', "shift_read", '=', '=', '=', S, L, S);
+    // plant the round marker at position 1 and pause until round 2.
+    m.add_rule("plant", '*', '*', '*', TuringMachine::kPause, '=', kSep, '=', S, S,
+               S);
+
+    // --- Round 2: internal is "#label"; compare each message. ---
+    // cmp_enter arrives with the receiving head at position 1 and internal
+    // head at position 2 (first label symbol).  cmp_bound = at the start of
+    // a message.
+    m.add_rule("cmp_enter", '*', '*', '*', "cmp_bound", '=', '=', '=', S, S, S);
+    m.add_rule("cmp_bound", kBlank, '*', '*', "accept", '=', '=', '=', S, S, S);
+    m.add_rule("cmp_bound", '*', '*', '*', "cmp", '=', '=', '=', S, S, S);
+    // Matching symbols advance both heads.
+    m.add_rule("cmp", '0', '0', '*', "cmp", '=', '=', '=', R, R, S);
+    m.add_rule("cmp", '1', '1', '*', "cmp", '=', '=', '=', R, R, S);
+    // Message and label end together: rewind the label, next message.
+    m.add_rule("cmp", kSep, kBlank, '*', "next_msg", '=', '=', '=', R, S, S);
+    // Any other combination is a mismatch.
+    m.add_rule("cmp", '*', '*', '*', "reject", '=', '=', '=', S, S, S);
+    // Rewind internal head to position 2 (just after the marker).
+    m.add_rule("next_msg", '*', kSep, '*', "cmp_bound", '=', '=', '=', S, R, S);
+    m.add_rule("next_msg", '*', '*', '*', "next_msg", '=', '=', '=', S, L, S);
+
+    add_erase_and_verdict(m, "accept", '1');
+    add_erase_and_verdict(m, "reject", '0');
+    return m;
+}
+
+} // namespace lph

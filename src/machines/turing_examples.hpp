@@ -1,0 +1,26 @@
+#pragma once
+
+#include "dtm/turing.hpp"
+
+namespace lph {
+
+/// A fully tape-level distributed Turing machine deciding ALL-SELECTED:
+/// each node checks that its internal tape starts with "1#" (label == "1"),
+/// erases the tape, and writes its verdict.  One round, no messages,
+/// linear step time.  Used to cross-validate the tape-level model against
+/// the local-algorithm layer (experiment E11).
+TuringMachine make_all_selected_turing();
+
+/// A tape-level machine deciding "every node's label has even parity"
+/// (an LP property exercising longer scans): each node counts the 1-bits of
+/// its label modulo 2.
+TuringMachine make_even_parity_turing();
+
+/// A tape-level two-round machine deciding "my label equals each neighbor's
+/// label prefix-for-prefix" is overkill; instead this machine broadcasts its
+/// label in round 1 and accepts in round 2 iff all received messages equal
+/// its own label — deciding the LP property ALL-LABELS-EQUAL (on connected
+/// graphs).  Exercises the message path of the tape-level runner.
+TuringMachine make_labels_agree_turing();
+
+} // namespace lph

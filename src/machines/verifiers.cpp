@@ -1,0 +1,131 @@
+#include "machines/verifiers.hpp"
+
+#include "core/check.hpp"
+
+namespace lph {
+
+namespace {
+
+/// First certificate of the '#'-joined list handed to a node.
+std::string first_certificate(const std::string& list) {
+    const auto parts = split_hash(list);
+    return parts.empty() ? "" : parts[0];
+}
+
+} // namespace
+
+ColoringVerifier::ColoringVerifier(int k) : NeighborhoodGatherMachine(1), k_(k) {
+    check(k >= 1, "ColoringVerifier: k must be positive");
+}
+
+BitString ColoringVerifier::encode_color(int c) const {
+    check(c >= 0 && c < k_, "ColoringVerifier::encode_color: color out of range");
+    return encode_unsigned_width(static_cast<std::uint64_t>(c),
+                                 bits_for(static_cast<std::uint64_t>(k_)));
+}
+
+int ColoringVerifier::decode_color(const std::string& cert) const {
+    if (cert.size() != static_cast<std::size_t>(bits_for(static_cast<std::uint64_t>(k_))) ||
+        !is_bit_string(cert)) {
+        return -1;
+    }
+    const auto value = decode_unsigned(cert);
+    return value < static_cast<std::uint64_t>(k_) ? static_cast<int>(value) : -1;
+}
+
+std::string ColoringVerifier::decide(const NeighborhoodView& view,
+                                     StepMeter& meter) const {
+    const int mine = decode_color(first_certificate(view.certs[view.self]));
+    meter.charge(view.certs[view.self].size() + 1);
+    if (mine < 0) {
+        return "0";
+    }
+    for (NodeId v : view.graph.neighbors(view.self)) {
+        meter.charge(view.certs[v].size() + 1);
+        if (decode_color(first_certificate(view.certs[v])) == mine) {
+            return "0";
+        }
+    }
+    return "1";
+}
+
+BitString encode_valuation_certificate(const Valuation& valuation) {
+    std::string text;
+    for (const auto& [var, value] : valuation) {
+        text += var;
+        text += value ? "=1;" : "=0;";
+    }
+    BitString bits;
+    bits.reserve(text.size() * 8);
+    for (char c : text) {
+        bits += encode_unsigned_width(static_cast<unsigned char>(c), 8);
+    }
+    return bits;
+}
+
+Valuation decode_valuation_certificate(const BitString& cert) {
+    check(cert.size() % 8 == 0,
+          "decode_valuation_certificate: length not a byte multiple");
+    std::string text;
+    for (std::size_t i = 0; i < cert.size(); i += 8) {
+        text.push_back(static_cast<char>(decode_unsigned(cert.substr(i, 8))));
+    }
+    Valuation valuation;
+    std::string current;
+    for (char c : text) {
+        if (c == ';') {
+            const auto eq = current.find('=');
+            check(eq != std::string::npos && eq + 2 == current.size(),
+                  "decode_valuation_certificate: malformed entry");
+            valuation[current.substr(0, eq)] = current[eq + 1] == '1';
+            current.clear();
+        } else {
+            current.push_back(c);
+        }
+    }
+    check(current.empty(), "decode_valuation_certificate: trailing characters");
+    return valuation;
+}
+
+std::string SatGraphVerifier::decide(const NeighborhoodView& view,
+                                     StepMeter& meter) const {
+    Valuation mine;
+    BoolFormula formula;
+    try {
+        formula = decode_bool_label(view.graph.label(view.self));
+        mine = decode_valuation_certificate(first_certificate(view.certs[view.self]));
+    } catch (const precondition_error&) {
+        return "0";
+    }
+    meter.charge(view.graph.label(view.self).size() +
+                 view.certs[view.self].size());
+
+    // The valuation must cover the formula's variables and satisfy it.
+    for (const auto& var : bool_variables(formula)) {
+        if (mine.find(var) == mine.end()) {
+            return "0";
+        }
+    }
+    if (!eval_bool(formula, mine)) {
+        return "0";
+    }
+    // Consistency with neighbors on shared variables.
+    for (NodeId v : view.graph.neighbors(view.self)) {
+        meter.charge(view.certs[v].size() + 1);
+        Valuation theirs;
+        try {
+            theirs = decode_valuation_certificate(first_certificate(view.certs[v]));
+        } catch (const precondition_error&) {
+            return "0";
+        }
+        for (const auto& [var, value] : mine) {
+            const auto it = theirs.find(var);
+            if (it != theirs.end() && it->second != value) {
+                return "0";
+            }
+        }
+    }
+    return "1";
+}
+
+} // namespace lph

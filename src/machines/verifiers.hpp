@@ -1,0 +1,44 @@
+#pragma once
+
+#include "dtm/gather.hpp"
+#include "sat/bool_formula.hpp"
+
+namespace lph {
+
+/// NLP-verifier for k-COLORABLE: the first certificate layer encodes each
+/// node's color; a node accepts when its color is valid and differs from all
+/// neighbors' colors (Example 3 / Theorem 20).  Radius 1.
+class ColoringVerifier : public NeighborhoodGatherMachine {
+public:
+    explicit ColoringVerifier(int k);
+    int k() const { return k_; }
+    Polynomial step_bound() const override { return Polynomial{512, 48}; }
+    std::string decide(const NeighborhoodView& view, StepMeter& meter) const override;
+
+    /// Encodes color c in [0, k) as a fixed-width certificate.
+    BitString encode_color(int c) const;
+
+    /// Decodes a certificate; -1 when malformed.
+    int decode_color(const std::string& cert) const;
+
+private:
+    int k_;
+};
+
+/// Encodes a valuation into a certificate (ASCII "P=1;Q=0;", 8 bits per
+/// character) and back.
+BitString encode_valuation_certificate(const Valuation& valuation);
+Valuation decode_valuation_certificate(const BitString& cert);
+
+/// NLP-verifier for SAT-GRAPH (proof of Theorem 19): labels encode Boolean
+/// formulas, the first certificate layer encodes per-node valuations; a node
+/// accepts when its valuation satisfies its formula and is consistent with
+/// its neighbors' valuations on shared variables.  Radius 1.
+class SatGraphVerifier : public NeighborhoodGatherMachine {
+public:
+    SatGraphVerifier() : NeighborhoodGatherMachine(1) {}
+    Polynomial step_bound() const override { return Polynomial{256, 64, 1}; }
+    std::string decide(const NeighborhoodView& view, StepMeter& meter) const override;
+};
+
+} // namespace lph

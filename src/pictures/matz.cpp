@@ -1,0 +1,38 @@
+#include "pictures/matz.hpp"
+
+#include "core/check.hpp"
+
+#include <limits>
+
+namespace lph {
+
+std::uint64_t iterated_exp(int level, std::uint64_t m) {
+    check(level >= 1, "iterated_exp: level must be positive");
+    std::uint64_t value = m;
+    for (int i = 0; i < level; ++i) {
+        if (value >= 64) {
+            return std::numeric_limits<std::uint64_t>::max();
+        }
+        value = std::uint64_t{1} << value;
+    }
+    return value;
+}
+
+bool in_matz_language(int level, std::size_t rows, std::size_t cols) {
+    if (rows == 0 || cols == 0) {
+        return false;
+    }
+    return iterated_exp(level, rows) == cols;
+}
+
+std::optional<Picture> matz_witness(int level, std::size_t rows,
+                                    std::uint64_t max_cells) {
+    const std::uint64_t cols = iterated_exp(level, rows);
+    if (cols == std::numeric_limits<std::uint64_t>::max() ||
+        cols * rows > max_cells) {
+        return std::nullopt;
+    }
+    return blank_picture(rows, static_cast<std::size_t>(cols), 1);
+}
+
+} // namespace lph

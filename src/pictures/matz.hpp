@@ -1,0 +1,27 @@
+#pragma once
+
+#include "pictures/picture.hpp"
+
+#include <cstdint>
+#include <optional>
+
+namespace lph {
+
+/// The iterated-exponential scale of the Matz–Schweikardt–Thomas separating
+/// picture languages (Theorem 27).  Level 1 is 2^m, level k+1 is 2^(level k).
+/// Saturates at uint64 max.
+std::uint64_t iterated_exp(int level, std::uint64_t m);
+
+/// Membership in the level-l separating language: blank pictures whose width
+/// equals iterated_exp(level, height).  The paper's Theorem 27 places (a
+/// variant of) this language on level l of the monadic second-order
+/// hierarchy on pictures and outside level l-1; level 1 is exactly the
+/// language recognized by binary_counter_tiling_system().
+bool in_matz_language(int level, std::size_t rows, std::size_t cols);
+
+/// The unique member of the level-l language with the given height, when the
+/// width fits in memory bounds.
+std::optional<Picture> matz_witness(int level, std::size_t rows,
+                                    std::uint64_t max_cells = 1u << 20);
+
+} // namespace lph

@@ -1,0 +1,78 @@
+#include "pictures/mso_pictures.hpp"
+
+#include "logic/eval.hpp"
+
+namespace lph {
+
+namespace picture_formulas {
+
+using namespace fl;
+
+Formula top_row(const std::string& x) {
+    return negate(exists_conn("$tr_" + x, x, binary(1, "$tr_" + x, x)));
+}
+
+Formula bottom_row(const std::string& x) {
+    return negate(exists_conn("$br_" + x, x, binary(1, x, "$br_" + x)));
+}
+
+Formula first_column(const std::string& x) {
+    return negate(exists_conn("$fc_" + x, x, binary(2, "$fc_" + x, x)));
+}
+
+Formula last_column(const std::string& x) {
+    return negate(exists_conn("$lc_" + x, x, binary(2, x, "$lc_" + x)));
+}
+
+Formula top_left(const std::string& x) {
+    return conj(top_row(x), first_column(x));
+}
+
+Formula bottom_right(const std::string& x) {
+    return conj(bottom_row(x), last_column(x));
+}
+
+Formula some_bit(std::size_t b) {
+    return exists("x", unary(b, "x"));
+}
+
+Formula all_bits(std::size_t b) {
+    return forall("x", unary(b, "x"));
+}
+
+Formula square() {
+    // D starts at the top-left corner; every D-pixel is the bottom-right
+    // corner or has a D-pixel one step down-right; a D-pixel on the bottom
+    // row or the last column must be the bottom-right corner.
+    const Formula starts = forall("s", implies(top_left("s"), apply("D", {"s"})));
+    const Formula steps = forall(
+        "x",
+        implies(apply("D", {"x"}),
+                disj(bottom_right("x"),
+                     exists_conn(
+                         "z", "x",
+                         conj(binary(1, "x", "z"),
+                              exists_conn("y", "z",
+                                          conj(binary(2, "z", "y"),
+                                               apply("D", {"y"}))))))));
+    const Formula edges = forall(
+        "w", implies(conj(apply("D", {"w"}),
+                          disj(bottom_row("w"), last_column("w"))),
+                     bottom_right("w")));
+    return exists_so("D", 1, conj(starts, conj(steps, edges)));
+}
+
+Formula first_column_blank() {
+    return forall("x", implies(first_column("x"), negate(unary(1, "x"))));
+}
+
+} // namespace picture_formulas
+
+bool picture_satisfies(const Picture& p, const Formula& sentence,
+                       std::size_t max_universe) {
+    SOPolicy policy;
+    policy.max_universe_size = max_universe;
+    return satisfies(picture_structure(p), sentence, policy);
+}
+
+} // namespace lph

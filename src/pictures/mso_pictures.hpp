@@ -1,0 +1,46 @@
+#pragma once
+
+#include "logic/formula.hpp"
+#include "pictures/picture.hpp"
+
+namespace lph {
+
+/// Monadic second-order formulas on picture structures (Section 9.2.1).
+/// Signature (t, 2): O_b marks bit b, ->_1 is the vertical successor
+/// (downwards), ->_2 the horizontal successor (rightwards).
+namespace picture_formulas {
+
+/// x lies in the top row / bottom row / first column / last column.
+Formula top_row(const std::string& x);
+Formula bottom_row(const std::string& x);
+Formula first_column(const std::string& x);
+Formula last_column(const std::string& x);
+
+/// x is the top-left / bottom-right corner.
+Formula top_left(const std::string& x);
+Formula bottom_right(const std::string& x);
+
+/// "Some pixel has bit b set" (1-based bit index, as in O_b).
+Formula some_bit(std::size_t b);
+
+/// "Every pixel has bit b set".
+Formula all_bits(std::size_t b);
+
+/// SQUARE as an existential monadic sentence: a diagonal set D starts at the
+/// top-left corner, moves one step down-right at a time, and may touch the
+/// bottom row or last column only at the bottom-right corner.  Defines
+/// exactly the square pictures — the logic-side counterpart of
+/// square_tiling_system() (Theorem 29's correspondence, exercised in tests).
+Formula square();
+
+/// "The first column is all zeros (bit 1 clear)" — a plain LFO-style check.
+Formula first_column_blank();
+
+} // namespace picture_formulas
+
+/// Evaluates a sentence on a picture's structural representation
+/// (brute-force monadic quantification; keep pictures small).
+bool picture_satisfies(const Picture& p, const Formula& sentence,
+                       std::size_t max_universe = 24);
+
+} // namespace lph

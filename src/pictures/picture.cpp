@@ -1,0 +1,210 @@
+#include "pictures/picture.hpp"
+
+#include "core/check.hpp"
+
+#include <deque>
+#include <sstream>
+
+namespace lph {
+
+Picture::Picture(std::size_t rows, std::size_t cols, std::size_t bits)
+    : rows_(rows), cols_(cols), bits_(bits),
+      cells_(rows * cols, BitString(bits, '0')) {
+    check(rows >= 1 && cols >= 1, "Picture: dimensions must be positive");
+}
+
+const BitString& Picture::at(std::size_t row, std::size_t col) const {
+    check(row < rows_ && col < cols_, "Picture::at: out of range");
+    return cells_[row * cols_ + col];
+}
+
+void Picture::set(std::size_t row, std::size_t col, BitString value) {
+    check(row < rows_ && col < cols_, "Picture::set: out of range");
+    check(value.size() == bits_ && is_bit_string(value),
+          "Picture::set: value must be a t-bit string");
+    cells_[row * cols_ + col] = std::move(value);
+}
+
+bool Picture::operator==(const Picture& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_ && bits_ == other.bits_ &&
+           cells_ == other.cells_;
+}
+
+std::string Picture::to_string() const {
+    std::ostringstream out;
+    for (std::size_t i = 0; i < rows_; ++i) {
+        for (std::size_t j = 0; j < cols_; ++j) {
+            if (j > 0) {
+                out << ' ';
+            }
+            out << at(i, j);
+        }
+        out << '\n';
+    }
+    return out.str();
+}
+
+Structure picture_structure(const Picture& p) {
+    Structure s(p.rows() * p.cols(), p.bits(), 2);
+    const auto element = [&p](std::size_t i, std::size_t j) {
+        return i * p.cols() + j;
+    };
+    for (std::size_t i = 0; i < p.rows(); ++i) {
+        for (std::size_t j = 0; j < p.cols(); ++j) {
+            const BitString& value = p.at(i, j);
+            for (std::size_t b = 0; b < p.bits(); ++b) {
+                if (value[b] == '1') {
+                    s.set_unary(b, element(i, j));
+                }
+            }
+            if (i + 1 < p.rows()) {
+                s.add_binary(0, element(i, j), element(i + 1, j)); // vertical
+            }
+            if (j + 1 < p.cols()) {
+                s.add_binary(1, element(i, j), element(i, j + 1)); // horizontal
+            }
+        }
+    }
+    return s;
+}
+
+Picture blank_picture(std::size_t rows, std::size_t cols, std::size_t bits) {
+    return Picture(rows, cols, bits);
+}
+
+namespace {
+
+BitString trit(std::size_t value) {
+    return encode_unsigned_width(value % 3, 2);
+}
+
+} // namespace
+
+LabeledGraph picture_to_graph(const Picture& p) {
+    LabeledGraph g;
+    const auto node = [&p](std::size_t i, std::size_t j) { return i * p.cols() + j; };
+    for (std::size_t i = 0; i < p.rows(); ++i) {
+        for (std::size_t j = 0; j < p.cols(); ++j) {
+            g.add_node(trit(i) + trit(j) + p.at(i, j));
+        }
+    }
+    for (std::size_t i = 0; i < p.rows(); ++i) {
+        for (std::size_t j = 0; j < p.cols(); ++j) {
+            if (j + 1 < p.cols()) {
+                g.add_edge(node(i, j), node(i, j + 1));
+            }
+            if (i + 1 < p.rows()) {
+                g.add_edge(node(i, j), node(i + 1, j));
+            }
+        }
+    }
+    return g;
+}
+
+std::optional<Picture> graph_to_picture(const LabeledGraph& g, std::size_t bits) {
+    const std::size_t label_len = 4 + bits;
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+        if (g.label(u).size() != label_len) {
+            return std::nullopt;
+        }
+    }
+    auto row_code = [&](NodeId u) { return decode_unsigned(g.label(u).substr(0, 2)); };
+    auto col_code = [&](NodeId u) { return decode_unsigned(g.label(u).substr(2, 2)); };
+    auto content = [&](NodeId u) { return g.label(u).substr(4); };
+
+    // Locate the top-left corner: codes (0,0), degree <= 2, and no neighbor
+    // carrying a predecessor coordinate code.
+    NodeId corner = g.num_nodes();
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+        if (row_code(u) != 0 || col_code(u) != 0 || g.degree(u) > 2) {
+            continue;
+        }
+        bool ok = true;
+        for (NodeId v : g.neighbors(u)) {
+            const bool below = row_code(v) == 1 && col_code(v) == 0;
+            const bool right = row_code(v) == 0 && col_code(v) == 1;
+            if (!below && !right) {
+                ok = false;
+                break;
+            }
+        }
+        if (ok) {
+            corner = u;
+            break;
+        }
+    }
+    if (corner == g.num_nodes()) {
+        return std::nullopt;
+    }
+
+    // BFS assigning coordinates from mod-3 code differences.
+    std::vector<std::pair<long, long>> coord(g.num_nodes(), {-1, -1});
+    coord[corner] = {0, 0};
+    std::deque<NodeId> queue{corner};
+    long max_row = 0;
+    long max_col = 0;
+    while (!queue.empty()) {
+        const NodeId u = queue.front();
+        queue.pop_front();
+        for (NodeId v : g.neighbors(u)) {
+            const auto ru = row_code(u);
+            const auto cu = col_code(u);
+            const auto rv = row_code(v);
+            const auto cv = col_code(v);
+            long dr = 0;
+            long dc = 0;
+            if (cu == cv && rv == (ru + 1) % 3) {
+                dr = 1;
+            } else if (cu == cv && ru == (rv + 1) % 3) {
+                dr = -1;
+            } else if (ru == rv && cv == (cu + 1) % 3) {
+                dc = 1;
+            } else if (ru == rv && cu == (cv + 1) % 3) {
+                dc = -1;
+            } else {
+                return std::nullopt; // neighbor codes inconsistent with a grid
+            }
+            const std::pair<long, long> next{coord[u].first + dr,
+                                             coord[u].second + dc};
+            if (next.first < 0 || next.second < 0) {
+                return std::nullopt;
+            }
+            if (coord[v].first < 0) {
+                coord[v] = next;
+                max_row = std::max(max_row, next.first);
+                max_col = std::max(max_col, next.second);
+                queue.push_back(v);
+            } else if (coord[v] != next) {
+                return std::nullopt;
+            }
+        }
+    }
+
+    const std::size_t rows = static_cast<std::size_t>(max_row) + 1;
+    const std::size_t cols = static_cast<std::size_t>(max_col) + 1;
+    if (rows * cols != g.num_nodes()) {
+        return std::nullopt;
+    }
+    Picture p(rows, cols, bits);
+    std::vector<bool> seen(g.num_nodes(), false);
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+        const auto [r, c] = coord[u];
+        if (r < 0) {
+            return std::nullopt; // disconnected piece
+        }
+        const std::size_t cell = static_cast<std::size_t>(r) * cols +
+                                 static_cast<std::size_t>(c);
+        if (seen[cell]) {
+            return std::nullopt;
+        }
+        seen[cell] = true;
+        p.set(static_cast<std::size_t>(r), static_cast<std::size_t>(c), content(u));
+    }
+    // Verify the full grid edge set is present.
+    if (g.num_edges() != rows * (cols - 1) + cols * (rows - 1)) {
+        return std::nullopt;
+    }
+    return p;
+}
+
+} // namespace lph

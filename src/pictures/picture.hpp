@@ -1,0 +1,55 @@
+#pragma once
+
+#include "core/bitstring.hpp"
+#include "graph/graph.hpp"
+#include "structure/structure.hpp"
+
+#include <optional>
+
+namespace lph {
+
+/// A t-bit picture: an (m x n)-matrix of bit strings of length t
+/// (Section 9.2.1).  Rows and columns are 0-based here; the paper's pixel
+/// (1,1) is our (0,0) top-left corner.
+class Picture {
+public:
+    Picture(std::size_t rows, std::size_t cols, std::size_t bits);
+
+    std::size_t rows() const { return rows_; }
+    std::size_t cols() const { return cols_; }
+    std::size_t bits() const { return bits_; }
+
+    const BitString& at(std::size_t row, std::size_t col) const;
+    void set(std::size_t row, std::size_t col, BitString value);
+
+    bool operator==(const Picture& other) const;
+
+    std::string to_string() const;
+
+private:
+    std::size_t rows_;
+    std::size_t cols_;
+    std::size_t bits_;
+    std::vector<BitString> cells_;
+};
+
+/// The structural representation $P of a picture (Figure 5): one element per
+/// pixel, t unary relations O_1..O_t for the bit values, ->_1 the vertical
+/// successor (downwards) and ->_2 the horizontal successor (rightwards).
+Structure picture_structure(const Picture& p);
+
+/// The blank (all-zero) t-bit picture.
+Picture blank_picture(std::size_t rows, std::size_t cols, std::size_t bits = 1);
+
+/// Encodes a picture as a labeled grid graph (Section 9.2.2).  Each pixel
+/// becomes a node labeled with its row index mod 3 (2 bits), column index
+/// mod 3 (2 bits), and its t content bits; the mod-3 coordinates let nodes
+/// recover edge directions locally, which is what makes formula translation
+/// between pictures and graphs possible.
+LabeledGraph picture_to_graph(const Picture& p);
+
+/// Decodes a graph produced by picture_to_graph (or hand-built in the same
+/// format); nullopt when the graph is not a valid picture encoding.
+std::optional<Picture> graph_to_picture(const LabeledGraph& g, std::size_t bits);
+
+} // namespace lph

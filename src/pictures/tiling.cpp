@@ -1,0 +1,288 @@
+#include "pictures/tiling.hpp"
+
+#include "core/check.hpp"
+
+namespace lph {
+
+TilingSystem::TilingSystem(std::size_t gamma_size, std::size_t bits)
+    : gamma_size_(gamma_size), bits_(bits),
+      projection_(gamma_size, BitString(bits, '0')) {
+    check(gamma_size >= 1, "TilingSystem: alphabet must be nonempty");
+}
+
+void TilingSystem::set_projection(int symbol, BitString image) {
+    check(symbol >= 0 && static_cast<std::size_t>(symbol) < gamma_size_,
+          "TilingSystem::set_projection: symbol out of range");
+    check(image.size() == bits_ && is_bit_string(image),
+          "TilingSystem::set_projection: image must be a t-bit string");
+    projection_[static_cast<std::size_t>(symbol)] = std::move(image);
+}
+
+void TilingSystem::allow_tile(Tile tile) {
+    for (int s : tile) {
+        check(s == kBorder || (s >= 0 && static_cast<std::size_t>(s) < gamma_size_),
+              "TilingSystem::allow_tile: symbol out of range");
+    }
+    tiles_.insert(tile);
+}
+
+void TilingSystem::allow_tiles_where(
+    const std::function<bool(int, int, int, int)>& pred) {
+    std::vector<int> symbols{kBorder};
+    for (std::size_t s = 0; s < gamma_size_; ++s) {
+        symbols.push_back(static_cast<int>(s));
+    }
+    for (int a : symbols) {
+        for (int b : symbols) {
+            for (int c : symbols) {
+                for (int d : symbols) {
+                    if (pred(a, b, c, d)) {
+                        tiles_.insert({a, b, c, d});
+                    }
+                }
+            }
+        }
+    }
+}
+
+namespace {
+
+/// Backtracking search over Gamma-assignments in column-major order.
+class PreimageSearch {
+public:
+    PreimageSearch(const TilingSystem& system, const Picture& p,
+                   const std::vector<BitString>& projection,
+                   std::size_t gamma_size)
+        : system_(system), p_(p), gamma_size_(gamma_size) {
+        // Candidate symbols per picture value.
+        candidates_.resize(p.rows() * p.cols());
+        for (std::size_t r = 0; r < p.rows(); ++r) {
+            for (std::size_t c = 0; c < p.cols(); ++c) {
+                auto& list = candidates_[r * p.cols() + c];
+                for (std::size_t s = 0; s < gamma_size; ++s) {
+                    if (projection[s] == p.at(r, c)) {
+                        list.push_back(static_cast<int>(s));
+                    }
+                }
+            }
+        }
+        assignment_.assign(p.rows() * p.cols(), kUnassigned);
+    }
+
+    std::optional<std::vector<int>> run() {
+        if (extend(0)) {
+            return assignment_;
+        }
+        return std::nullopt;
+    }
+
+private:
+    static constexpr int kUnassigned = -2;
+
+    /// Cell index in column-major visiting order.
+    std::pair<std::size_t, std::size_t> order_to_cell(std::size_t k) const {
+        const std::size_t col = k / p_.rows();
+        const std::size_t row = k % p_.rows();
+        return {row, col};
+    }
+
+    /// Symbol at bordered coordinates, kUnassigned if interior and not yet
+    /// set.
+    int bordered_symbol(long bi, long bj) const {
+        if (bi < 0 || bj < 0 || bi > static_cast<long>(p_.rows()) + 1 ||
+            bj > static_cast<long>(p_.cols()) + 1) {
+            return kUnassigned;
+        }
+        if (bi == 0 || bj == 0 || bi == static_cast<long>(p_.rows()) + 1 ||
+            bj == static_cast<long>(p_.cols()) + 1) {
+            return TilingSystem::kBorder;
+        }
+        return assignment_[static_cast<std::size_t>(bi - 1) * p_.cols() +
+                           static_cast<std::size_t>(bj - 1)];
+    }
+
+    /// Checks every window containing the just-assigned cell whose four
+    /// entries are all determined.
+    bool windows_ok(std::size_t row, std::size_t col) const {
+        const long br = static_cast<long>(row) + 1;
+        const long bc = static_cast<long>(col) + 1;
+        for (long i = br - 1; i <= br; ++i) {
+            for (long j = bc - 1; j <= bc; ++j) {
+                if (i < 0 || j < 0 || i > static_cast<long>(p_.rows()) ||
+                    j > static_cast<long>(p_.cols())) {
+                    continue;
+                }
+                const int a = bordered_symbol(i, j);
+                const int b = bordered_symbol(i, j + 1);
+                const int c = bordered_symbol(i + 1, j);
+                const int d = bordered_symbol(i + 1, j + 1);
+                if (a == kUnassigned || b == kUnassigned || c == kUnassigned ||
+                    d == kUnassigned) {
+                    continue;
+                }
+                if (!system_.tile_allowed({a, b, c, d})) {
+                    return false;
+                }
+            }
+        }
+        return true;
+    }
+
+    bool extend(std::size_t k) {
+        if (k == assignment_.size()) {
+            return true;
+        }
+        const auto [row, col] = order_to_cell(k);
+        for (int s : candidates_[row * p_.cols() + col]) {
+            assignment_[row * p_.cols() + col] = s;
+            if (windows_ok(row, col) && extend(k + 1)) {
+                return true;
+            }
+        }
+        assignment_[row * p_.cols() + col] = kUnassigned;
+        return false;
+    }
+
+    const TilingSystem& system_;
+    const Picture& p_;
+    [[maybe_unused]] std::size_t gamma_size_;
+    std::vector<std::vector<int>> candidates_;
+    std::vector<int> assignment_;
+};
+
+} // namespace
+
+std::optional<std::vector<int>> TilingSystem::find_preimage(const Picture& p) const {
+    check(p.bits() == bits_, "TilingSystem: picture bit width mismatch");
+    PreimageSearch search(*this, p, projection_, gamma_size_);
+    return search.run();
+}
+
+bool TilingSystem::verify_preimage(const Picture& p, const std::vector<int>& q) const {
+    if (q.size() != p.rows() * p.cols()) {
+        return false;
+    }
+    for (std::size_t r = 0; r < p.rows(); ++r) {
+        for (std::size_t c = 0; c < p.cols(); ++c) {
+            const int s = q[r * p.cols() + c];
+            if (s < 0 || static_cast<std::size_t>(s) >= gamma_size_ ||
+                projection_[static_cast<std::size_t>(s)] != p.at(r, c)) {
+                return false;
+            }
+        }
+    }
+    auto symbol = [&](long bi, long bj) -> int {
+        if (bi == 0 || bj == 0 || bi == static_cast<long>(p.rows()) + 1 ||
+            bj == static_cast<long>(p.cols()) + 1) {
+            return kBorder;
+        }
+        return q[static_cast<std::size_t>(bi - 1) * p.cols() +
+                 static_cast<std::size_t>(bj - 1)];
+    };
+    for (long i = 0; i <= static_cast<long>(p.rows()); ++i) {
+        for (long j = 0; j <= static_cast<long>(p.cols()); ++j) {
+            if (!tile_allowed({symbol(i, j), symbol(i, j + 1), symbol(i + 1, j),
+                               symbol(i + 1, j + 1)})) {
+                return false;
+            }
+        }
+    }
+    return true;
+}
+
+TilingSystem all_blank_tiling_system() {
+    TilingSystem system(1, 1);
+    system.set_projection(0, "0");
+    system.allow_tiles_where([](int, int, int, int) { return true; });
+    return system;
+}
+
+TilingSystem square_tiling_system() {
+    // Gamma: 0 = off-diagonal (O), 1 = diagonal (D).
+    constexpr int O = 0;
+    constexpr int D = 1;
+    constexpr int B = TilingSystem::kBorder;
+    TilingSystem system(2, 1);
+    system.set_projection(O, "0");
+    system.set_projection(D, "0");
+    system.allow_tiles_where([](int a, int b, int c, int d) {
+        // Top-left corner is D.
+        if (a == B && b == B && c == B && d != B && d != D) {
+            return false;
+        }
+        // A diagonal cell continues diagonally, or sits in the bottom-right
+        // corner (both right and bottom are border).
+        if (a == D && !(d == D || (b == B && c == B))) {
+            return false;
+        }
+        // A D can only be created by its upper-left D or be the very corner.
+        if (d == D && a != D && !(a == B && b == B && c == B)) {
+            return false;
+        }
+        return true;
+    });
+    return system;
+}
+
+TilingSystem binary_counter_tiling_system() {
+    // Gamma symbol = 2 * bit + carry, where `carry` is the carry entering the
+    // cell from below when this column is incremented to the next.
+    constexpr int B = TilingSystem::kBorder;
+    const auto bit = [](int s) { return s / 2; };
+    const auto carry = [](int s) { return s % 2; };
+    TilingSystem system(4, 1);
+    for (int s = 0; s < 4; ++s) {
+        system.set_projection(s, "0");
+    }
+    system.allow_tiles_where([&](int a, int b, int c, int d) {
+        // Horizontal increment: right bit = left bit XOR left carry.
+        if (a != B && b != B && bit(b) != (bit(a) ^ carry(a))) {
+            return false;
+        }
+        if (c != B && d != B && bit(d) != (bit(c) ^ carry(c))) {
+            return false;
+        }
+        // Vertical carry chain: carry(upper) = bit(lower) AND carry(lower).
+        if (a != B && c != B && carry(a) != (bit(c) & carry(c))) {
+            return false;
+        }
+        if (b != B && d != B && carry(b) != (bit(d) & carry(d))) {
+            return false;
+        }
+        // Bottom row: the increment injects a carry of 1.
+        if (c == B && d == B) {
+            if (a != B && carry(a) != 1) {
+                return false;
+            }
+            if (b != B && carry(b) != 1) {
+                return false;
+            }
+        }
+        // Top row: no overflow unless this is the last column.
+        if (a == B && b == B && c != B && d != B && (bit(c) & carry(c)) != 0) {
+            return false;
+        }
+        // Left border: first column is all zeros.
+        if (a == B && c == B) {
+            if (b != B && bit(b) != 0) {
+                return false;
+            }
+            if (d != B && bit(d) != 0) {
+                return false;
+            }
+        }
+        // Right border: last column is all ones.
+        if (b == B && d == B) {
+            if (a != B && bit(a) != 1) {
+                return false;
+            }
+            if (c != B && bit(c) != 1) {
+                return false;
+            }
+        }
+        return true;
+    });
+    return system;
+}
+
+} // namespace lph

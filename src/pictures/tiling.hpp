@@ -1,0 +1,75 @@
+#pragma once
+
+#include "pictures/picture.hpp"
+
+#include <array>
+#include <functional>
+#include <optional>
+#include <set>
+
+namespace lph {
+
+/// A tiling system (Giammarresi–Restivo–Seibert–Thomas, Theorem 29): a local
+/// language over a finite alphabet Gamma given by the allowed 2x2 tiles of
+/// the border-framed picture, plus a projection pi : Gamma -> {0,1}^t.
+/// A picture P is recognized iff some Gamma-picture Q with pi(Q) = P has all
+/// its 2x2 windows (over the #-bordered frame) among the allowed tiles.
+///
+/// Tiling systems characterize existential monadic second-order logic on
+/// pictures, which is the engine behind the infiniteness proof (Section 9.2).
+class TilingSystem {
+public:
+    /// The border symbol # in tiles.
+    static constexpr int kBorder = -1;
+
+    /// A 2x2 tile (top-left, top-right, bottom-left, bottom-right); entries
+    /// are Gamma indices or kBorder.
+    using Tile = std::array<int, 4>;
+
+    TilingSystem(std::size_t gamma_size, std::size_t bits);
+
+    std::size_t gamma_size() const { return gamma_size_; }
+    std::size_t bits() const { return bits_; }
+
+    /// Sets pi(symbol) = image (a t-bit string).
+    void set_projection(int symbol, BitString image);
+
+    void allow_tile(Tile tile);
+
+    /// Allows every tile over (Gamma union {#})^4 satisfying the predicate.
+    void allow_tiles_where(const std::function<bool(int, int, int, int)>& pred);
+
+    std::size_t num_tiles() const { return tiles_.size(); }
+    bool tile_allowed(const Tile& tile) const { return tiles_.count(tile) > 0; }
+
+    /// Searches for a preimage of p (column-major backtracking with eager
+    /// window checks); nullopt when p is not recognized.  The returned
+    /// assignment is row-major over p's cells.
+    std::optional<std::vector<int>> find_preimage(const Picture& p) const;
+
+    bool recognizes(const Picture& p) const { return find_preimage(p).has_value(); }
+
+    /// Verifies a proposed preimage: projection and all windows.
+    bool verify_preimage(const Picture& p, const std::vector<int>& q) const;
+
+private:
+    std::size_t gamma_size_;
+    std::size_t bits_;
+    std::vector<BitString> projection_;
+    std::set<Tile> tiles_;
+};
+
+/// Recognizes exactly the blank square pictures (rows == cols) — the classic
+/// diagonal tiling system.
+TilingSystem square_tiling_system();
+
+/// Recognizes exactly the blank pictures of size m x 2^m — the binary
+/// counter construction underlying the Matz–Schweikardt–Thomas separating
+/// languages (columns hold the values 0 .. 2^m - 1 in binary, least
+/// significant bit at the bottom).
+TilingSystem binary_counter_tiling_system();
+
+/// Recognizes all blank pictures (sanity baseline).
+TilingSystem all_blank_tiling_system();
+
+} // namespace lph

@@ -1,0 +1,192 @@
+#include "reductions/classic_reductions.hpp"
+
+#include "core/check.hpp"
+
+#include <algorithm>
+
+namespace lph {
+namespace {
+
+/// The deciding node's neighbors sorted by ascending identifier.
+std::vector<NodeId> sorted_neighbors(const NeighborhoodView& view) {
+    std::vector<NodeId> nb = view.graph.neighbors(view.self);
+    std::sort(nb.begin(), nb.end(),
+              [&](NodeId a, NodeId b) { return view.ids[a] < view.ids[b]; });
+    return nb;
+}
+
+bool selected(const NeighborhoodView& view) {
+    return view.graph.label(view.self) == "1";
+}
+
+} // namespace
+
+ClusterSpec AllSelectedToEulerian::build_cluster(const NeighborhoodView& view,
+                                                 StepMeter& meter) const {
+    meter.charge(view.graph.degree(view.self) + 2);
+    ClusterSpec spec;
+    if (view.graph.degree(view.self) == 0) {
+        // Single-node input graph, treated as a special case (Prop. 15).
+        spec.nodes.push_back({"a", ""});
+        if (!selected(view)) {
+            spec.nodes.push_back({"b", ""});
+            spec.internal_edges.emplace_back("a", "b");
+        }
+        return spec;
+    }
+    spec.nodes.push_back({"a", ""});
+    spec.nodes.push_back({"b", ""});
+    if (!selected(view)) {
+        spec.internal_edges.emplace_back("a", "b");
+    }
+    for (NodeId v : view.graph.neighbors(view.self)) {
+        const BitString& vid = view.ids[v];
+        spec.cross_edges.push_back({"a", vid, "a"});
+        spec.cross_edges.push_back({"a", vid, "b"});
+        spec.cross_edges.push_back({"b", vid, "a"});
+        spec.cross_edges.push_back({"b", vid, "b"});
+    }
+    return spec;
+}
+
+ClusterSpec AllSelectedToHamiltonian::build_cluster(const NeighborhoodView& view,
+                                                    StepMeter& meter) const {
+    const auto neighbors = sorted_neighbors(view);
+    const std::size_t d = neighbors.size();
+    meter.charge(4 * d + 8);
+    ClusterSpec spec;
+
+    // The port cycle: t_v, f_v for each neighbor v in id order, padded with
+    // dummies to length >= 3.
+    std::vector<std::string> cycle;
+    for (NodeId v : neighbors) {
+        cycle.push_back("t" + view.ids[v]);
+        cycle.push_back("f" + view.ids[v]);
+    }
+    std::size_t dummy = 0;
+    while (cycle.size() < 3) {
+        cycle.push_back("d" + std::to_string(dummy++));
+    }
+    for (const auto& name : cycle) {
+        spec.nodes.push_back({name, ""});
+    }
+    for (std::size_t i = 0; i < cycle.size(); ++i) {
+        spec.internal_edges.emplace_back(cycle[i], cycle[(i + 1) % cycle.size()]);
+    }
+    // The pendant that destroys Hamiltonicity at unselected nodes.
+    if (!selected(view)) {
+        spec.nodes.push_back({"bad", ""});
+        spec.internal_edges.emplace_back("bad", cycle[0]);
+    }
+    // Port links: my "to v" port meets v's "from me" port and vice versa.
+    const BitString& my_id = view.ids[view.self];
+    for (NodeId v : neighbors) {
+        const BitString& vid = view.ids[v];
+        spec.cross_edges.push_back({"t" + vid, vid, "f" + my_id});
+        spec.cross_edges.push_back({"f" + vid, vid, "t" + my_id});
+    }
+    return spec;
+}
+
+std::set<std::pair<NodeId, NodeId>>
+hamiltonian_witness_from_tree(const LabeledGraph& g, const IdentifierAssignment& id,
+                              const SpanningTree& tree, const ReducedGraph& reduced) {
+    check(verify_spanning_tree(g, tree),
+          "hamiltonian_witness_from_tree: invalid spanning tree");
+    std::set<std::pair<NodeId, NodeId>> cycle;
+    auto add = [&cycle](NodeId a, NodeId b) {
+        cycle.emplace(std::min(a, b), std::max(a, b));
+    };
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+        check(g.label(u) == "1",
+              "hamiltonian_witness_from_tree: all nodes must be selected");
+        // Ports in ascending neighbor-identifier order, as built by the
+        // reduction; then the dummy padding.
+        std::vector<NodeId> neighbors = g.neighbors(u);
+        std::sort(neighbors.begin(), neighbors.end(),
+                  [&](NodeId a, NodeId b) { return id(a) < id(b); });
+        std::vector<NodeId> ring; // the cluster cycle in order
+        std::vector<bool> is_tree_port;
+        for (NodeId v : neighbors) {
+            ring.push_back(reduced.named(u, "t" + id(v)));
+            ring.push_back(reduced.named(u, "f" + id(v)));
+            is_tree_port.push_back(tree.is_tree_edge(u, v));
+        }
+        std::size_t dummy = 0;
+        while (ring.size() < 3) {
+            ring.push_back(reduced.named(u, "d" + std::to_string(dummy++)));
+        }
+        // All consecutive cluster-cycle edges, except the (t_i, f_i) pair of
+        // tree-edge ports (the cycle leaves through the cross edges there).
+        for (std::size_t i = 0; i < ring.size(); ++i) {
+            const std::size_t j = (i + 1) % ring.size();
+            const bool is_port_pair = i % 2 == 0 && i / 2 < neighbors.size();
+            if (is_port_pair && is_tree_port[i / 2]) {
+                continue;
+            }
+            add(ring[i], ring[j]);
+        }
+        // Cross edges of incident tree edges (each added from both sides;
+        // the set deduplicates).
+        for (NodeId v : neighbors) {
+            if (tree.is_tree_edge(u, v)) {
+                add(reduced.named(u, "t" + id(v)), reduced.named(v, "f" + id(u)));
+                add(reduced.named(u, "f" + id(v)), reduced.named(v, "t" + id(u)));
+            }
+        }
+    }
+    // Sanity: every chosen edge exists in the reduced graph.
+    for (const auto& [a, b] : cycle) {
+        check(reduced.graph.has_edge(a, b),
+              "hamiltonian_witness_from_tree: edge missing from G'");
+    }
+    return cycle;
+}
+
+ClusterSpec NotAllSelectedToHamiltonian::build_cluster(const NeighborhoodView& view,
+                                                       StepMeter& meter) const {
+    const auto neighbors = sorted_neighbors(view);
+    const std::size_t d = neighbors.size();
+    meter.charge(8 * d + 16);
+    ClusterSpec spec;
+
+    // Build one deck (prefix "t" = top, "b" = bottom): ports in id order,
+    // then the three extra nodes completing the (2d+3)-cycle.
+    auto build_deck = [&](const std::string& deck) {
+        std::vector<std::string> cycle;
+        for (NodeId v : neighbors) {
+            cycle.push_back(deck + "t" + view.ids[v]);
+            cycle.push_back(deck + "f" + view.ids[v]);
+        }
+        cycle.push_back(deck + "x1");
+        cycle.push_back(deck + "x2");
+        cycle.push_back(deck + "x3");
+        for (const auto& name : cycle) {
+            spec.nodes.push_back({name, ""});
+        }
+        for (std::size_t i = 0; i < cycle.size(); ++i) {
+            spec.internal_edges.emplace_back(cycle[i], cycle[(i + 1) % cycle.size()]);
+        }
+    };
+    build_deck("t");
+    build_deck("b");
+
+    // Vertical edges: x2 always, x1 only at unselected nodes (Figure 9).
+    spec.internal_edges.emplace_back("tx2", "bx2");
+    if (!selected(view)) {
+        spec.internal_edges.emplace_back("tx1", "bx1");
+    }
+
+    // Port links per deck.
+    const BitString& my_id = view.ids[view.self];
+    for (NodeId v : neighbors) {
+        const BitString& vid = view.ids[v];
+        for (const std::string deck : {"t", "b"}) {
+            spec.cross_edges.push_back({deck + "t" + vid, vid, deck + "f" + my_id});
+            spec.cross_edges.push_back({deck + "f" + vid, vid, deck + "t" + my_id});
+        }
+    }
+    return spec;
+}
+
+} // namespace lph

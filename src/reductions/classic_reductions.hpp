@@ -1,0 +1,60 @@
+#pragma once
+
+#include "graphalg/spanning.hpp"
+#include "reductions/cluster.hpp"
+
+#include <set>
+
+namespace lph {
+
+/// The reduction ALL-SELECTED -> EULERIAN of Proposition 15 (Figure 7):
+/// each node becomes two copies; the four copy-edges per input edge keep all
+/// degrees even; a node whose label is not "1" gains the vertical edge
+/// between its copies, making both degrees odd.  Radius 1.
+class AllSelectedToEulerian : public ReductionMachine {
+public:
+    AllSelectedToEulerian() : ReductionMachine(1) {}
+    ClusterSpec build_cluster(const NeighborhoodView& view,
+                              StepMeter& meter) const override;
+};
+
+/// The reduction ALL-SELECTED -> HAMILTONIAN of Proposition 16 (Figure 2/8):
+/// each node becomes a cycle of ports (two per incident edge, plus dummies to
+/// reach length 3), ports of adjacent nodes are linked pairwise, and a node
+/// whose label is not "1" gains a degree-1 pendant that destroys
+/// Hamiltonicity.  Radius 1.
+class AllSelectedToHamiltonian : public ReductionMachine {
+public:
+    AllSelectedToHamiltonian() : ReductionMachine(1) {}
+    ClusterSpec build_cluster(const NeighborhoodView& view,
+                              StepMeter& meter) const override;
+};
+
+/// The paper's Euler-tour witness (proof of Proposition 16): given any
+/// spanning tree of an all-selected input graph, the Hamiltonian cycle of
+/// the reduced graph uses, per tree edge, the two port-link cross edges, and
+/// per non-tree edge the internal port pair; all remaining consecutive
+/// cluster-cycle edges complete it.  Returned as an edge set over the
+/// reduced graph; it is 2-regular, spanning, and connected — checked by the
+/// caller with the hierarchy module's helpers or verified here.
+///
+/// Requires: every label of g is "1" (otherwise the pendant node makes a
+/// Hamiltonian cycle impossible) and `reduced` produced by
+/// AllSelectedToHamiltonian on g with `id`.
+std::set<std::pair<NodeId, NodeId>>
+hamiltonian_witness_from_tree(const LabeledGraph& g, const IdentifierAssignment& id,
+                              const SpanningTree& tree, const ReducedGraph& reduced);
+
+/// The reduction NOT-ALL-SELECTED -> HAMILTONIAN of Proposition 17
+/// (Figure 9): two stacked copies of the Proposition 16 port cycles ("top"
+/// and "bottom", lengths 2d+3); the middle extra nodes are always joined
+/// vertically, and an unselected node contributes the second vertical edge
+/// that lets a Hamiltonian cycle switch decks.  Radius 1.
+class NotAllSelectedToHamiltonian : public ReductionMachine {
+public:
+    NotAllSelectedToHamiltonian() : ReductionMachine(1) {}
+    ClusterSpec build_cluster(const NeighborhoodView& view,
+                              StepMeter& meter) const override;
+};
+
+} // namespace lph

@@ -1,0 +1,204 @@
+#include "reductions/cluster.hpp"
+
+#include "core/check.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace lph {
+namespace {
+
+// Encoding:  nodes ';' ...  '!' internal ';' ...  '!' cross ';' ...
+//   node:     name ',' label
+//   internal: name ',' name
+//   cross:    local ',' neighbor_id ',' remote
+// Names may use [A-Za-z0-9_], labels/ids are over {0,1}.
+
+std::vector<std::string> split_on(const std::string& s, char sep) {
+    std::vector<std::string> parts;
+    std::string current;
+    for (char c : s) {
+        if (c == sep) {
+            parts.push_back(current);
+            current.clear();
+        } else {
+            current.push_back(c);
+        }
+    }
+    parts.push_back(current);
+    return parts;
+}
+
+bool valid_name(const std::string& name) {
+    if (name.empty()) {
+        return false;
+    }
+    return std::all_of(name.begin(), name.end(), [](char c) {
+        return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+               (c >= '0' && c <= '9') || c == '_';
+    });
+}
+
+} // namespace
+
+std::string encode_cluster(const ClusterSpec& spec) {
+    std::ostringstream out;
+    for (std::size_t i = 0; i < spec.nodes.size(); ++i) {
+        check(valid_name(spec.nodes[i].name), "encode_cluster: bad node name");
+        check(is_bit_string(spec.nodes[i].label), "encode_cluster: bad label");
+        if (i > 0) {
+            out << ';';
+        }
+        out << spec.nodes[i].name << ',' << spec.nodes[i].label;
+    }
+    out << '!';
+    for (std::size_t i = 0; i < spec.internal_edges.size(); ++i) {
+        if (i > 0) {
+            out << ';';
+        }
+        out << spec.internal_edges[i].first << ',' << spec.internal_edges[i].second;
+    }
+    out << '!';
+    for (std::size_t i = 0; i < spec.cross_edges.size(); ++i) {
+        if (i > 0) {
+            out << ';';
+        }
+        out << spec.cross_edges[i].local_name << ',' << spec.cross_edges[i].neighbor_id
+            << ',' << spec.cross_edges[i].remote_name;
+    }
+    return out.str();
+}
+
+ClusterSpec decode_cluster(const std::string& text) {
+    const auto sections = split_on(text, '!');
+    check(sections.size() == 3, "decode_cluster: expected three sections");
+    ClusterSpec spec;
+    if (!sections[0].empty()) {
+        for (const auto& entry : split_on(sections[0], ';')) {
+            const auto fields = split_on(entry, ',');
+            check(fields.size() == 2, "decode_cluster: malformed node entry");
+            spec.nodes.push_back({fields[0], fields[1]});
+        }
+    }
+    if (!sections[1].empty()) {
+        for (const auto& entry : split_on(sections[1], ';')) {
+            const auto fields = split_on(entry, ',');
+            check(fields.size() == 2, "decode_cluster: malformed internal edge");
+            spec.internal_edges.emplace_back(fields[0], fields[1]);
+        }
+    }
+    if (!sections[2].empty()) {
+        for (const auto& entry : split_on(sections[2], ';')) {
+            const auto fields = split_on(entry, ',');
+            check(fields.size() == 3, "decode_cluster: malformed cross edge");
+            spec.cross_edges.push_back({fields[0], fields[1], fields[2]});
+        }
+    }
+    return spec;
+}
+
+NodeId ReducedGraph::named(NodeId u, const std::string& name) const {
+    for (NodeId w : clusters.at(u)) {
+        if (node_names.at(w) == name) {
+            return w;
+        }
+    }
+    check(false, "ReducedGraph::named: no node '" + name + "' in cluster " +
+                     std::to_string(u));
+    return 0;
+}
+
+std::string ReductionMachine::decide(const NeighborhoodView& view,
+                                     StepMeter& meter) const {
+    const ClusterSpec spec = build_cluster(view, meter);
+    const std::string encoded = encode_cluster(spec);
+    meter.charge(encoded.size());
+    return encoded;
+}
+
+ReducedGraph apply_reduction(const ReductionMachine& m, const LabeledGraph& g,
+                             const IdentifierAssignment& id,
+                             const ExecutionOptions& options) {
+    const ExecutionResult run = run_local(m, g, id, options);
+
+    ReducedGraph reduced;
+    reduced.clusters.assign(g.num_nodes(), {});
+
+    std::vector<ClusterSpec> specs;
+    specs.reserve(g.num_nodes());
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+        specs.push_back(decode_cluster(run.raw_outputs[u]));
+    }
+
+    // Allocate output nodes.
+    std::map<std::pair<NodeId, std::string>, NodeId> index;
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+        for (const auto& cnode : specs[u].nodes) {
+            const auto key = std::make_pair(u, cnode.name);
+            check(index.find(key) == index.end(),
+                  "apply_reduction: duplicate cluster node name");
+            const NodeId w = reduced.graph.add_node(cnode.label);
+            index.emplace(key, w);
+            reduced.cluster_of.push_back(u);
+            reduced.clusters[u].push_back(w);
+            reduced.node_names.push_back(cnode.name);
+        }
+    }
+
+    auto add_edge_once = [&](NodeId a, NodeId b) {
+        if (!reduced.graph.has_edge(a, b)) {
+            reduced.graph.add_edge(a, b);
+        }
+    };
+
+    // Internal edges.
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+        for (const auto& [a, b] : specs[u].internal_edges) {
+            const auto ia = index.find({u, a});
+            const auto ib = index.find({u, b});
+            check(ia != index.end() && ib != index.end(),
+                  "apply_reduction: internal edge references unknown node");
+            add_edge_once(ia->second, ib->second);
+        }
+    }
+
+    // Cross edges: resolve the neighbor by identifier among u's neighbors.
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+        for (const auto& cross : specs[u].cross_edges) {
+            NodeId v = g.num_nodes();
+            for (NodeId w : g.neighbors(u)) {
+                if (id(w) == cross.neighbor_id) {
+                    v = w;
+                    break;
+                }
+            }
+            check(v != g.num_nodes(),
+                  "apply_reduction: cross edge references unknown neighbor id");
+            const auto ia = index.find({u, cross.local_name});
+            const auto ib = index.find({v, cross.remote_name});
+            check(ia != index.end() && ib != index.end(),
+                  "apply_reduction: cross edge references unknown node");
+            add_edge_once(ia->second, ib->second);
+        }
+    }
+
+    return reduced;
+}
+
+bool verify_cluster_map(const ReducedGraph& reduced, const LabeledGraph& g) {
+    if (reduced.cluster_of.size() != reduced.graph.num_nodes()) {
+        return false;
+    }
+    for (NodeId w = 0; w < reduced.graph.num_nodes(); ++w) {
+        for (NodeId x : reduced.graph.neighbors(w)) {
+            const NodeId u = reduced.cluster_of[w];
+            const NodeId v = reduced.cluster_of[x];
+            if (u != v && !g.has_edge(u, v)) {
+                return false;
+            }
+        }
+    }
+    return true;
+}
+
+} // namespace lph

@@ -1,0 +1,78 @@
+#pragma once
+
+#include "dtm/gather.hpp"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace lph {
+
+/// What one node of the input graph outputs under a local-polynomial
+/// reduction (Section 8): its *cluster* — a piece of the output graph G' —
+/// plus the edges from its cluster to its neighbors' clusters.
+///
+/// Cluster nodes have names local to their owner; cross edges reference the
+/// remote endpoint by (neighbor identifier, remote-local name).
+struct ClusterSpec {
+    struct CNode {
+        std::string name;
+        BitString label;
+    };
+    struct CrossEdge {
+        std::string local_name;
+        BitString neighbor_id;
+        std::string remote_name;
+    };
+
+    std::vector<CNode> nodes;
+    std::vector<std::pair<std::string, std::string>> internal_edges;
+    std::vector<CrossEdge> cross_edges;
+};
+
+/// Serialization of a cluster into the node's output string (names and
+/// identifiers are over {0,1} plus [A-Za-z_] for names; separators below).
+std::string encode_cluster(const ClusterSpec& spec);
+ClusterSpec decode_cluster(const std::string& text);
+
+/// Base class for local-polynomial reductions implemented as distributed
+/// machines: gather the r-neighborhood, then emit the cluster encoding as the
+/// node's output.
+class ReductionMachine : public NeighborhoodGatherMachine {
+public:
+    explicit ReductionMachine(int radius) : NeighborhoodGatherMachine(radius) {}
+
+    std::string decide(const NeighborhoodView& view, StepMeter& meter) const final;
+
+    /// Builds this node's cluster from its gathered neighborhood.
+    virtual ClusterSpec build_cluster(const NeighborhoodView& view,
+                                      StepMeter& meter) const = 0;
+
+    /// Topology-preserving reductions only relabel (Remark 13).
+    virtual bool topology_preserving() const { return false; }
+};
+
+/// The assembled output graph G' of a reduction, with the cluster map g
+/// (Section 8) recording which input node each output node represents.
+struct ReducedGraph {
+    LabeledGraph graph;
+    std::vector<NodeId> cluster_of;            ///< G' node -> G node
+    std::vector<std::vector<NodeId>> clusters; ///< G node -> its G' nodes
+    std::vector<std::string> node_names;       ///< G' node -> cluster-local name
+
+    /// Output node of cluster `u` with local name `name`; throws if absent.
+    NodeId named(NodeId u, const std::string& name) const;
+};
+
+/// Runs the reduction machine distributedly and assembles G' from the
+/// per-node cluster encodings.  Cross edges may be declared by either
+/// endpoint; duplicates are merged; dangling references throw.
+ReducedGraph apply_reduction(const ReductionMachine& m, const LabeledGraph& g,
+                             const IdentifierAssignment& id,
+                             const ExecutionOptions& options = {});
+
+/// Checks the cluster-map condition: every edge of G' joins two nodes of the
+/// same cluster or of clusters whose owners are adjacent in G.
+bool verify_cluster_map(const ReducedGraph& reduced, const LabeledGraph& g);
+
+} // namespace lph

@@ -1,0 +1,281 @@
+#include "reductions/cook_levin.hpp"
+
+#include "core/check.hpp"
+#include "structure/graph_structure.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace lph {
+namespace {
+
+/// Name of the element `e` of the view's structural representation, as used
+/// in Boolean variable names: "<owner id>.<bit position>".
+std::string element_ref(const GraphStructure& gs, const NeighborhoodView& view,
+                        Element e) {
+    const NodeId owner = gs.owner(e);
+    const std::size_t pos = gs.is_node_element(e) ? 0 : gs.bit_position(e);
+    return view.ids[owner] + "." + std::to_string(pos);
+}
+
+/// Boolean variable standing for "tuple in R": "R:ref1:ref2:...".
+std::string tuple_variable(const GraphStructure& gs, const NeighborhoodView& view,
+                           const std::string& rel, const ElementTuple& tuple) {
+    std::string name = rel;
+    for (Element e : tuple) {
+        name += ":" + element_ref(gs, view, e);
+    }
+    return name;
+}
+
+bool is_const(const BoolFormula& f, bool value) {
+    return f->kind == (value ? BoolKind::True : BoolKind::False);
+}
+
+// Constant-folding combinators: the translation replaces structure atoms by
+// truth constants, so without folding the output formulas are dominated by
+// dead constant subtrees (and downstream SAT solving drowns in them).
+BoolFormula fold_not(BoolFormula a) {
+    if (is_const(a, true)) return bf::falsity();
+    if (is_const(a, false)) return bf::truth();
+    return bf::bnot(std::move(a));
+}
+BoolFormula fold_and(BoolFormula a, BoolFormula b) {
+    if (is_const(a, false) || is_const(b, false)) return bf::falsity();
+    if (is_const(a, true)) return b;
+    if (is_const(b, true)) return a;
+    return bf::band(std::move(a), std::move(b));
+}
+BoolFormula fold_or(BoolFormula a, BoolFormula b) {
+    if (is_const(a, true) || is_const(b, true)) return bf::truth();
+    if (is_const(a, false)) return b;
+    if (is_const(b, false)) return a;
+    return bf::bor(std::move(a), std::move(b));
+}
+BoolFormula fold_implies(BoolFormula a, BoolFormula b) {
+    return fold_or(fold_not(std::move(a)), std::move(b));
+}
+BoolFormula fold_iff(BoolFormula a, BoolFormula b) {
+    if (is_const(a, true)) return b;
+    if (is_const(b, true)) return a;
+    if (is_const(a, false)) return fold_not(std::move(b));
+    if (is_const(b, false)) return fold_not(std::move(a));
+    return bf::biff(std::move(a), std::move(b));
+}
+BoolFormula fold_and_all(std::vector<BoolFormula> parts) {
+    BoolFormula result = bf::truth();
+    for (auto& p : parts) {
+        result = fold_and(std::move(result), std::move(p));
+    }
+    return result;
+}
+BoolFormula fold_or_all(std::vector<BoolFormula> parts) {
+    BoolFormula result = bf::falsity();
+    for (auto& p : parts) {
+        result = fold_or(std::move(result), std::move(p));
+    }
+    return result;
+}
+
+/// The translation tau of the proof of Theorem 19: psi with first-order
+/// variables bound to concrete elements becomes a propositional formula over
+/// tuple variables.
+BoolFormula translate(const Formula& psi, const GraphStructure& gs,
+                      const NeighborhoodView& view,
+                      std::map<std::string, Element>& sigma) {
+    const FormulaNode& node = *psi;
+    const Structure& s = gs.structure();
+    auto lookup = [&](const std::string& v) {
+        const auto it = sigma.find(v);
+        check(it != sigma.end(), "cook-levin translate: unbound variable " + v);
+        return it->second;
+    };
+    switch (node.kind) {
+    case FormulaKind::Top:
+        return bf::truth();
+    case FormulaKind::Bottom:
+        return bf::falsity();
+    case FormulaKind::Unary:
+        return s.unary_holds(node.rel_index - 1, lookup(node.var)) ? bf::truth()
+                                                                   : bf::falsity();
+    case FormulaKind::Binary:
+        return s.binary_holds(node.rel_index - 1, lookup(node.var),
+                              lookup(node.var2))
+                   ? bf::truth()
+                   : bf::falsity();
+    case FormulaKind::Equals:
+        return lookup(node.var) == lookup(node.var2) ? bf::truth() : bf::falsity();
+    case FormulaKind::Apply: {
+        ElementTuple tuple;
+        for (const auto& arg : node.args) {
+            tuple.push_back(lookup(arg));
+        }
+        return bf::var(tuple_variable(gs, view, node.rel_var, tuple));
+    }
+    case FormulaKind::Not:
+        return fold_not(translate(node.children[0], gs, view, sigma));
+    case FormulaKind::Or: {
+        BoolFormula a = translate(node.children[0], gs, view, sigma);
+        if (is_const(a, true)) {
+            return a; // short-circuit: skip the right subtree entirely
+        }
+        return fold_or(std::move(a), translate(node.children[1], gs, view, sigma));
+    }
+    case FormulaKind::And: {
+        BoolFormula a = translate(node.children[0], gs, view, sigma);
+        if (is_const(a, false)) {
+            return a;
+        }
+        return fold_and(std::move(a), translate(node.children[1], gs, view, sigma));
+    }
+    case FormulaKind::Implies: {
+        BoolFormula a = translate(node.children[0], gs, view, sigma);
+        if (is_const(a, false)) {
+            return bf::truth();
+        }
+        return fold_implies(std::move(a),
+                            translate(node.children[1], gs, view, sigma));
+    }
+    case FormulaKind::Iff:
+        return fold_iff(translate(node.children[0], gs, view, sigma),
+                        translate(node.children[1], gs, view, sigma));
+    case FormulaKind::ExistsConn:
+    case FormulaKind::ForallConn: {
+        const bool existential = node.kind == FormulaKind::ExistsConn;
+        std::vector<BoolFormula> parts;
+        for (Element a : s.connected_to(lookup(node.var2))) {
+            const auto saved = sigma.find(node.var);
+            const bool had = saved != sigma.end();
+            const Element old = had ? saved->second : 0;
+            sigma[node.var] = a;
+            parts.push_back(translate(node.children[0], gs, view, sigma));
+            if (had) {
+                sigma[node.var] = old;
+            } else {
+                sigma.erase(node.var);
+            }
+        }
+        return existential ? fold_or_all(std::move(parts))
+                           : fold_and_all(std::move(parts));
+    }
+    case FormulaKind::ExistsFO:
+    case FormulaKind::ForallFO:
+    case FormulaKind::ExistsSO:
+    case FormulaKind::ForallSO:
+        check(false, "cook-levin translate: matrix must be a BF formula");
+    }
+    check(false, "cook-levin translate: unreachable");
+    return bf::truth();
+}
+
+} // namespace
+
+CookLevinReduction::CookLevinReduction(const Formula& sigma1_sentence)
+    : ReductionMachine(std::max(1, 3 * decompose_prefix_sentence(sigma1_sentence)
+                                        .radius)),
+      prefix_(decompose_prefix_sentence(sigma1_sentence)) {
+    check(prefix_.blocks.size() == 1 && prefix_.blocks[0].existential,
+          "CookLevinReduction: sentence must be Sigma_1^LFO (one existential "
+          "block)");
+}
+
+ClusterSpec CookLevinReduction::build_cluster(const NeighborhoodView& view,
+                                              StepMeter& meter) const {
+    const int r = std::max(1, prefix_.radius);
+    const GraphStructure gs(view.graph);
+
+    // tau at the elements representing this node and its labeling bits.
+    std::vector<BoolFormula> conjuncts;
+    std::vector<Element> anchors{gs.node_element(view.self)};
+    for (std::size_t i = 1; i <= view.graph.label(view.self).size(); ++i) {
+        anchors.push_back(gs.bit_element(view.self, i));
+    }
+    for (Element anchor : anchors) {
+        std::map<std::string, Element> sigma{{prefix_.matrix_var, anchor}};
+        conjuncts.push_back(translate(prefix_.matrix_body, gs, view, sigma));
+    }
+
+    // Soundness threading: mention every tuple owned within distance r (with
+    // remaining elements within 2r of the owner) via tautologies, so shared
+    // variables propagate along connected balls.
+    const auto dist = view.graph.distances_from(view.self);
+    for (const SOVariable& var : prefix_.blocks[0].variables) {
+        for (NodeId v = 0; v < view.graph.num_nodes(); ++v) {
+            if (dist[v] < 0 || dist[v] > r) {
+                continue;
+            }
+            std::vector<Element> owned{gs.node_element(v)};
+            for (std::size_t i = 1; i <= view.graph.label(v).size(); ++i) {
+                owned.push_back(gs.bit_element(v, i));
+            }
+            std::vector<Element> nearby;
+            const auto dist_v = view.graph.distances_from(v);
+            for (NodeId w = 0; w < view.graph.num_nodes(); ++w) {
+                if (dist_v[w] >= 0 && dist_v[w] <= 2 * r) {
+                    nearby.push_back(gs.node_element(w));
+                    for (std::size_t i = 1; i <= view.graph.label(w).size(); ++i) {
+                        nearby.push_back(gs.bit_element(w, i));
+                    }
+                }
+            }
+            for (Element first : owned) {
+                if (var.arity == 1) {
+                    const BoolFormula p =
+                        bf::var(tuple_variable(gs, view, var.name, {first}));
+                    conjuncts.push_back(bf::bor(p, bf::bnot(p)));
+                    continue;
+                }
+                std::vector<std::size_t> idx(var.arity - 1, 0);
+                while (true) {
+                    ElementTuple tuple{first};
+                    for (std::size_t i = 0; i + 1 < var.arity; ++i) {
+                        tuple.push_back(nearby[idx[i]]);
+                    }
+                    const BoolFormula p =
+                        bf::var(tuple_variable(gs, view, var.name, tuple));
+                    conjuncts.push_back(bf::bor(p, bf::bnot(p)));
+                    std::size_t pos = 0;
+                    while (pos < idx.size()) {
+                        if (++idx[pos] < nearby.size()) {
+                            break;
+                        }
+                        idx[pos] = 0;
+                        ++pos;
+                    }
+                    if (pos == idx.size()) {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    const BoolFormula formula = fold_and_all(std::move(conjuncts));
+    meter.charge(bool_size(formula));
+
+    ClusterSpec spec;
+    spec.nodes.push_back({"a", encode_bool_label(formula)});
+    for (NodeId v : view.graph.neighbors(view.self)) {
+        spec.cross_edges.push_back({"a", view.ids[v], "a"});
+    }
+    return spec;
+}
+
+ClusterSpec SatGraphTo3Sat::build_cluster(const NeighborhoodView& view,
+                                          StepMeter& meter) const {
+    const BoolFormula formula = decode_bool_label(view.graph.label(view.self));
+    // Auxiliary variables are qualified by the node's own identifier, so
+    // adjacent nodes (whose identifiers differ) never share them.
+    const Cnf cnf = tseytin_3cnf(formula, "aux" + view.ids[view.self] + ".");
+    const BoolFormula rewritten = cnf_to_formula(cnf);
+    meter.charge(bool_size(rewritten));
+
+    ClusterSpec spec;
+    spec.nodes.push_back({"a", encode_bool_label(rewritten)});
+    for (NodeId v : view.graph.neighbors(view.self)) {
+        spec.cross_edges.push_back({"a", view.ids[v], "a"});
+    }
+    return spec;
+}
+
+} // namespace lph

@@ -1,0 +1,50 @@
+#pragma once
+
+#include "machines/formula_arbiter.hpp"
+#include "reductions/cluster.hpp"
+#include "sat/boolean_graph.hpp"
+
+namespace lph {
+
+/// The distributed Cook–Levin reduction (Theorem 19): given a Sigma_1^LFO
+/// sentence "exists R1..Rn. forall x. psi", transforms any graph G into a
+/// Boolean graph that is satisfiable iff G satisfies the sentence.
+/// Topology-preserving.
+///
+/// Each node's formula is the Boolean translation tau of psi at the elements
+/// representing the node and its labeling bits: atoms over the structure
+/// become truth constants, relation atoms become Boolean variables named
+/// after the relation and the (identifier, bit-position) references of the
+/// tuple, and bounded quantifiers expand over the local neighborhood.
+///
+/// Soundness strengthening (documented in DESIGN.md): each node additionally
+/// *mentions* (with tautologies P | !P) every relation tuple owned within
+/// distance r, so that the set of nodes sharing a variable is a connected
+/// ball and the edge-wise consistency of SAT-GRAPH forces a single global
+/// interpretation.  The machine radius is therefore 3r.
+class CookLevinReduction : public ReductionMachine {
+public:
+    explicit CookLevinReduction(const Formula& sigma1_sentence);
+
+    bool topology_preserving() const override { return true; }
+    const PrefixSentence& prefix() const { return prefix_; }
+
+    ClusterSpec build_cluster(const NeighborhoodView& view,
+                              StepMeter& meter) const override;
+
+private:
+    PrefixSentence prefix_;
+};
+
+/// The reduction SAT-GRAPH -> 3-SAT-GRAPH (first step of Theorem 20): each
+/// node replaces its formula by the Tseytin 3-CNF whose auxiliary variables
+/// are qualified by the node's identifier.  Topology-preserving, radius 1.
+class SatGraphTo3Sat : public ReductionMachine {
+public:
+    SatGraphTo3Sat() : ReductionMachine(1) {}
+    bool topology_preserving() const override { return true; }
+    ClusterSpec build_cluster(const NeighborhoodView& view,
+                              StepMeter& meter) const override;
+};
+
+} // namespace lph

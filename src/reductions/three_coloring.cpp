@@ -1,0 +1,266 @@
+#include "reductions/three_coloring.hpp"
+
+#include "core/check.hpp"
+
+#include <array>
+
+#include <algorithm>
+
+namespace lph {
+namespace {
+
+/// Variables of a formula in a canonical (sorted) order, so both endpoints
+/// of an edge derive the same per-node variable indices.
+std::vector<std::string> ordered_variables(const BoolFormula& f) {
+    const auto vars = bool_variables(f);
+    return {vars.begin(), vars.end()};
+}
+
+std::size_t index_of(const std::vector<std::string>& vars, const std::string& var) {
+    const auto it = std::find(vars.begin(), vars.end(), var);
+    check(it != vars.end(), "three_coloring: unknown variable");
+    return static_cast<std::size_t>(it - vars.begin());
+}
+
+/// Cluster-local name of the node carrying a literal's color.
+std::string literal_node(const std::vector<std::string>& vars, const Literal& lit) {
+    return "v" + std::to_string(index_of(vars, lit.var)) + (lit.positive ? "p" : "n");
+}
+
+} // namespace
+
+ClusterSpec ThreeSatTo3Colorable::build_cluster(const NeighborhoodView& view,
+                                                StepMeter& meter) const {
+    const BoolFormula formula = decode_bool_label(view.graph.label(view.self));
+    const auto cnf_opt = formula_to_cnf(formula);
+    check(cnf_opt.has_value(),
+          "ThreeSatTo3Colorable: node label is not a CNF formula");
+    const Cnf& cnf = *cnf_opt;
+    check(is_3cnf(cnf), "ThreeSatTo3Colorable: clauses must have <= 3 literals");
+    const auto vars = ordered_variables(formula);
+
+    ClusterSpec spec;
+    auto add_node = [&spec](const std::string& name) {
+        spec.nodes.push_back({name, ""});
+    };
+    auto add_edge = [&spec](const std::string& a, const std::string& b) {
+        spec.internal_edges.emplace_back(a, b);
+    };
+
+    // Palette.
+    add_node("nfalse");
+    add_node("nground");
+    add_edge("nfalse", "nground");
+
+    // Variable gadgets: complementary literal pair tied to ground.
+    for (std::size_t i = 0; i < vars.size(); ++i) {
+        const std::string p = "v" + std::to_string(i) + "p";
+        const std::string n = "v" + std::to_string(i) + "n";
+        add_node(p);
+        add_node(n);
+        add_edge(p, n);
+        add_edge(p, "nground");
+        add_edge(n, "nground");
+    }
+
+    // Clause gadgets: or(l1,l2) -> o1; or(o1,l3) -> o2; o2 forced "true".
+    auto or_gadget = [&](const std::string& x, const std::string& y,
+                         const std::string& tag) {
+        const std::string a = tag + "a";
+        const std::string b = tag + "b";
+        const std::string o = tag + "o";
+        add_node(a);
+        add_node(b);
+        add_node(o);
+        add_edge(a, b);
+        add_edge(a, o);
+        add_edge(b, o);
+        add_edge(x, a);
+        add_edge(y, b);
+        return o;
+    };
+    for (std::size_t j = 0; j < cnf.size(); ++j) {
+        const std::string tag = "k" + std::to_string(j);
+        const Clause& clause = cnf[j];
+        if (clause.empty()) {
+            // Unsatisfiable clause: two adjacent nodes both forced "true".
+            add_node(tag + "z1");
+            add_node(tag + "z2");
+            add_edge(tag + "z1", "nfalse");
+            add_edge(tag + "z1", "nground");
+            add_edge(tag + "z2", "nfalse");
+            add_edge(tag + "z2", "nground");
+            add_edge(tag + "z1", tag + "z2");
+            continue;
+        }
+        // Pad to three literals by repetition (or(x,x) behaves like x).
+        Clause padded = clause;
+        while (padded.size() < 3) {
+            padded.push_back(padded.back());
+        }
+        const std::string l1 = literal_node(vars, padded[0]);
+        const std::string l2 = literal_node(vars, padded[1]);
+        const std::string l3 = literal_node(vars, padded[2]);
+        const std::string o1 = or_gadget(l1, l2, tag + "s1");
+        const std::string o2 = or_gadget(o1, l3, tag + "s2");
+        add_edge(o2, "nfalse");
+        add_edge(o2, "nground");
+    }
+
+    // Connector gadgets toward every neighbor: equalize nfalse, nground, and
+    // all shared variables (Figure 10).  Both endpoints declare the gadget;
+    // the assembler deduplicates.
+    const BitString& my_id = view.ids[view.self];
+    for (NodeId v : view.graph.neighbors(view.self)) {
+        const BitString& vid = view.ids[v];
+        const BoolFormula their_formula = decode_bool_label(view.graph.label(v));
+        const auto their_vars = ordered_variables(their_formula);
+
+        // (my end node, my tag, their end node, their tag) per connection.
+        struct Link {
+            std::string mine;
+            std::string my_tag;
+            std::string theirs;
+            std::string their_tag;
+        };
+        std::vector<Link> links{{"nfalse", "f", "nfalse", "f"},
+                                {"nground", "g", "nground", "g"}};
+        for (const auto& var : vars) {
+            if (std::find(their_vars.begin(), their_vars.end(), var) ==
+                their_vars.end()) {
+                continue;
+            }
+            const std::string my_tag =
+                "p" + std::to_string(index_of(vars, var));
+            const std::string their_tag =
+                "p" + std::to_string(index_of(their_vars, var));
+            links.push_back({"v" + std::to_string(index_of(vars, var)) + "p", my_tag,
+                             "v" + std::to_string(index_of(their_vars, var)) + "p",
+                             their_tag});
+        }
+        for (const Link& link : links) {
+            // My half node of the connector toward v.
+            const std::string mine_half = "h" + link.my_tag + "q" + vid;
+            const std::string their_half = "h" + link.their_tag + "q" + my_id;
+            add_node(mine_half);
+            add_edge(link.mine, mine_half);
+            spec.cross_edges.push_back({mine_half, vid, their_half});
+            spec.cross_edges.push_back({link.mine, vid, their_half});
+            spec.cross_edges.push_back({mine_half, vid, link.theirs});
+        }
+    }
+
+    meter.charge(spec.nodes.size() + spec.internal_edges.size() +
+                 spec.cross_edges.size());
+    return spec;
+}
+
+namespace {
+
+/// Colors of (a, b, o) in an OR-gadget whose inputs carry truth-colors
+/// cx, cy in {0 = false, 1 = true}; the output is 1 iff cx or cy.
+std::array<int, 3> or_gadget_colors(int cx, int cy) {
+    if (cx == 0 && cy == 0) {
+        return {1, 2, 0};
+    }
+    if (cx == 1) {
+        return {0, 2, 1}; // a avoids T, b takes ground
+    }
+    return {2, 0, 1}; // cx == 0, cy == 1
+}
+
+int literal_color(const Literal& lit, const Valuation& val) {
+    const bool value = val.at(lit.var);
+    return (lit.positive ? value : !value) ? 1 : 0;
+}
+
+} // namespace
+
+std::optional<Coloring>
+construct_gadget_coloring(const ReducedGraph& reduced, const BooleanGraph& source,
+                          const GraphValuation& valuations) {
+    const std::size_t n_out = reduced.graph.num_nodes();
+    Coloring colors(n_out, -1);
+    auto set_color = [&](NodeId u, const std::string& name, int c) {
+        colors[reduced.named(u, name)] = c;
+    };
+
+    for (NodeId u = 0; u < source.num_nodes(); ++u) {
+        const Valuation& val = valuations.at(u);
+        const auto cnf_opt = formula_to_cnf(source.formula(u));
+        check(cnf_opt.has_value(), "construct_gadget_coloring: non-CNF label");
+        const auto var_set = bool_variables(source.formula(u));
+        const std::vector<std::string> vars(var_set.begin(), var_set.end());
+
+        set_color(u, "nfalse", 0);
+        set_color(u, "nground", 2);
+        for (std::size_t i = 0; i < vars.size(); ++i) {
+            const int c = val.at(vars[i]) ? 1 : 0;
+            set_color(u, "v" + std::to_string(i) + "p", c);
+            set_color(u, "v" + std::to_string(i) + "n", 1 - c);
+        }
+        for (std::size_t j = 0; j < cnf_opt->size(); ++j) {
+            const Clause& clause = (*cnf_opt)[j];
+            if (clause.empty()) {
+                return std::nullopt; // unsatisfiable widget: no coloring exists
+            }
+            Clause padded = clause;
+            while (padded.size() < 3) {
+                padded.push_back(padded.back());
+            }
+            const int c1 = literal_color(padded[0], val);
+            const int c2 = literal_color(padded[1], val);
+            const int c3 = literal_color(padded[2], val);
+            const auto s1 = or_gadget_colors(c1, c2);
+            const auto s2 = or_gadget_colors(s1[2], c3);
+            const std::string tag = "k" + std::to_string(j);
+            set_color(u, tag + "s1a", s1[0]);
+            set_color(u, tag + "s1b", s1[1]);
+            set_color(u, tag + "s1o", s1[2]);
+            set_color(u, tag + "s2a", s2[0]);
+            set_color(u, tag + "s2b", s2[1]);
+            set_color(u, tag + "s2o", s2[2]);
+        }
+    }
+
+    // Connector halves: each pairs with the unique 'h'-named neighbor in a
+    // different cluster; both ends of the connection share an anchor color c,
+    // so the two halves split the remaining two colors (lower node index
+    // takes the lower color).
+    for (NodeId w = 0; w < n_out; ++w) {
+        const std::string& name = reduced.node_names[w];
+        if (name.empty() || name[0] != 'h' || colors[w] >= 0) {
+            continue;
+        }
+        // The anchor: the adjacent non-'h' node in the same cluster.
+        int anchor_color = -1;
+        NodeId partner = n_out;
+        for (NodeId x : reduced.graph.neighbors(w)) {
+            const bool same_cluster = reduced.cluster_of[x] == reduced.cluster_of[w];
+            const bool is_half = !reduced.node_names[x].empty() &&
+                                 reduced.node_names[x][0] == 'h';
+            if (same_cluster && !is_half) {
+                anchor_color = colors[x];
+            } else if (!same_cluster && is_half) {
+                partner = x;
+            }
+        }
+        check(anchor_color >= 0 && partner < n_out,
+              "construct_gadget_coloring: malformed connector");
+        int low = -1;
+        int high = -1;
+        for (int c = 0; c < 3; ++c) {
+            if (c != anchor_color) {
+                (low < 0 ? low : high) = c;
+            }
+        }
+        colors[w] = w < partner ? low : high;
+        colors[partner] = w < partner ? high : low;
+    }
+
+    check(verify_coloring(reduced.graph, colors, 3),
+          "construct_gadget_coloring: construction does not verify");
+    return colors;
+}
+
+} // namespace lph

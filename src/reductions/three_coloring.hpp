@@ -1,0 +1,42 @@
+#pragma once
+
+#include "graphalg/coloring.hpp"
+#include "reductions/cluster.hpp"
+#include "sat/boolean_graph.hpp"
+
+namespace lph {
+
+/// The reduction 3-SAT-GRAPH -> 3-COLORABLE (second step of Theorem 20,
+/// Figure 3/10).  Every node's 3-CNF label becomes a formula gadget:
+///   * palette nodes `nfalse` and `nground` (joined by an edge, so the third
+///     color plays "true"),
+///   * a pair of complementary literal nodes per variable, both tied to
+///     `nground`,
+///   * an OR-gadget cascade per clause whose output is forced to the "true"
+///     color by edges to both palette nodes,
+/// and clusters of adjacent input nodes are linked by connector gadgets that
+/// force equal colors on `nfalse`, `nground`, and every shared variable.
+/// Radius 1 (a node needs its neighbors' formulas to name shared variables).
+class ThreeSatTo3Colorable : public ReductionMachine {
+public:
+    ThreeSatTo3Colorable() : ReductionMachine(1) {}
+    ClusterSpec build_cluster(const NeighborhoodView& view,
+                              StepMeter& meter) const override;
+};
+
+/// The completeness half of the Theorem 20 correctness proof, executable:
+/// given a satisfying, edge-consistent family of valuations of the source
+/// 3-SAT-GRAPH, constructs a proper 3-coloring of the gadget graph
+/// (convention: 0 = "false", 1 = "true", 2 = "ground").  Returns nullopt if
+/// the gadget contains an empty-clause widget (which only unsatisfiable
+/// inputs produce).
+///
+/// This sidesteps search entirely: generic 3-coloring search thrashes on
+/// gadget graphs (every clause widget has several valid colorings, and a
+/// late conflict forces exploring their product), whereas the proof's
+/// construction is linear.
+std::optional<Coloring>
+construct_gadget_coloring(const ReducedGraph& reduced, const BooleanGraph& source,
+                          const GraphValuation& valuations);
+
+} // namespace lph

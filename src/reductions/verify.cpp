@@ -1,0 +1,30 @@
+#include "reductions/verify.hpp"
+
+namespace lph {
+
+ReductionCheck check_reduction(const ReductionMachine& m, const LabeledGraph& g,
+                               const IdentifierAssignment& id,
+                               const PropertyOracle& source,
+                               const PropertyOracle& target,
+                               const ExecutionOptions& options) {
+    ReductionCheck result;
+    result.input_nodes = g.num_nodes();
+
+    const ExecutionResult run = run_local(m, g, id, options);
+    result.reduction_steps = run.total_steps;
+
+    // Re-run through the assembler (which re-executes the machine; cheap at
+    // these sizes and keeps the two paths in agreement).
+    const ReducedGraph reduced = apply_reduction(m, g, id, options);
+    result.output_nodes = reduced.graph.num_nodes();
+    result.output_edges = reduced.graph.num_edges();
+    result.cluster_map_ok = verify_cluster_map(reduced, g);
+    result.output_connected = reduced.graph.is_connected();
+
+    result.source_member = source(g);
+    result.target_member = target(reduced.graph);
+    result.equivalence_holds = result.source_member == result.target_member;
+    return result;
+}
+
+} // namespace lph

@@ -1,0 +1,34 @@
+#pragma once
+
+#include "reductions/cluster.hpp"
+
+#include <functional>
+
+namespace lph {
+
+/// Ground-truth membership test for a graph property, used to validate
+/// reductions on bounded instances.
+using PropertyOracle = std::function<bool(const LabeledGraph&)>;
+
+/// Outcome of exercising one reduction on one instance.
+struct ReductionCheck {
+    bool cluster_map_ok = false;      ///< Section 8 cluster-map condition
+    bool output_connected = false;    ///< G' is a valid paper graph
+    bool source_member = false;       ///< G in L
+    bool target_member = false;       ///< G' in L'
+    bool equivalence_holds = false;   ///< the iff of the reduction
+    std::size_t input_nodes = 0;
+    std::size_t output_nodes = 0;
+    std::size_t output_edges = 0;
+    std::uint64_t reduction_steps = 0; ///< total metered work of the machine
+};
+
+/// Applies the reduction to g and checks "G in L iff G' in L'" against the
+/// oracles, plus structural validity of the output.
+ReductionCheck check_reduction(const ReductionMachine& m, const LabeledGraph& g,
+                               const IdentifierAssignment& id,
+                               const PropertyOracle& source,
+                               const PropertyOracle& target,
+                               const ExecutionOptions& options = {});
+
+} // namespace lph

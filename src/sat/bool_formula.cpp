@@ -1,0 +1,313 @@
+#include "sat/bool_formula.hpp"
+
+#include "core/check.hpp"
+
+#include <sstream>
+
+namespace lph {
+
+namespace bf {
+namespace {
+BoolFormula make(BoolNode node) {
+    return std::make_shared<const BoolNode>(std::move(node));
+}
+BoolFormula binary_op(BoolKind kind, BoolFormula a, BoolFormula b) {
+    BoolNode node;
+    node.kind = kind;
+    node.children = {std::move(a), std::move(b)};
+    return make(std::move(node));
+}
+bool valid_name(const std::string& name) {
+    if (name.empty()) {
+        return false;
+    }
+    for (char c : name) {
+        const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9') || c == '_' || c == ':' || c == '.';
+        if (!ok) {
+            return false;
+        }
+    }
+    return true;
+}
+} // namespace
+
+BoolFormula var(const std::string& name) {
+    check(valid_name(name), "bf::var: invalid variable name '" + name + "'");
+    BoolNode node;
+    node.kind = BoolKind::Var;
+    node.var = name;
+    return make(std::move(node));
+}
+
+BoolFormula truth() {
+    BoolNode node;
+    node.kind = BoolKind::True;
+    return make(std::move(node));
+}
+
+BoolFormula falsity() {
+    BoolNode node;
+    node.kind = BoolKind::False;
+    return make(std::move(node));
+}
+
+BoolFormula bnot(BoolFormula a) {
+    BoolNode node;
+    node.kind = BoolKind::Not;
+    node.children = {std::move(a)};
+    return make(std::move(node));
+}
+
+BoolFormula band(BoolFormula a, BoolFormula b) {
+    return binary_op(BoolKind::And, std::move(a), std::move(b));
+}
+BoolFormula bor(BoolFormula a, BoolFormula b) {
+    return binary_op(BoolKind::Or, std::move(a), std::move(b));
+}
+BoolFormula bimplies(BoolFormula a, BoolFormula b) {
+    return binary_op(BoolKind::Implies, std::move(a), std::move(b));
+}
+BoolFormula biff(BoolFormula a, BoolFormula b) {
+    return binary_op(BoolKind::Iff, std::move(a), std::move(b));
+}
+
+BoolFormula band_all(std::vector<BoolFormula> parts) {
+    if (parts.empty()) {
+        return truth();
+    }
+    BoolFormula result = parts[0];
+    for (std::size_t i = 1; i < parts.size(); ++i) {
+        result = band(result, parts[i]);
+    }
+    return result;
+}
+
+BoolFormula bor_all(std::vector<BoolFormula> parts) {
+    if (parts.empty()) {
+        return falsity();
+    }
+    BoolFormula result = parts[0];
+    for (std::size_t i = 1; i < parts.size(); ++i) {
+        result = bor(result, parts[i]);
+    }
+    return result;
+}
+
+} // namespace bf
+
+namespace {
+
+void collect_vars(const BoolFormula& f, std::set<std::string>& vars) {
+    if (f->kind == BoolKind::Var) {
+        vars.insert(f->var);
+        return;
+    }
+    for (const auto& c : f->children) {
+        collect_vars(c, vars);
+    }
+}
+
+} // namespace
+
+std::set<std::string> bool_variables(const BoolFormula& f) {
+    std::set<std::string> vars;
+    collect_vars(f, vars);
+    return vars;
+}
+
+bool eval_bool(const BoolFormula& f, const Valuation& valuation) {
+    switch (f->kind) {
+    case BoolKind::Var: {
+        const auto it = valuation.find(f->var);
+        check(it != valuation.end(), "eval_bool: unassigned variable " + f->var);
+        return it->second;
+    }
+    case BoolKind::True:
+        return true;
+    case BoolKind::False:
+        return false;
+    case BoolKind::Not:
+        return !eval_bool(f->children[0], valuation);
+    case BoolKind::And:
+        return eval_bool(f->children[0], valuation) &&
+               eval_bool(f->children[1], valuation);
+    case BoolKind::Or:
+        return eval_bool(f->children[0], valuation) ||
+               eval_bool(f->children[1], valuation);
+    case BoolKind::Implies:
+        return !eval_bool(f->children[0], valuation) ||
+               eval_bool(f->children[1], valuation);
+    case BoolKind::Iff:
+        return eval_bool(f->children[0], valuation) ==
+               eval_bool(f->children[1], valuation);
+    }
+    check(false, "eval_bool: unreachable");
+    return false;
+}
+
+namespace {
+
+void render(const BoolFormula& f, std::ostringstream& out) {
+    switch (f->kind) {
+    case BoolKind::Var:
+        out << f->var;
+        return;
+    case BoolKind::True:
+        out << "#t";
+        return;
+    case BoolKind::False:
+        out << "#f";
+        return;
+    case BoolKind::Not:
+        out << "!(";
+        render(f->children[0], out);
+        out << ")";
+        return;
+    case BoolKind::And:
+    case BoolKind::Or:
+    case BoolKind::Implies:
+    case BoolKind::Iff: {
+        const char op = f->kind == BoolKind::And       ? '&'
+                        : f->kind == BoolKind::Or      ? '|'
+                        : f->kind == BoolKind::Implies ? '>'
+                                                       : '=';
+        out << op << "(";
+        render(f->children[0], out);
+        out << ",";
+        render(f->children[1], out);
+        out << ")";
+        return;
+    }
+    }
+}
+
+class Parser {
+public:
+    explicit Parser(const std::string& text) : text_(text) {}
+
+    BoolFormula parse() {
+        BoolFormula f = formula();
+        check(pos_ == text_.size(), "decode_bool_label: trailing characters");
+        return f;
+    }
+
+private:
+    char peek() const {
+        check(pos_ < text_.size(), "decode_bool_label: unexpected end of input");
+        return text_[pos_];
+    }
+
+    void expect(char c) {
+        check(peek() == c, std::string("decode_bool_label: expected '") + c + "'");
+        ++pos_;
+    }
+
+    BoolFormula formula() {
+        const char c = peek();
+        if (c == '#') {
+            ++pos_;
+            const char t = peek();
+            ++pos_;
+            check(t == 't' || t == 'f', "decode_bool_label: bad constant");
+            return t == 't' ? bf::truth() : bf::falsity();
+        }
+        if (c == '!') {
+            ++pos_;
+            expect('(');
+            BoolFormula a = formula();
+            expect(')');
+            return bf::bnot(std::move(a));
+        }
+        if (c == '&' || c == '|' || c == '>' || c == '=') {
+            ++pos_;
+            expect('(');
+            BoolFormula a = formula();
+            expect(',');
+            BoolFormula b = formula();
+            expect(')');
+            switch (c) {
+            case '&':
+                return bf::band(std::move(a), std::move(b));
+            case '|':
+                return bf::bor(std::move(a), std::move(b));
+            case '>':
+                return bf::bimplies(std::move(a), std::move(b));
+            default:
+                return bf::biff(std::move(a), std::move(b));
+            }
+        }
+        // Variable name.
+        std::string name;
+        while (pos_ < text_.size()) {
+            const char v = text_[pos_];
+            const bool ok = (v >= 'a' && v <= 'z') || (v >= 'A' && v <= 'Z') ||
+                            (v >= '0' && v <= '9') || v == '_' || v == ':' || v == '.';
+            if (!ok) {
+                break;
+            }
+            name.push_back(v);
+            ++pos_;
+        }
+        check(!name.empty(), "decode_bool_label: expected a formula");
+        return bf::var(name);
+    }
+
+    const std::string& text_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+std::string bool_to_string(const BoolFormula& f) {
+    std::ostringstream out;
+    render(f, out);
+    return out.str();
+}
+
+BitString encode_bool_label(const BoolFormula& f) {
+    const std::string text = bool_to_string(f);
+    BitString bits;
+    bits.reserve(text.size() * 8);
+    for (char c : text) {
+        bits += encode_unsigned_width(static_cast<unsigned char>(c), 8);
+    }
+    return bits;
+}
+
+BoolFormula decode_bool_label(const BitString& label) {
+    check(label.size() % 8 == 0, "decode_bool_label: label length not a byte multiple");
+    std::string text;
+    text.reserve(label.size() / 8);
+    for (std::size_t i = 0; i < label.size(); i += 8) {
+        text.push_back(static_cast<char>(decode_unsigned(label.substr(i, 8))));
+    }
+    return Parser(text).parse();
+}
+
+BoolFormula rename_bool_vars(
+    const BoolFormula& f,
+    const std::function<std::string(const std::string&)>& rename) {
+    if (f->kind == BoolKind::Var) {
+        return bf::var(rename(f->var));
+    }
+    if (f->children.empty()) {
+        return f;
+    }
+    BoolNode node;
+    node.kind = f->kind;
+    for (const auto& c : f->children) {
+        node.children.push_back(rename_bool_vars(c, rename));
+    }
+    return std::make_shared<const BoolNode>(std::move(node));
+}
+
+std::size_t bool_size(const BoolFormula& f) {
+    std::size_t total = 1;
+    for (const auto& c : f->children) {
+        total += bool_size(c);
+    }
+    return total;
+}
+
+} // namespace lph

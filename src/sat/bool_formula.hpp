@@ -1,0 +1,65 @@
+#pragma once
+
+#include "core/bitstring.hpp"
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace lph {
+
+enum class BoolKind { Var, True, False, Not, And, Or, Implies, Iff };
+
+struct BoolNode;
+using BoolFormula = std::shared_ptr<const BoolNode>;
+
+/// A propositional formula over named variables — the labels of Boolean
+/// graphs (Section 8, "Boolean graph satisfiability").
+struct BoolNode {
+    BoolKind kind = BoolKind::True;
+    std::string var;                   ///< for Var
+    std::vector<BoolFormula> children; ///< operands
+};
+
+namespace bf {
+BoolFormula var(const std::string& name);
+BoolFormula truth();
+BoolFormula falsity();
+BoolFormula bnot(BoolFormula a);
+BoolFormula band(BoolFormula a, BoolFormula b);
+BoolFormula bor(BoolFormula a, BoolFormula b);
+BoolFormula bimplies(BoolFormula a, BoolFormula b);
+BoolFormula biff(BoolFormula a, BoolFormula b);
+BoolFormula band_all(std::vector<BoolFormula> parts);
+BoolFormula bor_all(std::vector<BoolFormula> parts);
+} // namespace bf
+
+/// A (partial) truth assignment.
+using Valuation = std::map<std::string, bool>;
+
+std::set<std::string> bool_variables(const BoolFormula& f);
+
+/// Evaluates f; every variable of f must be assigned.
+bool eval_bool(const BoolFormula& f, const Valuation& valuation);
+
+/// Printable prefix rendering, e.g. "&(P,!(Q))".
+std::string bool_to_string(const BoolFormula& f);
+
+/// Serializes a formula into a node label: the ASCII rendering, 8 bits per
+/// character (labels are bit strings, Section 3).
+BitString encode_bool_label(const BoolFormula& f);
+
+/// Inverse of encode_bool_label; throws on malformed input.
+BoolFormula decode_bool_label(const BitString& label);
+
+std::size_t bool_size(const BoolFormula& f);
+
+/// Returns f with every variable name passed through `rename` (used by
+/// reductions to qualify variables per node).
+BoolFormula rename_bool_vars(const BoolFormula& f,
+                             const std::function<std::string(const std::string&)>& rename);
+
+} // namespace lph

@@ -1,0 +1,156 @@
+#include "sat/boolean_graph.hpp"
+
+#include "core/check.hpp"
+
+namespace lph {
+namespace {
+
+bool formula_is_cnf3(const BoolFormula& f);
+
+/// Checks the &-spine of a CNF: conjunctions of clauses.
+bool is_clause(const BoolFormula& f, int& literals) {
+    if (f->kind == BoolKind::Or) {
+        return is_clause(f->children[0], literals) &&
+               is_clause(f->children[1], literals);
+    }
+    if (f->kind == BoolKind::Not) {
+        return f->children[0]->kind == BoolKind::Var && ++literals <= 3;
+    }
+    if (f->kind == BoolKind::Var) {
+        return ++literals <= 3;
+    }
+    return false;
+}
+
+bool formula_is_cnf3(const BoolFormula& f) {
+    if (f->kind == BoolKind::And) {
+        return formula_is_cnf3(f->children[0]) && formula_is_cnf3(f->children[1]);
+    }
+    if (f->kind == BoolKind::True) {
+        return true;
+    }
+    int literals = 0;
+    return is_clause(f, literals);
+}
+
+} // namespace
+
+BooleanGraph::BooleanGraph(LabeledGraph topology, std::vector<BoolFormula> formulas)
+    : graph_(std::move(topology)), formulas_(std::move(formulas)) {
+    check(formulas_.size() == graph_.num_nodes(),
+          "BooleanGraph: one formula per node required");
+    for (NodeId u = 0; u < graph_.num_nodes(); ++u) {
+        graph_.set_label(u, encode_bool_label(formulas_[u]));
+    }
+}
+
+BooleanGraph BooleanGraph::decode(const LabeledGraph& g) {
+    std::vector<BoolFormula> formulas;
+    formulas.reserve(g.num_nodes());
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+        formulas.push_back(decode_bool_label(g.label(u)));
+    }
+    return BooleanGraph(g, std::move(formulas));
+}
+
+bool BooleanGraph::is_3cnf_graph() const {
+    for (const auto& f : formulas_) {
+        if (!formula_is_cnf3(f)) {
+            return false;
+        }
+    }
+    return true;
+}
+
+namespace {
+
+std::string qualified(NodeId u, const std::string& var) {
+    return "n" + std::to_string(u) + "." + var;
+}
+
+} // namespace
+
+std::optional<GraphValuation> find_graph_valuation(const BooleanGraph& bg) {
+    const LabeledGraph& g = bg.graph();
+    // Build one CNF over node-qualified variables.
+    Cnf combined;
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+        // Qualify the node's own variables, then Tseytin-encode; qualified
+        // names start with "n", auxiliary names with "aux", so they never
+        // collide across nodes or with each other.
+        const BoolFormula local_formula = rename_bool_vars(
+            bg.formula(u), [&](const std::string& name) { return qualified(u, name); });
+        const Cnf local =
+            tseytin_3cnf(local_formula, "aux" + std::to_string(u) + ".");
+        combined.insert(combined.end(), local.begin(), local.end());
+    }
+    // Consistency on shared variables of adjacent nodes: equality clauses.
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+        const auto vars_u = bool_variables(bg.formula(u));
+        for (NodeId v : g.neighbors(u)) {
+            if (v <= u) {
+                continue;
+            }
+            const auto vars_v = bool_variables(bg.formula(v));
+            for (const auto& var : vars_u) {
+                if (vars_v.count(var) == 0) {
+                    continue;
+                }
+                const Literal pu{qualified(u, var), true};
+                const Literal nu{qualified(u, var), false};
+                const Literal pv{qualified(v, var), true};
+                const Literal nv{qualified(v, var), false};
+                combined.push_back({nu, pv});
+                combined.push_back({nv, pu});
+            }
+        }
+    }
+    const auto model = dpll(combined);
+    if (!model.has_value()) {
+        return std::nullopt;
+    }
+    GraphValuation vals(g.num_nodes());
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+        for (const auto& var : bool_variables(bg.formula(u))) {
+            const auto it = model->find(qualified(u, var));
+            vals[u][var] = it != model->end() ? it->second : false;
+        }
+    }
+    check(verify_graph_valuation(bg, vals),
+          "find_graph_valuation: internal error, model does not verify");
+    return vals;
+}
+
+bool is_sat_graph(const BooleanGraph& bg) {
+    return find_graph_valuation(bg).has_value();
+}
+
+bool verify_graph_valuation(const BooleanGraph& bg, const GraphValuation& vals) {
+    const LabeledGraph& g = bg.graph();
+    if (vals.size() != g.num_nodes()) {
+        return false;
+    }
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+        const auto vars_u = bool_variables(bg.formula(u));
+        for (const auto& var : vars_u) {
+            if (vals[u].find(var) == vals[u].end()) {
+                return false;
+            }
+        }
+        if (!eval_bool(bg.formula(u), vals[u])) {
+            return false;
+        }
+        for (NodeId v : g.neighbors(u)) {
+            for (const auto& var : vars_u) {
+                const auto it = vals[v].find(var);
+                if (it != vals[v].end() &&
+                    it->second != vals[u].at(var)) {
+                    return false;
+                }
+            }
+        }
+    }
+    return true;
+}
+
+} // namespace lph

@@ -1,0 +1,50 @@
+#pragma once
+
+#include "graph/graph.hpp"
+#include "sat/cnf.hpp"
+
+#include <optional>
+
+namespace lph {
+
+/// A Boolean graph: a labeled graph whose labels encode Boolean formulas
+/// (Section 8).  The graph is *satisfiable* (belongs to SAT-GRAPH) when each
+/// node can be given a valuation of its formula's variables that satisfies
+/// the formula and agrees with adjacent nodes on shared variable names.
+class BooleanGraph {
+public:
+    /// Wraps a topology with per-node formulas; labels are the encodings.
+    BooleanGraph(LabeledGraph topology, std::vector<BoolFormula> formulas);
+
+    /// Decodes a labeled graph whose labels are formula encodings.
+    static BooleanGraph decode(const LabeledGraph& g);
+
+    const LabeledGraph& graph() const { return graph_; }
+    const BoolFormula& formula(NodeId u) const { return formulas_.at(u); }
+    std::size_t num_nodes() const { return graph_.num_nodes(); }
+
+    /// True when every node's formula is in 3-CNF shape (3-SAT-GRAPH).
+    bool is_3cnf_graph() const;
+
+private:
+    LabeledGraph graph_;
+    std::vector<BoolFormula> formulas_;
+};
+
+/// Per-node valuations witnessing satisfiability.
+using GraphValuation = std::vector<Valuation>;
+
+/// Searches for a satisfying, locally consistent family of valuations by
+/// reducing to a single CNF over node-qualified variables linked by
+/// equality constraints on edges, solved with DPLL.
+std::optional<GraphValuation> find_graph_valuation(const BooleanGraph& bg);
+
+/// SAT-GRAPH membership.
+bool is_sat_graph(const BooleanGraph& bg);
+
+/// Verifies a proposed family of valuations: each satisfies its node's
+/// formula and adjacent nodes agree on shared variables.  This is the local
+/// check the NLP-verifier for SAT-GRAPH performs (proof of Theorem 19).
+bool verify_graph_valuation(const BooleanGraph& bg, const GraphValuation& vals);
+
+} // namespace lph

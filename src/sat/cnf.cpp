@@ -1,0 +1,333 @@
+#include "sat/cnf.hpp"
+
+#include "core/check.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace lph {
+
+bool is_3cnf(const Cnf& cnf) {
+    return std::all_of(cnf.begin(), cnf.end(),
+                       [](const Clause& c) { return c.size() <= 3; });
+}
+
+std::set<std::string> cnf_variables(const Cnf& cnf) {
+    std::set<std::string> vars;
+    for (const Clause& clause : cnf) {
+        for (const Literal& lit : clause) {
+            vars.insert(lit.var);
+        }
+    }
+    return vars;
+}
+
+bool eval_cnf(const Cnf& cnf, const Valuation& valuation) {
+    for (const Clause& clause : cnf) {
+        bool satisfied = false;
+        for (const Literal& lit : clause) {
+            const auto it = valuation.find(lit.var);
+            check(it != valuation.end(), "eval_cnf: unassigned variable " + lit.var);
+            if (it->second == lit.positive) {
+                satisfied = true;
+                break;
+            }
+        }
+        if (!satisfied) {
+            return false;
+        }
+    }
+    return true;
+}
+
+BoolFormula cnf_to_formula(const Cnf& cnf) {
+    std::vector<BoolFormula> clauses;
+    for (const Clause& clause : cnf) {
+        std::vector<BoolFormula> lits;
+        for (const Literal& lit : clause) {
+            BoolFormula v = bf::var(lit.var);
+            lits.push_back(lit.positive ? v : bf::bnot(v));
+        }
+        clauses.push_back(bf::bor_all(std::move(lits)));
+    }
+    return bf::band_all(std::move(clauses));
+}
+
+namespace {
+
+/// Recursive Tseytin encoding: returns the literal representing f and
+/// appends defining clauses.
+Literal tseytin_visit(const BoolFormula& f, const std::string& prefix,
+                      std::size_t& counter, Cnf& out) {
+    switch (f->kind) {
+    case BoolKind::Var:
+        return {f->var, true};
+    case BoolKind::True: {
+        const std::string aux = prefix + std::to_string(counter++);
+        out.push_back({{aux, true}});
+        return {aux, true};
+    }
+    case BoolKind::False: {
+        const std::string aux = prefix + std::to_string(counter++);
+        out.push_back({{aux, false}});
+        return {aux, true};
+    }
+    case BoolKind::Not: {
+        const Literal a = tseytin_visit(f->children[0], prefix, counter, out);
+        return {a.var, !a.positive};
+    }
+    case BoolKind::And:
+    case BoolKind::Or:
+    case BoolKind::Implies:
+    case BoolKind::Iff: {
+        const Literal a = tseytin_visit(f->children[0], prefix, counter, out);
+        const Literal b = tseytin_visit(f->children[1], prefix, counter, out);
+        const std::string aux = prefix + std::to_string(counter++);
+        const Literal g{aux, true};
+        const Literal ng{aux, false};
+        const Literal na{a.var, !a.positive};
+        const Literal nb{b.var, !b.positive};
+        switch (f->kind) {
+        case BoolKind::And:
+            // g <-> a & b
+            out.push_back({ng, a});
+            out.push_back({ng, b});
+            out.push_back({g, na, nb});
+            break;
+        case BoolKind::Or:
+            // g <-> a | b
+            out.push_back({ng, a, b});
+            out.push_back({g, na});
+            out.push_back({g, nb});
+            break;
+        case BoolKind::Implies:
+            // g <-> (!a | b)
+            out.push_back({ng, na, b});
+            out.push_back({g, a});
+            out.push_back({g, nb});
+            break;
+        default:
+            // g <-> (a <-> b)
+            out.push_back({ng, na, b});
+            out.push_back({ng, a, nb});
+            out.push_back({g, a, b});
+            out.push_back({g, na, nb});
+            break;
+        }
+        return g;
+    }
+    }
+    check(false, "tseytin_visit: unreachable");
+    return {"", true};
+}
+
+} // namespace
+
+Cnf tseytin_3cnf(const BoolFormula& f, const std::string& aux_prefix) {
+    Cnf out;
+    std::size_t counter = 0;
+    const Literal root = tseytin_visit(f, aux_prefix, counter, out);
+    out.push_back({root});
+    return out;
+}
+
+namespace {
+
+bool collect_clause(const BoolFormula& f, Clause& clause) {
+    if (f->kind == BoolKind::Or) {
+        return collect_clause(f->children[0], clause) &&
+               collect_clause(f->children[1], clause);
+    }
+    if (f->kind == BoolKind::Not && f->children[0]->kind == BoolKind::Var) {
+        clause.push_back({f->children[0]->var, false});
+        return true;
+    }
+    if (f->kind == BoolKind::Var) {
+        clause.push_back({f->var, true});
+        return true;
+    }
+    return false;
+}
+
+bool collect_cnf(const BoolFormula& f, Cnf& cnf) {
+    if (f->kind == BoolKind::And) {
+        return collect_cnf(f->children[0], cnf) && collect_cnf(f->children[1], cnf);
+    }
+    if (f->kind == BoolKind::True) {
+        return true;
+    }
+    Clause clause;
+    if (!collect_clause(f, clause)) {
+        return false;
+    }
+    cnf.push_back(std::move(clause));
+    return true;
+}
+
+} // namespace
+
+std::optional<Cnf> formula_to_cnf(const BoolFormula& f) {
+    Cnf cnf;
+    if (!collect_cnf(f, cnf)) {
+        return std::nullopt;
+    }
+    return cnf;
+}
+
+namespace {
+
+/// Trail-based DPLL: integer literals, in-place assignment, no clause
+/// copying.  Unit propagation scans all clauses to a fixpoint; branching
+/// picks the first unassigned variable of the first unsatisfied clause.
+class DpllSolver {
+public:
+    explicit DpllSolver(const Cnf& cnf) {
+        for (const Clause& clause : cnf) {
+            std::vector<int> encoded;
+            encoded.reserve(clause.size());
+            for (const Literal& lit : clause) {
+                encoded.push_back(2 * var_index(lit.var) + (lit.positive ? 1 : 0));
+            }
+            clauses_.push_back(std::move(encoded));
+        }
+        assign_.assign(names_.size(), -1);
+    }
+
+    std::optional<Valuation> solve() {
+        if (!search()) {
+            return std::nullopt;
+        }
+        Valuation valuation;
+        for (std::size_t v = 0; v < names_.size(); ++v) {
+            valuation[names_[v]] = assign_[v] == 1;
+        }
+        return valuation;
+    }
+
+private:
+    int var_index(const std::string& name) {
+        const auto [it, inserted] = index_.emplace(name, names_.size());
+        if (inserted) {
+            names_.push_back(name);
+        }
+        return static_cast<int>(it->second);
+    }
+
+    /// True when the literal is satisfied under the current assignment.
+    int lit_value(int lit) const {
+        const int8_t v = assign_[static_cast<std::size_t>(lit / 2)];
+        if (v < 0) {
+            return -1;
+        }
+        return v == (lit & 1) ? 1 : 0;
+    }
+
+    /// Unit propagation to fixpoint; assigned variables are appended to
+    /// `trail`.  Returns false on conflict (an all-false clause).
+    bool propagate(std::vector<int>& trail) {
+        bool changed = true;
+        while (changed) {
+            changed = false;
+            for (const auto& clause : clauses_) {
+                bool satisfied = false;
+                int unassigned = 0;
+                int last = -1;
+                for (int lit : clause) {
+                    const int value = lit_value(lit);
+                    if (value == 1) {
+                        satisfied = true;
+                        break;
+                    }
+                    if (value == -1) {
+                        ++unassigned;
+                        last = lit;
+                    }
+                }
+                if (satisfied) {
+                    continue;
+                }
+                if (unassigned == 0) {
+                    return false;
+                }
+                if (unassigned == 1) {
+                    assign_[static_cast<std::size_t>(last / 2)] =
+                        static_cast<int8_t>(last & 1);
+                    trail.push_back(last / 2);
+                    changed = true;
+                }
+            }
+        }
+        return true;
+    }
+
+    void undo(const std::vector<int>& trail) {
+        for (int v : trail) {
+            assign_[static_cast<std::size_t>(v)] = -1;
+        }
+    }
+
+    /// First unassigned variable of the first unsatisfied clause, or -1 when
+    /// every clause is satisfied.
+    int pick_branch() const {
+        for (const auto& clause : clauses_) {
+            bool satisfied = false;
+            int candidate = -1;
+            for (int lit : clause) {
+                const int value = lit_value(lit);
+                if (value == 1) {
+                    satisfied = true;
+                    break;
+                }
+                if (value == -1 && candidate < 0) {
+                    candidate = lit / 2;
+                }
+            }
+            if (!satisfied) {
+                return candidate;
+            }
+        }
+        return -1;
+    }
+
+    bool search() {
+        std::vector<int> trail;
+        if (!propagate(trail)) {
+            undo(trail);
+            return false;
+        }
+        const int branch = pick_branch();
+        if (branch < 0) {
+            return true; // all clauses satisfied; trail assignments kept
+        }
+        for (int8_t value : {static_cast<int8_t>(1), static_cast<int8_t>(0)}) {
+            assign_[static_cast<std::size_t>(branch)] = value;
+            if (search()) {
+                return true;
+            }
+            assign_[static_cast<std::size_t>(branch)] = -1;
+        }
+        undo(trail);
+        return false;
+    }
+
+    std::map<std::string, std::size_t> index_;
+    std::vector<std::string> names_;
+    std::vector<std::vector<int>> clauses_;
+    std::vector<int8_t> assign_;
+};
+
+} // namespace
+
+std::optional<Valuation> dpll(const Cnf& cnf) {
+    DpllSolver solver(cnf);
+    auto valuation = solver.solve();
+    if (valuation.has_value()) {
+        check(eval_cnf(cnf, *valuation),
+              "dpll: internal error, model does not verify");
+    }
+    return valuation;
+}
+
+bool is_satisfiable(const Cnf& cnf) { return dpll(cnf).has_value(); }
+
+} // namespace lph

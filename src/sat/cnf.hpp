@@ -1,0 +1,52 @@
+#pragma once
+
+#include "sat/bool_formula.hpp"
+
+#include <optional>
+
+namespace lph {
+
+struct Literal {
+    std::string var;
+    bool positive = true;
+
+    bool operator==(const Literal& other) const {
+        return var == other.var && positive == other.positive;
+    }
+};
+
+using Clause = std::vector<Literal>;
+using Cnf = std::vector<Clause>;
+
+/// True when every clause has at most three literals (the 3-CNF form used by
+/// 3-SAT-GRAPH, Theorem 20).
+bool is_3cnf(const Cnf& cnf);
+
+std::set<std::string> cnf_variables(const Cnf& cnf);
+
+bool eval_cnf(const Cnf& cnf, const Valuation& valuation);
+
+/// Converts a CNF back into a BoolFormula (for storing in node labels).
+BoolFormula cnf_to_formula(const Cnf& cnf);
+
+/// The Tseytin transformation (used in the proof of Theorem 20): an
+/// equisatisfiable 3-CNF of size linear in the input.  Auxiliary variables
+/// are named `aux_prefix` + counter, so reductions can make them
+/// node-specific ("we make the new variables' names depend on the identifier
+/// id(u)").  Every satisfying valuation of the input extends to one of the
+/// output, and every satisfying valuation of the output restricts to one of
+/// the input.
+Cnf tseytin_3cnf(const BoolFormula& f, const std::string& aux_prefix);
+
+/// Parses a BoolFormula that is syntactically a CNF (an And-spine of
+/// Or-clauses of literals; True parses to the empty CNF) back into clause
+/// form; nullopt when the formula is not in that shape.
+std::optional<Cnf> formula_to_cnf(const BoolFormula& f);
+
+/// DPLL with unit propagation and pure-literal elimination.  Returns a
+/// satisfying total valuation over cnf_variables(cnf), or nullopt.
+std::optional<Valuation> dpll(const Cnf& cnf);
+
+bool is_satisfiable(const Cnf& cnf);
+
+} // namespace lph

@@ -1,0 +1,60 @@
+#include "sat/coloring_sat.hpp"
+
+#include "core/check.hpp"
+
+namespace lph {
+namespace {
+
+std::string color_var(NodeId u, int c) {
+    return "c" + std::to_string(u) + "_" + std::to_string(c);
+}
+
+} // namespace
+
+Cnf coloring_cnf(const LabeledGraph& g, int k) {
+    check(k >= 1, "coloring_cnf: k must be positive");
+    Cnf cnf;
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+        Clause at_least_one;
+        for (int c = 0; c < k; ++c) {
+            at_least_one.push_back({color_var(u, c), true});
+        }
+        cnf.push_back(std::move(at_least_one));
+        for (int c1 = 0; c1 < k; ++c1) {
+            for (int c2 = c1 + 1; c2 < k; ++c2) {
+                cnf.push_back(
+                    {{color_var(u, c1), false}, {color_var(u, c2), false}});
+            }
+        }
+        for (NodeId v : g.neighbors(u)) {
+            if (v > u) {
+                for (int c = 0; c < k; ++c) {
+                    cnf.push_back(
+                        {{color_var(u, c), false}, {color_var(v, c), false}});
+                }
+            }
+        }
+    }
+    return cnf;
+}
+
+std::optional<Coloring> find_k_coloring_dpll(const LabeledGraph& g, int k) {
+    const auto model = dpll(coloring_cnf(g, k));
+    if (!model.has_value()) {
+        return std::nullopt;
+    }
+    Coloring colors(g.num_nodes(), -1);
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+        for (int c = 0; c < k; ++c) {
+            if (model->at(color_var(u, c))) {
+                colors[u] = c;
+                break;
+            }
+        }
+    }
+    check(verify_coloring(g, colors, k),
+          "find_k_coloring_dpll: internal error, model does not verify");
+    return colors;
+}
+
+} // namespace lph

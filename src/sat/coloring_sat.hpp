@@ -1,0 +1,24 @@
+#pragma once
+
+#include "graph/graph.hpp"
+#include "graphalg/coloring.hpp"
+#include "sat/cnf.hpp"
+
+#include <optional>
+
+namespace lph {
+
+/// Encodes proper k-colorability of g as a CNF over variables "c<u>_<color>"
+/// (at-least-one, at-most-one, neighbors-differ).
+Cnf coloring_cnf(const LabeledGraph& g, int k);
+
+/// k-coloring via the DPLL solver — much better behaved than plain
+/// backtracking on the large gadget graphs produced by the Theorem 20
+/// reduction, where unit propagation rides the forced chains.
+std::optional<Coloring> find_k_coloring_dpll(const LabeledGraph& g, int k);
+
+inline bool is_k_colorable_dpll(const LabeledGraph& g, int k) {
+    return find_k_coloring_dpll(g, k).has_value();
+}
+
+} // namespace lph

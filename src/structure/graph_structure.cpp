@@ -1,0 +1,101 @@
+#include "structure/graph_structure.hpp"
+
+#include "core/check.hpp"
+
+#include <algorithm>
+
+namespace lph {
+namespace {
+
+Structure build_structure(const LabeledGraph& g,
+                          std::vector<Element>& node_elements,
+                          std::vector<std::vector<Element>>& bit_elements,
+                          std::vector<std::pair<NodeId, std::size_t>>& info) {
+    std::size_t domain = g.num_nodes();
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+        domain += g.label(u).size();
+    }
+    Structure s(domain, /*num_unary=*/1, /*num_binary=*/2);
+
+    Element next = 0;
+    node_elements.resize(g.num_nodes());
+    bit_elements.resize(g.num_nodes());
+    info.clear();
+    info.reserve(domain);
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+        node_elements[u] = next++;
+        info.emplace_back(u, 0);
+    }
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+        const BitString& label = g.label(u);
+        bit_elements[u].resize(label.size());
+        for (std::size_t i = 0; i < label.size(); ++i) {
+            const Element e = next++;
+            bit_elements[u][i] = e;
+            info.emplace_back(u, i + 1);
+            if (label[i] == '1') {
+                s.set_unary(0, e);
+            }
+            // ->_2: the node owns the bit.
+            s.add_binary(1, node_elements[u], e);
+            // ->_1: bit successor chain.
+            if (i > 0) {
+                s.add_binary(0, bit_elements[u][i - 1], e);
+            }
+        }
+    }
+    // ->_1: symmetric edge relation between node elements.
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+        for (NodeId v : g.neighbors(u)) {
+            s.add_binary(0, node_elements[u], node_elements[v]);
+        }
+    }
+    return s;
+}
+
+} // namespace
+
+GraphStructure::GraphStructure(const LabeledGraph& g)
+    : graph_(g), structure_(build_structure(g, node_elements_, bit_elements_, info_)) {}
+
+Element GraphStructure::node_element(NodeId u) const {
+    check(u < node_elements_.size(), "GraphStructure: node out of range");
+    return node_elements_[u];
+}
+
+Element GraphStructure::bit_element(NodeId u, std::size_t i) const {
+    check(u < bit_elements_.size(), "GraphStructure: node out of range");
+    check(i >= 1 && i <= bit_elements_[u].size(),
+          "GraphStructure: bit position out of range");
+    return bit_elements_[u][i - 1];
+}
+
+bool GraphStructure::is_node_element(Element a) const {
+    check(a < info_.size(), "GraphStructure: element out of range");
+    return info_[a].second == 0;
+}
+
+NodeId GraphStructure::owner(Element a) const {
+    check(a < info_.size(), "GraphStructure: element out of range");
+    return info_[a].first;
+}
+
+std::size_t GraphStructure::bit_position(Element a) const {
+    check(a < info_.size(), "GraphStructure: element out of range");
+    check(info_[a].second > 0, "GraphStructure: element is a node, not a bit");
+    return info_[a].second;
+}
+
+std::vector<Element> GraphStructure::neighborhood_elements(NodeId u, int r) const {
+    std::vector<Element> elements;
+    for (NodeId v : graph_.ball(u, r)) {
+        elements.push_back(node_elements_[v]);
+        for (Element e : bit_elements_[v]) {
+            elements.push_back(e);
+        }
+    }
+    std::sort(elements.begin(), elements.end());
+    return elements;
+}
+
+} // namespace lph

@@ -1,0 +1,61 @@
+#pragma once
+
+#include "graph/graph.hpp"
+#include "structure/structure.hpp"
+
+#include <optional>
+#include <utility>
+
+namespace lph {
+
+/// The structural representation $G of a labeled graph (Figure 4):
+///   * one element per node, one element per labeling bit,
+///   * unary O_1 marks labeling bits of value 1,
+///   * binary ->_1 holds the (symmetric) edge relation between node elements
+///     and the successor relation between consecutive labeling bits,
+///   * binary ->_2 points from each node to each of its labeling bits.
+///
+/// Keeps the mappings between graph nodes/bits and structure elements so
+/// deciders and reductions can move between the two views.
+class GraphStructure {
+public:
+    explicit GraphStructure(const LabeledGraph& g);
+
+    const Structure& structure() const { return structure_; }
+    const LabeledGraph& graph() const { return graph_; }
+
+    /// Element representing node u.
+    Element node_element(NodeId u) const;
+
+    /// Element representing the i-th labeling bit of node u (1-based i, as in
+    /// the paper's lambda(u)(i)).
+    Element bit_element(NodeId u, std::size_t i) const;
+
+    /// True when element a represents a node (rather than a labeling bit).
+    bool is_node_element(Element a) const;
+
+    /// The node that element a represents or whose labeling bit it is.
+    NodeId owner(Element a) const;
+
+    /// For a bit element, its 1-based position within the owner's label.
+    std::size_t bit_position(Element a) const;
+
+    /// card($G) = number of nodes plus number of labeling bits.
+    std::size_t cardinality() const { return structure_.domain_size(); }
+
+    /// The substructure induced by u's r-neighborhood, $N_r(u), returned as
+    /// the set of elements belonging to it (nodes within distance r and all
+    /// their labeling bits).  card of this set is the bound of Lemma 10.
+    std::vector<Element> neighborhood_elements(NodeId u, int r) const;
+
+private:
+    // Note: the mapping vectors are declared (and thus initialized) before
+    // structure_, whose initializer fills them in.
+    LabeledGraph graph_;
+    std::vector<Element> node_elements_;               // node -> element
+    std::vector<std::vector<Element>> bit_elements_;   // node -> bit elements
+    std::vector<std::pair<NodeId, std::size_t>> info_; // element -> (owner, bitpos or 0)
+    Structure structure_;
+};
+
+} // namespace lph

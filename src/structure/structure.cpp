@@ -1,0 +1,114 @@
+#include "structure/structure.hpp"
+
+#include "core/check.hpp"
+
+#include <algorithm>
+#include <deque>
+
+namespace lph {
+namespace {
+
+void insert_sorted_unique(std::vector<Element>& list, Element x) {
+    const auto it = std::lower_bound(list.begin(), list.end(), x);
+    if (it == list.end() || *it != x) {
+        list.insert(it, x);
+    }
+}
+
+} // namespace
+
+Structure::Structure(std::size_t domain_size, std::size_t num_unary,
+                     std::size_t num_binary)
+    : domain_size_(domain_size),
+      unary_(num_unary, std::vector<bool>(domain_size, false)),
+      binary_out_(num_binary, std::vector<std::vector<Element>>(domain_size)),
+      binary_in_(num_binary, std::vector<std::vector<Element>>(domain_size)),
+      connected_(domain_size) {
+    check(domain_size > 0, "Structure: domain must be nonempty");
+}
+
+void Structure::check_element(Element a) const {
+    check(a < domain_size_, "Structure: element out of range");
+}
+
+void Structure::set_unary(std::size_t i, Element a) {
+    check(i < unary_.size(), "Structure::set_unary: relation index out of range");
+    check_element(a);
+    unary_[i][a] = true;
+}
+
+void Structure::add_binary(std::size_t i, Element a, Element b) {
+    check(i < binary_out_.size(), "Structure::add_binary: relation index out of range");
+    check_element(a);
+    check_element(b);
+    insert_sorted_unique(binary_out_[i][a], b);
+    insert_sorted_unique(binary_in_[i][b], a);
+    insert_sorted_unique(connected_[a], b);
+    insert_sorted_unique(connected_[b], a);
+}
+
+bool Structure::unary_holds(std::size_t i, Element a) const {
+    check(i < unary_.size(), "Structure::unary_holds: relation index out of range");
+    check_element(a);
+    return unary_[i][a];
+}
+
+bool Structure::binary_holds(std::size_t i, Element a, Element b) const {
+    check(i < binary_out_.size(),
+          "Structure::binary_holds: relation index out of range");
+    check_element(a);
+    check_element(b);
+    const auto& list = binary_out_[i][a];
+    return std::binary_search(list.begin(), list.end(), b);
+}
+
+bool Structure::connected(Element a, Element b) const {
+    check_element(a);
+    check_element(b);
+    const auto& list = connected_[a];
+    return std::binary_search(list.begin(), list.end(), b);
+}
+
+const std::vector<Element>& Structure::connected_to(Element a) const {
+    check_element(a);
+    return connected_[a];
+}
+
+std::vector<Element> Structure::ball(Element a, int r) const {
+    check_element(a);
+    check(r >= 0, "Structure::ball: negative radius");
+    std::vector<int> dist(domain_size_, -1);
+    std::deque<Element> queue{a};
+    dist[a] = 0;
+    std::vector<Element> result;
+    while (!queue.empty()) {
+        const Element b = queue.front();
+        queue.pop_front();
+        result.push_back(b);
+        if (dist[b] == r) {
+            continue;
+        }
+        for (Element c : connected_[b]) {
+            if (dist[c] < 0) {
+                dist[c] = dist[b] + 1;
+                queue.push_back(c);
+            }
+        }
+    }
+    std::sort(result.begin(), result.end());
+    return result;
+}
+
+const std::vector<Element>& Structure::successors(std::size_t i, Element a) const {
+    check(i < binary_out_.size(), "Structure::successors: relation index out of range");
+    check_element(a);
+    return binary_out_[i][a];
+}
+
+const std::vector<Element>& Structure::predecessors(std::size_t i, Element a) const {
+    check(i < binary_in_.size(), "Structure::predecessors: relation index out of range");
+    check_element(a);
+    return binary_in_[i][a];
+}
+
+} // namespace lph

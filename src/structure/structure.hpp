@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace lph {
+
+/// Index of an element in a Structure's domain.
+using Element = std::size_t;
+
+/// A finite relational structure S = (D, O_1..O_m, ->_1..->_n) of signature
+/// (m, n): m unary relations and n binary relations over a finite domain
+/// (Section 3, "Structural representations").
+///
+/// Logical formulas (src/logic) are evaluated on these.  Domains are small
+/// (model checking is exponential in the worst case), so relations are kept
+/// as dense bit tables plus adjacency lists for the bounded quantifiers.
+class Structure {
+public:
+    /// Creates a structure with `domain_size` elements and the given signature.
+    Structure(std::size_t domain_size, std::size_t num_unary, std::size_t num_binary);
+
+    std::size_t domain_size() const { return domain_size_; }
+    std::size_t num_unary() const { return unary_.size(); }
+    std::size_t num_binary() const { return binary_out_.size(); }
+
+    /// Puts element a into unary relation i (0-based relation index).
+    void set_unary(std::size_t i, Element a);
+
+    /// Adds the pair (a, b) to binary relation i (0-based); idempotent.
+    void add_binary(std::size_t i, Element a, Element b);
+
+    /// a in O_i ?
+    bool unary_holds(std::size_t i, Element a) const;
+
+    /// a ->_i b ?
+    bool binary_holds(std::size_t i, Element a, Element b) const;
+
+    /// a <-> b: a ->_i b or b ->_i a for some i (the connectivity relation
+    /// that bounded first-order quantifiers range over).
+    bool connected(Element a, Element b) const;
+
+    /// All elements b with a <-> b, ascending, without duplicates.
+    const std::vector<Element>& connected_to(Element a) const;
+
+    /// Elements at undirected distance at most r from a (including a).
+    std::vector<Element> ball(Element a, int r) const;
+
+    /// Out-neighbors of a under binary relation i, ascending.
+    const std::vector<Element>& successors(std::size_t i, Element a) const;
+
+    /// In-neighbors of a under binary relation i, ascending.
+    const std::vector<Element>& predecessors(std::size_t i, Element a) const;
+
+private:
+    void check_element(Element a) const;
+
+    std::size_t domain_size_;
+    std::vector<std::vector<bool>> unary_;             // [rel][element]
+    std::vector<std::vector<std::vector<Element>>> binary_out_; // [rel][a] -> bs
+    std::vector<std::vector<std::vector<Element>>> binary_in_;  // [rel][b] -> as
+    std::vector<std::vector<Element>> connected_;      // undirected closure
+};
+
+} // namespace lph

@@ -1,0 +1,88 @@
+#include "graph/certificates.hpp"
+#include "graph/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace lph {
+namespace {
+
+TEST(Polynomial, Evaluate) {
+    const Polynomial p{3, 2, 1}; // 3 + 2n + n^2
+    EXPECT_EQ(p(0), 3u);
+    EXPECT_EQ(p(1), 6u);
+    EXPECT_EQ(p(10), 123u);
+    EXPECT_EQ(p.degree(), 2u);
+}
+
+TEST(Polynomial, SaturatesInsteadOfOverflowing) {
+    const Polynomial p = Polynomial::monomial(1, 4); // n^4
+    EXPECT_EQ(p(std::uint64_t{1} << 15), std::uint64_t{1} << 60);
+    // (2^17)^4 = 2^68 exceeds uint64: evaluation saturates at the maximum.
+    EXPECT_EQ(p(std::uint64_t{1} << 17), std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(Polynomial, MaxDominates) {
+    const Polynomial a{1, 5};
+    const Polynomial b{7, 2, 1};
+    const Polynomial m = Polynomial::max(a, b);
+    EXPECT_TRUE(a.dominated_by(m));
+    EXPECT_TRUE(b.dominated_by(m));
+    EXPECT_FALSE(m.dominated_by(a));
+}
+
+TEST(Polynomial, ToString) {
+    EXPECT_EQ(Polynomial({3, 2, 1}).to_string(), "n^2 + 2n + 3");
+    EXPECT_EQ(Polynomial::constant(5).to_string(), "5");
+}
+
+TEST(NeighborhoodInformation, CountsLabelsAndIds) {
+    LabeledGraph g = path_graph(3, "11");
+    const IdentifierAssignment id({"0", "1", "00"});
+    // N_1(1) = all three nodes: each contributes 1 + len(label) + len(id).
+    EXPECT_EQ(neighborhood_information(g, id, 1, 1),
+              (1 + 2 + 1) + (1 + 2 + 1) + (1 + 2 + 2));
+    // N_0(0) = just node 0.
+    EXPECT_EQ(neighborhood_information(g, id, 0, 0), 1 + 2 + 1);
+}
+
+TEST(Certificates, RpBoundedness) {
+    LabeledGraph g = path_graph(3, "1");
+    const IdentifierAssignment id({"0", "1", "00"});
+    CertificateAssignment kappa(std::vector<BitString>{"0101", "", "1"});
+    // Information at radius 0 is >= 3 per node; the identity polynomial
+    // dominates every certificate length here.
+    EXPECT_TRUE(is_rp_bounded(kappa, g, id, 0, Polynomial{0, 2}));
+    // A zero polynomial only admits empty certificates.
+    EXPECT_FALSE(is_rp_bounded(kappa, g, id, 0, Polynomial::constant(0)));
+    CertificateAssignment empty(std::vector<BitString>{"", "", ""});
+    EXPECT_TRUE(is_rp_bounded(empty, g, id, 0, Polynomial::constant(0)));
+}
+
+TEST(CertificateList, ConcatenateAndSplit) {
+    CertificateAssignment k1(std::vector<BitString>{"0", "11"});
+    CertificateAssignment k2(std::vector<BitString>{"", "1"});
+    const auto list = CertificateListAssignment::concatenate({k1, k2}, 2);
+    EXPECT_EQ(list(0), "0#");
+    EXPECT_EQ(list(1), "11#1");
+    EXPECT_EQ(list.layers(), 2u);
+    EXPECT_EQ(list.layer(0), k1);
+    EXPECT_EQ(list.layer(1), k2);
+}
+
+TEST(CertificateList, EmptyList) {
+    const auto list = CertificateListAssignment::empty(3);
+    EXPECT_EQ(list(1), "");
+    EXPECT_EQ(list.layers(), 0u);
+}
+
+TEST(CertificateList, TrivialAssignment) {
+    const auto trivial = CertificateAssignment::trivial(4);
+    for (NodeId u = 0; u < 4; ++u) {
+        EXPECT_EQ(trivial(u), "");
+    }
+}
+
+} // namespace
+} // namespace lph

@@ -1,0 +1,265 @@
+#include "dtm/gather.hpp"
+#include "dtm/local.hpp"
+#include "core/check.hpp"
+#include "graph/generators.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lph {
+namespace {
+
+/// One-round machine echoing a fixed verdict.
+class ConstantMachine : public LocalMachine {
+public:
+    explicit ConstantMachine(std::string verdict) : verdict_(std::move(verdict)) {}
+    int round_bound() const override { return 1; }
+    RoundOutput on_round(const RoundInput&, std::string&, StepMeter&) const override {
+        return {{}, true, verdict_};
+    }
+
+private:
+    std::string verdict_;
+};
+
+/// Machine that deliberately burns `work` metered steps per round.
+class BurnMachine : public LocalMachine {
+public:
+    BurnMachine(std::uint64_t work, Polynomial bound)
+        : work_(work), bound_(std::move(bound)) {}
+    int round_bound() const override { return 1; }
+    Polynomial step_bound() const override { return bound_; }
+    RoundOutput on_round(const RoundInput&, std::string&, StepMeter& meter) const override {
+        meter.charge(work_);
+        return {{}, true, "1"};
+    }
+
+private:
+    std::uint64_t work_;
+    Polynomial bound_;
+};
+
+/// Two-round machine where each node learns its neighbors' labels.
+class NeighborLabelsMachine : public LocalMachine {
+public:
+    int round_bound() const override { return 2; }
+    RoundOutput on_round(const RoundInput& input, std::string& state,
+                         StepMeter& meter) const override {
+        RoundOutput output;
+        if (input.round == 1) {
+            output.send.assign(input.messages.size(), std::string(input.label));
+            state = input.label;
+            meter.charge(input.label.size() * input.messages.size());
+            return output;
+        }
+        // Accept iff all neighbor labels equal mine.
+        output.halt = true;
+        output.verdict = "1";
+        for (const auto& msg : input.messages) {
+            meter.charge(msg.size());
+            if (msg != state) {
+                output.verdict = "0";
+            }
+        }
+        return output;
+    }
+};
+
+TEST(RunLocal, UnanimityAcceptance) {
+    const LabeledGraph g = path_graph(3, "1");
+    const auto id = make_global_ids(g);
+    EXPECT_TRUE(run_local(ConstantMachine("1"), g, id).accepted);
+    EXPECT_FALSE(run_local(ConstantMachine("0"), g, id).accepted);
+    EXPECT_FALSE(run_local(ConstantMachine(""), g, id).accepted);
+}
+
+TEST(RunLocal, NonBitVerdictFiltered) {
+    const LabeledGraph g = single_node_graph("1");
+    const auto result = run_local(ConstantMachine("1a1"), g, make_global_ids(g));
+    EXPECT_EQ(result.outputs[0], "11");       // filtered
+    EXPECT_EQ(result.raw_outputs[0], "1a1");  // raw preserved
+    EXPECT_FALSE(result.accepted);
+}
+
+TEST(RunLocal, StepBoundEnforced) {
+    const LabeledGraph g = single_node_graph("1");
+    const auto id = make_global_ids(g);
+    // Declared constant bound 4 but burns 1000 steps: rejected by the runner.
+    EXPECT_THROW(run_local(BurnMachine(1000, Polynomial::constant(4)), g, id),
+                 precondition_error);
+    // A generous bound passes.
+    EXPECT_TRUE(run_local(BurnMachine(1000, Polynomial::constant(2000)), g, id)
+                    .accepted);
+    // Disabling enforcement also passes.
+    ExecutionOptions lax;
+    lax.enforce_declared_bounds = false;
+    EXPECT_TRUE(
+        run_local(BurnMachine(1000, Polynomial::constant(4)), g, id, lax).accepted);
+}
+
+TEST(RunLocal, MessagesFollowIdentifierOrder) {
+    const LabeledGraph g = path_graph(3, "1");
+    // Center node 1 has neighbors 0 and 2; give 2 the smaller identifier.
+    IdentifierAssignment id({"10", "01", "00"});
+    ASSERT_TRUE(id.is_locally_unique(g, 2));
+
+    class ProbeMachine : public LocalMachine {
+    public:
+        int round_bound() const override { return 2; }
+        RoundOutput on_round(const RoundInput& input, std::string& state,
+                             StepMeter&) const override {
+            if (input.round == 1) {
+                RoundOutput out;
+                out.send.assign(input.messages.size(), std::string(input.id));
+                state = "x";
+                return out;
+            }
+            RoundOutput out;
+            out.halt = true;
+            // Record the received sender ids in order.
+            for (const auto& m : input.messages) {
+                out.verdict += m + "|";
+            }
+            return out;
+        }
+    };
+    const auto result = run_local(ProbeMachine{}, g, id);
+    // Node 1 receives from id "00" (node 2) before id "10" (node 0).
+    EXPECT_EQ(result.raw_outputs[1], "00|10|");
+}
+
+TEST(RunLocal, NeighborLabelsMachineWorks) {
+    LabeledGraph g = star_graph(4, "1");
+    const auto id = make_global_ids(g);
+    EXPECT_TRUE(run_local(NeighborLabelsMachine{}, g, id).accepted);
+    g.set_label(2, "0");
+    const auto result = run_local(NeighborLabelsMachine{}, g, id);
+    EXPECT_FALSE(result.accepted);
+    // The hub and node 2 both see the disagreement; leaves 1 and 3 accept.
+    EXPECT_EQ(result.outputs[1], "1");
+    EXPECT_EQ(result.outputs[0], "0");
+}
+
+TEST(RunLocal, RoundBoundEnforced) {
+    class SlowMachine : public LocalMachine {
+    public:
+        int round_bound() const override { return 1; }
+        RoundOutput on_round(const RoundInput& input, std::string&,
+                             StepMeter&) const override {
+            RoundOutput out;
+            out.halt = input.round >= 3;
+            out.verdict = "1";
+            return out;
+        }
+    };
+    const LabeledGraph g = single_node_graph("1");
+    EXPECT_THROW(run_local(SlowMachine{}, g, make_global_ids(g)),
+                 precondition_error);
+}
+
+// --- The gather machine underlying most concrete machines. ---
+
+/// Gathers radius r and outputs the number of nodes seen (as unary 1s), so
+/// tests can verify the reconstructed neighborhood.
+class CountMachine : public NeighborhoodGatherMachine {
+public:
+    explicit CountMachine(int radius) : NeighborhoodGatherMachine(radius) {}
+    std::string decide(const NeighborhoodView& view, StepMeter&) const override {
+        return std::string(view.graph.num_nodes(), '1');
+    }
+};
+
+struct GatherCase {
+    std::string name;
+    std::size_t n;
+    int radius;
+    std::size_t expected_nodes; // |ball(0, radius)| on this graph
+};
+
+class GatherCounts : public ::testing::TestWithParam<GatherCase> {};
+
+TEST_P(GatherCounts, SeesExactlyTheBall) {
+    const auto& param = GetParam();
+    const LabeledGraph g =
+        param.name == "cycle" ? cycle_graph(param.n, "1") : path_graph(param.n, "1");
+    const auto id = make_global_ids(g);
+    const auto result = run_local(CountMachine(param.radius), g, id);
+    EXPECT_EQ(result.raw_outputs[0].size(), param.expected_nodes);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Radii, GatherCounts,
+    ::testing::Values(GatherCase{"cycle", 8, 1, 3}, GatherCase{"cycle", 8, 2, 5},
+                      GatherCase{"cycle", 8, 3, 7}, GatherCase{"cycle", 8, 4, 8},
+                      GatherCase{"path", 6, 2, 3}, GatherCase{"path", 6, 0, 1}),
+    [](const auto& info) {
+        return info.param.name + std::to_string(info.param.n) + "_r" +
+               std::to_string(info.param.radius);
+    });
+
+/// Verifies the reconstructed edges: decides whether N_r(self) is a cycle.
+class SeesTriangleMachine : public NeighborhoodGatherMachine {
+public:
+    SeesTriangleMachine() : NeighborhoodGatherMachine(1) {}
+    std::string decide(const NeighborhoodView& view, StepMeter&) const override {
+        // In a triangle every 1-neighborhood is the whole triangle.
+        return view.graph.num_nodes() == 3 && view.graph.num_edges() == 3 ? "1"
+                                                                          : "0";
+    }
+};
+
+TEST(Gather, ReconstructsEdgesAmongNeighbors) {
+    const LabeledGraph triangle = complete_graph(3, "1");
+    EXPECT_TRUE(
+        run_local(SeesTriangleMachine{}, triangle, make_global_ids(triangle))
+            .accepted);
+    const LabeledGraph path = path_graph(3, "1");
+    EXPECT_FALSE(
+        run_local(SeesTriangleMachine{}, path, make_global_ids(path)).accepted);
+}
+
+TEST(Gather, CertificatesTravelWithViews) {
+    class CertSumMachine : public NeighborhoodGatherMachine {
+    public:
+        CertSumMachine() : NeighborhoodGatherMachine(1) {}
+        std::string decide(const NeighborhoodView& view, StepMeter&) const override {
+            std::string all;
+            for (const auto& c : view.certs) {
+                all += c;
+            }
+            // Accept iff some certificate in the neighborhood contains a 1.
+            return all.find('1') != std::string::npos ? "1" : "0";
+        }
+    };
+    const LabeledGraph g = path_graph(3, "1");
+    const auto id = make_global_ids(g);
+    CertificateAssignment kappa(std::vector<BitString>{"0", "0", "1"});
+    const auto list = CertificateListAssignment::concatenate({kappa}, 3);
+    const auto result = run_local(CertSumMachine{}, g, id, list);
+    // Node 0 is two hops from the certificate "1": it does not see it.
+    EXPECT_EQ(result.outputs[0], "0");
+    EXPECT_EQ(result.outputs[1], "1");
+    EXPECT_EQ(result.outputs[2], "1");
+}
+
+TEST(LocalView, SerializationRoundTrip) {
+    LocalView view = LocalView::initial("01", "1", "0#1");
+    view.set_self_neighbors({"10", "11"});
+    const std::string data = view.serialize();
+    const LocalView parsed = LocalView::deserialize(data);
+    EXPECT_EQ(parsed.self(), "01");
+    EXPECT_EQ(parsed.nodes().at("01").label, "1");
+    EXPECT_EQ(parsed.nodes().at("01").certificates, "0#1");
+    EXPECT_EQ(parsed.nodes().at("01").neighbor_ids,
+              (std::vector<BitString>{"10", "11"}));
+}
+
+TEST(LocalView, MergeIncrementsDistance) {
+    LocalView mine = LocalView::initial("0", "1", "");
+    LocalView theirs = LocalView::initial("1", "0", "");
+    mine.merge_from_neighbor(theirs);
+    EXPECT_EQ(mine.nodes().at("1").dist, 1);
+    EXPECT_EQ(mine.nodes().at("0").dist, 0);
+}
+
+} // namespace
+} // namespace lph

@@ -1,0 +1,186 @@
+#include "core/check.hpp"
+#include "graph/generators.hpp"
+#include "graphalg/coloring.hpp"
+#include "hierarchy/game.hpp"
+#include "machines/verifiers.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lph {
+namespace {
+
+/// The color domain matching a ColoringVerifier.
+class ColorDomain : public CertificateDomain {
+public:
+    explicit ColorDomain(const ColoringVerifier& verifier) {
+        for (int c = 0; c < verifier.k(); ++c) {
+            options_.push_back(verifier.encode_color(c));
+        }
+    }
+    std::vector<BitString> options(const LabeledGraph&, const IdentifierAssignment&,
+                                   NodeId) const override {
+        return options_;
+    }
+
+private:
+    std::vector<BitString> options_;
+};
+
+class NlpColorGame : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(NlpColorGame, GameValueMatchesColorability) {
+    // The Sigma_1 game with the k-coloring verifier decides k-COLORABLE.
+    Rng rng(GetParam() + 3);
+    const LabeledGraph g =
+        random_connected_graph(3 + rng.index(4), rng.index(4), rng, "1");
+    const auto id = make_global_ids(g);
+    for (int k = 2; k <= 3; ++k) {
+        const ColoringVerifier verifier(k);
+        const ColorDomain domain(verifier);
+        GameSpec spec;
+        spec.machine = &verifier;
+        spec.layers = {&domain};
+        spec.starts_existential = true;
+        const GameResult result = play_game(spec, g, id);
+        EXPECT_EQ(result.accepted, is_k_colorable(g, k))
+            << "k=" << k << " n=" << g.num_nodes();
+        if (result.accepted) {
+            // The recorded witness re-verifies.
+            ASSERT_TRUE(result.witness.has_value());
+            const auto list = CertificateListAssignment::concatenate(
+                {*result.witness}, g.num_nodes());
+            EXPECT_TRUE(run_local(verifier, g, id, list).accepted);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NlpColorGame, ::testing::Range(0u, 10u));
+
+TEST(NlpGameFacts, OddCycleNotTwoColorable) {
+    const ColoringVerifier verifier(2);
+    const ColorDomain domain(verifier);
+    const LabeledGraph odd = cycle_graph(5, "1");
+    const LabeledGraph even = cycle_graph(6, "1");
+    EXPECT_FALSE(find_accepting_certificate(verifier, domain, odd,
+                                            make_global_ids(odd))
+                     .has_value());
+    EXPECT_TRUE(find_accepting_certificate(verifier, domain, even,
+                                           make_global_ids(even))
+                    .has_value());
+}
+
+TEST(GameEngine, UniversalLayerSemantics) {
+    // A Pi_1 game: Adam picks the certificate; the machine accepts iff the
+    // certificate is "1" at every node.  Adam can always pick "0", so the
+    // game value is false whenever his domain contains "0".
+    class CertIsOneMachine : public NeighborhoodGatherMachine {
+    public:
+        CertIsOneMachine() : NeighborhoodGatherMachine(0) {}
+        std::string decide(const NeighborhoodView& view, StepMeter&) const override {
+            const auto parts = split_hash(view.certs[view.self]);
+            return !parts.empty() && parts[0] == "1" ? "1" : "0";
+        }
+    };
+    const LabeledGraph g = path_graph(2, "1");
+    const auto id = make_global_ids(g);
+    const CertIsOneMachine machine;
+    const FixedOptionsDomain both({"0", "1"});
+    const FixedOptionsDomain only_one({"1"});
+    GameSpec spec;
+    spec.machine = &machine;
+    spec.starts_existential = false; // Pi side: Adam first
+    spec.layers = {&both};
+    EXPECT_FALSE(play_game(spec, g, id).accepted);
+    spec.layers = {&only_one};
+    EXPECT_TRUE(play_game(spec, g, id).accepted);
+}
+
+TEST(GameEngine, TwoLayerAlternation) {
+    // Sigma_2 game: Eve then Adam, each assigning one bit per node; the
+    // machine accepts iff at this node eve_bit == adam_bit... then Eve cannot
+    // win (Adam flips afterwards), but with the acceptance "eve_bit == 1 or
+    // adam_bit == 0" she can.
+    class XorMachine : public NeighborhoodGatherMachine {
+    public:
+        explicit XorMachine(bool winnable) : NeighborhoodGatherMachine(0),
+                                             winnable_(winnable) {}
+        std::string decide(const NeighborhoodView& view, StepMeter&) const override {
+            const auto parts = split_hash(view.certs[view.self]);
+            const std::string eve = parts.size() > 0 ? parts[0] : "";
+            const std::string adam = parts.size() > 1 ? parts[1] : "";
+            if (winnable_) {
+                return (eve == "1" || adam == "0") ? "1" : "0";
+            }
+            return eve == adam ? "1" : "0";
+        }
+
+    private:
+        bool winnable_;
+    };
+    const LabeledGraph g = path_graph(2, "1");
+    const auto id = make_global_ids(g);
+    const FixedOptionsDomain bits({"0", "1"});
+    {
+        const XorMachine machine(false);
+        GameSpec spec;
+        spec.machine = &machine;
+        spec.starts_existential = true;
+        spec.layers = {&bits, &bits};
+        EXPECT_FALSE(play_game(spec, g, id).accepted);
+    }
+    {
+        const XorMachine machine(true);
+        GameSpec spec;
+        spec.machine = &machine;
+        spec.starts_existential = true;
+        spec.layers = {&bits, &bits};
+        EXPECT_TRUE(play_game(spec, g, id).accepted);
+    }
+}
+
+TEST(GameEngine, TreeSizeAndGuard) {
+    const LabeledGraph g = path_graph(3, "1");
+    const auto id = make_global_ids(g);
+    const FixedOptionsDomain bits({"0", "1"});
+    class AcceptAll : public NeighborhoodGatherMachine {
+    public:
+        AcceptAll() : NeighborhoodGatherMachine(0) {}
+        std::string decide(const NeighborhoodView&, StepMeter&) const override {
+            return "1";
+        }
+    };
+    const AcceptAll machine;
+    GameSpec spec;
+    spec.machine = &machine;
+    spec.layers = {&bits, &bits};
+    EXPECT_EQ(game_tree_size(spec, g, id), 64u); // (2^3)^2
+    GameOptions tight;
+    tight.max_assignments_per_layer = 4;
+    EXPECT_THROW(play_game(spec, g, id, tight), precondition_error);
+}
+
+TEST(RawBitStringDomainTest, EnumeratesAllShortStrings) {
+    const RawBitStringDomain domain(2);
+    const LabeledGraph g = single_node_graph("1");
+    const auto options = domain.options(g, make_global_ids(g), 0);
+    // "", 0, 1, 00, 01, 10, 11.
+    EXPECT_EQ(options.size(), 7u);
+}
+
+TEST(RawBitStringDomainTest, SubsumesColorCertificates) {
+    // Raw enumeration with length 2 finds the same 2-coloring witnesses the
+    // structured domain finds (the paper's unrestricted certificates).
+    const ColoringVerifier verifier(2);
+    const RawBitStringDomain raw(1);
+    const LabeledGraph even = cycle_graph(4, "1");
+    const LabeledGraph odd = cycle_graph(5, "1");
+    EXPECT_TRUE(find_accepting_certificate(verifier, raw, even,
+                                           make_global_ids(even))
+                    .has_value());
+    EXPECT_FALSE(find_accepting_certificate(verifier, raw, odd,
+                                            make_global_ids(odd))
+                     .has_value());
+}
+
+} // namespace
+} // namespace lph

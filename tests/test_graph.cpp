@@ -1,0 +1,249 @@
+#include "core/check.hpp"
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lph {
+namespace {
+
+TEST(LabeledGraph, AddNodesAndEdges) {
+    LabeledGraph g;
+    const NodeId a = g.add_node("1");
+    const NodeId b = g.add_node("0");
+    g.add_edge(a, b);
+    EXPECT_EQ(g.num_nodes(), 2u);
+    EXPECT_EQ(g.num_edges(), 1u);
+    EXPECT_TRUE(g.has_edge(a, b));
+    EXPECT_TRUE(g.has_edge(b, a));
+    EXPECT_EQ(g.label(a), "1");
+    EXPECT_EQ(g.degree(a), 1u);
+}
+
+TEST(LabeledGraph, RejectsSelfLoopsAndDuplicates) {
+    LabeledGraph g;
+    const NodeId a = g.add_node();
+    const NodeId b = g.add_node();
+    g.add_edge(a, b);
+    EXPECT_THROW(g.add_edge(a, a), precondition_error);
+    EXPECT_THROW(g.add_edge(b, a), precondition_error);
+}
+
+TEST(LabeledGraph, RejectsNonBitLabels) {
+    LabeledGraph g;
+    EXPECT_THROW(g.add_node("abc"), precondition_error);
+    const NodeId a = g.add_node();
+    EXPECT_THROW(g.set_label(a, "2"), precondition_error);
+}
+
+TEST(LabeledGraph, NeighborsSorted) {
+    LabeledGraph g;
+    for (int i = 0; i < 4; ++i) {
+        g.add_node();
+    }
+    g.add_edge(2, 0);
+    g.add_edge(2, 3);
+    g.add_edge(2, 1);
+    EXPECT_EQ(g.neighbors(2), (std::vector<NodeId>{0, 1, 3}));
+}
+
+TEST(LabeledGraph, StructuralDegree) {
+    LabeledGraph g;
+    const NodeId a = g.add_node("101");
+    const NodeId b = g.add_node("");
+    g.add_edge(a, b);
+    EXPECT_EQ(g.structural_degree(a), 4u); // degree 1 + 3 label bits
+    EXPECT_EQ(g.structural_degree(b), 1u);
+    EXPECT_EQ(g.max_structural_degree(), 4u);
+}
+
+TEST(LabeledGraph, Connectivity) {
+    LabeledGraph g;
+    g.add_node();
+    g.add_node();
+    EXPECT_FALSE(g.is_connected());
+    g.add_edge(0, 1);
+    EXPECT_TRUE(g.is_connected());
+    EXPECT_NO_THROW(g.validate());
+}
+
+TEST(LabeledGraph, Distances) {
+    const LabeledGraph g = path_graph(5);
+    const auto dist = g.distances_from(0);
+    EXPECT_EQ(dist, (std::vector<int>{0, 1, 2, 3, 4}));
+    EXPECT_EQ(g.diameter(), 4);
+}
+
+TEST(LabeledGraph, Ball) {
+    const LabeledGraph g = cycle_graph(6);
+    EXPECT_EQ(g.ball(0, 0), (std::vector<NodeId>{0}));
+    EXPECT_EQ(g.ball(0, 1), (std::vector<NodeId>{0, 1, 5}));
+    EXPECT_EQ(g.ball(0, 2), (std::vector<NodeId>{0, 1, 2, 4, 5}));
+    EXPECT_EQ(g.ball(0, 3).size(), 6u);
+}
+
+TEST(LabeledGraph, InducedSubgraph) {
+    const LabeledGraph g = cycle_graph(5, "1");
+    const auto sub = g.induced({0, 1, 2});
+    EXPECT_EQ(sub.graph.num_nodes(), 3u);
+    EXPECT_EQ(sub.graph.num_edges(), 2u); // the 0-1 and 1-2 path edges
+    EXPECT_EQ(sub.to_original[0], 0u);
+    EXPECT_EQ(sub.from_original.at(2), 2u);
+}
+
+TEST(LabeledGraph, NeighborhoodMatchesBall) {
+    const LabeledGraph g = grid_graph(3, 3);
+    const auto nb = g.neighborhood(4, 1); // center of the grid
+    EXPECT_EQ(nb.graph.num_nodes(), 5u);
+    EXPECT_EQ(nb.graph.num_edges(), 4u); // star around the center
+}
+
+struct GeneratorCase {
+    std::string name;
+    std::size_t nodes;
+    std::size_t edges;
+    int diameter;
+};
+
+class Generators : public ::testing::TestWithParam<GeneratorCase> {};
+
+LabeledGraph build(const std::string& name) {
+    if (name == "path5") return path_graph(5);
+    if (name == "cycle6") return cycle_graph(6);
+    if (name == "complete4") return complete_graph(4);
+    if (name == "star5") return star_graph(5);
+    if (name == "grid23") return grid_graph(2, 3);
+    check(false, "unknown generator");
+    return LabeledGraph{};
+}
+
+TEST_P(Generators, ShapeAndConnectivity) {
+    const auto& param = GetParam();
+    const LabeledGraph g = build(param.name);
+    EXPECT_EQ(g.num_nodes(), param.nodes);
+    EXPECT_EQ(g.num_edges(), param.edges);
+    EXPECT_TRUE(g.is_connected());
+    EXPECT_EQ(g.diameter(), param.diameter);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, Generators,
+    ::testing::Values(GeneratorCase{"path5", 5, 4, 4},
+                      GeneratorCase{"cycle6", 6, 6, 3},
+                      GeneratorCase{"complete4", 4, 6, 1},
+                      GeneratorCase{"star5", 5, 4, 2},
+                      GeneratorCase{"grid23", 6, 7, 3}),
+    [](const auto& info) { return info.param.name; });
+
+class RandomGraphs : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(RandomGraphs, TreesAreTrees) {
+    Rng rng(GetParam());
+    const std::size_t n = 2 + GetParam() % 20;
+    const LabeledGraph g = random_tree(n, rng);
+    EXPECT_EQ(g.num_nodes(), n);
+    EXPECT_EQ(g.num_edges(), n - 1);
+    EXPECT_TRUE(g.is_connected());
+}
+
+TEST_P(RandomGraphs, ConnectedGraphsConnected) {
+    Rng rng(GetParam());
+    const std::size_t n = 3 + GetParam() % 15;
+    const LabeledGraph g = random_connected_graph(n, GetParam() % 5, rng);
+    EXPECT_TRUE(g.is_connected());
+    EXPECT_GE(g.num_edges(), n - 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomGraphs, ::testing::Range<std::size_t>(0, 12));
+
+TEST(Generators, LabelHelpers) {
+    LabeledGraph g = path_graph(4, "0");
+    set_all_labels(g, "11");
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+        EXPECT_EQ(g.label(u), "11");
+    }
+    Rng rng(5);
+    randomize_labels(g, 3, rng);
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+        EXPECT_EQ(g.label(u).size(), 3u);
+    }
+}
+
+TEST(LabeledGraph, DotOutput) {
+    const LabeledGraph g = path_graph(2, "1");
+    const std::string dot = g.to_dot("T");
+    EXPECT_NE(dot.find("graph T"), std::string::npos);
+    EXPECT_NE(dot.find("n0 -- n1"), std::string::npos);
+}
+
+TEST(LabeledGraph, SingleNode) {
+    const LabeledGraph g = single_node_graph("101");
+    EXPECT_EQ(g.num_nodes(), 1u);
+    EXPECT_EQ(g.label(0), "101");
+    EXPECT_TRUE(g.is_connected());
+    EXPECT_EQ(g.diameter(), 0);
+}
+
+} // namespace
+} // namespace lph
+
+#include "graph/serialize.hpp"
+
+namespace lph {
+namespace {
+
+class SerializeRoundTrip : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(SerializeRoundTrip, TextFormatRoundTrips) {
+    Rng rng(GetParam() + 3100);
+    LabeledGraph g = random_connected_graph(2 + rng.index(10), rng.index(8), rng);
+    randomize_labels(g, rng.index(4), rng);
+    const LabeledGraph back = graph_from_text(graph_to_text(g));
+    EXPECT_TRUE(g == back);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SerializeRoundTrip, ::testing::Range(0u, 12u));
+
+TEST(Serialize, ParsesCommentsAndBlanks) {
+    const LabeledGraph g = graph_from_text(
+        "# a triangle\n"
+        "graph 3\n"
+        "\n"
+        "label 0 101  # node zero\n"
+        "edge 0 1\n"
+        "edge 1 2\n"
+        "edge 2 0\n");
+    EXPECT_EQ(g.num_nodes(), 3u);
+    EXPECT_EQ(g.num_edges(), 3u);
+    EXPECT_EQ(g.label(0), "101");
+}
+
+TEST(Serialize, RejectsMalformed) {
+    EXPECT_THROW(graph_from_text("edge 0 1\n"), precondition_error); // no header
+    EXPECT_THROW(graph_from_text("graph 2\nedge 0 5\n"), precondition_error);
+    EXPECT_THROW(graph_from_text("graph 2\nlabel 0 xyz\n"), precondition_error);
+    EXPECT_THROW(graph_from_text("graph 2\nfrobnicate\n"), precondition_error);
+}
+
+TEST(Generators, CompleteBipartiteWheelPetersen) {
+    const LabeledGraph k23 = complete_bipartite_graph(2, 3);
+    EXPECT_EQ(k23.num_nodes(), 5u);
+    EXPECT_EQ(k23.num_edges(), 6u);
+    EXPECT_TRUE(k23.is_connected());
+
+    const LabeledGraph w6 = wheel_graph(6);
+    EXPECT_EQ(w6.num_nodes(), 6u);
+    EXPECT_EQ(w6.num_edges(), 10u); // 5-cycle + 5 spokes
+    EXPECT_EQ(w6.degree(5), 5u);
+
+    const LabeledGraph petersen = petersen_graph();
+    EXPECT_EQ(petersen.num_nodes(), 10u);
+    EXPECT_EQ(petersen.num_edges(), 15u);
+    for (NodeId u = 0; u < 10; ++u) {
+        EXPECT_EQ(petersen.degree(u), 3u);
+    }
+    EXPECT_EQ(petersen.diameter(), 2);
+}
+
+} // namespace
+} // namespace lph

@@ -1,0 +1,228 @@
+#include "graph/generators.hpp"
+#include "graphalg/coloring.hpp"
+#include "graphalg/eulerian.hpp"
+#include "graphalg/hamiltonian.hpp"
+#include "graphalg/spanning.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lph {
+namespace {
+
+TEST(Eulerian, CyclesAreEulerian) {
+    EXPECT_TRUE(is_eulerian(cycle_graph(5)));
+    EXPECT_FALSE(is_eulerian(path_graph(4)));
+    EXPECT_TRUE(is_eulerian(single_node_graph("")));
+    EXPECT_FALSE(is_eulerian(star_graph(4)));
+    EXPECT_TRUE(is_eulerian(complete_graph(5)));  // K5: all degrees 4
+    EXPECT_FALSE(is_eulerian(complete_graph(4))); // K4: all degrees 3
+}
+
+class EulerianHierholzer : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(EulerianHierholzer, CycleExtractionMatchesCharacterization) {
+    Rng rng(GetParam());
+    const LabeledGraph g =
+        random_connected_graph(4 + GetParam() % 6, GetParam() % 6, rng);
+    const auto cycle = find_eulerian_cycle(g);
+    EXPECT_EQ(cycle.has_value(), is_eulerian(g));
+    if (cycle.has_value()) {
+        EXPECT_TRUE(verify_eulerian_cycle(g, *cycle));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EulerianHierholzer, ::testing::Range(0u, 20u));
+
+TEST(Eulerian, ExplicitCycleOnC4) {
+    const LabeledGraph g = cycle_graph(4);
+    const auto cycle = find_eulerian_cycle(g);
+    ASSERT_TRUE(cycle.has_value());
+    EXPECT_EQ(cycle->size(), 5u);
+    EXPECT_TRUE(verify_eulerian_cycle(g, *cycle));
+    EXPECT_FALSE(verify_eulerian_cycle(g, {0, 1, 2, 3})); // not closed
+}
+
+TEST(Hamiltonian, SmallCases) {
+    EXPECT_TRUE(is_hamiltonian(cycle_graph(3)));
+    EXPECT_TRUE(is_hamiltonian(cycle_graph(7)));
+    EXPECT_TRUE(is_hamiltonian(complete_graph(5)));
+    EXPECT_FALSE(is_hamiltonian(path_graph(4)));
+    EXPECT_FALSE(is_hamiltonian(star_graph(4)));
+    EXPECT_FALSE(is_hamiltonian(single_node_graph("")));
+    EXPECT_TRUE(is_hamiltonian(grid_graph(2, 3)));
+    EXPECT_FALSE(is_hamiltonian(grid_graph(1, 3))); // a path
+}
+
+TEST(Hamiltonian, GridParity) {
+    // A 3x3 grid is bipartite with parts 5/4: no Hamiltonian cycle.
+    EXPECT_FALSE(is_hamiltonian(grid_graph(3, 3)));
+    EXPECT_TRUE(is_hamiltonian(grid_graph(4, 3)));
+}
+
+class HamiltonianWitness : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(HamiltonianWitness, FoundCyclesVerify) {
+    Rng rng(GetParam());
+    const LabeledGraph g =
+        random_connected_graph(5 + GetParam() % 4, 3 + GetParam() % 5, rng);
+    const auto cycle = find_hamiltonian_cycle(g);
+    if (cycle.has_value()) {
+        EXPECT_TRUE(verify_hamiltonian_cycle(g, *cycle));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HamiltonianWitness, ::testing::Range(0u, 15u));
+
+TEST(Coloring, BipartiteMatchesTwoColoring) {
+    for (std::size_t n = 3; n <= 9; ++n) {
+        const LabeledGraph g = cycle_graph(n);
+        EXPECT_EQ(is_bipartite(g), n % 2 == 0) << n;
+        EXPECT_EQ(is_k_colorable(g, 2), n % 2 == 0) << n;
+    }
+}
+
+TEST(Coloring, ChromaticFacts) {
+    EXPECT_TRUE(is_k_colorable(complete_graph(4), 4));
+    EXPECT_FALSE(is_k_colorable(complete_graph(4), 3));
+    EXPECT_TRUE(is_k_colorable(cycle_graph(5), 3));
+    EXPECT_FALSE(is_k_colorable(cycle_graph(5), 2));
+    EXPECT_TRUE(is_k_colorable(path_graph(6), 2));
+    EXPECT_TRUE(is_k_colorable(single_node_graph(""), 1));
+}
+
+class ColoringWitness : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ColoringWitness, FoundColoringsVerify) {
+    Rng rng(GetParam());
+    const LabeledGraph g =
+        random_connected_graph(4 + GetParam() % 6, GetParam() % 8, rng);
+    for (int k = 2; k <= 4; ++k) {
+        const auto colors = find_k_coloring(g, k);
+        if (colors.has_value()) {
+            EXPECT_TRUE(verify_coloring(g, *colors, k));
+        }
+        // Monotonicity: k-colorable implies (k+1)-colorable.
+        if (colors.has_value()) {
+            EXPECT_TRUE(is_k_colorable(g, k + 1));
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ColoringWitness, ::testing::Range(0u, 15u));
+
+TEST(Spanning, BfsTreeValid) {
+    const LabeledGraph g = grid_graph(3, 3);
+    const SpanningTree tree = bfs_spanning_tree(g, 4);
+    EXPECT_TRUE(verify_spanning_tree(g, tree));
+    EXPECT_EQ(tree.parent[4], 4u);
+}
+
+TEST(Spanning, EulerTourVisitsEveryTreeEdgeTwice) {
+    Rng rng(3);
+    const LabeledGraph g = random_tree(8, rng);
+    const SpanningTree tree = bfs_spanning_tree(g, 0);
+    const auto walk = euler_tour(g, tree);
+    // A DFS walk of an n-node tree has 2(n-1)+1 entries.
+    EXPECT_EQ(walk.size(), 2 * (g.num_nodes() - 1) + 1);
+    EXPECT_EQ(walk.front(), 0u);
+    EXPECT_EQ(walk.back(), 0u);
+    // Consecutive entries are adjacent.
+    for (std::size_t i = 0; i + 1 < walk.size(); ++i) {
+        EXPECT_TRUE(g.has_edge(walk[i], walk[i + 1]));
+    }
+}
+
+TEST(Spanning, VerifyRejectsBrokenTrees) {
+    const LabeledGraph g = path_graph(3);
+    SpanningTree bad;
+    bad.root = 0;
+    bad.parent = {0, 2, 1}; // 1 and 2 point at each other: cycle
+    EXPECT_FALSE(verify_spanning_tree(g, bad));
+    SpanningTree nonedge;
+    nonedge.root = 0;
+    nonedge.parent = {0, 0, 0}; // 2-0 is not an edge of the path
+    EXPECT_FALSE(verify_spanning_tree(g, nonedge));
+}
+
+} // namespace
+} // namespace lph
+
+#include "sat/coloring_sat.hpp"
+
+namespace lph {
+namespace {
+
+class ColoringImplementations : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ColoringImplementations, ThreeSolversAgree) {
+    // Index-order backtracking, DSATUR with canonical pruning, and the
+    // DPLL encoding must agree on k-colorability for k = 2..4.
+    Rng rng(GetParam() + 2500);
+    const LabeledGraph g =
+        random_connected_graph(4 + rng.index(6), rng.index(8), rng);
+    for (int k = 2; k <= 4; ++k) {
+        const bool backtracking = is_k_colorable(g, k);
+        const auto dsatur = find_k_coloring_dsatur(g, k);
+        const auto dpll_coloring = find_k_coloring_dpll(g, k);
+        EXPECT_EQ(dsatur.has_value(), backtracking) << "k=" << k;
+        EXPECT_EQ(dpll_coloring.has_value(), backtracking) << "k=" << k;
+        if (dsatur.has_value()) {
+            EXPECT_TRUE(verify_coloring(g, *dsatur, k));
+        }
+        if (dpll_coloring.has_value()) {
+            EXPECT_TRUE(verify_coloring(g, *dpll_coloring, k));
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ColoringImplementations, ::testing::Range(0u, 15u));
+
+TEST(ColoringCnf, ShapeAndUnits) {
+    const LabeledGraph g = path_graph(2, "1");
+    const Cnf cnf = coloring_cnf(g, 3);
+    // Per node: 1 at-least-one + 3 at-most-one; per edge: 3 difference
+    // clauses.  2 nodes, 1 edge -> 2*4 + 3 = 11 clauses.
+    EXPECT_EQ(cnf.size(), 11u);
+    EXPECT_TRUE(is_3cnf(cnf));
+}
+
+TEST(DsaturEdgeCases, SingleNodeAndClique) {
+    EXPECT_TRUE(find_k_coloring_dsatur(single_node_graph(""), 1).has_value());
+    EXPECT_FALSE(find_k_coloring_dsatur(complete_graph(5, ""), 4).has_value());
+    EXPECT_TRUE(find_k_coloring_dsatur(complete_graph(5, ""), 5).has_value());
+}
+
+} // namespace
+} // namespace lph
+
+namespace lph {
+namespace {
+
+TEST(ClassicInstances, PetersenFacts) {
+    // The Petersen graph: 3-chromatic, famously non-Hamiltonian, and
+    // non-Eulerian (3-regular) — a stress instance for the substrates.
+    const LabeledGraph petersen = petersen_graph("");
+    EXPECT_FALSE(is_k_colorable(petersen, 2));
+    EXPECT_TRUE(is_k_colorable(petersen, 3));
+    EXPECT_FALSE(is_hamiltonian(petersen));
+    EXPECT_FALSE(is_eulerian(petersen));
+}
+
+TEST(ClassicInstances, CompleteBipartiteFacts) {
+    EXPECT_TRUE(is_k_colorable(complete_bipartite_graph(3, 3, ""), 2));
+    EXPECT_TRUE(is_hamiltonian(complete_bipartite_graph(3, 3, "")));
+    EXPECT_FALSE(is_hamiltonian(complete_bipartite_graph(2, 3, ""))); // unbalanced
+    EXPECT_TRUE(is_eulerian(complete_bipartite_graph(2, 4, "")));
+    EXPECT_FALSE(is_eulerian(complete_bipartite_graph(3, 3, "")));
+}
+
+TEST(ClassicInstances, WheelFacts) {
+    // Odd wheel (even rim): 4-chromatic; even wheel (odd rim): hub + 2-colorable rim.
+    EXPECT_FALSE(is_k_colorable(wheel_graph(6, ""), 3)); // rim C5 needs 3 + hub
+    EXPECT_TRUE(is_k_colorable(wheel_graph(6, ""), 4));
+    EXPECT_TRUE(is_k_colorable(wheel_graph(5, ""), 3));  // rim C4 is 2-colorable
+    EXPECT_TRUE(is_hamiltonian(wheel_graph(7, "")));
+}
+
+} // namespace
+} // namespace lph

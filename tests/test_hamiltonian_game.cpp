@@ -1,0 +1,131 @@
+#include "core/check.hpp"
+#include "graph/generators.hpp"
+#include "graphalg/hamiltonian.hpp"
+#include "hierarchy/hamiltonian_game.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lph {
+namespace {
+
+TEST(TwoFactors, CycleHasExactlyOne) {
+    const LabeledGraph g = cycle_graph(5, "");
+    const auto factors = all_two_factors(g);
+    ASSERT_EQ(factors.size(), 1u);
+    EXPECT_EQ(factors[0].size(), 5u);
+    EXPECT_TRUE(all_degree_two(g, factors[0]));
+    EXPECT_EQ(h_components(g, factors[0]).size(), 1u);
+}
+
+TEST(TwoFactors, K4HasThree) {
+    // K4's 2-factors are its three Hamiltonian cycles.
+    const auto factors = all_two_factors(complete_graph(4, ""));
+    EXPECT_EQ(factors.size(), 3u);
+}
+
+TEST(TwoFactors, PathHasNone) {
+    EXPECT_TRUE(all_two_factors(path_graph(4, "")).empty());
+}
+
+TEST(TwoFactors, DisconnectedFactorExists) {
+    // Two triangles joined by one edge: the only 2-factor is the two
+    // disjoint triangles (the bridge cannot be used).
+    LabeledGraph g;
+    for (int i = 0; i < 6; ++i) {
+        g.add_node("");
+    }
+    g.add_edge(0, 1);
+    g.add_edge(1, 2);
+    g.add_edge(2, 0);
+    g.add_edge(3, 4);
+    g.add_edge(4, 5);
+    g.add_edge(5, 3);
+    g.add_edge(0, 3); // the bridge
+    const auto factors = all_two_factors(g);
+    ASSERT_EQ(factors.size(), 1u);
+    EXPECT_EQ(h_components(g, factors[0]).size(), 2u);
+    // Adam's component answer defeats this H (Example 6's second phase).
+    EXPECT_TRUE(adam_beats_disconnected(g, factors[0]));
+    // And the full game correctly concludes: not Hamiltonian.
+    EXPECT_FALSE(hamiltonian_game(g).eve_wins);
+    EXPECT_FALSE(is_hamiltonian(g));
+}
+
+TEST(EveAnswers, TrivialAndPartitionedCases) {
+    const LabeledGraph g = cycle_graph(6, "");
+    const EdgeSet h = all_two_factors(g)[0];
+    // Trivial S.
+    EXPECT_TRUE(eve_answers_s(g, h, std::vector<bool>(6, false)));
+    EXPECT_TRUE(eve_answers_s(g, h, std::vector<bool>(6, true)));
+    // Any nontrivial S cuts the cycle: she finds the discontinuity.
+    std::vector<bool> s(6, false);
+    s[1] = s[2] = true;
+    EXPECT_TRUE(eve_answers_s(g, h, s));
+}
+
+class HamiltonianGameSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(HamiltonianGameSweep, GameValueEqualsHamiltonicity) {
+    // Example 6's equivalence, instance by instance, with the internal
+    // consistency checks replaying every Adam move on cycles and verifying
+    // his winning answer on disconnected 2-factors.
+    Rng rng(GetParam() + 17);
+    const LabeledGraph g =
+        random_connected_graph(4 + rng.index(4), rng.index(6), rng, "");
+    const auto result = hamiltonian_game(g);
+    EXPECT_EQ(result.eve_wins, is_hamiltonian(g)) << "seed " << GetParam();
+    if (result.eve_wins) {
+        ASSERT_TRUE(result.winning_h.has_value());
+        EXPECT_TRUE(all_degree_two(g, *result.winning_h));
+        EXPECT_EQ(h_components(g, *result.winning_h).size(), 1u);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HamiltonianGameSweep, ::testing::Range(0u, 15u));
+
+TEST(HamiltonianGameFacts, KnownGraphs) {
+    EXPECT_TRUE(hamiltonian_game(cycle_graph(5, "")).eve_wins);
+    EXPECT_TRUE(hamiltonian_game(complete_graph(4, "")).eve_wins);
+    EXPECT_FALSE(hamiltonian_game(path_graph(4, "")).eve_wins);
+    EXPECT_FALSE(hamiltonian_game(star_graph(4, "")).eve_wins);
+    EXPECT_FALSE(hamiltonian_game(grid_graph(3, 3, "")).eve_wins);
+    EXPECT_TRUE(hamiltonian_game(grid_graph(2, 3, "")).eve_wins);
+}
+
+class NonHamiltonianGameSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(NonHamiltonianGameSweep, GameValueEqualsNonHamiltonicity) {
+    // Example 7's Pi_4 game: Adam proposes any H; Eve's constructive
+    // refutations succeed exactly when the graph has no Hamiltonian cycle.
+    Rng rng(GetParam() + 40);
+    const LabeledGraph g =
+        random_connected_graph(4 + rng.index(2), rng.index(3), rng, "");
+    if (g.num_edges() > 10) {
+        return; // 2^|E| Adam moves
+    }
+    const auto result = non_hamiltonian_game(g);
+    EXPECT_EQ(result.eve_wins, !is_hamiltonian(g)) << "seed " << GetParam();
+    EXPECT_EQ(result.adam_subgraphs_tried > 0, true);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NonHamiltonianGameSweep, ::testing::Range(0u, 15u));
+
+TEST(NonHamiltonianGameFacts, KnownGraphs) {
+    EXPECT_TRUE(non_hamiltonian_game(path_graph(4, "")).eve_wins);
+    EXPECT_TRUE(non_hamiltonian_game(star_graph(4, "")).eve_wins);
+    EXPECT_FALSE(non_hamiltonian_game(cycle_graph(5, "")).eve_wins);
+    EXPECT_FALSE(non_hamiltonian_game(complete_graph(4, "")).eve_wins);
+}
+
+TEST(EdgeSetHelpers, FromCycleAndDiscontinuity) {
+    const auto h = edge_set_from_cycle({0, 1, 2, 3});
+    EXPECT_EQ(h.size(), 4u);
+    EXPECT_TRUE(h.count({0, 3}) == 1);
+    std::vector<bool> s{true, true, false, false};
+    EXPECT_TRUE(has_discontinuity(h, s));
+    std::vector<bool> all(4, true);
+    EXPECT_FALSE(has_discontinuity(h, all));
+}
+
+} // namespace
+} // namespace lph

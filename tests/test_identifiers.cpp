@@ -1,0 +1,118 @@
+#include "graph/generators.hpp"
+#include "core/check.hpp"
+#include "graph/identifiers.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lph {
+namespace {
+
+TEST(Identifiers, GlobalIdsAreGloballyUnique) {
+    const LabeledGraph g = cycle_graph(8);
+    const auto id = make_global_ids(g);
+    EXPECT_TRUE(id.is_globally_unique());
+    EXPECT_TRUE(id.is_locally_unique(g, 4)); // 2*4 >= diameter
+}
+
+TEST(Identifiers, LexicographicOrderMatchesPaper) {
+    // id(u) < id(v) if u's id is a proper prefix of v's, or the first
+    // differing bit is smaller — std::string order on '0'/'1' strings.
+    EXPECT_LT(BitString("0"), BitString("00")); // proper prefix
+    EXPECT_LT(BitString("01"), BitString("1"));
+    EXPECT_LT(BitString(""), BitString("0"));
+}
+
+struct SmallIdCase {
+    std::string name;
+    std::size_t n;
+    int r_id;
+};
+
+class SmallIds : public ::testing::TestWithParam<SmallIdCase> {};
+
+LabeledGraph build(const std::string& name, std::size_t n) {
+    if (name == "cycle") return cycle_graph(n);
+    if (name == "path") return path_graph(n);
+    if (name == "star") return star_graph(n);
+    if (name == "complete") return complete_graph(n);
+    return grid_graph(n / 3 + 1, 3);
+}
+
+TEST_P(SmallIds, LocallyUniqueAndSmall) {
+    const auto& param = GetParam();
+    const LabeledGraph g = build(param.name, param.n);
+    const auto id = make_small_local_ids(g, param.r_id);
+    // Remark 1: a small r_id-locally unique assignment always exists, and the
+    // greedy construction produces one.
+    EXPECT_TRUE(id.is_locally_unique(g, param.r_id));
+    EXPECT_TRUE(id.is_small(g, param.r_id));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, SmallIds,
+    ::testing::Values(SmallIdCase{"cycle", 9, 1}, SmallIdCase{"cycle", 12, 2},
+                      SmallIdCase{"cycle", 20, 3}, SmallIdCase{"path", 10, 2},
+                      SmallIdCase{"star", 7, 1}, SmallIdCase{"star", 7, 3},
+                      SmallIdCase{"complete", 5, 1},
+                      SmallIdCase{"grid", 9, 2}),
+    [](const auto& info) {
+        return info.param.name + std::to_string(info.param.n) + "_r" +
+               std::to_string(info.param.r_id);
+    });
+
+TEST(SmallIdsDetail, ReusesValuesFarApart) {
+    // On a long cycle with r_id = 1, identifiers must be unique within
+    // distance 2 but can repeat beyond; small ids are then O(1) bits.
+    const LabeledGraph g = cycle_graph(30);
+    const auto id = make_small_local_ids(g, 1);
+    std::size_t max_len = 0;
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+        max_len = std::max(max_len, id(u).size());
+    }
+    EXPECT_LE(max_len, 3u); // ceil(log2(5)) = 3
+}
+
+TEST(CyclicIds, PeriodicOnCycle) {
+    const LabeledGraph g = cycle_graph(12);
+    const auto id = make_cyclic_ids(g, 4);
+    EXPECT_TRUE(id.is_locally_unique(g, 1)); // period 4 >= 2*1+1
+    // Exactly `period` distinct identifiers.
+    std::set<BitString> distinct;
+    for (NodeId u = 0; u < 12; ++u) {
+        distinct.insert(id(u));
+    }
+    EXPECT_EQ(distinct.size(), 4u);
+}
+
+TEST(CyclicIds, RejectsIndivisibleLength) {
+    const LabeledGraph g = cycle_graph(10);
+    EXPECT_THROW(make_cyclic_ids(g, 4), precondition_error);
+}
+
+TEST(CyclicIds, LocalUniquenessFailsAtLargeRadius) {
+    const LabeledGraph g = cycle_graph(12);
+    const auto id = make_cyclic_ids(g, 4);
+    // Nodes at distance 4 share an identifier, so radius 2 fails.
+    EXPECT_FALSE(id.is_locally_unique(g, 2));
+}
+
+TEST(Identifiers, DuplicatesWithinTwiceRadiusRejected) {
+    const LabeledGraph g = path_graph(4);
+    // Nodes 0 and 2 share an id at distance 2 = 2*r_id: not 1-locally unique.
+    IdentifierAssignment close_dup({"0", "1", "0", "1"});
+    EXPECT_FALSE(close_dup.is_locally_unique(g, 1));
+    // Duplicates at distance 3 > 2 are fine for r_id = 1 but not r_id = 2.
+    IdentifierAssignment far_dup({"0", "1", "10", "0"});
+    EXPECT_TRUE(far_dup.is_locally_unique(g, 1));
+    EXPECT_FALSE(far_dup.is_locally_unique(g, 2));
+}
+
+TEST(Identifiers, SingleNodeEmptyIdIsSmall) {
+    const LabeledGraph g = single_node_graph("1");
+    const auto id = make_small_local_ids(g, 3);
+    EXPECT_EQ(id(0), "");
+    EXPECT_TRUE(id.is_small(g, 3));
+}
+
+} // namespace
+} // namespace lph

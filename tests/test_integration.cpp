@@ -1,0 +1,194 @@
+#include "core/check.hpp"
+#include "graph/generators.hpp"
+#include "graph/isomorphism.hpp"
+#include "graphalg/coloring.hpp"
+#include "graphalg/eulerian.hpp"
+#include "hierarchy/fagin.hpp"
+#include "hierarchy/game.hpp"
+#include "logic/examples.hpp"
+#include "machines/deciders.hpp"
+#include "machines/formula_arbiter.hpp"
+#include "machines/turing_examples.hpp"
+#include "machines/verifiers.hpp"
+#include "reductions/classic_reductions.hpp"
+#include "structure/graph_structure.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+namespace lph {
+namespace {
+
+/// Four independent implementations of ALL-SELECTED must agree: the
+/// tape-level Turing machine, the local-algorithm decider, direct formula
+/// evaluation, and the generic Theorem-12 arbiter.
+class AllSelectedFourWays : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(AllSelectedFourWays, Agreement) {
+    Rng rng(GetParam() + 1000);
+    LabeledGraph g = random_connected_graph(2 + rng.index(5), rng.index(4), rng);
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+        g.set_label(u, rng.chance(0.6) ? "1" : "0");
+    }
+    const auto id = make_global_ids(g);
+
+    const bool turing = run_turing(make_all_selected_turing(), g, id).accepted;
+    const bool local = run_local(AllSelectedDecider{}, g, id).accepted;
+    const bool formula =
+        satisfies(GraphStructure(g).structure(), paper_formulas::all_selected());
+    const bool arbiter =
+        run_local(FormulaArbiter(paper_formulas::all_selected()), g, id).accepted;
+
+    EXPECT_EQ(turing, local);
+    EXPECT_EQ(local, formula);
+    EXPECT_EQ(formula, arbiter);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AllSelectedFourWays, ::testing::Range(0u, 15u));
+
+/// Reduction soundness exercised end-to-end through machines: running the
+/// EULERIAN decider distributedly on the reduced graph agrees with running
+/// the ALL-SELECTED decider on the original (the simulation argument of
+/// Section 8).
+class ReductionThenDecide : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ReductionThenDecide, EulerianDeciderOnReducedGraph) {
+    Rng rng(GetParam() + 2000);
+    LabeledGraph g = random_connected_graph(2 + rng.index(4), rng.index(3), rng, "1");
+    if (rng.chance(0.5)) {
+        g.set_label(rng.index(g.num_nodes()), "0");
+    }
+    const auto id = make_global_ids(g);
+    const bool source = run_local(AllSelectedDecider{}, g, id).accepted;
+
+    const ReducedGraph reduced = apply_reduction(AllSelectedToEulerian{}, g, id);
+    const auto id2 = make_global_ids(reduced.graph);
+    const bool target = run_local(EulerianDecider{}, reduced.graph, id2).accepted;
+    EXPECT_EQ(source, target);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReductionThenDecide, ::testing::Range(0u, 12u));
+
+/// NLP three ways: the certificate game with the coloring verifier, the
+/// Sigma_1^LFO formula, and backtracking search.
+class ColorabilityThreeWays : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ColorabilityThreeWays, Agreement) {
+    Rng rng(GetParam() + 3000);
+    const LabeledGraph g =
+        random_connected_graph(3 + rng.index(3), rng.index(4), rng, "");
+    const auto id = make_global_ids(g);
+    const int k = 2 + static_cast<int>(rng.index(2));
+
+    const bool search = is_k_colorable(g, k);
+
+    const ColoringVerifier verifier(k);
+    class Domain : public CertificateDomain {
+    public:
+        Domain(const ColoringVerifier& v) {
+            for (int c = 0; c < v.k(); ++c) {
+                options_.push_back(v.encode_color(c));
+            }
+        }
+        std::vector<BitString> options(const LabeledGraph&,
+                                       const IdentifierAssignment&,
+                                       NodeId) const override {
+            return options_;
+        }
+
+    private:
+        std::vector<BitString> options_;
+    };
+    const Domain domain(verifier);
+    const bool game =
+        find_accepting_certificate(verifier, domain, g, id).has_value();
+
+    FaginOptions options;
+    const bool formula =
+        eval_sentence_on_graph(paper_formulas::k_colorable(k), g, options);
+
+    EXPECT_EQ(search, game) << "k=" << k;
+    EXPECT_EQ(search, formula) << "k=" << k;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ColorabilityThreeWays, ::testing::Range(0u, 10u));
+
+/// Graph properties are closed under isomorphism (Section 3): machines must
+/// accept a permuted copy (with correspondingly permuted identifiers) iff
+/// they accept the original.
+class IsomorphismInvariance : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(IsomorphismInvariance, DecidersInvariant) {
+    Rng rng(GetParam() + 4000);
+    LabeledGraph g = random_connected_graph(3 + rng.index(5), rng.index(4), rng);
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+        g.set_label(u, rng.chance(0.5) ? "1" : "0");
+    }
+    std::vector<NodeId> perm(g.num_nodes());
+    std::iota(perm.begin(), perm.end(), 0);
+    std::shuffle(perm.begin(), perm.end(), rng.engine());
+    const LabeledGraph h = permute_graph(g, perm);
+
+    const auto id = make_global_ids(g);
+    std::vector<BitString> permuted_ids(g.num_nodes());
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+        permuted_ids[perm[u]] = id(u);
+    }
+    const IdentifierAssignment id_h{std::move(permuted_ids)};
+
+    EXPECT_EQ(run_local(AllSelectedDecider{}, g, id).accepted,
+              run_local(AllSelectedDecider{}, h, id_h).accepted);
+    EXPECT_EQ(run_local(EulerianDecider{}, g, id).accepted,
+              run_local(EulerianDecider{}, h, id_h).accepted);
+    EXPECT_EQ(run_turing(make_even_parity_turing(), g, id).accepted,
+              run_turing(make_even_parity_turing(), h, id_h).accepted);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IsomorphismInvariance, ::testing::Range(0u, 10u));
+
+/// Acceptance must be independent of the particular (locally unique)
+/// identifier assignment (Section 4: "the collective decision must be
+/// independent of the particular identifier assignment id").
+class IdentifierIndependence : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(IdentifierIndependence, SameVerdictUnderDifferentIds) {
+    Rng rng(GetParam() + 5000);
+    LabeledGraph g = random_connected_graph(4 + rng.index(5), rng.index(4), rng);
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+        g.set_label(u, rng.chance(0.7) ? "1" : "0");
+    }
+    const AllSelectedDecider all_selected;
+    const EulerianDecider eulerian;
+    const auto global = make_global_ids(g);
+    const auto small_all = make_small_local_ids(g, all_selected.id_radius());
+    const auto small_euler = make_small_local_ids(g, eulerian.id_radius());
+    EXPECT_EQ(run_local(all_selected, g, global).accepted,
+              run_local(all_selected, g, small_all).accepted);
+    EXPECT_EQ(run_local(eulerian, g, global).accepted,
+              run_local(eulerian, g, small_euler).accepted);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IdentifierIndependence, ::testing::Range(0u, 10u));
+
+/// The LabelsAgree tape machine against a one-line oracle, across shapes.
+TEST(TapeVsOracle, LabelsAgreeSweep) {
+    Rng rng(99);
+    const TuringMachine m = make_labels_agree_turing();
+    for (int trial = 0; trial < 10; ++trial) {
+        LabeledGraph g =
+            random_connected_graph(2 + rng.index(4), rng.index(3), rng, "10");
+        if (rng.chance(0.5)) {
+            g.set_label(rng.index(g.num_nodes()), "11");
+        }
+        bool uniform = true;
+        for (NodeId u = 0; u + 1 < g.num_nodes(); ++u) {
+            uniform = uniform && g.label(u) == g.label(u + 1);
+        }
+        EXPECT_EQ(run_turing(m, g, make_global_ids(g)).accepted, uniform);
+    }
+}
+
+} // namespace
+} // namespace lph

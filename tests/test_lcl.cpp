@@ -1,0 +1,140 @@
+#include "core/check.hpp"
+#include "graph/generators.hpp"
+#include "graphalg/coloring.hpp"
+#include "machines/lcl.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lph {
+namespace {
+
+bool run_lcl(const LclProblem& problem, const LabeledGraph& g) {
+    const LclDecider decider(problem);
+    return run_local(decider, g, make_global_ids(g)).accepted;
+}
+
+TEST(LclColoring, AcceptsProperColorings) {
+    // Color a 6-cycle alternately with 2-bit labels.
+    LabeledGraph g = cycle_graph(6, "00");
+    for (NodeId u = 0; u < 6; ++u) {
+        g.set_label(u, u % 2 == 0 ? "00" : "01");
+    }
+    EXPECT_TRUE(run_lcl(lcl_proper_three_coloring(), g));
+    EXPECT_TRUE(is_proper_three_coloring_labeling(g));
+}
+
+TEST(LclColoring, RejectsMonochromeEdge) {
+    LabeledGraph g = path_graph(3, "00");
+    g.set_label(1, "01");
+    g.set_label(2, "01"); // nodes 1 and 2 collide
+    EXPECT_FALSE(run_lcl(lcl_proper_three_coloring(), g));
+}
+
+TEST(LclColoring, RejectsOutOfRangeColor) {
+    LabeledGraph g = path_graph(2, "00");
+    g.set_label(1, "11"); // color 3 does not exist
+    EXPECT_FALSE(run_lcl(lcl_proper_three_coloring(), g));
+}
+
+class LclColoringSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(LclColoringSweep, MachineMatchesOracle) {
+    Rng rng(GetParam() + 7);
+    LabeledGraph g = random_connected_graph(4 + rng.index(5), rng.index(4), rng);
+    // Random (possibly improper) 2-bit labelings.
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+        g.set_label(u, encode_unsigned_width(rng.index(3), 2));
+    }
+    if (g.max_structural_degree() > 6 + 2) {
+        return; // outside GRAPH(Delta) for this LCL
+    }
+    EXPECT_EQ(run_lcl(lcl_proper_three_coloring(), g),
+              is_proper_three_coloring_labeling(g));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LclColoringSweep, ::testing::Range(0u, 20u));
+
+TEST(LclMis, AcceptsValidMis) {
+    // On a path 0-1-2-3: {0, 2}? Node 3 unselected with selected neighbor 2.
+    LabeledGraph g = path_graph(4, "0");
+    g.set_label(0, "1");
+    g.set_label(2, "1");
+    EXPECT_TRUE(run_lcl(lcl_maximal_independent_set(), g));
+    EXPECT_TRUE(is_maximal_independent_set_labeling(g));
+}
+
+TEST(LclMis, RejectsNonIndependent) {
+    LabeledGraph g = path_graph(3, "1"); // everything selected
+    EXPECT_FALSE(run_lcl(lcl_maximal_independent_set(), g));
+}
+
+TEST(LclMis, RejectsNonMaximal) {
+    const LabeledGraph g = path_graph(3, "0"); // nothing selected
+    EXPECT_FALSE(run_lcl(lcl_maximal_independent_set(), g));
+}
+
+class LclMisSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(LclMisSweep, MachineMatchesOracle) {
+    Rng rng(GetParam() + 70);
+    LabeledGraph g = random_connected_graph(4 + rng.index(5), rng.index(4), rng);
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+        g.set_label(u, rng.chance(0.4) ? "1" : "0");
+    }
+    if (g.max_structural_degree() > 6 + 1) {
+        return;
+    }
+    EXPECT_EQ(run_lcl(lcl_maximal_independent_set(), g),
+              is_maximal_independent_set_labeling(g));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LclMisSweep, ::testing::Range(0u, 20u));
+
+TEST(LclWeakColoring, EvenCycleAlternation) {
+    LabeledGraph g = cycle_graph(6, "0");
+    for (NodeId u = 0; u < 6; ++u) {
+        g.set_label(u, u % 2 == 0 ? "0" : "1");
+    }
+    EXPECT_TRUE(run_lcl(lcl_weak_two_coloring(), g));
+    set_all_labels(g, "1");
+    EXPECT_FALSE(run_lcl(lcl_weak_two_coloring(), g));
+}
+
+TEST(LclDomain, DegreeBoundEnforced) {
+    // A star exceeding the problem's max degree is rejected regardless of
+    // labels — the machine recognizes it is outside GRAPH(Delta).
+    LabeledGraph g = star_graph(9, "0");
+    g.set_label(0, "1");
+    EXPECT_FALSE(run_lcl(lcl_maximal_independent_set(), g));
+}
+
+TEST(LclDomain, LabelBoundEnforced) {
+    LabeledGraph g = path_graph(2, "0");
+    g.set_label(0, "0101"); // 4 bits > 1-bit bound for MIS
+    EXPECT_FALSE(run_lcl(lcl_maximal_independent_set(), g));
+}
+
+TEST(LclAsLp, ConstantWorkPerNode) {
+    // The LP-ness of LCL deciders: metered per-node work stays flat as the
+    // cycle grows (degree and labels are constant).
+    const LclDecider decider(lcl_weak_two_coloring());
+    std::uint64_t small_max = 0;
+    std::uint64_t large_max = 0;
+    for (const std::size_t n : {16u, 256u}) {
+        LabeledGraph g = cycle_graph(n, "0");
+        for (NodeId u = 0; u < n; ++u) {
+            g.set_label(u, u % 2 == 0 ? "0" : "1");
+        }
+        const auto result = run_local(decider, g, make_global_ids(g));
+        std::uint64_t max_steps = 0;
+        for (const auto& stats : result.node_stats) {
+            max_steps = std::max(max_steps, stats.max_round_steps);
+        }
+        (n == 16u ? small_max : large_max) = max_steps;
+    }
+    // Identifier lengths grow logarithmically; allow a generous constant.
+    EXPECT_LE(large_max, 4 * small_max);
+}
+
+} // namespace
+} // namespace lph

@@ -1,0 +1,161 @@
+#include "logic/classify.hpp"
+#include "logic/examples.hpp"
+#include "logic/formula.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lph {
+namespace {
+
+using namespace fl;
+
+TEST(Formula, FreeVariables) {
+    const Formula phi = exists_conn("z", "y", disj(binary(1, "z", "y"), unary(1, "x")));
+    const auto free = free_fo_variables(phi);
+    EXPECT_EQ(free, (std::set<std::string>{"x", "y"}));
+}
+
+TEST(Formula, AnchorOfBoundedQuantifierIsFree) {
+    const Formula phi = exists_conn("z", "y", top());
+    EXPECT_EQ(free_fo_variables(phi), (std::set<std::string>{"y"}));
+}
+
+TEST(Formula, FreeSecondOrder) {
+    const Formula phi = exists_so("R", 2, apply("R", {"x", "x"}));
+    EXPECT_TRUE(free_so_variables(phi).empty());
+    const Formula open = apply("S", {"x"});
+    EXPECT_EQ(free_so_variables(open), (std::set<std::string>{"S"}));
+}
+
+TEST(Formula, SubstitutionRespectsBinding) {
+    // In "exists x ~ y. R(x, w)", substituting w -> v renames only w; x stays
+    // bound.
+    const Formula phi = exists_conn("x", "y", apply("R", {"x", "w"}));
+    const Formula sub = substitute_fo(phi, "w", "v");
+    EXPECT_EQ(free_fo_variables(sub), (std::set<std::string>{"y", "v"}));
+    // Substituting the bound variable is a no-op inside.
+    const Formula same = substitute_fo(phi, "x", "v");
+    EXPECT_EQ(free_fo_variables(same), (std::set<std::string>{"y", "w"}));
+}
+
+TEST(Formula, SubstitutionAvoidsCapture) {
+    // Substituting y -> x in "exists x ~ y. R(y)" must not capture.
+    const Formula phi = exists_conn("x", "y", apply("R", {"y"}));
+    const Formula sub = substitute_fo(phi, "y", "x");
+    // The bound variable was renamed away from x.
+    EXPECT_EQ(free_fo_variables(sub), (std::set<std::string>{"x"}));
+    EXPECT_NE(to_string(sub).find("R(x)"), std::string::npos);
+}
+
+TEST(Formula, ToStringReadable) {
+    const Formula phi = forall("x", implies(unary(1, "x"), equals("x", "x")));
+    EXPECT_EQ(to_string(phi), "forall x. (O1(x) -> x = x)");
+}
+
+TEST(Formula, SizeCounts) {
+    EXPECT_EQ(formula_size(top()), 1u);
+    EXPECT_EQ(formula_size(conj(top(), bottom())), 3u);
+}
+
+TEST(Classify, BFDetection) {
+    const Formula bf = exists_conn("z", "y", negate(unary(1, "z")));
+    const FormulaClass c = classify(bf);
+    EXPECT_TRUE(c.first_order);
+    EXPECT_TRUE(c.bounded);
+    EXPECT_FALSE(c.local_fo);
+    EXPECT_EQ(c.bf_depth, 1);
+}
+
+TEST(Classify, UnboundedNotBF) {
+    const Formula fo = exists("z", unary(1, "z"));
+    const FormulaClass c = classify(fo);
+    EXPECT_TRUE(c.first_order);
+    EXPECT_FALSE(c.bounded);
+}
+
+TEST(Classify, LfoShape) {
+    const Formula lfo = forall("x", exists_conn("y", "x", top()));
+    EXPECT_TRUE(classify(lfo).local_fo);
+    EXPECT_EQ(sigma_lfo_level(lfo), 0);
+    EXPECT_EQ(pi_lfo_level(lfo), 0);
+}
+
+struct LevelCase {
+    std::string name;
+    Formula formula;
+    int sigma;
+    int pi;
+    bool monadic;
+};
+
+class PaperFormulaLevels : public ::testing::TestWithParam<LevelCase> {};
+
+TEST_P(PaperFormulaLevels, MatchesPaper) {
+    const auto& param = GetParam();
+    EXPECT_EQ(sigma_lfo_level(param.formula), param.sigma);
+    EXPECT_EQ(pi_lfo_level(param.formula), param.pi);
+    EXPECT_EQ(classify(param.formula).monadic, param.monadic);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SectionFiveTwo, PaperFormulaLevels,
+    ::testing::Values(
+        // Example 2: ALL-SELECTED is an LFO-sentence (level 0 on both sides).
+        LevelCase{"all_selected", paper_formulas::all_selected(), 0, 0, true},
+        // Example 3: 3-COLORABLE is Sigma_1^LFO.
+        LevelCase{"three_colorable", paper_formulas::three_colorable(), 1, -1,
+                  true},
+        // Example 4: NOT-ALL-SELECTED as a Sigma_3^LFO-sentence.
+        LevelCase{"exists_unselected", paper_formulas::exists_unselected_node(),
+                  3, -1, false},
+        // Example 5: NON-3-COLORABLE as a Pi_4^LFO-sentence.
+        LevelCase{"non_three_colorable", paper_formulas::non_three_colorable(),
+                  -1, 4, false},
+        // Example 6: HAMILTONIAN as a Sigma_5^LFO-sentence.
+        LevelCase{"hamiltonian", paper_formulas::hamiltonian(), 5, -1, false},
+        // Example 7: NON-HAMILTONIAN as a Pi_4^LFO-sentence.
+        LevelCase{"non_hamiltonian", paper_formulas::non_hamiltonian(), -1, 4,
+                  false}),
+    [](const auto& info) { return info.param.name; });
+
+TEST(Classify, MatrixMustBeLfo) {
+    // An SO prefix over an unbounded matrix is in neither local hierarchy.
+    const Formula phi = exists_so("R", 1, exists("x", apply("R", {"x"})));
+    EXPECT_EQ(sigma_lfo_level(phi), -1);
+    EXPECT_EQ(pi_lfo_level(phi), -1);
+    EXPECT_TRUE(classify(phi).matrix_is_fo);
+}
+
+TEST(Classify, AlternationBlocksCounted) {
+    const Formula matrix = forall("x", unary(1, "x"));
+    const Formula phi =
+        exists_so("A", 1, exists_so("B", 1, forall_so("C", 1, matrix)));
+    const FormulaClass c = classify(phi);
+    EXPECT_EQ(c.so_blocks, 2); // EE|A -> two blocks
+    EXPECT_TRUE(c.starts_existential);
+    EXPECT_EQ(sigma_lfo_level(phi), 2);
+}
+
+TEST(Shorthand, ExistsWithinZeroSubstitutes) {
+    const Formula phi = exists_within("x", 0, "y", unary(1, "x"));
+    EXPECT_EQ(to_string(phi), "O1(y)");
+}
+
+TEST(Shorthand, ExistsWithinOneExpands) {
+    const Formula phi = exists_within("x", 1, "y", unary(1, "x"));
+    // Must mention O1(y) (distance 0) and a bounded quantifier step.
+    const std::string text = to_string(phi);
+    EXPECT_NE(text.find("O1(y)"), std::string::npos);
+    EXPECT_NE(text.find("exists"), std::string::npos);
+    EXPECT_TRUE(classify(phi).bounded);
+    EXPECT_EQ(free_fo_variables(phi), (std::set<std::string>{"y"}));
+}
+
+TEST(Shorthand, DepthGrowsWithRadius) {
+    const Formula f1 = exists_within("x", 1, "y", unary(1, "x"));
+    const Formula f3 = exists_within("x", 3, "y", unary(1, "x"));
+    EXPECT_LT(classify(f1).bf_depth, classify(f3).bf_depth);
+}
+
+} // namespace
+} // namespace lph

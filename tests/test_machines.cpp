@@ -1,0 +1,214 @@
+#include "core/check.hpp"
+#include "graph/generators.hpp"
+#include "graphalg/coloring.hpp"
+#include "graphalg/eulerian.hpp"
+#include "logic/examples.hpp"
+#include "machines/deciders.hpp"
+#include "machines/formula_arbiter.hpp"
+#include "machines/verifiers.hpp"
+#include "sat/boolean_graph.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lph {
+namespace {
+
+ExecutionResult run_plain(const LocalMachine& m, const LabeledGraph& g) {
+    return run_local(m, g, make_global_ids(g));
+}
+
+ExecutionResult run_with(const LocalMachine& m, const LabeledGraph& g,
+                         const CertificateAssignment& kappa) {
+    const auto list = CertificateListAssignment::concatenate({kappa}, g.num_nodes());
+    return run_local(m, g, make_global_ids(g), list);
+}
+
+class AllSelectedOnShapes : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(AllSelectedOnShapes, MatchesOracle) {
+    Rng rng(GetParam());
+    LabeledGraph g = random_connected_graph(3 + rng.index(6), rng.index(4), rng);
+    bool all = true;
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+        const bool selected = rng.chance(0.7);
+        g.set_label(u, selected ? "1" : "0");
+        all = all && selected;
+    }
+    EXPECT_EQ(run_plain(AllSelectedDecider{}, g).accepted, all);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AllSelectedOnShapes, ::testing::Range(0u, 20u));
+
+class EulerianOnShapes : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(EulerianOnShapes, MatchesEulerTheorem) {
+    Rng rng(GetParam() + 40);
+    const LabeledGraph g =
+        random_connected_graph(3 + rng.index(7), rng.index(6), rng);
+    EXPECT_EQ(run_plain(EulerianDecider{}, g).accepted, is_eulerian(g));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EulerianOnShapes, ::testing::Range(0u, 25u));
+
+TEST(EulerianDeciderFacts, KnownGraphs) {
+    EXPECT_TRUE(run_plain(EulerianDecider{}, cycle_graph(6, "1")).accepted);
+    EXPECT_FALSE(run_plain(EulerianDecider{}, path_graph(4, "1")).accepted);
+    EXPECT_TRUE(run_plain(EulerianDecider{}, complete_graph(5, "1")).accepted);
+}
+
+TEST(AllLabeledDecider, GeneralizedConstant) {
+    LabeledGraph g = cycle_graph(4, "01");
+    EXPECT_TRUE(run_plain(AllLabeledDecider{"01"}, g).accepted);
+    EXPECT_FALSE(run_plain(AllLabeledDecider{"1"}, g).accepted);
+}
+
+// --- Coloring verifier (Example 3 / Theorem 20). ---
+
+class ColoringVerifierCases : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ColoringVerifierCases, AcceptsExactlyProperColorings) {
+    Rng rng(GetParam() + 7);
+    const LabeledGraph g =
+        random_connected_graph(3 + rng.index(5), rng.index(5), rng, "1");
+    const ColoringVerifier verifier(3);
+    const auto coloring = find_k_coloring(g, 3);
+    if (coloring.has_value()) {
+        std::vector<BitString> certs(g.num_nodes());
+        for (NodeId u = 0; u < g.num_nodes(); ++u) {
+            certs[u] = verifier.encode_color((*coloring)[u]);
+        }
+        EXPECT_TRUE(run_with(verifier, g, CertificateAssignment(certs)).accepted);
+    }
+    // A monochromatic "coloring" is rejected on any graph with an edge.
+    std::vector<BitString> mono(g.num_nodes(), verifier.encode_color(0));
+    EXPECT_FALSE(run_with(verifier, g, CertificateAssignment(mono)).accepted);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ColoringVerifierCases, ::testing::Range(0u, 15u));
+
+TEST(ColoringVerifierDetail, MalformedCertificateRejected) {
+    const LabeledGraph g = path_graph(2, "1");
+    const ColoringVerifier verifier(3);
+    CertificateAssignment bad(std::vector<BitString>{"11", "00"}); // 3: out of range
+    EXPECT_FALSE(run_with(verifier, g, bad).accepted);
+    CertificateAssignment wrong_width(std::vector<BitString>{"0", "01"});
+    EXPECT_FALSE(run_with(verifier, g, wrong_width).accepted);
+}
+
+TEST(ColoringVerifierDetail, ColorCodec) {
+    const ColoringVerifier verifier(3);
+    for (int c = 0; c < 3; ++c) {
+        EXPECT_EQ(verifier.decode_color(verifier.encode_color(c)), c);
+    }
+    EXPECT_EQ(verifier.decode_color("11"), -1);
+    EXPECT_EQ(verifier.decode_color(""), -1);
+}
+
+// --- SAT-GRAPH verifier (Theorem 19). ---
+
+TEST(SatGraphVerifierTest, AcceptsConsistentValuations) {
+    using namespace bf;
+    LabeledGraph topo = path_graph(2, "");
+    const BooleanGraph bg(topo, {var("P"), bor(var("P"), var("Q"))});
+    const auto vals = find_graph_valuation(bg);
+    ASSERT_TRUE(vals.has_value());
+    std::vector<BitString> certs;
+    for (const auto& v : *vals) {
+        certs.push_back(encode_valuation_certificate(v));
+    }
+    EXPECT_TRUE(
+        run_with(SatGraphVerifier{}, bg.graph(), CertificateAssignment(certs))
+            .accepted);
+}
+
+TEST(SatGraphVerifierTest, RejectsInconsistentValuations) {
+    using namespace bf;
+    LabeledGraph topo = path_graph(2, "");
+    const BooleanGraph bg(topo, {var("P"), bor(var("P"), bnot(var("P")))});
+    std::vector<BitString> certs{encode_valuation_certificate({{"P", true}}),
+                                 encode_valuation_certificate({{"P", false}})};
+    EXPECT_FALSE(
+        run_with(SatGraphVerifier{}, bg.graph(), CertificateAssignment(certs))
+            .accepted);
+}
+
+TEST(SatGraphVerifierTest, RejectsUnsatisfyingValuation) {
+    using namespace bf;
+    LabeledGraph topo = single_node_graph("");
+    const BooleanGraph bg(topo, {band(var("P"), bnot(var("P")))});
+    std::vector<BitString> certs{encode_valuation_certificate({{"P", true}})};
+    EXPECT_FALSE(
+        run_with(SatGraphVerifier{}, bg.graph(), CertificateAssignment(certs))
+            .accepted);
+}
+
+TEST(ValuationCertificate, RoundTrip) {
+    const Valuation v{{"P", true}, {"Qx", false}, {"aux0.1", true}};
+    const BitString cert = encode_valuation_certificate(v);
+    EXPECT_TRUE(is_bit_string(cert));
+    EXPECT_EQ(decode_valuation_certificate(cert), v);
+}
+
+// --- The generic Theorem-12 arbiter as an LP decider (zero blocks). ---
+
+TEST(FormulaArbiterLP, AllSelectedSentence) {
+    const FormulaArbiter arbiter(paper_formulas::all_selected());
+    EXPECT_EQ(arbiter.levels(), 0u);
+    LabeledGraph yes = cycle_graph(5, "1");
+    LabeledGraph no = cycle_graph(5, "1");
+    no.set_label(2, "0");
+    EXPECT_TRUE(run_local(arbiter, yes, make_global_ids(yes)).accepted);
+    EXPECT_FALSE(run_local(arbiter, no, make_global_ids(no)).accepted);
+}
+
+TEST(FormulaArbiterLP, WorksUnderSmallLocalIds) {
+    const FormulaArbiter arbiter(paper_formulas::all_selected());
+    const LabeledGraph g = cycle_graph(24, "1");
+    const auto id = make_small_local_ids(g, arbiter.id_radius());
+    EXPECT_TRUE(run_local(arbiter, g, id).accepted);
+}
+
+TEST(PrefixDecomposition, ThreeColorable) {
+    const auto prefix = decompose_prefix_sentence(paper_formulas::three_colorable());
+    ASSERT_EQ(prefix.blocks.size(), 1u);
+    EXPECT_TRUE(prefix.blocks[0].existential);
+    EXPECT_EQ(prefix.blocks[0].variables.size(), 3u);
+    EXPECT_EQ(prefix.blocks[0].variables[0].name, "C0");
+    EXPECT_EQ(prefix.matrix_var, "x");
+    EXPECT_GE(prefix.radius, 1);
+}
+
+TEST(PrefixDecomposition, Hamiltonian) {
+    const auto prefix = decompose_prefix_sentence(paper_formulas::hamiltonian());
+    ASSERT_EQ(prefix.blocks.size(), 5u);
+    EXPECT_TRUE(prefix.blocks[0].existential);  // H
+    EXPECT_FALSE(prefix.blocks[1].existential); // S
+    EXPECT_TRUE(prefix.blocks[2].existential);  // C, P
+    EXPECT_EQ(prefix.blocks[2].variables.size(), 2u);
+}
+
+TEST(RelationCertificate, RoundTrip) {
+    const std::vector<SOVariable> vars{{"P", 2, true}, {"X", 1, true}};
+    RelationSlice slice;
+    slice["P"] = {{{"01", 0}, {"10", 2}}, {{"01", 1}, {"01", 0}}};
+    slice["X"] = {{{"01", 0}}};
+    const BitString cert = encode_relation_certificate(slice, vars);
+    EXPECT_TRUE(is_bit_string(cert));
+    const RelationSlice parsed = decode_relation_certificate(cert, vars);
+    EXPECT_EQ(parsed.at("P").size(), 2u);
+    EXPECT_EQ(parsed.at("X").size(), 1u);
+    EXPECT_EQ(parsed.at("P")[0][1].owner_id, "10");
+    EXPECT_EQ(parsed.at("P")[0][1].bit_position, 2u);
+}
+
+TEST(RelationCertificate, EmptySlice) {
+    const std::vector<SOVariable> vars{{"X", 1, true}};
+    RelationSlice slice;
+    slice["X"] = {};
+    const BitString cert = encode_relation_certificate(slice, vars);
+    const RelationSlice parsed = decode_relation_certificate(cert, vars);
+    EXPECT_TRUE(parsed.at("X").empty());
+}
+
+} // namespace
+} // namespace lph

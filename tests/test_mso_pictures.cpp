@@ -1,0 +1,90 @@
+#include "core/check.hpp"
+#include "logic/eval.hpp"
+#include "pictures/mso_pictures.hpp"
+#include "pictures/tiling.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lph {
+namespace {
+
+namespace pf = picture_formulas;
+
+TEST(PicturePositions, CornersAndEdges) {
+    const Picture p = blank_picture(2, 3);
+    const Structure s = picture_structure(p);
+    // Row-major elements: (0,0)=0 ... (1,2)=5.
+    Assignment sigma;
+    sigma.fo["x"] = 0;
+    EXPECT_TRUE(evaluate(s, pf::top_left("x"), sigma));
+    EXPECT_FALSE(evaluate(s, pf::bottom_right("x"), sigma));
+    sigma.fo["x"] = 5;
+    EXPECT_TRUE(evaluate(s, pf::bottom_right("x"), sigma));
+    EXPECT_TRUE(evaluate(s, pf::last_column("x"), sigma));
+    sigma.fo["x"] = 3; // (1,0)
+    EXPECT_TRUE(evaluate(s, pf::first_column("x"), sigma));
+    EXPECT_TRUE(evaluate(s, pf::bottom_row("x"), sigma));
+    EXPECT_FALSE(evaluate(s, pf::top_row("x"), sigma));
+}
+
+TEST(PictureBits, SomeAndAll) {
+    Picture p(2, 2, 1);
+    EXPECT_FALSE(picture_satisfies(p, pf::some_bit(1)));
+    p.set(0, 1, "1");
+    EXPECT_TRUE(picture_satisfies(p, pf::some_bit(1)));
+    EXPECT_FALSE(picture_satisfies(p, pf::all_bits(1)));
+    for (std::size_t i = 0; i < 2; ++i) {
+        for (std::size_t j = 0; j < 2; ++j) {
+            p.set(i, j, "1");
+        }
+    }
+    EXPECT_TRUE(picture_satisfies(p, pf::all_bits(1)));
+}
+
+TEST(PictureBits, FirstColumnBlank) {
+    Picture p(3, 2, 1);
+    EXPECT_TRUE(picture_satisfies(p, pf::first_column_blank()));
+    p.set(1, 1, "1"); // second column may carry bits
+    EXPECT_TRUE(picture_satisfies(p, pf::first_column_blank()));
+    p.set(2, 0, "1");
+    EXPECT_FALSE(picture_satisfies(p, pf::first_column_blank()));
+}
+
+class SquareFormulaVsTiling
+    : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(SquareFormulaVsTiling, TheoremTwentyNineCorrespondence) {
+    // The existential monadic sentence and the tiling system recognize the
+    // same (square) pictures — the logic/automata correspondence of
+    // Theorem 29, exercised instance by instance.
+    const auto [rows, cols] = GetParam();
+    const Picture p = blank_picture(static_cast<std::size_t>(rows),
+                                    static_cast<std::size_t>(cols));
+    const bool by_formula = picture_satisfies(p, pf::square());
+    const bool by_tiling = square_tiling_system().recognizes(p);
+    EXPECT_EQ(by_formula, by_tiling) << rows << "x" << cols;
+    EXPECT_EQ(by_formula, rows == cols);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, SquareFormulaVsTiling,
+    ::testing::Values(std::make_pair(1, 1), std::make_pair(2, 2),
+                      std::make_pair(3, 3), std::make_pair(4, 4),
+                      std::make_pair(1, 2), std::make_pair(2, 1),
+                      std::make_pair(2, 3), std::make_pair(3, 2),
+                      std::make_pair(3, 4)));
+
+TEST(SquareFormula, ContentIrrelevant) {
+    Picture p(3, 3, 1);
+    p.set(0, 2, "1");
+    p.set(2, 2, "1");
+    EXPECT_TRUE(picture_satisfies(p, pf::square()));
+}
+
+TEST(PictureSatisfies, UniverseGuard) {
+    const Picture p = blank_picture(5, 6); // 30 pixels > default guard
+    EXPECT_THROW(picture_satisfies(p, pf::square()), precondition_error);
+}
+
+} // namespace
+} // namespace lph

@@ -1,0 +1,195 @@
+#include "core/check.hpp"
+#include "graph/generators.hpp"
+#include "pictures/matz.hpp"
+#include "pictures/picture.hpp"
+#include "pictures/tiling.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace lph {
+namespace {
+
+TEST(Picture, BasicAccess) {
+    Picture p(2, 3, 2);
+    EXPECT_EQ(p.at(0, 0), "00");
+    p.set(1, 2, "10");
+    EXPECT_EQ(p.at(1, 2), "10");
+    EXPECT_THROW(p.set(0, 0, "1"), precondition_error);
+    EXPECT_THROW(p.at(2, 0), precondition_error);
+}
+
+TEST(PictureStructure, Figure5Shape) {
+    // A 2-bit picture of size (2,2): 4 pixel elements, vertical and
+    // horizontal successors, one unary relation per bit.
+    Picture p(2, 2, 2);
+    p.set(0, 0, "10");
+    p.set(1, 1, "01");
+    const Structure s = picture_structure(p);
+    EXPECT_EQ(s.domain_size(), 4u);
+    EXPECT_EQ(s.num_unary(), 2u);
+    EXPECT_EQ(s.num_binary(), 2u);
+    // Element order is row-major: (0,0)=0, (0,1)=1, (1,0)=2, (1,1)=3.
+    EXPECT_TRUE(s.unary_holds(0, 0));  // first bit of (0,0)
+    EXPECT_FALSE(s.unary_holds(1, 0));
+    EXPECT_TRUE(s.unary_holds(1, 3));
+    EXPECT_TRUE(s.binary_holds(0, 0, 2));  // vertical successor
+    EXPECT_TRUE(s.binary_holds(1, 0, 1));  // horizontal successor
+    EXPECT_FALSE(s.binary_holds(0, 0, 1));
+    EXPECT_FALSE(s.binary_holds(1, 1, 0)); // directed
+}
+
+class PictureGraphRoundTrip : public ::testing::TestWithParam<std::pair<int, int>> {
+};
+
+TEST_P(PictureGraphRoundTrip, EncodeDecode) {
+    const auto [rows, cols] = GetParam();
+    Rng rng(static_cast<std::uint64_t>(rows * 31 + cols));
+    Picture p(static_cast<std::size_t>(rows), static_cast<std::size_t>(cols), 2);
+    for (int i = 0; i < rows; ++i) {
+        for (int j = 0; j < cols; ++j) {
+            BitString v(2, '0');
+            v[0] = rng.chance(0.5) ? '1' : '0';
+            v[1] = rng.chance(0.5) ? '1' : '0';
+            p.set(static_cast<std::size_t>(i), static_cast<std::size_t>(j), v);
+        }
+    }
+    const LabeledGraph g = picture_to_graph(p);
+    EXPECT_EQ(g.num_nodes(), p.rows() * p.cols());
+    EXPECT_TRUE(g.is_connected());
+    const auto decoded = graph_to_picture(g, 2);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(*decoded, p);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PictureGraphRoundTrip,
+                         ::testing::Values(std::make_pair(1, 1),
+                                           std::make_pair(1, 5),
+                                           std::make_pair(3, 1),
+                                           std::make_pair(2, 3),
+                                           std::make_pair(4, 4),
+                                           std::make_pair(3, 7)));
+
+TEST(PictureGraph, DecodeRejectsNonGrid) {
+    // A cycle is not a picture encoding.
+    const LabeledGraph g = cycle_graph(6, "000000");
+    EXPECT_FALSE(graph_to_picture(g, 2).has_value());
+}
+
+TEST(TilingSystem, AllBlankBaseline) {
+    const TilingSystem system = all_blank_tiling_system();
+    EXPECT_TRUE(system.recognizes(blank_picture(2, 3)));
+    EXPECT_TRUE(system.recognizes(blank_picture(1, 1)));
+    Picture nonblank(1, 2, 1);
+    nonblank.set(0, 1, "1");
+    EXPECT_FALSE(system.recognizes(nonblank));
+}
+
+class SquareTiling : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(SquareTiling, RecognizesExactlySquares) {
+    const auto [rows, cols] = GetParam();
+    const TilingSystem system = square_tiling_system();
+    const Picture p = blank_picture(static_cast<std::size_t>(rows),
+                                    static_cast<std::size_t>(cols));
+    EXPECT_EQ(system.recognizes(p), rows == cols)
+        << rows << "x" << cols;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, SquareTiling,
+    ::testing::Values(std::make_pair(1, 1), std::make_pair(2, 2),
+                      std::make_pair(3, 3), std::make_pair(5, 5),
+                      std::make_pair(1, 2), std::make_pair(2, 3),
+                      std::make_pair(3, 2), std::make_pair(4, 6),
+                      std::make_pair(6, 4), std::make_pair(7, 7)));
+
+TEST(SquareTiling, PreimageVerifies) {
+    const TilingSystem system = square_tiling_system();
+    const Picture p = blank_picture(4, 4);
+    const auto preimage = system.find_preimage(p);
+    ASSERT_TRUE(preimage.has_value());
+    EXPECT_TRUE(system.verify_preimage(p, *preimage));
+    // The diagonal cells carry symbol D (=1).
+    for (int i = 0; i < 4; ++i) {
+        EXPECT_EQ((*preimage)[static_cast<std::size_t>(i * 4 + i)], 1);
+    }
+}
+
+class CounterTiling : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(CounterTiling, RecognizesExactlyPowerWidths) {
+    const auto [rows, cols] = GetParam();
+    const TilingSystem system = binary_counter_tiling_system();
+    const Picture p = blank_picture(static_cast<std::size_t>(rows),
+                                    static_cast<std::size_t>(cols));
+    const bool expected =
+        in_matz_language(1, static_cast<std::size_t>(rows),
+                         static_cast<std::size_t>(cols));
+    EXPECT_EQ(system.recognizes(p), expected) << rows << "x" << cols;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, CounterTiling,
+    ::testing::Values(std::make_pair(1, 2), std::make_pair(2, 4),
+                      std::make_pair(3, 8), std::make_pair(4, 16),
+                      std::make_pair(1, 1), std::make_pair(1, 3),
+                      std::make_pair(2, 3), std::make_pair(2, 5),
+                      std::make_pair(2, 8), std::make_pair(3, 6),
+                      std::make_pair(3, 9), std::make_pair(4, 8)));
+
+TEST(CounterTiling, PreimageEncodesBinaryCounter) {
+    const TilingSystem system = binary_counter_tiling_system();
+    const Picture p = blank_picture(3, 8);
+    const auto preimage = system.find_preimage(p);
+    ASSERT_TRUE(preimage.has_value());
+    EXPECT_TRUE(system.verify_preimage(p, *preimage));
+    // Column j reads the binary value j (LSB in the bottom row).
+    for (int j = 0; j < 8; ++j) {
+        int value = 0;
+        for (int i = 0; i < 3; ++i) {
+            const int symbol = (*preimage)[static_cast<std::size_t>(i * 8 + j)];
+            const int bit = symbol / 2;
+            value |= bit << (2 - i); // row 2 is the LSB
+        }
+        EXPECT_EQ(value, j);
+    }
+}
+
+TEST(Matz, IteratedExp) {
+    EXPECT_EQ(iterated_exp(1, 3), 8u);
+    EXPECT_EQ(iterated_exp(2, 2), 16u);    // 2^(2^2)
+    EXPECT_EQ(iterated_exp(3, 1), 16u);    // 2^(2^(2^1))
+    EXPECT_EQ(iterated_exp(1, 70), std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(Matz, LanguageMembership) {
+    EXPECT_TRUE(in_matz_language(1, 3, 8));
+    EXPECT_FALSE(in_matz_language(1, 3, 9));
+    EXPECT_TRUE(in_matz_language(2, 2, 16));
+    EXPECT_FALSE(in_matz_language(2, 2, 8));
+}
+
+TEST(Matz, WitnessGeneration) {
+    const auto w = matz_witness(1, 4);
+    ASSERT_TRUE(w.has_value());
+    EXPECT_EQ(w->rows(), 4u);
+    EXPECT_EQ(w->cols(), 16u);
+    // Too large to materialize.
+    EXPECT_FALSE(matz_witness(2, 6).has_value());
+}
+
+TEST(MatzAndTiling, Level1IsTheCounterLanguage) {
+    // The tiling system recognizes exactly the level-1 Matz language on every
+    // witness we can build.
+    const TilingSystem system = binary_counter_tiling_system();
+    for (std::size_t m = 1; m <= 4; ++m) {
+        const auto w = matz_witness(1, m);
+        ASSERT_TRUE(w.has_value());
+        EXPECT_TRUE(system.recognizes(*w)) << "height " << m;
+    }
+}
+
+} // namespace
+} // namespace lph

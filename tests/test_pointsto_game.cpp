@@ -1,0 +1,182 @@
+#include "core/check.hpp"
+#include "graph/generators.hpp"
+#include "graphalg/coloring.hpp"
+#include "hierarchy/pointsto_game.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lph {
+namespace {
+
+const NodePredicate kUnselected = [](const LabeledGraph& g, NodeId u) {
+    return g.label(u) != "1";
+};
+
+TEST(ForcedCharges, ForestPropagates) {
+    // Path 0-1-2, node 0 unselected; parents point toward 0.
+    LabeledGraph g = path_graph(3, "1");
+    g.set_label(0, "0");
+    const ParentAssignment p{0, 0, 1};
+    const std::vector<bool> x_empty(3, false);
+    const auto y = forced_charges(g, p, x_empty, kUnselected);
+    ASSERT_TRUE(y.has_value());
+    // Roots positive; children copy outside X.
+    EXPECT_TRUE((*y)[0]);
+    EXPECT_TRUE((*y)[1]);
+    EXPECT_TRUE((*y)[2]);
+
+    const std::vector<bool> x_mid{false, true, false};
+    const auto y2 = forced_charges(g, p, x_mid, kUnselected);
+    ASSERT_TRUE(y2.has_value());
+    EXPECT_TRUE((*y2)[0]);
+    EXPECT_FALSE((*y2)[1]); // inverted (in X)
+    EXPECT_FALSE((*y2)[2]); // copies its parent
+}
+
+TEST(ForcedCharges, RootMustSatisfyTheta) {
+    const LabeledGraph g = path_graph(2, "1"); // all selected
+    const ParentAssignment p{0, 0};
+    EXPECT_FALSE(forced_charges(g, p, {false, false}, kUnselected).has_value());
+}
+
+TEST(ForcedCharges, SingletonXDefeatsCycles) {
+    // Triangle with a 3-cycle of pointers and no roots.
+    LabeledGraph g = complete_graph(3, "1");
+    g.set_label(0, "0");
+    const ParentAssignment p{1, 2, 0};
+    // Empty X: inversions cancel, Eve survives this move...
+    EXPECT_TRUE(forced_charges(g, p, {false, false, false}, kUnselected).has_value());
+    // ...but the paper's singleton X does not.
+    EXPECT_FALSE(forced_charges(g, p, {true, false, false}, kUnselected).has_value());
+    // Two inversions cancel again.
+    EXPECT_TRUE(forced_charges(g, p, {true, true, false}, kUnselected).has_value());
+}
+
+TEST(ParentsBeatEveryAdamMove, MatchesForestCriterion) {
+    LabeledGraph g = cycle_graph(4, "1");
+    g.set_label(2, "0");
+    // BFS forest toward node 2.
+    EXPECT_TRUE(parents_beat_every_adam_move(g, {1, 2, 2, 2}, kUnselected));
+    // A pointer cycle loses.
+    EXPECT_FALSE(parents_beat_every_adam_move(g, {1, 2, 3, 0}, kUnselected));
+    // A root that is selected loses.
+    EXPECT_FALSE(parents_beat_every_adam_move(g, {0, 0, 3, 2}, kUnselected));
+}
+
+class PointsToGameSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(PointsToGameSweep, GameValueEqualsNotAllSelected) {
+    // Example 4, executed: Eve wins the full Exists-P Forall-X game iff some
+    // node is unselected.  The game engine also cross-checks the analytic
+    // forest criterion against the literal Forall-X for every P it tries.
+    Rng rng(GetParam() + 60);
+    LabeledGraph g = random_connected_graph(2 + rng.index(3), rng.index(3), rng);
+    bool any_unselected = false;
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+        const bool selected = rng.chance(0.6);
+        g.set_label(u, selected ? "1" : "0");
+        any_unselected = any_unselected || !selected;
+    }
+    const auto result = play_points_to_game(g, kUnselected);
+    EXPECT_EQ(result.eve_wins, any_unselected);
+    if (result.eve_wins) {
+        ASSERT_TRUE(result.winning_parents.has_value());
+        EXPECT_TRUE(
+            parents_beat_every_adam_move(g, *result.winning_parents, kUnselected));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PointsToGameSweep, ::testing::Range(0u, 15u));
+
+class ConstructiveStrategy : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ConstructiveStrategy, BfsForestAlwaysWins) {
+    // Eve's strategy from the paper: BFS pointers toward the nearest
+    // unselected node — it beats every Adam move on every yes-instance.
+    Rng rng(GetParam() + 200);
+    LabeledGraph g = random_connected_graph(3 + rng.index(8), rng.index(6), rng, "1");
+    g.set_label(rng.index(g.num_nodes()), "0");
+    const auto p = constructive_parents(g, kUnselected);
+    ASSERT_TRUE(p.has_value());
+    EXPECT_TRUE(parents_beat_every_adam_move(g, *p, kUnselected));
+    // And explicitly against a sample of Adam's moves.
+    for (unsigned trial = 0; trial < 16; ++trial) {
+        std::vector<bool> x(g.num_nodes());
+        for (std::size_t i = 0; i < x.size(); ++i) {
+            x[i] = rng.chance(0.5);
+        }
+        EXPECT_TRUE(forced_charges(g, *p, x, kUnselected).has_value());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ConstructiveStrategy, ::testing::Range(0u, 12u));
+
+TEST(ExistsUnselectedGame, LargeInstances) {
+    // The semantic shortcut scales far beyond the brute-force formula game.
+    LabeledGraph big = cycle_graph(200, "1");
+    EXPECT_FALSE(exists_unselected_by_game(big));
+    big.set_label(137, "0");
+    EXPECT_TRUE(exists_unselected_by_game(big));
+}
+
+class NonColorableGame : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(NonColorableGame, MatchesColoringSearch) {
+    // Example 5, executed: the Pi-side game over Adam's color proposals
+    // agrees with backtracking 3-colorability on small graphs.
+    Rng rng(GetParam() + 90);
+    const std::size_t n = 3 + rng.index(2);
+    const LabeledGraph g = random_connected_graph(n, rng.index(4), rng, "");
+    const auto result = non_three_colorable_by_game(g);
+    EXPECT_EQ(result.non_colorable, !is_k_colorable(g, 3))
+        << "n=" << n << " seed=" << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NonColorableGame, ::testing::Range(0u, 8u));
+
+TEST(NonColorableGame, K4IsNotThreeColorable) {
+    const auto result = non_three_colorable_by_game(complete_graph(4, ""));
+    EXPECT_TRUE(result.non_colorable);
+    EXPECT_EQ(result.adam_colorings_tried, 4096u); // Eve refutes all 8^4 moves
+}
+
+TEST(PointsToGuards, ParentSpaceGuard) {
+    const LabeledGraph g = complete_graph(8, "1");
+    EXPECT_THROW(play_points_to_game(g, kUnselected, 100), precondition_error);
+}
+
+} // namespace
+} // namespace lph
+
+#include "hierarchy/fagin.hpp"
+#include "logic/examples.hpp"
+
+namespace lph {
+namespace {
+
+class FormulaVsGame : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(FormulaVsGame, Sigma3SentenceAgreesWithSemanticGame) {
+    // Example 4, both ways: the Sigma_3^LFO sentence evaluated by the
+    // brute-force quantifier game versus the semantic PointsTo game with
+    // constructive strategies.  Tiny graphs only — the formula side
+    // enumerates 2^(P-universe).
+    Rng rng(GetParam() + 700);
+    LabeledGraph g = path_graph(2 + rng.index(2), "1");
+    if (rng.chance(0.5)) {
+        g.set_label(rng.index(g.num_nodes()), "0");
+    }
+    FaginOptions options;
+    options.locality_radius = 2;
+    options.max_tuples_per_variable = 16;
+    options.run_machine_side = false;
+    const bool by_formula =
+        eval_sentence_on_graph(paper_formulas::exists_unselected_node(), g, options);
+    const bool by_game = exists_unselected_by_game(g);
+    EXPECT_EQ(by_formula, by_game) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FormulaVsGame, ::testing::Range(0u, 8u));
+
+} // namespace
+} // namespace lph

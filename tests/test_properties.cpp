@@ -1,0 +1,193 @@
+// Cross-cutting property tests: invariants that must hold across random
+// instances, connecting several modules at once.
+
+#include "core/check.hpp"
+#include "dtm/gather.hpp"
+#include "graph/generators.hpp"
+#include "graph/isomorphism.hpp"
+#include "hierarchy/fagin.hpp"
+#include "logic/examples.hpp"
+#include "machines/deciders.hpp"
+#include "reductions/classic_reductions.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace lph {
+namespace {
+
+/// Emits a canonical rendering of the gathered neighborhood: sorted node ids,
+/// per-node label/certificate, and the sorted edge list (as id pairs).
+class CanonicalViewMachine : public NeighborhoodGatherMachine {
+public:
+    explicit CanonicalViewMachine(int radius) : NeighborhoodGatherMachine(radius) {}
+    std::string decide(const NeighborhoodView& view, StepMeter&) const override {
+        std::ostringstream out;
+        std::vector<std::size_t> order(view.graph.num_nodes());
+        for (std::size_t i = 0; i < order.size(); ++i) {
+            order[i] = i;
+        }
+        std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+            return view.ids[a] < view.ids[b];
+        });
+        for (std::size_t i : order) {
+            out << view.ids[i] << "=" << view.graph.label(i) << "/"
+                << view.certs[i] << ";";
+        }
+        std::vector<std::string> edges;
+        for (NodeId u = 0; u < view.graph.num_nodes(); ++u) {
+            for (NodeId v : view.graph.neighbors(u)) {
+                if (view.ids[u] < view.ids[v]) {
+                    edges.push_back(view.ids[u] + "-" + view.ids[v]);
+                }
+            }
+        }
+        std::sort(edges.begin(), edges.end());
+        for (const auto& e : edges) {
+            out << e << "|";
+        }
+        return out.str();
+    }
+};
+
+/// The same canonical rendering computed centrally from the true
+/// r-neighborhood.
+std::string canonical_truth(const LabeledGraph& g, const IdentifierAssignment& id,
+                            const CertificateListAssignment& certs, NodeId u,
+                            int radius) {
+    const auto sub = g.neighborhood(u, radius);
+    std::ostringstream out;
+    std::vector<NodeId> order = sub.to_original;
+    std::sort(order.begin(), order.end(),
+              [&](NodeId a, NodeId b) { return id(a) < id(b); });
+    for (NodeId v : order) {
+        out << id(v) << "=" << g.label(v) << "/" << certs(v) << ";";
+    }
+    std::vector<std::string> edges;
+    for (NodeId a : sub.to_original) {
+        for (NodeId b : g.neighbors(a)) {
+            if (sub.from_original.count(b) != 0 && id(a) < id(b)) {
+                edges.push_back(id(a) + "-" + id(b));
+            }
+        }
+    }
+    std::sort(edges.begin(), edges.end());
+    for (const auto& e : edges) {
+        out << e << "|";
+    }
+    return out.str();
+}
+
+class GatherExactness : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(GatherExactness, ViewEqualsTrueNeighborhood) {
+    // The flooding protocol reconstructs N_r(u) exactly: same nodes, labels,
+    // certificates, and edges — for every node, graph shape, and radius.
+    Rng rng(GetParam() + 11);
+    LabeledGraph g = random_connected_graph(3 + rng.index(8), rng.index(8), rng);
+    randomize_labels(g, 1 + rng.index(3), rng);
+    const int radius = static_cast<int>(rng.index(4));
+    const CanonicalViewMachine machine(radius);
+    const auto id = make_global_ids(g);
+    std::vector<BitString> raw_certs(g.num_nodes());
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+        raw_certs[u] = encode_unsigned_width(rng.index(16), 4);
+    }
+    const auto certs = CertificateListAssignment::concatenate(
+        {CertificateAssignment(raw_certs)}, g.num_nodes());
+    const auto result = run_local(machine, g, id, certs);
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+        EXPECT_EQ(result.raw_outputs[u], canonical_truth(g, id, certs, u, radius))
+            << "node " << u << " radius " << radius;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GatherExactness, ::testing::Range(0u, 25u));
+
+class GatherUnderSmallIds : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(GatherUnderSmallIds, SmallLocalIdsSuffice) {
+    // Remark 1 meets the gather protocol: small (radius+2)-locally-unique
+    // identifiers are enough for exact reconstruction.
+    Rng rng(GetParam() + 500);
+    LabeledGraph g = random_connected_graph(6 + rng.index(10), rng.index(6), rng);
+    const int radius = 1 + static_cast<int>(rng.index(2));
+    const CanonicalViewMachine machine(radius);
+    const auto id = make_small_local_ids(g, machine.id_radius());
+    const auto certs = CertificateListAssignment::empty(g.num_nodes());
+    const auto result = run_local(machine, g, id, certs);
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+        EXPECT_EQ(result.raw_outputs[u], canonical_truth(g, id, certs, u, radius));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GatherUnderSmallIds, ::testing::Range(0u, 15u));
+
+class ReductionIsomorphismInvariance : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ReductionIsomorphismInvariance, PermutedInputsGiveIsomorphicOutputs) {
+    // Reductions compute graph functions: isomorphic inputs (with matching
+    // identifiers) yield isomorphic outputs.
+    Rng rng(GetParam() + 900);
+    LabeledGraph g = random_connected_graph(3 + rng.index(4), rng.index(3), rng, "1");
+    if (rng.chance(0.5)) {
+        g.set_label(rng.index(g.num_nodes()), "0");
+    }
+    std::vector<NodeId> perm(g.num_nodes());
+    std::iota(perm.begin(), perm.end(), 0);
+    std::shuffle(perm.begin(), perm.end(), rng.engine());
+    const LabeledGraph h = permute_graph(g, perm);
+    const auto id_g = make_global_ids(g);
+    std::vector<BitString> permuted(g.num_nodes());
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+        permuted[perm[u]] = id_g(u);
+    }
+    const IdentifierAssignment id_h{std::move(permuted)};
+
+    const AllSelectedToEulerian reduction;
+    const ReducedGraph rg = apply_reduction(reduction, g, id_g);
+    const ReducedGraph rh = apply_reduction(reduction, h, id_h);
+    EXPECT_TRUE(are_isomorphic(rg.graph, rh.graph));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReductionIsomorphismInvariance,
+                         ::testing::Range(0u, 10u));
+
+class DeterministicExecution : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(DeterministicExecution, RerunsAreBitIdentical) {
+    Rng rng(GetParam() + 1300);
+    LabeledGraph g = random_connected_graph(4 + rng.index(6), rng.index(5), rng);
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+        g.set_label(u, rng.chance(0.5) ? "1" : "0");
+    }
+    const auto id = make_global_ids(g);
+    const AllSelectedDecider machine;
+    const auto a = run_local(machine, g, id);
+    const auto b = run_local(machine, g, id);
+    EXPECT_EQ(a.outputs, b.outputs);
+    EXPECT_EQ(a.total_steps, b.total_steps);
+    EXPECT_EQ(a.total_message_bytes, b.total_message_bytes);
+    EXPECT_EQ(a.rounds, b.rounds);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DeterministicExecution, ::testing::Range(0u, 8u));
+
+class FaginFuzz : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(FaginFuzz, TwoColorableAgreementOnRandomGraphs) {
+    Rng rng(GetParam() + 1700);
+    const LabeledGraph g = random_connected_graph(3 + rng.index(2), rng.index(3),
+                                                  rng, "");
+    FaginOptions options;
+    options.max_tuples_per_variable = 16;
+    const auto report = check_fagin_agreement(paper_formulas::two_colorable(), g,
+                                              make_global_ids(g), options);
+    EXPECT_TRUE(report.agree) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FaginFuzz, ::testing::Range(0u, 8u));
+
+} // namespace
+} // namespace lph

@@ -1,0 +1,121 @@
+#include "automata/mso_words.hpp"
+#include "automata/pumping.hpp"
+#include "core/check.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lph {
+namespace {
+
+Dfa parity_dfa() {
+    Dfa dfa(2, 2, 0);
+    dfa.set_accepting(0, true);
+    dfa.set_transition(0, 0, 0);
+    dfa.set_transition(0, 1, 1);
+    dfa.set_transition(1, 0, 1);
+    dfa.set_transition(1, 1, 0);
+    return dfa;
+}
+
+/// A DFA accepting words with at least two 1s — a wrong "majority" guesser.
+Dfa at_least_two_ones_dfa() {
+    Dfa dfa(3, 2, 0);
+    dfa.set_accepting(2, true);
+    for (std::size_t q = 0; q < 3; ++q) {
+        dfa.set_transition(q, 0, q);
+        dfa.set_transition(q, 1, std::min<std::size_t>(q + 1, 2));
+    }
+    return dfa;
+}
+
+bool majority(const std::vector<std::size_t>& w) {
+    std::size_t ones = 0;
+    for (std::size_t s : w) {
+        ones += s == 1;
+    }
+    return 2 * ones >= w.size();
+}
+
+TEST(PumpDecomposition, SplitsAndPumps) {
+    const Dfa parity = parity_dfa();
+    const std::vector<std::size_t> word{1, 0, 1, 0};
+    const auto d = pump_decomposition(parity, word);
+    EXPECT_FALSE(d.y.empty());
+    EXPECT_LE(d.x.size() + d.y.size(), parity.num_states());
+    // The lemma: every pump stays accepted.
+    for (std::size_t i : {0u, 1u, 2u, 5u}) {
+        EXPECT_TRUE(parity.accepts(d.pumped(i))) << "i=" << i;
+    }
+    EXPECT_EQ(d.pumped(1), word);
+}
+
+TEST(PumpDecomposition, RequiresAcceptedLongWord) {
+    const Dfa parity = parity_dfa();
+    EXPECT_THROW(pump_decomposition(parity, {1}), precondition_error);   // rejected
+    EXPECT_THROW(pump_decomposition(parity, {}), precondition_error);    // too short
+}
+
+TEST(RefuteDfa, FindsDirectDisagreement) {
+    // Parity DFA vs the "all zeros" language: disagree on "11".
+    const auto refutation = refute_dfa_for_language(
+        parity_dfa(),
+        [](const std::vector<std::size_t>& w) {
+            for (std::size_t s : w) {
+                if (s != 0) return false;
+            }
+            return true;
+        },
+        4);
+    ASSERT_TRUE(refutation.has_value());
+    EXPECT_NE(refutation->dfa_verdict, refutation->lang_verdict);
+}
+
+TEST(RefuteDfa, NoRefutationForTheRightLanguage) {
+    const auto refutation = refute_dfa_for_language(
+        parity_dfa(),
+        [](const std::vector<std::size_t>& w) {
+            std::size_t ones = 0;
+            for (std::size_t s : w) {
+                ones += s == 1;
+            }
+            return ones % 2 == 0;
+        },
+        8);
+    EXPECT_FALSE(refutation.has_value());
+}
+
+TEST(RefuteDfa, CatchesWrongMajorityGuess) {
+    const auto refutation =
+        refute_dfa_for_language(at_least_two_ones_dfa(), majority, 6);
+    ASSERT_TRUE(refutation.has_value());
+    EXPECT_NE(refutation->dfa_verdict, refutation->lang_verdict);
+}
+
+TEST(MajorityNerode, RefutesEveryCandidate) {
+    // Any DFA is wrong about MAJORITY; the Nerode construction exhibits a
+    // witness for several shapes.
+    std::vector<Dfa> candidates;
+    candidates.push_back(parity_dfa());
+    candidates.push_back(at_least_two_ones_dfa());
+    {
+        Dfa accept_all(1, 2, 0);
+        accept_all.set_accepting(0, true);
+        accept_all.set_transition(0, 0, 0);
+        accept_all.set_transition(0, 1, 0);
+        candidates.push_back(accept_all);
+    }
+    {
+        // The MSO-compiled "some 1" automaton.
+        candidates.push_back(
+            compile_mso_to_dfa(fl::exists("x", fl::unary(1, "x"))));
+    }
+    for (const Dfa& dfa : candidates) {
+        const DfaRefutation refutation = majority_nerode_refutation(dfa);
+        EXPECT_NE(refutation.dfa_verdict, refutation.lang_verdict);
+        EXPECT_EQ(dfa.accepts(refutation.witness), refutation.dfa_verdict);
+        EXPECT_EQ(majority(refutation.witness), refutation.lang_verdict);
+    }
+}
+
+} // namespace
+} // namespace lph

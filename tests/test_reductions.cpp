@@ -1,0 +1,253 @@
+#include "core/check.hpp"
+#include "graph/generators.hpp"
+#include "graphalg/eulerian.hpp"
+#include "graphalg/hamiltonian.hpp"
+#include "reductions/classic_reductions.hpp"
+#include "reductions/verify.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lph {
+namespace {
+
+bool all_selected_oracle(const LabeledGraph& g) {
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+        if (g.label(u) != "1") {
+            return false;
+        }
+    }
+    return true;
+}
+
+/// A labeled instance: a random connected graph with either all-"1" labels
+/// or one flipped node.
+LabeledGraph make_instance(unsigned seed, bool all_selected) {
+    Rng rng(seed);
+    LabeledGraph g = random_connected_graph(2 + rng.index(5), rng.index(4), rng, "1");
+    if (!all_selected) {
+        g.set_label(rng.index(g.num_nodes()), "0");
+    }
+    return g;
+}
+
+TEST(ClusterCodec, RoundTrip) {
+    ClusterSpec spec;
+    spec.nodes.push_back({"a", "01"});
+    spec.nodes.push_back({"b", ""});
+    spec.internal_edges.emplace_back("a", "b");
+    spec.cross_edges.push_back({"a", "101", "c"});
+    const std::string text = encode_cluster(spec);
+    const ClusterSpec parsed = decode_cluster(text);
+    ASSERT_EQ(parsed.nodes.size(), 2u);
+    EXPECT_EQ(parsed.nodes[0].name, "a");
+    EXPECT_EQ(parsed.nodes[0].label, "01");
+    ASSERT_EQ(parsed.internal_edges.size(), 1u);
+    ASSERT_EQ(parsed.cross_edges.size(), 1u);
+    EXPECT_EQ(parsed.cross_edges[0].neighbor_id, "101");
+    EXPECT_EQ(parsed.cross_edges[0].remote_name, "c");
+}
+
+TEST(ClusterCodec, EmptySections) {
+    ClusterSpec spec;
+    spec.nodes.push_back({"only", "1"});
+    const ClusterSpec parsed = decode_cluster(encode_cluster(spec));
+    EXPECT_EQ(parsed.nodes.size(), 1u);
+    EXPECT_TRUE(parsed.internal_edges.empty());
+    EXPECT_TRUE(parsed.cross_edges.empty());
+}
+
+// --- Proposition 15: ALL-SELECTED -> EULERIAN. ---
+
+class EulerianReduction : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(EulerianReduction, EquivalenceAndClusterMap) {
+    for (bool all : {true, false}) {
+        const LabeledGraph g = make_instance(GetParam(), all);
+        const AllSelectedToEulerian reduction;
+        const auto check_result = check_reduction(
+            reduction, g, make_global_ids(g), all_selected_oracle,
+            [](const LabeledGraph& h) { return is_eulerian(h); });
+        EXPECT_TRUE(check_result.cluster_map_ok);
+        EXPECT_TRUE(check_result.output_connected);
+        EXPECT_EQ(check_result.source_member, all);
+        EXPECT_TRUE(check_result.equivalence_holds)
+            << "seed " << GetParam() << " all=" << all;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EulerianReduction, ::testing::Range(0u, 15u));
+
+TEST(EulerianReductionDetail, Figure7Shape) {
+    // Two nodes joined by an edge, one unselected: the reduced graph has two
+    // copies per node, four cross edges, and one vertical edge.
+    LabeledGraph g = path_graph(2, "1");
+    g.set_label(1, "0");
+    const AllSelectedToEulerian reduction;
+    const ReducedGraph reduced = apply_reduction(reduction, g, make_global_ids(g));
+    EXPECT_EQ(reduced.graph.num_nodes(), 4u);
+    EXPECT_EQ(reduced.graph.num_edges(), 5u);
+    EXPECT_FALSE(is_eulerian(reduced.graph)); // odd degrees at node 1's copies
+}
+
+TEST(EulerianReductionDetail, SingleNodeSpecialCase) {
+    const AllSelectedToEulerian reduction;
+    const LabeledGraph yes = single_node_graph("1");
+    const LabeledGraph no = single_node_graph("0");
+    EXPECT_TRUE(is_eulerian(
+        apply_reduction(reduction, yes, make_global_ids(yes)).graph));
+    EXPECT_FALSE(
+        is_eulerian(apply_reduction(reduction, no, make_global_ids(no)).graph));
+}
+
+// --- Proposition 16: ALL-SELECTED -> HAMILTONIAN. ---
+
+class HamiltonianReduction : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(HamiltonianReduction, EquivalenceAndClusterMap) {
+    for (bool all : {true, false}) {
+        const LabeledGraph g = make_instance(GetParam() + 100, all);
+        const AllSelectedToHamiltonian reduction;
+        const auto check_result = check_reduction(
+            reduction, g, make_global_ids(g), all_selected_oracle,
+            [](const LabeledGraph& h) { return is_hamiltonian(h); });
+        EXPECT_TRUE(check_result.cluster_map_ok);
+        EXPECT_TRUE(check_result.output_connected);
+        EXPECT_TRUE(check_result.equivalence_holds)
+            << "seed " << GetParam() << " all=" << all << " nodes "
+            << check_result.output_nodes;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HamiltonianReduction, ::testing::Range(0u, 12u));
+
+TEST(HamiltonianReductionDetail, PortCycleSizes) {
+    // A degree-d node becomes a cycle of max(3, 2d) port nodes (Figure 2).
+    const LabeledGraph g = star_graph(4, "1"); // hub degree 3, leaves degree 1
+    const AllSelectedToHamiltonian reduction;
+    const ReducedGraph reduced = apply_reduction(reduction, g, make_global_ids(g));
+    EXPECT_EQ(reduced.clusters[0].size(), 6u); // hub: 2*3 ports
+    EXPECT_EQ(reduced.clusters[1].size(), 3u); // leaf: 2 ports + 1 dummy
+    EXPECT_TRUE(is_hamiltonian(reduced.graph));
+}
+
+TEST(HamiltonianReductionDetail, PendantKillsHamiltonicity) {
+    LabeledGraph g = star_graph(3, "1");
+    g.set_label(2, "0");
+    const AllSelectedToHamiltonian reduction;
+    const ReducedGraph reduced = apply_reduction(reduction, g, make_global_ids(g));
+    // The "bad" pendant has degree 1.
+    bool has_degree_one = false;
+    for (NodeId w = 0; w < reduced.graph.num_nodes(); ++w) {
+        has_degree_one = has_degree_one || reduced.graph.degree(w) == 1;
+    }
+    EXPECT_TRUE(has_degree_one);
+    EXPECT_FALSE(is_hamiltonian(reduced.graph));
+}
+
+// --- Proposition 17: NOT-ALL-SELECTED -> HAMILTONIAN. ---
+
+class CoHamiltonianReduction : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(CoHamiltonianReduction, EquivalenceAndClusterMap) {
+    for (bool all : {true, false}) {
+        const LabeledGraph g = make_instance(GetParam() + 300, all);
+        if (g.num_nodes() > 3) {
+            continue; // keep the Hamiltonian search tractable (2(2d+3) nodes each)
+        }
+        const NotAllSelectedToHamiltonian reduction;
+        const auto check_result = check_reduction(
+            reduction, g, make_global_ids(g),
+            [](const LabeledGraph& h) { return !all_selected_oracle(h); },
+            [](const LabeledGraph& h) { return is_hamiltonian(h); });
+        EXPECT_TRUE(check_result.cluster_map_ok);
+        EXPECT_TRUE(check_result.output_connected);
+        EXPECT_TRUE(check_result.equivalence_holds)
+            << "seed " << GetParam() << " all=" << all;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CoHamiltonianReduction, ::testing::Range(0u, 12u));
+
+TEST(CoHamiltonianDetail, SingleNodeBothWays) {
+    const NotAllSelectedToHamiltonian reduction;
+    const LabeledGraph unselected = single_node_graph("0");
+    const LabeledGraph selected = single_node_graph("1");
+    EXPECT_TRUE(is_hamiltonian(
+        apply_reduction(reduction, unselected, make_global_ids(unselected)).graph));
+    EXPECT_FALSE(is_hamiltonian(
+        apply_reduction(reduction, selected, make_global_ids(selected)).graph));
+}
+
+TEST(CoHamiltonianDetail, DeckSizes) {
+    LabeledGraph g = path_graph(2, "1");
+    g.set_label(0, "0");
+    const NotAllSelectedToHamiltonian reduction;
+    const ReducedGraph reduced = apply_reduction(reduction, g, make_global_ids(g));
+    // Each degree-1 node: two decks of 2*1+3 = 5 nodes.
+    EXPECT_EQ(reduced.graph.num_nodes(), 20u);
+    EXPECT_TRUE(is_hamiltonian(reduced.graph));
+}
+
+TEST(ApplyReduction, RejectsDanglingCrossEdges) {
+    class BrokenReduction : public ReductionMachine {
+    public:
+        BrokenReduction() : ReductionMachine(1) {}
+        ClusterSpec build_cluster(const NeighborhoodView& view,
+                                  StepMeter&) const override {
+            ClusterSpec spec;
+            spec.nodes.push_back({"a", ""});
+            for (NodeId v : view.graph.neighbors(view.self)) {
+                spec.cross_edges.push_back({"a", view.ids[v], "nonexistent"});
+            }
+            return spec;
+        }
+    };
+    const LabeledGraph g = path_graph(2, "1");
+    EXPECT_THROW(apply_reduction(BrokenReduction{}, g, make_global_ids(g)),
+                 precondition_error);
+}
+
+} // namespace
+} // namespace lph
+
+#include "graphalg/spanning.hpp"
+#include "hierarchy/hamiltonian_game.hpp"
+
+namespace lph {
+namespace {
+
+class EulerTourWitness : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(EulerTourWitness, TreeYieldsHamiltonianCycleInReducedGraph) {
+    // The constructive half of Proposition 16: any spanning tree of an
+    // all-selected input yields an explicit Hamiltonian cycle of G' — no
+    // search involved, so this scales to hundreds of output nodes.
+    Rng rng(GetParam() + 4000);
+    const LabeledGraph g =
+        random_connected_graph(3 + rng.index(20), rng.index(12), rng, "1");
+    const auto id = make_global_ids(g);
+    const ReducedGraph reduced =
+        apply_reduction(AllSelectedToHamiltonian{}, g, id);
+    const SpanningTree tree = bfs_spanning_tree(g, rng.index(g.num_nodes()));
+    const auto cycle = hamiltonian_witness_from_tree(g, id, tree, reduced);
+    // A Hamiltonian cycle == a connected 2-regular spanning edge set.
+    EdgeSet h(cycle.begin(), cycle.end());
+    EXPECT_TRUE(all_degree_two(reduced.graph, h));
+    EXPECT_EQ(h_components(reduced.graph, h).size(), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EulerTourWitness, ::testing::Range(0u, 15u));
+
+TEST(EulerTourWitnessDetail, RejectsUnselectedInputs) {
+    LabeledGraph g = path_graph(3, "1");
+    const auto id = make_global_ids(g);
+    const SpanningTree tree = bfs_spanning_tree(g, 0);
+    g.set_label(1, "0");
+    const ReducedGraph reduced =
+        apply_reduction(AllSelectedToHamiltonian{}, g, id);
+    EXPECT_THROW(hamiltonian_witness_from_tree(g, id, tree, reduced),
+                 precondition_error);
+}
+
+} // namespace
+} // namespace lph

@@ -1,0 +1,201 @@
+#include "core/check.hpp"
+#include "graph/generators.hpp"
+#include "hierarchy/game.hpp"
+#include "automata/mso_words.hpp"
+#include "machines/regular_path.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace lph {
+namespace {
+
+Dfa parity_dfa() {
+    Dfa dfa(2, 2, 0);
+    dfa.set_accepting(0, true);
+    dfa.set_transition(0, 0, 0);
+    dfa.set_transition(0, 1, 1);
+    dfa.set_transition(1, 0, 1);
+    dfa.set_transition(1, 1, 0);
+    return dfa;
+}
+
+Dfa ends_with_one_dfa() {
+    // Not reversal-closed: tests the "either orientation" semantics.
+    Dfa dfa(2, 2, 0);
+    dfa.set_accepting(1, true);
+    dfa.set_transition(0, 0, 0);
+    dfa.set_transition(0, 1, 1);
+    dfa.set_transition(1, 0, 0);
+    dfa.set_transition(1, 1, 1);
+    return dfa;
+}
+
+bool in_language_some_orientation(const Dfa& dfa, const BitString& word) {
+    auto accepts = [&](const BitString& w) {
+        std::vector<std::size_t> symbols;
+        for (char c : w) {
+            symbols.push_back(c == '1' ? 1 : 0);
+        }
+        return dfa.accepts(symbols);
+    };
+    BitString reversed(word.rbegin(), word.rend());
+    return accepts(word) || accepts(reversed);
+}
+
+/// All certificates of the verifier's shape, as a game domain.
+class CertDomain : public CertificateDomain {
+public:
+    explicit CertDomain(const RegularPathVerifier& verifier) {
+        for (int hp = 0; hp < 2; ++hp) {
+            for (int hi = 0; hi < 2; ++hi) {
+                for (std::size_t q = 0; q < verifier.dfa().num_states(); ++q) {
+                    options_.push_back(
+                        verifier.encode_certificate(hp != 0, hi != 0, q));
+                }
+            }
+        }
+    }
+    std::vector<BitString> options(const LabeledGraph&, const IdentifierAssignment&,
+                                   NodeId) const override {
+        return options_;
+    }
+
+private:
+    std::vector<BitString> options_;
+};
+
+TEST(WordPath, RoundTrip) {
+    for (const BitString word : {"0", "1", "10", "0110", "11111"}) {
+        const LabeledGraph g = word_to_path(word);
+        EXPECT_EQ(g.num_nodes(), word.size());
+        const auto back = path_to_word(g);
+        ASSERT_TRUE(back.has_value());
+        // Reading direction may flip; accept either.
+        BitString reversed(word.rbegin(), word.rend());
+        EXPECT_TRUE(*back == word || *back == reversed) << word;
+    }
+}
+
+TEST(WordPath, RejectsNonPaths) {
+    EXPECT_FALSE(path_to_word(cycle_graph(4, "1")).has_value());
+    EXPECT_FALSE(path_to_word(star_graph(4, "1")).has_value());
+    EXPECT_FALSE(path_to_word(path_graph(3, "11")).has_value()); // 2-bit labels
+}
+
+class ExhaustiveSoundness : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ExhaustiveSoundness, GameValueEqualsRegularMembership) {
+    // All words of length <= 3, all certificates enumerated: the Sigma_1 game
+    // accepts exactly the words (in some orientation) of the language.
+    const Dfa dfa = GetParam() == 0 ? parity_dfa() : ends_with_one_dfa();
+    const RegularPathVerifier verifier(dfa);
+    const CertDomain domain(verifier);
+    for (std::size_t len = 1; len <= 3; ++len) {
+        const std::uint64_t count = std::uint64_t{1} << len;
+        for (std::uint64_t v = 0; v < count; ++v) {
+            const BitString word = encode_unsigned_width(v, static_cast<int>(len));
+            const LabeledGraph g = word_to_path(word);
+            const auto id = make_global_ids(g);
+            const bool game =
+                find_accepting_certificate(verifier, domain, g, id).has_value();
+            EXPECT_EQ(game, in_language_some_orientation(dfa, word)) << word;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dfas, ExhaustiveSoundness, ::testing::Values(0u, 1u));
+
+class StrategyCompleteness : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(StrategyCompleteness, EveWinsExactlyOnMembers) {
+    const Dfa dfa = GetParam() == 0 ? parity_dfa() : ends_with_one_dfa();
+    const RegularPathVerifier verifier(dfa);
+    for (std::size_t len = 1; len <= 8; ++len) {
+        const std::uint64_t count = std::uint64_t{1} << len;
+        for (std::uint64_t v = 0; v < count; ++v) {
+            const BitString word = encode_unsigned_width(v, static_cast<int>(len));
+            const LabeledGraph g = word_to_path(word);
+            const auto id = make_global_ids(g);
+            const auto certs = verifier.eve_certificates(g, id);
+            const bool member = in_language_some_orientation(dfa, word);
+            EXPECT_EQ(certs.has_value(), member) << word;
+            if (certs.has_value()) {
+                const auto list = CertificateListAssignment::concatenate(
+                    {*certs}, g.num_nodes());
+                EXPECT_TRUE(run_local(verifier, g, id, list).accepted) << word;
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dfas, StrategyCompleteness, ::testing::Values(0u, 1u));
+
+TEST(RegularPath, SingleNodeWord) {
+    const RegularPathVerifier verifier(ends_with_one_dfa());
+    const LabeledGraph one = word_to_path("1");
+    const LabeledGraph zero = word_to_path("0");
+    EXPECT_TRUE(verifier.eve_certificates(one, make_global_ids(one)).has_value());
+    EXPECT_FALSE(verifier.eve_certificates(zero, make_global_ids(zero)).has_value());
+}
+
+TEST(RegularPath, ConstantCertificateSize) {
+    // Certificate size is independent of the path length — the "constant
+    // certificates on bounded-degree graphs" regime of the paper.
+    const RegularPathVerifier verifier(parity_dfa());
+    for (std::size_t len : {4u, 64u, 512u}) {
+        const LabeledGraph g = word_to_path(BitString(len, '1'));
+        const auto id = make_global_ids(g);
+        const auto certs = verifier.eve_certificates(g, id);
+        if (certs.has_value()) {
+            for (NodeId u = 0; u < g.num_nodes(); ++u) {
+                EXPECT_EQ((*certs)(u).size(), 3u); // 2 flags + 1 state bit
+            }
+        }
+    }
+}
+
+TEST(RegularPath, MsoPipelineEndToEnd) {
+    // MSO sentence -> DFA (Büchi–Elgot–Trakhtenbrot) -> NLP verifier on path
+    // graphs: the full Section 9.3 positive pipeline.  "There are two
+    // consecutive 1s" is reversal-closed, so orientation is immaterial.
+    const Formula sentence = fl::exists(
+        "x", fl::exists("y", fl::conj(fl::binary(1, "x", "y"),
+                                      fl::conj(fl::unary(1, "x"),
+                                               fl::unary(1, "y")))));
+    const Dfa dfa = compile_mso_to_dfa(sentence).minimized();
+    const RegularPathVerifier verifier(dfa);
+    for (const BitString word : {"0110", "1010", "0011", "000", "11"}) {
+        const LabeledGraph g = word_to_path(word);
+        const auto id = make_global_ids(g);
+        const auto certs = verifier.eve_certificates(g, id);
+        const bool member = mso_holds_on_word(sentence, word);
+        EXPECT_EQ(certs.has_value(), member) << word;
+        if (certs.has_value()) {
+            const auto list =
+                CertificateListAssignment::concatenate({*certs}, g.num_nodes());
+            EXPECT_TRUE(run_local(verifier, g, id, list).accepted) << word;
+        }
+    }
+}
+
+TEST(RegularPath, BrokenChainRejected) {
+    // A certificate assignment whose states skip a transition is rejected.
+    const Dfa dfa = parity_dfa();
+    const RegularPathVerifier verifier(dfa);
+    const LabeledGraph g = word_to_path("11");
+    const auto id = make_global_ids(g);
+    const auto good = verifier.eve_certificates(g, id);
+    ASSERT_TRUE(good.has_value());
+    // Corrupt the second node's state.
+    auto bad = *good;
+    BitString cert = bad(1);
+    cert.back() = cert.back() == '0' ? '1' : '0';
+    bad.set(1, cert);
+    const auto list = CertificateListAssignment::concatenate({bad}, 2);
+    EXPECT_FALSE(run_local(verifier, g, id, list).accepted);
+}
+
+} // namespace
+} // namespace lph

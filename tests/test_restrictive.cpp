@@ -1,0 +1,167 @@
+#include "core/check.hpp"
+#include "graph/generators.hpp"
+#include "graphalg/coloring.hpp"
+#include "hierarchy/restrictive.hpp"
+#include "machines/verifiers.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lph {
+namespace {
+
+/// Restrictor: every node's layer-1 certificate must decode to a valid color
+/// (checks only the node's own certificate — trivially locally repairable).
+class ValidColorRestrictor : public NeighborhoodGatherMachine {
+public:
+    explicit ValidColorRestrictor(int k)
+        : NeighborhoodGatherMachine(0), verifier_(k) {}
+    std::string decide(const NeighborhoodView& view, StepMeter&) const override {
+        const auto parts = split_hash(view.certs[view.self]);
+        const std::string cert = parts.empty() ? "" : parts[0];
+        return verifier_.decode_color(cert) >= 0 ? "1" : "0";
+    }
+
+private:
+    ColoringVerifier verifier_;
+};
+
+/// A *restrictive* coloring arbiter: assumes its certificates are valid
+/// colors and only checks the properness condition (neighbors differ).
+/// Without the restrictor it would misbehave on garbage certificates.
+class TrustingColoringArbiter : public NeighborhoodGatherMachine {
+public:
+    explicit TrustingColoringArbiter(int k)
+        : NeighborhoodGatherMachine(1), verifier_(k) {}
+    std::string decide(const NeighborhoodView& view, StepMeter&) const override {
+        const auto mine_parts = split_hash(view.certs[view.self]);
+        const std::string mine = mine_parts.empty() ? "" : mine_parts[0];
+        for (NodeId v : view.graph.neighbors(view.self)) {
+            const auto their_parts = split_hash(view.certs[v]);
+            if (!their_parts.empty() && their_parts[0] == mine) {
+                return "0";
+            }
+        }
+        return "1";
+    }
+
+private:
+    ColoringVerifier verifier_;
+};
+
+TEST(Subview, ExtractsCenteredNeighborhood) {
+    NeighborhoodView view;
+    view.graph = path_graph(5, "1");
+    view.self = 0;
+    view.ids = {"000", "001", "010", "011", "100"};
+    view.certs = {"a", "b", "c", "d", "e"};
+    const NeighborhoodView sub = subview(view, 2, 1);
+    EXPECT_EQ(sub.graph.num_nodes(), 3u);
+    EXPECT_EQ(sub.ids[sub.self], "010");
+    EXPECT_EQ(sub.certs.size(), 3u);
+}
+
+TEST(TruncateCertificates, KeepsPrefixLayers) {
+    const std::vector<std::string> certs{"0#1#11", "1#0#00"};
+    const auto t1 = truncate_certificates(certs, 1);
+    EXPECT_EQ(t1[0], "0");
+    const auto t2 = truncate_certificates(certs, 2);
+    EXPECT_EQ(t2[1], "1#0");
+}
+
+class Lemma8Equivalence : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(Lemma8Equivalence, RestrictiveAndWrappedGamesAgree) {
+    // The Sigma_1 coloring game with a "valid color" restrictor over a RAW
+    // bit-string domain: the restrictive game, the Lemma 8 wrapper under the
+    // same raw (unrestricted) quantification, and plain colorability must
+    // all agree.
+    Rng rng(GetParam() + 31);
+    const LabeledGraph g =
+        random_connected_graph(3 + rng.index(2), rng.index(3), rng, "1");
+    const auto id = make_global_ids(g);
+    const int k = 2;
+
+    const TrustingColoringArbiter arbiter(k);
+    const ValidColorRestrictor restrictor(k);
+    const RawBitStringDomain raw(2); // includes garbage certificates
+
+    RestrictiveGameSpec spec;
+    spec.arbiter = &arbiter;
+    spec.layers = {&raw};
+    spec.restrictors = {&restrictor};
+    spec.starts_existential = true;
+    const GameResult restrictive = play_restrictive_game(spec, g, id);
+
+    const PermissiveWrapper wrapped(arbiter, {&restrictor}, true);
+    GameSpec permissive;
+    permissive.machine = &wrapped;
+    permissive.layers = {&raw};
+    permissive.starts_existential = true;
+    const GameResult unrestricted = play_game(permissive, g, id);
+
+    EXPECT_EQ(restrictive.accepted, unrestricted.accepted)
+        << "Lemma 8 equivalence failed, seed " << GetParam();
+    EXPECT_EQ(restrictive.accepted, is_k_colorable(g, k));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Lemma8Equivalence, ::testing::Range(0u, 8u));
+
+TEST(RestrictiveGame, UniversalLayerWithNoValidChoiceIsTrue) {
+    // A Pi_1 game whose restrictor rejects everything: the universal
+    // quantifier ranges over the empty set, so Eve wins vacuously.
+    class RejectAll : public NeighborhoodGatherMachine {
+    public:
+        RejectAll() : NeighborhoodGatherMachine(0) {}
+        std::string decide(const NeighborhoodView&, StepMeter&) const override {
+            return "0";
+        }
+    };
+    class AcceptNothing : public NeighborhoodGatherMachine {
+    public:
+        AcceptNothing() : NeighborhoodGatherMachine(0) {}
+        std::string decide(const NeighborhoodView&, StepMeter&) const override {
+            return "0";
+        }
+    };
+    const LabeledGraph g = path_graph(2, "1");
+    const auto id = make_global_ids(g);
+    const RejectAll restrictor;
+    const AcceptNothing arbiter;
+    const FixedOptionsDomain bits({"0", "1"});
+    RestrictiveGameSpec spec;
+    spec.arbiter = &arbiter;
+    spec.layers = {&bits};
+    spec.restrictors = {&restrictor};
+    spec.starts_existential = false; // Pi side
+    EXPECT_TRUE(play_restrictive_game(spec, g, id).accepted);
+    // On the Sigma side the same empty range makes Eve lose.
+    spec.starts_existential = true;
+    EXPECT_FALSE(play_restrictive_game(spec, g, id).accepted);
+}
+
+TEST(RestrictiveGame, TrivialRestrictorsMatchPlainGame) {
+    const LabeledGraph g = cycle_graph(4, "1");
+    const auto id = make_global_ids(g);
+    const ColoringVerifier verifier(2);
+    std::vector<BitString> colors;
+    for (int c = 0; c < 2; ++c) {
+        colors.push_back(verifier.encode_color(c));
+    }
+    const FixedOptionsDomain domain(colors);
+
+    RestrictiveGameSpec spec;
+    spec.arbiter = &verifier;
+    spec.layers = {&domain};
+    spec.restrictors = {nullptr};
+    spec.starts_existential = true;
+    EXPECT_TRUE(play_restrictive_game(spec, g, id).accepted);
+
+    GameSpec plain;
+    plain.machine = &verifier;
+    plain.layers = {&domain};
+    plain.starts_existential = true;
+    EXPECT_TRUE(play_game(plain, g, id).accepted);
+}
+
+} // namespace
+} // namespace lph

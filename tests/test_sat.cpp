@@ -1,0 +1,230 @@
+#include "core/check.hpp"
+#include "graph/generators.hpp"
+#include "sat/boolean_graph.hpp"
+#include "sat/cnf.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lph {
+namespace {
+
+using namespace bf;
+
+/// Brute-force satisfiability over <= 20 variables, as reference.
+bool brute_force_sat(const BoolFormula& f) {
+    const auto vars = bool_variables(f);
+    std::vector<std::string> names(vars.begin(), vars.end());
+    const std::uint64_t count = std::uint64_t{1} << names.size();
+    for (std::uint64_t mask = 0; mask < count; ++mask) {
+        Valuation v;
+        for (std::size_t i = 0; i < names.size(); ++i) {
+            v[names[i]] = (mask >> i) & 1;
+        }
+        if (eval_bool(f, v)) {
+            return true;
+        }
+    }
+    return false;
+}
+
+/// Random formula generator for property tests.
+BoolFormula random_formula(Rng& rng, int depth, int num_vars) {
+    if (depth == 0 || rng.chance(0.3)) {
+        return var("P" + std::to_string(rng.index(static_cast<std::size_t>(num_vars))));
+    }
+    switch (rng.index(6)) {
+    case 0:
+        return bnot(random_formula(rng, depth - 1, num_vars));
+    case 1:
+        return band(random_formula(rng, depth - 1, num_vars),
+                    random_formula(rng, depth - 1, num_vars));
+    case 2:
+        return bor(random_formula(rng, depth - 1, num_vars),
+                   random_formula(rng, depth - 1, num_vars));
+    case 3:
+        return bimplies(random_formula(rng, depth - 1, num_vars),
+                        random_formula(rng, depth - 1, num_vars));
+    case 4:
+        return biff(random_formula(rng, depth - 1, num_vars),
+                    random_formula(rng, depth - 1, num_vars));
+    default:
+        return rng.chance(0.5) ? truth() : falsity();
+    }
+}
+
+TEST(BoolFormula, EvalBasics) {
+    const BoolFormula f = band(var("P"), bnot(var("Q")));
+    EXPECT_TRUE(eval_bool(f, {{"P", true}, {"Q", false}}));
+    EXPECT_FALSE(eval_bool(f, {{"P", true}, {"Q", true}}));
+    EXPECT_THROW(eval_bool(f, {{"P", true}}), precondition_error);
+}
+
+TEST(BoolFormula, Variables) {
+    const BoolFormula f = biff(var("A"), bor(var("B"), var("A")));
+    EXPECT_EQ(bool_variables(f), (std::set<std::string>{"A", "B"}));
+}
+
+TEST(BoolFormula, ToStringAndParse) {
+    const BoolFormula f =
+        bimplies(band(var("P1"), bnot(var("Q"))), bor(truth(), falsity()));
+    EXPECT_EQ(bool_to_string(f), ">(&(P1,!(Q)),|(#t,#f))");
+}
+
+class LabelRoundTrip : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(LabelRoundTrip, EncodeDecode) {
+    Rng rng(GetParam());
+    const BoolFormula f = random_formula(rng, 4, 3);
+    const BitString label = encode_bool_label(f);
+    EXPECT_TRUE(is_bit_string(label));
+    const BoolFormula parsed = decode_bool_label(label);
+    EXPECT_EQ(bool_to_string(parsed), bool_to_string(f));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LabelRoundTrip, ::testing::Range(0u, 20u));
+
+TEST(LabelCodec, RejectsMalformed) {
+    EXPECT_THROW(decode_bool_label("0101"), precondition_error); // not 8-aligned
+}
+
+class TseytinEquisat : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(TseytinEquisat, PreservesSatisfiability) {
+    Rng rng(GetParam() + 100);
+    const BoolFormula f = random_formula(rng, 4, 4);
+    const Cnf cnf = tseytin_3cnf(f, "aux.");
+    EXPECT_TRUE(is_3cnf(cnf));
+    EXPECT_EQ(is_satisfiable(cnf), brute_force_sat(f));
+}
+
+TEST_P(TseytinEquisat, SatisfyingValuationsExtend) {
+    // Every satisfying valuation of f extends to one of the Tseytin CNF.
+    Rng rng(GetParam() + 500);
+    const BoolFormula f = random_formula(rng, 3, 3);
+    const Cnf cnf = tseytin_3cnf(f, "aux.");
+    const auto model = dpll(cnf);
+    if (model.has_value()) {
+        // The restriction to f's variables satisfies f.
+        Valuation restricted;
+        for (const auto& v : bool_variables(f)) {
+            restricted[v] = model->at(v);
+        }
+        EXPECT_TRUE(eval_bool(f, restricted));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TseytinEquisat, ::testing::Range(0u, 30u));
+
+class DpllVsBruteForce : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(DpllVsBruteForce, Agree) {
+    Rng rng(GetParam() + 900);
+    // Random 3-CNFs near the phase transition.
+    const int vars = 5;
+    const int clauses = 3 + static_cast<int>(rng.index(18));
+    Cnf cnf;
+    for (int c = 0; c < clauses; ++c) {
+        Clause clause;
+        for (int l = 0; l < 3; ++l) {
+            clause.push_back({"P" + std::to_string(rng.index(vars)),
+                              rng.chance(0.5)});
+        }
+        cnf.push_back(clause);
+    }
+    const auto model = dpll(cnf);
+    EXPECT_EQ(model.has_value(), brute_force_sat(cnf_to_formula(cnf)));
+    if (model.has_value()) {
+        EXPECT_TRUE(eval_cnf(cnf, *model));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DpllVsBruteForce, ::testing::Range(0u, 40u));
+
+TEST(Dpll, EmptyAndTrivial) {
+    EXPECT_TRUE(dpll({}).has_value());
+    EXPECT_FALSE(dpll({{{"P", true}}, {{"P", false}}}).has_value());
+    EXPECT_TRUE(dpll({{{"P", true}, {"P", false}}}).has_value());
+}
+
+TEST(FormulaToCnf, ParsesClauseShape) {
+    const BoolFormula f =
+        band(bor(var("A"), bnot(var("B"))), bor(var("C"), var("C")));
+    const auto cnf = formula_to_cnf(f);
+    ASSERT_TRUE(cnf.has_value());
+    EXPECT_EQ(cnf->size(), 2u);
+    EXPECT_FALSE(formula_to_cnf(bnot(band(var("A"), var("B")))).has_value());
+}
+
+// --- Boolean graphs (SAT-GRAPH semantics). ---
+
+TEST(BooleanGraph, SharedVariableForcesAgreement) {
+    // Node 0: P;  node 1: !P.  Adjacent and sharing P: unsatisfiable.
+    LabeledGraph topo = path_graph(2, "");
+    BooleanGraph bg(topo, {var("P"), bnot(var("P"))});
+    EXPECT_FALSE(is_sat_graph(bg));
+}
+
+TEST(BooleanGraph, DistinctVariablesIndependent) {
+    // Node 0: P;  node 1: !Q.  No sharing: satisfiable.
+    LabeledGraph topo = path_graph(2, "");
+    BooleanGraph bg(topo, {var("P"), bnot(var("Q"))});
+    const auto vals = find_graph_valuation(bg);
+    ASSERT_TRUE(vals.has_value());
+    EXPECT_TRUE(verify_graph_valuation(bg, *vals));
+    EXPECT_TRUE((*vals)[0].at("P"));
+    EXPECT_FALSE((*vals)[1].at("Q"));
+}
+
+TEST(BooleanGraph, NonAdjacentNodesMayDisagree) {
+    // Path 0-1-2 where ends force opposite values of P but the middle node
+    // does not mention P: SAT-GRAPH consistency is only edgewise.
+    LabeledGraph topo = path_graph(3, "");
+    BooleanGraph bg(topo, {var("P"), var("Q"), bnot(var("P"))});
+    EXPECT_TRUE(is_sat_graph(bg));
+}
+
+TEST(BooleanGraph, ChainPropagatesAgreement) {
+    // Every node mentions P: the ends' conflict now propagates.
+    LabeledGraph topo = path_graph(3, "");
+    BooleanGraph bg(topo,
+                    {var("P"), bor(var("P"), bnot(var("P"))), bnot(var("P"))});
+    EXPECT_FALSE(is_sat_graph(bg));
+}
+
+TEST(BooleanGraph, DecodeFromLabels) {
+    LabeledGraph topo = path_graph(2, "");
+    const BooleanGraph original(topo, {var("P"), band(var("P"), var("Q"))});
+    const BooleanGraph decoded = BooleanGraph::decode(original.graph());
+    EXPECT_EQ(bool_to_string(decoded.formula(1)), "&(P,Q)");
+}
+
+TEST(BooleanGraph, CnfGraphDetection) {
+    LabeledGraph topo = path_graph(2, "");
+    const BooleanGraph cnf_graph(
+        topo, {bor(var("A"), var("B")), band(bor(var("A"), bnot(var("C"))), var("D"))});
+    EXPECT_TRUE(cnf_graph.is_3cnf_graph());
+    const BooleanGraph non_cnf(topo, {bnot(band(var("A"), var("B"))), var("C")});
+    EXPECT_FALSE(non_cnf.is_3cnf_graph());
+}
+
+class RandomBooleanGraphs : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(RandomBooleanGraphs, ValuationsVerify) {
+    Rng rng(GetParam() + 77);
+    const std::size_t n = 2 + rng.index(4);
+    LabeledGraph topo = random_connected_graph(n, rng.index(3), rng);
+    std::vector<BoolFormula> formulas;
+    for (std::size_t i = 0; i < n; ++i) {
+        formulas.push_back(random_formula(rng, 3, 3));
+    }
+    const BooleanGraph bg(topo, formulas);
+    const auto vals = find_graph_valuation(bg);
+    if (vals.has_value()) {
+        EXPECT_TRUE(verify_graph_valuation(bg, *vals));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomBooleanGraphs, ::testing::Range(0u, 25u));
+
+} // namespace
+} // namespace lph

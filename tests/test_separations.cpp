@@ -1,0 +1,148 @@
+#include "core/check.hpp"
+#include "graph/generators.hpp"
+#include "hierarchy/separations.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lph {
+namespace {
+
+// --- Proposition 21: the symmetry-breaking experiment. ---
+
+class Prop21 : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(Prop21, TranscriptsMatchAcrossGluedCycles) {
+    const LocalBipartiteDecider decider(1);
+    const SymmetryExperiment result =
+        run_prop21_experiment(decider, GetParam());
+    // Ground truth: the odd cycle is not 2-colorable, the glued one is.
+    EXPECT_FALSE(result.g_bipartite);
+    EXPECT_TRUE(result.g2_bipartite);
+    // The paper's argument realized: node-for-node identical verdicts, hence
+    // identical acceptance — the machine cannot be a 2-COLORABLE decider.
+    EXPECT_TRUE(result.transcripts_match);
+    EXPECT_EQ(result.g_accepted, result.g2_accepted);
+    // This particular candidate accepts both (every local view is a path).
+    EXPECT_TRUE(result.g_accepted);
+}
+
+INSTANTIATE_TEST_SUITE_P(OddLengths, Prop21, ::testing::Values(9u, 11u, 15u, 21u));
+
+TEST(Prop21Radius, LargerRadiusDoesNotHelp) {
+    // Raising the machine's radius does not break the symmetry as long as
+    // the cycle is long enough.
+    const LocalBipartiteDecider decider(3);
+    const SymmetryExperiment result = run_prop21_experiment(decider, 15);
+    EXPECT_TRUE(result.transcripts_match);
+    EXPECT_EQ(result.g_accepted, result.g2_accepted);
+}
+
+TEST(Prop21Guard, CycleTooShortRejected) {
+    const LocalBipartiteDecider decider(3);
+    // id radius = 3 + 2 = 5; need length > 10.
+    EXPECT_THROW(run_prop21_experiment(decider, 9), precondition_error);
+}
+
+// --- Proposition 23: the two failure horns for NOT-ALL-SELECTED. ---
+
+TEST(BoundedDistance, SoundAndCompleteOnShortCycles) {
+    const BoundedDistanceVerifier verifier(4); // distances up to 15
+    for (std::size_t len : {9u, 12u, 15u}) {
+        const LabeledGraph g = one_unselected_cycle(len);
+        const auto id = make_cyclic_ids(g, len); // globally unique here
+        const auto certs = distance_certificates(g, 4);
+        ASSERT_TRUE(certs.has_value()) << len;
+        const auto list =
+            CertificateListAssignment::concatenate({*certs}, g.num_nodes());
+        EXPECT_TRUE(run_local(verifier, g, id, list).accepted) << len;
+    }
+}
+
+TEST(BoundedDistance, RejectsAllSelectedWithAnyStrategyCertificate) {
+    // Soundness: the all-selected cycle admits no accepting counter
+    // assignment at all; the strategy already has no play.
+    const LabeledGraph g = cycle_graph(9, "1");
+    EXPECT_FALSE(distance_certificates(g, 4).has_value());
+}
+
+TEST(BoundedDistance, SoundnessExhaustiveOnTinyCycle) {
+    // Exhaustively search all 1-bit counter assignments on an all-selected
+    // 9-cycle (512 plays): the verifier rejects every one of them.
+    const BoundedDistanceVerifier verifier(1);
+    const DistanceCertificateDomain domain(1);
+    const LabeledGraph g = cycle_graph(9, "1");
+    const auto id = make_cyclic_ids(g, 9);
+    EXPECT_FALSE(find_accepting_certificate(verifier, domain, g, id).has_value());
+}
+
+TEST(BoundedDistance, IncompletenessHornOnLongCycles) {
+    // With B bits, cycles longer than 2*(2^B - 1) + 1 have nodes whose true
+    // distance does not fit, and indeed no valid counter assignment exists:
+    // Eve cannot play, so the verifier rejects a yes-instance.
+    const int bits = 2; // distances up to 3
+    const SpliceExperiment result = run_prop23_splice(
+        BoundedDistanceVerifier(bits),
+        [bits](const LabeledGraph& g, const IdentifierAssignment&) {
+            return distance_certificates(g, bits);
+        },
+        /*cycle_length=*/24, /*id_period=*/12, /*window_radius=*/1);
+    EXPECT_FALSE(result.original_accepted);
+}
+
+TEST(PointerChain, CompleteOnYesInstances) {
+    const PointerChainVerifier verifier;
+    for (std::size_t len : {12u, 20u}) {
+        const LabeledGraph g = one_unselected_cycle(len);
+        const auto id = make_cyclic_ids(g, len > 12 ? 10u : 12u);
+        const auto certs = pointer_certificates(g, id);
+        ASSERT_TRUE(certs.has_value());
+        const auto list =
+            CertificateListAssignment::concatenate({*certs}, g.num_nodes());
+        EXPECT_TRUE(run_local(verifier, g, id, list).accepted) << len;
+    }
+}
+
+class Prop23Splice : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(Prop23Splice, SplicedAllSelectedCycleAccepted) {
+    // The unsoundness horn, via the paper's pigeonhole construction: the
+    // verifier accepts the yes-instance, two indistinguishable windows are
+    // found, and the spliced all-selected cycle is (wrongly) accepted.
+    const std::size_t length = GetParam();
+    const PointerChainVerifier verifier;
+    const SpliceExperiment result = run_prop23_splice(
+        verifier,
+        [](const LabeledGraph& g, const IdentifierAssignment& id) {
+            return pointer_certificates(g, id);
+        },
+        length, /*id_period=*/9, /*window_radius=*/2);
+    EXPECT_TRUE(result.original_accepted);
+    EXPECT_TRUE(result.window_pair_found);
+    EXPECT_TRUE(result.spliced_all_selected);
+    EXPECT_GE(result.spliced_length, 9u);
+    EXPECT_TRUE(result.spliced_accepted)
+        << "the bounded-certificate verifier should be fooled by the splice";
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, Prop23Splice, ::testing::Values(45u, 63u, 90u));
+
+TEST(OneUnselectedCycle, Shape) {
+    const LabeledGraph g = one_unselected_cycle(6);
+    EXPECT_EQ(g.label(0), "0");
+    for (NodeId u = 1; u < 6; ++u) {
+        EXPECT_EQ(g.label(u), "1");
+    }
+}
+
+TEST(DistanceCertificates, MultiSourceBfs) {
+    LabeledGraph g = path_graph(5, "1");
+    g.set_label(2, "0");
+    const auto certs = distance_certificates(g, 3);
+    ASSERT_TRUE(certs.has_value());
+    EXPECT_EQ(decode_unsigned((*certs)(2)), 0u);
+    EXPECT_EQ(decode_unsigned((*certs)(0)), 2u);
+    EXPECT_EQ(decode_unsigned((*certs)(4)), 2u);
+}
+
+} // namespace
+} // namespace lph

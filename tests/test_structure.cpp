@@ -1,0 +1,102 @@
+#include "graph/generators.hpp"
+#include "structure/graph_structure.hpp"
+#include "structure/structure.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lph {
+namespace {
+
+TEST(Structure, UnaryAndBinaryRelations) {
+    Structure s(3, 2, 1);
+    s.set_unary(0, 1);
+    s.add_binary(0, 0, 1);
+    s.add_binary(0, 1, 2);
+    EXPECT_TRUE(s.unary_holds(0, 1));
+    EXPECT_FALSE(s.unary_holds(0, 0));
+    EXPECT_FALSE(s.unary_holds(1, 1));
+    EXPECT_TRUE(s.binary_holds(0, 0, 1));
+    EXPECT_FALSE(s.binary_holds(0, 1, 0)); // directed
+    EXPECT_TRUE(s.connected(1, 0));        // but connectivity is symmetric
+}
+
+TEST(Structure, ConnectedToSortedUnique) {
+    Structure s(4, 0, 2);
+    s.add_binary(0, 0, 2);
+    s.add_binary(1, 2, 0); // same undirected pair via the other relation
+    s.add_binary(0, 0, 1);
+    EXPECT_EQ(s.connected_to(0), (std::vector<Element>{1, 2}));
+}
+
+TEST(Structure, Ball) {
+    // A chain 0 -> 1 -> 2 -> 3.
+    Structure s(4, 0, 1);
+    for (Element i = 0; i + 1 < 4; ++i) {
+        s.add_binary(0, i, i + 1);
+    }
+    EXPECT_EQ(s.ball(0, 0), (std::vector<Element>{0}));
+    EXPECT_EQ(s.ball(0, 2), (std::vector<Element>{0, 1, 2}));
+    EXPECT_EQ(s.ball(1, 1), (std::vector<Element>{0, 1, 2}));
+}
+
+TEST(GraphStructure, Figure4Example) {
+    // The paper's Figure 4 up to renaming: a triangle with one pendant; we
+    // use labels "1", "01", "", "1" on a small graph and check the counts.
+    LabeledGraph g;
+    const NodeId a = g.add_node("1");
+    const NodeId b = g.add_node("01");
+    const NodeId c = g.add_node("");
+    g.add_edge(a, b);
+    g.add_edge(b, c);
+
+    const GraphStructure gs(g);
+    // card($G) = 3 nodes + 3 labeling bits.
+    EXPECT_EQ(gs.cardinality(), 6u);
+
+    // O_1 holds exactly at the bits of value 1.
+    EXPECT_TRUE(gs.structure().unary_holds(0, gs.bit_element(a, 1)));
+    EXPECT_FALSE(gs.structure().unary_holds(0, gs.bit_element(b, 1)));
+    EXPECT_TRUE(gs.structure().unary_holds(0, gs.bit_element(b, 2)));
+
+    // ->_1 is the symmetric edge relation between node elements...
+    EXPECT_TRUE(gs.structure().binary_holds(0, gs.node_element(a), gs.node_element(b)));
+    EXPECT_TRUE(gs.structure().binary_holds(0, gs.node_element(b), gs.node_element(a)));
+    EXPECT_FALSE(gs.structure().binary_holds(0, gs.node_element(a), gs.node_element(c)));
+    // ...and the successor relation between consecutive bits.
+    EXPECT_TRUE(gs.structure().binary_holds(0, gs.bit_element(b, 1), gs.bit_element(b, 2)));
+    EXPECT_FALSE(gs.structure().binary_holds(0, gs.bit_element(b, 2), gs.bit_element(b, 1)));
+
+    // ->_2 points from nodes to their bits.
+    EXPECT_TRUE(gs.structure().binary_holds(1, gs.node_element(b), gs.bit_element(b, 2)));
+    EXPECT_FALSE(gs.structure().binary_holds(1, gs.node_element(a), gs.bit_element(b, 1)));
+
+    // Ownership bookkeeping.
+    EXPECT_TRUE(gs.is_node_element(gs.node_element(c)));
+    EXPECT_FALSE(gs.is_node_element(gs.bit_element(b, 1)));
+    EXPECT_EQ(gs.owner(gs.bit_element(b, 2)), b);
+    EXPECT_EQ(gs.bit_position(gs.bit_element(b, 2)), 2u);
+}
+
+TEST(GraphStructure, NeighborhoodCardinalities) {
+    // Mirror of the paper's example after Figure 4: counts of $N_r(u).
+    LabeledGraph g = cycle_graph(4, "1");
+    g.set_label(2, "11");
+    const GraphStructure gs(g);
+    EXPECT_EQ(gs.neighborhood_elements(0, 0).size(), 2u);  // node + 1 bit
+    EXPECT_EQ(gs.neighborhood_elements(0, 1).size(), 6u);  // + two labeled nbrs
+    EXPECT_EQ(gs.neighborhood_elements(0, 2).size(), 9u);  // whole graph
+    EXPECT_EQ(gs.neighborhood_elements(0, 2).size(), gs.cardinality());
+}
+
+TEST(GraphStructure, StructuralDistanceOfBits) {
+    LabeledGraph g = path_graph(2, "11");
+    const GraphStructure gs(g);
+    // Bit 2 of node 1 is 2 structural hops from node 1 via bit chain... and
+    // 1 hop via ownership (->_2 connects the node to every bit directly).
+    const auto ball1 = gs.structure().ball(gs.node_element(1), 1);
+    EXPECT_TRUE(std::find(ball1.begin(), ball1.end(), gs.bit_element(1, 2)) !=
+                ball1.end());
+}
+
+} // namespace
+} // namespace lph
