@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dtm_model.dir/bench_dtm_model.cpp.o"
+  "CMakeFiles/bench_dtm_model.dir/bench_dtm_model.cpp.o.d"
+  "bench_dtm_model"
+  "bench_dtm_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dtm_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

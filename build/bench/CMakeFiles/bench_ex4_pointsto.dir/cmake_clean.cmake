@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ex4_pointsto.dir/bench_ex4_pointsto.cpp.o"
+  "CMakeFiles/bench_ex4_pointsto.dir/bench_ex4_pointsto.cpp.o.d"
+  "bench_ex4_pointsto"
+  "bench_ex4_pointsto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ex4_pointsto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

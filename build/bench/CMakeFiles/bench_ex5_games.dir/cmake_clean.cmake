@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ex5_games.dir/bench_ex5_games.cpp.o"
+  "CMakeFiles/bench_ex5_games.dir/bench_ex5_games.cpp.o.d"
+  "bench_ex5_games"
+  "bench_ex5_games.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ex5_games.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

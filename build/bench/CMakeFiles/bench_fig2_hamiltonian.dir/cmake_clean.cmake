@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_hamiltonian.dir/bench_fig2_hamiltonian.cpp.o"
+  "CMakeFiles/bench_fig2_hamiltonian.dir/bench_fig2_hamiltonian.cpp.o.d"
+  "bench_fig2_hamiltonian"
+  "bench_fig2_hamiltonian.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_hamiltonian.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_cooklevin.dir/bench_fig3_cooklevin.cpp.o"
+  "CMakeFiles/bench_fig3_cooklevin.dir/bench_fig3_cooklevin.cpp.o.d"
+  "bench_fig3_cooklevin"
+  "bench_fig3_cooklevin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_cooklevin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

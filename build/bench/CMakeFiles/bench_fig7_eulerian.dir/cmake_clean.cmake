@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_eulerian.dir/bench_fig7_eulerian.cpp.o"
+  "CMakeFiles/bench_fig7_eulerian.dir/bench_fig7_eulerian.cpp.o.d"
+  "bench_fig7_eulerian"
+  "bench_fig7_eulerian.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_eulerian.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

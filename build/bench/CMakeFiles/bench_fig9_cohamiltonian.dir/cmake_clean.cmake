@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_cohamiltonian.dir/bench_fig9_cohamiltonian.cpp.o"
+  "CMakeFiles/bench_fig9_cohamiltonian.dir/bench_fig9_cohamiltonian.cpp.o.d"
+  "bench_fig9_cohamiltonian"
+  "bench_fig9_cohamiltonian.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_cohamiltonian.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

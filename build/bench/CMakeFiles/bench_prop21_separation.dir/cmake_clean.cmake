@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_prop21_separation.dir/bench_prop21_separation.cpp.o"
+  "CMakeFiles/bench_prop21_separation.dir/bench_prop21_separation.cpp.o.d"
+  "bench_prop21_separation"
+  "bench_prop21_separation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_prop21_separation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

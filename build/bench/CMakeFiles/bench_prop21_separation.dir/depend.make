@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_prop21_separation.
+# This may be replaced when dependencies are built.

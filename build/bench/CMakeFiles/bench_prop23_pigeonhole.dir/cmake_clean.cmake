@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_prop23_pigeonhole.dir/bench_prop23_pigeonhole.cpp.o"
+  "CMakeFiles/bench_prop23_pigeonhole.dir/bench_prop23_pigeonhole.cpp.o.d"
+  "bench_prop23_pigeonhole"
+  "bench_prop23_pigeonhole.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_prop23_pigeonhole.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

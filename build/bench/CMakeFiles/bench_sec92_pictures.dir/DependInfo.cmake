@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_sec92_pictures.cpp" "bench/CMakeFiles/bench_sec92_pictures.dir/bench_sec92_pictures.cpp.o" "gcc" "bench/CMakeFiles/bench_sec92_pictures.dir/bench_sec92_pictures.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/lph_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/lph_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/structure/CMakeFiles/lph_structure.dir/DependInfo.cmake"
+  "/root/repo/build/src/logic/CMakeFiles/lph_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/dtm/CMakeFiles/lph_dtm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sat/CMakeFiles/lph_sat.dir/DependInfo.cmake"
+  "/root/repo/build/src/graphalg/CMakeFiles/lph_graphalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/machines/CMakeFiles/lph_machines.dir/DependInfo.cmake"
+  "/root/repo/build/src/hierarchy/CMakeFiles/lph_hierarchy.dir/DependInfo.cmake"
+  "/root/repo/build/src/reductions/CMakeFiles/lph_reductions.dir/DependInfo.cmake"
+  "/root/repo/build/src/pictures/CMakeFiles/lph_pictures.dir/DependInfo.cmake"
+  "/root/repo/build/src/automata/CMakeFiles/lph_automata.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec92_pictures.dir/bench_sec92_pictures.cpp.o"
+  "CMakeFiles/bench_sec92_pictures.dir/bench_sec92_pictures.cpp.o.d"
+  "bench_sec92_pictures"
+  "bench_sec92_pictures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec92_pictures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec93_words.dir/bench_sec93_words.cpp.o"
+  "CMakeFiles/bench_sec93_words.dir/bench_sec93_words.cpp.o.d"
+  "bench_sec93_words"
+  "bench_sec93_words.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec93_words.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

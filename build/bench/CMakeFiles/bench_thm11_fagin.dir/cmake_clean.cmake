@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_thm11_fagin.dir/bench_thm11_fagin.cpp.o"
+  "CMakeFiles/bench_thm11_fagin.dir/bench_thm11_fagin.cpp.o.d"
+  "bench_thm11_fagin"
+  "bench_thm11_fagin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thm11_fagin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_thm11_fagin.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alternation_games.dir/alternation_games.cpp.o"
+  "CMakeFiles/alternation_games.dir/alternation_games.cpp.o.d"
+  "alternation_games"
+  "alternation_games.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alternation_games.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for alternation_games.
+# This may be replaced when dependencies are built.

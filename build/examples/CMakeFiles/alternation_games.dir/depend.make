@@ -1,0 +1,2 @@
+# Empty dependencies file for alternation_games.
+# This may be replaced when dependencies are built.

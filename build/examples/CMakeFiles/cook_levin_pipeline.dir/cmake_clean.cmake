@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cook_levin_pipeline.dir/cook_levin_pipeline.cpp.o"
+  "CMakeFiles/cook_levin_pipeline.dir/cook_levin_pipeline.cpp.o.d"
+  "cook_levin_pipeline"
+  "cook_levin_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cook_levin_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hierarchy_separations.dir/hierarchy_separations.cpp.o"
+  "CMakeFiles/hierarchy_separations.dir/hierarchy_separations.cpp.o.d"
+  "hierarchy_separations"
+  "hierarchy_separations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hierarchy_separations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lph_decide.dir/lph_decide.cpp.o"
+  "CMakeFiles/lph_decide.dir/lph_decide.cpp.o.d"
+  "lph_decide"
+  "lph_decide.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lph_decide.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nlp_certificates.dir/nlp_certificates.cpp.o"
+  "CMakeFiles/nlp_certificates.dir/nlp_certificates.cpp.o.d"
+  "nlp_certificates"
+  "nlp_certificates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nlp_certificates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

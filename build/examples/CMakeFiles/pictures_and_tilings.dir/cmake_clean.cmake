@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pictures_and_tilings.dir/pictures_and_tilings.cpp.o"
+  "CMakeFiles/pictures_and_tilings.dir/pictures_and_tilings.cpp.o.d"
+  "pictures_and_tilings"
+  "pictures_and_tilings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pictures_and_tilings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

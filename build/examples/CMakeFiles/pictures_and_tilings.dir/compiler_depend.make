@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for pictures_and_tilings.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reduction_gallery.dir/reduction_gallery.cpp.o"
+  "CMakeFiles/reduction_gallery.dir/reduction_gallery.cpp.o.d"
+  "reduction_gallery"
+  "reduction_gallery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reduction_gallery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

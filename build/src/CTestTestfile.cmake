@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("core")
+subdirs("graph")
+subdirs("structure")
+subdirs("logic")
+subdirs("dtm")
+subdirs("sat")
+subdirs("graphalg")
+subdirs("machines")
+subdirs("hierarchy")
+subdirs("reductions")
+subdirs("pictures")
+subdirs("automata")

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/automata/dfa.cpp" "src/automata/CMakeFiles/lph_automata.dir/dfa.cpp.o" "gcc" "src/automata/CMakeFiles/lph_automata.dir/dfa.cpp.o.d"
+  "/root/repo/src/automata/mso_words.cpp" "src/automata/CMakeFiles/lph_automata.dir/mso_words.cpp.o" "gcc" "src/automata/CMakeFiles/lph_automata.dir/mso_words.cpp.o.d"
+  "/root/repo/src/automata/pumping.cpp" "src/automata/CMakeFiles/lph_automata.dir/pumping.cpp.o" "gcc" "src/automata/CMakeFiles/lph_automata.dir/pumping.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/logic/CMakeFiles/lph_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/structure/CMakeFiles/lph_structure.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/lph_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/lph_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lph_automata.dir/dfa.cpp.o"
+  "CMakeFiles/lph_automata.dir/dfa.cpp.o.d"
+  "CMakeFiles/lph_automata.dir/mso_words.cpp.o"
+  "CMakeFiles/lph_automata.dir/mso_words.cpp.o.d"
+  "CMakeFiles/lph_automata.dir/pumping.cpp.o"
+  "CMakeFiles/lph_automata.dir/pumping.cpp.o.d"
+  "liblph_automata.a"
+  "liblph_automata.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lph_automata.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

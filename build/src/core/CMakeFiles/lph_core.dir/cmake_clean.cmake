@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lph_core.dir/bitstring.cpp.o"
+  "CMakeFiles/lph_core.dir/bitstring.cpp.o.d"
+  "liblph_core.a"
+  "liblph_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lph_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

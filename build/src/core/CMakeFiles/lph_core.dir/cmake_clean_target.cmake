@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblph_core.a"
+)

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dtm/execution.cpp" "src/dtm/CMakeFiles/lph_dtm.dir/execution.cpp.o" "gcc" "src/dtm/CMakeFiles/lph_dtm.dir/execution.cpp.o.d"
+  "/root/repo/src/dtm/gather.cpp" "src/dtm/CMakeFiles/lph_dtm.dir/gather.cpp.o" "gcc" "src/dtm/CMakeFiles/lph_dtm.dir/gather.cpp.o.d"
+  "/root/repo/src/dtm/local.cpp" "src/dtm/CMakeFiles/lph_dtm.dir/local.cpp.o" "gcc" "src/dtm/CMakeFiles/lph_dtm.dir/local.cpp.o.d"
+  "/root/repo/src/dtm/turing.cpp" "src/dtm/CMakeFiles/lph_dtm.dir/turing.cpp.o" "gcc" "src/dtm/CMakeFiles/lph_dtm.dir/turing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/lph_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/lph_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

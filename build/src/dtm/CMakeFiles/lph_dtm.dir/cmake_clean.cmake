@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lph_dtm.dir/execution.cpp.o"
+  "CMakeFiles/lph_dtm.dir/execution.cpp.o.d"
+  "CMakeFiles/lph_dtm.dir/gather.cpp.o"
+  "CMakeFiles/lph_dtm.dir/gather.cpp.o.d"
+  "CMakeFiles/lph_dtm.dir/local.cpp.o"
+  "CMakeFiles/lph_dtm.dir/local.cpp.o.d"
+  "CMakeFiles/lph_dtm.dir/turing.cpp.o"
+  "CMakeFiles/lph_dtm.dir/turing.cpp.o.d"
+  "liblph_dtm.a"
+  "liblph_dtm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lph_dtm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/certificates.cpp" "src/graph/CMakeFiles/lph_graph.dir/certificates.cpp.o" "gcc" "src/graph/CMakeFiles/lph_graph.dir/certificates.cpp.o.d"
+  "/root/repo/src/graph/generators.cpp" "src/graph/CMakeFiles/lph_graph.dir/generators.cpp.o" "gcc" "src/graph/CMakeFiles/lph_graph.dir/generators.cpp.o.d"
+  "/root/repo/src/graph/graph.cpp" "src/graph/CMakeFiles/lph_graph.dir/graph.cpp.o" "gcc" "src/graph/CMakeFiles/lph_graph.dir/graph.cpp.o.d"
+  "/root/repo/src/graph/identifiers.cpp" "src/graph/CMakeFiles/lph_graph.dir/identifiers.cpp.o" "gcc" "src/graph/CMakeFiles/lph_graph.dir/identifiers.cpp.o.d"
+  "/root/repo/src/graph/isomorphism.cpp" "src/graph/CMakeFiles/lph_graph.dir/isomorphism.cpp.o" "gcc" "src/graph/CMakeFiles/lph_graph.dir/isomorphism.cpp.o.d"
+  "/root/repo/src/graph/polynomial.cpp" "src/graph/CMakeFiles/lph_graph.dir/polynomial.cpp.o" "gcc" "src/graph/CMakeFiles/lph_graph.dir/polynomial.cpp.o.d"
+  "/root/repo/src/graph/serialize.cpp" "src/graph/CMakeFiles/lph_graph.dir/serialize.cpp.o" "gcc" "src/graph/CMakeFiles/lph_graph.dir/serialize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/lph_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

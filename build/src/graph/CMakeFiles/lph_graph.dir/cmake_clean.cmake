@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lph_graph.dir/certificates.cpp.o"
+  "CMakeFiles/lph_graph.dir/certificates.cpp.o.d"
+  "CMakeFiles/lph_graph.dir/generators.cpp.o"
+  "CMakeFiles/lph_graph.dir/generators.cpp.o.d"
+  "CMakeFiles/lph_graph.dir/graph.cpp.o"
+  "CMakeFiles/lph_graph.dir/graph.cpp.o.d"
+  "CMakeFiles/lph_graph.dir/identifiers.cpp.o"
+  "CMakeFiles/lph_graph.dir/identifiers.cpp.o.d"
+  "CMakeFiles/lph_graph.dir/isomorphism.cpp.o"
+  "CMakeFiles/lph_graph.dir/isomorphism.cpp.o.d"
+  "CMakeFiles/lph_graph.dir/polynomial.cpp.o"
+  "CMakeFiles/lph_graph.dir/polynomial.cpp.o.d"
+  "CMakeFiles/lph_graph.dir/serialize.cpp.o"
+  "CMakeFiles/lph_graph.dir/serialize.cpp.o.d"
+  "liblph_graph.a"
+  "liblph_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lph_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graphalg/coloring.cpp" "src/graphalg/CMakeFiles/lph_graphalg.dir/coloring.cpp.o" "gcc" "src/graphalg/CMakeFiles/lph_graphalg.dir/coloring.cpp.o.d"
+  "/root/repo/src/graphalg/eulerian.cpp" "src/graphalg/CMakeFiles/lph_graphalg.dir/eulerian.cpp.o" "gcc" "src/graphalg/CMakeFiles/lph_graphalg.dir/eulerian.cpp.o.d"
+  "/root/repo/src/graphalg/hamiltonian.cpp" "src/graphalg/CMakeFiles/lph_graphalg.dir/hamiltonian.cpp.o" "gcc" "src/graphalg/CMakeFiles/lph_graphalg.dir/hamiltonian.cpp.o.d"
+  "/root/repo/src/graphalg/spanning.cpp" "src/graphalg/CMakeFiles/lph_graphalg.dir/spanning.cpp.o" "gcc" "src/graphalg/CMakeFiles/lph_graphalg.dir/spanning.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/lph_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/lph_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lph_graphalg.dir/coloring.cpp.o"
+  "CMakeFiles/lph_graphalg.dir/coloring.cpp.o.d"
+  "CMakeFiles/lph_graphalg.dir/eulerian.cpp.o"
+  "CMakeFiles/lph_graphalg.dir/eulerian.cpp.o.d"
+  "CMakeFiles/lph_graphalg.dir/hamiltonian.cpp.o"
+  "CMakeFiles/lph_graphalg.dir/hamiltonian.cpp.o.d"
+  "CMakeFiles/lph_graphalg.dir/spanning.cpp.o"
+  "CMakeFiles/lph_graphalg.dir/spanning.cpp.o.d"
+  "liblph_graphalg.a"
+  "liblph_graphalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lph_graphalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

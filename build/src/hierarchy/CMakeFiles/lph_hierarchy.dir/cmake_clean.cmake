@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lph_hierarchy.dir/fagin.cpp.o"
+  "CMakeFiles/lph_hierarchy.dir/fagin.cpp.o.d"
+  "CMakeFiles/lph_hierarchy.dir/game.cpp.o"
+  "CMakeFiles/lph_hierarchy.dir/game.cpp.o.d"
+  "CMakeFiles/lph_hierarchy.dir/hamiltonian_game.cpp.o"
+  "CMakeFiles/lph_hierarchy.dir/hamiltonian_game.cpp.o.d"
+  "CMakeFiles/lph_hierarchy.dir/pointsto_game.cpp.o"
+  "CMakeFiles/lph_hierarchy.dir/pointsto_game.cpp.o.d"
+  "CMakeFiles/lph_hierarchy.dir/restrictive.cpp.o"
+  "CMakeFiles/lph_hierarchy.dir/restrictive.cpp.o.d"
+  "CMakeFiles/lph_hierarchy.dir/separations.cpp.o"
+  "CMakeFiles/lph_hierarchy.dir/separations.cpp.o.d"
+  "liblph_hierarchy.a"
+  "liblph_hierarchy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lph_hierarchy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/logic/classify.cpp" "src/logic/CMakeFiles/lph_logic.dir/classify.cpp.o" "gcc" "src/logic/CMakeFiles/lph_logic.dir/classify.cpp.o.d"
+  "/root/repo/src/logic/eval.cpp" "src/logic/CMakeFiles/lph_logic.dir/eval.cpp.o" "gcc" "src/logic/CMakeFiles/lph_logic.dir/eval.cpp.o.d"
+  "/root/repo/src/logic/examples.cpp" "src/logic/CMakeFiles/lph_logic.dir/examples.cpp.o" "gcc" "src/logic/CMakeFiles/lph_logic.dir/examples.cpp.o.d"
+  "/root/repo/src/logic/formula.cpp" "src/logic/CMakeFiles/lph_logic.dir/formula.cpp.o" "gcc" "src/logic/CMakeFiles/lph_logic.dir/formula.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/structure/CMakeFiles/lph_structure.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/lph_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/lph_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

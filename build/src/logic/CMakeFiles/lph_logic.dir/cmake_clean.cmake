@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lph_logic.dir/classify.cpp.o"
+  "CMakeFiles/lph_logic.dir/classify.cpp.o.d"
+  "CMakeFiles/lph_logic.dir/eval.cpp.o"
+  "CMakeFiles/lph_logic.dir/eval.cpp.o.d"
+  "CMakeFiles/lph_logic.dir/examples.cpp.o"
+  "CMakeFiles/lph_logic.dir/examples.cpp.o.d"
+  "CMakeFiles/lph_logic.dir/formula.cpp.o"
+  "CMakeFiles/lph_logic.dir/formula.cpp.o.d"
+  "liblph_logic.a"
+  "liblph_logic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lph_logic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/machines/deciders.cpp" "src/machines/CMakeFiles/lph_machines.dir/deciders.cpp.o" "gcc" "src/machines/CMakeFiles/lph_machines.dir/deciders.cpp.o.d"
+  "/root/repo/src/machines/formula_arbiter.cpp" "src/machines/CMakeFiles/lph_machines.dir/formula_arbiter.cpp.o" "gcc" "src/machines/CMakeFiles/lph_machines.dir/formula_arbiter.cpp.o.d"
+  "/root/repo/src/machines/lcl.cpp" "src/machines/CMakeFiles/lph_machines.dir/lcl.cpp.o" "gcc" "src/machines/CMakeFiles/lph_machines.dir/lcl.cpp.o.d"
+  "/root/repo/src/machines/regular_path.cpp" "src/machines/CMakeFiles/lph_machines.dir/regular_path.cpp.o" "gcc" "src/machines/CMakeFiles/lph_machines.dir/regular_path.cpp.o.d"
+  "/root/repo/src/machines/turing_examples.cpp" "src/machines/CMakeFiles/lph_machines.dir/turing_examples.cpp.o" "gcc" "src/machines/CMakeFiles/lph_machines.dir/turing_examples.cpp.o.d"
+  "/root/repo/src/machines/verifiers.cpp" "src/machines/CMakeFiles/lph_machines.dir/verifiers.cpp.o" "gcc" "src/machines/CMakeFiles/lph_machines.dir/verifiers.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dtm/CMakeFiles/lph_dtm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sat/CMakeFiles/lph_sat.dir/DependInfo.cmake"
+  "/root/repo/build/src/logic/CMakeFiles/lph_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/graphalg/CMakeFiles/lph_graphalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/automata/CMakeFiles/lph_automata.dir/DependInfo.cmake"
+  "/root/repo/build/src/structure/CMakeFiles/lph_structure.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/lph_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/lph_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lph_machines.dir/deciders.cpp.o"
+  "CMakeFiles/lph_machines.dir/deciders.cpp.o.d"
+  "CMakeFiles/lph_machines.dir/formula_arbiter.cpp.o"
+  "CMakeFiles/lph_machines.dir/formula_arbiter.cpp.o.d"
+  "CMakeFiles/lph_machines.dir/lcl.cpp.o"
+  "CMakeFiles/lph_machines.dir/lcl.cpp.o.d"
+  "CMakeFiles/lph_machines.dir/regular_path.cpp.o"
+  "CMakeFiles/lph_machines.dir/regular_path.cpp.o.d"
+  "CMakeFiles/lph_machines.dir/turing_examples.cpp.o"
+  "CMakeFiles/lph_machines.dir/turing_examples.cpp.o.d"
+  "CMakeFiles/lph_machines.dir/verifiers.cpp.o"
+  "CMakeFiles/lph_machines.dir/verifiers.cpp.o.d"
+  "liblph_machines.a"
+  "liblph_machines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lph_machines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

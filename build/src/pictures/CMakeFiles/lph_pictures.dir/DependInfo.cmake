@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pictures/matz.cpp" "src/pictures/CMakeFiles/lph_pictures.dir/matz.cpp.o" "gcc" "src/pictures/CMakeFiles/lph_pictures.dir/matz.cpp.o.d"
+  "/root/repo/src/pictures/mso_pictures.cpp" "src/pictures/CMakeFiles/lph_pictures.dir/mso_pictures.cpp.o" "gcc" "src/pictures/CMakeFiles/lph_pictures.dir/mso_pictures.cpp.o.d"
+  "/root/repo/src/pictures/picture.cpp" "src/pictures/CMakeFiles/lph_pictures.dir/picture.cpp.o" "gcc" "src/pictures/CMakeFiles/lph_pictures.dir/picture.cpp.o.d"
+  "/root/repo/src/pictures/tiling.cpp" "src/pictures/CMakeFiles/lph_pictures.dir/tiling.cpp.o" "gcc" "src/pictures/CMakeFiles/lph_pictures.dir/tiling.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/structure/CMakeFiles/lph_structure.dir/DependInfo.cmake"
+  "/root/repo/build/src/logic/CMakeFiles/lph_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/lph_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/lph_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lph_pictures.dir/matz.cpp.o"
+  "CMakeFiles/lph_pictures.dir/matz.cpp.o.d"
+  "CMakeFiles/lph_pictures.dir/mso_pictures.cpp.o"
+  "CMakeFiles/lph_pictures.dir/mso_pictures.cpp.o.d"
+  "CMakeFiles/lph_pictures.dir/picture.cpp.o"
+  "CMakeFiles/lph_pictures.dir/picture.cpp.o.d"
+  "CMakeFiles/lph_pictures.dir/tiling.cpp.o"
+  "CMakeFiles/lph_pictures.dir/tiling.cpp.o.d"
+  "liblph_pictures.a"
+  "liblph_pictures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lph_pictures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lph_reductions.dir/classic_reductions.cpp.o"
+  "CMakeFiles/lph_reductions.dir/classic_reductions.cpp.o.d"
+  "CMakeFiles/lph_reductions.dir/cluster.cpp.o"
+  "CMakeFiles/lph_reductions.dir/cluster.cpp.o.d"
+  "CMakeFiles/lph_reductions.dir/cook_levin.cpp.o"
+  "CMakeFiles/lph_reductions.dir/cook_levin.cpp.o.d"
+  "CMakeFiles/lph_reductions.dir/three_coloring.cpp.o"
+  "CMakeFiles/lph_reductions.dir/three_coloring.cpp.o.d"
+  "CMakeFiles/lph_reductions.dir/verify.cpp.o"
+  "CMakeFiles/lph_reductions.dir/verify.cpp.o.d"
+  "liblph_reductions.a"
+  "liblph_reductions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lph_reductions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

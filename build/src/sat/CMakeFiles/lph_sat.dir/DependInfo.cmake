@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sat/bool_formula.cpp" "src/sat/CMakeFiles/lph_sat.dir/bool_formula.cpp.o" "gcc" "src/sat/CMakeFiles/lph_sat.dir/bool_formula.cpp.o.d"
+  "/root/repo/src/sat/boolean_graph.cpp" "src/sat/CMakeFiles/lph_sat.dir/boolean_graph.cpp.o" "gcc" "src/sat/CMakeFiles/lph_sat.dir/boolean_graph.cpp.o.d"
+  "/root/repo/src/sat/cnf.cpp" "src/sat/CMakeFiles/lph_sat.dir/cnf.cpp.o" "gcc" "src/sat/CMakeFiles/lph_sat.dir/cnf.cpp.o.d"
+  "/root/repo/src/sat/coloring_sat.cpp" "src/sat/CMakeFiles/lph_sat.dir/coloring_sat.cpp.o" "gcc" "src/sat/CMakeFiles/lph_sat.dir/coloring_sat.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/lph_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/graphalg/CMakeFiles/lph_graphalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/lph_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lph_sat.dir/bool_formula.cpp.o"
+  "CMakeFiles/lph_sat.dir/bool_formula.cpp.o.d"
+  "CMakeFiles/lph_sat.dir/boolean_graph.cpp.o"
+  "CMakeFiles/lph_sat.dir/boolean_graph.cpp.o.d"
+  "CMakeFiles/lph_sat.dir/cnf.cpp.o"
+  "CMakeFiles/lph_sat.dir/cnf.cpp.o.d"
+  "CMakeFiles/lph_sat.dir/coloring_sat.cpp.o"
+  "CMakeFiles/lph_sat.dir/coloring_sat.cpp.o.d"
+  "liblph_sat.a"
+  "liblph_sat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lph_sat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

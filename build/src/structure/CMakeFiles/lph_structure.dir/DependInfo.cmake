@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/structure/graph_structure.cpp" "src/structure/CMakeFiles/lph_structure.dir/graph_structure.cpp.o" "gcc" "src/structure/CMakeFiles/lph_structure.dir/graph_structure.cpp.o.d"
+  "/root/repo/src/structure/structure.cpp" "src/structure/CMakeFiles/lph_structure.dir/structure.cpp.o" "gcc" "src/structure/CMakeFiles/lph_structure.dir/structure.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/lph_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/lph_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lph_structure.dir/graph_structure.cpp.o"
+  "CMakeFiles/lph_structure.dir/graph_structure.cpp.o.d"
+  "CMakeFiles/lph_structure.dir/structure.cpp.o"
+  "CMakeFiles/lph_structure.dir/structure.cpp.o.d"
+  "liblph_structure.a"
+  "liblph_structure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lph_structure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_certificates.dir/test_certificates.cpp.o"
+  "CMakeFiles/test_certificates.dir/test_certificates.cpp.o.d"
+  "test_certificates"
+  "test_certificates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_certificates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cook_levin.dir/test_cook_levin.cpp.o"
+  "CMakeFiles/test_cook_levin.dir/test_cook_levin.cpp.o.d"
+  "test_cook_levin"
+  "test_cook_levin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cook_levin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

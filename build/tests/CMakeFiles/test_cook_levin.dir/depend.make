@@ -1,0 +1,2 @@
+# Empty dependencies file for test_cook_levin.
+# This may be replaced when dependencies are built.

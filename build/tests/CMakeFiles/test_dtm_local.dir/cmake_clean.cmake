@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dtm_local.dir/test_dtm_local.cpp.o"
+  "CMakeFiles/test_dtm_local.dir/test_dtm_local.cpp.o.d"
+  "test_dtm_local"
+  "test_dtm_local.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dtm_local.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dtm_turing.dir/test_dtm_turing.cpp.o"
+  "CMakeFiles/test_dtm_turing.dir/test_dtm_turing.cpp.o.d"
+  "test_dtm_turing"
+  "test_dtm_turing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dtm_turing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fagin.dir/test_fagin.cpp.o"
+  "CMakeFiles/test_fagin.dir/test_fagin.cpp.o.d"
+  "test_fagin"
+  "test_fagin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fagin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_graphalg.dir/test_graphalg.cpp.o"
+  "CMakeFiles/test_graphalg.dir/test_graphalg.cpp.o.d"
+  "test_graphalg"
+  "test_graphalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_graphalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

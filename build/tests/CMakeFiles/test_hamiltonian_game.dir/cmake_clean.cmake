@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hamiltonian_game.dir/test_hamiltonian_game.cpp.o"
+  "CMakeFiles/test_hamiltonian_game.dir/test_hamiltonian_game.cpp.o.d"
+  "test_hamiltonian_game"
+  "test_hamiltonian_game.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hamiltonian_game.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

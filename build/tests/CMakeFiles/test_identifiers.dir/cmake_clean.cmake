@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_identifiers.dir/test_identifiers.cpp.o"
+  "CMakeFiles/test_identifiers.dir/test_identifiers.cpp.o.d"
+  "test_identifiers"
+  "test_identifiers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_identifiers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mso_pictures.dir/test_mso_pictures.cpp.o"
+  "CMakeFiles/test_mso_pictures.dir/test_mso_pictures.cpp.o.d"
+  "test_mso_pictures"
+  "test_mso_pictures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mso_pictures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_mso_pictures.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pictures.dir/test_pictures.cpp.o"
+  "CMakeFiles/test_pictures.dir/test_pictures.cpp.o.d"
+  "test_pictures"
+  "test_pictures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pictures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pumping.dir/test_pumping.cpp.o"
+  "CMakeFiles/test_pumping.dir/test_pumping.cpp.o.d"
+  "test_pumping"
+  "test_pumping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pumping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_regular_path.dir/test_regular_path.cpp.o"
+  "CMakeFiles/test_regular_path.dir/test_regular_path.cpp.o.d"
+  "test_regular_path"
+  "test_regular_path.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_regular_path.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_restrictive.dir/test_restrictive.cpp.o"
+  "CMakeFiles/test_restrictive.dir/test_restrictive.cpp.o.d"
+  "test_restrictive"
+  "test_restrictive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_restrictive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_restrictive.
+# This may be replaced when dependencies are built.
