@@ -6,11 +6,14 @@
 // Expected shape: both layers scale linearly in the number of nodes for this
 // O(1)-round machine; gather cost grows with the radius as view sizes grow.
 
+#include "dtm/faults.hpp"
 #include "dtm/local.hpp"
 #include "dtm/turing.hpp"
 #include "graph/generators.hpp"
 #include "machines/deciders.hpp"
 #include "machines/turing_examples.hpp"
+
+#include "bench_report.hpp"
 
 #include <benchmark/benchmark.h>
 
@@ -27,10 +30,12 @@ void BM_TuringAllSelected(benchmark::State& state) {
     for (auto _ : state) {
         const auto result = run_turing(m, g, id);
         steps = result.total_steps;
-        benchmark::DoNotOptimize(result.accepted);
+        sink(result.accepted);
     }
     state.counters["nodes"] = static_cast<double>(n);
     state.counters["tm_steps"] = static_cast<double>(steps);
+    report::guarded("BM_TuringAllSelected", "n=" + std::to_string(n),
+                    [&] { return run_turing(m, g, id); });
 }
 BENCHMARK(BM_TuringAllSelected)->Arg(8)->Arg(32)->Arg(128)->Arg(512);
 
@@ -43,10 +48,12 @@ void BM_LocalAllSelected(benchmark::State& state) {
     for (auto _ : state) {
         const auto result = run_local(m, g, id);
         steps = result.total_steps;
-        benchmark::DoNotOptimize(result.accepted);
+        sink(result.accepted);
     }
     state.counters["nodes"] = static_cast<double>(n);
     state.counters["metered_steps"] = static_cast<double>(steps);
+    report::guarded("BM_LocalAllSelected", "n=" + std::to_string(n),
+                    [&] { return run_local(m, g, id); });
 }
 BENCHMARK(BM_LocalAllSelected)->Arg(8)->Arg(32)->Arg(128)->Arg(512);
 
@@ -59,9 +66,11 @@ void BM_TuringLabelsAgree(benchmark::State& state) {
     for (auto _ : state) {
         const auto result = run_turing(m, g, id);
         bytes = result.total_message_bytes;
-        benchmark::DoNotOptimize(result.accepted);
+        sink(result.accepted);
     }
     state.counters["message_bytes"] = static_cast<double>(bytes);
+    report::guarded("BM_TuringLabelsAgree", "n=" + std::to_string(n),
+                    [&] { return run_turing(m, g, id); });
 }
 BENCHMARK(BM_TuringLabelsAgree)->Arg(8)->Arg(32)->Arg(128);
 
@@ -83,7 +92,7 @@ void BM_GatherRadius(benchmark::State& state) {
     for (auto _ : state) {
         const auto result = run_local(m, g, id);
         bytes = result.total_message_bytes;
-        benchmark::DoNotOptimize(result.rounds);
+        sink(result.rounds);
     }
     state.counters["radius"] = static_cast<double>(radius);
     state.counters["message_bytes"] = static_cast<double>(bytes);
@@ -104,11 +113,62 @@ void BM_StepTimeLocality(benchmark::State& state) {
         for (const auto& stats : result.node_stats) {
             max_round_steps = std::max(max_round_steps, stats.max_round_steps);
         }
-        benchmark::DoNotOptimize(max_round_steps);
+        sink(max_round_steps);
     }
     // This counter should be flat across graph sizes — the locality claim.
     state.counters["max_node_round_steps"] = static_cast<double>(max_round_steps);
+    report::note("BM_StepTimeLocality",
+                 "max_round_steps_n=" + std::to_string(n),
+                 max_round_steps > 0,
+                 std::to_string(max_round_steps) + " steps");
 }
 BENCHMARK(BM_StepTimeLocality)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
+
+/// Degradation under adversarial faults: the same workloads complete and
+/// report structured partial results when nodes crash, messages are mangled,
+/// and resource caps bite.  Nothing here throws — every instance lands in
+/// BENCH_bench_dtm_model.json with its error code.
+void BM_FaultedRuns(benchmark::State& state) {
+    const std::uint64_t seed = static_cast<std::uint64_t>(state.range(0));
+    const LabeledGraph g = cycle_graph(64, "1");
+    const auto id = make_global_ids(g);
+    const AllSelectedDecider m;
+
+    FaultPlan plan;
+    plan.seed = seed;
+    plan.crash_prob = 0.05;
+    plan.drop_prob = 0.1;
+    plan.corrupt_prob = 0.05;
+
+    ExecutionOptions opts;
+    opts.on_violation = FaultPolicy::Record;
+    opts.faults = &plan;
+
+    std::size_t faults_seen = 0;
+    for (auto _ : state) {
+        const auto result = run_local(m, g, id, opts);
+        faults_seen = result.faults.size();
+        sink(faults_seen);
+    }
+    state.counters["faults_recorded"] = static_cast<double>(faults_seen);
+
+    report::guarded("BM_FaultedRuns", "crash_drop_seed=" + std::to_string(seed),
+                    [&] { return run_local(m, g, id, opts); });
+
+    // A run-level violation (total message byte cap) aborts with partial
+    // results instead of throwing; the instance reports MessageOverflow.
+    ExecutionOptions capped;
+    capped.on_violation = FaultPolicy::Record;
+    capped.max_total_message_bytes = 8;
+    report::guarded("BM_FaultedRuns", "byte_cap_seed=" + std::to_string(seed),
+                    [&] { return run_local(m, g, id, capped); });
+
+    // The tape-level runner degrades the same way.
+    const TuringMachine tm = make_all_selected_turing();
+    report::guarded("BM_FaultedRuns",
+                    "turing_crash_seed=" + std::to_string(seed),
+                    [&] { return run_turing(tm, g, id, opts); });
+}
+BENCHMARK(BM_FaultedRuns)->Arg(1)->Arg(2)->Arg(3);
 
 } // namespace

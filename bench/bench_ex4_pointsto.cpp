@@ -9,6 +9,8 @@
 #include "hierarchy/hamiltonian_game.hpp"
 #include "hierarchy/pointsto_game.hpp"
 
+#include "bench_report.hpp"
+
 #include <benchmark/benchmark.h>
 
 namespace {
@@ -26,10 +28,12 @@ void BM_ConstructiveStrategy(benchmark::State& state) {
     bool wins = false;
     for (auto _ : state) {
         wins = exists_unselected_by_game(g);
-        benchmark::DoNotOptimize(wins);
+        sink(wins);
     }
     state.counters["nodes"] = static_cast<double>(n);
     state.counters["eve_wins"] = wins ? 1.0 : 0.0;
+    report::note("BM_ConstructiveStrategy", "eve_wins_n=" + std::to_string(n),
+                 wins);
 }
 BENCHMARK(BM_ConstructiveStrategy)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
 
@@ -38,13 +42,17 @@ void BM_ExhaustiveParentGame(benchmark::State& state) {
     LabeledGraph g = cycle_graph(n, "1");
     g.set_label(0, "0");
     std::uint64_t tried = 0;
+    bool eve_wins = false;
     for (auto _ : state) {
         const auto result = play_points_to_game(g, kUnselected);
         tried = result.parent_assignments_tried;
-        benchmark::DoNotOptimize(result.eve_wins);
+        eve_wins = result.eve_wins;
+        sink(result.eve_wins);
     }
     state.counters["nodes"] = static_cast<double>(n);
     state.counters["parent_assignments"] = static_cast<double>(tried);
+    report::note("BM_ExhaustiveParentGame", "eve_wins_n=" + std::to_string(n),
+                 eve_wins);
 }
 BENCHMARK(BM_ExhaustiveParentGame)->Arg(3)->Arg(4)->Arg(5)->Arg(6);
 
@@ -53,13 +61,17 @@ void BM_ExhaustiveNoInstance(benchmark::State& state) {
     const std::size_t n = static_cast<std::size_t>(state.range(0));
     const LabeledGraph g = cycle_graph(n, "1");
     std::uint64_t tried = 0;
+    bool eve_wins = true;
     for (auto _ : state) {
         const auto result = play_points_to_game(g, kUnselected);
         tried = result.parent_assignments_tried;
-        benchmark::DoNotOptimize(result.eve_wins);
+        eve_wins = result.eve_wins;
+        sink(result.eve_wins);
     }
     state.counters["nodes"] = static_cast<double>(n);
     state.counters["parent_assignments"] = static_cast<double>(tried);
+    report::note("BM_ExhaustiveNoInstance", "eve_loses_n=" + std::to_string(n),
+                 !eve_wins);
 }
 BENCHMARK(BM_ExhaustiveNoInstance)->Arg(3)->Arg(4)->Arg(5);
 
@@ -73,11 +85,13 @@ void BM_NonColorableGame(benchmark::State& state) {
         const auto result = non_three_colorable_by_game(g);
         proposals = result.adam_colorings_tried;
         value = result.non_colorable;
-        benchmark::DoNotOptimize(value);
+        sink(value);
     }
     state.counters["nodes"] = static_cast<double>(n);
     state.counters["adam_proposals"] = static_cast<double>(proposals);
     state.counters["non_colorable"] = value ? 1.0 : 0.0;
+    report::note("BM_NonColorableGame",
+                 "non_colorable_n=" + std::to_string(n), value == (n > 3));
 }
 BENCHMARK(BM_NonColorableGame)->Arg(3)->Arg(4)->Arg(5);
 
@@ -92,12 +106,15 @@ void BM_HamiltonianSigma5Game(benchmark::State& state) {
         const auto result = hamiltonian_game(g);
         wins = result.eve_wins;
         factors = result.two_factors_tried;
-        benchmark::DoNotOptimize(wins);
+        sink(wins);
     }
     state.counters["nodes"] = static_cast<double>(n);
     state.counters["eve_wins"] = wins ? 1.0 : 0.0;
     state.counters["two_factors"] = static_cast<double>(factors);
     state.counters["truth"] = is_hamiltonian(g) ? 1.0 : 0.0;
+    report::note("BM_HamiltonianSigma5Game",
+                 "oracle_agreement_n=" + std::to_string(n),
+                 wins == is_hamiltonian(g));
 }
 BENCHMARK(BM_HamiltonianSigma5Game)->Arg(4)->Arg(5)->Arg(6)->Arg(7);
 
@@ -112,11 +129,13 @@ void BM_NonHamiltonianPi4Game(benchmark::State& state) {
         const auto result = non_hamiltonian_game(g);
         wins = result.eve_wins;
         tried = result.adam_subgraphs_tried;
-        benchmark::DoNotOptimize(wins);
+        sink(wins);
     }
     state.counters["nodes"] = static_cast<double>(n);
     state.counters["eve_wins"] = wins ? 1.0 : 0.0;
     state.counters["adam_subgraphs"] = static_cast<double>(tried);
+    report::note("BM_NonHamiltonianPi4Game", "eve_wins_n=" + std::to_string(n),
+                 wins);
 }
 BENCHMARK(BM_NonHamiltonianPi4Game)->Arg(4)->Arg(8)->Arg(12);
 

@@ -8,6 +8,8 @@
 #include "hierarchy/fagin.hpp"
 #include "logic/examples.hpp"
 
+#include "bench_report.hpp"
+
 #include <benchmark/benchmark.h>
 
 namespace {
@@ -23,10 +25,12 @@ void BM_Sigma1_ThreeColorable(benchmark::State& state) {
     for (auto _ : state) {
         value = eval_sentence_on_graph(paper_formulas::three_colorable(), g,
                                        options);
-        benchmark::DoNotOptimize(value);
+        sink(value);
     }
     state.counters["nodes"] = static_cast<double>(n);
     state.counters["value"] = value ? 1.0 : 0.0;
+    report::note("BM_Sigma1_ThreeColorable", "value_n=" + std::to_string(n),
+                 value);
 }
 BENCHMARK(BM_Sigma1_ThreeColorable)->Arg(3)->Arg(4)->Arg(5)->Arg(6);
 
@@ -44,10 +48,12 @@ void BM_Sigma3_ExistsUnselected(benchmark::State& state) {
     for (auto _ : state) {
         value = eval_sentence_on_graph(paper_formulas::exists_unselected_node(), g,
                                        options);
-        benchmark::DoNotOptimize(value);
+        sink(value);
     }
     state.counters["nodes"] = static_cast<double>(n);
     state.counters["value"] = value ? 1.0 : 0.0; // always a yes-instance
+    report::note("BM_Sigma3_ExistsUnselected", "yes_n=" + std::to_string(n),
+                 value);
 }
 BENCHMARK(BM_Sigma3_ExistsUnselected)->Arg(2)->Arg(3);
 
@@ -64,10 +70,12 @@ void BM_Sigma3_AllSelectedRefuted(benchmark::State& state) {
     for (auto _ : state) {
         value = eval_sentence_on_graph(paper_formulas::exists_unselected_node(), g,
                                        options);
-        benchmark::DoNotOptimize(value);
+        sink(value);
     }
     state.counters["nodes"] = static_cast<double>(n);
     state.counters["value"] = value ? 1.0 : 0.0; // must be 0
+    report::note("BM_Sigma3_AllSelectedRefuted", "no_n=" + std::to_string(n),
+                 !value);
 }
 BENCHMARK(BM_Sigma3_AllSelectedRefuted)->Arg(2);
 
@@ -86,10 +94,12 @@ void BM_AlternationDepthSweep(benchmark::State& state) {
     bool value = false;
     for (auto _ : state) {
         value = eval_sentence_on_graph(sentence, g, options);
-        benchmark::DoNotOptimize(value);
+        sink(value);
     }
     state.counters["extra_blocks"] = static_cast<double>(extra_blocks);
     state.counters["value"] = value ? 1.0 : 0.0;
+    report::note("BM_AlternationDepthSweep",
+                 "blocks=" + std::to_string(extra_blocks), value);
 }
 BENCHMARK(BM_AlternationDepthSweep)->Arg(0)->Arg(1)->Arg(2);
 

@@ -20,6 +20,8 @@
 #include "pictures/matz.hpp"
 #include "pictures/tiling.hpp"
 
+#include "bench_report.hpp"
+
 #include <benchmark/benchmark.h>
 
 namespace {
@@ -61,11 +63,14 @@ void BM_Row_LP_vs_NLP(benchmark::State& state) {
         nlp_odd = find_accepting_certificate(nlp_verifier, domain, odd,
                                              make_global_ids(odd))
                       .has_value();
-        benchmark::DoNotOptimize(nlp_even);
+        sink(nlp_even);
     }
     state.counters["lp_transcripts_blind"] = symmetry.transcripts_match ? 1.0 : 0.0;
     state.counters["nlp_decides_even"] = nlp_even ? 1.0 : 0.0;
     state.counters["nlp_rejects_odd"] = nlp_odd ? 0.0 : 1.0;
+    report::note("BM_Row_LP_vs_NLP", "lp_transcripts_blind",
+                 symmetry.transcripts_match);
+    report::note("BM_Row_LP_vs_NLP", "nlp_separates_parity", nlp_even && !nlp_odd);
 }
 BENCHMARK(BM_Row_LP_vs_NLP);
 
@@ -88,11 +93,14 @@ void BM_Row_coLP_vs_NLP(benchmark::State& state) {
                 return distance_certificates(g, 2);
             },
             24, 12, 1);
-        benchmark::DoNotOptimize(unsound.spliced_accepted);
+        sink(unsound.spliced_accepted);
     }
     state.counters["pointer_fooled"] = unsound.spliced_accepted ? 1.0 : 0.0;
     state.counters["distance_incomplete"] =
         incomplete.original_accepted ? 0.0 : 1.0;
+    report::note("BM_Row_coLP_vs_NLP", "pointer_fooled", unsound.spliced_accepted);
+    report::note("BM_Row_coLP_vs_NLP", "distance_incomplete",
+                 !incomplete.original_accepted);
 }
 BENCHMARK(BM_Row_coLP_vs_NLP);
 
@@ -107,9 +115,16 @@ void BM_Row_LPComplete_Eulerian(benchmark::State& state) {
     bool agree = false;
     for (auto _ : state) {
         agree = run_local(decider, g, id).accepted == is_eulerian(g);
-        benchmark::DoNotOptimize(agree);
+        sink(agree);
     }
     state.counters["machine_matches_oracle"] = agree ? 1.0 : 0.0;
+    const auto guarded_run = report::guarded(
+        "BM_Row_LPComplete_Eulerian", "n=" + std::to_string(n),
+        [&] { return run_local(decider, g, id); });
+    report::note("BM_Row_LPComplete_Eulerian",
+                 "oracle_agreement_n=" + std::to_string(n),
+                 guarded_run.has_value() &&
+                     guarded_run->accepted == is_eulerian(g));
 }
 BENCHMARK(BM_Row_LPComplete_Eulerian)->Arg(32)->Arg(128);
 
@@ -124,9 +139,11 @@ void BM_Row_NLPComplete_ThreeColorable(benchmark::State& state) {
     for (auto _ : state) {
         agree = eval_sentence_on_graph(paper_formulas::three_colorable(), g,
                                        options) == is_k_colorable(g, 3);
-        benchmark::DoNotOptimize(agree);
+        sink(agree);
     }
     state.counters["formula_matches_oracle"] = agree ? 1.0 : 0.0;
+    report::note("BM_Row_NLPComplete_ThreeColorable", "formula_matches_oracle",
+                 agree);
 }
 BENCHMARK(BM_Row_NLPComplete_ThreeColorable);
 
@@ -140,11 +157,13 @@ void BM_Row_InfinitenessMachinery(benchmark::State& state) {
         level1_ok = counter.recognizes(blank_picture(3, 8)) &&
                     !counter.recognizes(blank_picture(3, 7)) &&
                     !counter.recognizes(blank_picture(3, 16));
-        benchmark::DoNotOptimize(level1_ok);
+        sink(level1_ok);
     }
     state.counters["level1_language_realized"] = level1_ok ? 1.0 : 0.0;
     state.counters["level2_width_h2"] = static_cast<double>(iterated_exp(2, 2));
     state.counters["level3_width_h1"] = static_cast<double>(iterated_exp(3, 1));
+    report::note("BM_Row_InfinitenessMachinery", "level1_language_realized",
+                 level1_ok);
 }
 BENCHMARK(BM_Row_InfinitenessMachinery);
 

@@ -10,6 +10,8 @@
 #include "reductions/classic_reductions.hpp"
 #include "reductions/verify.hpp"
 
+#include "bench_report.hpp"
+
 #include <benchmark/benchmark.h>
 
 namespace {
@@ -38,8 +40,10 @@ void BM_ReduceToHamiltonian(benchmark::State& state) {
         benchmark::DoNotOptimize(reduced.graph.num_edges());
     }
     {
-        const auto run = run_local(reduction, g, id);
-        steps = run.total_steps;
+        const auto run = report::guarded("BM_ReduceToHamiltonian",
+                                         "n=" + std::to_string(n),
+                                         [&] { return run_local(reduction, g, id); });
+        steps = run ? run->total_steps : 0;
     }
     state.counters["in_nodes"] = static_cast<double>(n);
     state.counters["out_nodes"] = static_cast<double>(out_nodes);
@@ -72,10 +76,13 @@ void BM_EquivalenceSweep(benchmark::State& state) {
                 correct += result.equivalence_holds && result.cluster_map_ok;
             }
         }
-        benchmark::DoNotOptimize(correct);
+        sink(correct);
     }
     state.counters["instances"] = static_cast<double>(checked);
     state.counters["equivalences_hold"] = static_cast<double>(correct);
+    report::note("BM_EquivalenceSweep", "equivalences_n=" + std::to_string(n),
+                 correct == checked,
+                 std::to_string(correct) + "/" + std::to_string(checked));
 }
 BENCHMARK(BM_EquivalenceSweep)->Arg(4)->Arg(6);
 
@@ -89,10 +96,12 @@ void BM_WitnessSearchOnYesInstances(benchmark::State& state) {
     bool found = false;
     for (auto _ : state) {
         found = is_hamiltonian(reduced.graph);
-        benchmark::DoNotOptimize(found);
+        sink(found);
     }
     state.counters["hamiltonian"] = found ? 1.0 : 0.0;
     state.counters["out_nodes"] = static_cast<double>(reduced.graph.num_nodes());
+    report::note("BM_WitnessSearchOnYesInstances",
+                 "witness_n=" + std::to_string(n), found);
 }
 BENCHMARK(BM_WitnessSearchOnYesInstances)->Arg(4)->Arg(6)->Arg(8);
 

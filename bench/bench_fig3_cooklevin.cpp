@@ -9,6 +9,8 @@
 #include "reductions/three_coloring.hpp"
 #include "sat/coloring_sat.hpp"
 
+#include "bench_report.hpp"
+
 #include <benchmark/benchmark.h>
 
 namespace {
@@ -28,10 +30,12 @@ void BM_Stage1_SentenceToSatGraph(benchmark::State& state) {
         for (NodeId u = 0; u < reduced.graph.num_nodes(); ++u) {
             formula_bits += reduced.graph.label(u).size();
         }
-        benchmark::DoNotOptimize(formula_bits);
+        sink(formula_bits);
     }
     state.counters["in_nodes"] = static_cast<double>(n);
     state.counters["label_bits"] = static_cast<double>(formula_bits);
+    report::guarded("BM_Stage1_SentenceToSatGraph", "n=" + std::to_string(n),
+                    [&] { return apply_reduction(reduction, g, id).graph.num_nodes(); });
 }
 BENCHMARK(BM_Stage1_SentenceToSatGraph)->Arg(2)->Arg(4)->Arg(8);
 
@@ -48,6 +52,9 @@ void BM_Stage2_Tseytin(benchmark::State& state) {
         const ReducedGraph reduced = apply_reduction(reduction, stage1.graph, id1);
         benchmark::DoNotOptimize(reduced.graph.num_nodes());
     }
+    report::guarded("BM_Stage2_Tseytin", "n=" + std::to_string(n), [&] {
+        return apply_reduction(reduction, stage1.graph, id1).graph.num_nodes();
+    });
 }
 BENCHMARK(BM_Stage2_Tseytin)->Arg(2)->Arg(4)->Arg(8);
 
@@ -66,9 +73,13 @@ void BM_Stage3_ColoringGadgets(benchmark::State& state) {
         const ReducedGraph reduced =
             apply_reduction(ThreeSatTo3Colorable{}, stage2.graph, id2);
         gadget_nodes = reduced.graph.num_nodes();
-        benchmark::DoNotOptimize(gadget_nodes);
+        sink(gadget_nodes);
     }
     state.counters["gadget_nodes"] = static_cast<double>(gadget_nodes);
+    report::guarded("BM_Stage3_ColoringGadgets", "n=" + std::to_string(n), [&] {
+        return apply_reduction(ThreeSatTo3Colorable{}, stage2.graph, id2)
+            .graph.num_nodes();
+    });
 }
 BENCHMARK(BM_Stage3_ColoringGadgets)->Arg(2)->Arg(3);
 
@@ -101,10 +112,12 @@ void BM_FullPipelineFaithfulness(benchmark::State& state) {
             ++checked;
             correct += (sat1 == yes) && (vals.has_value() == yes) && (col3 == yes);
         }
-        benchmark::DoNotOptimize(correct);
+        sink(correct);
     }
     state.counters["instances"] = static_cast<double>(checked);
     state.counters["faithful"] = static_cast<double>(correct);
+    report::note("BM_FullPipelineFaithfulness", "faithful", correct == checked,
+                 std::to_string(correct) + "/" + std::to_string(checked));
 }
 BENCHMARK(BM_FullPipelineFaithfulness);
 

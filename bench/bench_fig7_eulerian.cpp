@@ -10,6 +10,8 @@
 #include "reductions/classic_reductions.hpp"
 #include "reductions/verify.hpp"
 
+#include "bench_report.hpp"
+
 #include <benchmark/benchmark.h>
 
 namespace {
@@ -34,10 +36,13 @@ void BM_ReduceToEulerian(benchmark::State& state) {
     for (auto _ : state) {
         const ReducedGraph reduced = apply_reduction(reduction, g, id);
         out_nodes = reduced.graph.num_nodes();
-        benchmark::DoNotOptimize(out_nodes);
+        sink(out_nodes);
     }
     state.counters["in_nodes"] = static_cast<double>(n);
     state.counters["out_nodes"] = static_cast<double>(out_nodes);
+    report::guarded("BM_ReduceToEulerian", "n=" + std::to_string(n), [&] {
+        return apply_reduction(reduction, g, id).graph.num_nodes();
+    });
 }
 BENCHMARK(BM_ReduceToEulerian)->Arg(8)->Arg(32)->Arg(128)->Arg(512);
 
@@ -64,10 +69,13 @@ void BM_EquivalenceSweepLarge(benchmark::State& state) {
                 correct += result.equivalence_holds && result.cluster_map_ok;
             }
         }
-        benchmark::DoNotOptimize(correct);
+        sink(correct);
     }
     state.counters["instances"] = static_cast<double>(checked);
     state.counters["equivalences_hold"] = static_cast<double>(correct);
+    report::note("BM_EquivalenceSweepLarge",
+                 "equivalences_n=" + std::to_string(n), correct == checked,
+                 std::to_string(correct) + "/" + std::to_string(checked));
 }
 BENCHMARK(BM_EquivalenceSweepLarge)->Arg(8)->Arg(32)->Arg(96);
 
@@ -80,6 +88,8 @@ void BM_EulerianDecider(benchmark::State& state) {
         benchmark::DoNotOptimize(run_local(decider, g, id).accepted);
     }
     state.counters["nodes"] = static_cast<double>(n);
+    report::guarded("BM_EulerianDecider", "n=" + std::to_string(n),
+                    [&] { return run_local(decider, g, id); });
 }
 BENCHMARK(BM_EulerianDecider)->Arg(16)->Arg(64)->Arg(256);
 
@@ -97,9 +107,11 @@ void BM_HierholzerCrossCheck(benchmark::State& state) {
             agree += cycle.has_value() == is_eulerian(g) &&
                      (!cycle.has_value() || verify_eulerian_cycle(g, *cycle));
         }
-        benchmark::DoNotOptimize(agree);
+        sink(agree);
     }
     state.counters["agree_of_10"] = static_cast<double>(agree);
+    report::note("BM_HierholzerCrossCheck", "agree_n=" + std::to_string(n),
+                 agree == 10, std::to_string(agree) + "/10");
 }
 BENCHMARK(BM_HierholzerCrossCheck)->Arg(16)->Arg(64);
 

@@ -8,6 +8,8 @@
 #include "reductions/classic_reductions.hpp"
 #include "reductions/verify.hpp"
 
+#include "bench_report.hpp"
+
 #include <benchmark/benchmark.h>
 
 namespace {
@@ -32,10 +34,13 @@ void BM_ReduceTwoDecks(benchmark::State& state) {
     for (auto _ : state) {
         const ReducedGraph reduced = apply_reduction(reduction, g, id);
         out_nodes = reduced.graph.num_nodes();
-        benchmark::DoNotOptimize(out_nodes);
+        sink(out_nodes);
     }
     state.counters["in_nodes"] = static_cast<double>(n);
     state.counters["out_nodes"] = static_cast<double>(out_nodes);
+    report::guarded("BM_ReduceTwoDecks", "n=" + std::to_string(n), [&] {
+        return apply_reduction(reduction, g, id).graph.num_nodes();
+    });
 }
 BENCHMARK(BM_ReduceTwoDecks)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
 
@@ -63,10 +68,13 @@ void BM_EquivalenceSweep(benchmark::State& state) {
                            result.output_connected;
             }
         }
-        benchmark::DoNotOptimize(correct);
+        sink(correct);
     }
     state.counters["instances"] = static_cast<double>(checked);
     state.counters["equivalences_hold"] = static_cast<double>(correct);
+    report::note("BM_EquivalenceSweep", "equivalences_n=" + std::to_string(n),
+                 correct == checked,
+                 std::to_string(correct) + "/" + std::to_string(checked));
 }
 BENCHMARK(BM_EquivalenceSweep)->Arg(2)->Arg(3);
 
@@ -81,10 +89,12 @@ void BM_DeckSwitchWitness(benchmark::State& state) {
     bool found = false;
     for (auto _ : state) {
         found = is_hamiltonian(reduced.graph);
-        benchmark::DoNotOptimize(found);
+        sink(found);
     }
     state.counters["hamiltonian"] = found ? 1.0 : 0.0;
     state.counters["out_nodes"] = static_cast<double>(reduced.graph.num_nodes());
+    report::note("BM_DeckSwitchWitness", "witness_n=" + std::to_string(n),
+                 found);
 }
 BENCHMARK(BM_DeckSwitchWitness)->Arg(2)->Arg(3)->Arg(4);
 

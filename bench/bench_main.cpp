@@ -1,0 +1,40 @@
+// Shared main for every bench_* binary: runs Google Benchmark as usual, then
+// writes the machine-readable BENCH_<name>.json report from the instance
+// outcomes the benchmarks recorded (see bench_report.hpp).  The report is
+// written even when instances failed — partial results are the point.
+
+#include "core/report.hpp"
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+int main(int argc, char** argv) {
+    const auto start = std::chrono::steady_clock::now();
+    std::string name = argv[0];
+    const auto slash = name.find_last_of('/');
+    if (slash != std::string::npos) {
+        name.erase(0, slash + 1);
+    }
+
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+        return 1;
+    }
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+
+    const double total_ms = std::chrono::duration<double, std::milli>(
+                                std::chrono::steady_clock::now() - start)
+                                .count();
+    const std::string path = lph::report::write_report(name, total_ms);
+    if (path.empty()) {
+        std::fprintf(stderr, "warning: could not write BENCH_%s.json\n",
+                     name.c_str());
+    } else {
+        std::fprintf(stderr, "wrote %s\n", path.c_str());
+    }
+    return 0;
+}

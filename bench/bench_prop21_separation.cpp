@@ -5,6 +5,8 @@
 
 #include "hierarchy/separations.hpp"
 
+#include "bench_report.hpp"
+
 #include <benchmark/benchmark.h>
 
 namespace {
@@ -17,13 +19,17 @@ void BM_GluedCycleTranscripts(benchmark::State& state) {
     SymmetryExperiment result;
     for (auto _ : state) {
         result = run_prop21_experiment(decider, n);
-        benchmark::DoNotOptimize(result.transcripts_match);
+        sink(result.transcripts_match);
     }
     state.counters["transcripts_match"] = result.transcripts_match ? 1.0 : 0.0;
     state.counters["odd_is_bipartite"] = result.g_bipartite ? 1.0 : 0.0;
     state.counters["doubled_is_bipartite"] = result.g2_bipartite ? 1.0 : 0.0;
     state.counters["same_acceptance"] =
         result.g_accepted == result.g2_accepted ? 1.0 : 0.0;
+    report::note("BM_GluedCycleTranscripts", "blind_n=" + std::to_string(n),
+                 result.transcripts_match &&
+                     result.g_accepted == result.g2_accepted &&
+                     result.g_bipartite != result.g2_bipartite);
 }
 BENCHMARK(BM_GluedCycleTranscripts)->Arg(9)->Arg(33)->Arg(129)->Arg(513);
 
@@ -36,10 +42,12 @@ void BM_RadiusSweep(benchmark::State& state) {
     SymmetryExperiment result;
     for (auto _ : state) {
         result = run_prop21_experiment(decider, n % 2 == 1 ? n : n + 1);
-        benchmark::DoNotOptimize(result.transcripts_match);
+        sink(result.transcripts_match);
     }
     state.counters["radius"] = static_cast<double>(radius);
     state.counters["transcripts_match"] = result.transcripts_match ? 1.0 : 0.0;
+    report::note("BM_RadiusSweep", "blind_r=" + std::to_string(radius),
+                 result.transcripts_match);
 }
 BENCHMARK(BM_RadiusSweep)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 

@@ -6,6 +6,8 @@
 
 #include "hierarchy/separations.hpp"
 
+#include "bench_report.hpp"
+
 #include <benchmark/benchmark.h>
 
 namespace {
@@ -23,7 +25,7 @@ void BM_PointerSplice(benchmark::State& state) {
                 return pointer_certificates(g, id);
             },
             length, /*id_period=*/9, /*window_radius=*/2);
-        benchmark::DoNotOptimize(result.spliced_accepted);
+        sink(result.spliced_accepted);
     }
     state.counters["yes_accepted"] = result.original_accepted ? 1.0 : 0.0;
     state.counters["pair_found"] = result.window_pair_found ? 1.0 : 0.0;
@@ -32,6 +34,9 @@ void BM_PointerSplice(benchmark::State& state) {
         result.spliced_all_selected ? 1.0 : 0.0;
     state.counters["spliced_accepted_WRONGLY"] =
         result.spliced_accepted ? 1.0 : 0.0;
+    report::note("BM_PointerSplice", "fooled_len=" + std::to_string(length),
+                 result.original_accepted && result.spliced_accepted &&
+                     result.spliced_all_selected);
 }
 BENCHMARK(BM_PointerSplice)->Arg(45)->Arg(90)->Arg(180)->Arg(360)->Arg(720);
 
@@ -48,11 +53,15 @@ void BM_DistanceIncompleteness(benchmark::State& state) {
                 return distance_certificates(g, 3);
             },
             length, /*id_period=*/length, /*window_radius=*/1);
-        benchmark::DoNotOptimize(result.original_accepted);
+        sink(result.original_accepted);
     }
     state.counters["len"] = static_cast<double>(length);
     state.counters["yes_instance_accepted"] =
         result.original_accepted ? 1.0 : 0.0;
+    report::note("BM_DistanceIncompleteness",
+                 "frontier_len=" + std::to_string(length),
+                 result.original_accepted == (length <= 15),
+                 result.original_accepted ? "accepted" : "rejected");
 }
 BENCHMARK(BM_DistanceIncompleteness)->Arg(9)->Arg(12)->Arg(15)->Arg(18)->Arg(24);
 
@@ -72,11 +81,14 @@ void BM_WindowCollisionDistance(benchmark::State& state) {
                 return pointer_certificates(g, id);
             },
             length, period, /*window_radius=*/2);
-        benchmark::DoNotOptimize(result.window_pair_found);
+        sink(result.window_pair_found);
     }
     state.counters["period"] = static_cast<double>(period);
     state.counters["spliced_len"] = static_cast<double>(result.spliced_length);
     state.counters["fooled"] = result.spliced_accepted ? 1.0 : 0.0;
+    report::note("BM_WindowCollisionDistance",
+                 "pair_period=" + std::to_string(period),
+                 result.window_pair_found);
 }
 BENCHMARK(BM_WindowCollisionDistance)->Arg(9)->Arg(18)->Arg(36);
 

@@ -1,0 +1,82 @@
+#pragma once
+
+#include "core/report.hpp"
+#include "dtm/errors.hpp"
+#include "dtm/execution.hpp"
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <optional>
+#include <string>
+#include <type_traits>
+#include <utility>
+
+namespace lph {
+
+/// Keeps a computed scalar alive without handing the variable itself to the
+/// optimizer barrier.  GCC miscompiles benchmark::DoNotOptimize(Tp&) for
+/// small trivially-copyable lvalues: its "+m,r" multi-alternative constraint
+/// can read one alternative and write back the other, clobbering the
+/// variable (google/benchmark#1340).  Benches read these scalars after the
+/// loop for counters and report rows, so the barrier must only ever touch a
+/// dead copy.
+template <typename T>
+inline void sink(T value) {
+    benchmark::DoNotOptimize(value);
+}
+
+namespace report {
+
+/// Runs one bench instance under the structured failure channel: the
+/// callable is timed, every escaping error is caught and classified, and the
+/// outcome lands in the global recorder (one row per (bench, instance) key).
+/// Returns the callable's value, or nullopt when it failed — so a bench
+/// binary always runs to completion and reports partial results, even when
+/// individual instances violate bounds.
+template <typename Fn>
+auto guarded(const std::string& bench, const std::string& instance, Fn&& fn)
+    -> std::optional<std::decay_t<decltype(fn())>> {
+    using Result = std::decay_t<decltype(fn())>;
+    Instance row;
+    row.bench = bench;
+    row.instance = instance;
+    std::optional<Result> value;
+    const auto start = std::chrono::steady_clock::now();
+    try {
+        value.emplace(fn());
+        row.outcome = "ok";
+        if constexpr (std::is_same_v<Result, ExecutionResult>) {
+            row.fault_count = value->faults.size();
+            if (!value->ok()) {
+                row.outcome = to_string(value->error);
+            }
+        }
+    } catch (const run_error& e) {
+        row.outcome = to_string(e.code());
+        row.detail = e.what();
+    } catch (const std::exception& e) {
+        row.outcome = "error";
+        row.detail = e.what();
+    }
+    row.wall_ms = std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+    Recorder::global().record(std::move(row));
+    return value;
+}
+
+/// Records a pass/fail check outcome directly (for oracle-agreement style
+/// instances where there is no run to guard).
+inline void note(const std::string& bench, const std::string& instance, bool ok,
+                 const std::string& detail = "") {
+    Instance row;
+    row.bench = bench;
+    row.instance = instance;
+    row.outcome = ok ? "ok" : "check_failed";
+    row.detail = detail;
+    Recorder::global().record(std::move(row));
+}
+
+} // namespace report
+} // namespace lph

@@ -8,6 +8,8 @@
 #include "pictures/picture.hpp"
 #include "pictures/tiling.hpp"
 
+#include "bench_report.hpp"
+
 #include <benchmark/benchmark.h>
 
 namespace {
@@ -22,10 +24,12 @@ void BM_SquareRecognition(benchmark::State& state) {
     bool both_right = false;
     for (auto _ : state) {
         both_right = system.recognizes(yes) && !system.recognizes(no);
-        benchmark::DoNotOptimize(both_right);
+        sink(both_right);
     }
     state.counters["n"] = static_cast<double>(n);
     state.counters["correct"] = both_right ? 1.0 : 0.0;
+    report::note("BM_SquareRecognition", "square_n=" + std::to_string(n),
+                 both_right);
 }
 BENCHMARK(BM_SquareRecognition)->Arg(3)->Arg(6)->Arg(10)->Arg(14);
 
@@ -36,11 +40,13 @@ void BM_CounterRecognition(benchmark::State& state) {
     bool accepted = false;
     for (auto _ : state) {
         accepted = system.recognizes(yes);
-        benchmark::DoNotOptimize(accepted);
+        sink(accepted);
     }
     state.counters["height"] = static_cast<double>(m);
     state.counters["width"] = static_cast<double>(iterated_exp(1, m));
     state.counters["accepted"] = accepted ? 1.0 : 0.0;
+    report::note("BM_CounterRecognition", "counter_h=" + std::to_string(m),
+                 accepted);
 }
 BENCHMARK(BM_CounterRecognition)->Arg(1)->Arg(2)->Arg(3)->Arg(4)->Arg(5);
 
@@ -54,9 +60,12 @@ void BM_CounterRejectsNearMisses(benchmark::State& state) {
         rejected += !system.recognizes(blank_picture(m, w - 1));
         rejected += !system.recognizes(blank_picture(m, w + 1));
         rejected += !system.recognizes(blank_picture(m, 2 * w));
-        benchmark::DoNotOptimize(rejected);
+        sink(rejected);
     }
     state.counters["rejected_of_3"] = static_cast<double>(rejected);
+    report::note("BM_CounterRejectsNearMisses",
+                 "near_misses_h=" + std::to_string(m), rejected == 3,
+                 std::to_string(rejected) + "/3");
 }
 BENCHMARK(BM_CounterRejectsNearMisses)->Arg(2)->Arg(3)->Arg(4);
 
@@ -74,10 +83,12 @@ void BM_PictureGraphRoundTrip(benchmark::State& state) {
         const LabeledGraph g = picture_to_graph(p);
         const auto back = graph_to_picture(g, 1);
         ok = back.has_value() && *back == p;
-        benchmark::DoNotOptimize(ok);
+        sink(ok);
     }
     state.counters["pixels"] = static_cast<double>(n * n);
     state.counters["roundtrip_ok"] = ok ? 1.0 : 0.0;
+    report::note("BM_PictureGraphRoundTrip", "roundtrip_n=" + std::to_string(n),
+                 ok);
 }
 BENCHMARK(BM_PictureGraphRoundTrip)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
 
@@ -88,7 +99,7 @@ void BM_MatzScale(benchmark::State& state) {
     std::uint64_t width = 0;
     for (auto _ : state) {
         width = iterated_exp(level, 3);
-        benchmark::DoNotOptimize(width);
+        sink(width);
     }
     state.counters["level"] = static_cast<double>(level);
     state.counters["width_of_height3"] = static_cast<double>(width);

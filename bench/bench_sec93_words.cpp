@@ -7,6 +7,8 @@
 #include "automata/mso_words.hpp"
 #include "logic/formula.hpp"
 
+#include "bench_report.hpp"
+
 #include <benchmark/benchmark.h>
 
 namespace {
@@ -24,9 +26,11 @@ void BM_CompileSomeOne(benchmark::State& state) {
     for (auto _ : state) {
         const Dfa dfa = compile_mso_to_dfa(sentence);
         states = dfa.num_states();
-        benchmark::DoNotOptimize(states);
+        sink(states);
     }
     state.counters["dfa_states"] = static_cast<double>(states);
+    report::note("BM_CompileSomeOne", "compiles", states > 0,
+                 std::to_string(states) + " states");
 }
 BENCHMARK(BM_CompileSomeOne);
 
@@ -38,9 +42,11 @@ void BM_CompileConsecutiveOnes(benchmark::State& state) {
     for (auto _ : state) {
         const Dfa dfa = compile_mso_to_dfa(sentence);
         states = dfa.num_states();
-        benchmark::DoNotOptimize(states);
+        sink(states);
     }
     state.counters["dfa_states"] = static_cast<double>(states);
+    report::note("BM_CompileConsecutiveOnes", "compiles", states > 0,
+                 std::to_string(states) + " states");
 }
 BENCHMARK(BM_CompileConsecutiveOnes);
 
@@ -62,9 +68,11 @@ void BM_CompileParityViaSets(benchmark::State& state) {
     for (auto _ : state) {
         const Dfa dfa = compile_mso_to_dfa(sentence);
         states = dfa.num_states();
-        benchmark::DoNotOptimize(states);
+        sink(states);
     }
     state.counters["dfa_states"] = static_cast<double>(states);
+    report::note("BM_CompileParityViaSets", "compiles", states > 0,
+                 std::to_string(states) + " states");
 }
 BENCHMARK(BM_CompileParityViaSets);
 
@@ -89,10 +97,12 @@ void BM_NerodeParity(benchmark::State& state) {
     std::size_t classes = 0;
     for (auto _ : state) {
         classes = count_nerode_classes(parity_lang, len, len);
-        benchmark::DoNotOptimize(classes);
+        sink(classes);
     }
     // Flat at 2 — regular.
     state.counters["classes"] = static_cast<double>(classes);
+    report::note("BM_NerodeParity", "classes_len=" + std::to_string(len),
+                 classes == 2, std::to_string(classes) + " classes");
 }
 BENCHMARK(BM_NerodeParity)->Arg(4)->Arg(6)->Arg(8);
 
@@ -101,12 +111,14 @@ void BM_NerodeMajority(benchmark::State& state) {
     std::size_t classes = 0;
     for (auto _ : state) {
         classes = count_nerode_classes(majority, len, len);
-        benchmark::DoNotOptimize(classes);
+        sink(classes);
     }
     // Grows with the length — MAJORITY has no finite automaton, hence (by the
     // Section 9.3 argument) escapes bounded-certificate verification on
     // paths.
     state.counters["classes"] = static_cast<double>(classes);
+    report::note("BM_NerodeMajority", "classes_len=" + std::to_string(len),
+                 classes > 2, std::to_string(classes) + " classes");
 }
 BENCHMARK(BM_NerodeMajority)->Arg(4)->Arg(6)->Arg(8)->Arg(10);
 

@@ -10,6 +10,8 @@
 #include "hierarchy/fagin.hpp"
 #include "logic/examples.hpp"
 
+#include "bench_report.hpp"
+
 #include <benchmark/benchmark.h>
 
 namespace {
@@ -26,13 +28,15 @@ void BM_TwoColorableAgreement(benchmark::State& state) {
     for (auto _ : state) {
         report = check_fagin_agreement(paper_formulas::two_colorable(), g, id,
                                        options);
-        benchmark::DoNotOptimize(report.agree);
+        sink(report.agree);
     }
     state.counters["agree"] = report.agree ? 1.0 : 0.0;
     state.counters["value"] = report.formula_value ? 1.0 : 0.0;
     state.counters["truth"] = is_bipartite(g) ? 1.0 : 0.0;
     state.counters["formula_leaves"] = static_cast<double>(report.formula_leaves);
     state.counters["machine_leaves"] = static_cast<double>(report.machine_leaves);
+    lph::report::note("BM_TwoColorableAgreement", "agree_n=" + std::to_string(n),
+                      report.agree && report.formula_value == is_bipartite(g));
 }
 BENCHMARK(BM_TwoColorableAgreement)->Arg(3)->Arg(4)->Arg(5)->Arg(6);
 
@@ -45,11 +49,14 @@ void BM_ThreeColorableAgreement(benchmark::State& state) {
     for (auto _ : state) {
         report = check_fagin_agreement(paper_formulas::three_colorable(), g, id,
                                        options);
-        benchmark::DoNotOptimize(report.agree);
+        sink(report.agree);
     }
     state.counters["agree"] = report.agree ? 1.0 : 0.0;
     state.counters["value"] = report.formula_value ? 1.0 : 0.0;
     state.counters["truth"] = is_k_colorable(g, 3) ? 1.0 : 0.0;
+    lph::report::note("BM_ThreeColorableAgreement",
+                      "agree_n=" + std::to_string(n),
+                      report.agree && report.formula_value == is_k_colorable(g, 3));
 }
 BENCHMARK(BM_ThreeColorableAgreement)->Arg(3)->Arg(4);
 
@@ -66,10 +73,12 @@ void BM_FormulaSideScaling(benchmark::State& state) {
     for (auto _ : state) {
         value = eval_sentence_on_graph(paper_formulas::three_colorable(), g,
                                        options);
-        benchmark::DoNotOptimize(value);
+        sink(value);
     }
     state.counters["value"] = value ? 1.0 : 0.0;
     state.counters["truth"] = is_k_colorable(g, 3) ? 1.0 : 0.0;
+    lph::report::note("BM_FormulaSideScaling", "truth_n=" + std::to_string(n),
+                      value == is_k_colorable(g, 3));
 }
 BENCHMARK(BM_FormulaSideScaling)->Arg(4)->Arg(6)->Arg(8);
 

@@ -12,4 +12,14 @@ for b in build/bench/bench_*; do
     echo "== $b"
     "$b" --benchmark_min_time=0.01 >/dev/null
 done
+
+# Sanitizer pass: rebuild and re-run the whole test suite under
+# AddressSanitizer + UBSan (the `asan` preset).  Set LPH_SKIP_SANITIZERS=1
+# for a quick iteration loop.
+if [[ "${LPH_SKIP_SANITIZERS:-0}" != "1" ]]; then
+    cmake --preset asan
+    cmake --build build-asan
+    ctest --test-dir build-asan --output-on-failure
+fi
+
 echo "all checks passed"

@@ -1,0 +1,129 @@
+#include "core/report.hpp"
+
+#include <cstdio>
+#include <fstream>
+
+namespace lph {
+namespace report {
+
+Recorder& Recorder::global() {
+    static Recorder recorder;
+    return recorder;
+}
+
+void Recorder::record(Instance instance) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (Instance& existing : instances_) {
+        if (existing.bench == instance.bench &&
+            existing.instance == instance.instance) {
+            existing = std::move(instance);
+            return;
+        }
+    }
+    instances_.push_back(std::move(instance));
+}
+
+std::vector<Instance> Recorder::instances() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return instances_;
+}
+
+void Recorder::clear() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    instances_.clear();
+}
+
+std::string json_escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+        case '"':
+            out += "\\\"";
+            break;
+        case '\\':
+            out += "\\\\";
+            break;
+        case '\n':
+            out += "\\n";
+            break;
+        case '\r':
+            out += "\\r";
+            break;
+        case '\t':
+            out += "\\t";
+            break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out.push_back(c);
+            }
+        }
+    }
+    return out;
+}
+
+namespace {
+
+std::string number(double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.3f", value);
+    return buf;
+}
+
+} // namespace
+
+std::string render_report_json(const std::string& name,
+                               const std::vector<Instance>& instances,
+                               double total_wall_ms) {
+    std::size_t ok = 0;
+    std::size_t failed = 0;
+    for (const Instance& inst : instances) {
+        if (inst.outcome == "ok") {
+            ++ok;
+        } else {
+            ++failed;
+        }
+    }
+    std::string out;
+    out += "{\n";
+    out += "  \"bench\": \"" + json_escape(name) + "\",\n";
+    out += "  \"total_wall_ms\": " + number(total_wall_ms) + ",\n";
+    out += "  \"instance_count\": " + std::to_string(instances.size()) + ",\n";
+    out += "  \"ok_count\": " + std::to_string(ok) + ",\n";
+    out += "  \"failed_count\": " + std::to_string(failed) + ",\n";
+    out += "  \"instances\": [\n";
+    for (std::size_t i = 0; i < instances.size(); ++i) {
+        const Instance& inst = instances[i];
+        out += "    {\"bench\": \"" + json_escape(inst.bench) + "\", ";
+        out += "\"instance\": \"" + json_escape(inst.instance) + "\", ";
+        out += "\"outcome\": \"" + json_escape(inst.outcome) + "\", ";
+        out += "\"fault_count\": " + std::to_string(inst.fault_count) + ", ";
+        out += "\"wall_ms\": " + number(inst.wall_ms);
+        if (!inst.detail.empty()) {
+            out += ", \"detail\": \"" + json_escape(inst.detail) + "\"";
+        }
+        out += i + 1 < instances.size() ? "},\n" : "}\n";
+    }
+    out += "  ]\n";
+    out += "}\n";
+    return out;
+}
+
+std::string write_report(const std::string& name, double total_wall_ms,
+                         const std::string& directory) {
+    const std::string path = directory + "/BENCH_" + name + ".json";
+    std::ofstream out(path);
+    if (!out) {
+        return "";
+    }
+    out << render_report_json(name, Recorder::global().instances(), total_wall_ms);
+    return out ? path : "";
+}
+
+} // namespace report
+} // namespace lph

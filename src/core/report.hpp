@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace lph {
+namespace report {
+
+/// One recorded experiment/benchmark instance outcome.
+///
+/// `outcome` is "ok" for a clean run, a RunError identifier string (e.g.
+/// "StepBoundViolated") for a run that failed detectably, or "error" for an
+/// unclassified exception.  This is the machine-readable failure channel the
+/// bench harness writes to BENCH_<name>.json.
+struct Instance {
+    std::string bench;    ///< benchmark/experiment name
+    std::string instance; ///< instance id within the bench
+    std::string outcome;  ///< "ok" | RunError code | "error"
+    std::string detail;   ///< optional human-readable message
+    double wall_ms = 0;   ///< wall time of the recorded run
+    std::uint64_t fault_count = 0; ///< non-fatal faults recorded on the run
+};
+
+/// Process-wide instance recorder.  Re-recording the same (bench, instance)
+/// key overwrites in place, so benchmark loops can record every iteration
+/// and the report keeps one row per instance.
+class Recorder {
+public:
+    static Recorder& global();
+
+    void record(Instance instance);
+    std::vector<Instance> instances() const;
+    void clear();
+
+private:
+    mutable std::mutex mutex_;
+    std::vector<Instance> instances_;
+};
+
+/// Escapes a string for embedding in a JSON string literal.
+std::string json_escape(const std::string& s);
+
+/// Renders the report document: name, totals, and one entry per instance.
+std::string render_report_json(const std::string& name,
+                               const std::vector<Instance>& instances,
+                               double total_wall_ms);
+
+/// Writes BENCH_<name>.json into `directory` from the global recorder.
+/// Returns the path written, or "" on I/O failure (never throws).
+std::string write_report(const std::string& name, double total_wall_ms,
+                         const std::string& directory = ".");
+
+} // namespace report
+} // namespace lph

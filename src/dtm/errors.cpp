@@ -1,0 +1,71 @@
+#include "dtm/errors.hpp"
+
+namespace lph {
+
+const char* to_string(RunError code) {
+    switch (code) {
+    case RunError::None:
+        return "None";
+    case RunError::RoundBudgetExceeded:
+        return "RoundBudgetExceeded";
+    case RunError::RoundBoundViolated:
+        return "RoundBoundViolated";
+    case RunError::StepBudgetExceeded:
+        return "StepBudgetExceeded";
+    case RunError::StepBoundViolated:
+        return "StepBoundViolated";
+    case RunError::MessageOverflow:
+        return "MessageOverflow";
+    case RunError::SpaceCapExceeded:
+        return "SpaceCapExceeded";
+    case RunError::DeadlineExceeded:
+        return "DeadlineExceeded";
+    case RunError::MalformedCertificate:
+        return "MalformedCertificate";
+    case RunError::MalformedMessage:
+        return "MalformedMessage";
+    case RunError::IdentifierClash:
+        return "IdentifierClash";
+    case RunError::UndefinedTransition:
+        return "UndefinedTransition";
+    case RunError::NodeCrashed:
+        return "NodeCrashed";
+    case RunError::MessageDropped:
+        return "MessageDropped";
+    case RunError::MessageTruncated:
+        return "MessageTruncated";
+    case RunError::MessageCorrupted:
+        return "MessageCorrupted";
+    case RunError::MachineError:
+        return "MachineError";
+    }
+    return "Unknown";
+}
+
+bool is_injected_fault(RunError code) {
+    switch (code) {
+    case RunError::NodeCrashed:
+    case RunError::MessageDropped:
+    case RunError::MessageTruncated:
+    case RunError::MessageCorrupted:
+        return true;
+    default:
+        return false;
+    }
+}
+
+std::string RunFault::to_string() const {
+    std::string s = lph::to_string(code);
+    if (node != kNoNode) {
+        s += " at node " + std::to_string(node);
+    }
+    if (round > 0) {
+        s += " in round " + std::to_string(round);
+    }
+    if (!detail.empty()) {
+        s += ": " + detail;
+    }
+    return s;
+}
+
+} // namespace lph

@@ -1,0 +1,88 @@
+#pragma once
+
+#include "core/check.hpp"
+#include "graph/graph.hpp"
+
+#include <string>
+#include <vector>
+
+namespace lph {
+
+/// Structured error taxonomy for the distributed runners.
+///
+/// Every way a run can go wrong — a resource guard firing, a declared bound
+/// being violated, an injected fault, a malformed input — maps to exactly one
+/// code, so callers (the certificate-game engine, the bench harness) can
+/// react to *what* failed instead of parsing exception text.  The paper's
+/// theorems quantify adversarially over identifier assignments and Adam's
+/// certificates; these codes are how the simulator reports that an adversary
+/// stepped outside the model.
+enum class RunError {
+    None = 0,
+    RoundBudgetExceeded,  ///< ExecutionOptions::max_rounds guard fired
+    RoundBoundViolated,   ///< machine exceeded its declared round_bound()
+    StepBudgetExceeded,   ///< ExecutionOptions::max_steps_per_round guard fired
+    StepBoundViolated,    ///< machine exceeded its declared step_bound()
+    MessageOverflow,      ///< more messages than neighbors, or byte cap hit
+    SpaceCapExceeded,     ///< per-node space cap hit
+    DeadlineExceeded,     ///< wall-clock deadline hit
+    MalformedCertificate, ///< certificate list outside the {0,1,#} alphabet
+    MalformedMessage,     ///< tape-level message is not a bit string
+    IdentifierClash,      ///< ids not locally unique at the machine's radius
+    UndefinedTransition,  ///< tape-level delta undefined (delta must be total)
+    NodeCrashed,          ///< injected crash-stop fault
+    MessageDropped,       ///< injected message loss
+    MessageTruncated,     ///< injected message truncation
+    MessageCorrupted,     ///< injected message corruption
+    MachineError,         ///< the local computation threw an exception
+};
+
+/// Stable identifier string for a code (e.g. "StepBoundViolated").
+const char* to_string(RunError code);
+
+/// Sentinel for faults not attributable to a single node.
+constexpr NodeId kNoNode = static_cast<NodeId>(-1);
+
+/// One recorded fault: what happened, where, and when.
+struct RunFault {
+    RunError code = RunError::None;
+    NodeId node = kNoNode; ///< offending node; kNoNode for run-level faults
+    int round = 0;         ///< 1-based round; 0 for pre-run validation
+    bool fatal = false;    ///< true when the run aborted because of this fault
+    std::string detail;
+
+    std::string to_string() const;
+};
+
+/// Thrown by the runners under FaultPolicy::Throw.  Derives from
+/// precondition_error so pre-existing call sites that catch the generic
+/// contract violation keep working, while new code can read the code().
+class run_error : public precondition_error {
+public:
+    explicit run_error(RunFault fault)
+        : precondition_error(fault.to_string()), fault_(std::move(fault)) {}
+
+    const RunFault& fault() const { return fault_; }
+    RunError code() const { return fault_.code; }
+
+private:
+    RunFault fault_;
+};
+
+/// What a runner does when a guard or declared bound is violated.
+enum class FaultPolicy {
+    /// Raise run_error (the pre-robustness behavior; default).
+    Throw,
+    /// Record the fault on the ExecutionResult and degrade gracefully:
+    /// per-node violations crash-stop the offending node, run-level
+    /// violations abort the run with partial results.
+    Record,
+    /// Like Record, but clamp over-budget quantities (messages, state)
+    /// instead of crashing the offending node, where that is meaningful.
+    Truncate,
+};
+
+/// True for the codes produced by fault injection rather than by a guard.
+bool is_injected_fault(RunError code);
+
+} // namespace lph

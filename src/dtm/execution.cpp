@@ -19,4 +19,29 @@ std::string filter_to_bits(const std::string& s) {
     return bits;
 }
 
+bool ExecutionResult::has_fault(RunError code) const {
+    return std::any_of(faults.begin(), faults.end(),
+                       [&](const RunFault& f) { return f.code == code; });
+}
+
+std::size_t ExecutionResult::fault_count(RunError code) const {
+    return static_cast<std::size_t>(
+        std::count_if(faults.begin(), faults.end(),
+                      [&](const RunFault& f) { return f.code == code; }));
+}
+
+void report_violation(ExecutionResult& result, FaultPolicy policy, RunFault fault,
+                      bool fatal) {
+    if (policy == FaultPolicy::Throw) {
+        fault.fatal = true;
+        throw run_error(std::move(fault));
+    }
+    fault.fatal = fatal;
+    if (fatal && result.error == RunError::None) {
+        result.error = fault.code;
+        result.completed = false;
+    }
+    result.faults.push_back(std::move(fault));
+}
+
 } // namespace lph

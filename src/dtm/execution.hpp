@@ -1,6 +1,7 @@
 #pragma once
 
 #include "core/bitstring.hpp"
+#include "dtm/errors.hpp"
 #include "graph/graph.hpp"
 
 #include <cstdint>
@@ -8,6 +9,8 @@
 #include <vector>
 
 namespace lph {
+
+struct FaultPlan;
 
 /// Per-node resource usage over one execution.
 struct NodeStats {
@@ -27,15 +30,39 @@ struct ExecutionResult {
     /// transformations read their cluster encodings from here (Section 8).
     std::vector<std::string> raw_outputs;
 
-    /// Acceptance by unanimity: every node's output is exactly "1".
+    /// Acceptance by unanimity: every node's output is exactly "1".  A run
+    /// that aborted on a fatal fault never accepts.
     bool accepted = false;
 
-    /// Rounds until all nodes reached the stop state.
+    /// Rounds until all nodes reached the stop state (or the run aborted).
     int rounds = 0;
 
     std::vector<NodeStats> node_stats;
     std::uint64_t total_steps = 0;
     std::uint64_t total_message_bytes = 0;
+
+    /// The fatal fault that aborted the run, RunError::None when the run
+    /// completed.  Per-node degradations (a crashed or bound-violating node
+    /// under FaultPolicy::Record) do not abort the run; they appear only in
+    /// `faults` below.
+    RunError error = RunError::None;
+
+    /// Everything recorded along the way: injected faults and guard
+    /// violations, in the order they occurred.
+    std::vector<RunFault> faults;
+
+    /// False when the run aborted early on a fatal fault (outputs then hold
+    /// partial results: unset verdicts are empty).
+    bool completed = true;
+
+    /// True when no fatal fault aborted the run.
+    bool ok() const { return error == RunError::None; }
+
+    /// True when some recorded fault carries the given code.
+    bool has_fault(RunError code) const;
+
+    /// Number of recorded faults with the given code.
+    std::size_t fault_count(RunError code) const;
 
     /// Individual verdict of node u ("u accepts" iff output is "1").
     bool node_accepts(NodeId u) const { return outputs.at(u) == "1"; }
@@ -50,9 +77,29 @@ struct ExecutionOptions {
     std::uint64_t max_steps_per_round = 50'000'000;
 
     /// When true, runners verify the machine's declared round and step bounds
-    /// and throw on violation (this is what makes a machine
+    /// and report violations (this is what makes a machine
     /// "local-polynomial" in the paper's sense).
     bool enforce_declared_bounds = true;
+
+    /// How violations are surfaced: thrown as run_error (Throw, default) or
+    /// recorded on the ExecutionResult with graceful degradation.
+    FaultPolicy on_violation = FaultPolicy::Throw;
+
+    /// Wall-clock deadline for the whole run in milliseconds; 0 disables.
+    double deadline_ms = 0;
+
+    /// Cap on the total message bytes delivered over the run; 0 disables.
+    std::uint64_t max_total_message_bytes = 0;
+
+    /// Cap on one node's state/tape size in symbols; 0 disables.
+    std::uint64_t max_space_per_node = 0;
+
+    /// When true, certificate lists are validated against the {0,1,#}
+    /// alphabet before the run (RunError::MalformedCertificate).
+    bool validate_certificates = true;
+
+    /// Deterministic adversarial fault injection; nullptr disables.
+    const FaultPlan* faults = nullptr;
 };
 
 /// Computes acceptance from per-node outputs.
@@ -61,5 +108,11 @@ bool unanimous_accept(const std::vector<std::string>& outputs);
 /// Strips every character other than '0'/'1' (Section 4: "any symbols other
 /// than 0 and 1 are ignored" when reading a verdict off the internal tape).
 std::string filter_to_bits(const std::string& s);
+
+/// Shared violation funnel for the runners: under FaultPolicy::Throw raises
+/// run_error(fault); otherwise records the fault on the result (marking the
+/// result's fatal error when `fatal` is set) and returns.
+void report_violation(ExecutionResult& result, FaultPolicy policy, RunFault fault,
+                      bool fatal);
 
 } // namespace lph

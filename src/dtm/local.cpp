@@ -1,10 +1,22 @@
 #include "dtm/local.hpp"
 
 #include "core/check.hpp"
+#include "dtm/faults.hpp"
 
 #include <algorithm>
+#include <chrono>
 
 namespace lph {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double elapsed_ms(Clock::time_point start) {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+}
+
+} // namespace
 
 ExecutionResult run_local(const LocalMachine& m, const LabeledGraph& g,
                           const IdentifierAssignment& id,
@@ -13,11 +25,59 @@ ExecutionResult run_local(const LocalMachine& m, const LabeledGraph& g,
     g.validate();
     check(id.size() == g.num_nodes(), "run_local: identifier assignment size");
     check(certs.size() == g.num_nodes(), "run_local: certificate assignment size");
-    check(id.is_locally_unique(g, std::max(1, m.id_radius())),
-          "run_local: identifiers are not locally unique at the machine's radius");
 
     const std::size_t n = g.num_nodes();
     const Polynomial step_poly = m.step_bound();
+    const FaultPolicy policy = options.on_violation;
+    const FaultInjector inject(options.faults);
+    const Clock::time_point start = Clock::now();
+    const auto past_deadline = [&] {
+        return options.deadline_ms > 0 && elapsed_ms(start) > options.deadline_ms;
+    };
+
+    ExecutionResult result;
+    result.node_stats.assign(n, NodeStats{});
+
+    std::vector<std::string> states(n);
+    std::vector<bool> halted(n, false);
+    std::vector<std::string> verdicts(n);
+
+    // Crash-stops a node mid-run: it keeps whatever verdict it already has
+    // (none, for a node that never halted regularly — which reads as reject).
+    const auto crash_node = [&](NodeId u) { halted[u] = true; };
+
+    // Per-node guard violation: under Record/Truncate the offending node
+    // crash-stops and the run continues; under Throw this raises run_error.
+    const auto degrade_node = [&](NodeId u, RunError code, int round,
+                                  std::string detail) {
+        report_violation(result, policy,
+                         RunFault{code, u, round, false, std::move(detail)},
+                         /*fatal=*/false);
+        crash_node(u);
+    };
+
+    // Run-level violation: the run aborts with partial results (or throws).
+    const auto fatal = [&](RunError code, int round, std::string detail) {
+        report_violation(result, policy,
+                         RunFault{code, kNoNode, round, true, std::move(detail)},
+                         /*fatal=*/true);
+    };
+
+    // --- Pre-run validation of the adversarially quantified inputs. ---
+    if (!id.is_locally_unique(g, std::max(1, m.id_radius()))) {
+        fatal(RunError::IdentifierClash, 0,
+              "identifiers are not locally unique at the machine's radius " +
+                  std::to_string(m.id_radius()));
+    }
+    if (result.ok() && options.validate_certificates) {
+        for (NodeId u = 0; u < n; ++u) {
+            const std::string list = certs(u);
+            if (!is_certificate_list_string(list)) {
+                degrade_node(u, RunError::MalformedCertificate, 0,
+                             "certificate list contains a byte outside {0,1,#}");
+            }
+        }
+    }
 
     std::vector<std::vector<NodeId>> ordered_neighbors(n);
     for (NodeId u = 0; u < n; ++u) {
@@ -28,24 +88,49 @@ ExecutionResult run_local(const LocalMachine& m, const LabeledGraph& g,
                   });
     }
 
-    std::vector<std::string> states(n);
-    std::vector<bool> halted(n, false);
-    std::vector<std::string> verdicts(n);
     std::vector<std::vector<std::string>> in_flight(n);
     for (NodeId u = 0; u < n; ++u) {
         in_flight[u].assign(g.degree(u), "");
     }
 
-    ExecutionResult result;
-    result.node_stats.assign(n, NodeStats{});
-
+    bool truncated_bytes_reported = false;
     int round = 0;
-    while (true) {
+    while (result.ok()) {
+        if (std::all_of(halted.begin(), halted.end(), [](bool h) { return h; })) {
+            break;
+        }
         ++round;
-        check(round <= options.max_rounds, "run_local: exceeded max_rounds");
-        if (options.enforce_declared_bounds) {
-            check(round <= m.round_bound(),
-                  "run_local: machine exceeded its declared round bound");
+        if (round > options.max_rounds) {
+            fatal(RunError::RoundBudgetExceeded, round,
+                  "exceeded max_rounds = " + std::to_string(options.max_rounds) +
+                      "; machine may not terminate");
+            break;
+        }
+        if (options.enforce_declared_bounds && round > m.round_bound()) {
+            fatal(RunError::RoundBoundViolated, round,
+                  "machine exceeded its declared round bound " +
+                      std::to_string(m.round_bound()));
+            break;
+        }
+        if (past_deadline()) {
+            fatal(RunError::DeadlineExceeded, round,
+                  "wall-clock deadline of " + std::to_string(options.deadline_ms) +
+                      " ms exceeded");
+            break;
+        }
+
+        // Injected crash-stops take effect at the start of the round.
+        if (inject.active()) {
+            for (NodeId u = 0; u < n; ++u) {
+                if (!halted[u] && inject.crashes(u, round)) {
+                    crash_node(u);
+                    if (inject.recording()) {
+                        result.faults.push_back(
+                            RunFault{RunError::NodeCrashed, u, round, false,
+                                     "injected crash-stop"});
+                    }
+                }
+            }
         }
 
         std::vector<std::vector<std::string>> next_flight(n);
@@ -53,11 +138,12 @@ ExecutionResult run_local(const LocalMachine& m, const LabeledGraph& g,
             next_flight[u].assign(g.degree(u), "");
         }
 
-        for (NodeId u = 0; u < n; ++u) {
+        for (NodeId u = 0; u < n && result.ok(); ++u) {
             if (halted[u]) {
                 continue;
             }
-            // Assemble incoming messages in ascending sender-identifier order.
+            // Assemble incoming messages in ascending sender-identifier order,
+            // running each through the fault injector on delivery.
             std::vector<std::string> messages;
             std::uint64_t receive_bytes = 0;
             messages.reserve(ordered_neighbors[u].size());
@@ -65,9 +151,44 @@ ExecutionResult run_local(const LocalMachine& m, const LabeledGraph& g,
                 const auto& v_order = ordered_neighbors[v];
                 const std::size_t slot = static_cast<std::size_t>(
                     std::find(v_order.begin(), v_order.end(), u) - v_order.begin());
-                messages.push_back(in_flight[v][slot]);
-                receive_bytes += messages.back().size();
-                result.total_message_bytes += messages.back().size();
+                std::string msg = in_flight[v][slot];
+                const RunError injected = inject.mutate_message(msg, round, v, slot);
+                if (injected != RunError::None && inject.recording()) {
+                    result.faults.push_back(RunFault{injected, u, round, false,
+                                                     "injected on the message from node " +
+                                                         std::to_string(v)});
+                }
+                receive_bytes += msg.size();
+                result.total_message_bytes += msg.size();
+                if (options.max_total_message_bytes > 0 &&
+                    result.total_message_bytes > options.max_total_message_bytes) {
+                    if (policy == FaultPolicy::Truncate) {
+                        const std::uint64_t over = result.total_message_bytes -
+                                                   options.max_total_message_bytes;
+                        const std::uint64_t keep =
+                            msg.size() >= over ? msg.size() - over : 0;
+                        receive_bytes -= msg.size() - keep;
+                        result.total_message_bytes -= msg.size() - keep;
+                        msg.resize(static_cast<std::size_t>(keep));
+                        if (!truncated_bytes_reported) {
+                            truncated_bytes_reported = true;
+                            result.faults.push_back(RunFault{
+                                RunError::MessageOverflow, u, round, false,
+                                "total message bytes capped at " +
+                                    std::to_string(options.max_total_message_bytes) +
+                                    "; further traffic truncated"});
+                        }
+                    } else {
+                        fatal(RunError::MessageOverflow, round,
+                              "total message bytes exceeded the cap of " +
+                                  std::to_string(options.max_total_message_bytes));
+                        break;
+                    }
+                }
+                messages.push_back(std::move(msg));
+            }
+            if (!result.ok()) {
+                break;
             }
 
             const std::uint64_t input_size =
@@ -82,10 +203,35 @@ ExecutionResult run_local(const LocalMachine& m, const LabeledGraph& g,
 
             LocalMachine::RoundInput input{g.label(u), id(u), certs(u), round,
                                            messages};
-            LocalMachine::RoundOutput output = m.on_round(input, states[u], meter);
+            LocalMachine::RoundOutput output;
+            if (policy == FaultPolicy::Throw) {
+                output = m.on_round(input, states[u], meter);
+            } else {
+                // Degraded mode: a machine that throws (e.g. on a corrupted
+                // message it fails to parse) crashes its node, not the run.
+                try {
+                    output = m.on_round(input, states[u], meter);
+                } catch (const std::exception& e) {
+                    degrade_node(u, RunError::MachineError, round, e.what());
+                    continue;
+                }
+            }
 
-            check(output.send.size() <= g.degree(u),
-                  "run_local: machine sent more messages than neighbors");
+            if (output.send.size() > g.degree(u)) {
+                if (policy == FaultPolicy::Throw) {
+                    report_violation(
+                        result, policy,
+                        RunFault{RunError::MessageOverflow, u, round, false,
+                                 "machine sent more messages than neighbors"},
+                        false);
+                }
+                result.faults.push_back(
+                    RunFault{RunError::MessageOverflow, u, round, false,
+                             "machine sent " + std::to_string(output.send.size()) +
+                                 " messages to " + std::to_string(g.degree(u)) +
+                                 " neighbors; extras dropped"});
+                output.send.resize(g.degree(u));
+            }
             for (std::size_t i = 0; i < output.send.size(); ++i) {
                 meter.charge(output.send[i].size());
                 next_flight[u][i] = std::move(output.send[i]);
@@ -99,8 +245,13 @@ ExecutionResult run_local(const LocalMachine& m, const LabeledGraph& g,
                 std::max<std::uint64_t>(stats.max_space, states[u].size());
             result.total_steps += steps;
 
-            check(steps <= options.max_steps_per_round,
-                  "run_local: exceeded max_steps_per_round");
+            if (steps > options.max_steps_per_round) {
+                degrade_node(u, RunError::StepBudgetExceeded, round,
+                             std::to_string(steps) + " steps vs budget " +
+                                 std::to_string(options.max_steps_per_round));
+                next_flight[u].assign(g.degree(u), "");
+                continue;
+            }
             if (options.enforce_declared_bounds) {
                 // Step time is measured against the initial tape contents of
                 // the round: the received messages plus the internal state
@@ -109,24 +260,49 @@ ExecutionResult run_local(const LocalMachine& m, const LabeledGraph& g,
                     round == 1 ? g.label(u).size() + id(u).size() +
                                      certs(u).size() + 2 + input_size
                                : input_size;
-                check(steps <= step_poly(std::max<std::uint64_t>(tape_len, 1)),
-                      "run_local: machine exceeded its declared step bound (" +
-                          std::to_string(steps) + " steps vs " +
-                          step_poly.to_string() + " at n=" +
-                          std::to_string(tape_len) + ", round " +
-                          std::to_string(round) + ")");
+                if (steps > step_poly(std::max<std::uint64_t>(tape_len, 1))) {
+                    degrade_node(u, RunError::StepBoundViolated, round,
+                                 std::to_string(steps) + " steps vs " +
+                                     step_poly.to_string() + " at n=" +
+                                     std::to_string(tape_len));
+                    next_flight[u].assign(g.degree(u), "");
+                    continue;
+                }
+            }
+            if (options.max_space_per_node > 0 &&
+                states[u].size() > options.max_space_per_node) {
+                if (policy == FaultPolicy::Truncate) {
+                    states[u].resize(
+                        static_cast<std::size_t>(options.max_space_per_node));
+                    result.faults.push_back(RunFault{
+                        RunError::SpaceCapExceeded, u, round, false,
+                        "state truncated to the cap of " +
+                            std::to_string(options.max_space_per_node)});
+                } else {
+                    degrade_node(u, RunError::SpaceCapExceeded, round,
+                                 std::to_string(states[u].size()) +
+                                     " symbols vs cap " +
+                                     std::to_string(options.max_space_per_node));
+                    next_flight[u].assign(g.degree(u), "");
+                    continue;
+                }
             }
 
             if (output.halt) {
                 halted[u] = true;
                 verdicts[u] = std::move(output.verdict);
             }
+            if (past_deadline()) {
+                fatal(RunError::DeadlineExceeded, round,
+                      "wall-clock deadline of " +
+                          std::to_string(options.deadline_ms) + " ms exceeded");
+            }
         }
 
-        in_flight = std::move(next_flight);
-        if (std::all_of(halted.begin(), halted.end(), [](bool h) { return h; })) {
+        if (!result.ok()) {
             break;
         }
+        in_flight = std::move(next_flight);
     }
 
     result.rounds = round;
@@ -136,7 +312,7 @@ ExecutionResult run_local(const LocalMachine& m, const LabeledGraph& g,
         result.raw_outputs.push_back(verdicts[u]);
         result.outputs.push_back(filter_to_bits(verdicts[u]));
     }
-    result.accepted = unanimous_accept(result.outputs);
+    result.accepted = result.completed && unanimous_accept(result.outputs);
     return result;
 }
 

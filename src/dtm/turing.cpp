@@ -1,8 +1,10 @@
 #include "dtm/turing.hpp"
 
 #include "core/check.hpp"
+#include "dtm/faults.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <numeric>
 
 namespace lph {
@@ -144,10 +146,17 @@ ExecutionResult run_turing(const TuringMachine& m, const LabeledGraph& g,
     g.validate();
     check(id.size() == g.num_nodes(), "run_turing: identifier assignment size");
     check(certs.size() == g.num_nodes(), "run_turing: certificate assignment size");
-    check(id.is_locally_unique(g, 1),
-          "run_turing: identifiers must be at least 1-locally unique");
 
     const std::size_t n = g.num_nodes();
+    const FaultPolicy policy = options.on_violation;
+    const FaultInjector inject(options.faults);
+    const auto start = std::chrono::steady_clock::now();
+    const auto past_deadline = [&] {
+        return options.deadline_ms > 0 &&
+               std::chrono::duration<double, std::milli>(
+                   std::chrono::steady_clock::now() - start)
+                       .count() > options.deadline_ms;
+    };
 
     // Neighbor order: ascending identifiers (Section 4, phase 1), with node
     // index as a deterministic tiebreaker for far-apart equal identifiers.
@@ -160,10 +169,58 @@ ExecutionResult run_turing(const TuringMachine& m, const LabeledGraph& g,
                   });
     }
 
+    ExecutionResult result;
+    result.node_stats.assign(n, NodeStats{});
+
+    const auto fatal = [&](RunError code, int round, std::string detail) {
+        report_violation(result, policy,
+                         RunFault{code, kNoNode, round, true, std::move(detail)},
+                         /*fatal=*/true);
+    };
+
     std::vector<NodeMachine> nodes(n);
+    std::vector<bool> crashed(n, false);
+
+    // Crash-stops a node: it computes no further, sends nothing more, and
+    // its output reads as reject.
+    const auto crash_node = [&](NodeId u) {
+        nodes[u].state = TuringMachine::kStop;
+        nodes[u].tapes[2] = fresh_tape();
+        crashed[u] = true;
+    };
+
+    const auto degrade_node = [&](NodeId u, RunError code, int round,
+                                  std::string detail) {
+        report_violation(result, policy,
+                         RunFault{code, u, round, false, std::move(detail)},
+                         /*fatal=*/false);
+        crash_node(u);
+    };
+
+    if (!id.is_locally_unique(g, 1)) {
+        fatal(RunError::IdentifierClash, 0,
+              "identifiers must be at least 1-locally unique");
+    }
+    if (result.ok() && options.validate_certificates) {
+        for (NodeId u = 0; u < n; ++u) {
+            if (!is_certificate_list_string(certs(u))) {
+                report_violation(
+                    result, policy,
+                    RunFault{RunError::MalformedCertificate, u, 0, false,
+                             "certificate list contains a byte outside {0,1,#}"},
+                    /*fatal=*/false);
+                crashed[u] = true;
+            }
+        }
+    }
+
     for (NodeId u = 0; u < n; ++u) {
         nodes[u].tapes = {fresh_tape(), fresh_tape(), fresh_tape()};
         nodes[u].tapes[1] += g.label(u) + "#" + id(u) + "#" + certs(u);
+        if (crashed[u]) {
+            nodes[u].state = TuringMachine::kStop;
+            nodes[u].tapes[2] = fresh_tape();
+        }
     }
 
     // Messages sent in the previous round, indexed by sender.
@@ -172,16 +229,39 @@ ExecutionResult run_turing(const TuringMachine& m, const LabeledGraph& g,
         in_flight[u].assign(g.degree(u), "");
     }
 
-    ExecutionResult result;
-    result.node_stats.assign(n, NodeStats{});
-
+    bool truncated_bytes_reported = false;
     int round = 0;
-    while (true) {
+    while (result.ok()) {
         ++round;
-        check(round <= options.max_rounds,
-              "run_turing: exceeded max_rounds; machine may not terminate");
+        if (round > options.max_rounds) {
+            fatal(RunError::RoundBudgetExceeded, round,
+                  "exceeded max_rounds = " + std::to_string(options.max_rounds) +
+                      "; machine may not terminate");
+            break;
+        }
+        if (past_deadline()) {
+            fatal(RunError::DeadlineExceeded, round,
+                  "wall-clock deadline of " + std::to_string(options.deadline_ms) +
+                      " ms exceeded");
+            break;
+        }
 
-        for (NodeId u = 0; u < n; ++u) {
+        // Injected crash-stops take effect at the start of the round.
+        if (inject.active()) {
+            for (NodeId u = 0; u < n; ++u) {
+                if (nodes[u].state != TuringMachine::kStop &&
+                    inject.crashes(u, round)) {
+                    crash_node(u);
+                    if (inject.recording()) {
+                        result.faults.push_back(
+                            RunFault{RunError::NodeCrashed, u, round, false,
+                                     "injected crash-stop"});
+                    }
+                }
+            }
+        }
+
+        for (NodeId u = 0; u < n && result.ok(); ++u) {
             NodeMachine& node = nodes[u];
 
             // Phase 1: deliver messages (ascending sender identifier order).
@@ -192,9 +272,43 @@ ExecutionResult run_turing(const TuringMachine& m, const LabeledGraph& g,
                 const auto& v_order = ordered_neighbors[v];
                 const std::size_t slot = static_cast<std::size_t>(
                     std::find(v_order.begin(), v_order.end(), u) - v_order.begin());
-                recv += in_flight[v][slot];
+                std::string msg = in_flight[v][slot];
+                const RunError injected = inject.mutate_message(msg, round, v, slot);
+                if (injected != RunError::None && inject.recording()) {
+                    result.faults.push_back(RunFault{injected, u, round, false,
+                                                     "injected on the message from node " +
+                                                         std::to_string(v)});
+                }
+                result.total_message_bytes += msg.size();
+                if (options.max_total_message_bytes > 0 &&
+                    result.total_message_bytes > options.max_total_message_bytes) {
+                    if (policy == FaultPolicy::Truncate) {
+                        const std::uint64_t over = result.total_message_bytes -
+                                                   options.max_total_message_bytes;
+                        const std::uint64_t keep =
+                            msg.size() >= over ? msg.size() - over : 0;
+                        result.total_message_bytes -= msg.size() - keep;
+                        msg.resize(static_cast<std::size_t>(keep));
+                        if (!truncated_bytes_reported) {
+                            truncated_bytes_reported = true;
+                            result.faults.push_back(RunFault{
+                                RunError::MessageOverflow, u, round, false,
+                                "total message bytes capped at " +
+                                    std::to_string(options.max_total_message_bytes) +
+                                    "; further traffic truncated"});
+                        }
+                    } else {
+                        fatal(RunError::MessageOverflow, round,
+                              "total message bytes exceeded the cap of " +
+                                  std::to_string(options.max_total_message_bytes));
+                        break;
+                    }
+                }
+                recv += msg;
                 recv += tape::kSep;
-                result.total_message_bytes += in_flight[v][slot].size();
+            }
+            if (!result.ok()) {
+                break;
             }
             node.tapes[0] = fresh_tape() + recv;
 
@@ -204,15 +318,20 @@ ExecutionResult run_turing(const TuringMachine& m, const LabeledGraph& g,
                 node.state = TuringMachine::kStart;
                 node.heads = {0, 0, 0};
                 std::uint64_t steps = 0;
+                bool node_failed = false;
                 while (node.state != TuringMachine::kPause &&
                        node.state != TuringMachine::kStop) {
                     const std::array<char, 3> scanned = {node.read(0), node.read(1),
                                                          node.read(2)};
                     const auto action = m.transition(node.state, scanned);
-                    check(action.has_value(),
-                          "run_turing: undefined transition from state '" +
-                              node.state + "' reading {" + scanned[0] + scanned[1] +
-                              scanned[2] + "}");
+                    if (!action.has_value()) {
+                        degrade_node(u, RunError::UndefinedTransition, round,
+                                     "undefined transition from state '" +
+                                         node.state + "' reading {" + scanned[0] +
+                                         scanned[1] + scanned[2] + "}");
+                        node_failed = true;
+                        break;
+                    }
                     for (int t = 0; t < 3; ++t) {
                         const char w = action->write[static_cast<std::size_t>(t)];
                         node.write(t, w == '=' ? scanned[static_cast<std::size_t>(t)] : w);
@@ -220,24 +339,57 @@ ExecutionResult run_turing(const TuringMachine& m, const LabeledGraph& g,
                     }
                     node.state = action->next_state;
                     ++steps;
-                    check(steps <= options.max_steps_per_round,
-                          "run_turing: exceeded max_steps_per_round");
+                    if (steps > options.max_steps_per_round) {
+                        degrade_node(u, RunError::StepBudgetExceeded, round,
+                                     std::to_string(steps) + " steps vs budget " +
+                                         std::to_string(options.max_steps_per_round));
+                        node_failed = true;
+                        break;
+                    }
+                    if (options.max_space_per_node > 0 &&
+                        node.space() > options.max_space_per_node) {
+                        degrade_node(u, RunError::SpaceCapExceeded, round,
+                                     std::to_string(node.space()) +
+                                         " tape symbols vs cap " +
+                                         std::to_string(options.max_space_per_node));
+                        node_failed = true;
+                        break;
+                    }
+                    if ((steps & 0xfff) == 0 && past_deadline()) {
+                        fatal(RunError::DeadlineExceeded, round,
+                              "wall-clock deadline of " +
+                                  std::to_string(options.deadline_ms) +
+                                  " ms exceeded");
+                        break;
+                    }
                 }
                 NodeStats& stats = result.node_stats[u];
                 stats.total_steps += steps;
                 stats.max_round_steps = std::max(stats.max_round_steps, steps);
                 stats.max_space = std::max<std::uint64_t>(stats.max_space, node.space());
                 result.total_steps += steps;
+                if (node_failed) {
+                    continue;
+                }
             }
+        }
+        if (!result.ok()) {
+            break;
         }
 
         // Phase 3: collect outgoing messages for the next round.
         bool all_stopped = true;
         for (NodeId u = 0; u < n; ++u) {
             in_flight[u] = outgoing_messages(nodes[u].content(2), g.degree(u));
-            for (const auto& msg : in_flight[u]) {
-                check(is_bit_string(msg),
-                      "run_turing: messages must be bit strings");
+            for (auto& msg : in_flight[u]) {
+                if (!is_bit_string(msg)) {
+                    report_violation(
+                        result, policy,
+                        RunFault{RunError::MalformedMessage, u, round, false,
+                                 "outgoing message is not a bit string; dropped"},
+                        /*fatal=*/false);
+                    msg.clear();
+                }
             }
             if (nodes[u].state != TuringMachine::kStop) {
                 all_stopped = false;
@@ -252,10 +404,10 @@ ExecutionResult run_turing(const TuringMachine& m, const LabeledGraph& g,
     result.outputs.reserve(n);
     result.raw_outputs.reserve(n);
     for (NodeId u = 0; u < n; ++u) {
-        result.raw_outputs.push_back(nodes[u].content(1));
+        result.raw_outputs.push_back(crashed[u] ? "" : nodes[u].content(1));
         result.outputs.push_back(filter_to_bits(result.raw_outputs.back()));
     }
-    result.accepted = unanimous_accept(result.outputs);
+    result.accepted = result.completed && unanimous_accept(result.outputs);
     return result;
 }
 

@@ -50,6 +50,15 @@ CertificateListAssignment::concatenate(const std::vector<CertificateAssignment>&
     return list;
 }
 
+CertificateListAssignment
+CertificateListAssignment::from_raw(std::vector<std::string> lists,
+                                    std::size_t layers) {
+    CertificateListAssignment list;
+    list.lists_ = std::move(lists);
+    list.layers_ = layers;
+    return list;
+}
+
 CertificateAssignment CertificateListAssignment::layer(std::size_t i) const {
     check(i < layers_, "CertificateListAssignment::layer: index out of range");
     std::vector<BitString> certs(lists_.size());

@@ -57,6 +57,12 @@ public:
     static CertificateListAssignment
     concatenate(const std::vector<CertificateAssignment>& kappas, std::size_t n);
 
+    /// Wraps pre-joined per-node list strings verbatim.  Unlike concatenate,
+    /// the strings are NOT validated — this is how adversarial inputs
+    /// (e.g. fault-injected certificates) are constructed.
+    static CertificateListAssignment from_raw(std::vector<std::string> lists,
+                                              std::size_t layers);
+
     /// The string lambda#kappa_1#...#kappa_l handed to node u.
     std::string operator()(NodeId u) const { return lists_.at(u); }
 

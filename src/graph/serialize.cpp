@@ -28,9 +28,35 @@ std::string graph_to_text(const LabeledGraph& g) {
     return out.str();
 }
 
+namespace {
+
+/// Strict non-negative integer parse: every malformed token ("-3", "2x",
+/// "0xff", "") is rejected with the token quoted in the message, so a parse
+/// failure names exactly what was read and where.
+std::size_t parse_index(const std::string& token, const char* role,
+                        const std::string& where) {
+    check(!token.empty(), std::string("read_graph: missing ") + role + where);
+    for (char c : token) {
+        check(c >= '0' && c <= '9',
+              std::string("read_graph: ") + role + " '" + token +
+                  "' is not a non-negative integer" + where);
+    }
+    check(token.size() <= 18,
+          std::string("read_graph: ") + role + " '" + token + "' out of range" +
+              where);
+    std::size_t value = 0;
+    for (char c : token) {
+        value = value * 10 + static_cast<std::size_t>(c - '0');
+    }
+    return value;
+}
+
+} // namespace
+
 LabeledGraph read_graph(std::istream& in) {
     LabeledGraph g;
     bool have_header = false;
+    std::vector<bool> labeled;
     std::string line;
     std::size_t line_number = 0;
     while (std::getline(in, line)) {
@@ -45,31 +71,54 @@ LabeledGraph read_graph(std::istream& in) {
             continue; // blank or comment-only line
         }
         const std::string where = " (line " + std::to_string(line_number) + ")";
+        const auto next_token = [&fields]() {
+            std::string token;
+            fields >> token;
+            return token; // empty when the line is exhausted
+        };
+        const auto reject_trailing = [&next_token, &where](const char* what) {
+            const std::string extra = next_token();
+            check(extra.empty(), std::string("read_graph: trailing junk '") +
+                                     extra + "' after " + what + where);
+        };
         if (directive == "graph") {
-            check(!have_header, "read_graph: duplicate header" + where);
-            std::size_t n = 0;
-            check(static_cast<bool>(fields >> n), "read_graph: bad header" + where);
+            check(!have_header, "read_graph: duplicate 'graph' header" + where);
+            const std::size_t n =
+                parse_index(next_token(), "node count", where);
+            reject_trailing("header");
             for (std::size_t i = 0; i < n; ++i) {
                 g.add_node();
             }
+            labeled.assign(n, false);
             have_header = true;
         } else if (directive == "label") {
             check(have_header, "read_graph: label before header" + where);
-            std::size_t u = 0;
-            std::string bits;
-            check(static_cast<bool>(fields >> u >> bits),
-                  "read_graph: bad label line" + where);
-            check(u < g.num_nodes(), "read_graph: node out of range" + where);
-            check(is_bit_string(bits), "read_graph: label not a bit string" + where);
+            const std::size_t u = parse_index(next_token(), "node id", where);
+            const std::string bits = next_token();
+            check(!bits.empty(), "read_graph: missing label bits" + where);
+            reject_trailing("label");
+            check(u < g.num_nodes(),
+                  "read_graph: node " + std::to_string(u) + " out of range" +
+                      where);
+            check(is_bit_string(bits), "read_graph: label '" + bits +
+                                           "' is not a bit string" + where);
+            check(!labeled[u], "read_graph: duplicate label for node " +
+                                  std::to_string(u) + where);
+            labeled[u] = true;
             g.set_label(u, bits);
         } else if (directive == "edge") {
             check(have_header, "read_graph: edge before header" + where);
-            std::size_t u = 0;
-            std::size_t v = 0;
-            check(static_cast<bool>(fields >> u >> v),
-                  "read_graph: bad edge line" + where);
+            const std::size_t u = parse_index(next_token(), "node id", where);
+            const std::size_t v = parse_index(next_token(), "node id", where);
+            reject_trailing("edge");
             check(u < g.num_nodes() && v < g.num_nodes(),
-                  "read_graph: node out of range" + where);
+                  "read_graph: edge {" + std::to_string(u) + "," +
+                      std::to_string(v) + "} out of range" + where);
+            check(u != v,
+                  "read_graph: self-loop at node " + std::to_string(u) + where);
+            check(!g.has_edge(u, v), "read_graph: duplicate edge {" +
+                                         std::to_string(u) + "," +
+                                         std::to_string(v) + "}" + where);
             g.add_edge(u, v);
         } else {
             check(false, "read_graph: unknown directive '" + directive + "'" + where);

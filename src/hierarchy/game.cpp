@@ -73,15 +73,50 @@ private:
         return spec_.starts_existential ? layer % 2 == 0 : layer % 2 == 1;
     }
 
+    /// Evaluates one leaf of the game tree.  Under tolerate_faults a probe
+    /// that cannot finish cleanly is a recorded loss, not a process abort.
+    bool evaluate_leaf(const std::vector<CertificateAssignment>& chosen,
+                       GameResult& result) {
+        static constexpr std::size_t kMaxRecordedFaults = 64;
+        const auto list =
+            CertificateListAssignment::concatenate(chosen, g_.num_nodes());
+        ExecutionOptions exec_options = options_.exec;
+        if (options_.tolerate_faults &&
+            exec_options.on_violation == FaultPolicy::Throw) {
+            exec_options.on_violation = FaultPolicy::Record;
+        }
+        try {
+            const ExecutionResult exec =
+                run_local(*spec_.machine, g_, id_, list, exec_options);
+            ++result.machine_runs;
+            if (!exec.ok() || !exec.faults.empty()) {
+                ++result.faulted_runs;
+                for (const RunFault& f : exec.faults) {
+                    if (result.probe_faults.size() >= kMaxRecordedFaults) {
+                        break;
+                    }
+                    result.probe_faults.push_back(f);
+                }
+                return false;
+            }
+            return exec.accepted;
+        } catch (const run_error& e) {
+            if (!options_.tolerate_faults) {
+                throw;
+            }
+            ++result.machine_runs;
+            ++result.faulted_runs;
+            if (result.probe_faults.size() < kMaxRecordedFaults) {
+                result.probe_faults.push_back(e.fault());
+            }
+            return false;
+        }
+    }
+
     bool value(std::size_t layer, std::vector<CertificateAssignment>& chosen,
                GameResult& result) {
         if (layer == spec_.layers.size()) {
-            const auto list =
-                CertificateListAssignment::concatenate(chosen, g_.num_nodes());
-            const ExecutionResult exec =
-                run_local(*spec_.machine, g_, id_, list, options_.exec);
-            ++result.machine_runs;
-            return exec.accepted;
+            return evaluate_leaf(chosen, result);
         }
         const bool want = existential(layer);
         const OptionTable& table = tables_[layer];

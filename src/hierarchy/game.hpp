@@ -64,11 +64,22 @@ struct GameOptions {
     /// Guard on the product of per-node option counts for one layer.
     std::uint64_t max_assignments_per_layer = 50'000'000;
     ExecutionOptions exec;
+
+    /// When true, a leaf probe whose run faults (a bound violation, an
+    /// injected fault escalating to an abort, a malformed certificate) is
+    /// scored as a loss for Eve and recorded on the GameResult, instead of
+    /// aborting the whole game.  The paper's arbiter must *accept* for Eve
+    /// to win, so a machine that cannot finish cleanly cannot witness
+    /// acceptance.
+    bool tolerate_faults = false;
 };
 
 struct GameResult {
     bool accepted = false;           ///< Eve has a winning strategy
     std::uint64_t machine_runs = 0;  ///< leaves actually evaluated
+    std::uint64_t faulted_runs = 0;  ///< leaves scored as losses due to faults
+    /// First few faults from faulted leaves (bounded sample for reporting).
+    std::vector<RunFault> probe_faults;
     /// For a winning Sigma_1 game: Eve's witness certificate assignment.
     std::optional<CertificateAssignment> witness;
 };

@@ -1,0 +1,639 @@
+// Adversarial suite for the fault-injection and graceful-degradation layer:
+// in-model adversaries (valid identifier reassignments) must not change
+// decisions, out-of-model adversaries (clashing ids, malformed certificates,
+// bound violations, injected crashes and message faults) must be detected
+// with the right RunError code, and a fixed fault seed must replay to the
+// identical outcome.
+
+#include "core/report.hpp"
+#include "dtm/faults.hpp"
+#include "dtm/local.hpp"
+#include "dtm/turing.hpp"
+#include "graph/generators.hpp"
+#include "graphalg/eulerian.hpp"
+#include "hierarchy/game.hpp"
+#include "machines/deciders.hpp"
+#include "machines/turing_examples.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lph {
+namespace {
+
+/// One-round machine echoing a fixed verdict, ignoring all inputs.
+class ConstantMachine : public LocalMachine {
+public:
+    explicit ConstantMachine(std::string verdict) : verdict_(std::move(verdict)) {}
+    int round_bound() const override { return 1; }
+    RoundOutput on_round(const RoundInput&, std::string&, StepMeter&) const override {
+        return {{}, true, verdict_};
+    }
+
+private:
+    std::string verdict_;
+};
+
+/// Burns `work` metered steps against a declared bound.
+class BurnMachine : public LocalMachine {
+public:
+    BurnMachine(std::uint64_t work, Polynomial bound)
+        : work_(work), bound_(std::move(bound)) {}
+    int round_bound() const override { return 1; }
+    Polynomial step_bound() const override { return bound_; }
+    RoundOutput on_round(const RoundInput&, std::string&, StepMeter& meter) const override {
+        meter.charge(work_);
+        return {{}, true, "1"};
+    }
+
+private:
+    std::uint64_t work_;
+    Polynomial bound_;
+};
+
+/// Exchanges labels with neighbors and accepts iff they all match its own.
+class NeighborLabelsMachine : public LocalMachine {
+public:
+    int round_bound() const override { return 2; }
+    RoundOutput on_round(const RoundInput& input, std::string& state,
+                         StepMeter& meter) const override {
+        RoundOutput output;
+        if (input.round == 1) {
+            output.send.assign(input.messages.size(), std::string(input.label));
+            state = input.label;
+            meter.charge(input.label.size() * input.messages.size());
+            return output;
+        }
+        output.halt = true;
+        output.verdict = "1";
+        for (const auto& msg : input.messages) {
+            meter.charge(msg.size());
+            if (msg != state) {
+                output.verdict = "0";
+            }
+        }
+        return output;
+    }
+};
+
+/// Grows its state to `size` symbols in round 1, accepts in round 2.
+class HoarderMachine : public LocalMachine {
+public:
+    explicit HoarderMachine(std::size_t size) : size_(size) {}
+    int round_bound() const override { return 2; }
+    RoundOutput on_round(const RoundInput& input, std::string& state,
+                         StepMeter& meter) const override {
+        if (input.round == 1) {
+            state.assign(size_, '1');
+            meter.charge(size_);
+            return {};
+        }
+        return {{}, true, "1"};
+    }
+
+private:
+    std::size_t size_;
+};
+
+/// Halts only in round 3 despite declaring a 1-round bound.
+class SlowMachine : public LocalMachine {
+public:
+    int round_bound() const override { return 1; }
+    RoundOutput on_round(const RoundInput& input, std::string&,
+                         StepMeter&) const override {
+        RoundOutput out;
+        out.halt = input.round >= 3;
+        out.verdict = "1";
+        return out;
+    }
+};
+
+ExecutionOptions record_options() {
+    ExecutionOptions options;
+    options.on_violation = FaultPolicy::Record;
+    return options;
+}
+
+// ---------------------------------------------------------------------------
+// Structured error codes replace generic throws.
+// ---------------------------------------------------------------------------
+
+TEST(RunErrorTaxonomy, CodesHaveStableNames) {
+    EXPECT_STREQ(to_string(RunError::None), "None");
+    EXPECT_STREQ(to_string(RunError::StepBoundViolated), "StepBoundViolated");
+    EXPECT_STREQ(to_string(RunError::NodeCrashed), "NodeCrashed");
+    EXPECT_TRUE(is_injected_fault(RunError::MessageDropped));
+    EXPECT_FALSE(is_injected_fault(RunError::StepBoundViolated));
+}
+
+TEST(RunErrorTaxonomy, RunErrorIsAPreconditionError) {
+    // Back-compat: pre-existing catch sites for precondition_error keep
+    // working when the runners throw the structured error.
+    const LabeledGraph g = single_node_graph("1");
+    EXPECT_THROW(run_local(SlowMachine{}, g, make_global_ids(g)),
+                 precondition_error);
+    EXPECT_THROW(run_local(SlowMachine{}, g, make_global_ids(g)), run_error);
+}
+
+TEST(RunErrorTaxonomy, RoundBoundViolationCarriesItsCode) {
+    const LabeledGraph g = single_node_graph("1");
+    try {
+        run_local(SlowMachine{}, g, make_global_ids(g));
+        FAIL() << "expected run_error";
+    } catch (const run_error& e) {
+        EXPECT_EQ(e.code(), RunError::RoundBoundViolated);
+        EXPECT_EQ(e.fault().round, 2);
+        EXPECT_TRUE(e.fault().fatal);
+    }
+}
+
+TEST(RunErrorTaxonomy, RoundBudgetGuardIsDistinctFromDeclaredBound) {
+    const LabeledGraph g = single_node_graph("1");
+    ExecutionOptions options = record_options();
+    options.enforce_declared_bounds = false;
+    options.max_rounds = 2;
+    const auto result = run_local(SlowMachine{}, g, make_global_ids(g), options);
+    EXPECT_EQ(result.error, RunError::RoundBudgetExceeded);
+    EXPECT_FALSE(result.completed);
+    EXPECT_FALSE(result.accepted);
+}
+
+// ---------------------------------------------------------------------------
+// Satellite: overshooting machines are caught by enforce_declared_bounds and
+// reported as StepBoundViolated — never as a generic failure.  Property-style
+// sweep over work loads on both sides of the declared bound.
+// ---------------------------------------------------------------------------
+
+class StepBoundProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(StepBoundProperty, OvershootIsStepBoundViolated) {
+    const std::uint64_t work = GetParam();
+    const LabeledGraph g = single_node_graph("1");
+    const auto id = make_global_ids(g);
+    const Polynomial bound = Polynomial::constant(64);
+    const bool should_violate = work >= 128; // far above bound + input overhead
+
+    // Throw policy: the violation surfaces with exactly its code.
+    try {
+        const auto result = run_local(BurnMachine(work, bound), g, id);
+        EXPECT_FALSE(should_violate) << "expected a violation at work=" << work;
+        EXPECT_TRUE(result.accepted);
+    } catch (const run_error& e) {
+        EXPECT_TRUE(should_violate) << "spurious violation at work=" << work;
+        EXPECT_EQ(e.code(), RunError::StepBoundViolated);
+        EXPECT_EQ(e.fault().node, 0u);
+    }
+
+    // Record policy: the same violation degrades the node instead.
+    const auto result = run_local(BurnMachine(work, bound), g, id, record_options());
+    EXPECT_TRUE(result.ok());
+    EXPECT_TRUE(result.completed);
+    EXPECT_EQ(result.has_fault(RunError::StepBoundViolated), should_violate);
+    EXPECT_EQ(result.accepted, !should_violate);
+}
+
+INSTANTIATE_TEST_SUITE_P(WorkLoads, StepBoundProperty,
+                         ::testing::Values(0u, 16u, 32u, 128u, 1000u, 50000u));
+
+TEST(StepBounds, StepBudgetGuardHasItsOwnCode) {
+    const LabeledGraph g = single_node_graph("1");
+    ExecutionOptions options = record_options();
+    options.enforce_declared_bounds = false;
+    options.max_steps_per_round = 100;
+    const auto result = run_local(
+        BurnMachine(1000, Polynomial::constant(2000)), g, make_global_ids(g),
+        options);
+    EXPECT_TRUE(result.has_fault(RunError::StepBudgetExceeded));
+    EXPECT_FALSE(result.accepted);
+}
+
+// ---------------------------------------------------------------------------
+// Resource guards: deadline, message-byte cap, per-node space cap.
+// ---------------------------------------------------------------------------
+
+TEST(ResourceGuards, DeadlineAbortsWithPartialResults) {
+    const LabeledGraph g = cycle_graph(8, "1");
+    ExecutionOptions options = record_options();
+    options.deadline_ms = 1e-7; // elapses immediately
+    const auto result =
+        run_local(NeighborLabelsMachine{}, g, make_global_ids(g), options);
+    EXPECT_EQ(result.error, RunError::DeadlineExceeded);
+    EXPECT_FALSE(result.completed);
+    EXPECT_FALSE(result.accepted);
+    EXPECT_EQ(result.outputs.size(), g.num_nodes()); // partial outputs present
+}
+
+TEST(ResourceGuards, ByteCapFatalUnderRecord) {
+    const LabeledGraph g = cycle_graph(8, "1");
+    ExecutionOptions options = record_options();
+    options.max_total_message_bytes = 2;
+    const auto result =
+        run_local(NeighborLabelsMachine{}, g, make_global_ids(g), options);
+    EXPECT_EQ(result.error, RunError::MessageOverflow);
+    EXPECT_FALSE(result.accepted);
+}
+
+TEST(ResourceGuards, ByteCapClampsUnderTruncate) {
+    const LabeledGraph g = cycle_graph(8, "1");
+    ExecutionOptions options;
+    options.on_violation = FaultPolicy::Truncate;
+    options.max_total_message_bytes = 2;
+    const auto result =
+        run_local(NeighborLabelsMachine{}, g, make_global_ids(g), options);
+    EXPECT_TRUE(result.ok());
+    EXPECT_TRUE(result.completed);
+    EXPECT_TRUE(result.has_fault(RunError::MessageOverflow));
+    // Truncated label exchanges read as disagreement: no false accept.
+    EXPECT_FALSE(result.accepted);
+}
+
+TEST(ResourceGuards, SpaceCapDegradesOrTruncates) {
+    const LabeledGraph g = single_node_graph("1");
+    const auto id = make_global_ids(g);
+
+    ExecutionOptions record = record_options();
+    record.max_space_per_node = 10;
+    const auto degraded = run_local(HoarderMachine(100), g, id, record);
+    EXPECT_TRUE(degraded.has_fault(RunError::SpaceCapExceeded));
+    EXPECT_FALSE(degraded.accepted);
+
+    ExecutionOptions truncate = record;
+    truncate.on_violation = FaultPolicy::Truncate;
+    const auto clamped = run_local(HoarderMachine(100), g, id, truncate);
+    EXPECT_TRUE(clamped.has_fault(RunError::SpaceCapExceeded));
+    EXPECT_TRUE(clamped.accepted); // this machine survives the state clamp
+}
+
+// ---------------------------------------------------------------------------
+// Out-of-model input attacks: identifier clashes and malformed certificates.
+// ---------------------------------------------------------------------------
+
+TEST(InputAttacks, IdentifierClashDetected) {
+    const LabeledGraph g = path_graph(6, "1");
+    const auto id = make_global_ids(g);
+    const auto clashed = clash_identifiers(g, id, 1, /*seed=*/7, /*clash_prob=*/1.0);
+    ASSERT_FALSE(clashed.is_locally_unique(g, 1));
+
+    try {
+        run_local(ConstantMachine("1"), g, clashed);
+        FAIL() << "expected run_error";
+    } catch (const run_error& e) {
+        EXPECT_EQ(e.code(), RunError::IdentifierClash);
+    }
+
+    const auto result = run_local(ConstantMachine("1"), g, clashed, record_options());
+    EXPECT_EQ(result.error, RunError::IdentifierClash);
+    EXPECT_FALSE(result.completed);
+    EXPECT_FALSE(result.accepted);
+}
+
+TEST(InputAttacks, MalformedCertificatesDetected) {
+    const LabeledGraph g = path_graph(4, "1");
+    const auto id = make_global_ids(g);
+    CertificateAssignment kappa(std::vector<BitString>{"01", "10", "11", "00"});
+    const auto good = CertificateListAssignment::concatenate({kappa}, 4);
+    const auto bad = malform_certificates(good, /*seed=*/3, /*victim_prob=*/1.0);
+
+    EXPECT_THROW(run_local(ConstantMachine("1"), g, id, bad), run_error);
+
+    const auto result = run_local(ConstantMachine("1"), g, id, bad, record_options());
+    EXPECT_TRUE(result.completed);
+    EXPECT_EQ(result.fault_count(RunError::MalformedCertificate), g.num_nodes());
+    EXPECT_FALSE(result.accepted);
+
+    // With validation off the junk flows through to a machine that ignores
+    // certificates — the attack is then (deliberately) invisible.
+    ExecutionOptions lax = record_options();
+    lax.validate_certificates = false;
+    EXPECT_TRUE(run_local(ConstantMachine("1"), g, id, bad, lax).accepted);
+}
+
+// ---------------------------------------------------------------------------
+// In-model adversaries: any valid identifier reassignment must leave a
+// correct machine's decision unchanged (the paper's "for every locally
+// unique identifier assignment").
+// ---------------------------------------------------------------------------
+
+TEST(InModelAdversary, AdversarialIdsAreLocallyUnique) {
+    Rng rng(11);
+    for (std::uint64_t seed = 0; seed < 6; ++seed) {
+        const LabeledGraph g = random_connected_graph(10 + seed, seed, rng, "1");
+        const auto id = adversarial_local_ids(g, 2, seed);
+        EXPECT_TRUE(id.is_locally_unique(g, 2)) << "seed " << seed;
+    }
+}
+
+TEST(InModelAdversary, DecisionInvariantUnderIdReassignment) {
+    const EulerianDecider decider;
+    for (const bool eulerian : {true, false}) {
+        const LabeledGraph g =
+            eulerian ? cycle_graph(9, "1") : path_graph(9, "1");
+        ASSERT_EQ(is_eulerian(g), eulerian);
+        const bool reference =
+            run_local(decider, g, make_global_ids(g)).accepted;
+        EXPECT_EQ(reference, eulerian);
+        for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+            const auto id = adversarial_local_ids(g, decider.id_radius(), seed);
+            EXPECT_EQ(run_local(decider, g, id).accepted, reference)
+                << "seed " << seed;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Injected faults: crash-stops and message mutations, recorded and survivable.
+// ---------------------------------------------------------------------------
+
+TEST(Injection, CrashStopsEveryNode) {
+    const LabeledGraph g = cycle_graph(6, "1");
+    FaultPlan plan;
+    plan.seed = 1;
+    plan.crash_prob = 1.0;
+    ExecutionOptions options = record_options();
+    options.faults = &plan;
+    const auto result =
+        run_local(ConstantMachine("1"), g, make_global_ids(g), options);
+    EXPECT_TRUE(result.ok()); // injected faults are never fatal
+    EXPECT_TRUE(result.completed);
+    EXPECT_FALSE(result.accepted); // crashed nodes have no verdict
+    EXPECT_EQ(result.fault_count(RunError::NodeCrashed), g.num_nodes());
+}
+
+TEST(Injection, DroppedMessagesChangeTheVerdictNotTheRun) {
+    const LabeledGraph g = path_graph(3, "1");
+    const auto id = make_global_ids(g);
+    ASSERT_TRUE(run_local(NeighborLabelsMachine{}, g, id).accepted);
+
+    FaultPlan plan;
+    plan.seed = 2;
+    plan.drop_prob = 1.0;
+    ExecutionOptions options = record_options();
+    options.faults = &plan;
+    const auto result = run_local(NeighborLabelsMachine{}, g, id, options);
+    EXPECT_TRUE(result.ok());
+    EXPECT_TRUE(result.completed);
+    EXPECT_FALSE(result.accepted); // dropped labels read as disagreement
+    EXPECT_GE(result.fault_count(RunError::MessageDropped), 1u);
+}
+
+TEST(Injection, CorruptionAndTruncationCarryTheirCodes) {
+    const LabeledGraph g = path_graph(3, "1");
+    const auto id = make_global_ids(g);
+
+    FaultPlan corrupt;
+    corrupt.seed = 3;
+    corrupt.corrupt_prob = 1.0;
+    ExecutionOptions options = record_options();
+    options.faults = &corrupt;
+    const auto corrupted = run_local(NeighborLabelsMachine{}, g, id, options);
+    EXPECT_FALSE(corrupted.accepted);
+    EXPECT_GE(corrupted.fault_count(RunError::MessageCorrupted), 1u);
+
+    FaultPlan truncate;
+    truncate.seed = 3;
+    truncate.truncate_prob = 1.0;
+    options.faults = &truncate;
+    const auto truncated = run_local(NeighborLabelsMachine{}, g, id, options);
+    EXPECT_FALSE(truncated.accepted);
+    EXPECT_GE(truncated.fault_count(RunError::MessageTruncated), 1u);
+}
+
+TEST(Injection, SilentModeAppliesFaultsWithoutRecording) {
+    const LabeledGraph g = path_graph(3, "1");
+    FaultPlan plan;
+    plan.seed = 2;
+    plan.drop_prob = 1.0;
+    plan.record_injected = false;
+    ExecutionOptions options = record_options();
+    options.faults = &plan;
+    const auto result =
+        run_local(NeighborLabelsMachine{}, g, make_global_ids(g), options);
+    EXPECT_FALSE(result.accepted); // the adversary still acted...
+    EXPECT_TRUE(result.faults.empty()); // ...but left no trace
+}
+
+// ---------------------------------------------------------------------------
+// Replay determinism: a fault seed fully describes the adversary.
+// ---------------------------------------------------------------------------
+
+void expect_same_outcome(const ExecutionResult& a, const ExecutionResult& b) {
+    EXPECT_EQ(a.accepted, b.accepted);
+    EXPECT_EQ(a.rounds, b.rounds);
+    EXPECT_EQ(a.outputs, b.outputs);
+    ASSERT_EQ(a.faults.size(), b.faults.size());
+    for (std::size_t i = 0; i < a.faults.size(); ++i) {
+        EXPECT_EQ(a.faults[i].code, b.faults[i].code) << "fault " << i;
+        EXPECT_EQ(a.faults[i].node, b.faults[i].node) << "fault " << i;
+        EXPECT_EQ(a.faults[i].round, b.faults[i].round) << "fault " << i;
+    }
+}
+
+TEST(Replay, SameSeedSameOutcome) {
+    const LabeledGraph g = cycle_graph(12, "1");
+    const auto id = make_global_ids(g);
+    FaultPlan plan;
+    plan.seed = 99;
+    plan.crash_prob = 0.2;
+    plan.drop_prob = 0.3;
+    plan.corrupt_prob = 0.2;
+    ExecutionOptions options = record_options();
+    options.faults = &plan;
+
+    const auto first = run_local(NeighborLabelsMachine{}, g, id, options);
+    const auto second = run_local(NeighborLabelsMachine{}, g, id, options);
+    expect_same_outcome(first, second);
+    EXPECT_GE(first.faults.size(), 1u);
+}
+
+TEST(Replay, DifferentSeedsDiffer) {
+    const LabeledGraph g = cycle_graph(12, "1");
+    const auto id = make_global_ids(g);
+    FaultPlan plan;
+    plan.crash_prob = 0.3;
+    plan.drop_prob = 0.3;
+    ExecutionOptions options = record_options();
+    options.faults = &plan;
+
+    std::vector<std::size_t> fault_counts;
+    for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+        plan.seed = seed;
+        fault_counts.push_back(
+            run_local(NeighborLabelsMachine{}, g, id, options).faults.size());
+    }
+    bool any_difference = false;
+    for (std::size_t count : fault_counts) {
+        any_difference |= count != fault_counts.front();
+    }
+    EXPECT_TRUE(any_difference);
+}
+
+TEST(Replay, AdversarialIdsReplay) {
+    const LabeledGraph g = cycle_graph(10, "1");
+    const auto a = adversarial_local_ids(g, 2, 5);
+    const auto b = adversarial_local_ids(g, 2, 5);
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+        EXPECT_EQ(a(u), b(u));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The tape-level runner degrades the same way.
+// ---------------------------------------------------------------------------
+
+TEST(TuringFaults, CrashedNodesYieldPartialResults) {
+    const LabeledGraph g = cycle_graph(6, "1");
+    const auto id = make_global_ids(g);
+    const TuringMachine m = make_all_selected_turing();
+    ASSERT_TRUE(run_turing(m, g, id).accepted);
+
+    FaultPlan plan;
+    plan.seed = 4;
+    plan.crash_prob = 1.0;
+    ExecutionOptions options = record_options();
+    options.faults = &plan;
+    const auto result = run_turing(m, g, id, options);
+    EXPECT_TRUE(result.ok());
+    EXPECT_TRUE(result.completed);
+    EXPECT_FALSE(result.accepted);
+    EXPECT_EQ(result.fault_count(RunError::NodeCrashed), g.num_nodes());
+}
+
+TEST(TuringFaults, UndefinedTransitionHasItsCode) {
+    const LabeledGraph g = single_node_graph("1");
+    const auto id = make_global_ids(g);
+    TuringMachine empty; // delta undefined everywhere
+
+    try {
+        run_turing(empty, g, id);
+        FAIL() << "expected run_error";
+    } catch (const run_error& e) {
+        EXPECT_EQ(e.code(), RunError::UndefinedTransition);
+    }
+
+    const auto result = run_turing(empty, g, id, record_options());
+    EXPECT_TRUE(result.completed);
+    EXPECT_TRUE(result.has_fault(RunError::UndefinedTransition));
+    EXPECT_FALSE(result.accepted);
+}
+
+TEST(TuringFaults, IdentifierClashDetectedAtTapeLevel) {
+    const LabeledGraph g = path_graph(4, "1");
+    const auto id = make_global_ids(g);
+    const auto clashed = clash_identifiers(g, id, 1, 5, 1.0);
+    const auto result = run_turing(make_all_selected_turing(), g, clashed,
+                                   record_options());
+    EXPECT_EQ(result.error, RunError::IdentifierClash);
+    EXPECT_FALSE(result.accepted);
+}
+
+TEST(TuringFaults, ReplaysUnderSameSeed) {
+    const LabeledGraph g = cycle_graph(8, "1");
+    const auto id = make_global_ids(g);
+    const TuringMachine m = make_all_selected_turing();
+    FaultPlan plan;
+    plan.seed = 17;
+    plan.crash_prob = 0.3;
+    plan.drop_prob = 0.2;
+    ExecutionOptions options = record_options();
+    options.faults = &plan;
+    expect_same_outcome(run_turing(m, g, id, options),
+                        run_turing(m, g, id, options));
+}
+
+// ---------------------------------------------------------------------------
+// The certificate-game engine: a faulting probe is a recorded loss for Eve,
+// not a process abort.
+// ---------------------------------------------------------------------------
+
+/// Verifier that violates its declared step bound whenever its certificate
+/// is "1", and accepts iff the certificate is "0".
+class FussyVerifier : public LocalMachine {
+public:
+    int round_bound() const override { return 1; }
+    Polynomial step_bound() const override { return Polynomial::constant(64); }
+    RoundOutput on_round(const RoundInput& input, std::string&,
+                         StepMeter& meter) const override {
+        if (input.certificates.find('1') != std::string::npos) {
+            meter.charge(1'000'000); // blows the declared bound
+        }
+        return {{}, true, input.certificates == "0" ? "1" : "0"};
+    }
+};
+
+TEST(GameFaults, FaultingProbeIsARecordedLoss) {
+    const LabeledGraph g = single_node_graph("1");
+    const auto id = make_global_ids(g);
+    // "1" first, so the game hits the faulting probe before the witness.
+    const FixedOptionsDomain domain({"1", "0"});
+    const FussyVerifier verifier;
+
+    GameOptions intolerant;
+    EXPECT_THROW(find_accepting_certificate(verifier, domain, g, id, intolerant),
+                 run_error);
+
+    GameOptions tolerant;
+    tolerant.tolerate_faults = true;
+    GameSpec spec;
+    spec.machine = &verifier;
+    std::vector<const CertificateDomain*> layers{&domain};
+    spec.layers = layers;
+    const GameResult result = play_game(spec, g, id, tolerant);
+    EXPECT_TRUE(result.accepted); // Eve still finds the "0" witness
+    EXPECT_GE(result.faulted_runs, 1u);
+    ASSERT_FALSE(result.probe_faults.empty());
+    EXPECT_EQ(result.probe_faults.front().code, RunError::StepBoundViolated);
+}
+
+TEST(GameFaults, AllProbesFaultingMeansEveLoses) {
+    const LabeledGraph g = single_node_graph("1");
+    const auto id = make_global_ids(g);
+    const FixedOptionsDomain domain({"1", "11"}); // every option trips the bound
+    const FussyVerifier verifier;
+    GameOptions tolerant;
+    tolerant.tolerate_faults = true;
+    const auto witness =
+        find_accepting_certificate(verifier, domain, g, id, tolerant);
+    EXPECT_FALSE(witness.has_value());
+}
+
+// ---------------------------------------------------------------------------
+// The structured failure report (the bench harness channel).
+// ---------------------------------------------------------------------------
+
+TEST(Report, JsonEscaping) {
+    EXPECT_EQ(report::json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+}
+
+TEST(Report, RenderContainsOutcomesAndTotals) {
+    std::vector<report::Instance> instances;
+    instances.push_back({"bench_a", "n=8", "ok", "", 1.5, 0});
+    instances.push_back({"bench_a", "n=16", "StepBoundViolated", "node 3", 2.0, 2});
+    const std::string json = report::render_report_json("demo", instances, 3.5);
+    EXPECT_NE(json.find("\"bench\": \"demo\""), std::string::npos) << json;
+    EXPECT_NE(json.find("\"instance_count\": 2"), std::string::npos) << json;
+    EXPECT_NE(json.find("\"ok_count\": 1"), std::string::npos) << json;
+    EXPECT_NE(json.find("\"failed_count\": 1"), std::string::npos) << json;
+    EXPECT_NE(json.find("StepBoundViolated"), std::string::npos) << json;
+    EXPECT_NE(json.find("\"fault_count\": 2"), std::string::npos) << json;
+}
+
+TEST(Report, RecorderDedupesByBenchAndInstance) {
+    report::Recorder recorder; // local instance, not the global one
+    recorder.record({"b", "i", "ok", "", 1.0, 0});
+    recorder.record({"b", "i", "StepBoundViolated", "", 2.0, 1});
+    recorder.record({"b", "j", "ok", "", 1.0, 0});
+    const auto rows = recorder.instances();
+    ASSERT_EQ(rows.size(), 2u);
+    EXPECT_EQ(rows[0].outcome, "StepBoundViolated"); // overwritten in place
+    EXPECT_EQ(rows[1].instance, "j");
+}
+
+TEST(Report, FaultToStringNamesTheNodeAndRound) {
+    const RunFault fault{RunError::MessageDropped, 3, 2, false, "injected"};
+    const std::string text = fault.to_string();
+    EXPECT_NE(text.find("MessageDropped"), std::string::npos) << text;
+    EXPECT_NE(text.find("3"), std::string::npos) << text;
+    EXPECT_NE(text.find("2"), std::string::npos) << text;
+}
+
+} // namespace
+} // namespace lph

@@ -225,6 +225,70 @@ TEST(Serialize, RejectsMalformed) {
     EXPECT_THROW(graph_from_text("graph 2\nfrobnicate\n"), precondition_error);
 }
 
+/// Returns the parse-error message for malformed input ("" if it parsed).
+std::string parse_error(const std::string& text) {
+    try {
+        graph_from_text(text);
+    } catch (const precondition_error& e) {
+        return e.what();
+    }
+    return "";
+}
+
+TEST(Serialize, ErrorsCarryLineNumberAndToken) {
+    const std::string bad_label = parse_error("graph 2\nlabel 0 xyz\n");
+    EXPECT_NE(bad_label.find("(line 2)"), std::string::npos) << bad_label;
+    EXPECT_NE(bad_label.find("'xyz'"), std::string::npos) << bad_label;
+
+    const std::string bad_directive = parse_error("graph 1\n\n\nwibble 0\n");
+    EXPECT_NE(bad_directive.find("(line 4)"), std::string::npos) << bad_directive;
+    EXPECT_NE(bad_directive.find("'wibble'"), std::string::npos) << bad_directive;
+}
+
+TEST(Serialize, RejectsTruncatedHeader) {
+    EXPECT_THROW(graph_from_text(""), precondition_error);
+    EXPECT_THROW(graph_from_text("graph\n"), precondition_error);
+    EXPECT_THROW(graph_from_text("graph\nedge 0 1\n"), precondition_error);
+    const std::string msg = parse_error("graph\n");
+    EXPECT_NE(msg.find("node count"), std::string::npos) << msg;
+}
+
+TEST(Serialize, RejectsNegativeAndNonNumericIds) {
+    EXPECT_THROW(graph_from_text("graph -3\n"), precondition_error);
+    EXPECT_THROW(graph_from_text("graph 3\nedge -1 2\n"), precondition_error);
+    EXPECT_THROW(graph_from_text("graph 3\nedge 0 2x\n"), precondition_error);
+    EXPECT_THROW(graph_from_text("graph 3\nlabel -0 1\n"), precondition_error);
+    const std::string msg = parse_error("graph 3\nedge -1 2\n");
+    EXPECT_NE(msg.find("'-1'"), std::string::npos) << msg;
+}
+
+TEST(Serialize, RejectsTrailingJunk) {
+    EXPECT_THROW(graph_from_text("graph 2 junk\n"), precondition_error);
+    EXPECT_THROW(graph_from_text("graph 2\nedge 0 1 zzz\n"), precondition_error);
+    EXPECT_THROW(graph_from_text("graph 2\nlabel 0 1 1\n"), precondition_error);
+    const std::string msg = parse_error("graph 2\nedge 0 1 zzz\n");
+    EXPECT_NE(msg.find("trailing junk 'zzz'"), std::string::npos) << msg;
+    // A '#' comment is not junk.
+    EXPECT_NO_THROW(graph_from_text("graph 2\nedge 0 1 # fine\n"));
+}
+
+TEST(Serialize, RejectsDuplicateDirectives) {
+    EXPECT_THROW(graph_from_text("graph 2\ngraph 2\n"), precondition_error);
+    EXPECT_THROW(graph_from_text("graph 2\nlabel 0 1\nlabel 0 0\n"),
+                 precondition_error);
+    EXPECT_THROW(graph_from_text("graph 2\nedge 0 1\nedge 1 0\n"),
+                 precondition_error);
+    EXPECT_THROW(graph_from_text("graph 2\nedge 1 1\n"), precondition_error);
+    const std::string msg = parse_error("graph 2\nedge 0 1\nedge 1 0\n");
+    EXPECT_NE(msg.find("duplicate edge"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("(line 3)"), std::string::npos) << msg;
+}
+
+TEST(Serialize, RejectsOversizedIndex) {
+    EXPECT_THROW(graph_from_text("graph 12345678901234567890\n"),
+                 precondition_error);
+}
+
 TEST(Generators, CompleteBipartiteWheelPetersen) {
     const LabeledGraph k23 = complete_bipartite_graph(2, 3);
     EXPECT_EQ(k23.num_nodes(), 5u);
