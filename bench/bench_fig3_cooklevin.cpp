@@ -5,6 +5,7 @@
 
 #include "graph/generators.hpp"
 #include "logic/examples.hpp"
+#include "machines/verifiers.hpp"
 #include "reductions/cook_levin.hpp"
 #include "reductions/three_coloring.hpp"
 #include "sat/coloring_sat.hpp"
@@ -120,5 +121,27 @@ void BM_FullPipelineFaithfulness(benchmark::State& state) {
                  std::to_string(correct) + "/" + std::to_string(checked));
 }
 BENCHMARK(BM_FullPipelineFaithfulness);
+
+void BM_EngineSpeedup_CookLevinSource(benchmark::State& state) {
+    // The pipeline's source sentence is k_colorable(2); this times the game
+    // engine deciding that property directly: the Sigma_1 coloring game on an
+    // odd cycle (a no-instance, so the engine exhausts the full certificate
+    // space).  Parallel+memoized engine vs the sequential reference.
+    const std::size_t n = static_cast<std::size_t>(state.range(0));
+    const LabeledGraph g = cycle_graph(n, "1");
+    const auto id = make_global_ids(g);
+    const ColoringVerifier verifier(2);
+    const FixedOptionsDomain colors({"0", "1"});
+    GameSpec spec;
+    spec.machine = &verifier;
+    spec.layers = {&colors};
+    spec.starts_existential = true;
+    for (auto _ : state) {
+        sink(play_game(spec, g, id).accepted);
+    }
+    record_engine_speedup("BM_EngineSpeedup_CookLevinSource",
+                          "odd_cycle_n=" + std::to_string(n), spec, g, id);
+}
+BENCHMARK(BM_EngineSpeedup_CookLevinSource)->Arg(15)->Unit(benchmark::kMillisecond);
 
 } // namespace

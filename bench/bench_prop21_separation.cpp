@@ -3,7 +3,9 @@
 // on the doubled C_2n (with replicated identifiers) are compared; they are
 // always identical although exactly one of the two graphs is 2-colorable.
 
+#include "graph/generators.hpp"
 #include "hierarchy/separations.hpp"
+#include "machines/verifiers.hpp"
 
 #include "bench_report.hpp"
 
@@ -50,5 +52,29 @@ void BM_RadiusSweep(benchmark::State& state) {
                  result.transcripts_match);
 }
 BENCHMARK(BM_RadiusSweep)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_EngineSpeedup_OddCycleCertificates(benchmark::State& state) {
+    // The NLP side of Prop 21's separation: the certificate game for
+    // 2-COLORABLE on the odd cycle (the language the blind LP decider cannot
+    // handle).  Parallel+memoized engine vs the sequential reference on the
+    // full exhaustive no-instance.
+    const std::size_t n = static_cast<std::size_t>(state.range(0));
+    const LabeledGraph g = cycle_graph(n, "1");
+    const auto id = make_global_ids(g);
+    const ColoringVerifier verifier(2);
+    const FixedOptionsDomain colors({"0", "1"});
+    GameSpec spec;
+    spec.machine = &verifier;
+    spec.layers = {&colors};
+    spec.starts_existential = true;
+    for (auto _ : state) {
+        sink(play_game(spec, g, id).accepted);
+    }
+    record_engine_speedup("BM_EngineSpeedup_OddCycleCertificates",
+                          "odd_cycle_n=" + std::to_string(n), spec, g, id);
+}
+BENCHMARK(BM_EngineSpeedup_OddCycleCertificates)
+    ->Arg(15)
+    ->Unit(benchmark::kMillisecond);
 
 } // namespace

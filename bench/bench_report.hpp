@@ -1,11 +1,14 @@
 #pragma once
 
 #include "core/report.hpp"
+#include "core/thread_pool.hpp"
 #include "dtm/errors.hpp"
 #include "dtm/execution.hpp"
+#include "hierarchy/game.hpp"
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
 #include <optional>
 #include <string>
@@ -79,4 +82,60 @@ inline void note(const std::string& bench, const std::string& instance, bool ok,
 }
 
 } // namespace report
+
+/// Solves one certificate game twice — sequential reference engine
+/// (1 thread, no memoization) vs the parallel+memoized engine — checks the
+/// verdicts and deterministic counters agree, and records an instance row
+/// with the speedup and the engine's perf metrics.  The headline benches use
+/// this for the fig3/thm11/prop21 speedup acceptance rows.
+inline void record_engine_speedup(const std::string& bench,
+                                  const std::string& instance,
+                                  const GameSpec& spec, const LabeledGraph& g,
+                                  const IdentifierAssignment& id,
+                                  GameOptions options = {}) {
+    const GameTables tables(spec, g, id);
+
+    GameOptions sequential = options;
+    sequential.threads = 1;
+    sequential.memoize_views = false;
+
+    GameOptions parallel = options;
+    parallel.threads = std::max(4u, ThreadPool::default_participants());
+    parallel.memoize_views = true;
+
+    report::Instance row;
+    row.bench = bench;
+    row.instance = instance;
+    try {
+        const GameResult seq = play_game(spec, tables, g, id, sequential);
+        const GameResult par = play_game(spec, tables, g, id, parallel);
+        const bool agree = seq.accepted == par.accepted &&
+                           seq.machine_runs == par.machine_runs &&
+                           seq.faulted_runs == par.faulted_runs &&
+                           seq.witness == par.witness;
+        row.outcome = agree ? "ok" : "engine_mismatch";
+        row.wall_ms = par.stats.wall_ms;
+        row.fault_count = par.faulted_runs;
+        const double speedup = par.stats.wall_ms > 0
+                                   ? seq.stats.wall_ms / par.stats.wall_ms
+                                   : 0.0;
+        row.metrics = {
+            {"speedup", speedup},
+            {"seq_wall_ms", seq.stats.wall_ms},
+            {"par_wall_ms", par.stats.wall_ms},
+            {"leaves", static_cast<double>(par.stats.leaves_processed)},
+            {"leaves_per_sec", par.stats.leaves_per_sec()},
+            {"cache_hit_rate", par.stats.cache_hit_rate()},
+            {"leaf_cache_hits", static_cast<double>(par.stats.leaf_cache_hits)},
+            {"local_runs", static_cast<double>(par.stats.local_runs)},
+            {"workers", static_cast<double>(par.stats.workers)},
+            {"worker_utilization", par.stats.worker_utilization()},
+        };
+    } catch (const std::exception& e) {
+        row.outcome = "error";
+        row.detail = e.what();
+    }
+    report::Recorder::global().record(std::move(row));
+}
+
 } // namespace lph

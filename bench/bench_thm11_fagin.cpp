@@ -9,6 +9,7 @@
 #include "graphalg/coloring.hpp"
 #include "hierarchy/fagin.hpp"
 #include "logic/examples.hpp"
+#include "machines/verifiers.hpp"
 
 #include "bench_report.hpp"
 
@@ -81,5 +82,26 @@ void BM_FormulaSideScaling(benchmark::State& state) {
                       value == is_k_colorable(g, 3));
 }
 BENCHMARK(BM_FormulaSideScaling)->Arg(4)->Arg(6)->Arg(8);
+
+void BM_EngineSpeedup_TwoColorableGame(benchmark::State& state) {
+    // The machine side of the two_colorable agreement, scaled past what the
+    // agreement bench can afford: the Sigma_1 coloring game on an odd cycle,
+    // parallel+memoized engine vs the sequential reference.
+    const std::size_t n = static_cast<std::size_t>(state.range(0));
+    const LabeledGraph g = cycle_graph(n, "");
+    const auto id = make_global_ids(g);
+    const ColoringVerifier verifier(2);
+    const FixedOptionsDomain colors({"0", "1"});
+    GameSpec spec;
+    spec.machine = &verifier;
+    spec.layers = {&colors};
+    spec.starts_existential = true;
+    for (auto _ : state) {
+        sink(play_game(spec, g, id).accepted);
+    }
+    record_engine_speedup("BM_EngineSpeedup_TwoColorableGame",
+                          "odd_cycle_n=" + std::to_string(n), spec, g, id);
+}
+BENCHMARK(BM_EngineSpeedup_TwoColorableGame)->Arg(13)->Unit(benchmark::kMillisecond);
 
 } // namespace

@@ -42,12 +42,15 @@ void demo(const LabeledGraph& g, const std::string& name) {
     spec.layers = {&domain};
     spec.starts_existential = true;
 
+    // One table build shared by the tree-size preview and the solve.
+    const GameTables tables(spec, g, id);
+
     std::cout << "=== " << name << " (" << g.num_nodes() << " nodes, "
               << g.num_edges() << " edges) ===\n";
-    std::cout << "certificate game tree size: " << game_tree_size(spec, g, id)
+    std::cout << "certificate game tree size: " << game_tree_size(tables)
               << "\n";
 
-    const GameResult result = play_game(spec, g, id);
+    const GameResult result = play_game(spec, tables, g, id);
     std::cout << "Eve wins (graph is 3-colorable): " << result.accepted
               << "  [verifier runs: " << result.machine_runs << "]\n";
     if (result.witness.has_value()) {

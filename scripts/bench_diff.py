@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""Compare fresh BENCH_*.json reports against the committed baselines.
+
+Regressions detected, in decreasing order of severity:
+  * an instance whose baseline outcome was "ok" now reports anything else
+    (or disappeared entirely) — always fatal;
+  * an instance's wall_ms grew by more than --threshold x baseline;
+  * an instance's "speedup" metric fell below --speedup-floor (the engine
+    acceptance bar) or below 1/--threshold of its baseline value.
+
+Timing comparisons are advisory by default (machines differ); pass
+--strict-timing to make them fatal too.  --update refreshes the baselines
+from the fresh reports.
+
+Typical use (from the repo root, after scripts/check.sh smoke-ran the
+benches into build/bench/):
+
+    python3 scripts/bench_diff.py --fresh build/bench
+    python3 scripts/bench_diff.py --fresh build/bench --update
+"""
+
+import argparse
+import json
+import pathlib
+import shutil
+import sys
+
+
+def load_reports(directory):
+    reports = {}
+    for path in sorted(pathlib.Path(directory).glob("BENCH_*.json")):
+        with open(path) as handle:
+            reports[path.name] = json.load(handle)
+    return reports
+
+
+def instances_by_key(report):
+    return {
+        (row["bench"], row["instance"]): row for row in report.get("instances", [])
+    }
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", default="bench/baselines",
+                        help="directory of committed baseline reports")
+    parser.add_argument("--fresh", default="build/bench",
+                        help="directory of freshly produced reports")
+    parser.add_argument("--threshold", type=float, default=3.0,
+                        help="allowed wall-time growth factor per instance")
+    parser.add_argument("--speedup-floor", type=float, default=3.0,
+                        help="minimum acceptable 'speedup' metric")
+    parser.add_argument("--strict-timing", action="store_true",
+                        help="treat timing/speedup regressions as fatal")
+    parser.add_argument("--update", action="store_true",
+                        help="copy fresh reports over the baselines and exit")
+    args = parser.parse_args()
+
+    fresh = load_reports(args.fresh)
+    if not fresh:
+        print(f"bench_diff: no BENCH_*.json under {args.fresh}", file=sys.stderr)
+        return 2
+
+    if args.update:
+        baseline_dir = pathlib.Path(args.baseline)
+        baseline_dir.mkdir(parents=True, exist_ok=True)
+        for name in fresh:
+            shutil.copy(pathlib.Path(args.fresh) / name, baseline_dir / name)
+            print(f"bench_diff: updated {baseline_dir / name}")
+        return 0
+
+    baseline = load_reports(args.baseline)
+    if not baseline:
+        print(f"bench_diff: no baselines under {args.baseline}; "
+              "run with --update to create them", file=sys.stderr)
+        return 2
+
+    fatal = []
+    advisory = []
+    for name, base_report in sorted(baseline.items()):
+        fresh_report = fresh.get(name)
+        if fresh_report is None:
+            fatal.append(f"{name}: report missing from {args.fresh}")
+            continue
+        base_rows = instances_by_key(base_report)
+        fresh_rows = instances_by_key(fresh_report)
+        for key, base_row in sorted(base_rows.items()):
+            label = f"{name} {key[0]}/{key[1]}"
+            fresh_row = fresh_rows.get(key)
+            if fresh_row is None:
+                fatal.append(f"{label}: instance disappeared")
+                continue
+            if base_row["outcome"] == "ok" and fresh_row["outcome"] != "ok":
+                fatal.append(f"{label}: outcome regressed "
+                             f"ok -> {fresh_row['outcome']}")
+                continue
+            base_wall = base_row.get("wall_ms", 0.0)
+            fresh_wall = fresh_row.get("wall_ms", 0.0)
+            if base_wall > 1.0 and fresh_wall > args.threshold * base_wall:
+                advisory.append(
+                    f"{label}: wall_ms {base_wall:.1f} -> {fresh_wall:.1f} "
+                    f"(>{args.threshold:g}x)")
+            base_speedup = base_row.get("metrics", {}).get("speedup")
+            fresh_speedup = fresh_row.get("metrics", {}).get("speedup")
+            if base_speedup is not None:
+                if fresh_speedup is None:
+                    fatal.append(f"{label}: speedup metric disappeared")
+                elif fresh_speedup < args.speedup_floor:
+                    fatal.append(
+                        f"{label}: speedup {fresh_speedup:.2f} below the "
+                        f"{args.speedup_floor:g}x floor")
+                elif fresh_speedup * args.threshold < base_speedup:
+                    advisory.append(
+                        f"{label}: speedup {base_speedup:.2f} -> "
+                        f"{fresh_speedup:.2f}")
+
+    for line in advisory:
+        print(f"bench_diff: ADVISORY {line}")
+    for line in fatal:
+        print(f"bench_diff: REGRESSION {line}", file=sys.stderr)
+    if fatal or (args.strict_timing and advisory):
+        return 1
+    checked = sum(len(r.get("instances", [])) for r in baseline.values())
+    print(f"bench_diff: ok ({len(baseline)} reports, {checked} instances, "
+          f"{len(advisory)} advisories)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Full verification: configure, build, run the test suite, smoke-run every
-# benchmark binary (short measurement time).  Mirrors what CI would do.
+# benchmark binary (short measurement time), diff the bench reports against
+# the committed baselines.  Mirrors what CI would do.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -8,18 +9,26 @@ cmake -B build -G Ninja
 cmake --build build
 ctest --test-dir build --output-on-failure
 
+# Smoke-run from build/bench so the BENCH_<name>.json reports land there.
 for b in build/bench/bench_*; do
+    [[ -f "$b" && -x "$b" ]] || continue
     echo "== $b"
-    "$b" --benchmark_min_time=0.01 >/dev/null
+    (cd build/bench && "./$(basename "$b")" --benchmark_min_time=0.01 >/dev/null)
 done
+python3 scripts/bench_diff.py --fresh build/bench
 
-# Sanitizer pass: rebuild and re-run the whole test suite under
-# AddressSanitizer + UBSan (the `asan` preset).  Set LPH_SKIP_SANITIZERS=1
-# for a quick iteration loop.
+# Sanitizer passes: AddressSanitizer + UBSan over the whole suite (the `asan`
+# preset), then ThreadSanitizer over the concurrency-heavy game/cache suites
+# (the `tsan` preset).  Set LPH_SKIP_SANITIZERS=1 for a quick iteration loop.
 if [[ "${LPH_SKIP_SANITIZERS:-0}" != "1" ]]; then
     cmake --preset asan
     cmake --build build-asan
     ctest --test-dir build-asan --output-on-failure
+
+    cmake --preset tsan
+    cmake --build build-tsan
+    ctest --test-dir build-tsan --output-on-failure \
+        -R 'test_(parallel_game|view_cache|game|faults)'
 fi
 
 echo "all checks passed"

@@ -107,6 +107,17 @@ std::string render_report_json(const std::string& name,
         if (!inst.detail.empty()) {
             out += ", \"detail\": \"" + json_escape(inst.detail) + "\"";
         }
+        if (!inst.metrics.empty()) {
+            out += ", \"metrics\": {";
+            for (std::size_t m = 0; m < inst.metrics.size(); ++m) {
+                out += "\"" + json_escape(inst.metrics[m].first) +
+                       "\": " + number(inst.metrics[m].second);
+                if (m + 1 < inst.metrics.size()) {
+                    out += ", ";
+                }
+            }
+            out += "}";
+        }
         out += i + 1 < instances.size() ? "},\n" : "}\n";
     }
     out += "  ]\n";

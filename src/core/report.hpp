@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace lph {
@@ -21,6 +22,9 @@ struct Instance {
     std::string detail;   ///< optional human-readable message
     double wall_ms = 0;   ///< wall time of the recorded run
     std::uint64_t fault_count = 0; ///< non-fatal faults recorded on the run
+    /// Optional named perf metrics (speedup, leaves/sec, cache hit rate...),
+    /// rendered as a "metrics" object on the instance's JSON row.
+    std::vector<std::pair<std::string, double>> metrics;
 };
 
 /// Process-wide instance recorder.  Re-recording the same (bench, instance)

@@ -1,0 +1,202 @@
+#include "core/thread_pool.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace lph {
+
+namespace {
+
+/// One indexed task set mid-flight.  Queues are block-distributed so that a
+/// participant's own work is contiguous (good for the game engine's
+/// incremental odometer) and thieves take from the far end of a victim's
+/// block, minimizing contention on the owner's end.
+struct Job {
+    const std::function<void(std::size_t, unsigned)>* task = nullptr;
+    std::vector<std::deque<std::size_t>> queues;
+    std::vector<std::unique_ptr<std::mutex>> queue_mutexes;
+    std::atomic<std::size_t> remaining{0};
+    unsigned active = 0; ///< background workers inside the job (pool mutex)
+    std::mutex error_mutex;
+    std::exception_ptr first_error;
+};
+
+} // namespace
+
+struct ThreadPool::Impl {
+    std::vector<std::thread> threads;
+
+    std::mutex mutex;
+    std::condition_variable work_cv;
+    std::condition_variable done_cv;
+    Job* job = nullptr;          ///< the active job, guarded by mutex
+    std::uint64_t epoch = 0;     ///< bumped per job so sleepers wake exactly once
+    bool stop = false;
+
+    std::mutex submit_mutex;     ///< serializes run_all callers
+
+    /// Pops one index for `self`: own front first, then steal from the back
+    /// of the first non-empty victim.  Returns false when no work is left.
+    static bool pop_index(Job& job, unsigned self, std::size_t& out) {
+        {
+            const std::lock_guard<std::mutex> lock(*job.queue_mutexes[self]);
+            if (!job.queues[self].empty()) {
+                out = job.queues[self].front();
+                job.queues[self].pop_front();
+                return true;
+            }
+        }
+        const std::size_t n = job.queues.size();
+        for (std::size_t i = 1; i < n; ++i) {
+            const std::size_t victim = (self + i) % n;
+            const std::lock_guard<std::mutex> lock(*job.queue_mutexes[victim]);
+            if (!job.queues[victim].empty()) {
+                out = job.queues[victim].back();
+                job.queues[victim].pop_back();
+                return true;
+            }
+        }
+        return false;
+    }
+
+    void participate(Job& job, unsigned self) {
+        std::size_t index = 0;
+        while (pop_index(job, self, index)) {
+            try {
+                (*job.task)(index, self);
+            } catch (...) {
+                const std::lock_guard<std::mutex> lock(job.error_mutex);
+                if (!job.first_error) {
+                    job.first_error = std::current_exception();
+                }
+            }
+            if (job.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+                const std::lock_guard<std::mutex> lock(mutex);
+                done_cv.notify_all();
+            }
+        }
+    }
+
+    void worker_loop(unsigned self) {
+        std::uint64_t seen_epoch = 0;
+        while (true) {
+            Job* job = nullptr;
+            {
+                std::unique_lock<std::mutex> lock(mutex);
+                work_cv.wait(lock, [&] { return stop || epoch != seen_epoch; });
+                if (stop) {
+                    return;
+                }
+                seen_epoch = epoch;
+                job = this->job;
+                if (job != nullptr) {
+                    ++job->active;
+                }
+            }
+            if (job != nullptr) {
+                participate(*job, self);
+                {
+                    const std::lock_guard<std::mutex> lock(mutex);
+                    --job->active;
+                }
+                done_cv.notify_all();
+            }
+        }
+    }
+};
+
+ThreadPool::ThreadPool(unsigned background_workers)
+    : impl_(std::make_unique<Impl>()), background_(background_workers) {
+    impl_->threads.reserve(background_workers);
+    for (unsigned w = 0; w < background_workers; ++w) {
+        // Participant 0 is the caller; workers are 1-based.
+        impl_->threads.emplace_back([impl = impl_.get(), w] {
+            impl->worker_loop(w + 1);
+        });
+    }
+}
+
+ThreadPool::~ThreadPool() {
+    {
+        const std::lock_guard<std::mutex> lock(impl_->mutex);
+        impl_->stop = true;
+    }
+    impl_->work_cv.notify_all();
+    for (std::thread& t : impl_->threads) {
+        t.join();
+    }
+}
+
+void ThreadPool::run_all(std::size_t count,
+                         const std::function<void(std::size_t, unsigned)>& task) {
+    if (count == 0) {
+        return;
+    }
+    const std::lock_guard<std::mutex> submit(impl_->submit_mutex);
+    const unsigned n = participants();
+
+    Job job;
+    job.task = &task;
+    job.queues.resize(n);
+    job.queue_mutexes.resize(n);
+    for (unsigned p = 0; p < n; ++p) {
+        job.queue_mutexes[p] = std::make_unique<std::mutex>();
+    }
+    // Block distribution: participant p owns [p*count/n, (p+1)*count/n).
+    for (unsigned p = 0; p < n; ++p) {
+        const std::size_t begin = count * p / n;
+        const std::size_t end = count * (p + 1) / n;
+        for (std::size_t i = begin; i < end; ++i) {
+            job.queues[p].push_back(i);
+        }
+    }
+    job.remaining.store(count, std::memory_order_relaxed);
+
+    {
+        const std::lock_guard<std::mutex> lock(impl_->mutex);
+        impl_->job = &job;
+        ++impl_->epoch;
+    }
+    impl_->work_cv.notify_all();
+
+    impl_->participate(job, 0);
+
+    {
+        std::unique_lock<std::mutex> lock(impl_->mutex);
+        impl_->done_cv.wait(lock, [&] {
+            return job.remaining.load(std::memory_order_acquire) == 0 &&
+                   job.active == 0;
+        });
+        impl_->job = nullptr;
+    }
+    if (job.first_error) {
+        std::rethrow_exception(job.first_error);
+    }
+}
+
+unsigned ThreadPool::default_participants() {
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+}
+
+ThreadPool& ThreadPool::shared_for(unsigned participants) {
+    if (participants < 1) {
+        participants = 1;
+    }
+    static std::mutex registry_mutex;
+    static std::map<unsigned, std::unique_ptr<ThreadPool>>* registry =
+        new std::map<unsigned, std::unique_ptr<ThreadPool>>();
+    const std::lock_guard<std::mutex> lock(registry_mutex);
+    auto& slot = (*registry)[participants];
+    if (!slot) {
+        slot = std::make_unique<ThreadPool>(participants - 1);
+    }
+    return *slot;
+}
+
+} // namespace lph

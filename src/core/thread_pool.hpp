@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+
+namespace lph {
+
+/// A small work-stealing thread pool for fanning indexed task sets out
+/// across hardware threads.
+///
+/// The pool runs one *job* at a time (concurrent run_all calls serialize on
+/// an internal mutex).  A job is a set of `count` indexed tasks; indices are
+/// block-distributed over per-participant deques up front, each participant
+/// pops from the front of its own deque and steals from the back of a
+/// victim's deque when it runs dry.  The calling thread participates, so a
+/// pool constructed with 0 background workers degrades to a plain loop.
+///
+/// Tasks should not throw; as a safety net the first escaping exception is
+/// captured and rethrown from run_all after every task has finished.
+class ThreadPool {
+public:
+    /// Spawns `background_workers` threads (they sleep until a job arrives).
+    explicit ThreadPool(unsigned background_workers);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    /// Background workers + the calling thread.
+    unsigned participants() const { return background_ + 1; }
+
+    /// Runs task(index, participant) for every index in [0, count), blocking
+    /// until all complete.  `participant` is in [0, participants()) and is
+    /// stable within one task, so callers can keep per-participant state.
+    /// Must not be called from inside a task of the same pool.
+    void run_all(std::size_t count,
+                 const std::function<void(std::size_t, unsigned)>& task);
+
+    /// One participant per hardware thread (at least 1).
+    static unsigned default_participants();
+
+    /// Process-wide pool with at least `participants` participants, grown on
+    /// demand and shared between callers.  Never destroyed before exit.
+    static ThreadPool& shared_for(unsigned participants);
+
+private:
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+    unsigned background_ = 0;
+};
+
+} // namespace lph

@@ -1,0 +1,189 @@
+#include "dtm/view_cache.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <queue>
+
+namespace lph {
+
+ViewCache::ViewCache(std::size_t max_entries) {
+    max_entries_per_shard_ = std::max<std::size_t>(1, max_entries / kShards);
+}
+
+ViewCache::Shard& ViewCache::shard_for(const std::string& key) {
+    return shards_[std::hash<std::string>{}(key) % kShards];
+}
+
+std::optional<std::string> ViewCache::lookup(const std::string& key) {
+    Shard& shard = shard_for(key);
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    const auto it = shard.index.find(key);
+    if (it == shard.index.end()) {
+        misses_.fetch_add(1, std::memory_order_relaxed);
+        return std::nullopt;
+    }
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return it->second->second;
+}
+
+void ViewCache::insert(const std::string& key, const std::string& verdict) {
+    Shard& shard = shard_for(key);
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    const auto it = shard.index.find(key);
+    if (it != shard.index.end()) {
+        it->second->second = verdict;
+        shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+        return;
+    }
+    shard.lru.emplace_front(key, verdict);
+    shard.index.emplace(key, shard.lru.begin());
+    while (shard.lru.size() > max_entries_per_shard_) {
+        shard.index.erase(shard.lru.back().first);
+        shard.lru.pop_back();
+        evictions_.fetch_add(1, std::memory_order_relaxed);
+    }
+}
+
+ViewCacheStats ViewCache::stats() const {
+    ViewCacheStats stats;
+    stats.hits = hits_.load(std::memory_order_relaxed);
+    stats.misses = misses_.load(std::memory_order_relaxed);
+    stats.evictions = evictions_.load(std::memory_order_relaxed);
+    for (const Shard& shard : shards_) {
+        const std::lock_guard<std::mutex> lock(shard.mutex);
+        stats.entries += shard.lru.size();
+    }
+    return stats;
+}
+
+void ViewCache::clear() {
+    for (Shard& shard : shards_) {
+        const std::lock_guard<std::mutex> lock(shard.mutex);
+        shard.lru.clear();
+        shard.index.clear();
+    }
+}
+
+namespace {
+
+/// BFS distances from u, cut off beyond `radius`; -1 = outside the ball.
+std::vector<int> bounded_distances(const LabeledGraph& g, NodeId u, int radius) {
+    std::vector<int> dist(g.num_nodes(), -1);
+    dist[u] = 0;
+    std::queue<NodeId> frontier;
+    frontier.push(u);
+    while (!frontier.empty()) {
+        const NodeId v = frontier.front();
+        frontier.pop();
+        if (dist[v] >= radius) {
+            continue;
+        }
+        for (NodeId w : g.neighbors(v)) {
+            if (dist[w] < 0) {
+                dist[w] = dist[v] + 1;
+                frontier.push(w);
+            }
+        }
+    }
+    return dist;
+}
+
+} // namespace
+
+ViewKeyBuilder::ViewKeyBuilder(const LocalMachine& machine, const LabeledGraph& g,
+                               const IdentifierAssignment& id,
+                               const ExecutionOptions& exec) {
+    // Run-global couplings break the per-node view determinism the cache
+    // relies on: injected faults address nodes by index and round, the
+    // total-byte cap and the wall-clock deadline tie one node's fate to the
+    // whole run's traffic and timing.
+    if (exec.faults != nullptr || exec.max_total_message_bytes > 0 ||
+        exec.deadline_ms > 0) {
+        return;
+    }
+    // Non-unique identifiers fatal every run before round 1; nothing clean
+    // will ever be inserted, so skip the key work entirely.
+    if (!id.is_locally_unique(g, std::max(1, machine.id_radius()))) {
+        return;
+    }
+    // A clean run finishes within R rounds; information (including the step
+    // charges that decide per-node bound violations) travels one hop per
+    // round from round 2 on.
+    radius_ = exec.enforce_declared_bounds
+                  ? std::min(machine.round_bound(), exec.max_rounds)
+                  : exec.max_rounds;
+    radius_ = std::max(radius_, 1);
+    cacheable_ = true;
+
+    nodes_.resize(g.num_nodes());
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+        const std::vector<int> dist = bounded_distances(g, u, radius_);
+        std::vector<NodeId> ball;
+        for (NodeId v = 0; v < g.num_nodes(); ++v) {
+            if (dist[v] >= 0) {
+                ball.push_back(v);
+            }
+        }
+        std::sort(ball.begin(), ball.end(), [&](NodeId a, NodeId b) {
+            return std::make_tuple(dist[a], std::cref(id(a)), a) <
+                   std::make_tuple(dist[b], std::cref(id(b)), b);
+        });
+        std::vector<std::size_t> canonical(g.num_nodes(),
+                                           static_cast<std::size_t>(-1));
+        for (std::size_t i = 0; i < ball.size(); ++i) {
+            canonical[ball[i]] = i;
+        }
+
+        NodeKey& key = nodes_[u];
+        std::string& out = key.static_prefix;
+        out += "r";
+        out += std::to_string(radius_);
+        out += ';';
+        for (NodeId v : ball) {
+            out += std::to_string(dist[v]);
+            out += '|';
+            out += id(v);
+            out += '|';
+            if (dist[v] <= radius_ - 1) {
+                out += g.label(v);
+                out += '|';
+                out += std::to_string(g.degree(v));
+                key.cert_members.push_back(v);
+            }
+            out += ';';
+        }
+        out += 'E';
+        for (NodeId v : ball) {
+            if (dist[v] > radius_ - 1) {
+                continue; // edges among the boundary ring are irrelevant
+            }
+            for (NodeId w : g.neighbors(v)) {
+                if (canonical[w] == static_cast<std::size_t>(-1)) {
+                    continue; // captured by v's degree
+                }
+                if (dist[w] <= radius_ - 1 && w < v) {
+                    continue; // emit interior edges once
+                }
+                out += std::to_string(canonical[v]);
+                out += '-';
+                out += std::to_string(canonical[w]);
+                out += ',';
+            }
+        }
+        out += '#';
+    }
+}
+
+void ViewKeyBuilder::key_for(NodeId u, const CertificateListAssignment& certs,
+                             std::string& out) const {
+    const NodeKey& key = nodes_[u];
+    out.clear();
+    out += key.static_prefix;
+    for (NodeId v : key.cert_members) {
+        out += certs.at(v);
+        out += ';';
+    }
+}
+
+} // namespace lph

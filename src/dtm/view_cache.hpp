@@ -1,0 +1,123 @@
+#pragma once
+
+#include "dtm/execution.hpp"
+#include "dtm/local.hpp"
+#include "graph/certificates.hpp"
+#include "graph/identifiers.hpp"
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace lph {
+
+/// Counters of a ViewCache; all monotone except `entries`.
+struct ViewCacheStats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t entries = 0;
+};
+
+/// Thread-safe bounded map from canonical r-ball view encodings to the
+/// per-node verdicts of *clean* LOCAL runs (no faults, no aborts).
+///
+/// The locality property of the paper's machines (a node's verdict after R
+/// rounds is determined by its radius-R view) makes the encoding produced by
+/// ViewKeyBuilder a sound key: two nodes — in the same leaf, across leaves of
+/// the certificate game, or even across instances — with identical encodings
+/// receive identical verdicts.  DESIGN.md ("Parallel certificate-game
+/// engine") has the full soundness argument.
+///
+/// Entries are evicted LRU per shard; sharding keeps the lock hot path short
+/// when game workers probe concurrently.  One cache must only ever be shared
+/// across runs of the *same* machine under the same ExecutionOptions — the
+/// key deliberately excludes both to keep it small.
+class ViewCache {
+public:
+    explicit ViewCache(std::size_t max_entries = 1 << 20);
+
+    /// Returns the cached verdict for the key, refreshing its LRU position.
+    std::optional<std::string> lookup(const std::string& key);
+
+    /// Inserts (or refreshes) a verdict, evicting the shard's LRU tail when
+    /// the shard is over budget.
+    void insert(const std::string& key, const std::string& verdict);
+
+    ViewCacheStats stats() const;
+    void clear();
+
+private:
+    struct Shard {
+        mutable std::mutex mutex;
+        /// Front = most recently used.
+        std::list<std::pair<std::string, std::string>> lru;
+        std::unordered_map<std::string,
+                           std::list<std::pair<std::string, std::string>>::iterator>
+            index;
+    };
+
+    static constexpr std::size_t kShards = 16;
+    Shard& shard_for(const std::string& key);
+
+    std::array<Shard, kShards> shards_;
+    std::size_t max_entries_per_shard_;
+    std::atomic<std::uint64_t> hits_{0};
+    std::atomic<std::uint64_t> misses_{0};
+    std::atomic<std::uint64_t> evictions_{0};
+};
+
+/// Builds the per-node cache keys for one (machine, graph, identifiers,
+/// execution options) context.
+///
+/// The key for node u is a canonical serialization of u's effective ball:
+/// with R the number of rounds a clean run can take (the declared round
+/// bound when enforced, otherwise the max_rounds guard), it contains
+///  - distance, identifier, label, and degree of every node within R-1,
+///  - the identifier of every node at distance exactly R (their ids order
+///    the message slots of boundary nodes; nothing else about them can
+///    reach u in R rounds),
+///  - all ball edges with an endpoint within R-1, and
+///  - the certificate list of every node within R-1 (the dynamic part,
+///    appended per leaf by key_for).
+/// Ball nodes are ordered by (distance, id, NodeId); the NodeId tie-break
+/// keeps keys deterministic when identifiers repeat inside a ball, at the
+/// cost of some cross-instance sharing (never of soundness: equal keys
+/// imply equal rooted attributed balls, hence equal verdicts).
+class ViewKeyBuilder {
+public:
+    ViewKeyBuilder(const LocalMachine& machine, const LabeledGraph& g,
+                   const IdentifierAssignment& id, const ExecutionOptions& exec);
+
+    /// False when this context cannot be cached at all: a fault plan or a
+    /// run-global resource coupling (deadline, total-byte cap) makes node
+    /// verdicts depend on more than their views, or the identifiers are not
+    /// locally unique so every run fatals anyway.
+    bool cacheable() const { return cacheable_; }
+
+    /// The effective information radius used for the keys.
+    int radius() const { return radius_; }
+
+    /// Appends node u's full key (static prefix + the ball's certificate
+    /// lists from `certs`) into `out` (cleared first).
+    void key_for(NodeId u, const CertificateListAssignment& certs,
+                 std::string& out) const;
+
+private:
+    struct NodeKey {
+        std::string static_prefix;
+        std::vector<NodeId> cert_members; ///< canonical order, distance <= R-1
+    };
+
+    std::vector<NodeKey> nodes_;
+    bool cacheable_ = false;
+    int radius_ = 0;
+};
+
+} // namespace lph

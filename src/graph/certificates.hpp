@@ -66,6 +66,9 @@ public:
     /// The string lambda#kappa_1#...#kappa_l handed to node u.
     std::string operator()(NodeId u) const { return lists_.at(u); }
 
+    /// Same string without the copy (hot paths: runners, view-cache keys).
+    const std::string& at(NodeId u) const { return lists_.at(u); }
+
     std::size_t size() const { return lists_.size(); }
     std::size_t layers() const { return layers_; }
 

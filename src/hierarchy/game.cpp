@@ -1,7 +1,12 @@
 #include "hierarchy/game.hpp"
 
 #include "core/check.hpp"
+#include "core/thread_pool.hpp"
+#include "dtm/view_cache.hpp"
 
+#include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <limits>
 
 namespace lph {
@@ -20,6 +25,9 @@ RawBitStringDomain::RawBitStringDomain(std::size_t max_length) {
 namespace {
 
 constexpr std::uint64_t kSaturated = std::numeric_limits<std::uint64_t>::max();
+constexpr std::uint64_t kNoTerminal = std::numeric_limits<std::uint64_t>::max();
+constexpr std::size_t kMaxRecordedFaults = 64;
+constexpr std::uint64_t kChunksPerWorker = 8;
 
 std::uint64_t saturating_mul(std::uint64_t a, std::uint64_t b) {
     if (a == 0 || b == 0) {
@@ -28,43 +36,137 @@ std::uint64_t saturating_mul(std::uint64_t a, std::uint64_t b) {
     return a > kSaturated / b ? kSaturated : a * b;
 }
 
-/// Per-layer option table: options[u] for every node.
-using OptionTable = std::vector<std::vector<BitString>>;
+using Clock = std::chrono::steady_clock;
 
-OptionTable build_options(const CertificateDomain& domain, const LabeledGraph& g,
-                          const IdentifierAssignment& id) {
-    OptionTable table(g.num_nodes());
-    for (NodeId u = 0; u < g.num_nodes(); ++u) {
-        table[u] = domain.options(g, id, u);
-        check(!table[u].empty(), "play_game: a certificate domain is empty");
-    }
-    return table;
+double elapsed_ms(Clock::time_point start) {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start).count();
 }
 
-std::uint64_t table_product(const OptionTable& table) {
+} // namespace
+
+GameTables::GameTables(const GameSpec& spec, const LabeledGraph& g,
+                       const IdentifierAssignment& id) {
+    for (const CertificateDomain* domain : spec.layers) {
+        std::vector<std::vector<BitString>> table(g.num_nodes());
+        for (NodeId u = 0; u < g.num_nodes(); ++u) {
+            table[u] = domain->options(g, id, u);
+            check(!table[u].empty(), "play_game: a certificate domain is empty");
+        }
+        tables_.push_back(std::move(table));
+    }
+}
+
+std::uint64_t GameTables::layer_product(std::size_t i) const {
     std::uint64_t product = 1;
-    for (const auto& options : table) {
+    for (const auto& options : tables_.at(i)) {
         product = saturating_mul(product, options.size());
     }
     return product;
 }
 
+std::uint64_t GameTables::tree_size() const {
+    std::uint64_t total = 1;
+    for (std::size_t i = 0; i < tables_.size(); ++i) {
+        total = saturating_mul(total, layer_product(i));
+    }
+    return total;
+}
+
+namespace {
+
+/// Deterministic per-leaf-order counters: everything the sequential engine
+/// would have accumulated up to (and including) one outer assignment.
+struct Tally {
+    std::uint64_t machine_runs = 0;
+    std::uint64_t faulted_runs = 0;
+    std::vector<RunFault> faults; ///< capped at kMaxRecordedFaults
+
+    void add_fault(const RunFault& f) {
+        if (faults.size() < kMaxRecordedFaults) {
+            faults.push_back(f);
+        }
+    }
+};
+
+/// What one contiguous range of outer assignments produced.
+struct ChunkOutcome {
+    std::uint64_t begin = 0;
+    std::uint64_t end = 0;
+    /// Index of the assignment that decided the outer quantifier (or threw);
+    /// kNoTerminal when the whole range was exhausted without one.
+    std::uint64_t terminal = kNoTerminal;
+    std::exception_ptr error; ///< set when `terminal` threw
+    Tally tally;              ///< covers the processed prefix of the range
+    double busy_ms = 0;
+};
+
+/// Everything one worker mutates while walking its share of the game tree.
+struct WorkerContext {
+    std::vector<CertificateAssignment> chosen;
+    std::vector<std::vector<std::size_t>> idx;
+    Tally tally;
+    std::string key_scratch;
+    // Perf counters (accumulated across this worker's chunks).
+    std::uint64_t leaves_processed = 0;
+    std::uint64_t local_runs = 0;
+    std::uint64_t leaf_cache_hits = 0;
+
+    void ensure(std::size_t layers, std::size_t n) {
+        if (chosen.size() != layers) {
+            chosen.assign(layers,
+                          CertificateAssignment(std::vector<BitString>(n)));
+            idx.assign(layers, std::vector<std::size_t>(n, 0));
+        }
+    }
+};
+
 class GameSolver {
 public:
-    GameSolver(const GameSpec& spec, const LabeledGraph& g,
-               const IdentifierAssignment& id, const GameOptions& options)
-        : spec_(spec), g_(g), id_(id), options_(options) {
-        for (const CertificateDomain* domain : spec.layers) {
-            tables_.push_back(build_options(*domain, g, id));
-            check(table_product(tables_.back()) <= options.max_assignments_per_layer,
+    GameSolver(const GameSpec& spec, const GameTables& tables,
+               const LabeledGraph& g, const IdentifierAssignment& id,
+               const GameOptions& options)
+        : spec_(spec), tables_(tables), g_(g), id_(id), options_(options) {
+        check(spec.machine != nullptr, "play_game: no machine");
+        check(tables.layers() == spec.layers.size(),
+              "play_game: tables were built for a different spec");
+        for (std::size_t i = 0; i < tables.layers(); ++i) {
+            check(tables.layer_product(i) <= options.max_assignments_per_layer,
                   "play_game: layer assignment space exceeds the guard");
+        }
+        if (options.memoize_views) {
+            keys_ = std::make_unique<ViewKeyBuilder>(*spec.machine, g, id,
+                                                     options.exec);
+            if (!keys_->cacheable()) {
+                keys_.reset();
+            } else if (options.view_cache != nullptr) {
+                cache_ = options.view_cache;
+            } else {
+                owned_cache_ =
+                    std::make_unique<ViewCache>(options.view_cache_entries);
+                cache_ = owned_cache_.get();
+            }
         }
     }
 
     GameResult run() {
+        const Clock::time_point start = Clock::now();
+        const ViewCacheStats cache_before =
+            cache_ != nullptr ? cache_->stats() : ViewCacheStats{};
+
         GameResult result;
-        std::vector<CertificateAssignment> chosen;
-        result.accepted = value(0, chosen, result);
+        if (spec_.layers.empty()) {
+            run_leaf_only(result);
+        } else {
+            run_layered(result);
+        }
+
+        result.stats.wall_ms = elapsed_ms(start);
+        if (cache_ != nullptr) {
+            const ViewCacheStats after = cache_->stats();
+            result.stats.node_cache_hits = after.hits - cache_before.hits;
+            result.stats.node_cache_misses = after.misses - cache_before.misses;
+            result.stats.cache_evictions = after.evictions - cache_before.evictions;
+        }
         return result;
     }
 
@@ -73,13 +175,69 @@ private:
         return spec_.starts_existential ? layer % 2 == 0 : layer % 2 == 1;
     }
 
+    // --- Odometer over one layer's per-node option table. -----------------
+
+    /// Seeds layer digits to the mixed-radix decomposition of `linear`
+    /// (position 0 is the fastest-running digit, matching increment order).
+    void seed_layer(std::size_t layer, std::uint64_t linear, WorkerContext& ctx) {
+        const auto& table = tables_.layer(layer);
+        for (NodeId u = 0; u < g_.num_nodes(); ++u) {
+            const std::uint64_t size = table[u].size();
+            const std::size_t digit = static_cast<std::size_t>(linear % size);
+            linear /= size;
+            ctx.idx[layer][u] = digit;
+            ctx.chosen[layer].set(u, table[u][digit]);
+        }
+    }
+
+    /// Advances the layer's odometer by one, rewriting only the positions
+    /// that changed.  Returns false when the layer wrapped around.
+    bool advance_layer(std::size_t layer, WorkerContext& ctx) {
+        const auto& table = tables_.layer(layer);
+        std::vector<std::size_t>& idx = ctx.idx[layer];
+        for (std::size_t pos = 0; pos < idx.size(); ++pos) {
+            if (++idx[pos] < table[pos].size()) {
+                ctx.chosen[layer].set(pos, table[pos][idx[pos]]);
+                return true;
+            }
+            idx[pos] = 0;
+            ctx.chosen[layer].set(pos, table[pos][0]);
+        }
+        return false;
+    }
+
+    // --- Leaf evaluation with locality-aware memoization. -----------------
+
     /// Evaluates one leaf of the game tree.  Under tolerate_faults a probe
     /// that cannot finish cleanly is a recorded loss, not a process abort.
-    bool evaluate_leaf(const std::vector<CertificateAssignment>& chosen,
-                       GameResult& result) {
-        static constexpr std::size_t kMaxRecordedFaults = 64;
+    /// With the view cache on, a leaf all of whose node views were verdicted
+    /// by an earlier clean run short-circuits without touching the machine;
+    /// faulting leaves never enter the cache, so the deterministic counters
+    /// (machine_runs, faulted_runs, probe_faults) are cache-independent.
+    bool evaluate_leaf(WorkerContext& ctx) {
+        ++ctx.tally.machine_runs;
+        ++ctx.leaves_processed;
         const auto list =
-            CertificateListAssignment::concatenate(chosen, g_.num_nodes());
+            CertificateListAssignment::concatenate(ctx.chosen, g_.num_nodes());
+
+        if (cache_ != nullptr) {
+            bool all_hit = true;
+            bool all_accept = true;
+            for (NodeId u = 0; u < g_.num_nodes() && all_hit; ++u) {
+                keys_->key_for(u, list, ctx.key_scratch);
+                const auto verdict = cache_->lookup(ctx.key_scratch);
+                if (!verdict.has_value()) {
+                    all_hit = false;
+                } else if (*verdict != "1") {
+                    all_accept = false;
+                }
+            }
+            if (all_hit) {
+                ++ctx.leaf_cache_hits;
+                return all_accept;
+            }
+        }
+
         ExecutionOptions exec_options = options_.exec;
         if (options_.tolerate_faults &&
             exec_options.on_violation == FaultPolicy::Throw) {
@@ -88,82 +246,267 @@ private:
         try {
             const ExecutionResult exec =
                 run_local(*spec_.machine, g_, id_, list, exec_options);
-            ++result.machine_runs;
+            ++ctx.local_runs;
             if (!exec.ok() || !exec.faults.empty()) {
-                ++result.faulted_runs;
+                ++ctx.tally.faulted_runs;
                 for (const RunFault& f : exec.faults) {
-                    if (result.probe_faults.size() >= kMaxRecordedFaults) {
-                        break;
-                    }
-                    result.probe_faults.push_back(f);
+                    ctx.tally.add_fault(f);
                 }
                 return false;
             }
+            // Only *clean, completed* runs are cacheable: an incomplete run's
+            // outputs reflect more rounds than the key's radius covers.
+            if (cache_ != nullptr && exec.completed) {
+                for (NodeId u = 0; u < g_.num_nodes(); ++u) {
+                    keys_->key_for(u, list, ctx.key_scratch);
+                    cache_->insert(ctx.key_scratch, exec.outputs[u]);
+                }
+            }
             return exec.accepted;
         } catch (const run_error& e) {
+            ++ctx.local_runs;
             if (!options_.tolerate_faults) {
                 throw;
             }
-            ++result.machine_runs;
-            ++result.faulted_runs;
-            if (result.probe_faults.size() < kMaxRecordedFaults) {
-                result.probe_faults.push_back(e.fault());
-            }
+            ++ctx.tally.faulted_runs;
+            ctx.tally.add_fault(e.fault());
             return false;
         }
     }
 
-    bool value(std::size_t layer, std::vector<CertificateAssignment>& chosen,
-               GameResult& result) {
+    /// Exact game value of the subtree below one outer assignment
+    /// (layers 1..L-1 enumerated with the incremental odometer).
+    bool inner_value(std::size_t layer, WorkerContext& ctx) {
         if (layer == spec_.layers.size()) {
-            return evaluate_leaf(chosen, result);
+            return evaluate_leaf(ctx);
         }
         const bool want = existential(layer);
-        const OptionTable& table = tables_[layer];
-        std::vector<std::size_t> idx(g_.num_nodes(), 0);
+        seed_layer(layer, 0, ctx);
         while (true) {
-            std::vector<BitString> certs(g_.num_nodes());
-            for (NodeId u = 0; u < g_.num_nodes(); ++u) {
-                certs[u] = table[u][idx[u]];
-            }
-            chosen.emplace_back(std::move(certs));
-            const bool inner = value(layer + 1, chosen, result);
-            if (inner == want && layer == 0 && spec_.layers.size() == 1 && want) {
-                result.witness = chosen.back();
-            }
-            chosen.pop_back();
-            if (inner == want) {
+            if (inner_value(layer + 1, ctx) == want) {
                 return want;
             }
-            // Odometer increment.
-            std::size_t pos = 0;
-            while (pos < idx.size()) {
-                if (++idx[pos] < table[pos].size()) {
-                    break;
-                }
-                idx[pos] = 0;
-                ++pos;
-            }
-            if (pos == idx.size()) {
+            if (!advance_layer(layer, ctx)) {
                 return !want;
             }
         }
     }
 
+    // --- Outer-layer fan-out with deterministic merge. --------------------
+
+    /// Processes outer assignments [begin, end): walks them in order,
+    /// stopping at the first decisive/throwing one or when a smaller
+    /// terminal index has been published by another worker.  Because
+    /// published terminals only ever shrink toward the final minimum, no
+    /// assignment below the final terminal is ever skipped — which is what
+    /// makes the merged counters bit-identical to the sequential engine's.
+    void process_chunk(std::uint64_t chunk_index, WorkerContext& ctx) {
+        ChunkOutcome& out = outcomes_[chunk_index];
+        const Clock::time_point start = Clock::now();
+        ctx.ensure(spec_.layers.size(), g_.num_nodes());
+        ctx.tally = Tally{};
+        bool seeded = false;
+        for (std::uint64_t a = out.begin; a < out.end; ++a) {
+            if (a > min_terminal_.load(std::memory_order_relaxed)) {
+                break;
+            }
+            if (!seeded) {
+                seed_layer(0, a, ctx);
+                seeded = true;
+            }
+            bool inner = false;
+            bool threw = false;
+            try {
+                inner = inner_value(1, ctx);
+            } catch (...) {
+                out.terminal = a;
+                out.error = std::current_exception();
+                publish_terminal(a);
+                threw = true;
+            }
+            if (threw) {
+                break;
+            }
+            if (inner == want_outer_) {
+                out.terminal = a;
+                publish_terminal(a);
+                break;
+            }
+            if (!advance_layer(0, ctx)) {
+                break;
+            }
+        }
+        out.tally = std::move(ctx.tally);
+        ctx.tally = Tally{};
+        out.busy_ms = elapsed_ms(start);
+    }
+
+    void publish_terminal(std::uint64_t index) {
+        std::uint64_t seen = min_terminal_.load(std::memory_order_relaxed);
+        while (index < seen &&
+               !min_terminal_.compare_exchange_weak(seen, index,
+                                                    std::memory_order_acq_rel)) {
+        }
+    }
+
+    void run_leaf_only(GameResult& result) {
+        // No quantifier layers: the game is a single arbiter run.
+        WorkerContext ctx;
+        ctx.ensure(0, g_.num_nodes());
+        result.accepted = evaluate_leaf(ctx);
+        result.machine_runs = ctx.tally.machine_runs;
+        result.faulted_runs = ctx.tally.faulted_runs;
+        result.probe_faults = std::move(ctx.tally.faults);
+        collect_perf(result, {&ctx});
+    }
+
+    void run_layered(GameResult& result) {
+        want_outer_ = existential(0);
+        const std::uint64_t product = tables_.layer_product(0);
+
+        unsigned participants = options_.threads == 0
+                                    ? ThreadPool::default_participants()
+                                    : options_.threads;
+        participants = std::max(1u, participants);
+        if (static_cast<std::uint64_t>(participants) > product) {
+            participants = static_cast<unsigned>(product);
+        }
+
+        const std::uint64_t chunk_count =
+            participants == 1
+                ? 1
+                : std::min<std::uint64_t>(product, static_cast<std::uint64_t>(
+                                                       participants) *
+                                                       kChunksPerWorker);
+        outcomes_.assign(static_cast<std::size_t>(chunk_count), ChunkOutcome{});
+        for (std::uint64_t c = 0; c < chunk_count; ++c) {
+            outcomes_[c].begin = product / chunk_count * c +
+                                 std::min<std::uint64_t>(c, product % chunk_count);
+            outcomes_[c].end = product / chunk_count * (c + 1) +
+                               std::min<std::uint64_t>(c + 1, product % chunk_count);
+        }
+        min_terminal_.store(kNoTerminal, std::memory_order_relaxed);
+
+        std::vector<WorkerContext> contexts;
+        if (participants == 1) {
+            contexts.resize(1);
+            for (std::uint64_t c = 0; c < chunk_count; ++c) {
+                process_chunk(c, contexts[0]);
+                if (outcomes_[c].terminal != kNoTerminal) {
+                    break;
+                }
+            }
+        } else {
+            // The shared pool may have more participants than requested;
+            // size the per-participant contexts to the actual pool.
+            ThreadPool& pool = ThreadPool::shared_for(participants);
+            contexts.resize(pool.participants());
+            pool.run_all(static_cast<std::size_t>(chunk_count),
+                         [&](std::size_t chunk, unsigned participant) {
+                             process_chunk(chunk, contexts[participant]);
+                         });
+        }
+
+        merge(result, contexts);
+    }
+
+    void merge(GameResult& result, std::vector<WorkerContext>& contexts) {
+        std::uint64_t terminal = kNoTerminal;
+        std::exception_ptr error;
+        for (const ChunkOutcome& out : outcomes_) {
+            if (out.terminal < terminal) {
+                terminal = out.terminal;
+                error = out.error;
+            }
+        }
+        for (const ChunkOutcome& out : outcomes_) {
+            if (out.begin > terminal) {
+                break; // ranges are ascending; nothing past the terminal counts
+            }
+            result.machine_runs += out.tally.machine_runs;
+            result.faulted_runs += out.tally.faulted_runs;
+            for (const RunFault& f : out.tally.faults) {
+                if (result.probe_faults.size() >= kMaxRecordedFaults) {
+                    break;
+                }
+                result.probe_faults.push_back(f);
+            }
+        }
+
+        std::vector<const WorkerContext*> ctx_ptrs;
+        for (const WorkerContext& ctx : contexts) {
+            ctx_ptrs.push_back(&ctx);
+        }
+        collect_perf(result, ctx_ptrs);
+        result.stats.workers = static_cast<unsigned>(contexts.size());
+        result.stats.chunks = outcomes_.size();
+        for (const ChunkOutcome& out : outcomes_) {
+            result.stats.busy_ms += out.busy_ms;
+        }
+
+        if (error) {
+            std::rethrow_exception(error);
+        }
+
+        if (terminal != kNoTerminal) {
+            result.accepted = want_outer_;
+            if (existential(0) && result.accepted) {
+                result.witness = outer_assignment(terminal);
+            }
+        } else {
+            result.accepted = !want_outer_;
+        }
+    }
+
+    /// Reconstructs the outer certificate assignment at a linear index.
+    CertificateAssignment outer_assignment(std::uint64_t linear) const {
+        const auto& table = tables_.layer(0);
+        std::vector<BitString> certs(g_.num_nodes());
+        for (NodeId u = 0; u < g_.num_nodes(); ++u) {
+            const std::uint64_t size = table[u].size();
+            certs[u] = table[u][static_cast<std::size_t>(linear % size)];
+            linear /= size;
+        }
+        return CertificateAssignment(std::move(certs));
+    }
+
+    void collect_perf(GameResult& result,
+                      const std::vector<const WorkerContext*>& contexts) {
+        for (const WorkerContext* ctx : contexts) {
+            result.stats.leaves_processed += ctx->leaves_processed;
+            result.stats.local_runs += ctx->local_runs;
+            result.stats.leaf_cache_hits += ctx->leaf_cache_hits;
+        }
+    }
+
     const GameSpec& spec_;
+    const GameTables& tables_;
     const LabeledGraph& g_;
     const IdentifierAssignment& id_;
     const GameOptions& options_;
-    std::vector<OptionTable> tables_;
+
+    std::unique_ptr<ViewKeyBuilder> keys_;
+    std::unique_ptr<ViewCache> owned_cache_;
+    ViewCache* cache_ = nullptr;
+
+    bool want_outer_ = true;
+    std::vector<ChunkOutcome> outcomes_;
+    std::atomic<std::uint64_t> min_terminal_{kNoTerminal};
 };
 
 } // namespace
 
+GameResult play_game(const GameSpec& spec, const GameTables& tables,
+                     const LabeledGraph& g, const IdentifierAssignment& id,
+                     const GameOptions& options) {
+    GameSolver solver(spec, tables, g, id, options);
+    return solver.run();
+}
+
 GameResult play_game(const GameSpec& spec, const LabeledGraph& g,
                      const IdentifierAssignment& id, const GameOptions& options) {
-    check(spec.machine != nullptr, "play_game: no machine");
-    GameSolver solver(spec, g, id, options);
-    return solver.run();
+    const GameTables tables(spec, g, id);
+    return play_game(spec, tables, g, id, options);
 }
 
 std::optional<CertificateAssignment>
@@ -184,11 +527,11 @@ find_accepting_certificate(const LocalMachine& verifier,
 
 std::uint64_t game_tree_size(const GameSpec& spec, const LabeledGraph& g,
                              const IdentifierAssignment& id) {
-    std::uint64_t total = 1;
-    for (const CertificateDomain* domain : spec.layers) {
-        total = saturating_mul(total, table_product(build_options(*domain, g, id)));
-    }
-    return total;
+    return GameTables(spec, g, id).tree_size();
+}
+
+std::uint64_t game_tree_size(const GameTables& tables) {
+    return tables.tree_size();
 }
 
 } // namespace lph

@@ -7,6 +7,8 @@
 
 namespace lph {
 
+class ViewCache;
+
 /// A per-node enumerable space of certificates for one quantifier layer.
 ///
 /// The paper quantifies over all (r,p)-bounded bit strings; the game engine
@@ -60,6 +62,29 @@ struct GameSpec {
     bool starts_existential = true;
 };
 
+/// Per-layer, per-node certificate option tables, built once per
+/// (spec, graph, identifiers) and shared between play_game and
+/// game_tree_size so callers stop paying the domain enumeration twice.
+class GameTables {
+public:
+    GameTables(const GameSpec& spec, const LabeledGraph& g,
+               const IdentifierAssignment& id);
+
+    std::size_t layers() const { return tables_.size(); }
+    const std::vector<std::vector<BitString>>& layer(std::size_t i) const {
+        return tables_.at(i);
+    }
+
+    /// Product of per-node option counts for one layer (saturating).
+    std::uint64_t layer_product(std::size_t i) const;
+
+    /// Number of leaf evaluations an exhaustive game would need (saturating).
+    std::uint64_t tree_size() const;
+
+private:
+    std::vector<std::vector<std::vector<BitString>>> tables_;
+};
+
 struct GameOptions {
     /// Guard on the product of per-node option counts for one layer.
     std::uint64_t max_assignments_per_layer = 50'000'000;
@@ -72,21 +97,84 @@ struct GameOptions {
     /// to win, so a machine that cannot finish cleanly cannot witness
     /// acceptance.
     bool tolerate_faults = false;
+
+    /// Worker threads fanning out the outermost quantifier layer: 1 forces
+    /// the fully sequential reference path, 0 uses one worker per hardware
+    /// thread.  Both paths produce bit-identical GameResults (verdict,
+    /// counters, fault records, witness); only GameResult::stats differs.
+    unsigned threads = 0;
+
+    /// Memoize per-node run_local verdicts keyed by canonical r-ball views
+    /// (sound for the paper's deterministic machines; see DESIGN.md).  The
+    /// cache never changes verdicts or the deterministic counters, only the
+    /// perf stats.  Automatically disabled when the execution options carry
+    /// run-global couplings (fault plans, deadlines, byte caps).
+    bool memoize_views = true;
+
+    /// Optional shared cache (e.g. across instances of the same machine);
+    /// nullptr gives the game a private cache of view_cache_entries.
+    ViewCache* view_cache = nullptr;
+    std::size_t view_cache_entries = 1 << 20;
+};
+
+/// Perf counters of one play_game call.  Unlike the GameResult counters
+/// these describe the *actual* work done — including leaves evaluated
+/// speculatively by workers past the deciding assignment — so they are not
+/// deterministic across thread counts or cache settings.
+struct GameStats {
+    std::uint64_t leaves_processed = 0; ///< leaf probes actually performed
+    std::uint64_t local_runs = 0;       ///< run_local invocations (cache misses)
+    std::uint64_t leaf_cache_hits = 0;  ///< leaves served fully from the cache
+    std::uint64_t node_cache_hits = 0;
+    std::uint64_t node_cache_misses = 0;
+    std::uint64_t cache_evictions = 0;
+    double wall_ms = 0;     ///< wall-clock of the whole solve
+    double busy_ms = 0;     ///< summed per-worker processing time
+    unsigned workers = 1;   ///< participants in the fan-out
+    std::uint64_t chunks = 1;
+
+    double leaves_per_sec() const {
+        return wall_ms > 0 ? 1000.0 * static_cast<double>(leaves_processed) / wall_ms
+                           : 0.0;
+    }
+    double cache_hit_rate() const {
+        const double total =
+            static_cast<double>(node_cache_hits + node_cache_misses);
+        return total > 0 ? static_cast<double>(node_cache_hits) / total : 0.0;
+    }
+    double worker_utilization() const {
+        return wall_ms > 0 && workers > 0
+                   ? busy_ms / (wall_ms * static_cast<double>(workers))
+                   : 0.0;
+    }
 };
 
 struct GameResult {
     bool accepted = false;           ///< Eve has a winning strategy
-    std::uint64_t machine_runs = 0;  ///< leaves actually evaluated
+    std::uint64_t machine_runs = 0;  ///< leaves evaluated (in sequential order)
     std::uint64_t faulted_runs = 0;  ///< leaves scored as losses due to faults
-    /// First few faults from faulted leaves (bounded sample for reporting).
+    /// First few faults from faulted leaves (bounded sample for reporting),
+    /// in deterministic leaf order.
     std::vector<RunFault> probe_faults;
-    /// For a winning Sigma_1 game: Eve's witness certificate assignment.
+    /// When the outermost layer is existential and Eve wins, her winning
+    /// outermost assignment (any alternation depth; for Sigma_1 games this
+    /// is the accepting certificate assignment).  Unset for Pi-side games.
     std::optional<CertificateAssignment> witness;
+    /// Perf counters (excluded from the determinism guarantee).
+    GameStats stats;
 };
 
-/// Solves the game exactly by enumeration with early exit.
+/// Solves the game exactly by enumeration with early exit.  The outermost
+/// quantifier layer is fanned out across a work-stealing thread pool
+/// (GameOptions::threads) with deterministic merging: the parallel and
+/// sequential paths return bit-identical results apart from stats.
 GameResult play_game(const GameSpec& spec, const LabeledGraph& g,
                      const IdentifierAssignment& id, const GameOptions& options = {});
+
+/// Same, with prebuilt option tables (see GameTables).
+GameResult play_game(const GameSpec& spec, const GameTables& tables,
+                     const LabeledGraph& g, const IdentifierAssignment& id,
+                     const GameOptions& options = {});
 
 /// Convenience for NLP (Sigma_1): searches for a certificate assignment the
 /// verifier accepts.
@@ -98,5 +186,8 @@ find_accepting_certificate(const LocalMachine& verifier, const CertificateDomain
 /// Number of leaf evaluations an exhaustive game would need (saturating).
 std::uint64_t game_tree_size(const GameSpec& spec, const LabeledGraph& g,
                              const IdentifierAssignment& id);
+
+/// Same, from prebuilt tables (no re-enumeration of the domains).
+std::uint64_t game_tree_size(const GameTables& tables);
 
 } // namespace lph

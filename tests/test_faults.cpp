@@ -605,8 +605,9 @@ TEST(Report, JsonEscaping) {
 
 TEST(Report, RenderContainsOutcomesAndTotals) {
     std::vector<report::Instance> instances;
-    instances.push_back({"bench_a", "n=8", "ok", "", 1.5, 0});
-    instances.push_back({"bench_a", "n=16", "StepBoundViolated", "node 3", 2.0, 2});
+    instances.push_back({"bench_a", "n=8", "ok", "", 1.5, 0, {}});
+    instances.push_back({"bench_a", "n=16", "StepBoundViolated", "node 3", 2.0, 2,
+                         {{"speedup", 3.25}}});
     const std::string json = report::render_report_json("demo", instances, 3.5);
     EXPECT_NE(json.find("\"bench\": \"demo\""), std::string::npos) << json;
     EXPECT_NE(json.find("\"instance_count\": 2"), std::string::npos) << json;
@@ -614,13 +615,15 @@ TEST(Report, RenderContainsOutcomesAndTotals) {
     EXPECT_NE(json.find("\"failed_count\": 1"), std::string::npos) << json;
     EXPECT_NE(json.find("StepBoundViolated"), std::string::npos) << json;
     EXPECT_NE(json.find("\"fault_count\": 2"), std::string::npos) << json;
+    EXPECT_NE(json.find("\"metrics\": {\"speedup\": 3.250}"), std::string::npos)
+        << json;
 }
 
 TEST(Report, RecorderDedupesByBenchAndInstance) {
     report::Recorder recorder; // local instance, not the global one
-    recorder.record({"b", "i", "ok", "", 1.0, 0});
-    recorder.record({"b", "i", "StepBoundViolated", "", 2.0, 1});
-    recorder.record({"b", "j", "ok", "", 1.0, 0});
+    recorder.record({"b", "i", "ok", "", 1.0, 0, {}});
+    recorder.record({"b", "i", "StepBoundViolated", "", 2.0, 1, {}});
+    recorder.record({"b", "j", "ok", "", 1.0, 0, {}});
     const auto rows = recorder.instances();
     ASSERT_EQ(rows.size(), 2u);
     EXPECT_EQ(rows[0].outcome, "StepBoundViolated"); // overwritten in place
