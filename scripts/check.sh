@@ -25,10 +25,15 @@ if [[ "${LPH_SKIP_SANITIZERS:-0}" != "1" ]]; then
     cmake --build build-asan
     ctest --test-dir build-asan --output-on-failure
 
+    # Differential-oracle smoke: fixed-seed fuzzing of every decision path
+    # against the naive reference oracles, plus the planted-bug selftest.
+    # Runs under ASan so any divergence comes with a memory-safety check.
+    ./build-asan/tools/lph_fuzz --smoke --out build-asan/fuzz-repros
+
     cmake --preset tsan
     cmake --build build-tsan
     ctest --test-dir build-tsan --output-on-failure \
-        -R 'test_(parallel_game|view_cache|game|faults)'
+        -R 'test_(parallel_game|view_cache|game|faults|oracle)'
 fi
 
 echo "all checks passed"

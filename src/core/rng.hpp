@@ -1,5 +1,7 @@
 #pragma once
 
+#include "core/check.hpp"
+
 #include <cstdint>
 #include <random>
 
@@ -15,11 +17,15 @@ public:
 
     /// Uniform integer in [lo, hi] (inclusive); requires lo <= hi.
     std::uint64_t uniform(std::uint64_t lo, std::uint64_t hi) {
+        check(lo <= hi, "Rng::uniform: empty range (lo > hi)");
         return std::uniform_int_distribution<std::uint64_t>(lo, hi)(engine_);
     }
 
-    /// Uniform index in [0, n); requires n > 0.
+    /// Uniform index in [0, n); requires n > 0.  An empty range used to
+    /// underflow to uniform(0, 2^64-1) and return garbage indices; it now
+    /// fails the precondition check instead.
     std::size_t index(std::size_t n) {
+        check(n > 0, "Rng::index: empty range (n == 0)");
         return static_cast<std::size_t>(uniform(0, static_cast<std::uint64_t>(n) - 1));
     }
 

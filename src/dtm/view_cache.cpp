@@ -1,6 +1,7 @@
 #include "dtm/view_cache.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <functional>
 #include <queue>
 
@@ -32,7 +33,13 @@ void ViewCache::insert(const std::string& key, const std::string& verdict) {
     const std::lock_guard<std::mutex> lock(shard.mutex);
     const auto it = shard.index.find(key);
     if (it != shard.index.end()) {
-        it->second->second = verdict;
+        if (it->second->second != verdict) {
+            // Equal keys must imply equal verdicts; overwriting would mask a
+            // soundness violation, so keep the first verdict and surface the
+            // mismatch (fatally so in debug builds).
+            verdict_mismatches_.fetch_add(1, std::memory_order_relaxed);
+            assert(false && "ViewCache::insert: verdict mismatch for equal keys");
+        }
         shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
         return;
     }
@@ -50,6 +57,7 @@ ViewCacheStats ViewCache::stats() const {
     stats.hits = hits_.load(std::memory_order_relaxed);
     stats.misses = misses_.load(std::memory_order_relaxed);
     stats.evictions = evictions_.load(std::memory_order_relaxed);
+    stats.verdict_mismatches = verdict_mismatches_.load(std::memory_order_relaxed);
     for (const Shard& shard : shards_) {
         const std::lock_guard<std::mutex> lock(shard.mutex);
         stats.entries += shard.lru.size();

@@ -23,6 +23,11 @@ struct ViewCacheStats {
     std::uint64_t misses = 0;
     std::uint64_t evictions = 0;
     std::uint64_t entries = 0;
+    /// Re-inserts of an existing key with a *different* verdict.  Equal keys
+    /// must imply equal verdicts (the cache-soundness invariant), so any
+    /// nonzero value here means a key collision between genuinely different
+    /// views — a bug in the key builder or a cache shared across machines.
+    std::uint64_t verdict_mismatches = 0;
 };
 
 /// Thread-safe bounded map from canonical r-ball view encodings to the
@@ -47,7 +52,10 @@ public:
     std::optional<std::string> lookup(const std::string& key);
 
     /// Inserts (or refreshes) a verdict, evicting the shard's LRU tail when
-    /// the shard is over budget.
+    /// the shard is over budget.  Re-inserting an existing key with a
+    /// different verdict is a cache-soundness violation: it asserts in debug
+    /// builds and is counted in stats().verdict_mismatches (the first verdict
+    /// is kept) instead of being silently overwritten.
     void insert(const std::string& key, const std::string& verdict);
 
     ViewCacheStats stats() const;
@@ -71,6 +79,7 @@ private:
     std::atomic<std::uint64_t> hits_{0};
     std::atomic<std::uint64_t> misses_{0};
     std::atomic<std::uint64_t> evictions_{0};
+    std::atomic<std::uint64_t> verdict_mismatches_{0};
 };
 
 /// Builds the per-node cache keys for one (machine, graph, identifiers,

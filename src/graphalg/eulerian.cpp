@@ -8,12 +8,38 @@
 
 namespace lph {
 
+namespace {
+
+/// First node with positive degree; num_nodes() when the graph is edgeless.
+NodeId first_positive_degree(const LabeledGraph& g) {
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+        if (g.degree(u) > 0) {
+            return u;
+        }
+    }
+    return g.num_nodes();
+}
+
+} // namespace
+
 bool is_eulerian(const LabeledGraph& g) {
-    if (!g.is_connected()) {
+    if (g.num_nodes() == 0) {
         return false;
     }
     for (NodeId u = 0; u < g.num_nodes(); ++u) {
         if (g.degree(u) % 2 != 0) {
+            return false;
+        }
+    }
+    const NodeId start = first_positive_degree(g);
+    if (start == g.num_nodes()) {
+        return true; // no edges: the empty closed walk covers them all
+    }
+    // Every edge must be reachable from `start`: the positive-degree nodes
+    // form one component.  Isolated vertices are allowed to dangle.
+    const std::vector<int> dist = g.distances_from(start);
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+        if (g.degree(u) > 0 && dist[u] < 0) {
             return false;
         }
     }
@@ -36,7 +62,9 @@ std::optional<std::vector<NodeId>> find_eulerian_cycle(const LabeledGraph& g) {
         adj[u].erase(std::find(adj[u].begin(), adj[u].end(), v));
         adj[v].erase(std::find(adj[v].begin(), adj[v].end(), u));
     };
-    std::vector<NodeId> stack{0};
+    // Start from a positive-degree node: starting at a hardcoded node 0 made
+    // Hierholzer emit a bogus single-node "cycle" when node 0 was isolated.
+    std::vector<NodeId> stack{first_positive_degree(g)};
     std::vector<NodeId> cycle;
     while (!stack.empty()) {
         const NodeId u = stack.back();

@@ -7,13 +7,18 @@
 
 namespace lph {
 
-/// Euler's theorem (used in Proposition 15): a connected graph is Eulerian
-/// iff every node has even degree.
+/// Euler's theorem (used in Proposition 15): a graph has a closed walk using
+/// every edge exactly once iff every degree is even and the positive-degree
+/// nodes form a single connected component.  Isolated vertices are irrelevant
+/// (an earlier version wrongly required the *whole* graph to be connected,
+/// rejecting Eulerian graphs with isolated vertices); an edgeless graph is
+/// trivially Eulerian.
 bool is_eulerian(const LabeledGraph& g);
 
 /// Extracts an Eulerian cycle with Hierholzer's algorithm, as the sequence of
-/// visited nodes (first == last); nullopt when the graph is not Eulerian.
-/// Cross-checks the degree characterization in tests.
+/// visited nodes (first == last), starting from a positive-degree node;
+/// nullopt when the graph is not Eulerian.  Cross-checks the degree
+/// characterization in tests.
 std::optional<std::vector<NodeId>> find_eulerian_cycle(const LabeledGraph& g);
 
 /// Verifies that `cycle` is a closed walk using every edge exactly once.

@@ -1,0 +1,62 @@
+#pragma once
+
+#include "oracle/repro.hpp"
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace lph {
+
+/// One confirmed disagreement between a fast path and its oracle, after
+/// counterexample shrinking.
+struct Divergence {
+    ReproCase repro;     ///< the shrunk, re-runnable counterexample
+    std::string detail;  ///< what disagreed, on the shrunk instance
+    std::size_t original_nodes = 0;
+    std::size_t shrunk_nodes = 0;
+};
+
+/// Outcome of fuzzing one differential check over a seeded corpus.
+struct CheckReport {
+    std::string check;
+    std::uint64_t seed = 0;
+    std::size_t instances = 0;
+    std::vector<Divergence> divergences;
+    bool passed() const { return divergences.empty(); }
+};
+
+/// Names of all registered differential checks, in execution order:
+///   game-par-vs-ref            parallel+memoized game engine vs the
+///                              single-threaded uncached reference
+///   game-cache-vs-nocache      view cache on vs off, plus a reused shared
+///                              cache and its verdict-mismatch counter
+///   logic-eval-vs-expansion    evaluate() vs quantifier-expansion reference
+///   eulerian-vs-bruteforce     degree/component test + Hierholzer vs
+///                              brute-force trail search
+///   coloring-vs-bruteforce     backtracking/DSATUR/bipartite vs k^n scan
+///   hamiltonian-vs-bruteforce  pruned search vs permutation scan
+///   reduction-eulerian-vs-theorem
+///                              AllSelectedToEulerian output vs Prop. 15
+std::vector<std::string> check_names();
+
+bool is_check_name(const std::string& name);
+
+/// Fuzzes one check: `instances` seeded random instances, fast path vs
+/// oracle on each; every divergence is shrunk to a 1-minimal counterexample
+/// before being reported.
+CheckReport run_check(const std::string& name, std::uint64_t seed,
+                      std::size_t instances);
+
+/// Re-executes one repro case.  Returns the divergence detail, or nullopt
+/// when fast path and oracle now agree.
+std::optional<std::string> replay_repro(const ReproCase& repro);
+
+/// One JSON object (single line) summarizing a report; divergence entries
+/// carry detail and instance sizes but not the repro text.
+std::string report_row_json(const CheckReport& report);
+
+std::string json_escape(const std::string& s);
+
+} // namespace lph

@@ -1,0 +1,378 @@
+#include "oracle/reference.hpp"
+
+#include "core/check.hpp"
+#include "logic/formula.hpp"
+
+#include <algorithm>
+#include <functional>
+
+namespace lph {
+
+namespace {
+
+/// Trail search from `at`: extends the walk by any unused incident edge and
+/// accepts when all edges are used and the walk is back at `start`.
+bool extend_trail(const LabeledGraph& g,
+                  const std::vector<std::pair<NodeId, NodeId>>& edges,
+                  std::vector<bool>& used, std::size_t used_count, NodeId at,
+                  NodeId start) {
+    if (used_count == edges.size()) {
+        return at == start;
+    }
+    for (std::size_t e = 0; e < edges.size(); ++e) {
+        if (used[e]) {
+            continue;
+        }
+        NodeId next;
+        if (edges[e].first == at) {
+            next = edges[e].second;
+        } else if (edges[e].second == at) {
+            next = edges[e].first;
+        } else {
+            continue;
+        }
+        used[e] = true;
+        if (extend_trail(g, edges, used, used_count + 1, next, start)) {
+            return true;
+        }
+        used[e] = false;
+    }
+    return false;
+}
+
+} // namespace
+
+bool ref_is_eulerian(const LabeledGraph& g) {
+    if (g.num_nodes() == 0) {
+        return false;
+    }
+    if (g.num_edges() == 0) {
+        return true; // the empty closed walk uses every (no) edge once
+    }
+    std::vector<std::pair<NodeId, NodeId>> edges;
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+        for (NodeId v : g.neighbors(u)) {
+            if (u < v) {
+                edges.emplace_back(u, v);
+            }
+        }
+    }
+    // A closed walk through all edges passes every edge endpoint, so if one
+    // exists it exists from the first positive-degree node.
+    NodeId start = 0;
+    while (g.degree(start) == 0) {
+        ++start;
+    }
+    std::vector<bool> used(edges.size(), false);
+    return extend_trail(g, edges, used, 0, start, start);
+}
+
+bool ref_is_k_colorable(const LabeledGraph& g, int k) {
+    check(k >= 1, "ref_is_k_colorable: k must be positive");
+    const std::size_t n = g.num_nodes();
+    check(n <= 12, "ref_is_k_colorable: instance too large for brute force");
+    std::vector<int> colors(n, 0);
+    while (true) {
+        bool proper = true;
+        for (NodeId u = 0; u < n && proper; ++u) {
+            for (NodeId v : g.neighbors(u)) {
+                if (colors[u] == colors[v]) {
+                    proper = false;
+                    break;
+                }
+            }
+        }
+        if (proper) {
+            return true;
+        }
+        std::size_t pos = 0;
+        while (pos < n && ++colors[pos] == k) {
+            colors[pos] = 0;
+            ++pos;
+        }
+        if (pos == n) {
+            return false;
+        }
+    }
+}
+
+bool ref_is_hamiltonian(const LabeledGraph& g) {
+    const std::size_t n = g.num_nodes();
+    if (n < 3) {
+        return false; // a simple-graph cycle needs at least 3 nodes
+    }
+    check(n <= 10, "ref_is_hamiltonian: instance too large for brute force");
+    // All cyclic orders, with node 0 fixed in front.
+    std::vector<NodeId> perm(n - 1);
+    for (std::size_t i = 0; i < perm.size(); ++i) {
+        perm[i] = i + 1;
+    }
+    do {
+        bool cycle = g.has_edge(0, perm.front()) && g.has_edge(perm.back(), 0);
+        for (std::size_t i = 0; i + 1 < perm.size() && cycle; ++i) {
+            cycle = g.has_edge(perm[i], perm[i + 1]);
+        }
+        if (cycle) {
+            return true;
+        }
+    } while (std::next_permutation(perm.begin(), perm.end()));
+    return false;
+}
+
+// ---------------------------------------------------------------------------
+// Reference game evaluation.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class RefGameSolver {
+public:
+    RefGameSolver(const GameSpec& spec, const LabeledGraph& g,
+                  const IdentifierAssignment& id, const ExecutionOptions& exec,
+                  bool tolerate_faults)
+        : spec_(spec), g_(g), id_(id), tolerate_faults_(tolerate_faults),
+          leaf_exec_(exec) {
+        check(spec.machine != nullptr, "ref_play_game: no machine");
+        if (tolerate_faults_ && leaf_exec_.on_violation == FaultPolicy::Throw) {
+            leaf_exec_.on_violation = FaultPolicy::Record;
+        }
+        const std::size_t n = g.num_nodes();
+        options_.resize(spec.layers.size());
+        for (std::size_t l = 0; l < spec.layers.size(); ++l) {
+            options_[l].resize(n);
+            double product = 1;
+            for (NodeId u = 0; u < n; ++u) {
+                options_[l][u] = spec.layers[l]->options(g, id, u);
+                check(!options_[l][u].empty(),
+                      "ref_play_game: a certificate domain is empty");
+                product *= static_cast<double>(options_[l][u].size());
+            }
+            check(product <= 4e6,
+                  "ref_play_game: layer assignment space too large for the "
+                  "reference engine");
+        }
+        chosen_.assign(spec.layers.size(),
+                       CertificateAssignment(std::vector<BitString>(n)));
+    }
+
+    RefGameResult run() {
+        result_.accepted = value(0);
+        return result_;
+    }
+
+private:
+    bool existential(std::size_t layer) const {
+        return spec_.starts_existential ? layer % 2 == 0 : layer % 2 == 1;
+    }
+
+    bool leaf() {
+        ++result_.machine_runs;
+        const auto list = CertificateListAssignment::concatenate(
+            chosen_, g_.num_nodes());
+        try {
+            const ExecutionResult exec =
+                run_local(*spec_.machine, g_, id_, list, leaf_exec_);
+            if (!exec.ok() || !exec.faults.empty()) {
+                ++result_.faulted_runs;
+                return false;
+            }
+            return exec.accepted;
+        } catch (const run_error&) {
+            if (!tolerate_faults_) {
+                throw;
+            }
+            ++result_.faulted_runs;
+            return false;
+        }
+    }
+
+    /// Scans every assignment of `layer`, node n-1 in the outermost loop so
+    /// node 0 varies fastest — the engine's linear order.  Returns true on
+    /// the first assignment whose subgame value equals `want`.
+    bool scan(std::size_t layer, std::size_t unassigned, bool want) {
+        if (unassigned == 0) {
+            return value(layer + 1) == want;
+        }
+        const NodeId u = unassigned - 1;
+        for (const BitString& option : options_[layer][u]) {
+            chosen_[layer].set(u, option);
+            if (scan(layer, unassigned - 1, want)) {
+                return true;
+            }
+        }
+        return false;
+    }
+
+    /// Exact value of the subgame starting at `layer` under chosen_[0..layer).
+    bool value(std::size_t layer) {
+        if (layer == spec_.layers.size()) {
+            return leaf();
+        }
+        const bool want = existential(layer);
+        const bool found = scan(layer, g_.num_nodes(), want);
+        if (layer == 0 && found && existential(0)) {
+            result_.witness = chosen_[0]; // still holds the deciding assignment
+        }
+        return found ? want : !want;
+    }
+
+    const GameSpec& spec_;
+    const LabeledGraph& g_;
+    const IdentifierAssignment& id_;
+    bool tolerate_faults_;
+    ExecutionOptions leaf_exec_;
+    std::vector<std::vector<std::vector<BitString>>> options_; // [layer][node]
+    std::vector<CertificateAssignment> chosen_;
+    RefGameResult result_;
+};
+
+} // namespace
+
+RefGameResult ref_play_game(const GameSpec& spec, const LabeledGraph& g,
+                            const IdentifierAssignment& id,
+                            const ExecutionOptions& exec, bool tolerate_faults) {
+    return RefGameSolver(spec, g, id, exec, tolerate_faults).run();
+}
+
+// ---------------------------------------------------------------------------
+// Reference model checking by quantifier expansion.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+Element ref_lookup(const Assignment& sigma, const std::string& var) {
+    const auto it = sigma.fo.find(var);
+    check(it != sigma.fo.end(),
+          "ref_evaluate: unassigned first-order variable " + var);
+    return it->second;
+}
+
+bool ref_eval(const Structure& s, const Formula& phi, Assignment sigma,
+              const SOPolicy& policy);
+
+/// Folds the subset lattice of `universe` (include/exclude per tuple) without
+/// early exits: returns whether *some* (existential) or *every* (universal)
+/// subset satisfies the body.
+bool fold_subsets(const Structure& s, const FormulaNode& node,
+                  const Assignment& sigma, const SOPolicy& policy,
+                  const std::vector<ElementTuple>& universe, std::size_t next,
+                  RelationValue value, bool existential) {
+    if (next == universe.size()) {
+        Assignment inner = sigma;
+        inner.so.insert_or_assign(node.rel_var, std::move(value));
+        return ref_eval(s, node.children[0], std::move(inner), policy);
+    }
+    const bool without =
+        fold_subsets(s, node, sigma, policy, universe, next + 1, value,
+                     existential);
+    value.insert(universe[next]);
+    const bool with = fold_subsets(s, node, sigma, policy, universe, next + 1,
+                                   std::move(value), existential);
+    return existential ? (without || with) : (without && with);
+}
+
+bool ref_eval(const Structure& s, const Formula& phi, Assignment sigma,
+              const SOPolicy& policy) {
+    const FormulaNode& node = *phi;
+    switch (node.kind) {
+    case FormulaKind::Top:
+        return true;
+    case FormulaKind::Bottom:
+        return false;
+    case FormulaKind::Unary:
+        check(node.rel_index >= 1 && node.rel_index <= s.num_unary(),
+              "ref_evaluate: unary relation index out of signature");
+        return s.unary_holds(node.rel_index - 1, ref_lookup(sigma, node.var));
+    case FormulaKind::Binary:
+        check(node.rel_index >= 1 && node.rel_index <= s.num_binary(),
+              "ref_evaluate: binary relation index out of signature");
+        return s.binary_holds(node.rel_index - 1, ref_lookup(sigma, node.var),
+                              ref_lookup(sigma, node.var2));
+    case FormulaKind::Equals:
+        return ref_lookup(sigma, node.var) == ref_lookup(sigma, node.var2);
+    case FormulaKind::Apply: {
+        const auto it = sigma.so.find(node.rel_var);
+        check(it != sigma.so.end(),
+              "ref_evaluate: unassigned second-order variable " + node.rel_var);
+        ElementTuple t;
+        for (const auto& a : node.args) {
+            t.push_back(ref_lookup(sigma, a));
+        }
+        return it->second.contains(t);
+    }
+    case FormulaKind::Not:
+        return !ref_eval(s, node.children[0], sigma, policy);
+    case FormulaKind::Or:
+        return ref_eval(s, node.children[0], sigma, policy) |
+               ref_eval(s, node.children[1], sigma, policy);
+    case FormulaKind::And:
+        return ref_eval(s, node.children[0], sigma, policy) &
+               ref_eval(s, node.children[1], sigma, policy);
+    case FormulaKind::Implies:
+        return !ref_eval(s, node.children[0], sigma, policy) |
+               ref_eval(s, node.children[1], sigma, policy);
+    case FormulaKind::Iff:
+        return ref_eval(s, node.children[0], sigma, policy) ==
+               ref_eval(s, node.children[1], sigma, policy);
+    case FormulaKind::ExistsFO:
+    case FormulaKind::ForallFO: {
+        const bool existential = node.kind == FormulaKind::ExistsFO;
+        bool some = false;
+        bool all = true;
+        for (Element a = 0; a < s.domain_size(); ++a) {
+            Assignment inner = sigma;
+            inner.fo.insert_or_assign(node.var, a);
+            const bool v = ref_eval(s, node.children[0], std::move(inner), policy);
+            some = some || v;
+            all = all && v;
+        }
+        return existential ? some : all;
+    }
+    case FormulaKind::ExistsConn:
+    case FormulaKind::ForallConn: {
+        const bool existential = node.kind == FormulaKind::ExistsConn;
+        const Element anchor = ref_lookup(sigma, node.var2);
+        bool some = false;
+        bool all = true;
+        for (Element a : s.connected_to(anchor)) {
+            Assignment inner = sigma;
+            inner.fo.insert_or_assign(node.var, a);
+            const bool v = ref_eval(s, node.children[0], std::move(inner), policy);
+            some = some || v;
+            all = all && v;
+        }
+        return existential ? some : all;
+    }
+    case FormulaKind::ExistsSO:
+    case FormulaKind::ForallSO: {
+        const bool existential = node.kind == FormulaKind::ExistsSO;
+        const auto universe = so_tuple_universe(s, node.arity, policy);
+        check(universe.size() <= policy.max_universe_size,
+              "ref_evaluate: second-order universe too large");
+        Assignment base = sigma;
+        base.so.erase(node.rel_var);
+        return fold_subsets(s, node, base, policy, universe, 0,
+                            RelationValue(node.arity), existential);
+    }
+    }
+    check(false, "ref_evaluate: unreachable");
+    return false;
+}
+
+} // namespace
+
+bool ref_evaluate(const Structure& s, const Formula& phi, const Assignment& sigma,
+                  const SOPolicy& policy) {
+    return ref_eval(s, phi, sigma, policy);
+}
+
+bool ref_satisfies(const Structure& s, const Formula& sentence,
+                   const SOPolicy& policy) {
+    check(free_fo_variables(sentence).empty(),
+          "ref_satisfies: sentence has free first-order variables");
+    check(free_so_variables(sentence).empty(),
+          "ref_satisfies: sentence has free second-order variables");
+    return ref_evaluate(s, sentence, Assignment{}, policy);
+}
+
+} // namespace lph

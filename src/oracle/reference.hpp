@@ -1,0 +1,67 @@
+#pragma once
+
+#include "graph/graph.hpp"
+#include "hierarchy/game.hpp"
+#include "logic/eval.hpp"
+
+#include <cstdint>
+#include <optional>
+
+namespace lph {
+
+/// Deliberately naive reference implementations ("oracles") for the
+/// differential harness.
+///
+/// Everything here favors being *obviously correct* over being fast: plain
+/// recursion, exhaustive enumeration, no caches, no threads, no incremental
+/// state.  Each oracle answers the same finite, decidable question as one of
+/// the library's fast paths, so on any instance a disagreement between the
+/// two is a bug by construction — in one side or the other.  All oracles are
+/// exponential; the harness keeps instances tiny.
+
+/// Brute-force EULERIAN: backtracking search for a closed walk that uses
+/// every edge exactly once, straight from the definition (no Euler-theorem
+/// shortcut, no connectivity reasoning).
+bool ref_is_eulerian(const LabeledGraph& g);
+
+/// Brute-force k-COLORABLE: enumerates all k^n color functions and checks
+/// each against the definition of properness.
+bool ref_is_k_colorable(const LabeledGraph& g, int k);
+
+/// Brute-force HAMILTONIAN: enumerates node permutations with a fixed first
+/// node and checks each for being a cycle in g.
+bool ref_is_hamiltonian(const LabeledGraph& g);
+
+/// What the reference game evaluation reports: the deterministic fields of a
+/// GameResult (the engine guarantees these are identical across thread
+/// counts and cache settings, so they must also match this reference).
+struct RefGameResult {
+    bool accepted = false;
+    std::uint64_t machine_runs = 0;
+    std::uint64_t faulted_runs = 0;
+    std::optional<CertificateAssignment> witness;
+};
+
+/// Reference certificate-game evaluation: single-threaded recursive
+/// enumeration with the view cache disabled and no odometer state.  It scans
+/// layer assignments in the same linear order as the engine (node 0 is the
+/// fastest-running digit) with the same early exits, so machine_runs /
+/// faulted_runs / witness must match the engine bit for bit, not just the
+/// verdict.  `tolerate_faults` mirrors GameOptions::tolerate_faults.
+RefGameResult ref_play_game(const GameSpec& spec, const LabeledGraph& g,
+                            const IdentifierAssignment& id,
+                            const ExecutionOptions& exec = {},
+                            bool tolerate_faults = false);
+
+/// Direct FO/MSO model checking by quantifier expansion: every quantifier is
+/// expanded into its full table of instance values, folded *without* early
+/// exits; second-order quantifiers enumerate subsets by include/exclude
+/// recursion; variable bindings are plain assignment copies.
+bool ref_evaluate(const Structure& s, const Formula& phi, const Assignment& sigma,
+                  const SOPolicy& policy = {});
+
+/// Reference counterpart of satisfies() for sentences.
+bool ref_satisfies(const Structure& s, const Formula& sentence,
+                   const SOPolicy& policy = {});
+
+} // namespace lph

@@ -1,0 +1,97 @@
+#include "oracle/repro.hpp"
+
+#include "core/check.hpp"
+#include "graph/serialize.hpp"
+
+#include <fstream>
+#include <sstream>
+
+namespace lph {
+
+std::string repro_to_text(const ReproCase& repro) {
+    check(repro.check.find_first_of(" \n") == std::string::npos &&
+              !repro.check.empty(),
+          "repro_to_text: check name must be a single token");
+    std::ostringstream out;
+    out << "lph-fuzz-repro 1\n";
+    out << "check " << repro.check << "\n";
+    out << "seed " << repro.seed << "\n";
+    for (const auto& [key, value] : repro.params) {
+        check(key.find_first_of(" \n") == std::string::npos && !key.empty(),
+              "repro_to_text: param key must be a single token");
+        check(value.find('\n') == std::string::npos,
+              "repro_to_text: param value must be a single line");
+        out << "param " << key << " " << value << "\n";
+    }
+    out << graph_to_text(repro.graph);
+    return out.str();
+}
+
+ReproCase repro_from_text(const std::string& text) {
+    std::istringstream in(text);
+    std::string line;
+    check(static_cast<bool>(std::getline(in, line)) && line == "lph-fuzz-repro 1",
+          "repro_from_text: missing 'lph-fuzz-repro 1' header");
+
+    ReproCase repro;
+    std::string graph_section;
+    bool in_graph = false;
+    while (std::getline(in, line)) {
+        if (in_graph) {
+            graph_section += line;
+            graph_section += '\n';
+            continue;
+        }
+        if (line.empty() || line[0] == '#') {
+            continue;
+        }
+        std::istringstream fields(line);
+        std::string directive;
+        fields >> directive;
+        if (directive == "check") {
+            check(static_cast<bool>(fields >> repro.check),
+                  "repro_from_text: malformed check line");
+        } else if (directive == "seed") {
+            check(static_cast<bool>(fields >> repro.seed),
+                  "repro_from_text: malformed seed line");
+        } else if (directive == "param") {
+            std::string key;
+            check(static_cast<bool>(fields >> key),
+                  "repro_from_text: malformed param line");
+            std::string value;
+            std::getline(fields, value);
+            if (!value.empty() && value.front() == ' ') {
+                value.erase(0, 1);
+            }
+            repro.params[key] = value;
+        } else if (directive == "graph") {
+            in_graph = true;
+            graph_section += line;
+            graph_section += '\n';
+        } else {
+            check(false, "repro_from_text: unknown directive '" + directive + "'");
+        }
+    }
+    check(!repro.check.empty(), "repro_from_text: missing check line");
+    check(in_graph, "repro_from_text: missing graph section");
+    repro.graph = graph_from_text(graph_section);
+    return repro;
+}
+
+void write_repro_file(const std::string& path, const ReproCase& repro) {
+    std::ofstream out(path);
+    check(out.good(), "write_repro_file: cannot open " + path);
+    out << repro_to_text(repro);
+    out.flush();
+    check(out.good(), "write_repro_file: write to " + path + " failed");
+}
+
+ReproCase read_repro_file(const std::string& path) {
+    std::ifstream in(path);
+    check(in.good(), "read_repro_file: cannot open " + path);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return repro_from_text(buffer.str());
+}
+
+} // namespace lph

@@ -1,0 +1,40 @@
+#pragma once
+
+#include "graph/graph.hpp"
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace lph {
+
+/// A self-contained, re-runnable counterexample: which differential check
+/// diverged, the corpus seed it came from, the check-specific parameters
+/// (identifier scheme, k, layer count, formula text...), and the (shrunk)
+/// graph.  `lph_fuzz --repro FILE` re-executes exactly this case.
+struct ReproCase {
+    std::string check;
+    std::uint64_t seed = 0;
+    std::map<std::string, std::string> params;
+    LabeledGraph graph;
+};
+
+/// Text format (round-trips exactly):
+///
+///     lph-fuzz-repro 1
+///     check <name>
+///     seed <u64>
+///     param <key> <value...>        # zero or more; value runs to end of line
+///     graph <n>                     # graph section, see graph/serialize.hpp
+///     label <node> <bits>
+///     edge <u> <v>
+std::string repro_to_text(const ReproCase& repro);
+
+/// Parses the format above; throws precondition_error on malformed input.
+ReproCase repro_from_text(const std::string& text);
+
+/// File convenience wrappers; throw precondition_error on I/O failure.
+void write_repro_file(const std::string& path, const ReproCase& repro);
+ReproCase read_repro_file(const std::string& path);
+
+} // namespace lph

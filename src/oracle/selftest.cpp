@@ -1,0 +1,85 @@
+#include "oracle/selftest.hpp"
+
+#include "hierarchy/game.hpp"
+#include "machines/deciders.hpp"
+#include "oracle/generators.hpp"
+#include "oracle/shrink.hpp"
+
+#include <sstream>
+
+namespace lph {
+
+namespace {
+
+/// Deliberately buggy copy of the engine's unanimity aggregation: it folds
+/// the per-node verdicts starting at node 1, silently dropping node 0 — the
+/// classic off-by-one the differential harness exists to catch.
+bool buggy_unanimity_accepts(const LabeledGraph& g, const IdentifierAssignment& id,
+                             const LocalMachine& machine) {
+    const ExecutionResult run = run_local(
+        machine, g, id, CertificateListAssignment::empty(g.num_nodes()), {});
+    if (!run.ok() || !run.completed) {
+        return false;
+    }
+    bool unanimous = true;
+    for (NodeId u = 1; u < g.num_nodes(); ++u) { // BUG: starts at 1, not 0
+        unanimous = unanimous && run.node_accepts(u);
+    }
+    return unanimous;
+}
+
+bool engine_accepts(const LabeledGraph& g, const IdentifierAssignment& id,
+                    const LocalMachine& machine) {
+    GameSpec spec;
+    spec.machine = &machine;
+    // No quantifier layers: the game is exactly one arbiter run.
+    GameOptions options;
+    options.threads = 1;
+    return play_game(spec, g, id, options).accepted;
+}
+
+} // namespace
+
+SelftestResult run_selftest(std::uint64_t seed, std::size_t max_instances) {
+    SelftestResult result;
+    result.seed = seed;
+
+    const AllSelectedDecider machine;
+    const DivergencePredicate diverges = [&machine](const LabeledGraph& g) {
+        if (g.num_nodes() == 0) {
+            return false;
+        }
+        const IdentifierAssignment id = make_global_ids(g);
+        return buggy_unanimity_accepts(g, id, machine) !=
+               engine_accepts(g, id, machine);
+    };
+
+    GraphGenOptions gopt;
+    gopt.min_nodes = 2;
+    gopt.max_nodes = 5;
+    gopt.max_extra_edges = 2;
+    gopt.labels = GraphGenOptions::Labels::ZeroOrOne;
+
+    for (std::size_t i = 0; i < max_instances; ++i) {
+        Rng rng(instance_seed(seed, i));
+        const LabeledGraph g = random_graph_instance(rng, gopt);
+        ++result.instances_tried;
+        if (!diverges(g)) {
+            continue;
+        }
+        result.divergence_found = true;
+        result.original_nodes = g.num_nodes();
+        result.shrunk = shrink_graph(g, diverges);
+        result.shrunk_nodes = result.shrunk.num_nodes();
+        std::ostringstream detail;
+        detail << "planted off-by-one caught after " << result.instances_tried
+               << " instance(s); shrunk from " << result.original_nodes
+               << " to " << result.shrunk_nodes << " node(s)";
+        result.detail = detail.str();
+        return result;
+    }
+    result.detail = "planted off-by-one was NOT caught — the harness is broken";
+    return result;
+}
+
+} // namespace lph

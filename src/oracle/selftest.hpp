@@ -1,0 +1,29 @@
+#pragma once
+
+#include "graph/graph.hpp"
+
+#include <cstdint>
+#include <string>
+
+namespace lph {
+
+/// Outcome of the harness self-test (see run_selftest).
+struct SelftestResult {
+    bool divergence_found = false;
+    std::uint64_t seed = 0;
+    std::size_t instances_tried = 0;
+    std::size_t original_nodes = 0;
+    std::size_t shrunk_nodes = 0;
+    LabeledGraph shrunk;
+    std::string detail;
+};
+
+/// Proves the harness can actually catch and shrink bugs: runs a copy of the
+/// engine's unanimity aggregation with a deliberate off-by-one (it skips
+/// node 0's verdict) against the real leaf-only game over a seeded corpus,
+/// and delta-debugs the first divergence.  The planted bug's minimal
+/// counterexample is a single node whose label is not "1", so a healthy
+/// harness reports divergence_found with shrunk_nodes == 1.
+SelftestResult run_selftest(std::uint64_t seed = 7, std::size_t max_instances = 500);
+
+} // namespace lph

@@ -1,0 +1,126 @@
+#include "oracle/shrink.hpp"
+
+#include "core/check.hpp"
+
+namespace lph {
+
+namespace {
+
+bool holds(const DivergencePredicate& diverges, const LabeledGraph& g,
+           ShrinkStats* stats) {
+    if (stats != nullptr) {
+        ++stats->predicate_calls;
+    }
+    try {
+        return diverges(g);
+    } catch (...) {
+        // A candidate the comparison cannot even run on (guards, empty
+        // graph...) is not a divergence we can shrink toward.
+        return false;
+    }
+}
+
+} // namespace
+
+LabeledGraph remove_node_copy(const LabeledGraph& g, NodeId u) {
+    LabeledGraph out;
+    std::vector<NodeId> remap(g.num_nodes());
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+        if (v != u) {
+            remap[v] = out.add_node(g.label(v));
+        }
+    }
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+        if (v == u) {
+            continue;
+        }
+        for (NodeId w : g.neighbors(v)) {
+            if (w != u && v < w) {
+                out.add_edge(remap[v], remap[w]);
+            }
+        }
+    }
+    return out;
+}
+
+LabeledGraph remove_edge_copy(const LabeledGraph& g, NodeId drop_u, NodeId drop_v) {
+    LabeledGraph out;
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+        out.add_node(g.label(v));
+    }
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+        for (NodeId w : g.neighbors(v)) {
+            if (v >= w) {
+                continue;
+            }
+            if ((v == drop_u && w == drop_v) || (v == drop_v && w == drop_u)) {
+                continue;
+            }
+            out.add_edge(v, w);
+        }
+    }
+    return out;
+}
+
+LabeledGraph shrink_graph(const LabeledGraph& g, const DivergencePredicate& diverges,
+                          ShrinkStats* stats) {
+    check(holds(diverges, g, stats),
+          "shrink_graph: the starting instance does not diverge");
+    LabeledGraph current = g;
+    bool progress = true;
+    while (progress) {
+        progress = false;
+
+        // Nodes first: one successful removal shrinks the search space for
+        // everything after it the most.
+        for (NodeId u = 0; u < current.num_nodes();) {
+            const LabeledGraph candidate = remove_node_copy(current, u);
+            if (holds(diverges, candidate, stats)) {
+                current = candidate;
+                progress = true;
+                if (stats != nullptr) {
+                    ++stats->nodes_removed;
+                }
+                // Do not advance: node u now names a different node.
+            } else {
+                ++u;
+            }
+        }
+
+        for (NodeId u = 0; u < current.num_nodes(); ++u) {
+            // Snapshot the neighbor list: `current` changes under us.
+            const std::vector<NodeId> neighbors = current.neighbors(u);
+            for (NodeId v : neighbors) {
+                if (u >= v) {
+                    continue;
+                }
+                const LabeledGraph candidate = remove_edge_copy(current, u, v);
+                if (holds(diverges, candidate, stats)) {
+                    current = candidate;
+                    progress = true;
+                    if (stats != nullptr) {
+                        ++stats->edges_removed;
+                    }
+                }
+            }
+        }
+
+        for (NodeId u = 0; u < current.num_nodes(); ++u) {
+            if (current.label(u) == "1") {
+                continue;
+            }
+            LabeledGraph candidate = current;
+            candidate.set_label(u, "1");
+            if (holds(diverges, candidate, stats)) {
+                current = candidate;
+                progress = true;
+                if (stats != nullptr) {
+                    ++stats->labels_simplified;
+                }
+            }
+        }
+    }
+    return current;
+}
+
+} // namespace lph

@@ -1,0 +1,37 @@
+#pragma once
+
+#include "graph/graph.hpp"
+
+#include <cstddef>
+#include <functional>
+
+namespace lph {
+
+/// "Does the fast path still disagree with the oracle on this graph?"
+/// Candidate graphs may be degenerate (empty, disconnected, relabeled); a
+/// predicate that throws on a candidate is treated as "no divergence there".
+using DivergencePredicate = std::function<bool(const LabeledGraph&)>;
+
+struct ShrinkStats {
+    std::size_t predicate_calls = 0;
+    std::size_t nodes_removed = 0;
+    std::size_t edges_removed = 0;
+    std::size_t labels_simplified = 0;
+};
+
+/// Copy of g without node u (remaining nodes are renumbered densely,
+/// preserving relative order; u's edges vanish with it).
+LabeledGraph remove_node_copy(const LabeledGraph& g, NodeId u);
+
+/// Copy of g without the edge {u, v}.
+LabeledGraph remove_edge_copy(const LabeledGraph& g, NodeId u, NodeId v);
+
+/// Greedy delta-debugging to a local minimum: repeatedly tries dropping a
+/// node, dropping an edge, and simplifying a label to "1", keeping any
+/// candidate on which `diverges` still holds, until a full sweep makes no
+/// progress.  The result is 1-minimal: no single node/edge removal or label
+/// simplification preserves the divergence.  Requires diverges(g) on entry.
+LabeledGraph shrink_graph(const LabeledGraph& g, const DivergencePredicate& diverges,
+                          ShrinkStats* stats = nullptr);
+
+} // namespace lph

@@ -107,6 +107,21 @@ TEST(Rng, UniformInRange) {
     }
 }
 
+TEST(Rng, EmptyRangeFailsThePreconditionCheck) {
+    // index(0) used to compute uniform(0, 0 - 1) — an unsigned underflow to
+    // uniform(0, 2^64-1) returning garbage indices.  Both empty-range entry
+    // points must fail loudly instead.
+    Rng rng(3);
+    EXPECT_THROW(rng.index(0), precondition_error);
+    EXPECT_THROW(rng.uniform(5, 4), precondition_error);
+    // The engine state is untouched by a rejected draw: two generators that
+    // diverge only in rejected calls keep producing identical streams.
+    Rng a(11);
+    Rng b(11);
+    EXPECT_THROW(a.index(0), precondition_error);
+    EXPECT_EQ(a.uniform(0, 1000), b.uniform(0, 1000));
+}
+
 TEST(Check, ThrowsWithMessage) {
     try {
         check(false, "boom");

@@ -1,8 +1,11 @@
 #include "graph/generators.hpp"
+#include "graph/serialize.hpp"
 #include "graphalg/coloring.hpp"
 #include "graphalg/eulerian.hpp"
 #include "graphalg/hamiltonian.hpp"
 #include "graphalg/spanning.hpp"
+#include "oracle/generators.hpp"
+#include "oracle/reference.hpp"
 
 #include <gtest/gtest.h>
 
@@ -215,6 +218,91 @@ TEST(ClassicInstances, CompleteBipartiteFacts) {
     EXPECT_TRUE(is_eulerian(complete_bipartite_graph(2, 4, "")));
     EXPECT_FALSE(is_eulerian(complete_bipartite_graph(3, 3, "")));
 }
+
+TEST(Eulerian, IsolatedVerticesDoNotBreakEulerianness) {
+    // Triangle plus two isolated vertices: every degree is even and the
+    // positive-degree nodes form one component, so the graph is Eulerian
+    // even though it is disconnected as a whole.
+    LabeledGraph g = cycle_graph(3);
+    g.add_node("1");
+    g.add_node("1");
+    EXPECT_TRUE(is_eulerian(g));
+    const auto cycle = find_eulerian_cycle(g);
+    ASSERT_TRUE(cycle.has_value());
+    EXPECT_TRUE(verify_eulerian_cycle(g, *cycle));
+}
+
+TEST(Eulerian, HierholzerStartsAtAPositiveDegreeNode) {
+    // Node 0 is isolated; the triangle lives on 1-2-3.  Starting Hierholzer
+    // at the hardcoded node 0 used to emit a bogus single-node "cycle".
+    LabeledGraph g;
+    g.add_node("1");
+    const NodeId a = g.add_node("1");
+    const NodeId b = g.add_node("1");
+    const NodeId c = g.add_node("1");
+    g.add_edge(a, b);
+    g.add_edge(b, c);
+    g.add_edge(c, a);
+    EXPECT_TRUE(is_eulerian(g));
+    const auto cycle = find_eulerian_cycle(g);
+    ASSERT_TRUE(cycle.has_value());
+    EXPECT_EQ(cycle->size(), g.num_edges() + 1);
+    EXPECT_TRUE(verify_eulerian_cycle(g, *cycle));
+}
+
+TEST(Eulerian, TwoPositiveDegreeComponentsAreRejected) {
+    // Two disjoint triangles: all degrees even, but the edges do not lie in
+    // one component, so no single closed walk can cover them.
+    LabeledGraph g;
+    for (int i = 0; i < 6; ++i) {
+        g.add_node("1");
+    }
+    g.add_edge(0, 1);
+    g.add_edge(1, 2);
+    g.add_edge(2, 0);
+    g.add_edge(3, 4);
+    g.add_edge(4, 5);
+    g.add_edge(5, 3);
+    EXPECT_FALSE(is_eulerian(g));
+    EXPECT_FALSE(find_eulerian_cycle(g).has_value());
+    EXPECT_FALSE(ref_is_eulerian(g));
+}
+
+TEST(Eulerian, EdgelessGraphsAreTriviallyEulerian) {
+    LabeledGraph g;
+    g.add_node("1");
+    g.add_node("1");
+    EXPECT_TRUE(is_eulerian(g));
+    const auto cycle = find_eulerian_cycle(g);
+    ASSERT_TRUE(cycle.has_value());
+    EXPECT_TRUE(verify_eulerian_cycle(g, *cycle));
+}
+
+class EulerianWithIsolates : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(EulerianWithIsolates, MatchesBruteForceOracle) {
+    // Random unions of components and isolated vertices — the shapes the
+    // connectivity check historically got wrong — against the brute-force
+    // trail-search oracle.
+    Rng rng(GetParam() + 900);
+    GraphGenOptions opt;
+    opt.min_nodes = 1;
+    opt.max_nodes = 6;
+    opt.max_extra_edges = 2;
+    opt.allow_disconnected = true;
+    for (int i = 0; i < 10; ++i) {
+        const LabeledGraph g = random_graph_instance(rng, opt);
+        const bool fast = is_eulerian(g);
+        EXPECT_EQ(fast, ref_is_eulerian(g)) << graph_to_text(g);
+        const auto cycle = find_eulerian_cycle(g);
+        EXPECT_EQ(cycle.has_value(), fast) << graph_to_text(g);
+        if (cycle.has_value()) {
+            EXPECT_TRUE(verify_eulerian_cycle(g, *cycle)) << graph_to_text(g);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EulerianWithIsolates, ::testing::Range(0u, 10u));
 
 TEST(ClassicInstances, WheelFacts) {
     // Odd wheel (even rim): 4-chromatic; even wheel (odd rim): hub + 2-colorable rim.

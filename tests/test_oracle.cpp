@@ -1,0 +1,235 @@
+// The differential oracle harness tested against itself: reference oracles
+// on classic instances, engine-vs-reference bit-identity, shrinker
+// minimality, repro round-trips, a zero-divergence fuzz pass over every
+// registered check, and the planted-bug selftest.
+
+#include "graph/generators.hpp"
+#include "graph/serialize.hpp"
+#include "graphalg/coloring.hpp"
+#include "graphalg/eulerian.hpp"
+#include "graphalg/hamiltonian.hpp"
+#include "hierarchy/game.hpp"
+#include "logic/eval.hpp"
+#include "machines/verifiers.hpp"
+#include "oracle/generators.hpp"
+#include "oracle/harness.hpp"
+#include "oracle/reference.hpp"
+#include "oracle/repro.hpp"
+#include "oracle/selftest.hpp"
+#include "oracle/shrink.hpp"
+#include "structure/graph_structure.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lph {
+namespace {
+
+TEST(ReferenceOracles, ClassicGraphFacts) {
+    const LabeledGraph petersen = petersen_graph();
+    EXPECT_FALSE(ref_is_eulerian(petersen)); // 3-regular: odd degrees
+    EXPECT_FALSE(ref_is_hamiltonian(petersen));
+    EXPECT_FALSE(ref_is_k_colorable(petersen, 2));
+    EXPECT_TRUE(ref_is_k_colorable(petersen, 3));
+
+    const LabeledGraph c5 = cycle_graph(5);
+    EXPECT_TRUE(ref_is_eulerian(c5));
+    EXPECT_TRUE(ref_is_hamiltonian(c5));
+    EXPECT_FALSE(ref_is_k_colorable(c5, 2));
+    EXPECT_TRUE(ref_is_k_colorable(c5, 3));
+
+    const LabeledGraph k4 = complete_graph(4);
+    EXPECT_FALSE(ref_is_eulerian(k4)); // degree 3 everywhere
+    EXPECT_TRUE(ref_is_hamiltonian(k4));
+    EXPECT_FALSE(ref_is_k_colorable(k4, 3));
+    EXPECT_TRUE(ref_is_k_colorable(k4, 4));
+
+    LabeledGraph triangle_plus_isolate = cycle_graph(3);
+    triangle_plus_isolate.add_node("1");
+    EXPECT_TRUE(ref_is_eulerian(triangle_plus_isolate));
+}
+
+TEST(ReferenceGame, BitIdenticalToEngineOnColoringGames) {
+    Rng rng(12);
+    for (int round = 0; round < 8; ++round) {
+        const LabeledGraph g =
+            random_connected_graph(2 + rng.index(3), rng.index(3), rng, "1");
+        const auto id = make_global_ids(g);
+        for (const bool sigma : {true, false}) {
+            const ColoringVerifier verifier(2);
+            const FixedOptionsDomain domain(
+                {verifier.encode_color(0), verifier.encode_color(1)});
+            GameSpec spec;
+            spec.machine = &verifier;
+            spec.layers = {&domain, &domain};
+            spec.starts_existential = sigma;
+
+            GameOptions sequential;
+            sequential.threads = 1;
+            sequential.memoize_views = false;
+            const GameResult engine = play_game(spec, g, id, sequential);
+            const RefGameResult reference = ref_play_game(spec, g, id);
+
+            EXPECT_EQ(engine.accepted, reference.accepted);
+            EXPECT_EQ(engine.machine_runs, reference.machine_runs);
+            EXPECT_EQ(engine.faulted_runs, reference.faulted_runs);
+            ASSERT_EQ(engine.witness.has_value(), reference.witness.has_value());
+            if (engine.witness.has_value()) {
+                EXPECT_TRUE(*engine.witness == *reference.witness);
+            }
+        }
+    }
+}
+
+TEST(ReferenceLogic, AgreesWithEvaluatorOnHandwrittenSentences) {
+    const LabeledGraph g = path_graph(3, "10");
+    const GraphStructure gs(g);
+    const std::vector<Formula> sentences = {
+        fl::forall("x", fl::exists_conn("y", "x", fl::top())),
+        fl::exists("x", fl::conj(fl::unary(1, "x"),
+                                 fl::forall_conn("y", "x",
+                                                 fl::negate(fl::equals("x", "y"))))),
+        fl::exists_so("X", 1,
+                      fl::forall("x", fl::apply("X", {"x"}))),
+        fl::forall_so("X", 1,
+                      fl::exists("x", fl::disj(fl::apply("X", {"x"}),
+                                               fl::negate(fl::apply("X", {"x"}))))),
+    };
+    for (const Formula& sentence : sentences) {
+        EXPECT_EQ(satisfies(gs.structure(), sentence),
+                  ref_satisfies(gs.structure(), sentence))
+            << to_string(sentence);
+    }
+}
+
+TEST(ReferenceLogic, RandomSentencesAreClosed) {
+    Rng rng(5);
+    FormulaGenOptions opt;
+    opt.allow_so = true;
+    for (int i = 0; i < 50; ++i) {
+        const Formula sentence = random_sentence(rng, opt);
+        EXPECT_TRUE(free_fo_variables(sentence).empty()) << to_string(sentence);
+        EXPECT_TRUE(free_so_variables(sentence).empty()) << to_string(sentence);
+    }
+}
+
+TEST(Shrinker, ReducesToSingleOffendingNode) {
+    // Divergence predicate: "some node is labeled 0".  The 1-minimal
+    // counterexample is a single 0-labeled node.
+    Rng rng(3);
+    LabeledGraph g = random_connected_graph(6, 3, rng, "1");
+    g.set_label(4, "0");
+    const DivergencePredicate has_zero = [](const LabeledGraph& candidate) {
+        for (NodeId u = 0; u < candidate.num_nodes(); ++u) {
+            if (candidate.label(u) == "0") {
+                return true;
+            }
+        }
+        return false;
+    };
+    ShrinkStats stats;
+    const LabeledGraph shrunk = shrink_graph(g, has_zero, &stats);
+    EXPECT_EQ(shrunk.num_nodes(), 1u);
+    EXPECT_EQ(shrunk.num_edges(), 0u);
+    EXPECT_EQ(shrunk.label(0), "0");
+    EXPECT_EQ(stats.nodes_removed, 5u);
+    EXPECT_GT(stats.predicate_calls, 0u);
+}
+
+TEST(Shrinker, RejectsNonDivergingStart) {
+    const LabeledGraph g = path_graph(2);
+    EXPECT_THROW(
+        shrink_graph(g, [](const LabeledGraph&) { return false; }, nullptr),
+        precondition_error);
+}
+
+TEST(Shrinker, ThrowingPredicateIsNotADivergence) {
+    // The predicate only holds on graphs with >= 2 nodes and throws on
+    // single-node candidates: shrinking must stop at 2 nodes, not crash.
+    const LabeledGraph g = path_graph(4);
+    const DivergencePredicate fussy = [](const LabeledGraph& candidate) {
+        check(candidate.num_nodes() >= 2, "too small to even evaluate");
+        return true;
+    };
+    const LabeledGraph shrunk = shrink_graph(g, fussy, nullptr);
+    EXPECT_EQ(shrunk.num_nodes(), 2u);
+}
+
+TEST(Repro, RoundTripsThroughText) {
+    ReproCase repro;
+    repro.check = "eulerian-vs-bruteforce";
+    repro.seed = 123456789;
+    repro.params["ids"] = "global";
+    repro.params["k"] = "3";
+    repro.graph = cycle_graph(4, "01");
+
+    const std::string text = repro_to_text(repro);
+    const ReproCase parsed = repro_from_text(text);
+    EXPECT_EQ(parsed.check, repro.check);
+    EXPECT_EQ(parsed.seed, repro.seed);
+    EXPECT_EQ(parsed.params, repro.params);
+    EXPECT_TRUE(parsed.graph == repro.graph);
+    EXPECT_EQ(repro_to_text(parsed), text);
+}
+
+TEST(Repro, RejectsMalformedInput) {
+    EXPECT_THROW(repro_from_text("not a repro"), precondition_error);
+    EXPECT_THROW(repro_from_text("lph-fuzz-repro 1\ncheck x\nseed 1\n"),
+                 precondition_error); // missing graph section
+}
+
+TEST(Harness, RegistryCoversEveryDecisionPath) {
+    const auto names = check_names();
+    EXPECT_GE(names.size(), 6u);
+    for (const std::string& name : names) {
+        EXPECT_TRUE(is_check_name(name));
+    }
+    EXPECT_FALSE(is_check_name("no-such-check"));
+}
+
+class CheckZeroDivergence : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(CheckZeroDivergence, SeededCorpusAgrees) {
+    const CheckReport report = run_check(GetParam(), 2024, 25);
+    EXPECT_EQ(report.instances, 25u);
+    for (const Divergence& d : report.divergences) {
+        ADD_FAILURE() << GetParam() << " diverged: " << d.detail << "\n"
+                      << repro_to_text(d.repro);
+    }
+    // The JSON row is well-formed enough to grep in CI logs.
+    const std::string row = report_row_json(report);
+    EXPECT_NE(row.find("\"check\":\"" + GetParam() + "\""), std::string::npos);
+    EXPECT_NE(row.find("\"status\":\"pass\""), std::string::npos);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllChecks, CheckZeroDivergence,
+                         ::testing::ValuesIn(check_names()),
+                         [](const auto& info) {
+                             std::string name = info.param;
+                             for (char& ch : name) {
+                                 if (ch == '-') {
+                                     ch = '_';
+                                 }
+                             }
+                             return name;
+                         });
+
+TEST(Harness, ReplayAgreesOnFreshInstance) {
+    ReproCase repro;
+    repro.check = "eulerian-vs-bruteforce";
+    repro.graph = cycle_graph(4);
+    EXPECT_FALSE(replay_repro(repro).has_value());
+}
+
+TEST(Selftest, PlantedOffByOneIsCaughtAndShrunkToOneNode) {
+    const SelftestResult result = run_selftest(7);
+    EXPECT_TRUE(result.divergence_found) << result.detail;
+    ASSERT_GT(result.shrunk.num_nodes(), 0u);
+    EXPECT_LE(result.shrunk_nodes, 6u) << result.detail;
+    // The minimal counterexample for "unanimity skips node 0" is a single
+    // node whose label is not "1".
+    EXPECT_EQ(result.shrunk_nodes, 1u) << graph_to_text(result.shrunk);
+    EXPECT_NE(result.shrunk.label(0), "1");
+}
+
+} // namespace
+} // namespace lph

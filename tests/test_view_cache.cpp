@@ -53,15 +53,33 @@ TEST(ViewCache, HitMissAndRefresh) {
     cache.insert("b", "0");
     EXPECT_EQ(cache.lookup("a"), "1");
     EXPECT_EQ(cache.lookup("b"), "0");
-    cache.insert("a", "0"); // refresh overwrites
-    EXPECT_EQ(cache.lookup("a"), "0");
+    cache.insert("a", "1"); // same-verdict refresh is the expected pattern
+    EXPECT_EQ(cache.lookup("a"), "1");
     const ViewCacheStats stats = cache.stats();
     EXPECT_EQ(stats.hits, 3u);
     EXPECT_EQ(stats.misses, 1u);
     EXPECT_EQ(stats.entries, 2u);
     EXPECT_EQ(stats.evictions, 0u);
+    EXPECT_EQ(stats.verdict_mismatches, 0u);
     cache.clear();
     EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+TEST(ViewCache, MismatchedReinsertIsCountedNotMasked) {
+#ifndef NDEBUG
+    GTEST_SKIP() << "debug builds assert on verdict mismatches instead";
+#else
+    // Equal keys must imply equal verdicts; a conflicting re-insert is a
+    // soundness violation that used to be silently overwritten.  It must be
+    // counted and must not change the stored verdict.
+    ViewCache cache(1024);
+    cache.insert("k", "1");
+    cache.insert("k", "0");
+    EXPECT_EQ(cache.lookup("k"), "1");
+    EXPECT_EQ(cache.stats().verdict_mismatches, 1u);
+    cache.insert("k", "1"); // agreeing refresh is not a mismatch
+    EXPECT_EQ(cache.stats().verdict_mismatches, 1u);
+#endif
 }
 
 TEST(ViewCache, BoundedLruEvictsTheColdTail) {

@@ -1,0 +1,178 @@
+// Differential fuzzing driver: cross-checks every fast decision path in the
+// library against its deliberately naive oracle (src/oracle) on seeded random
+// instances, shrinks any divergence to a minimal counterexample, and writes
+// it as a re-runnable repro file plus a structured JSON report row.
+//
+//   lph_fuzz --seed 42                   fuzz all checks, 200 instances each
+//   lph_fuzz --check eulerian-vs-bruteforce --instances 1000
+//   lph_fuzz --smoke                     fixed-seed CI pass incl. selftest
+//   lph_fuzz --selftest                  planted-bug detection + shrinking
+//   lph_fuzz --repro fuzz-repros/x.repro re-run one counterexample
+//   lph_fuzz --list                      list check names
+//
+// Exit status: 0 when every requested check agreed (and, for --smoke /
+// --selftest, the planted bug was caught); 1 on divergence or a missed
+// planted bug; 2 on usage errors.
+
+#include "core/check.hpp"
+#include "oracle/harness.hpp"
+#include "oracle/repro.hpp"
+#include "oracle/selftest.hpp"
+
+#include <cstdint>
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace {
+
+using namespace lph;
+
+struct Options {
+    std::uint64_t seed = 1;
+    std::size_t instances = 200;
+    std::vector<std::string> checks; // empty = all
+    std::string repro_path;
+    std::string out_dir = "fuzz-repros";
+    bool smoke = false;
+    bool selftest = false;
+    bool list = false;
+};
+
+[[noreturn]] void usage_error(const std::string& message) {
+    std::cerr << "lph_fuzz: " << message << "\n"
+              << "usage: lph_fuzz [--seed S] [--instances N] [--check NAME]...\n"
+              << "                [--out DIR] [--smoke] [--selftest] [--list]\n"
+              << "                [--repro FILE]\n";
+    std::exit(2);
+}
+
+Options parse_args(int argc, char** argv) {
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                usage_error(arg + " needs a value");
+            }
+            return argv[++i];
+        };
+        if (arg == "--seed") {
+            opt.seed = std::stoull(value());
+        } else if (arg == "--instances") {
+            opt.instances = std::stoull(value());
+        } else if (arg == "--check") {
+            const std::string name = value();
+            if (!is_check_name(name)) {
+                usage_error("unknown check '" + name + "' (see --list)");
+            }
+            opt.checks.push_back(name);
+        } else if (arg == "--out") {
+            opt.out_dir = value();
+        } else if (arg == "--repro") {
+            opt.repro_path = value();
+        } else if (arg == "--smoke") {
+            opt.smoke = true;
+        } else if (arg == "--selftest") {
+            opt.selftest = true;
+        } else if (arg == "--list") {
+            opt.list = true;
+        } else {
+            usage_error("unknown argument '" + arg + "'");
+        }
+    }
+    return opt;
+}
+
+std::string selftest_row(const SelftestResult& result, bool healthy) {
+    std::string row = "{\"check\":\"selftest-planted-bug\",\"seed\":";
+    row += std::to_string(result.seed);
+    row += ",\"instances\":" + std::to_string(result.instances_tried);
+    row += ",\"original_nodes\":" + std::to_string(result.original_nodes);
+    row += ",\"shrunk_nodes\":" + std::to_string(result.shrunk_nodes);
+    row += std::string(",\"status\":\"") + (healthy ? "pass" : "fail") + "\"";
+    row += ",\"detail\":\"" + json_escape(result.detail) + "\"}";
+    return row;
+}
+
+/// The selftest passes when the planted off-by-one is caught AND the
+/// counterexample shrinks to a genuinely tiny instance.
+bool run_and_report_selftest(std::uint64_t seed) {
+    const SelftestResult result = run_selftest(seed);
+    const bool healthy = result.divergence_found && result.shrunk_nodes <= 6;
+    std::cout << selftest_row(result, healthy) << "\n";
+    return healthy;
+}
+
+int replay(const std::string& path) {
+    const ReproCase repro = read_repro_file(path);
+    const auto detail = replay_repro(repro);
+    if (detail.has_value()) {
+        std::cout << "{\"check\":\"" << json_escape(repro.check)
+                  << "\",\"status\":\"diverges\",\"detail\":\""
+                  << json_escape(*detail) << "\"}\n";
+        return 1;
+    }
+    std::cout << "{\"check\":\"" << json_escape(repro.check)
+              << "\",\"status\":\"agrees\"}\n";
+    return 0;
+}
+
+int fuzz(const Options& opt) {
+    const std::vector<std::string> checks =
+        opt.checks.empty() ? check_names() : opt.checks;
+    bool any_divergence = false;
+    std::size_t repro_counter = 0;
+    for (const std::string& name : checks) {
+        const CheckReport report = run_check(name, opt.seed, opt.instances);
+        std::cout << report_row_json(report) << "\n";
+        for (const Divergence& d : report.divergences) {
+            any_divergence = true;
+            std::filesystem::create_directories(opt.out_dir);
+            const std::string path =
+                opt.out_dir + "/" + name + "-" + std::to_string(repro_counter++) +
+                ".repro";
+            write_repro_file(path, d.repro);
+            std::cerr << "lph_fuzz: " << name << " diverged (" << d.detail
+                      << "); shrunk " << d.original_nodes << " -> "
+                      << d.shrunk_nodes << " nodes; repro written to " << path
+                      << "\n";
+        }
+    }
+    return any_divergence ? 1 : 0;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    const Options opt = parse_args(argc, argv);
+    try {
+        if (opt.list) {
+            for (const std::string& name : check_names()) {
+                std::cout << name << "\n";
+            }
+            return 0;
+        }
+        if (!opt.repro_path.empty()) {
+            return replay(opt.repro_path);
+        }
+        if (opt.selftest) {
+            return run_and_report_selftest(opt.seed) ? 0 : 1;
+        }
+        if (opt.smoke) {
+            // Fixed-seed CI pass: a per-check corpus plus the planted-bug
+            // selftest, sized for ~30s under the ASan build in check.sh.
+            Options smoke = opt;
+            smoke.seed = 0xC0FFEE;
+            smoke.instances = 350;
+            const int fuzz_status = fuzz(smoke);
+            const bool selftest_ok = run_and_report_selftest(smoke.seed);
+            return fuzz_status == 0 && selftest_ok ? 0 : 1;
+        }
+        return fuzz(opt);
+    } catch (const precondition_error& e) {
+        std::cerr << "lph_fuzz: " << e.what() << "\n";
+        return 2;
+    }
+}
