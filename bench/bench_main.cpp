@@ -1,40 +1,134 @@
-// Shared main for every bench_* binary: runs Google Benchmark as usual, then
-// writes the machine-readable BENCH_<name>.json report from the instance
-// outcomes the benchmarks recorded (see bench_report.hpp).  The report is
-// written even when instances failed — partial results are the point.
+// bench_main: dispatcher over the sibling bench_* binaries.
+//
+//   bench_main [--filter <substr>] [args forwarded to each bench...]
+//
+// Scans its own directory for executables named bench_*, keeps those whose
+// name contains the --filter substring (all of them when no filter), and
+// runs each in turn with the remaining arguments forwarded verbatim — so
+//
+//   build/bench/bench_main --filter fig3 --trace=fig3.json
+//
+// runs bench_fig3_cooklevin with --trace=fig3.json (the child owns the trace
+// session and writes the file; with several matches, later children overwrite
+// earlier output files, so pair --trace/--metrics with a narrowing filter).
 
-#include "core/report.hpp"
+#include <dirent.h>
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
 
-#include <benchmark/benchmark.h>
-
-#include <chrono>
+#include <algorithm>
 #include <cstdio>
+#include <cstring>
 #include <string>
+#include <vector>
+
+namespace {
+
+std::string directory_of(const char* argv0) {
+    std::string path = argv0;
+    const auto slash = path.find_last_of('/');
+    return slash == std::string::npos ? std::string(".") : path.substr(0, slash);
+}
+
+bool is_executable_file(const std::string& path) {
+    struct stat st {};
+    return ::stat(path.c_str(), &st) == 0 && S_ISREG(st.st_mode) &&
+           ::access(path.c_str(), X_OK) == 0;
+}
+
+int run_child(const std::string& path, const std::vector<char*>& forward) {
+    std::vector<char*> child_argv;
+    child_argv.push_back(const_cast<char*>(path.c_str()));
+    child_argv.insert(child_argv.end(), forward.begin(), forward.end());
+    child_argv.push_back(nullptr);
+
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+        std::perror("bench_main: fork");
+        return -1;
+    }
+    if (pid == 0) {
+        ::execv(path.c_str(), child_argv.data());
+        std::perror("bench_main: execv");
+        _exit(127);
+    }
+    int status = 0;
+    if (::waitpid(pid, &status, 0) < 0) {
+        std::perror("bench_main: waitpid");
+        return -1;
+    }
+    if (WIFEXITED(status)) {
+        return WEXITSTATUS(status);
+    }
+    if (WIFSIGNALED(status)) {
+        std::fprintf(stderr, "bench_main: %s killed by signal %d\n",
+                     path.c_str(), WTERMSIG(status));
+    }
+    return -1;
+}
+
+} // namespace
 
 int main(int argc, char** argv) {
-    const auto start = std::chrono::steady_clock::now();
-    std::string name = argv[0];
-    const auto slash = name.find_last_of('/');
-    if (slash != std::string::npos) {
-        name.erase(0, slash + 1);
+    std::string filter;
+    std::vector<char*> forward;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--filter" && i + 1 < argc) {
+            filter = argv[++i];
+        } else if (arg.rfind("--filter=", 0) == 0) {
+            filter = arg.substr(9);
+        } else if (arg == "--help" || arg == "-h") {
+            std::fprintf(stderr,
+                         "usage: %s [--filter <substr>] [args forwarded to "
+                         "each bench_* binary...]\n",
+                         argv[0]);
+            return 0;
+        } else {
+            forward.push_back(argv[i]);
+        }
     }
 
-    benchmark::Initialize(&argc, argv);
-    if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    const std::string dir = directory_of(argv[0]);
+    std::vector<std::string> benches;
+    if (DIR* d = ::opendir(dir.c_str())) {
+        while (const dirent* entry = ::readdir(d)) {
+            const std::string name = entry->d_name;
+            if (name.rfind("bench_", 0) != 0 || name == "bench_main") {
+                continue;
+            }
+            if (!filter.empty() && name.find(filter) == std::string::npos) {
+                continue;
+            }
+            if (is_executable_file(dir + "/" + name)) {
+                benches.push_back(name);
+            }
+        }
+        ::closedir(d);
+    } else {
+        std::fprintf(stderr, "bench_main: cannot open %s\n", dir.c_str());
         return 1;
     }
-    benchmark::RunSpecifiedBenchmarks();
-    benchmark::Shutdown();
+    std::sort(benches.begin(), benches.end());
 
-    const double total_ms = std::chrono::duration<double, std::milli>(
-                                std::chrono::steady_clock::now() - start)
-                                .count();
-    const std::string path = lph::report::write_report(name, total_ms);
-    if (path.empty()) {
-        std::fprintf(stderr, "warning: could not write BENCH_%s.json\n",
-                     name.c_str());
-    } else {
-        std::fprintf(stderr, "wrote %s\n", path.c_str());
+    if (benches.empty()) {
+        std::fprintf(stderr, "bench_main: no bench_* binary in %s matches '%s'\n",
+                     dir.c_str(), filter.c_str());
+        return 1;
     }
-    return 0;
+
+    int failures = 0;
+    for (const std::string& name : benches) {
+        std::fprintf(stderr, "=== %s ===\n", name.c_str());
+        const int code = run_child(dir + "/" + name, forward);
+        if (code != 0) {
+            std::fprintf(stderr, "bench_main: %s exited with %d\n", name.c_str(),
+                         code);
+            ++failures;
+        }
+    }
+    std::fprintf(stderr, "bench_main: %zu run, %d failed\n", benches.size(),
+                 failures);
+    return failures == 0 ? 0 : 1;
 }

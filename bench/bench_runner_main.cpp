@@ -1,0 +1,82 @@
+// Shared main for every bench_* binary: runs Google Benchmark as usual, then
+// writes the machine-readable BENCH_<name>.json report from the instance
+// outcomes the benchmarks recorded (see bench_report.hpp).  The report is
+// written even when instances failed — partial results are the point.
+//
+// Observability flags (consumed here, invisible to Google Benchmark):
+//   --trace=<out.json>    enable span tracing, export a Chrome trace-event
+//                         file loadable in Perfetto / chrome://tracing
+//   --metrics=<out.json>  write the session's metrics snapshot as JSON
+
+#include "core/report.hpp"
+#include "obs/session.hpp"
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+int main(int argc, char** argv) {
+    const auto start = std::chrono::steady_clock::now();
+    std::string name = argv[0];
+    const auto slash = name.find_last_of('/');
+    if (slash != std::string::npos) {
+        name.erase(0, slash + 1);
+    }
+
+    std::string trace_path;
+    std::string metrics_path;
+    int kept = 1;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--trace=", 0) == 0) {
+            trace_path = arg.substr(8);
+        } else if (arg.rfind("--metrics=", 0) == 0) {
+            metrics_path = arg.substr(10);
+        } else {
+            argv[kept++] = argv[i];
+        }
+    }
+    argc = kept;
+
+    lph::obs::Session::Options obs_options;
+    obs_options.tracing = !trace_path.empty();
+    lph::obs::Session session(obs_options);
+    session.activate();
+
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+        return 1;
+    }
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+
+    const double total_ms = std::chrono::duration<double, std::milli>(
+                                std::chrono::steady_clock::now() - start)
+                                .count();
+    const std::string path = lph::report::write_report(name, total_ms);
+    if (path.empty()) {
+        std::fprintf(stderr, "warning: could not write BENCH_%s.json\n",
+                     name.c_str());
+    } else {
+        std::fprintf(stderr, "wrote %s\n", path.c_str());
+    }
+    if (!metrics_path.empty()) {
+        if (session.write_metrics_json(metrics_path)) {
+            std::fprintf(stderr, "wrote %s\n", metrics_path.c_str());
+        } else {
+            std::fprintf(stderr, "warning: could not write %s\n",
+                         metrics_path.c_str());
+        }
+    }
+    if (!trace_path.empty()) {
+        if (session.export_chrome_trace(trace_path)) {
+            std::fprintf(stderr, "wrote %s\n", trace_path.c_str());
+        } else {
+            std::fprintf(stderr, "warning: could not write %s\n",
+                         trace_path.c_str());
+        }
+    }
+    return 0;
+}

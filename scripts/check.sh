@@ -9,13 +9,22 @@ cmake -B build -G Ninja
 cmake --build build
 ctest --test-dir build --output-on-failure
 
-# Smoke-run from build/bench so the BENCH_<name>.json reports land there.
-for b in build/bench/bench_*; do
-    [[ -f "$b" && -x "$b" ]] || continue
-    echo "== $b"
-    (cd build/bench && "./$(basename "$b")" --benchmark_min_time=0.01 >/dev/null)
-done
+# Smoke-run via the dispatcher from build/bench so the BENCH_<name>.json
+# reports land there (bench_main fork/execs every sibling bench_* binary).
+(cd build/bench && ./bench_main --benchmark_min_time=0.01 >/dev/null)
 python3 scripts/bench_diff.py --fresh build/bench
+
+# Traced smoke, after bench_diff so tracing overhead cannot depress the
+# speedup rows the diff checks: one fig3 pass and one differential-oracle
+# check with span tracing on.  Both exported Chrome traces must lint clean
+# (valid JSON, monotone timestamps, balanced begin/end events).
+(cd build/bench && ./bench_main --filter fig3 --benchmark_min_time=0.01 \
+    --trace=trace_fig3.json --metrics=metrics_fig3.json >/dev/null)
+python3 scripts/trace_lint.py build/bench/trace_fig3.json
+python3 scripts/trace_summary.py build/bench/trace_fig3.json --top 8
+./build/tools/lph_fuzz --check game-par-vs-ref --instances 40 \
+    --trace=build/trace_fuzz.json >/dev/null
+python3 scripts/trace_lint.py build/trace_fuzz.json
 
 # Sanitizer passes: AddressSanitizer + UBSan over the whole suite (the `asan`
 # preset), then ThreadSanitizer over the concurrency-heavy game/cache suites
@@ -33,7 +42,7 @@ if [[ "${LPH_SKIP_SANITIZERS:-0}" != "1" ]]; then
     cmake --preset tsan
     cmake --build build-tsan
     ctest --test-dir build-tsan --output-on-failure \
-        -R 'test_(parallel_game|view_cache|game|faults|oracle)'
+        -R 'test_(parallel_game|view_cache|game|faults|oracle|obs)'
 fi
 
 echo "all checks passed"

@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Validates a Chrome trace-event JSON file exported by the obs subsystem.
+
+Checks, in order:
+  1. the file parses as JSON and has a "traceEvents" list;
+  2. every event carries the fields its phase requires (B/E/i need
+     name/ts/pid/tid; metadata events need a name);
+  3. per (pid, tid), timestamps are monotone non-decreasing in file order
+     (the exporter emits each thread track pre-sorted);
+  4. per (pid, tid), B/E events balance under stack discipline with matching
+     names — every E closes the most recent open B, nothing left open at EOF.
+
+Exit status 0 when the trace is clean, 1 with one message per problem on
+stderr otherwise.  Usage: trace_lint.py TRACE.json
+"""
+
+import json
+import sys
+
+REQUIRED_PHASES = {"B", "E", "i", "I", "X", "M"}
+
+
+def lint(path):
+    problems = []
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return ["%s: not readable as JSON: %s" % (path, e)]
+
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return ["%s: no 'traceEvents' list" % path]
+
+    last_ts = {}  # (pid, tid) -> last timestamp seen
+    stacks = {}  # (pid, tid) -> list of open span names
+
+    for i, ev in enumerate(events):
+        where = "event %d" % i
+        if not isinstance(ev, dict):
+            problems.append("%s: not an object" % where)
+            continue
+        ph = ev.get("ph")
+        if ph not in REQUIRED_PHASES:
+            problems.append("%s: unknown phase %r" % (where, ph))
+            continue
+        if ph == "M":
+            if "name" not in ev:
+                problems.append("%s: metadata event without a name" % where)
+            continue
+
+        for field in ("name", "ts", "pid", "tid"):
+            if field not in ev:
+                problems.append("%s: %s event missing %r" % (where, ph, field))
+        if not isinstance(ev.get("ts"), (int, float)):
+            problems.append("%s: non-numeric ts" % where)
+            continue
+
+        key = (ev.get("pid"), ev.get("tid"))
+        ts = ev["ts"]
+        if key in last_ts and ts < last_ts[key]:
+            problems.append(
+                "%s: timestamp %s goes backwards on pid=%s tid=%s (prev %s)"
+                % (where, ts, key[0], key[1], last_ts[key])
+            )
+        last_ts[key] = ts
+
+        if ph == "B":
+            stacks.setdefault(key, []).append(ev.get("name"))
+        elif ph == "E":
+            stack = stacks.get(key, [])
+            if not stack:
+                problems.append(
+                    "%s: E event %r on pid=%s tid=%s with no open B"
+                    % (where, ev.get("name"), key[0], key[1])
+                )
+            else:
+                opened = stack.pop()
+                name = ev.get("name")
+                # Chrome permits nameless E events; when named, it must match.
+                if name is not None and name != opened:
+                    problems.append(
+                        "%s: E event %r closes B event %r on pid=%s tid=%s"
+                        % (where, name, opened, key[0], key[1])
+                    )
+
+    for (pid, tid), stack in sorted(stacks.items(), key=lambda kv: str(kv[0])):
+        for name in stack:
+            problems.append(
+                "unclosed B event %r on pid=%s tid=%s" % (name, pid, tid)
+            )
+    return problems
+
+
+def main(argv):
+    if len(argv) != 2:
+        print("usage: trace_lint.py TRACE.json", file=sys.stderr)
+        return 2
+    problems = lint(argv[1])
+    for p in problems:
+        print("trace_lint: %s" % p, file=sys.stderr)
+    if problems:
+        print(
+            "trace_lint: %s: %d problem(s)" % (argv[1], len(problems)),
+            file=sys.stderr,
+        )
+        return 1
+    print("trace_lint: %s: ok" % argv[1])
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,5 +1,7 @@
 #include "core/thread_pool.hpp"
 
+#include "obs/trace.hpp"
+
 #include <atomic>
 #include <condition_variable>
 #include <deque>
@@ -40,9 +42,13 @@ struct ThreadPool::Impl {
 
     std::mutex submit_mutex;     ///< serializes run_all callers
 
+    std::atomic<std::uint64_t> jobs_run{0};
+    std::atomic<std::uint64_t> tasks_run{0};
+    std::atomic<std::uint64_t> steals{0};
+
     /// Pops one index for `self`: own front first, then steal from the back
     /// of the first non-empty victim.  Returns false when no work is left.
-    static bool pop_index(Job& job, unsigned self, std::size_t& out) {
+    bool pop_index(Job& job, unsigned self, std::size_t& out) {
         {
             const std::lock_guard<std::mutex> lock(*job.queue_mutexes[self]);
             if (!job.queues[self].empty()) {
@@ -58,6 +64,7 @@ struct ThreadPool::Impl {
             if (!job.queues[victim].empty()) {
                 out = job.queues[victim].back();
                 job.queues[victim].pop_back();
+                steals.fetch_add(1, std::memory_order_relaxed);
                 return true;
             }
         }
@@ -65,8 +72,11 @@ struct ThreadPool::Impl {
     }
 
     void participate(Job& job, unsigned self) {
+        LPH_SPAN_NAMED(span, "pool", "pool.participate");
+        span.arg("participant", self);
         std::size_t index = 0;
         while (pop_index(job, self, index)) {
+            tasks_run.fetch_add(1, std::memory_order_relaxed);
             try {
                 (*job.task)(index, self);
             } catch (...) {
@@ -138,6 +148,7 @@ void ThreadPool::run_all(std::size_t count,
         return;
     }
     const std::lock_guard<std::mutex> submit(impl_->submit_mutex);
+    impl_->jobs_run.fetch_add(1, std::memory_order_relaxed);
     const unsigned n = participants();
 
     Job job;
@@ -177,6 +188,22 @@ void ThreadPool::run_all(std::size_t count,
     if (job.first_error) {
         std::rethrow_exception(job.first_error);
     }
+}
+
+ThreadPoolStats ThreadPool::stats() const {
+    ThreadPoolStats stats;
+    stats.jobs = impl_->jobs_run.load(std::memory_order_relaxed);
+    stats.tasks = impl_->tasks_run.load(std::memory_order_relaxed);
+    stats.steals = impl_->steals.load(std::memory_order_relaxed);
+    return stats;
+}
+
+obs::MetricList ThreadPoolStats::to_metrics() const {
+    return {
+        {"pool.jobs", static_cast<double>(jobs)},
+        {"pool.tasks", static_cast<double>(tasks)},
+        {"pool.steals", static_cast<double>(steals)},
+    };
 }
 
 unsigned ThreadPool::default_participants() {

@@ -1,10 +1,23 @@
 #pragma once
 
+#include "obs/metrics.hpp"
+
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <memory>
 
 namespace lph {
+
+/// Monotone work counters of one ThreadPool (all jobs since construction).
+struct ThreadPoolStats {
+    std::uint64_t jobs = 0;   ///< run_all calls
+    std::uint64_t tasks = 0;  ///< indexed tasks executed
+    std::uint64_t steals = 0; ///< tasks taken from another participant's queue
+
+    /// Metric list under the `pool.` naming scheme (DESIGN.md Observability).
+    obs::MetricList to_metrics() const;
+};
 
 /// A small work-stealing thread pool for fanning indexed task sets out
 /// across hardware threads.
@@ -36,6 +49,9 @@ public:
     /// Must not be called from inside a task of the same pool.
     void run_all(std::size_t count,
                  const std::function<void(std::size_t, unsigned)>& task);
+
+    /// Work counters (thread-safe; monotone).
+    ThreadPoolStats stats() const;
 
     /// One participant per hardware thread (at least 1).
     static unsigned default_participants();

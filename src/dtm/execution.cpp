@@ -1,5 +1,7 @@
 #include "dtm/execution.hpp"
 
+#include "obs/trace.hpp"
+
 #include <algorithm>
 
 namespace lph {
@@ -32,6 +34,10 @@ std::size_t ExecutionResult::fault_count(RunError code) const {
 
 void report_violation(ExecutionResult& result, FaultPolicy policy, RunFault fault,
                       bool fatal) {
+    // to_string returns a pointer into a static table, as the tracer needs.
+    obs::Tracer::instance().instant("fault", to_string(fault.code), "round",
+                                    static_cast<std::uint64_t>(
+                                        fault.round < 0 ? 0 : fault.round));
     if (policy == FaultPolicy::Throw) {
         fault.fatal = true;
         throw run_error(std::move(fault));

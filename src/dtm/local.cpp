@@ -2,6 +2,7 @@
 
 #include "core/check.hpp"
 #include "dtm/faults.hpp"
+#include "obs/trace.hpp"
 
 #include <algorithm>
 #include <chrono>
@@ -22,6 +23,8 @@ ExecutionResult run_local(const LocalMachine& m, const LabeledGraph& g,
                           const IdentifierAssignment& id,
                           const CertificateListAssignment& certs,
                           const ExecutionOptions& options) {
+    LPH_SPAN_NAMED(run_span, "dtm", "dtm.run_local");
+    run_span.arg("nodes", g.num_nodes());
     g.validate();
     check(id.size() == g.num_nodes(), "run_local: identifier assignment size");
     check(certs.size() == g.num_nodes(), "run_local: certificate assignment size");
@@ -124,6 +127,8 @@ ExecutionResult run_local(const LocalMachine& m, const LabeledGraph& g,
             for (NodeId u = 0; u < n; ++u) {
                 if (!halted[u] && inject.crashes(u, round)) {
                     crash_node(u);
+                    obs::Tracer::instance().instant("fault", "fault.inject.crash",
+                                                    "node", u);
                     if (inject.recording()) {
                         result.faults.push_back(
                             RunFault{RunError::NodeCrashed, u, round, false,
@@ -153,6 +158,10 @@ ExecutionResult run_local(const LocalMachine& m, const LabeledGraph& g,
                     std::find(v_order.begin(), v_order.end(), u) - v_order.begin());
                 std::string msg = in_flight[v][slot];
                 const RunError injected = inject.mutate_message(msg, round, v, slot);
+                if (injected != RunError::None) {
+                    obs::Tracer::instance().instant("fault", "fault.inject.message",
+                                                    "node", u);
+                }
                 if (injected != RunError::None && inject.recording()) {
                     result.faults.push_back(RunFault{injected, u, round, false,
                                                      "injected on the message from node " +

@@ -1,5 +1,7 @@
 #include "dtm/view_cache.hpp"
 
+#include "obs/trace.hpp"
+
 #include <algorithm>
 #include <cassert>
 #include <functional>
@@ -16,15 +18,18 @@ ViewCache::Shard& ViewCache::shard_for(const std::string& key) {
 }
 
 std::optional<std::string> ViewCache::lookup(const std::string& key) {
+    LPH_SPAN_NAMED(span, "cache", "cache.lookup");
     Shard& shard = shard_for(key);
     const std::lock_guard<std::mutex> lock(shard.mutex);
     const auto it = shard.index.find(key);
     if (it == shard.index.end()) {
         misses_.fetch_add(1, std::memory_order_relaxed);
+        span.arg("hit", 0);
         return std::nullopt;
     }
     shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
     hits_.fetch_add(1, std::memory_order_relaxed);
+    span.arg("hit", 1);
     return it->second->second;
 }
 
@@ -49,6 +54,7 @@ void ViewCache::insert(const std::string& key, const std::string& verdict) {
         shard.index.erase(shard.lru.back().first);
         shard.lru.pop_back();
         evictions_.fetch_add(1, std::memory_order_relaxed);
+        obs::Tracer::instance().instant("cache", "cache.evict");
     }
 }
 
@@ -63,6 +69,17 @@ ViewCacheStats ViewCache::stats() const {
         stats.entries += shard.lru.size();
     }
     return stats;
+}
+
+obs::MetricList ViewCacheStats::to_metrics() const {
+    return {
+        {"cache.hits", static_cast<double>(hits)},
+        {"cache.misses", static_cast<double>(misses)},
+        {"cache.evictions", static_cast<double>(evictions)},
+        {"cache.entries", static_cast<double>(entries)},
+        {"cache.verdict_mismatches", static_cast<double>(verdict_mismatches)},
+        {"cache.hit_rate", hit_rate()},
+    };
 }
 
 void ViewCache::clear() {

@@ -4,6 +4,7 @@
 #include "dtm/local.hpp"
 #include "graph/certificates.hpp"
 #include "graph/identifiers.hpp"
+#include "obs/metrics.hpp"
 
 #include <array>
 #include <atomic>
@@ -28,6 +29,15 @@ struct ViewCacheStats {
     /// nonzero value here means a key collision between genuinely different
     /// views — a bug in the key builder or a cache shared across machines.
     std::uint64_t verdict_mismatches = 0;
+
+    double hit_rate() const {
+        const double total = static_cast<double>(hits + misses);
+        return total > 0 ? static_cast<double>(hits) / total : 0.0;
+    }
+
+    /// Metric list under the `cache.` naming scheme (DESIGN.md
+    /// Observability), for absorption into an obs::MetricsRegistry.
+    obs::MetricList to_metrics() const;
 };
 
 /// Thread-safe bounded map from canonical r-ball view encodings to the

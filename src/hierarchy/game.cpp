@@ -3,6 +3,8 @@
 #include "core/check.hpp"
 #include "core/thread_pool.hpp"
 #include "dtm/view_cache.hpp"
+#include "obs/session.hpp"
+#include "obs/trace.hpp"
 
 #include <algorithm>
 #include <atomic>
@@ -149,6 +151,7 @@ public:
     }
 
     GameResult run() {
+        LPH_SPAN_NAMED(span, "game", "game.solve");
         const Clock::time_point start = Clock::now();
         const ViewCacheStats cache_before =
             cache_ != nullptr ? cache_->stats() : ViewCacheStats{};
@@ -167,6 +170,8 @@ public:
             result.stats.node_cache_misses = after.misses - cache_before.misses;
             result.stats.cache_evictions = after.evictions - cache_before.evictions;
         }
+        span.arg("leaves", result.stats.leaves_processed);
+        record_session_metrics(result);
         return result;
     }
 
@@ -301,6 +306,8 @@ private:
     /// assignment below the final terminal is ever skipped — which is what
     /// makes the merged counters bit-identical to the sequential engine's.
     void process_chunk(std::uint64_t chunk_index, WorkerContext& ctx) {
+        LPH_SPAN_NAMED(span, "game", "game.chunk");
+        span.arg("chunk", chunk_index);
         ChunkOutcome& out = outcomes_[chunk_index];
         const Clock::time_point start = Clock::now();
         ctx.ensure(spec_.layers.size(), g_.num_nodes());
@@ -350,7 +357,10 @@ private:
     }
 
     void run_leaf_only(GameResult& result) {
-        // No quantifier layers: the game is a single arbiter run.
+        // No quantifier layers: the game is a single arbiter run.  The lone
+        // probe still counts as busy time so worker_utilization() stays
+        // meaningful (and consistent with the layered paths).
+        const Clock::time_point start = Clock::now();
         WorkerContext ctx;
         ctx.ensure(0, g_.num_nodes());
         result.accepted = evaluate_leaf(ctx);
@@ -358,6 +368,7 @@ private:
         result.faulted_runs = ctx.tally.faulted_runs;
         result.probe_faults = std::move(ctx.tally.faults);
         collect_perf(result, {&ctx});
+        result.stats.busy_ms = elapsed_ms(start);
     }
 
     void run_layered(GameResult& result) {
@@ -405,6 +416,7 @@ private:
                          [&](std::size_t chunk, unsigned participant) {
                              process_chunk(chunk, contexts[participant]);
                          });
+            pool_used_ = &pool;
         }
 
         merge(result, contexts);
@@ -470,6 +482,38 @@ private:
         return CertificateAssignment(std::move(certs));
     }
 
+    /// Accumulates the solve's counters into the session registry under the
+    /// `game.` prefix (counters, so repeated solves sum up).
+    void record_session_metrics(const GameResult& result) const {
+        if (options_.obs == nullptr) {
+            return;
+        }
+        obs::MetricsRegistry& metrics = options_.obs->metrics();
+        const GameStats& stats = result.stats;
+        metrics.accumulate(
+            "game.",
+            {
+                {"solves", 1.0},
+                {"machine_runs", static_cast<double>(result.machine_runs)},
+                {"faulted_runs", static_cast<double>(result.faulted_runs)},
+                {"leaves_processed", static_cast<double>(stats.leaves_processed)},
+                {"local_runs", static_cast<double>(stats.local_runs)},
+                {"leaf_cache_hits", static_cast<double>(stats.leaf_cache_hits)},
+                {"node_cache_hits", static_cast<double>(stats.node_cache_hits)},
+                {"node_cache_misses", static_cast<double>(stats.node_cache_misses)},
+                {"cache_evictions", static_cast<double>(stats.cache_evictions)},
+                {"chunks", static_cast<double>(stats.chunks)},
+                {"wall_ms", stats.wall_ms},
+                {"busy_ms", stats.busy_ms},
+            });
+        metrics.set("game.workers", static_cast<double>(stats.workers));
+        if (pool_used_ != nullptr) {
+            // Shared-pool lifetime totals (jobs/tasks/steals), so the gauges
+            // reflect the pool's state as of the latest solve.
+            metrics.absorb("", pool_used_->stats().to_metrics());
+        }
+    }
+
     void collect_perf(GameResult& result,
                       const std::vector<const WorkerContext*>& contexts) {
         for (const WorkerContext* ctx : contexts) {
@@ -488,6 +532,7 @@ private:
     std::unique_ptr<ViewKeyBuilder> keys_;
     std::unique_ptr<ViewCache> owned_cache_;
     ViewCache* cache_ = nullptr;
+    ThreadPool* pool_used_ = nullptr;
 
     bool want_outer_ = true;
     std::vector<ChunkOutcome> outcomes_;
@@ -495,6 +540,23 @@ private:
 };
 
 } // namespace
+
+obs::MetricList GameStats::to_metrics() const {
+    return {
+        {"leaves", static_cast<double>(leaves_processed)},
+        {"leaves_per_sec", leaves_per_sec()},
+        {"cache_hit_rate", cache_hit_rate()},
+        {"leaf_cache_hits", static_cast<double>(leaf_cache_hits)},
+        {"local_runs", static_cast<double>(local_runs)},
+        {"node_cache_hits", static_cast<double>(node_cache_hits)},
+        {"node_cache_misses", static_cast<double>(node_cache_misses)},
+        {"cache_evictions", static_cast<double>(cache_evictions)},
+        {"workers", static_cast<double>(workers)},
+        {"worker_utilization", worker_utilization()},
+        {"busy_ms", busy_ms},
+        {"chunks", static_cast<double>(chunks)},
+    };
+}
 
 GameResult play_game(const GameSpec& spec, const GameTables& tables,
                      const LabeledGraph& g, const IdentifierAssignment& id,

@@ -1,6 +1,7 @@
 #pragma once
 
 #include "dtm/local.hpp"
+#include "obs/metrics.hpp"
 
 #include <memory>
 #include <optional>
@@ -8,6 +9,10 @@
 namespace lph {
 
 class ViewCache;
+
+namespace obs {
+class Session;
+}
 
 /// A per-node enumerable space of certificates for one quantifier layer.
 ///
@@ -115,6 +120,12 @@ struct GameOptions {
     /// nullptr gives the game a private cache of view_cache_entries.
     ViewCache* view_cache = nullptr;
     std::size_t view_cache_entries = 1 << 20;
+
+    /// Optional observability session: when set, the solve accumulates its
+    /// GameStats into the session's MetricsRegistry under the `game.` naming
+    /// scheme (DESIGN.md Observability).  Span tracing is independent of
+    /// this — spans go to the ambient obs::Tracer whenever it is enabled.
+    obs::Session* obs = nullptr;
 };
 
 /// Perf counters of one play_game call.  Unlike the GameResult counters
@@ -147,6 +158,12 @@ struct GameStats {
                    ? busy_ms / (wall_ms * static_cast<double>(workers))
                    : 0.0;
     }
+
+    /// Metric list in the BENCH report vocabulary (leaves, leaves_per_sec,
+    /// cache_hit_rate, ...), the names the committed baselines already use.
+    /// bench_report.hpp absorbs this into a registry instead of hand-copying
+    /// the fields.
+    obs::MetricList to_metrics() const;
 };
 
 struct GameResult {

@@ -1,0 +1,143 @@
+#include "obs/chrome_trace.hpp"
+
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <fstream>
+
+namespace lph {
+namespace obs {
+
+namespace {
+
+std::string event_prefix(const char* ph, unsigned tid, std::uint64_t ts) {
+    std::string out = "{\"ph\":\"";
+    out += ph;
+    out += "\",\"pid\":1,\"tid\":";
+    out += std::to_string(tid);
+    out += ",\"ts\":";
+    out += std::to_string(ts);
+    return out;
+}
+
+void append_name_cat(std::string& out, const SpanRecord& span) {
+    out += ",\"name\":\"";
+    out += json_escape(span.name != nullptr ? span.name : "?");
+    out += "\",\"cat\":\"";
+    out += json_escape(span.cat != nullptr ? span.cat : "lph");
+    out += "\"";
+}
+
+void append_args(std::string& out, const SpanRecord& span) {
+    if (span.arg_name != nullptr) {
+        out += ",\"args\":{\"";
+        out += json_escape(span.arg_name);
+        out += "\":";
+        out += std::to_string(span.arg);
+        out += "}";
+    }
+}
+
+struct OpenSpan {
+    SpanRecord span;
+    std::uint64_t end = 0;
+};
+
+} // namespace
+
+std::string chrome_trace_json(const std::vector<Tracer::ThreadTrack>& tracks) {
+    std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+    std::vector<std::string> events;
+    events.push_back("{\"ph\":\"M\",\"pid\":1,\"name\":\"process_name\","
+                     "\"args\":{\"name\":\"lph\"}}");
+
+    std::uint64_t dropped_total = 0;
+    for (const Tracer::ThreadTrack& track : tracks) {
+        dropped_total += track.dropped;
+        if (track.spans.empty()) {
+            continue;
+        }
+        events.push_back("{\"ph\":\"M\",\"pid\":1,\"tid\":" +
+                         std::to_string(track.tid) +
+                         ",\"name\":\"thread_name\",\"args\":{\"name\":\"worker-" +
+                         std::to_string(track.tid) + "\"}}");
+
+        // Parent-before-child order: by start ascending, then longer first.
+        // Instants sort as zero-length spans at their timestamp.
+        std::vector<SpanRecord> spans = track.spans;
+        const auto end_of = [](const SpanRecord& s) {
+            return s.dur_us == kInstantDur ? s.start_us : s.start_us + s.dur_us;
+        };
+        std::stable_sort(spans.begin(), spans.end(),
+                         [&](const SpanRecord& a, const SpanRecord& b) {
+                             if (a.start_us != b.start_us) {
+                                 return a.start_us < b.start_us;
+                             }
+                             return end_of(a) > end_of(b);
+                         });
+
+        // Emit balanced B/E pairs with a nesting stack.  RAII spans on one
+        // thread are properly nested already; ends are still clamped to the
+        // enclosing span so the output stays balanced even for torn records.
+        std::vector<OpenSpan> stack;
+        const auto pop_one = [&] {
+            const OpenSpan& top = stack.back();
+            std::string ev = event_prefix("E", track.tid, top.end);
+            append_name_cat(ev, top.span);
+            ev += "}";
+            events.push_back(std::move(ev));
+            stack.pop_back();
+        };
+        for (const SpanRecord& span : spans) {
+            while (!stack.empty() && stack.back().end <= span.start_us) {
+                pop_one();
+            }
+            if (span.dur_us == kInstantDur) {
+                std::string ev = event_prefix("i", track.tid, span.start_us);
+                append_name_cat(ev, span);
+                append_args(ev, span);
+                ev += ",\"s\":\"t\"}";
+                events.push_back(std::move(ev));
+                continue;
+            }
+            std::uint64_t end = span.start_us + span.dur_us;
+            if (!stack.empty()) {
+                end = std::min(end, stack.back().end);
+            }
+            end = std::max(end, span.start_us);
+            std::string ev = event_prefix("B", track.tid, span.start_us);
+            append_name_cat(ev, span);
+            append_args(ev, span);
+            ev += "}";
+            events.push_back(std::move(ev));
+            stack.push_back(OpenSpan{span, end});
+        }
+        while (!stack.empty()) {
+            pop_one();
+        }
+    }
+
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        out += "  " + events[i];
+        out += i + 1 < events.size() ? ",\n" : "\n";
+    }
+    out += "],\"otherData\":{\"dropped_spans\":" + std::to_string(dropped_total) +
+           "}}\n";
+    return out;
+}
+
+std::string chrome_trace_json() {
+    return chrome_trace_json(Tracer::instance().snapshot());
+}
+
+bool write_chrome_trace(const std::string& path) {
+    std::ofstream out(path);
+    if (!out) {
+        return false;
+    }
+    out << chrome_trace_json();
+    return static_cast<bool>(out);
+}
+
+} // namespace obs
+} // namespace lph

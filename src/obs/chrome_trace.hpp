@@ -1,0 +1,30 @@
+#pragma once
+
+#include "obs/trace.hpp"
+
+#include <string>
+
+namespace lph {
+namespace obs {
+
+/// Renders the tracer's current contents as a Chrome trace-event JSON
+/// document ({"traceEvents": [...]}), loadable in Perfetto or
+/// chrome://tracing.  One track per thread that ever emitted a span
+/// (named `worker-<tid>`), duration spans as balanced B/E event pairs with
+/// per-track monotone timestamps, instant events as `i` events.
+///
+/// Span intervals recorded by RAII guards on one thread are properly nested
+/// by construction; the renderer still clamps a child's end to its parent's
+/// (guarding against clock jitter and torn ring records) so the output is
+/// *always* balanced and monotone — `scripts/trace_lint.py` checks exactly
+/// these invariants.
+std::string chrome_trace_json(const std::vector<Tracer::ThreadTrack>& tracks);
+
+/// Snapshot the global tracer and render it.
+std::string chrome_trace_json();
+
+/// Writes chrome_trace_json() to `path`; false on I/O failure (never throws).
+bool write_chrome_trace(const std::string& path);
+
+} // namespace obs
+} // namespace lph

@@ -1,0 +1,125 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace lph {
+namespace obs {
+
+void MetricsRegistry::add(const std::string& name, double delta) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    counters_[name] += delta;
+}
+
+void MetricsRegistry::set(const std::string& name, double value) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    gauges_[name] = value;
+}
+
+void MetricsRegistry::observe(const std::string& name, double value) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    Histogram& h = histograms_[name];
+    if (h.count == 0) {
+        h.min = value;
+        h.max = value;
+    } else {
+        h.min = std::min(h.min, value);
+        h.max = std::max(h.max, value);
+    }
+    ++h.count;
+    h.sum += value;
+}
+
+void MetricsRegistry::absorb(const std::string& prefix, const MetricList& values) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [name, value] : values) {
+        gauges_[prefix + name] = value;
+    }
+}
+
+void MetricsRegistry::accumulate(const std::string& prefix,
+                                 const MetricList& values) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [name, value] : values) {
+        counters_[prefix + name] += value;
+    }
+}
+
+MetricList MetricsRegistry::snapshot() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    MetricList out;
+    out.reserve(counters_.size() + gauges_.size() + 5 * histograms_.size());
+    for (const auto& [name, value] : counters_) {
+        out.emplace_back(name, value);
+    }
+    for (const auto& [name, value] : gauges_) {
+        out.emplace_back(name, value);
+    }
+    for (const auto& [name, h] : histograms_) {
+        out.emplace_back(name + ".count", static_cast<double>(h.count));
+        out.emplace_back(name + ".sum", h.sum);
+        out.emplace_back(name + ".min", h.min);
+        out.emplace_back(name + ".max", h.max);
+        out.emplace_back(name + ".avg",
+                         h.count > 0 ? h.sum / static_cast<double>(h.count) : 0.0);
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+std::string MetricsRegistry::snapshot_json() const {
+    const MetricList metrics = snapshot();
+    std::string out = "{\n";
+    for (std::size_t i = 0; i < metrics.size(); ++i) {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.6g", metrics[i].second);
+        out += "  \"" + json_escape(metrics[i].first) + "\": " + buf;
+        out += i + 1 < metrics.size() ? ",\n" : "\n";
+    }
+    out += "}\n";
+    return out;
+}
+
+void MetricsRegistry::clear() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    counters_.clear();
+    gauges_.clear();
+    histograms_.clear();
+}
+
+std::string json_escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+        case '"':
+            out += "\\\"";
+            break;
+        case '\\':
+            out += "\\\\";
+            break;
+        case '\n':
+            out += "\\n";
+            break;
+        case '\r':
+            out += "\\r";
+            break;
+        case '\t':
+            out += "\\t";
+            break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out.push_back(c);
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace obs
+} // namespace lph

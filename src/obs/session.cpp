@@ -1,0 +1,59 @@
+#include "obs/session.hpp"
+
+#include "obs/chrome_trace.hpp"
+#include "obs/trace.hpp"
+
+#include <atomic>
+#include <fstream>
+
+namespace lph {
+namespace obs {
+
+namespace {
+
+std::atomic<Session*> g_active{nullptr};
+
+} // namespace
+
+Session::Session() : Session(Options{}) {}
+
+Session::Session(Options options) : tracing_(options.tracing) {
+    if (tracing_) {
+        Tracer::instance().reset();
+        Tracer::instance().enable(options.trace_capacity_per_thread);
+    }
+}
+
+Session::~Session() {
+    if (activated_) {
+        g_active.store(previous_active_, std::memory_order_release);
+    }
+    if (tracing_) {
+        Tracer::instance().disable();
+    }
+}
+
+void Session::activate() {
+    if (!activated_) {
+        activated_ = true;
+        previous_active_ = g_active.exchange(this, std::memory_order_acq_rel);
+    }
+}
+
+Session* Session::active() { return g_active.load(std::memory_order_acquire); }
+
+bool Session::export_chrome_trace(const std::string& path) const {
+    return write_chrome_trace(path);
+}
+
+bool Session::write_metrics_json(const std::string& path) const {
+    std::ofstream out(path);
+    if (!out) {
+        return false;
+    }
+    out << metrics_.snapshot_json();
+    return static_cast<bool>(out);
+}
+
+} // namespace obs
+} // namespace lph

@@ -1,0 +1,133 @@
+#include "obs/trace.hpp"
+
+#include <chrono>
+
+namespace lph {
+namespace obs {
+
+namespace {
+
+std::uint64_t steady_ns() {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+} // namespace
+
+/// Fixed-capacity span ring owned by one thread.  All fields of a slot are
+/// atomics so a concurrent snapshot is race-free (see trace.hpp).
+struct Tracer::Ring {
+    struct Slot {
+        std::atomic<const char*> cat{nullptr};
+        std::atomic<const char*> name{nullptr};
+        std::atomic<const char*> arg_name{nullptr};
+        std::atomic<std::uint64_t> start_us{0};
+        std::atomic<std::uint64_t> dur_us{0};
+        std::atomic<std::uint64_t> arg{0};
+    };
+
+    Ring(unsigned tid, std::size_t capacity) : tid(tid), slots(capacity) {}
+
+    const unsigned tid;
+    std::vector<Slot> slots;
+    /// Spans ever emitted; slot (count % capacity) is the next write target.
+    std::atomic<std::uint64_t> count{0};
+};
+
+Tracer::Tracer() : epoch_ns_(steady_ns()) {}
+
+Tracer& Tracer::instance() {
+    static Tracer* tracer = new Tracer(); // never destroyed: spans may be
+                                          // emitted from static teardown
+    return *tracer;
+}
+
+void Tracer::enable(std::size_t capacity_per_thread) {
+    capacity_.store(std::max<std::size_t>(capacity_per_thread, 16),
+                    std::memory_order_relaxed);
+    enabled_.store(true, std::memory_order_relaxed);
+}
+
+void Tracer::disable() { enabled_.store(false, std::memory_order_relaxed); }
+
+void Tracer::reset() {
+    const std::lock_guard<std::mutex> lock(registry_mutex_);
+    for (const auto& ring : rings_) {
+        ring->count.store(0, std::memory_order_release);
+    }
+}
+
+std::uint64_t Tracer::now_us() const {
+    return (steady_ns() - epoch_ns_) / 1000;
+}
+
+Tracer::Ring* Tracer::local_ring() {
+    thread_local Ring* cached = nullptr;
+    if (cached == nullptr) {
+        const std::lock_guard<std::mutex> lock(registry_mutex_);
+        rings_.push_back(std::make_unique<Ring>(
+            static_cast<unsigned>(rings_.size()),
+            capacity_.load(std::memory_order_relaxed)));
+        cached = rings_.back().get();
+    }
+    return cached;
+}
+
+void Tracer::record(const char* cat, const char* name, std::uint64_t start_us,
+                    std::uint64_t dur_us, const char* arg_name,
+                    std::uint64_t arg) {
+    Ring& ring = *local_ring();
+    const std::uint64_t index = ring.count.load(std::memory_order_relaxed);
+    Ring::Slot& slot = ring.slots[index % ring.slots.size()];
+    slot.cat.store(cat, std::memory_order_relaxed);
+    slot.name.store(name, std::memory_order_relaxed);
+    slot.arg_name.store(arg_name, std::memory_order_relaxed);
+    slot.start_us.store(start_us, std::memory_order_relaxed);
+    slot.dur_us.store(dur_us, std::memory_order_relaxed);
+    slot.arg.store(arg, std::memory_order_relaxed);
+    ring.count.store(index + 1, std::memory_order_release);
+}
+
+void Tracer::instant(const char* cat, const char* name, const char* arg_name,
+                     std::uint64_t arg) {
+    if (!enabled()) {
+        return;
+    }
+    record(cat, name, now_us(), kInstantDur, arg_name, arg);
+}
+
+std::vector<Tracer::ThreadTrack> Tracer::snapshot() const {
+    const std::lock_guard<std::mutex> lock(registry_mutex_);
+    std::vector<ThreadTrack> tracks;
+    tracks.reserve(rings_.size());
+    for (const auto& ring : rings_) {
+        ThreadTrack track;
+        track.tid = ring->tid;
+        const std::uint64_t count = ring->count.load(std::memory_order_acquire);
+        const std::uint64_t capacity = ring->slots.size();
+        const std::uint64_t kept = std::min(count, capacity);
+        track.emitted = count;
+        track.dropped = count - kept;
+        track.spans.reserve(static_cast<std::size_t>(kept));
+        for (std::uint64_t i = count - kept; i < count; ++i) {
+            const Ring::Slot& slot = ring->slots[i % capacity];
+            SpanRecord span;
+            span.cat = slot.cat.load(std::memory_order_relaxed);
+            span.name = slot.name.load(std::memory_order_relaxed);
+            span.arg_name = slot.arg_name.load(std::memory_order_relaxed);
+            span.start_us = slot.start_us.load(std::memory_order_relaxed);
+            span.dur_us = slot.dur_us.load(std::memory_order_relaxed);
+            span.arg = slot.arg.load(std::memory_order_relaxed);
+            if (span.name != nullptr) { // skip slots torn by a racing writer
+                track.spans.push_back(span);
+            }
+        }
+        tracks.push_back(std::move(track));
+    }
+    return tracks;
+}
+
+} // namespace obs
+} // namespace lph

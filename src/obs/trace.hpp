@@ -1,0 +1,151 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace lph {
+namespace obs {
+
+/// One completed span (or instant event) as copied out of a ring buffer.
+///
+/// `cat`/`name`/`arg_name` must point at storage that outlives the tracer —
+/// in practice string literals or static tables; the LPH_SPAN macro only
+/// accepts literals and to_string(RunError) returns pointers into a static
+/// table, so this holds everywhere spans are emitted.
+struct SpanRecord {
+    const char* cat = nullptr;
+    const char* name = nullptr;
+    std::uint64_t start_us = 0;
+    std::uint64_t dur_us = 0; ///< kInstantDur marks an instant event
+    const char* arg_name = nullptr;
+    std::uint64_t arg = 0;
+};
+
+constexpr std::uint64_t kInstantDur = ~std::uint64_t{0};
+
+/// Process-global low-overhead span tracer.
+///
+/// Each thread owns a fixed-capacity ring of slots with atomic fields: the
+/// owner publishes a record with relaxed stores followed by a release store
+/// of the ring's count, so emission is lock-free, allocation-free past the
+/// first span per thread, and race-free under TSan even against a concurrent
+/// snapshot (a racing reader can observe a torn *record* — fields from two
+/// generations — but never undefined behavior; exports are normally taken
+/// after the traced workload quiesces).  When the ring wraps, the oldest
+/// records are overwritten and counted as dropped.
+///
+/// When tracing is disabled (the default), the whole instrumentation hot
+/// path — the LPH_SPAN macro below — costs one relaxed atomic load and a
+/// branch; nothing is timestamped or written.
+class Tracer {
+public:
+    static Tracer& instance();
+
+    bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+    /// Turns tracing on.  `capacity_per_thread` applies to rings created
+    /// from now on; existing rings keep their capacity.
+    void enable(std::size_t capacity_per_thread = 1 << 14);
+    void disable();
+
+    /// Forgets all recorded spans (rings stay registered; counts reset).
+    void reset();
+
+    /// Microseconds since the tracer's epoch (process start of use).
+    std::uint64_t now_us() const;
+
+    /// Records a completed span on the calling thread's ring.
+    void record(const char* cat, const char* name, std::uint64_t start_us,
+                std::uint64_t dur_us, const char* arg_name = nullptr,
+                std::uint64_t arg = 0);
+
+    /// Records an instant event (a point in time, e.g. a fault activation or
+    /// a cache eviction).  No-op when disabled.
+    void instant(const char* cat, const char* name, const char* arg_name = nullptr,
+                 std::uint64_t arg = 0);
+
+    /// Everything one thread's ring currently holds, oldest first.
+    struct ThreadTrack {
+        unsigned tid = 0;             ///< registration order, stable per thread
+        std::uint64_t emitted = 0;    ///< spans ever recorded by this thread
+        std::uint64_t dropped = 0;    ///< overwritten by ring wraparound
+        std::vector<SpanRecord> spans;
+    };
+
+    /// Copies every ring out (see the class comment on torn records when
+    /// writers are still active).
+    std::vector<ThreadTrack> snapshot() const;
+
+private:
+    Tracer();
+
+    struct Ring;
+    Ring* local_ring();
+
+    std::atomic<bool> enabled_{false};
+    std::atomic<std::size_t> capacity_{1 << 14};
+    std::uint64_t epoch_ns_ = 0;
+
+    mutable std::mutex registry_mutex_;
+    /// Rings are never destroyed (a handful per thread ever created), so the
+    /// owning thread's cached pointer can never dangle.
+    std::vector<std::unique_ptr<Ring>> rings_;
+};
+
+/// RAII span: timestamps on construction when tracing is enabled, records on
+/// destruction.  An optional single numeric argument can be attached and is
+/// exported into the Chrome trace event's `args`.
+class SpanGuard {
+public:
+    SpanGuard(const char* cat, const char* name) : cat_(cat), name_(name) {
+        Tracer& tracer = Tracer::instance();
+        if (tracer.enabled()) {
+            tracer_ = &tracer;
+            start_us_ = tracer.now_us();
+        }
+    }
+    ~SpanGuard() {
+        if (tracer_ != nullptr) {
+            tracer_->record(cat_, name_, start_us_, tracer_->now_us() - start_us_,
+                            arg_name_, arg_);
+        }
+    }
+    SpanGuard(const SpanGuard&) = delete;
+    SpanGuard& operator=(const SpanGuard&) = delete;
+
+    /// Attaches a numeric argument (last call wins).  `name` must be a
+    /// literal, as for the span names.
+    void arg(const char* name, std::uint64_t value) {
+        arg_name_ = name;
+        arg_ = value;
+    }
+
+    bool active() const { return tracer_ != nullptr; }
+
+private:
+    const char* cat_;
+    const char* name_;
+    const char* arg_name_ = nullptr;
+    std::uint64_t arg_ = 0;
+    std::uint64_t start_us_ = 0;
+    Tracer* tracer_ = nullptr;
+};
+
+#define LPH_OBS_CONCAT2(a, b) a##b
+#define LPH_OBS_CONCAT(a, b) LPH_OBS_CONCAT2(a, b)
+
+/// Scoped span over the rest of the enclosing block.  `cat` and `name` must
+/// be string literals.  Compiles to a relaxed load + branch when tracing is
+/// off.
+#define LPH_SPAN(cat, name)                                                    \
+    ::lph::obs::SpanGuard LPH_OBS_CONCAT(lph_obs_span_, __LINE__)(cat, name)
+
+/// Same, but binds the guard to a caller-chosen variable so arguments can be
+/// attached: LPH_SPAN_NAMED(span, "game", "game.chunk"); span.arg(...);
+#define LPH_SPAN_NAMED(var, cat, name) ::lph::obs::SpanGuard var(cat, name)
+
+} // namespace obs
+} // namespace lph

@@ -10,12 +10,15 @@
 #include "logic/eval.hpp"
 #include "machines/deciders.hpp"
 #include "machines/verifiers.hpp"
+#include "obs/session.hpp"
+#include "obs/trace.hpp"
 #include "oracle/generators.hpp"
 #include "oracle/reference.hpp"
 #include "oracle/shrink.hpp"
 #include "reductions/classic_reductions.hpp"
 #include "structure/graph_structure.hpp"
 
+#include <chrono>
 #include <cstdio>
 #include <memory>
 #include <sstream>
@@ -612,23 +615,43 @@ bool is_check_name(const std::string& name) {
 }
 
 CheckReport run_check(const std::string& name, std::uint64_t seed,
-                      std::size_t instances) {
+                      std::size_t instances, obs::Session* obs) {
     const DiffCheck& c = find_check(name);
     CheckReport report;
     report.check = name;
     report.seed = seed;
     report.instances = instances;
-    for (std::size_t i = 0; i < instances; ++i) {
-        const std::uint64_t iseed = instance_seed(seed, i);
-        Rng rng(iseed);
-        ReproCase instance = c.generate(rng);
-        instance.check = name;
-        instance.seed = iseed;
-        instance.params["instance"] = std::to_string(i);
-        const auto detail = c.compare(instance);
-        if (detail.has_value()) {
-            report.divergences.push_back(shrink_case(c, instance, *detail));
+    const auto start = std::chrono::steady_clock::now();
+    {
+        LPH_SPAN_NAMED(check_span, "oracle", "oracle.check");
+        check_span.arg("instances", instances);
+        for (std::size_t i = 0; i < instances; ++i) {
+            const std::uint64_t iseed = instance_seed(seed, i);
+            Rng rng(iseed);
+            ReproCase instance = c.generate(rng);
+            instance.check = name;
+            instance.seed = iseed;
+            instance.params["instance"] = std::to_string(i);
+            const auto detail = c.compare(instance);
+            if (detail.has_value()) {
+                LPH_SPAN_NAMED(shrink_span, "oracle", "oracle.shrink");
+                shrink_span.arg("original_nodes", instance.graph.num_nodes());
+                report.divergences.push_back(shrink_case(c, instance, *detail));
+            }
         }
+    }
+    report.wall_ms = std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - start)
+                         .count();
+    if (obs != nullptr) {
+        obs->metrics().accumulate(
+            "oracle.",
+            {
+                {"checks", 1.0},
+                {"instances", static_cast<double>(instances)},
+                {"divergences", static_cast<double>(report.divergences.size())},
+                {"wall_ms", report.wall_ms},
+            });
     }
     return report;
 }
@@ -670,6 +693,8 @@ std::string report_row_json(const CheckReport& report) {
     std::ostringstream out;
     out << "{\"check\":\"" << json_escape(report.check) << "\""
         << ",\"seed\":" << report.seed << ",\"instances\":" << report.instances
+        << ",\"wall_ms\":" << report.wall_ms
+        << ",\"instances_per_sec\":" << report.instances_per_sec()
         << ",\"divergences\":" << report.divergences.size() << ",\"status\":\""
         << (report.passed() ? "pass" : "fail") << "\",\"details\":[";
     for (std::size_t i = 0; i < report.divergences.size(); ++i) {

@@ -9,6 +9,10 @@
 
 namespace lph {
 
+namespace obs {
+class Session;
+}
+
 /// One confirmed disagreement between a fast path and its oracle, after
 /// counterexample shrinking.
 struct Divergence {
@@ -23,8 +27,15 @@ struct CheckReport {
     std::string check;
     std::uint64_t seed = 0;
     std::size_t instances = 0;
+    /// Wall-clock of the whole corpus, including shrinking any divergences.
+    double wall_ms = 0;
     std::vector<Divergence> divergences;
     bool passed() const { return divergences.empty(); }
+    double instances_per_sec() const {
+        return wall_ms > 0
+                   ? 1000.0 * static_cast<double>(instances) / wall_ms
+                   : 0.0;
+    }
 };
 
 /// Names of all registered differential checks, in execution order:
@@ -45,9 +56,12 @@ bool is_check_name(const std::string& name);
 
 /// Fuzzes one check: `instances` seeded random instances, fast path vs
 /// oracle on each; every divergence is shrunk to a 1-minimal counterexample
-/// before being reported.
+/// before being reported.  When `obs` is set, the check accumulates
+/// `oracle.*` counters (checks, instances, divergences, wall_ms) into the
+/// session's registry; span tracing is independent and follows the ambient
+/// obs::Tracer.
 CheckReport run_check(const std::string& name, std::uint64_t seed,
-                      std::size_t instances);
+                      std::size_t instances, obs::Session* obs = nullptr);
 
 /// Re-executes one repro case.  Returns the divergence detail, or nullopt
 /// when fast path and oracle now agree.

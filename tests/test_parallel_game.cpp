@@ -338,5 +338,71 @@ TEST(ParallelGame, StatsDescribeTheWork) {
     EXPECT_GT(par.stats.chunks, 1u);
 }
 
+/// With one worker there is no speculation: GameStats must agree exactly with
+/// the deterministic counters, and busy/wall stay consistent, whether the
+/// solve early-exits (a yes-instance deciding on an early assignment) or
+/// exhausts the space (a no-instance) — and on the layerless single-probe
+/// path, which used to report busy_ms = 0.
+void expect_single_thread_stats_consistent(const GameResult& result) {
+    EXPECT_EQ(result.stats.leaves_processed, result.machine_runs);
+    EXPECT_EQ(result.stats.workers, 1u);
+    EXPECT_EQ(result.stats.chunks, 1u);
+    EXPECT_GT(result.stats.busy_ms, 0.0);
+    EXPECT_GT(result.stats.wall_ms, 0.0);
+    // One worker's processing time fits inside the solve's wall clock (small
+    // slack for the two clocks being read at slightly different points).
+    EXPECT_LE(result.stats.busy_ms, result.stats.wall_ms * 1.05 + 0.5);
+}
+
+TEST(ParallelGame, SingleThreadStatsMatchDeterministicCounters) {
+    const auto solve = [](const LabeledGraph& g, bool memoize) {
+        const auto id = make_global_ids(g);
+        const ColoringVerifier verifier(2);
+        const ColorDomain domain(verifier);
+        GameSpec spec;
+        spec.machine = &verifier;
+        spec.layers = {&domain};
+        GameOptions options;
+        options.threads = 1;
+        options.memoize_views = memoize;
+        return play_game(spec, g, id, options);
+    };
+
+    for (const bool memoize : {false, true}) {
+        // Even cycle: 2-colorable, so the solve exits at the first accepting
+        // assignment without touching the rest of the space.
+        const GameResult early = solve(cycle_graph(8, "1"), memoize);
+        EXPECT_TRUE(early.accepted);
+        EXPECT_LT(early.machine_runs, std::uint64_t{1} << 8);
+        expect_single_thread_stats_consistent(early);
+
+        // Odd cycle: not 2-colorable, every assignment is probed.
+        const GameResult full = solve(cycle_graph(9, "1"), memoize);
+        EXPECT_FALSE(full.accepted);
+        EXPECT_EQ(full.machine_runs, std::uint64_t{1} << 9);
+        expect_single_thread_stats_consistent(full);
+    }
+}
+
+TEST(ParallelGame, LeafOnlyGameReportsBusyTime) {
+    // A spec with no quantifier layers runs the arbiter exactly once.
+    class AcceptAll : public NeighborhoodGatherMachine {
+    public:
+        AcceptAll() : NeighborhoodGatherMachine(0) {}
+        std::string decide(const NeighborhoodView&, StepMeter&) const override {
+            return "1";
+        }
+    };
+    const LabeledGraph g = path_graph(4, "1");
+    const auto id = make_global_ids(g);
+    const AcceptAll machine;
+    GameSpec spec;
+    spec.machine = &machine;
+    const GameResult result = play_game(spec, g, id, GameOptions{});
+    EXPECT_TRUE(result.accepted);
+    EXPECT_EQ(result.machine_runs, 1u);
+    expect_single_thread_stats_consistent(result);
+}
+
 } // namespace
 } // namespace lph

@@ -10,11 +10,17 @@
 //   lph_fuzz --repro fuzz-repros/x.repro re-run one counterexample
 //   lph_fuzz --list                      list check names
 //
+// Observability: --trace=<out.json> exports a Chrome trace-event file of the
+// run (oracle.check / oracle.shrink spans plus the engine spans underneath);
+// --metrics=<out.json> writes the session metrics snapshot.  --smoke prints a
+// one-line metrics summary to stderr.
+//
 // Exit status: 0 when every requested check agreed (and, for --smoke /
 // --selftest, the planted bug was caught); 1 on divergence or a missed
 // planted bug; 2 on usage errors.
 
 #include "core/check.hpp"
+#include "obs/session.hpp"
 #include "oracle/harness.hpp"
 #include "oracle/repro.hpp"
 #include "oracle/selftest.hpp"
@@ -35,6 +41,8 @@ struct Options {
     std::vector<std::string> checks; // empty = all
     std::string repro_path;
     std::string out_dir = "fuzz-repros";
+    std::string trace_path;
+    std::string metrics_path;
     bool smoke = false;
     bool selftest = false;
     bool list = false;
@@ -44,7 +52,8 @@ struct Options {
     std::cerr << "lph_fuzz: " << message << "\n"
               << "usage: lph_fuzz [--seed S] [--instances N] [--check NAME]...\n"
               << "                [--out DIR] [--smoke] [--selftest] [--list]\n"
-              << "                [--repro FILE]\n";
+              << "                [--repro FILE] [--trace OUT.json]\n"
+              << "                [--metrics OUT.json]\n";
     std::exit(2);
 }
 
@@ -72,6 +81,14 @@ Options parse_args(int argc, char** argv) {
             opt.out_dir = value();
         } else if (arg == "--repro") {
             opt.repro_path = value();
+        } else if (arg == "--trace") {
+            opt.trace_path = value();
+        } else if (arg.rfind("--trace=", 0) == 0) {
+            opt.trace_path = arg.substr(8);
+        } else if (arg == "--metrics") {
+            opt.metrics_path = value();
+        } else if (arg.rfind("--metrics=", 0) == 0) {
+            opt.metrics_path = arg.substr(10);
         } else if (arg == "--smoke") {
             opt.smoke = true;
         } else if (arg == "--selftest") {
@@ -119,13 +136,14 @@ int replay(const std::string& path) {
     return 0;
 }
 
-int fuzz(const Options& opt) {
+int fuzz(const Options& opt, obs::Session& session) {
     const std::vector<std::string> checks =
         opt.checks.empty() ? check_names() : opt.checks;
     bool any_divergence = false;
     std::size_t repro_counter = 0;
     for (const std::string& name : checks) {
-        const CheckReport report = run_check(name, opt.seed, opt.instances);
+        const CheckReport report =
+            run_check(name, opt.seed, opt.instances, &session);
         std::cout << report_row_json(report) << "\n";
         for (const Divergence& d : report.divergences) {
             any_divergence = true;
@@ -143,6 +161,31 @@ int fuzz(const Options& opt) {
     return any_divergence ? 1 : 0;
 }
 
+/// One-line rollup of the session's `oracle.*` counters, for --smoke.
+void print_smoke_summary(const obs::Session& session, bool healthy) {
+    const obs::MetricList metrics = session.metrics().snapshot();
+    const auto value = [&](const std::string& name) -> double {
+        for (const auto& [metric, v] : metrics) {
+            if (metric == name) {
+                return v;
+            }
+        }
+        return 0.0;
+    };
+    const double instances = value("oracle.instances");
+    const double wall_ms = value("oracle.wall_ms");
+    std::cerr << "lph_fuzz: smoke " << (healthy ? "pass" : "fail") << ": "
+              << static_cast<std::uint64_t>(value("oracle.checks"))
+              << " checks, " << static_cast<std::uint64_t>(instances)
+              << " instances, "
+              << static_cast<std::uint64_t>(value("oracle.divergences"))
+              << " divergences, " << static_cast<std::uint64_t>(wall_ms)
+              << " ms, "
+              << static_cast<std::uint64_t>(
+                     wall_ms > 0 ? 1000.0 * instances / wall_ms : 0.0)
+              << " instances/sec\n";
+}
+
 } // namespace
 
 int main(int argc, char** argv) {
@@ -157,20 +200,40 @@ int main(int argc, char** argv) {
         if (!opt.repro_path.empty()) {
             return replay(opt.repro_path);
         }
+
+        obs::Session::Options obs_options;
+        obs_options.tracing = !opt.trace_path.empty();
+        obs::Session session(obs_options);
+        session.activate();
+
+        int status = 0;
         if (opt.selftest) {
-            return run_and_report_selftest(opt.seed) ? 0 : 1;
-        }
-        if (opt.smoke) {
+            status = run_and_report_selftest(opt.seed) ? 0 : 1;
+        } else if (opt.smoke) {
             // Fixed-seed CI pass: a per-check corpus plus the planted-bug
             // selftest, sized for ~30s under the ASan build in check.sh.
             Options smoke = opt;
             smoke.seed = 0xC0FFEE;
             smoke.instances = 350;
-            const int fuzz_status = fuzz(smoke);
+            const int fuzz_status = fuzz(smoke, session);
             const bool selftest_ok = run_and_report_selftest(smoke.seed);
-            return fuzz_status == 0 && selftest_ok ? 0 : 1;
+            status = fuzz_status == 0 && selftest_ok ? 0 : 1;
+            print_smoke_summary(session, status == 0);
+        } else {
+            status = fuzz(opt, session);
         }
-        return fuzz(opt);
+
+        if (!opt.metrics_path.empty() &&
+            !session.write_metrics_json(opt.metrics_path)) {
+            std::cerr << "lph_fuzz: warning: could not write " << opt.metrics_path
+                      << "\n";
+        }
+        if (!opt.trace_path.empty() &&
+            !session.export_chrome_trace(opt.trace_path)) {
+            std::cerr << "lph_fuzz: warning: could not write " << opt.trace_path
+                      << "\n";
+        }
+        return status;
     } catch (const precondition_error& e) {
         std::cerr << "lph_fuzz: " << e.what() << "\n";
         return 2;
