@@ -118,17 +118,25 @@ int main(int argc, char** argv) {
         return 1;
     }
 
-    int failures = 0;
+    std::vector<std::string> failed;
     for (const std::string& name : benches) {
         std::fprintf(stderr, "=== %s ===\n", name.c_str());
         const int code = run_child(dir + "/" + name, forward);
         if (code != 0) {
             std::fprintf(stderr, "bench_main: %s exited with %d\n", name.c_str(),
                          code);
-            ++failures;
+            failed.push_back(name);
         }
     }
-    std::fprintf(stderr, "bench_main: %zu run, %d failed\n", benches.size(),
-                 failures);
-    return failures == 0 ? 0 : 1;
+    if (failed.empty()) {
+        std::fprintf(stderr, "bench_main: %zu run, 0 failed\n", benches.size());
+        return 0;
+    }
+    std::string names;
+    for (const std::string& name : failed) {
+        names += (names.empty() ? "" : ", ") + name;
+    }
+    std::fprintf(stderr, "bench_main: %zu run, %zu failed: %s\n",
+                 benches.size(), failed.size(), names.c_str());
+    return 1;
 }

@@ -1,0 +1,303 @@
+// Load generator for the serving layer (src/service): replays an open-loop
+// mixed workload of wire requests against an in-process ServiceCore and
+// compares batched serving (same-graph micro-batching + cross-request memo +
+// per-machine shared view cache) against the one-engine-call-per-request
+// baseline (all three off, same worker pool).
+//
+// The headline BENCH row reports p50/p95/p99 end-to-end latency, throughput,
+// rejection rate, and the memo / view-cache hit rates, absorbed from the
+// same ServiceStats/ResultMemoStats/ViewCacheStats lists `lphd --metrics=`
+// exports — one schema across the daemon and the bench.
+
+#include "obs/metrics.hpp"
+#include "service/core.hpp"
+
+#include "bench_report.hpp"
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+namespace {
+
+using namespace lph;
+using namespace lph::service;
+
+std::uint64_t mix(std::uint64_t& state) {
+    state += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4568bull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+std::string cycle_graph(int n) {
+    std::ostringstream g;
+    g << "graph " << n << "\\n";
+    for (int u = 0; u < n; ++u) {
+        g << "edge " << u << " " << (u + 1) % n << "\\n";
+    }
+    return g.str();
+}
+
+std::string path_graph(int n) {
+    std::ostringstream g;
+    g << "graph " << n << "\\n";
+    for (int u = 0; u + 1 < n; ++u) {
+        g << "edge " << u << " " << u + 1 << "\\n";
+    }
+    return g.str();
+}
+
+/// A shared-graph workload: many requests over a small graph pool, built by
+/// parsing real wire lines so the bench exercises the same path as lphd.
+std::vector<Request> make_workload(std::size_t count, std::uint64_t seed) {
+    std::vector<std::string> graphs;
+    for (int n = 5; n <= 7; ++n) {
+        graphs.push_back(cycle_graph(n));
+        graphs.push_back(path_graph(n));
+    }
+    const std::vector<std::string> machines = {"allsel", "eulerian",
+                                               "coloring2", "coloring3"};
+    const std::vector<std::string> problems = {"eulerian", "coloring",
+                                               "hamiltonian"};
+
+    const WireLimits limits;
+    std::vector<Request> requests;
+    requests.reserve(count);
+    std::uint64_t state = seed;
+    for (std::size_t i = 0; i < count; ++i) {
+        const std::string& graph = graphs[mix(state) % graphs.size()];
+        std::ostringstream line;
+        switch (mix(state) % 8) {
+        case 0:
+        case 1:
+            line << "{\"type\":\"decide\",\"id\":" << i << ",\"problem\":\""
+                 << problems[mix(state) % problems.size()]
+                 << "\",\"k\":3,\"graph\":\"" << graph << "\"}";
+            break;
+        case 2:
+            line << "{\"type\":\"logic\",\"id\":" << i
+                 << ",\"formula\":\"two_colorable\",\"graph\":\"" << graph
+                 << "\"}";
+            break;
+        default: {
+            const std::string& machine = machines[mix(state) % machines.size()];
+            const bool decider = machine == "allsel" || machine == "eulerian";
+            line << "{\"type\":\"game\",\"id\":" << i << ",\"machine\":\""
+                 << machine << "\",\"layers\":" << (decider ? 0 : 1)
+                 << ",\"graph\":\"" << graph << "\"}";
+            break;
+        }
+        }
+        requests.push_back(parse_request(line.str(), i + 1, limits));
+    }
+    return requests;
+}
+
+struct LoadResult {
+    double wall_ms = 0;
+    std::vector<double> latency_ms; ///< submit-to-resolution, per request
+    std::uint64_t ok = 0;
+    std::uint64_t errors = 0;
+    std::uint64_t rejected = 0;
+    ServiceStats stats;
+    ResultMemoStats memo;
+    ViewCacheStats cache;
+
+    double qps() const {
+        return wall_ms > 0
+                   ? 1000.0 * static_cast<double>(latency_ms.size()) / wall_ms
+                   : 0.0;
+    }
+    double rejection_rate() const {
+        const auto total = static_cast<double>(latency_ms.size());
+        return total > 0 ? static_cast<double>(rejected) / total : 0.0;
+    }
+};
+
+double percentile(std::vector<double> values, double q) {
+    if (values.empty()) {
+        return 0.0;
+    }
+    std::sort(values.begin(), values.end());
+    const double rank = q * static_cast<double>(values.size() - 1);
+    return values[static_cast<std::size_t>(rank + 0.5)];
+}
+
+/// Open-loop replay: submits the whole workload as fast as the queue admits,
+/// then harvests completions by polling (latency = submit to resolution).
+LoadResult run_load(const std::vector<Request>& workload,
+                    const ServiceOptions& options) {
+    using clock = std::chrono::steady_clock;
+    LoadResult result;
+    ServiceCore core(options);
+
+    const auto start = clock::now();
+    std::vector<std::future<Response>> futures;
+    std::vector<clock::time_point> submitted;
+    futures.reserve(workload.size());
+    submitted.reserve(workload.size());
+    for (const Request& request : workload) {
+        submitted.push_back(clock::now());
+        futures.push_back(core.submit(request));
+    }
+
+    result.latency_ms.assign(workload.size(), 0.0);
+    std::vector<bool> done(workload.size(), false);
+    std::size_t remaining = workload.size();
+    while (remaining > 0) {
+        for (std::size_t i = 0; i < futures.size(); ++i) {
+            if (done[i] || futures[i].wait_for(std::chrono::seconds(0)) !=
+                               std::future_status::ready) {
+                continue;
+            }
+            const Response response = futures[i].get();
+            result.latency_ms[i] = std::chrono::duration<double, std::milli>(
+                                       clock::now() - submitted[i])
+                                       .count();
+            if (response.status == "ok") {
+                ++result.ok;
+            } else if (response.status == "rejected") {
+                ++result.rejected;
+            } else {
+                ++result.errors;
+            }
+            done[i] = true;
+            --remaining;
+        }
+        if (remaining > 0) {
+            std::this_thread::sleep_for(std::chrono::microseconds(50));
+        }
+    }
+    result.wall_ms =
+        std::chrono::duration<double, std::milli>(clock::now() - start).count();
+
+    result.stats = core.stats();
+    result.memo = core.memo_stats();
+    result.cache = core.view_cache_stats();
+    core.stop();
+    return result;
+}
+
+ServiceOptions batched_options() {
+    ServiceOptions options;
+    options.threads = 4;
+    options.queue_capacity = 4096;
+    return options;
+}
+
+ServiceOptions baseline_options() {
+    ServiceOptions options = batched_options();
+    options.memoize_results = false;
+    options.batch_by_graph = false;
+    options.share_view_cache = false;
+    return options;
+}
+
+void record_row(const std::string& instance, const LoadResult& result,
+                double baseline_wall_ms) {
+    report::Instance row;
+    row.bench = "BM_ServiceLoadgen";
+    row.instance = instance;
+    row.outcome = "ok";
+    row.wall_ms = result.wall_ms;
+    obs::MetricsRegistry registry;
+    registry.absorb("service.", result.stats.to_metrics());
+    registry.absorb("service.", result.memo.to_metrics());
+    registry.absorb("service.", result.cache.to_metrics());
+    registry.set("requests", static_cast<double>(result.latency_ms.size()));
+    registry.set("qps", result.qps());
+    registry.set("p50_ms", percentile(result.latency_ms, 0.50));
+    registry.set("p95_ms", percentile(result.latency_ms, 0.95));
+    registry.set("p99_ms", percentile(result.latency_ms, 0.99));
+    registry.set("rejection_rate", result.rejection_rate());
+    registry.set("memo_hit_rate", result.memo.hit_rate());
+    registry.set("view_cache_hit_rate", result.cache.hit_rate());
+    if (baseline_wall_ms > 0 && result.wall_ms > 0) {
+        registry.set("speedup_vs_unbatched", baseline_wall_ms / result.wall_ms);
+    }
+    row.metrics = registry.snapshot();
+    report::Recorder::global().record(std::move(row));
+}
+
+void BM_ServeBatched(benchmark::State& state) {
+    const auto workload =
+        make_workload(static_cast<std::size_t>(state.range(0)), 11);
+    std::uint64_t served = 0;
+    for (auto _ : state) {
+        const LoadResult result = run_load(workload, batched_options());
+        served = result.ok;
+        sink(served);
+    }
+    state.counters["requests"] = static_cast<double>(workload.size());
+    state.counters["ok"] = static_cast<double>(served);
+}
+BENCHMARK(BM_ServeBatched)->Arg(128)->Arg(384)->Unit(benchmark::kMillisecond);
+
+void BM_ServeUnbatchedBaseline(benchmark::State& state) {
+    const auto workload =
+        make_workload(static_cast<std::size_t>(state.range(0)), 11);
+    std::uint64_t served = 0;
+    for (auto _ : state) {
+        const LoadResult result = run_load(workload, baseline_options());
+        served = result.ok;
+        sink(served);
+    }
+    state.counters["requests"] = static_cast<double>(workload.size());
+    state.counters["ok"] = static_cast<double>(served);
+}
+BENCHMARK(BM_ServeUnbatchedBaseline)
+    ->Arg(128)
+    ->Arg(384)
+    ->Unit(benchmark::kMillisecond);
+
+/// The acceptance comparison: one measured pass per configuration on the
+/// same shared-graph workload, recorded as BENCH rows (batched row carries
+/// speedup_vs_unbatched).
+void BM_ServingComparison(benchmark::State& state) {
+    const auto workload = make_workload(384, 11);
+    for (auto _ : state) {
+        const LoadResult baseline = run_load(workload, baseline_options());
+        const LoadResult batched = run_load(workload, batched_options());
+        record_row("unbatched_384", baseline, 0);
+        record_row("batched_384", batched, baseline.wall_ms);
+        report::note("BM_ServiceLoadgen", "batched_beats_unbatched",
+                     batched.wall_ms < baseline.wall_ms,
+                     "batched " + std::to_string(batched.wall_ms) +
+                         " ms vs unbatched " +
+                         std::to_string(baseline.wall_ms) + " ms");
+        state.counters["speedup"] =
+            batched.wall_ms > 0 ? baseline.wall_ms / batched.wall_ms : 0.0;
+        sink(batched.ok + baseline.ok);
+    }
+}
+BENCHMARK(BM_ServingComparison)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+/// Overload behavior: an open-loop burst into a deliberately tiny queue must
+/// produce structured rejections (admission control), never hangs.
+void BM_ServeOverload(benchmark::State& state) {
+    const auto workload = make_workload(256, 23);
+    ServiceOptions options = batched_options();
+    options.threads = 2;
+    options.queue_capacity = 16;
+    std::uint64_t rejected = 0;
+    for (auto _ : state) {
+        const LoadResult result = run_load(workload, options);
+        rejected = result.rejected;
+        sink(rejected);
+    }
+    state.counters["rejected"] = static_cast<double>(rejected);
+    report::guarded("BM_ServeOverload", "queue_cap=16", [&] {
+        const LoadResult result = run_load(workload, options);
+        record_row("overload_q16", result, 0);
+        return result.rejected;
+    });
+}
+BENCHMARK(BM_ServeOverload)->Iterations(1)->Unit(benchmark::kMillisecond);
+
+} // namespace

@@ -26,6 +26,16 @@ python3 scripts/trace_summary.py build/bench/trace_fig3.json --top 8
     --trace=build/trace_fuzz.json >/dev/null
 python3 scripts/trace_lint.py build/trace_fuzz.json
 
+# Serving-layer smoke: a few hundred mixed wire requests (games, logic,
+# decisions, oracle checks) through lphd in pipe mode with tracing on.
+# lph_client --verify exits nonzero on any protocol error or a missing
+# response; the server trace must lint clean like every other export.
+./build/tools/lph_client --generate 320 --seed 7 \
+    | ./build/tools/lphd --pipe --threads 4 --queue-cap 512 \
+        --trace=build/trace_lphd.json \
+    | ./build/tools/lph_client --verify --expect 320
+python3 scripts/trace_lint.py build/trace_lphd.json
+
 # Sanitizer passes: AddressSanitizer + UBSan over the whole suite (the `asan`
 # preset), then ThreadSanitizer over the concurrency-heavy game/cache suites
 # (the `tsan` preset).  Set LPH_SKIP_SANITIZERS=1 for a quick iteration loop.
@@ -42,7 +52,7 @@ if [[ "${LPH_SKIP_SANITIZERS:-0}" != "1" ]]; then
     cmake --preset tsan
     cmake --build build-tsan
     ctest --test-dir build-tsan --output-on-failure \
-        -R 'test_(parallel_game|view_cache|game|faults|oracle|obs)'
+        -R 'test_(parallel_game|view_cache|game|faults|oracle|obs|service)'
 fi
 
 echo "all checks passed"

@@ -53,14 +53,20 @@ std::size_t parse_index(const std::string& token, const char* role,
 
 } // namespace
 
-LabeledGraph read_graph(std::istream& in) {
+LabeledGraph read_graph(std::istream& in, const GraphReadLimits& limits) {
     LabeledGraph g;
     bool have_header = false;
     std::vector<bool> labeled;
     std::string line;
     std::size_t line_number = 0;
+    std::size_t bytes_read = 0;
+    std::size_t edges_read = 0;
     while (std::getline(in, line)) {
         ++line_number;
+        bytes_read += line.size() + 1;
+        check(limits.max_bytes == 0 || bytes_read <= limits.max_bytes,
+              "read_graph: payload exceeds " + std::to_string(limits.max_bytes) +
+                  " bytes (line " + std::to_string(line_number) + ")");
         const auto hash = line.find('#');
         if (hash != std::string::npos) {
             line.erase(hash);
@@ -86,6 +92,10 @@ LabeledGraph read_graph(std::istream& in) {
             const std::size_t n =
                 parse_index(next_token(), "node count", where);
             reject_trailing("header");
+            check(limits.max_nodes == 0 || n <= limits.max_nodes,
+                  "read_graph: node count " + std::to_string(n) +
+                      " exceeds the limit of " +
+                      std::to_string(limits.max_nodes) + where);
             for (std::size_t i = 0; i < n; ++i) {
                 g.add_node();
             }
@@ -102,6 +112,11 @@ LabeledGraph read_graph(std::istream& in) {
                       where);
             check(is_bit_string(bits), "read_graph: label '" + bits +
                                            "' is not a bit string" + where);
+            check(limits.max_label_bits == 0 ||
+                      bits.size() <= limits.max_label_bits,
+                  "read_graph: label of " + std::to_string(bits.size()) +
+                      " bits exceeds the limit of " +
+                      std::to_string(limits.max_label_bits) + where);
             check(!labeled[u], "read_graph: duplicate label for node " +
                                   std::to_string(u) + where);
             labeled[u] = true;
@@ -111,6 +126,10 @@ LabeledGraph read_graph(std::istream& in) {
             const std::size_t u = parse_index(next_token(), "node id", where);
             const std::size_t v = parse_index(next_token(), "node id", where);
             reject_trailing("edge");
+            ++edges_read;
+            check(limits.max_edges == 0 || edges_read <= limits.max_edges,
+                  "read_graph: edge count exceeds the limit of " +
+                      std::to_string(limits.max_edges) + where);
             check(u < g.num_nodes() && v < g.num_nodes(),
                   "read_graph: edge {" + std::to_string(u) + "," +
                       std::to_string(v) + "} out of range" + where);
@@ -128,9 +147,19 @@ LabeledGraph read_graph(std::istream& in) {
     return g;
 }
 
-LabeledGraph graph_from_text(const std::string& text) {
+LabeledGraph read_graph(std::istream& in) { return read_graph(in, {}); }
+
+LabeledGraph graph_from_text(const std::string& text, const GraphReadLimits& limits) {
+    check(limits.max_bytes == 0 || text.size() <= limits.max_bytes,
+          "read_graph: payload of " + std::to_string(text.size()) +
+              " bytes exceeds the limit of " + std::to_string(limits.max_bytes) +
+              " (line 1)");
     std::istringstream in(text);
-    return read_graph(in);
+    return read_graph(in, limits);
+}
+
+LabeledGraph graph_from_text(const std::string& text) {
+    return graph_from_text(text, {});
 }
 
 } // namespace lph

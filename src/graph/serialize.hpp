@@ -2,10 +2,22 @@
 
 #include "graph/graph.hpp"
 
+#include <cstddef>
 #include <iosfwd>
 #include <string>
 
 namespace lph {
+
+/// Size guards for parsing untrusted graph payloads (the service wire format
+/// reuses this parser on attacker-controlled request lines).  0 disables a
+/// limit.  Violations are rejected with precondition_error messages that name
+/// the limit and the offending line, like every other parse error here.
+struct GraphReadLimits {
+    std::size_t max_nodes = 0;      ///< cap on the 'graph <n>' header count
+    std::size_t max_edges = 0;      ///< cap on the number of edge directives
+    std::size_t max_label_bits = 0; ///< cap on one label's length
+    std::size_t max_bytes = 0;      ///< cap on the total payload size
+};
 
 /// Plain-text graph format (one directive per line, '#' comments):
 ///
@@ -17,11 +29,17 @@ namespace lph {
 /// trips exactly through to_text/from_text.
 std::string graph_to_text(const LabeledGraph& g);
 
-/// Parses the format above; throws precondition_error on malformed input.
+/// Parses the format above; throws precondition_error on malformed input
+/// (any non-directive line — including trailing garbage after a complete
+/// graph — is malformed, with the line number in the message).
 LabeledGraph graph_from_text(const std::string& text);
+
+/// Same, enforcing the given size limits (max_bytes checked up front).
+LabeledGraph graph_from_text(const std::string& text, const GraphReadLimits& limits);
 
 /// Stream variants.
 void write_graph(std::ostream& out, const LabeledGraph& g);
 LabeledGraph read_graph(std::istream& in);
+LabeledGraph read_graph(std::istream& in, const GraphReadLimits& limits);
 
 } // namespace lph

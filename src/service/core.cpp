@@ -1,0 +1,589 @@
+#include "service/core.hpp"
+
+#include "core/check.hpp"
+#include "dtm/errors.hpp"
+#include "dtm/faults.hpp"
+#include "graphalg/coloring.hpp"
+#include "graphalg/eulerian.hpp"
+#include "graphalg/hamiltonian.hpp"
+#include "hierarchy/game.hpp"
+#include "logic/eval.hpp"
+#include "obs/session.hpp"
+#include "obs/trace.hpp"
+#include "oracle/generators.hpp"
+#include "oracle/harness.hpp"
+#include "service/registry.hpp"
+#include "structure/graph_structure.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace lph {
+namespace service {
+
+namespace {
+
+double ms_between(std::chrono::steady_clock::time_point from,
+                  std::chrono::steady_clock::time_point to) {
+    return std::chrono::duration<double, std::milli>(to - from).count();
+}
+
+std::string render_ms(double value) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.3f", value);
+    return buf;
+}
+
+} // namespace
+
+obs::MetricList ServiceStats::to_metrics() const {
+    return {
+        {"submitted", static_cast<double>(submitted)},
+        {"rejected", static_cast<double>(rejected)},
+        {"protocol_errors", static_cast<double>(protocol_errors)},
+        {"completed", static_cast<double>(completed)},
+        {"errors", static_cast<double>(errors)},
+        {"memo_served", static_cast<double>(memo_served)},
+        {"batches", static_cast<double>(batches)},
+        {"batched_requests", static_cast<double>(batched_requests)},
+        {"avg_batch", avg_batch()},
+        {"queue_depth", static_cast<double>(queue_depth)},
+        {"max_queue_depth", static_cast<double>(max_queue_depth)},
+        {"busy_ms", busy_ms},
+        {"workers", static_cast<double>(workers)},
+    };
+}
+
+/// Per-batch shared preparation: when a micro-batch of same-graph requests
+/// is drained, the first request of each (machine, layers) flavor pays for
+/// the built game, the identifier assignment, and the certificate option
+/// tables; the rest of the batch reuses them.
+struct ServiceCore::BatchContext {
+    std::map<std::string, BuiltGame> games;
+    std::map<std::string, IdentifierAssignment> ids;
+    std::map<std::string, GameTables> tables;
+
+    BuiltGame& game(const std::string& machine, int layers, bool sigma) {
+        const std::string key = machine + '|' + std::to_string(layers) + '|' +
+                                (sigma ? '1' : '0');
+        auto it = games.find(key);
+        if (it == games.end()) {
+            it = games.emplace(key, build_game(machine, layers, sigma)).first;
+        }
+        return it->second;
+    }
+
+    IdentifierAssignment& id_for(const std::string& scheme, int r_id,
+                                 const LabeledGraph& g) {
+        const std::string key = scheme + '|' + std::to_string(r_id);
+        auto it = ids.find(key);
+        if (it == ids.end()) {
+            it = ids.emplace(key, identifier_scheme_by_name(scheme, g, r_id))
+                     .first;
+        }
+        return it->second;
+    }
+
+    GameTables& tables_for(const std::string& machine, int layers,
+                           const std::string& scheme, const GameSpec& spec,
+                           const LabeledGraph& g,
+                           const IdentifierAssignment& id) {
+        // Tables are sigma-independent (only layer count and domains matter).
+        const std::string key =
+            machine + '|' + std::to_string(layers) + '|' + scheme;
+        auto it = tables.find(key);
+        if (it == tables.end()) {
+            it = tables.emplace(key, GameTables(spec, g, id)).first;
+        }
+        return it->second;
+    }
+};
+
+ServiceCore::ServiceCore(ServiceOptions options)
+    : options_(options),
+      start_time_(std::chrono::steady_clock::now()),
+      memo_(options.memo_entries) {
+    if (options_.threads == 0) {
+        options_.threads = std::max(1u, std::thread::hardware_concurrency());
+    }
+    if (!options_.manual_drain) {
+        workers_.reserve(options_.threads);
+        for (unsigned i = 0; i < options_.threads; ++i) {
+            workers_.emplace_back([this] { worker_loop(); });
+        }
+    }
+}
+
+ServiceCore::~ServiceCore() { stop(); }
+
+void ServiceCore::stop() {
+    {
+        const std::lock_guard<std::mutex> lock(queue_mutex_);
+        stopping_ = true;
+    }
+    queue_cv_.notify_all();
+    for (std::thread& worker : workers_) {
+        if (worker.joinable()) {
+            worker.join();
+        }
+    }
+    workers_.clear();
+}
+
+std::future<Response> ServiceCore::submit(Request request) {
+    std::promise<Response> promise;
+    std::future<Response> future = promise.get_future();
+
+    bool admitted = false;
+    std::string reject_detail;
+    {
+        const std::lock_guard<std::mutex> lock(queue_mutex_);
+        if (stopping_) {
+            reject_detail = "service is stopping";
+        } else if (queue_.size() >= options_.queue_capacity) {
+            reject_detail = "queue at capacity " +
+                            std::to_string(options_.queue_capacity);
+        } else {
+            Pending pending;
+            pending.digest = request.graph_digest();
+            pending.request = std::move(request);
+            pending.promise = std::move(promise);
+            pending.enqueued = std::chrono::steady_clock::now();
+            queue_.push_back(std::move(pending));
+            submitted_.fetch_add(1, std::memory_order_relaxed);
+            const std::uint64_t depth = queue_.size();
+            if (depth > max_queue_depth_.load(std::memory_order_relaxed)) {
+                max_queue_depth_.store(depth, std::memory_order_relaxed);
+            }
+            obs::Tracer::instance().instant("service", "service.enqueue",
+                                            "depth", depth);
+            admitted = true;
+        }
+    }
+    if (!admitted) {
+        rejected_.fetch_add(1, std::memory_order_relaxed);
+        obs::Tracer::instance().instant("service", "service.reject");
+        promise.set_value(Response::rejection(request.id, reject_detail));
+        return future;
+    }
+    queue_cv_.notify_one();
+    return future;
+}
+
+Response ServiceCore::call(Request request) {
+    std::future<Response> future = submit(std::move(request));
+    if (options_.manual_drain) {
+        while (future.wait_for(std::chrono::seconds(0)) !=
+               std::future_status::ready) {
+            if (!drain_some()) {
+                break;
+            }
+        }
+    }
+    return future.get();
+}
+
+void ServiceCore::note_protocol_error() {
+    protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+    obs::Tracer::instance().instant("service", "service.protocol_error");
+}
+
+bool ServiceCore::drain_some() {
+    std::vector<Pending> batch;
+    {
+        const std::lock_guard<std::mutex> lock(queue_mutex_);
+        if (queue_.empty()) {
+            return false;
+        }
+        batch = take_batch_locked();
+    }
+    process_batch(std::move(batch));
+    return true;
+}
+
+void ServiceCore::drain() {
+    while (drain_some()) {
+    }
+}
+
+void ServiceCore::worker_loop() {
+    for (;;) {
+        std::vector<Pending> batch;
+        {
+            std::unique_lock<std::mutex> lock(queue_mutex_);
+            queue_cv_.wait(lock,
+                           [this] { return stopping_ || !queue_.empty(); });
+            if (queue_.empty()) {
+                return; // stopping, queue fully drained
+            }
+            batch = take_batch_locked();
+        }
+        process_batch(std::move(batch));
+    }
+}
+
+std::vector<ServiceCore::Pending> ServiceCore::take_batch_locked() {
+    std::vector<Pending> batch;
+    batch.push_back(std::move(queue_.front()));
+    queue_.pop_front();
+    if (options_.batch_by_graph && batch.front().request.has_graph) {
+        const std::uint64_t digest = batch.front().digest;
+        for (auto it = queue_.begin();
+             it != queue_.end() && batch.size() < options_.max_batch;) {
+            if (it->request.has_graph && it->digest == digest) {
+                batch.push_back(std::move(*it));
+                it = queue_.erase(it);
+            } else {
+                ++it;
+            }
+        }
+    }
+    return batch;
+}
+
+void ServiceCore::process_batch(std::vector<Pending> batch) {
+    LPH_SPAN_NAMED(span, "service", "service.batch");
+    span.arg("requests", batch.size());
+    batches_.fetch_add(1, std::memory_order_relaxed);
+    batched_requests_.fetch_add(batch.size(), std::memory_order_relaxed);
+    BatchContext ctx;
+    for (Pending& pending : batch) {
+        serve_one(pending, ctx, batch.size());
+    }
+}
+
+void ServiceCore::serve_one(Pending& pending, BatchContext& ctx,
+                            std::size_t batch_size) {
+    LPH_SPAN_NAMED(span, "service", "service.request");
+    const Request& request = pending.request;
+    const auto start = std::chrono::steady_clock::now();
+
+    Response response;
+    response.id = request.id;
+    response.type = request.type;
+    response.batch = batch_size;
+
+    const double waited_ms = ms_between(pending.enqueued, start);
+    const double deadline_ms = request.deadline_ms > 0
+                                   ? request.deadline_ms
+                                   : options_.default_deadline_ms;
+    const std::string memo_key =
+        options_.memoize_results ? request.memo_key() : std::string{};
+
+    bool served = false;
+    if (!memo_key.empty()) {
+        if (auto hit = memo_.lookup(memo_key)) {
+            response.body = std::move(*hit);
+            response.memo_hit = true;
+            memo_served_.fetch_add(1, std::memory_order_relaxed);
+            served = true;
+        }
+    }
+    if (!served) {
+        if (deadline_ms > 0 && waited_ms >= deadline_ms) {
+            response.status = "error";
+            response.error = to_string(RunError::DeadlineExceeded);
+            response.detail = "deadline of " + render_ms(deadline_ms) +
+                              " ms expired after " + render_ms(waited_ms) +
+                              " ms in queue";
+        } else {
+            const double remaining_ms =
+                deadline_ms > 0 ? deadline_ms - waited_ms : 0;
+            try {
+                response.body = execute(request, ctx, remaining_ms);
+                // A tolerate_faults run under a deadline can score leaves as
+                // losses depending on wall-clock — a time-dependent body must
+                // never be replayed to other clients.
+                const bool time_dependent =
+                    request.tolerate_faults && deadline_ms > 0;
+                if (!memo_key.empty() && !time_dependent) {
+                    memo_.insert(memo_key, response.body);
+                }
+            } catch (const run_error& e) {
+                response.status = "error";
+                response.error = to_string(e.code());
+                response.detail = e.what();
+            } catch (const precondition_error& e) {
+                response.status = "error";
+                response.error = "InvalidRequest";
+                response.detail = e.what();
+            } catch (const std::exception& e) {
+                response.status = "error";
+                response.error = "InternalError";
+                response.detail = e.what();
+            }
+        }
+    }
+
+    const auto end = std::chrono::steady_clock::now();
+    response.service_ms = ms_between(start, end);
+    busy_us_.fetch_add(
+        static_cast<std::uint64_t>(response.service_ms * 1000.0),
+        std::memory_order_relaxed);
+    if (response.status == "ok") {
+        completed_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+        errors_.fetch_add(1, std::memory_order_relaxed);
+    }
+    span.arg("memo_hit", response.memo_hit ? 1 : 0);
+    span.arg("ok", response.status == "ok" ? 1 : 0);
+    pending.promise.set_value(std::move(response));
+}
+
+std::string ServiceCore::execute(const Request& request, BatchContext& ctx,
+                                 double deadline_ms) {
+    std::ostringstream body;
+    switch (request.type) {
+    case RequestType::Game: {
+        BuiltGame& game = ctx.game(request.machine, request.layers,
+                                   request.sigma);
+        const int r_id = game.spec.machine->id_radius();
+        const IdentifierAssignment& id =
+            ctx.id_for(request.ids, r_id, request.graph);
+        const GameTables& tables =
+            ctx.tables_for(request.machine, request.layers, request.ids,
+                           game.spec, request.graph, id);
+
+        GameOptions opt;
+        opt.threads = 1; // the service parallelizes across requests
+        opt.tolerate_faults = request.tolerate_faults;
+        opt.exec.deadline_ms = deadline_ms;
+        FaultPlan plan;
+        if (request.wants_fault_plan()) {
+            plan.seed = request.fault_seed;
+            plan.crash_prob = request.fault_crash;
+            plan.drop_prob = request.fault_drop;
+            plan.truncate_prob = request.fault_truncate;
+            plan.corrupt_prob = request.fault_corrupt;
+            opt.exec.faults = &plan;
+        }
+        if (options_.share_view_cache) {
+            // Harmless for deadline'd/faulted requests: ViewKeyBuilder
+            // refuses run-global couplings, so those runs bypass the cache.
+            opt.view_cache = cache_for(request.machine);
+        }
+        opt.view_cache_entries = options_.view_cache_entries;
+
+        const GameResult result =
+            play_game(game.spec, tables, request.graph, id, opt);
+        // The engine scores injected faults as probe losses either way; the
+        // wire contract is stricter: without tolerate_faults, a faulted probe
+        // escalates to a structured error carrying the taxonomy code.
+        if (!request.tolerate_faults && !result.probe_faults.empty()) {
+            throw run_error(result.probe_faults.front());
+        }
+        body << "\"accepted\":" << (result.accepted ? "true" : "false")
+             << ",\"machine_runs\":" << result.machine_runs
+             << ",\"faulted_runs\":" << result.faulted_runs;
+        if (!result.probe_faults.empty()) {
+            body << ",\"faults\":[";
+            for (std::size_t i = 0; i < result.probe_faults.size(); ++i) {
+                body << (i ? "," : "") << '"'
+                     << to_string(result.probe_faults[i].code) << '"';
+            }
+            body << ']';
+        }
+        if (result.witness) {
+            body << ",\"witness\":[";
+            for (NodeId u = 0; u < result.witness->size(); ++u) {
+                body << (u ? "," : "") << '"'
+                     << obs::json_escape((*result.witness)(u)) << '"';
+            }
+            body << ']';
+        }
+        break;
+    }
+    case RequestType::Logic: {
+        const Formula formula = formula_by_name(request.formula, request.fseed);
+        const GraphStructure gs(request.graph);
+        const bool sat = satisfies(gs.structure(), formula);
+        body << "\"satisfied\":" << (sat ? "true" : "false")
+             << ",\"formula_size\":" << formula_size(formula)
+             << ",\"cardinality\":" << gs.cardinality();
+        break;
+    }
+    case RequestType::Decide: {
+        if (request.problem == "eulerian") {
+            body << "\"answer\":"
+                 << (is_eulerian(request.graph) ? "true" : "false");
+        } else if (request.problem == "coloring") {
+            const std::optional<Coloring> coloring =
+                find_k_coloring(request.graph, request.k);
+            body << "\"answer\":" << (coloring ? "true" : "false");
+            if (coloring) {
+                body << ",\"colors\":[";
+                for (std::size_t i = 0; i < coloring->size(); ++i) {
+                    body << (i ? "," : "") << (*coloring)[i];
+                }
+                body << ']';
+            }
+        } else {
+            const std::optional<std::vector<NodeId>> cycle =
+                find_hamiltonian_cycle(request.graph);
+            body << "\"answer\":" << (cycle ? "true" : "false");
+            if (cycle) {
+                body << ",\"cycle\":[";
+                for (std::size_t i = 0; i < cycle->size(); ++i) {
+                    body << (i ? "," : "") << (*cycle)[i];
+                }
+                body << ']';
+            }
+        }
+        break;
+    }
+    case RequestType::OracleCheck: {
+        check(is_check_name(request.oracle_check),
+              "unknown check '" + request.oracle_check + "'");
+        const std::size_t instances =
+            std::min(request.instances, options_.max_oracle_instances);
+        const CheckReport report =
+            run_check(request.oracle_check, request.seed, instances,
+                      options_.obs);
+        // wall_ms is deliberately omitted: the body must be deterministic so
+        // the result memo can replay it.
+        body << "\"passed\":" << (report.passed() ? "true" : "false")
+             << ",\"instances\":" << report.instances
+             << ",\"divergences\":" << report.divergences.size();
+        break;
+    }
+    case RequestType::Stats:
+        return render_stats_body();
+    case RequestType::Health:
+        return render_health_body();
+    }
+    return body.str();
+}
+
+std::string ServiceCore::render_stats_body() {
+    const ServiceStats s = stats();
+    const ResultMemoStats memo = memo_stats();
+    const ViewCacheStats cache = view_cache_stats();
+    std::ostringstream body;
+    body << "\"uptime_ms\":"
+         << render_ms(ms_between(start_time_, std::chrono::steady_clock::now()))
+         << ",\"workers\":" << s.workers
+         << ",\"queue_depth\":" << s.queue_depth
+         << ",\"max_queue_depth\":" << s.max_queue_depth
+         << ",\"submitted\":" << s.submitted << ",\"rejected\":" << s.rejected
+         << ",\"protocol_errors\":" << s.protocol_errors
+         << ",\"completed\":" << s.completed << ",\"errors\":" << s.errors
+         << ",\"memo_served\":" << s.memo_served
+         << ",\"batches\":" << s.batches
+         << ",\"batched_requests\":" << s.batched_requests
+         << ",\"avg_batch\":" << render_ms(s.avg_batch())
+         << ",\"busy_ms\":" << render_ms(s.busy_ms)
+         // "memo_cache", not "memo": the response envelope already carries a
+         // top-level "memo":"hit|miss" and response objects must not have
+         // duplicate keys (the client's own parser rejects them).
+         << ",\"memo_cache\":{\"hits\":" << memo.hits
+         << ",\"misses\":" << memo.misses << ",\"entries\":" << memo.entries
+         << ",\"evictions\":" << memo.evictions
+         << ",\"hit_rate\":" << render_ms(memo.hit_rate())
+         << "},\"view_cache\":{\"hits\":" << cache.hits
+         << ",\"misses\":" << cache.misses << ",\"entries\":" << cache.entries
+         << ",\"evictions\":" << cache.evictions
+         << ",\"verdict_mismatches\":" << cache.verdict_mismatches
+         << ",\"hit_rate\":" << render_ms(cache.hit_rate()) << '}';
+    return body.str();
+}
+
+std::string ServiceCore::render_health_body() {
+    std::ostringstream body;
+    body << "\"ok\":true,\"uptime_ms\":"
+         << render_ms(ms_between(start_time_, std::chrono::steady_clock::now()))
+         << ",\"queue_depth\":" << queue_depth()
+         << ",\"workers\":" << (options_.manual_drain ? 0 : options_.threads);
+    return body.str();
+}
+
+Response ServiceCore::serve_unbatched(const Request& request) {
+    BatchContext ctx;
+    const auto start = std::chrono::steady_clock::now();
+    Response response;
+    response.id = request.id;
+    response.type = request.type;
+    const double deadline_ms = request.deadline_ms > 0
+                                   ? request.deadline_ms
+                                   : options_.default_deadline_ms;
+    try {
+        response.body = execute(request, ctx, deadline_ms);
+    } catch (const run_error& e) {
+        response.status = "error";
+        response.error = to_string(e.code());
+        response.detail = e.what();
+    } catch (const precondition_error& e) {
+        response.status = "error";
+        response.error = "InvalidRequest";
+        response.detail = e.what();
+    } catch (const std::exception& e) {
+        response.status = "error";
+        response.error = "InternalError";
+        response.detail = e.what();
+    }
+    response.service_ms =
+        ms_between(start, std::chrono::steady_clock::now());
+    return response;
+}
+
+std::size_t ServiceCore::queue_depth() const {
+    const std::lock_guard<std::mutex> lock(queue_mutex_);
+    return queue_.size();
+}
+
+ServiceStats ServiceCore::stats() const {
+    ServiceStats s;
+    s.submitted = submitted_.load(std::memory_order_relaxed);
+    s.rejected = rejected_.load(std::memory_order_relaxed);
+    s.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
+    s.completed = completed_.load(std::memory_order_relaxed);
+    s.errors = errors_.load(std::memory_order_relaxed);
+    s.memo_served = memo_served_.load(std::memory_order_relaxed);
+    s.batches = batches_.load(std::memory_order_relaxed);
+    s.batched_requests = batched_requests_.load(std::memory_order_relaxed);
+    s.max_queue_depth = max_queue_depth_.load(std::memory_order_relaxed);
+    s.queue_depth = queue_depth();
+    s.busy_ms =
+        static_cast<double>(busy_us_.load(std::memory_order_relaxed)) / 1000.0;
+    s.workers = options_.manual_drain ? 0 : options_.threads;
+    return s;
+}
+
+ResultMemoStats ServiceCore::memo_stats() const { return memo_.stats(); }
+
+ViewCacheStats ServiceCore::view_cache_stats() const {
+    ViewCacheStats total;
+    const std::lock_guard<std::mutex> lock(cache_mutex_);
+    for (const auto& [machine, cache] : view_caches_) {
+        const ViewCacheStats s = cache->stats();
+        total.hits += s.hits;
+        total.misses += s.misses;
+        total.evictions += s.evictions;
+        total.entries += s.entries;
+        total.verdict_mismatches += s.verdict_mismatches;
+    }
+    return total;
+}
+
+void ServiceCore::publish_metrics() {
+    if (options_.obs == nullptr) {
+        return;
+    }
+    obs::MetricsRegistry& registry = options_.obs->metrics();
+    registry.absorb("service.", stats().to_metrics());
+    registry.absorb("service.", memo_stats().to_metrics());
+    obs::MetricList cache = view_cache_stats().to_metrics();
+    registry.absorb("service.", cache);
+}
+
+ViewCache* ServiceCore::cache_for(const std::string& machine) {
+    const std::lock_guard<std::mutex> lock(cache_mutex_);
+    std::unique_ptr<ViewCache>& slot = view_caches_[machine];
+    if (!slot) {
+        slot = std::make_unique<ViewCache>(options_.view_cache_entries);
+    }
+    return slot.get();
+}
+
+} // namespace service
+} // namespace lph

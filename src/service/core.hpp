@@ -1,0 +1,204 @@
+#pragma once
+
+#include "dtm/view_cache.hpp"
+#include "obs/metrics.hpp"
+#include "service/memo.hpp"
+#include "service/wire.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace lph {
+
+namespace obs {
+class Session;
+}
+
+namespace service {
+
+/// Tuning knobs of one ServiceCore.
+struct ServiceOptions {
+    /// Worker threads draining the request queue; 0 = one per hardware
+    /// thread.  Each worker runs the engine sequentially (GameOptions::threads
+    /// = 1): the serving layer's parallelism is across requests, and nesting
+    /// pools inside pools would only add contention.
+    unsigned threads = 0;
+
+    /// Bounded request queue: submissions beyond this are rejected
+    /// immediately with a structured QueueFull response (admission control,
+    /// never a hang).
+    std::size_t queue_capacity = 256;
+
+    /// Deadline applied to requests that do not carry their own; 0 = none.
+    /// Deadlines cover queue wait too: a request that expires before a worker
+    /// picks it up fails with DeadlineExceeded without touching the engine.
+    double default_deadline_ms = 0;
+
+    std::size_t memo_entries = 1 << 12;
+    std::size_t view_cache_entries = 1 << 18;
+
+    /// Upper bound on one micro-batch (requests sharing a graph digest that
+    /// one worker drains together).
+    std::size_t max_batch = 32;
+
+    /// Server-side cap on oracle_check corpus sizes.
+    std::size_t max_oracle_instances = 200;
+
+    WireLimits wire;
+
+    /// The three serving optimizations, individually toggleable so the load
+    /// generator can measure each against the one-engine-call-per-request
+    /// baseline (all three off).
+    bool memoize_results = true;
+    bool batch_by_graph = true;
+    bool share_view_cache = true;
+
+    /// Test/bench mode: no worker threads are spawned; callers pump the
+    /// queue with drain_some()/drain().  Makes queue-full and batching
+    /// behavior deterministic.
+    bool manual_drain = false;
+
+    /// Optional observability session for publish_metrics().
+    obs::Session* obs = nullptr;
+};
+
+/// Monotone counters of one ServiceCore (plus queue-depth snapshots).
+struct ServiceStats {
+    std::uint64_t submitted = 0;   ///< admitted into the queue
+    std::uint64_t rejected = 0;    ///< refused at admission (queue full)
+    std::uint64_t protocol_errors = 0; ///< unparseable lines (transport-reported)
+    std::uint64_t completed = 0;   ///< responses with status "ok"
+    std::uint64_t errors = 0;      ///< responses with status "error"
+    std::uint64_t memo_served = 0; ///< completed straight from the result memo
+    std::uint64_t batches = 0;     ///< micro-batches drained
+    std::uint64_t batched_requests = 0; ///< requests inside those batches
+    std::uint64_t queue_depth = 0;     ///< at snapshot time
+    std::uint64_t max_queue_depth = 0; ///< high-water mark
+    double busy_ms = 0;  ///< summed per-request service time
+    unsigned workers = 0;
+
+    double avg_batch() const {
+        return batches > 0
+                   ? static_cast<double>(batched_requests) /
+                         static_cast<double>(batches)
+                   : 0.0;
+    }
+
+    /// Metric list (unprefixed names: submitted, rejected, ...); ServiceCore
+    /// absorbs it under `service.` so the loadgen BENCH rows and `--metrics=`
+    /// JSON share one schema with the engine rows.
+    obs::MetricList to_metrics() const;
+};
+
+/// The batched query-serving core: a bounded MPMC request queue, a worker
+/// pool, per-request deadline propagation, micro-batching of requests that
+/// share a graph, a per-machine shared ViewCache, and a cross-request result
+/// memo keyed by (instance digest, query).
+///
+/// Transports (service/server.hpp) parse wire lines into Requests and submit
+/// them; the core never touches sockets or streams.
+class ServiceCore {
+public:
+    explicit ServiceCore(ServiceOptions options = {});
+    ~ServiceCore();
+
+    ServiceCore(const ServiceCore&) = delete;
+    ServiceCore& operator=(const ServiceCore&) = delete;
+
+    /// Queues one request.  Returns a future that resolves to the response;
+    /// when the queue is at capacity the future is already resolved to a
+    /// QueueFull rejection.
+    std::future<Response> submit(Request request);
+
+    /// Synchronous convenience: submit + wait (pumping the queue inline when
+    /// manual_drain is set).
+    Response call(Request request);
+
+    /// Transport-side accounting for lines that never parsed into a Request.
+    void note_protocol_error();
+
+    /// Manual drain (manual_drain mode, or extra pump threads): processes
+    /// one micro-batch; false when the queue was empty.
+    bool drain_some();
+
+    /// Drains until the queue is empty.
+    void drain();
+
+    /// Stops the workers after the queue empties; idempotent.  Every
+    /// already-admitted request is served before the workers exit.
+    void stop();
+
+    std::size_t queue_depth() const;
+    ServiceStats stats() const;
+    ResultMemoStats memo_stats() const;
+    /// Aggregated over the per-machine shared view caches.
+    ViewCacheStats view_cache_stats() const;
+
+    /// Publishes service.* gauges (core counters, memo.*, cache.*) into the
+    /// session registry handed in ServiceOptions::obs; no-op without one.
+    void publish_metrics();
+
+    const ServiceOptions& options() const { return options_; }
+
+    /// Renders one response body for `request` executed inline, bypassing
+    /// queue/memo/batching — the loadgen's "one engine call per request"
+    /// baseline helper and the stats/health renderer.
+    Response serve_unbatched(const Request& request);
+
+private:
+    struct Pending {
+        Request request;
+        std::promise<Response> promise;
+        std::chrono::steady_clock::time_point enqueued;
+        std::uint64_t digest = 0;
+    };
+
+    struct BatchContext; // per-batch shared graph preparation
+
+    void worker_loop();
+    std::vector<Pending> take_batch_locked();
+    void process_batch(std::vector<Pending> batch);
+    void serve_one(Pending& pending, BatchContext& ctx, std::size_t batch_size);
+    /// Executes the request and renders the response body; throws on failure.
+    std::string execute(const Request& request, BatchContext& ctx,
+                        double deadline_ms);
+    std::string render_stats_body();
+    std::string render_health_body();
+    ViewCache* cache_for(const std::string& machine);
+
+    ServiceOptions options_;
+    std::chrono::steady_clock::time_point start_time_;
+
+    mutable std::mutex queue_mutex_;
+    std::condition_variable queue_cv_;
+    std::deque<Pending> queue_;
+    bool stopping_ = false;
+    std::vector<std::thread> workers_;
+
+    ResultMemo memo_;
+    mutable std::mutex cache_mutex_;
+    std::map<std::string, std::unique_ptr<ViewCache>> view_caches_;
+
+    std::atomic<std::uint64_t> submitted_{0};
+    std::atomic<std::uint64_t> rejected_{0};
+    std::atomic<std::uint64_t> protocol_errors_{0};
+    std::atomic<std::uint64_t> completed_{0};
+    std::atomic<std::uint64_t> errors_{0};
+    std::atomic<std::uint64_t> memo_served_{0};
+    std::atomic<std::uint64_t> batches_{0};
+    std::atomic<std::uint64_t> batched_requests_{0};
+    std::atomic<std::uint64_t> max_queue_depth_{0};
+    std::atomic<std::uint64_t> busy_us_{0};
+};
+
+} // namespace service
+} // namespace lph

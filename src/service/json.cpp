@@ -1,0 +1,305 @@
+#include "service/json.hpp"
+
+#include "core/check.hpp"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace lph {
+namespace service {
+
+const JsonValue* JsonValue::find(const std::string& key) const {
+    if (kind != Kind::Object) {
+        return nullptr;
+    }
+    for (const auto& [name, value] : members) {
+        if (name == key) {
+            return &value;
+        }
+    }
+    return nullptr;
+}
+
+namespace {
+
+class Parser {
+public:
+    explicit Parser(const std::string& text) : text_(text) {}
+
+    JsonValue parse_document() {
+        skip_ws();
+        JsonValue value = parse_value(0);
+        skip_ws();
+        check(pos_ == text_.size(),
+              where() + "trailing garbage after the JSON document");
+        return value;
+    }
+
+private:
+    [[noreturn]] void fail(const std::string& message) const {
+        throw precondition_error(where() + message);
+    }
+
+    std::string where() const {
+        return "byte " + std::to_string(pos_) + ": ";
+    }
+
+    void skip_ws() {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\r' || text_[pos_] == '\n')) {
+            ++pos_;
+        }
+    }
+
+    char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+
+    void expect(char c) {
+        if (pos_ >= text_.size() || text_[pos_] != c) {
+            fail(std::string("expected '") + c + "'");
+        }
+        ++pos_;
+    }
+
+    bool consume_literal(const char* literal) {
+        const std::size_t len = std::string(literal).size();
+        if (text_.compare(pos_, len, literal) == 0) {
+            pos_ += len;
+            return true;
+        }
+        return false;
+    }
+
+    JsonValue parse_value(int depth) {
+        check(depth <= 32, where() + "nesting deeper than 32 levels");
+        skip_ws();
+        if (pos_ >= text_.size()) {
+            fail("unexpected end of input");
+        }
+        JsonValue v;
+        const char c = peek();
+        if (c == '{') {
+            return parse_object(depth);
+        }
+        if (c == '[') {
+            return parse_array(depth);
+        }
+        if (c == '"') {
+            v.kind = JsonValue::Kind::String;
+            v.string = parse_string();
+            return v;
+        }
+        if (consume_literal("true")) {
+            v.kind = JsonValue::Kind::Bool;
+            v.boolean = true;
+            return v;
+        }
+        if (consume_literal("false")) {
+            v.kind = JsonValue::Kind::Bool;
+            v.boolean = false;
+            return v;
+        }
+        if (consume_literal("null")) {
+            v.kind = JsonValue::Kind::Null;
+            return v;
+        }
+        return parse_number();
+    }
+
+    JsonValue parse_object(int depth) {
+        JsonValue v;
+        v.kind = JsonValue::Kind::Object;
+        expect('{');
+        skip_ws();
+        if (peek() == '}') {
+            ++pos_;
+            return v;
+        }
+        while (true) {
+            skip_ws();
+            if (peek() != '"') {
+                fail("expected a string object key");
+            }
+            std::string key = parse_string();
+            for (const auto& [existing, unused] : v.members) {
+                (void)unused;
+                if (existing == key) {
+                    fail("duplicate object key '" + key + "'");
+                }
+            }
+            skip_ws();
+            expect(':');
+            v.members.emplace_back(std::move(key), parse_value(depth + 1));
+            skip_ws();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect('}');
+            return v;
+        }
+    }
+
+    JsonValue parse_array(int depth) {
+        JsonValue v;
+        v.kind = JsonValue::Kind::Array;
+        expect('[');
+        skip_ws();
+        if (peek() == ']') {
+            ++pos_;
+            return v;
+        }
+        while (true) {
+            v.items.push_back(parse_value(depth + 1));
+            skip_ws();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect(']');
+            return v;
+        }
+    }
+
+    std::string parse_string() {
+        expect('"');
+        std::string out;
+        while (true) {
+            if (pos_ >= text_.size()) {
+                fail("unterminated string");
+            }
+            const unsigned char c = static_cast<unsigned char>(text_[pos_]);
+            if (c == '"') {
+                ++pos_;
+                return out;
+            }
+            if (c < 0x20) {
+                fail("unescaped control character in string");
+            }
+            if (c != '\\') {
+                out += static_cast<char>(c);
+                ++pos_;
+                continue;
+            }
+            ++pos_;
+            if (pos_ >= text_.size()) {
+                fail("unterminated escape");
+            }
+            const char esc = text_[pos_++];
+            switch (esc) {
+            case '"': out += '"'; break;
+            case '\\': out += '\\'; break;
+            case '/': out += '/'; break;
+            case 'b': out += '\b'; break;
+            case 'f': out += '\f'; break;
+            case 'n': out += '\n'; break;
+            case 'r': out += '\r'; break;
+            case 't': out += '\t'; break;
+            case 'u': {
+                if (pos_ + 4 > text_.size()) {
+                    fail("truncated \\u escape");
+                }
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    const char h = text_[pos_++];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9') {
+                        code |= static_cast<unsigned>(h - '0');
+                    } else if (h >= 'a' && h <= 'f') {
+                        code |= static_cast<unsigned>(h - 'a' + 10);
+                    } else if (h >= 'A' && h <= 'F') {
+                        code |= static_cast<unsigned>(h - 'A' + 10);
+                    } else {
+                        fail("non-hex digit in \\u escape");
+                    }
+                }
+                // The wire protocol is ASCII; reject escapes outside it
+                // rather than silently mangling multi-byte sequences.
+                if (code > 0x7f) {
+                    fail("\\u escape outside ASCII");
+                }
+                out += static_cast<char>(code);
+                break;
+            }
+            default:
+                fail(std::string("unknown escape '\\") + esc + "'");
+            }
+        }
+    }
+
+    JsonValue parse_number() {
+        const std::size_t begin = pos_;
+        if (peek() == '-') {
+            ++pos_;
+        }
+        if (!std::isdigit(static_cast<unsigned char>(peek()))) {
+            fail("expected a JSON value");
+        }
+        if (peek() == '0') {
+            ++pos_;
+            if (std::isdigit(static_cast<unsigned char>(peek()))) {
+                fail("leading zeros are not allowed");
+            }
+        }
+        while (std::isdigit(static_cast<unsigned char>(peek()))) {
+            ++pos_;
+        }
+        if (peek() == '.') {
+            ++pos_;
+            if (!std::isdigit(static_cast<unsigned char>(peek()))) {
+                fail("digit required after decimal point");
+            }
+            while (std::isdigit(static_cast<unsigned char>(peek()))) {
+                ++pos_;
+            }
+        }
+        if (peek() == 'e' || peek() == 'E') {
+            ++pos_;
+            if (peek() == '+' || peek() == '-') {
+                ++pos_;
+            }
+            if (!std::isdigit(static_cast<unsigned char>(peek()))) {
+                fail("digit required in exponent");
+            }
+            while (std::isdigit(static_cast<unsigned char>(peek()))) {
+                ++pos_;
+            }
+        }
+        JsonValue v;
+        v.kind = JsonValue::Kind::Number;
+        v.raw_number = text_.substr(begin, pos_ - begin);
+        v.number = std::strtod(v.raw_number.c_str(), nullptr);
+        return v;
+    }
+
+    const std::string& text_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+JsonValue parse_json(const std::string& text) {
+    return Parser(text).parse_document();
+}
+
+std::uint64_t json_to_u64(const JsonValue& v, const std::string& what) {
+    check(v.is_number(), what + " must be a number");
+    const std::string& raw = v.raw_number;
+    check(!raw.empty() && raw[0] != '-', what + " must be non-negative");
+    for (const char c : raw) {
+        check(c >= '0' && c <= '9',
+              what + " must be a plain non-negative integer, got '" + raw + "'");
+    }
+    check(raw.size() <= 20, what + " out of 64-bit range");
+    std::uint64_t value = 0;
+    for (const char c : raw) {
+        const std::uint64_t digit = static_cast<std::uint64_t>(c - '0');
+        check(value <= (~std::uint64_t{0} - digit) / 10,
+              what + " out of 64-bit range");
+        value = value * 10 + digit;
+    }
+    return value;
+}
+
+} // namespace service
+} // namespace lph

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace lph {
+namespace service {
+
+/// A parsed JSON value — just enough JSON for the line-delimited wire
+/// protocol (src/service/wire.hpp).  Numbers keep their raw source token so
+/// 64-bit seeds and request ids survive without double rounding.
+///
+/// The parser is deliberately strict: exactly one value per line, trailing
+/// garbage after the closing brace is an error, duplicate object keys are an
+/// error, and every failure message carries the byte offset — the transport
+/// layer prefixes the connection line number so clients get
+/// "line 17: byte 23: ..." diagnostics.
+struct JsonValue {
+    enum class Kind { Null, Bool, Number, String, Object, Array };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0;
+    std::string raw_number; ///< the source token, e.g. "18446744073709551615"
+    std::string string;
+    std::vector<std::pair<std::string, JsonValue>> members; ///< objects
+    std::vector<JsonValue> items;                           ///< arrays
+
+    /// Member lookup for objects; nullptr when absent (or not an object).
+    const JsonValue* find(const std::string& key) const;
+
+    bool is_object() const { return kind == Kind::Object; }
+    bool is_string() const { return kind == Kind::String; }
+    bool is_number() const { return kind == Kind::Number; }
+    bool is_bool() const { return kind == Kind::Bool; }
+};
+
+/// Parses exactly one JSON document from `text`; throws precondition_error
+/// ("byte N: ...") on malformed input, unknown escapes, nesting deeper than
+/// 32, or trailing non-whitespace after the document.
+JsonValue parse_json(const std::string& text);
+
+/// Parses the raw number token as an exact unsigned 64-bit integer; throws
+/// precondition_error when the value is negative, fractional, or out of
+/// range.  `what` names the field in the error message.
+std::uint64_t json_to_u64(const JsonValue& v, const std::string& what);
+
+} // namespace service
+} // namespace lph

@@ -1,0 +1,86 @@
+#include "service/memo.hpp"
+
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <functional>
+
+namespace lph {
+namespace service {
+
+obs::MetricList ResultMemoStats::to_metrics() const {
+    return {
+        {"memo.hits", static_cast<double>(hits)},
+        {"memo.misses", static_cast<double>(misses)},
+        {"memo.evictions", static_cast<double>(evictions)},
+        {"memo.entries", static_cast<double>(entries)},
+        {"memo.hit_rate", hit_rate()},
+    };
+}
+
+ResultMemo::ResultMemo(std::size_t max_entries) {
+    max_entries_per_shard_ = std::max<std::size_t>(1, max_entries / kShards);
+}
+
+ResultMemo::Shard& ResultMemo::shard_for(const std::string& key) {
+    return shards_[std::hash<std::string>{}(key) % kShards];
+}
+
+std::optional<std::string> ResultMemo::lookup(const std::string& key) {
+    LPH_SPAN_NAMED(span, "service", "memo.lookup");
+    Shard& shard = shard_for(key);
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    const auto it = shard.index.find(key);
+    if (it == shard.index.end()) {
+        misses_.fetch_add(1, std::memory_order_relaxed);
+        span.arg("hit", 0);
+        return std::nullopt;
+    }
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    span.arg("hit", 1);
+    return it->second->second;
+}
+
+void ResultMemo::insert(const std::string& key, const std::string& body) {
+    Shard& shard = shard_for(key);
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    const auto it = shard.index.find(key);
+    if (it != shard.index.end()) {
+        // Requests are deterministic functions of their memo key, so a
+        // re-insert carries the same body; just refresh recency.
+        shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+        return;
+    }
+    shard.lru.emplace_front(key, body);
+    shard.index.emplace(key, shard.lru.begin());
+    while (shard.lru.size() > max_entries_per_shard_) {
+        shard.index.erase(shard.lru.back().first);
+        shard.lru.pop_back();
+        evictions_.fetch_add(1, std::memory_order_relaxed);
+        obs::Tracer::instance().instant("service", "memo.evict");
+    }
+}
+
+ResultMemoStats ResultMemo::stats() const {
+    ResultMemoStats stats;
+    stats.hits = hits_.load(std::memory_order_relaxed);
+    stats.misses = misses_.load(std::memory_order_relaxed);
+    stats.evictions = evictions_.load(std::memory_order_relaxed);
+    for (const Shard& shard : shards_) {
+        const std::lock_guard<std::mutex> lock(shard.mutex);
+        stats.entries += shard.lru.size();
+    }
+    return stats;
+}
+
+void ResultMemo::clear() {
+    for (Shard& shard : shards_) {
+        const std::lock_guard<std::mutex> lock(shard.mutex);
+        shard.lru.clear();
+        shard.index.clear();
+    }
+}
+
+} // namespace service
+} // namespace lph

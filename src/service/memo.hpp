@@ -1,0 +1,76 @@
+#pragma once
+
+#include "obs/metrics.hpp"
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+namespace lph {
+namespace service {
+
+/// Counters of a ResultMemo; all monotone except `entries`.
+struct ResultMemoStats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t entries = 0;
+
+    double hit_rate() const {
+        const double total = static_cast<double>(hits + misses);
+        return total > 0 ? static_cast<double>(hits) / total : 0.0;
+    }
+
+    /// Metric list under the `memo.` naming scheme, absorbed into the
+    /// session registry by ServiceCore::publish_metrics — the same snapshot
+    /// path the engine's GameStats/ViewCacheStats rows already use.
+    obs::MetricList to_metrics() const;
+};
+
+/// Thread-safe bounded map from request memo keys (Request::memo_key) to
+/// rendered response bodies.  Same sharded-LRU shape as the engine's
+/// ViewCache, one level up: where the ViewCache deduplicates node views
+/// *inside* a solve, this deduplicates entire requests *across* clients.
+/// Only clean ("ok") results are ever inserted, so a hit can be replayed
+/// verbatim under any deadline.
+class ResultMemo {
+public:
+    explicit ResultMemo(std::size_t max_entries = 1 << 12);
+
+    /// Returns the memoized response body, refreshing its LRU position.
+    std::optional<std::string> lookup(const std::string& key);
+
+    /// Inserts (or refreshes) a body, evicting the shard's LRU tail when the
+    /// shard is over budget.
+    void insert(const std::string& key, const std::string& body);
+
+    ResultMemoStats stats() const;
+    void clear();
+
+private:
+    struct Shard {
+        mutable std::mutex mutex;
+        /// Front = most recently used.
+        std::list<std::pair<std::string, std::string>> lru;
+        std::unordered_map<std::string,
+                           std::list<std::pair<std::string, std::string>>::iterator>
+            index;
+    };
+
+    static constexpr std::size_t kShards = 8;
+    Shard& shard_for(const std::string& key);
+
+    std::array<Shard, kShards> shards_;
+    std::size_t max_entries_per_shard_;
+    std::atomic<std::uint64_t> hits_{0};
+    std::atomic<std::uint64_t> misses_{0};
+    std::atomic<std::uint64_t> evictions_{0};
+};
+
+} // namespace service
+} // namespace lph

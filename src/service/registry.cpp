@@ -1,0 +1,168 @@
+#include "service/registry.hpp"
+
+#include "core/bitstring.hpp"
+#include "core/check.hpp"
+#include "core/rng.hpp"
+#include "logic/examples.hpp"
+#include "machines/deciders.hpp"
+#include "machines/verifiers.hpp"
+#include "oracle/generators.hpp"
+
+#include <algorithm>
+
+namespace lph {
+namespace service {
+
+namespace {
+
+/// Violates its declared step bound whenever its certificate list contains a
+/// '1' and accepts iff the list is exactly "0" — the service's handle on the
+/// tolerate_faults path (same behavior as the oracle corpus machine).
+class FussyVerifier : public LocalMachine {
+public:
+    int round_bound() const override { return 1; }
+    Polynomial step_bound() const override { return Polynomial::constant(64); }
+    RoundOutput on_round(const RoundInput& input, std::string&,
+                         StepMeter& meter) const override {
+        if (input.certificates.find('1') != std::string::npos) {
+            meter.charge(1'000'000); // blows the declared bound
+        }
+        return {{}, true, input.certificates == "0" ? "1" : "0"};
+    }
+};
+
+/// Two-layer arbiter: a node accepts iff its Adam bit implies its Eve bit —
+/// the certificate list at each node is "<eve>#<adam>".
+class ImpliesVerifier : public LocalMachine {
+public:
+    int round_bound() const override { return 1; }
+    Polynomial step_bound() const override { return Polynomial{256, 16}; }
+    RoundOutput on_round(const RoundInput& input, std::string&,
+                         StepMeter& meter) const override {
+        meter.charge(input.certificates.size());
+        const auto parts = split_hash(input.certificates);
+        const bool eve = !parts.empty() && parts[0] == "1";
+        const bool adam = parts.size() > 1 && parts[1] == "1";
+        return {{}, true, (!adam || eve) ? "1" : "0"};
+    }
+};
+
+const std::vector<std::string>& machine_list() {
+    static const std::vector<std::string> names = {
+        "allsel", "eulerian", "coloring2", "coloring3", "coloring4",
+        "implies", "fussy"};
+    return names;
+}
+
+std::unique_ptr<LocalMachine> make_machine(const std::string& name) {
+    if (name == "allsel") {
+        return std::make_unique<AllSelectedDecider>();
+    }
+    if (name == "eulerian") {
+        return std::make_unique<EulerianDecider>();
+    }
+    if (name == "coloring2" || name == "coloring3" || name == "coloring4") {
+        return std::make_unique<ColoringVerifier>(name.back() - '0');
+    }
+    if (name == "implies") {
+        return std::make_unique<ImpliesVerifier>();
+    }
+    if (name == "fussy") {
+        return std::make_unique<FussyVerifier>();
+    }
+    check(false, "unknown machine '" + name + "'");
+    return nullptr;
+}
+
+std::unique_ptr<CertificateDomain> make_domain(const std::string& name,
+                                               const LocalMachine& m) {
+    if (name.rfind("coloring", 0) == 0) {
+        const auto& verifier = dynamic_cast<const ColoringVerifier&>(m);
+        std::vector<BitString> colors;
+        for (int c = 0; c < verifier.k(); ++c) {
+            colors.push_back(verifier.encode_color(c));
+        }
+        return std::make_unique<FixedOptionsDomain>(std::move(colors));
+    }
+    if (name == "implies") {
+        return std::make_unique<FixedOptionsDomain>(
+            std::vector<BitString>{"0", "1"});
+    }
+    // allsel / eulerian / fussy quantify over raw strings of length <= 1.
+    return std::make_unique<RawBitStringDomain>(1);
+}
+
+const std::vector<std::string>& formula_list() {
+    static const std::vector<std::string> names = {
+        "all_selected",     "two_colorable", "three_colorable",
+        "not_all_selected", "hamiltonian",   "non_hamiltonian",
+        "random"};
+    return names;
+}
+
+} // namespace
+
+std::vector<std::string> machine_names() { return machine_list(); }
+
+bool is_machine_name(const std::string& name) {
+    const auto& names = machine_list();
+    return std::find(names.begin(), names.end(), name) != names.end();
+}
+
+BuiltGame build_game(const std::string& machine, int layers, bool sigma) {
+    check(layers >= 0 && layers <= 3,
+          "game layers must be in [0, 3], got " + std::to_string(layers));
+    BuiltGame built;
+    built.machine = make_machine(machine);
+    for (int l = 0; l < layers; ++l) {
+        built.domains.push_back(make_domain(machine, *built.machine));
+    }
+    built.spec.machine = built.machine.get();
+    for (const auto& domain : built.domains) {
+        built.spec.layers.push_back(domain.get());
+    }
+    built.spec.starts_existential = sigma;
+    return built;
+}
+
+std::vector<std::string> formula_names() { return formula_list(); }
+
+bool is_formula_name(const std::string& name) {
+    const auto& names = formula_list();
+    return std::find(names.begin(), names.end(), name) != names.end();
+}
+
+Formula formula_by_name(const std::string& name, std::uint64_t fseed) {
+    namespace pf = paper_formulas;
+    if (name == "all_selected") {
+        return pf::all_selected();
+    }
+    if (name == "two_colorable") {
+        return pf::two_colorable();
+    }
+    if (name == "three_colorable") {
+        return pf::three_colorable();
+    }
+    if (name == "not_all_selected") {
+        return pf::exists_unselected_node();
+    }
+    if (name == "hamiltonian") {
+        return pf::hamiltonian();
+    }
+    if (name == "non_hamiltonian") {
+        return pf::non_hamiltonian();
+    }
+    if (name == "random") {
+        Rng rng(fseed);
+        FormulaGenOptions opt;
+        opt.max_quantifiers = 3;
+        opt.max_depth = 3;
+        opt.allow_so = false; // keeps evaluation polynomial for serving
+        return random_sentence(rng, opt);
+    }
+    check(false, "unknown formula '" + name + "'");
+    return nullptr;
+}
+
+} // namespace service
+} // namespace lph

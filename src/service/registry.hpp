@@ -1,0 +1,45 @@
+#pragma once
+
+#include "hierarchy/game.hpp"
+#include "logic/formula.hpp"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace lph {
+namespace service {
+
+/// A fully-wired certificate game built from wire-request parameters: the
+/// machine and domains are owned here, `spec` points into them.
+struct BuiltGame {
+    std::unique_ptr<LocalMachine> machine;
+    std::vector<std::unique_ptr<CertificateDomain>> domains;
+    GameSpec spec;
+};
+
+/// Machines clients can name in a `game` request.  The corpus mirrors the
+/// differential-oracle corpus (so fuzz findings replay through the service)
+/// plus the plain LP-deciders:
+///   allsel      ALL-SELECTED decider (radius 0)
+///   eulerian    EULERIAN decider via Euler's theorem (radius 1)
+///   coloring2/3/4  k-coloring NLP verifier (radius 1)
+///   implies     two-layer Eve/Adam arbiter (adam bit -> eve bit per node)
+///   fussy       deliberately step-bound-violating verifier (fault paths)
+std::vector<std::string> machine_names();
+bool is_machine_name(const std::string& name);
+
+/// Builds the named machine with `layers` certificate layers (0 = plain
+/// decision run, no quantifiers) on the Sigma side when `sigma` is set.
+/// Throws precondition_error for unknown names or layers outside [0, 3].
+BuiltGame build_game(const std::string& machine, int layers, bool sigma);
+
+/// Sentences clients can name in a `logic` request: all_selected,
+/// two_colorable, three_colorable, not_all_selected, hamiltonian,
+/// non_hamiltonian, plus "random" (seeded FO sentence from `fseed`).
+std::vector<std::string> formula_names();
+bool is_formula_name(const std::string& name);
+Formula formula_by_name(const std::string& name, std::uint64_t fseed);
+
+} // namespace service
+} // namespace lph

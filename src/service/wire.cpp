@@ -1,0 +1,388 @@
+#include "service/wire.hpp"
+
+#include "core/check.hpp"
+#include "obs/metrics.hpp"
+#include "service/json.hpp"
+#include "service/registry.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+namespace lph {
+namespace service {
+
+namespace {
+
+using obs::json_escape;
+
+/// Exact round-trip rendering for the double-valued wire fields (deadlines,
+/// fault probabilities) — %.17g preserves every distinct double.
+std::string render_double(double value) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    return buf;
+}
+
+double parse_probability(const JsonValue& v, const char* field) {
+    check(v.is_number(), std::string(field) + " must be a number");
+    check(v.number >= 0.0 && v.number <= 1.0,
+          std::string(field) + " must be in [0, 1]");
+    return v.number;
+}
+
+std::string parse_id_token(const JsonValue& v) {
+    if (v.is_number()) {
+        return v.raw_number;
+    }
+    if (v.is_string()) {
+        return "\"" + json_escape(v.string) + "\"";
+    }
+    check(false, "id must be a number or a string");
+    return {};
+}
+
+} // namespace
+
+const char* to_string(RequestType type) {
+    switch (type) {
+    case RequestType::Game: return "game";
+    case RequestType::Logic: return "logic";
+    case RequestType::Decide: return "decide";
+    case RequestType::OracleCheck: return "oracle_check";
+    case RequestType::Stats: return "stats";
+    case RequestType::Health: return "health";
+    }
+    return "unknown";
+}
+
+std::uint64_t fnv1a64(const std::string& data) {
+    std::uint64_t hash = 1469598103934665603ull;
+    for (const char c : data) {
+        hash ^= static_cast<unsigned char>(c);
+        hash *= 1099511628211ull;
+    }
+    return hash;
+}
+
+std::uint64_t Request::graph_digest() const {
+    return has_graph ? fnv1a64(canonical_graph) : 0;
+}
+
+std::string Request::memo_key() const {
+    std::ostringstream key;
+    switch (type) {
+    case RequestType::Game:
+        key << "game|" << machine << '|' << layers << '|' << sigma << '|' << ids
+            << '|' << tolerate_faults << '|' << fault_seed << '|'
+            << render_double(fault_crash) << '|' << render_double(fault_drop)
+            << '|' << render_double(fault_truncate) << '|'
+            << render_double(fault_corrupt) << '|' << graph_digest();
+        break;
+    case RequestType::Logic:
+        key << "logic|" << formula << '|' << fseed << '|' << graph_digest();
+        break;
+    case RequestType::Decide:
+        key << "decide|" << problem << '|' << k << '|' << graph_digest();
+        break;
+    case RequestType::OracleCheck:
+        key << "oracle|" << oracle_check << '|' << seed << '|' << instances;
+        break;
+    case RequestType::Stats:
+    case RequestType::Health:
+        return "";
+    }
+    return key.str();
+}
+
+std::string Request::to_json() const {
+    std::ostringstream out;
+    out << "{\"type\":\"" << to_string(type) << "\"";
+    if (!id.empty()) {
+        out << ",\"id\":" << id;
+    }
+    if (deadline_ms > 0) {
+        out << ",\"deadline_ms\":" << render_double(deadline_ms);
+    }
+    switch (type) {
+    case RequestType::Game:
+        out << ",\"machine\":\"" << json_escape(machine) << "\""
+            << ",\"layers\":" << layers
+            << ",\"sigma\":" << (sigma ? "true" : "false") << ",\"ids\":\""
+            << json_escape(ids) << "\"";
+        if (tolerate_faults) {
+            out << ",\"tolerate_faults\":true";
+        }
+        if (fault_seed != 0) {
+            out << ",\"fault_seed\":" << fault_seed;
+        }
+        if (fault_crash > 0) {
+            out << ",\"fault_crash\":" << render_double(fault_crash);
+        }
+        if (fault_drop > 0) {
+            out << ",\"fault_drop\":" << render_double(fault_drop);
+        }
+        if (fault_truncate > 0) {
+            out << ",\"fault_truncate\":" << render_double(fault_truncate);
+        }
+        if (fault_corrupt > 0) {
+            out << ",\"fault_corrupt\":" << render_double(fault_corrupt);
+        }
+        break;
+    case RequestType::Logic:
+        out << ",\"formula\":\"" << json_escape(formula) << "\"";
+        if (formula == "random") {
+            out << ",\"fseed\":" << fseed;
+        }
+        break;
+    case RequestType::Decide:
+        out << ",\"problem\":\"" << json_escape(problem) << "\"";
+        if (problem == "coloring") {
+            out << ",\"k\":" << k;
+        }
+        break;
+    case RequestType::OracleCheck:
+        out << ",\"check\":\"" << json_escape(oracle_check) << "\""
+            << ",\"seed\":" << seed << ",\"instances\":" << instances;
+        break;
+    case RequestType::Stats:
+    case RequestType::Health:
+        break;
+    }
+    if (has_graph) {
+        out << ",\"graph\":\"" << json_escape(canonical_graph) << "\"";
+    }
+    out << "}";
+    return out.str();
+}
+
+Request parse_request(const std::string& line, std::size_t line_number,
+                      const WireLimits& limits) {
+    const std::string where = "line " + std::to_string(line_number) + ": ";
+    try {
+        check(line.size() <= limits.max_line_bytes,
+              "request line of " + std::to_string(line.size()) +
+                  " bytes exceeds the limit of " +
+                  std::to_string(limits.max_line_bytes));
+        const JsonValue doc = parse_json(line);
+        check(doc.is_object(), "request must be a JSON object");
+
+        const JsonValue* type_field = doc.find("type");
+        check(type_field != nullptr, "request is missing \"type\"");
+        check(type_field->is_string(), "\"type\" must be a string");
+
+        Request r;
+        const std::string& type = type_field->string;
+        if (type == "game") {
+            r.type = RequestType::Game;
+        } else if (type == "logic") {
+            r.type = RequestType::Logic;
+        } else if (type == "decide") {
+            r.type = RequestType::Decide;
+        } else if (type == "oracle_check") {
+            r.type = RequestType::OracleCheck;
+        } else if (type == "stats") {
+            r.type = RequestType::Stats;
+        } else if (type == "health") {
+            r.type = RequestType::Health;
+        } else {
+            check(false, "unknown request type '" + type + "'");
+        }
+
+        std::string graph_text;
+        bool saw_graph = false;
+        for (const auto& [key, value] : doc.members) {
+            if (key == "type") {
+                continue;
+            }
+            if (key == "id") {
+                r.id = parse_id_token(value);
+                continue;
+            }
+            if (key == "deadline_ms") {
+                check(value.is_number() && value.number >= 0,
+                      "\"deadline_ms\" must be a non-negative number");
+                r.deadline_ms = value.number;
+                continue;
+            }
+            const bool takes_graph = r.type == RequestType::Game ||
+                                     r.type == RequestType::Logic ||
+                                     r.type == RequestType::Decide;
+            if (key == "graph" && takes_graph) {
+                check(value.is_string(), "\"graph\" must be a string payload");
+                graph_text = value.string;
+                saw_graph = true;
+                continue;
+            }
+            bool known = false;
+            switch (r.type) {
+            case RequestType::Game:
+                known = true;
+                if (key == "machine") {
+                    check(value.is_string(), "\"machine\" must be a string");
+                    check(is_machine_name(value.string),
+                          "unknown machine '" + value.string + "'");
+                    r.machine = value.string;
+                } else if (key == "layers") {
+                    const std::uint64_t layers = json_to_u64(value, "\"layers\"");
+                    check(layers <= 3, "\"layers\" must be in [0, 3]");
+                    r.layers = static_cast<int>(layers);
+                } else if (key == "sigma") {
+                    check(value.is_bool(), "\"sigma\" must be a boolean");
+                    r.sigma = value.boolean;
+                } else if (key == "ids") {
+                    check(value.is_string() &&
+                              (value.string == "global" || value.string == "local"),
+                          "\"ids\" must be \"global\" or \"local\"");
+                    r.ids = value.string;
+                } else if (key == "tolerate_faults") {
+                    check(value.is_bool(),
+                          "\"tolerate_faults\" must be a boolean");
+                    r.tolerate_faults = value.boolean;
+                } else if (key == "fault_seed") {
+                    r.fault_seed = json_to_u64(value, "\"fault_seed\"");
+                } else if (key == "fault_crash") {
+                    r.fault_crash = parse_probability(value, "\"fault_crash\"");
+                } else if (key == "fault_drop") {
+                    r.fault_drop = parse_probability(value, "\"fault_drop\"");
+                } else if (key == "fault_truncate") {
+                    r.fault_truncate =
+                        parse_probability(value, "\"fault_truncate\"");
+                } else if (key == "fault_corrupt") {
+                    r.fault_corrupt =
+                        parse_probability(value, "\"fault_corrupt\"");
+                } else {
+                    known = false;
+                }
+                break;
+            case RequestType::Logic:
+                known = true;
+                if (key == "formula") {
+                    check(value.is_string(), "\"formula\" must be a string");
+                    check(is_formula_name(value.string),
+                          "unknown formula '" + value.string + "'");
+                    r.formula = value.string;
+                } else if (key == "fseed") {
+                    r.fseed = json_to_u64(value, "\"fseed\"");
+                } else {
+                    known = false;
+                }
+                break;
+            case RequestType::Decide:
+                known = true;
+                if (key == "problem") {
+                    check(value.is_string() &&
+                              (value.string == "eulerian" ||
+                               value.string == "coloring" ||
+                               value.string == "hamiltonian"),
+                          "\"problem\" must be eulerian, coloring, or "
+                          "hamiltonian");
+                    r.problem = value.string;
+                } else if (key == "k") {
+                    const std::uint64_t k = json_to_u64(value, "\"k\"");
+                    check(k >= 1 && k <= 8, "\"k\" must be in [1, 8]");
+                    r.k = static_cast<int>(k);
+                } else {
+                    known = false;
+                }
+                break;
+            case RequestType::OracleCheck:
+                known = true;
+                if (key == "check") {
+                    check(value.is_string(), "\"check\" must be a string");
+                    r.oracle_check = value.string;
+                } else if (key == "seed") {
+                    r.seed = json_to_u64(value, "\"seed\"");
+                } else if (key == "instances") {
+                    const std::uint64_t n = json_to_u64(value, "\"instances\"");
+                    check(n >= 1 && n <= 1000,
+                          "\"instances\" must be in [1, 1000]");
+                    r.instances = static_cast<std::size_t>(n);
+                } else {
+                    known = false;
+                }
+                break;
+            case RequestType::Stats:
+            case RequestType::Health:
+                known = false;
+                break;
+            }
+            check(known, "unknown field \"" + key + "\" for type '" + type + "'");
+        }
+
+        switch (r.type) {
+        case RequestType::Game:
+            check(!r.machine.empty(), "game request is missing \"machine\"");
+            check(saw_graph, "game request is missing \"graph\"");
+            break;
+        case RequestType::Logic:
+            check(!r.formula.empty(), "logic request is missing \"formula\"");
+            check(saw_graph, "logic request is missing \"graph\"");
+            break;
+        case RequestType::Decide:
+            check(!r.problem.empty(), "decide request is missing \"problem\"");
+            check(saw_graph, "decide request is missing \"graph\"");
+            break;
+        case RequestType::OracleCheck:
+            check(!r.oracle_check.empty(),
+                  "oracle_check request is missing \"check\"");
+            break;
+        case RequestType::Stats:
+        case RequestType::Health:
+            break;
+        }
+
+        if (saw_graph) {
+            r.graph = graph_from_text(graph_text, limits.graph_limits());
+            r.canonical_graph = graph_to_text(r.graph);
+            r.has_graph = true;
+        }
+        return r;
+    } catch (const precondition_error& e) {
+        throw precondition_error(where + e.what());
+    }
+}
+
+std::string Response::to_json() const {
+    std::ostringstream out;
+    out << "{";
+    if (!id.empty()) {
+        out << "\"id\":" << id << ",";
+    }
+    if (status == "ok") {
+        out << "\"type\":\"" << to_string(type) << "\",";
+    }
+    out << "\"status\":\"" << status << "\"";
+    if (status != "ok") {
+        out << ",\"error\":\"" << json_escape(error) << "\",\"detail\":\""
+            << json_escape(detail) << "\"";
+    }
+    if (!body.empty()) {
+        out << "," << body;
+    }
+    if (status == "ok") {
+        out << ",\"memo\":\"" << (memo_hit ? "hit" : "miss")
+            << "\",\"batch\":" << batch << ",\"service_ms\":" << service_ms;
+    }
+    out << "}";
+    return out.str();
+}
+
+Response Response::protocol_error(const std::string& detail) {
+    Response r;
+    r.status = "error";
+    r.error = "ProtocolError";
+    r.detail = detail;
+    return r;
+}
+
+Response Response::rejection(const std::string& id, const std::string& detail) {
+    Response r;
+    r.id = id;
+    r.status = "rejected";
+    r.error = "QueueFull";
+    r.detail = detail;
+    return r;
+}
+
+} // namespace service
+} // namespace lph

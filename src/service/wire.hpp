@@ -1,0 +1,134 @@
+#pragma once
+
+#include "graph/graph.hpp"
+#include "graph/serialize.hpp"
+
+#include <cstdint>
+#include <string>
+
+namespace lph {
+namespace service {
+
+/// Size guards applied to every request line before anything is executed.
+struct WireLimits {
+    std::size_t max_line_bytes = 1 << 20; ///< one request line, serialized
+    std::size_t max_graph_nodes = 256;    ///< per graph payload
+    std::size_t max_graph_edges = 4096;
+    std::size_t max_label_bits = 64;
+
+    GraphReadLimits graph_limits() const {
+        return GraphReadLimits{max_graph_nodes, max_graph_edges, max_label_bits,
+                               max_line_bytes};
+    }
+};
+
+enum class RequestType { Game, Logic, Decide, OracleCheck, Stats, Health };
+
+const char* to_string(RequestType type);
+
+/// One parsed wire request.  The line grammar is one strict JSON object per
+/// line (DESIGN.md "Serving layer" has the full field table):
+///
+///   {"type":"game","machine":"coloring3","layers":1,"sigma":true,
+///    "ids":"global","graph":"graph 3\nedge 0 1\nedge 1 2\nedge 0 2\n"}
+///   {"type":"logic","formula":"all_selected","graph":"..."}
+///   {"type":"decide","problem":"eulerian","graph":"..."}
+///   {"type":"oracle_check","check":"eulerian-vs-bruteforce","seed":7,
+///    "instances":25}
+///   {"type":"stats"}   {"type":"health"}
+///
+/// Common optional fields: "id" (echoed back verbatim; number or string) and
+/// "deadline_ms" (propagated into the engine's wall-clock deadline guard).
+/// Game extras: "tolerate_faults", "fault_seed"/"fault_crash"/"fault_drop"/
+/// "fault_truncate"/"fault_corrupt" (a deterministic FaultPlan).  Unknown
+/// fields are protocol errors — strict by design.
+struct Request {
+    RequestType type = RequestType::Health;
+    std::string id;          ///< client correlation id, "" when absent
+    double deadline_ms = 0;  ///< 0 = server default
+
+    // game
+    std::string machine;
+    int layers = 1;
+    bool sigma = true;
+    std::string ids = "global"; ///< identifier scheme: "global" | "local"
+    bool tolerate_faults = false;
+    std::uint64_t fault_seed = 0;
+    double fault_crash = 0;
+    double fault_drop = 0;
+    double fault_truncate = 0;
+    double fault_corrupt = 0;
+
+    // logic
+    std::string formula;
+    std::uint64_t fseed = 0;
+
+    // decide
+    std::string problem; ///< "eulerian" | "coloring" | "hamiltonian"
+    int k = 3;           ///< colors, for problem == "coloring"
+
+    // oracle_check
+    std::string oracle_check;
+    std::uint64_t seed = 1;
+    std::size_t instances = 25;
+
+    // graph payload (game/logic/decide)
+    bool has_graph = false;
+    LabeledGraph graph;
+    std::string canonical_graph; ///< graph_to_text(graph) — the digest input
+
+    bool wants_fault_plan() const {
+        return fault_crash > 0 || fault_drop > 0 || fault_truncate > 0 ||
+               fault_corrupt > 0;
+    }
+
+    /// 64-bit digest of the canonical graph payload (0 when absent).
+    std::uint64_t graph_digest() const;
+
+    /// Cache key for the cross-request result memo: every semantically
+    /// significant field, excluding `id` and `deadline_ms` (a memoized clean
+    /// result is valid under any deadline).  "" for uncacheable types.
+    std::string memo_key() const;
+
+    /// Serializes back to one wire line (used by the client and the
+    /// round-trip property tests).
+    std::string to_json() const;
+};
+
+/// Parses one request line.  Throws precondition_error with a
+/// "line <line_number>: " prefix on any malformed input: bad JSON, trailing
+/// garbage, unknown type or field, or an oversized/invalid graph payload.
+Request parse_request(const std::string& line, std::size_t line_number,
+                      const WireLimits& limits);
+
+/// One wire response: a single JSON line.
+///
+///   {"id":7,"status":"ok","type":"game","accepted":true,...,
+///    "memo":"miss","batch":3,"service_ms":0.42}
+///   {"status":"error","error":"DeadlineExceeded","detail":"..."}
+///   {"status":"rejected","error":"QueueFull","detail":"..."}
+struct Response {
+    std::string id;
+    RequestType type = RequestType::Health;
+    std::string status = "ok"; ///< "ok" | "error" | "rejected"
+    std::string error;         ///< RunError name / ProtocolError / QueueFull /
+                               ///< InvalidRequest / InternalError
+    std::string detail;
+    /// Pre-rendered JSON members of the result ("\"accepted\":true,..."),
+    /// empty for errors.  This fragment is what the result memo stores.
+    std::string body;
+    bool memo_hit = false;
+    std::size_t batch = 1;   ///< requests served by this request's batch
+    double service_ms = 0;   ///< dequeue-to-completion time
+
+    std::string to_json() const;
+
+    static Response protocol_error(const std::string& detail);
+    static Response rejection(const std::string& id, const std::string& detail);
+};
+
+/// FNV-1a 64-bit digest (the memo and batch grouping key hash).
+std::uint64_t fnv1a64(const std::string& data);
+
+} // namespace service
+} // namespace lph

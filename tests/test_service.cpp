@@ -1,0 +1,528 @@
+// Tests for the serving layer (src/service): the strict JSON/wire parsers,
+// the hardened graph wire format (round-trip property tests), the
+// ServiceCore failure paths the serving contract promises — deadline
+// expiry as a RunError taxonomy code, queue-full as a structured rejection
+// (never a hang), malformed lines as ProtocolError with the connection
+// still usable, injected engine faults as structured per-request failures —
+// plus the memo/queue gauges flowing through the MetricsRegistry snapshot
+// and a TCP loopback session.
+
+#include "core/rng.hpp"
+#include "graph/generators.hpp"
+#include "graph/serialize.hpp"
+#include "obs/session.hpp"
+#include "service/core.hpp"
+#include "service/json.hpp"
+#include "service/registry.hpp"
+#include "service/server.hpp"
+#include "service/wire.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <map>
+#include <sstream>
+#include <thread>
+
+namespace {
+
+using namespace lph;
+using namespace lph::service;
+
+std::string cycle6_text() {
+    return "graph 6\nedge 0 1\nedge 1 2\nedge 2 3\nedge 3 4\nedge 4 5\n"
+           "edge 5 0\n";
+}
+
+std::string cycle6_payload() {
+    return "graph 6\\nedge 0 1\\nedge 1 2\\nedge 2 3\\nedge 3 4\\nedge 4 5\\n"
+           "edge 5 0\\n";
+}
+
+ServiceOptions manual_options() {
+    ServiceOptions options;
+    options.manual_drain = true;
+    return options;
+}
+
+// ---------------------------------------------------------------- JSON -----
+
+TEST(ServiceJson, ParsesScalarsObjectsAndArrays) {
+    const JsonValue doc = parse_json(
+        R"({"a":1,"b":"x","c":true,"d":null,"e":[1,2],"f":{"g":-2.5}})");
+    ASSERT_TRUE(doc.is_object());
+    EXPECT_EQ(doc.find("a")->number, 1.0);
+    EXPECT_EQ(doc.find("b")->string, "x");
+    EXPECT_TRUE(doc.find("c")->boolean);
+    EXPECT_EQ(doc.find("d")->kind, JsonValue::Kind::Null);
+    EXPECT_EQ(doc.find("e")->items.size(), 2u);
+    EXPECT_EQ(doc.find("f")->find("g")->number, -2.5);
+}
+
+TEST(ServiceJson, RejectsTrailingGarbage) {
+    EXPECT_THROW(parse_json(R"({"a":1} extra)"), precondition_error);
+    EXPECT_THROW(parse_json(R"({"a":1}{"b":2})"), precondition_error);
+}
+
+TEST(ServiceJson, RejectsDuplicateKeysWithByteOffset) {
+    try {
+        parse_json(R"({"a":1,"a":2})");
+        FAIL() << "duplicate key accepted";
+    } catch (const precondition_error& e) {
+        EXPECT_NE(std::string(e.what()).find("byte"), std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("duplicate"), std::string::npos);
+    }
+}
+
+TEST(ServiceJson, RejectsMalformedDocuments) {
+    EXPECT_THROW(parse_json(""), precondition_error);
+    EXPECT_THROW(parse_json("{"), precondition_error);
+    EXPECT_THROW(parse_json(R"({"a":})"), precondition_error);
+    EXPECT_THROW(parse_json("{'a':1}"), precondition_error);
+    EXPECT_THROW(parse_json(R"({"a":01})"), precondition_error);
+    EXPECT_THROW(parse_json("\x01"), precondition_error);
+    EXPECT_THROW(parse_json(std::string("{\"a\":\"\x01\"}")), precondition_error);
+}
+
+TEST(ServiceJson, RejectsOverDeepNesting) {
+    std::string deep;
+    for (int i = 0; i < 40; ++i) {
+        deep += "[";
+    }
+    EXPECT_THROW(parse_json(deep), precondition_error);
+}
+
+// ------------------------------------------------- graph wire hardening ----
+
+TEST(GraphWire, RejectsTrailingGarbageWithLineNumbers) {
+    try {
+        graph_from_text("graph 2\nedge 0 1 junk\n");
+        FAIL() << "trailing junk accepted";
+    } catch (const precondition_error& e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("trailing junk"), std::string::npos);
+        EXPECT_NE(what.find("line 2"), std::string::npos);
+    }
+    EXPECT_THROW(graph_from_text("graph 2 2\n"), precondition_error);
+    EXPECT_THROW(graph_from_text("graph 2\nbogus 0 1\n"), precondition_error);
+}
+
+TEST(GraphWire, EnforcesReadLimits) {
+    GraphReadLimits limits;
+    limits.max_nodes = 4;
+    EXPECT_THROW(graph_from_text("graph 5\n", limits), precondition_error);
+
+    limits = {};
+    limits.max_edges = 2;
+    EXPECT_THROW(
+        graph_from_text("graph 4\nedge 0 1\nedge 1 2\nedge 2 3\n", limits),
+        precondition_error);
+
+    limits = {};
+    limits.max_label_bits = 2;
+    EXPECT_THROW(graph_from_text("graph 1\nlabel 0 10101\n", limits),
+                 precondition_error);
+
+    limits = {};
+    limits.max_bytes = 10;
+    try {
+        graph_from_text("graph 2\nedge 0 1\n", limits);
+        FAIL() << "oversized payload accepted";
+    } catch (const precondition_error& e) {
+        EXPECT_NE(std::string(e.what()).find("bytes"), std::string::npos);
+    }
+}
+
+TEST(GraphWire, RoundTripPropertyRandomGraphs) {
+    Rng rng(2026);
+    for (int trial = 0; trial < 60; ++trial) {
+        const std::size_t n = 1 + rng.index(12);
+        LabeledGraph g = random_connected_graph(n, rng.index(n + 1), rng, "1");
+        if (rng.chance(0.5)) {
+            randomize_labels(g, 1 + rng.index(4), rng);
+        }
+        const std::string wire = graph_to_text(g);
+        const LabeledGraph back = graph_from_text(wire);
+        // Bit-identical round trip: same canonical serialization.
+        EXPECT_EQ(graph_to_text(back), wire) << "trial " << trial;
+    }
+}
+
+// ---------------------------------------------------------------- wire -----
+
+TEST(Wire, ParsesGameRequestAndCanonicalizesGraph) {
+    const Request r = parse_request(
+        "{\"type\":\"game\",\"id\":7,\"machine\":\"coloring3\",\"layers\":1,"
+        "\"graph\":\"" + cycle6_payload() + "\"}",
+        1, WireLimits{});
+    EXPECT_EQ(r.type, RequestType::Game);
+    EXPECT_EQ(r.id, "7");
+    EXPECT_EQ(r.machine, "coloring3");
+    EXPECT_TRUE(r.has_graph);
+    // graph_to_text normalizes edge endpoints and sort order, so compare
+    // against the re-serialized parse rather than the raw wire text.
+    EXPECT_EQ(r.canonical_graph, graph_to_text(graph_from_text(cycle6_text())));
+    EXPECT_NE(r.graph_digest(), 0u);
+    EXPECT_FALSE(r.memo_key().empty());
+}
+
+TEST(Wire, RejectsMalformedRequestsWithLineNumbers) {
+    const WireLimits limits;
+    const std::map<std::string, std::string> rejects = {
+        {"not json at all", "line 3"},
+        {"{\"type\":\"nope\"}", "unknown request type"},
+        {"{\"type\":\"game\",\"machine\":\"coloring3\"}", "missing \"graph\""},
+        {"{\"type\":\"game\",\"machine\":\"unknown-machine\",\"graph\":\"x\"}",
+         "unknown machine"},
+        {"{\"type\":\"stats\",\"bogus\":1}", "unknown field"},
+        {"{\"type\":\"decide\",\"problem\":\"eulerian\",\"k\":99,"
+         "\"graph\":\"graph 1\\n\"}",
+         "\"k\""},
+        {"{\"type\":\"game\",\"machine\":\"allsel\",\"layers\":9,"
+         "\"graph\":\"graph 1\\n\"}",
+         "\"layers\""},
+    };
+    for (const auto& [line, needle] : rejects) {
+        try {
+            parse_request(line, 3, limits);
+            FAIL() << "accepted: " << line;
+        } catch (const precondition_error& e) {
+            const std::string what = e.what();
+            EXPECT_NE(what.find("line 3"), std::string::npos) << what;
+            EXPECT_NE(what.find(needle), std::string::npos) << what;
+        }
+    }
+}
+
+TEST(Wire, EnforcesGraphLimitsFromWireLimits) {
+    WireLimits limits;
+    limits.max_graph_nodes = 4;
+    EXPECT_THROW(
+        parse_request("{\"type\":\"decide\",\"problem\":\"eulerian\","
+                      "\"graph\":\"graph 6\\n\"}",
+                      1, limits),
+        precondition_error);
+}
+
+TEST(Wire, RequestRoundTripProperty) {
+    // request -> to_json -> parse_request -> to_json is a fixed point, and
+    // the graph payload survives bit-identically.
+    Rng rng(7);
+    const WireLimits limits;
+    const std::vector<std::string> machines = machine_names();
+    for (int trial = 0; trial < 40; ++trial) {
+        LabeledGraph g =
+            random_connected_graph(1 + rng.index(8), rng.index(4), rng, "1");
+        Request r;
+        r.type = RequestType::Game;
+        r.id = std::to_string(trial);
+        r.machine = machines[rng.index(machines.size())];
+        r.layers = static_cast<int>(rng.index(3));
+        r.sigma = rng.chance(0.5);
+        r.ids = rng.chance(0.5) ? "global" : "local";
+        r.tolerate_faults = rng.chance(0.3);
+        if (rng.chance(0.3)) {
+            r.fault_seed = rng.uniform(1, 1000);
+            r.fault_crash = 0.25;
+        }
+        if (rng.chance(0.3)) {
+            r.deadline_ms = 1500;
+        }
+        r.graph = g;
+        r.canonical_graph = graph_to_text(g);
+        r.has_graph = true;
+
+        const std::string wire = r.to_json();
+        const Request parsed = parse_request(wire, 1, limits);
+        EXPECT_EQ(parsed.to_json(), wire) << "trial " << trial;
+        EXPECT_EQ(parsed.canonical_graph, r.canonical_graph);
+        EXPECT_EQ(parsed.memo_key(), r.memo_key());
+        EXPECT_EQ(parsed.graph_digest(), r.graph_digest());
+    }
+}
+
+TEST(Wire, MemoKeyExcludesIdAndDeadline) {
+    const std::string base =
+        "{\"type\":\"decide\",\"problem\":\"eulerian\",\"graph\":\"" +
+        cycle6_payload() + "\"";
+    const Request a = parse_request(base + ",\"id\":1}", 1, WireLimits{});
+    const Request b = parse_request(base + ",\"id\":2,\"deadline_ms\":50}", 1,
+                                    WireLimits{});
+    EXPECT_EQ(a.memo_key(), b.memo_key());
+}
+
+// ---------------------------------------------------------- ServiceCore ----
+
+Request decide_request(const std::string& problem, const std::string& id) {
+    return parse_request("{\"type\":\"decide\",\"id\":\"" + id +
+                             "\",\"problem\":\"" + problem + "\",\"graph\":\"" +
+                             cycle6_payload() + "\"}",
+                         1, WireLimits{});
+}
+
+TEST(ServiceCore, ServesMixedRequestsAndEchoesIds) {
+    ServiceCore core(manual_options());
+    const Response r1 = core.call(decide_request("eulerian", "a"));
+    EXPECT_EQ(r1.status, "ok");
+    EXPECT_EQ(r1.id, "\"a\"");
+    EXPECT_NE(r1.body.find("\"answer\":true"), std::string::npos);
+
+    const Response r2 = core.call(parse_request(
+        "{\"type\":\"game\",\"machine\":\"coloring2\",\"layers\":1,"
+        "\"graph\":\"" + cycle6_payload() + "\"}",
+        1, WireLimits{}));
+    EXPECT_EQ(r2.status, "ok");
+    EXPECT_NE(r2.body.find("\"accepted\":true"), std::string::npos);
+    EXPECT_NE(r2.body.find("\"witness\""), std::string::npos);
+
+    const Response r3 =
+        core.call(parse_request("{\"type\":\"health\"}", 1, WireLimits{}));
+    EXPECT_EQ(r3.status, "ok");
+    EXPECT_NE(r3.body.find("\"ok\":true"), std::string::npos);
+}
+
+TEST(ServiceCore, MemoServesRepeatedRequestsAndReportsGauges) {
+    obs::Session session;
+    ServiceOptions options = manual_options();
+    options.obs = &session;
+    ServiceCore core(options);
+
+    const Response miss = core.call(decide_request("coloring", "1"));
+    const Response hit = core.call(decide_request("coloring", "2"));
+    EXPECT_EQ(miss.status, "ok");
+    EXPECT_FALSE(miss.memo_hit);
+    EXPECT_TRUE(hit.memo_hit);
+    EXPECT_EQ(hit.body, miss.body); // replayed verbatim
+    EXPECT_EQ(core.memo_stats().hits, 1u);
+    EXPECT_EQ(core.memo_stats().entries, 1u);
+
+    // The gauges flow through the MetricsRegistry snapshot path (same schema
+    // as the loadgen BENCH rows and `lphd --metrics=`).
+    core.publish_metrics();
+    std::map<std::string, double> snapshot;
+    for (const auto& [name, value] : session.metrics().snapshot()) {
+        snapshot[name] = value;
+    }
+    EXPECT_EQ(snapshot.at("service.submitted"), 2.0);
+    EXPECT_EQ(snapshot.at("service.completed"), 2.0);
+    EXPECT_EQ(snapshot.at("service.memo_served"), 1.0);
+    EXPECT_EQ(snapshot.at("service.memo.hits"), 1.0);
+    EXPECT_EQ(snapshot.at("service.memo.entries"), 1.0);
+    EXPECT_TRUE(snapshot.count("service.queue_depth"));
+    EXPECT_TRUE(snapshot.count("service.max_queue_depth"));
+    EXPECT_TRUE(snapshot.count("service.cache.hits"));
+}
+
+TEST(ServiceCore, QueueFullIsStructuredRejectionNotHang) {
+    ServiceOptions options = manual_options();
+    options.queue_capacity = 2;
+    ServiceCore core(options);
+
+    auto f1 = core.submit(decide_request("eulerian", "1"));
+    auto f2 = core.submit(decide_request("eulerian", "2"));
+    auto f3 = core.submit(decide_request("eulerian", "3"));
+
+    // The rejection resolves immediately, without any draining.
+    ASSERT_EQ(f3.wait_for(std::chrono::seconds(0)),
+              std::future_status::ready);
+    const Response rejected = f3.get();
+    EXPECT_EQ(rejected.status, "rejected");
+    EXPECT_EQ(rejected.error, "QueueFull");
+    EXPECT_EQ(rejected.id, "\"3\"");
+    EXPECT_EQ(core.stats().rejected, 1u);
+
+    core.drain();
+    EXPECT_EQ(f1.get().status, "ok");
+    EXPECT_EQ(f2.get().status, "ok");
+}
+
+TEST(ServiceCore, DeadlineExpiryUsesRunErrorTaxonomy) {
+    ServiceCore core(manual_options());
+    Request request = decide_request("eulerian", "d");
+    request.deadline_ms = 0.01;
+    auto future = core.submit(std::move(request));
+    // Let the deadline expire while the request waits in the queue — the
+    // same RunError::DeadlineExceeded code the engine's guard uses.
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    core.drain();
+    const Response response = future.get();
+    EXPECT_EQ(response.status, "error");
+    EXPECT_EQ(response.error, "DeadlineExceeded");
+    EXPECT_NE(response.detail.find("in queue"), std::string::npos);
+    EXPECT_EQ(core.stats().errors, 1u);
+}
+
+TEST(ServiceCore, EngineFaultPropagatesAsTaxonomyCode) {
+    // The fussy verifier violates its declared step bound on any certificate
+    // containing a '1'; without tolerate_faults the engine throws run_error
+    // and the service maps it to the taxonomy code.
+    ServiceCore core(manual_options());
+    const Response response = core.call(parse_request(
+        "{\"type\":\"game\",\"machine\":\"fussy\",\"layers\":1,"
+        "\"graph\":\"graph 2\\nedge 0 1\\n\"}",
+        1, WireLimits{}));
+    EXPECT_EQ(response.status, "error");
+    EXPECT_EQ(response.error, "StepBoundViolated");
+}
+
+TEST(ServiceCore, InjectedFaultsAreStructuredUnderTolerateFaults) {
+    ServiceCore core(manual_options());
+    const std::string base =
+        "{\"type\":\"game\",\"machine\":\"eulerian\",\"layers\":0,"
+        "\"fault_seed\":7,\"fault_crash\":1.0,\"graph\":\"" +
+        cycle6_payload() + "\"";
+
+    // tolerate_faults: the faulted leaf is scored as a loss and reported on
+    // a *successful* response.
+    const Response tolerated = core.call(
+        parse_request(base + ",\"tolerate_faults\":true}", 1, WireLimits{}));
+    EXPECT_EQ(tolerated.status, "ok");
+    EXPECT_NE(tolerated.body.find("\"accepted\":false"), std::string::npos);
+    EXPECT_NE(tolerated.body.find("\"faulted_runs\":1"), std::string::npos);
+    EXPECT_NE(tolerated.body.find("NodeCrashed"), std::string::npos);
+
+    // Without it, the injected fault escalates to a structured per-request
+    // error carrying the taxonomy code.
+    const Response escalated = core.call(
+        parse_request(base + ",\"tolerate_faults\":false}", 1, WireLimits{}));
+    EXPECT_EQ(escalated.status, "error");
+    EXPECT_EQ(escalated.error, "NodeCrashed");
+}
+
+TEST(ServiceCore, BatchesSameGraphRequests) {
+    ServiceOptions options = manual_options();
+    options.memoize_results = false; // count batches, not memo hits
+    ServiceCore core(options);
+
+    std::vector<std::future<Response>> futures;
+    for (int i = 0; i < 4; ++i) {
+        futures.push_back(
+            core.submit(decide_request("eulerian", std::to_string(i))));
+    }
+    futures.push_back(core.submit(parse_request(
+        "{\"type\":\"decide\",\"problem\":\"eulerian\","
+        "\"graph\":\"graph 3\\nedge 0 1\\nedge 1 2\\nedge 0 2\\n\"}",
+        1, WireLimits{})));
+
+    // First drain takes the four same-digest requests as one batch; the
+    // odd-graph request is left for the second drain.
+    EXPECT_TRUE(core.drain_some());
+    EXPECT_EQ(core.queue_depth(), 1u);
+    EXPECT_TRUE(core.drain_some());
+    for (int i = 0; i < 4; ++i) {
+        EXPECT_EQ(futures[i].get().batch, 4u);
+    }
+    EXPECT_EQ(futures[4].get().batch, 1u);
+    EXPECT_EQ(core.stats().batches, 2u);
+    EXPECT_EQ(core.stats().batched_requests, 5u);
+}
+
+TEST(ServiceCore, WorkerPoolServesConcurrentSubmissions) {
+    ServiceOptions options;
+    options.threads = 3;
+    options.queue_capacity = 512;
+    ServiceCore core(options);
+    std::vector<std::future<Response>> futures;
+    for (int i = 0; i < 64; ++i) {
+        futures.push_back(
+            core.submit(decide_request(i % 2 ? "eulerian" : "coloring",
+                                       std::to_string(i))));
+    }
+    for (auto& future : futures) {
+        EXPECT_EQ(future.get().status, "ok");
+    }
+    const ServiceStats stats = core.stats();
+    EXPECT_EQ(stats.completed, 64u);
+    EXPECT_EQ(stats.rejected, 0u);
+}
+
+// -------------------------------------------------------------- streams ----
+
+TEST(ServeStream, MalformedLineKeepsStreamUsable) {
+    ServiceOptions options;
+    options.threads = 1;
+    ServiceCore core(options);
+    std::istringstream in("this is not json\n"
+                          "{\"type\":\"health\",\"id\":1}\n"
+                          "{\"type\":\"health\",\"bogus\":true}\n"
+                          "{\"type\":\"health\",\"id\":2}\n");
+    std::ostringstream out;
+    const ServeReport report = serve_stream(core, in, out);
+    EXPECT_EQ(report.lines, 4u);
+    EXPECT_EQ(report.requests, 2u);
+    EXPECT_EQ(report.protocol_errors, 2u);
+    EXPECT_EQ(core.stats().protocol_errors, 2u);
+
+    std::istringstream lines(out.str());
+    std::string line;
+    std::vector<std::string> responses;
+    while (std::getline(lines, line)) {
+        responses.push_back(line);
+    }
+    ASSERT_EQ(responses.size(), 4u);
+    // In order: error, ok, error, ok — the connection survived both bad lines.
+    EXPECT_NE(responses[0].find("ProtocolError"), std::string::npos);
+    EXPECT_NE(responses[0].find("line 1"), std::string::npos);
+    EXPECT_NE(responses[1].find("\"id\":1"), std::string::npos);
+    EXPECT_NE(responses[1].find("\"status\":\"ok\""), std::string::npos);
+    EXPECT_NE(responses[2].find("ProtocolError"), std::string::npos);
+    EXPECT_NE(responses[3].find("\"id\":2"), std::string::npos);
+}
+
+TEST(TcpServerTest, ServesLoopbackConnections) {
+    ServiceOptions options;
+    options.threads = 2;
+    ServiceCore core(options);
+    TcpServer server(core, 0, 2);
+    server.start();
+    ASSERT_NE(server.port(), 0);
+
+    {
+        TcpClient client("127.0.0.1", server.port());
+        client.send_line("{\"type\":\"health\",\"id\":1}");
+        client.send_line("garbage");
+        client.send_line(
+            "{\"type\":\"decide\",\"id\":2,\"problem\":\"eulerian\","
+            "\"graph\":\"" + cycle6_payload() + "\"}");
+        std::string line;
+        ASSERT_TRUE(client.recv_line(line));
+        EXPECT_NE(line.find("\"ok\":true"), std::string::npos);
+        ASSERT_TRUE(client.recv_line(line));
+        EXPECT_NE(line.find("ProtocolError"), std::string::npos);
+        ASSERT_TRUE(client.recv_line(line));
+        EXPECT_NE(line.find("\"answer\":true"), std::string::npos);
+    }
+
+    // A second connection works after the first closed.
+    {
+        TcpClient client("127.0.0.1", server.port());
+        client.send_line("{\"type\":\"stats\"}");
+        std::string line;
+        ASSERT_TRUE(client.recv_line(line));
+        EXPECT_NE(line.find("\"status\":\"ok\""), std::string::npos);
+    }
+
+    server.shutdown();
+    core.stop();
+}
+
+// --------------------------------------------------------------- registry ---
+
+TEST(Registry, NamesAreValidatedAndBuildable) {
+    for (const std::string& name : machine_names()) {
+        EXPECT_TRUE(is_machine_name(name));
+        const BuiltGame game = build_game(name, 1, true);
+        EXPECT_NE(game.spec.machine, nullptr);
+        EXPECT_EQ(game.spec.layers.size(), 1u);
+    }
+    EXPECT_FALSE(is_machine_name("no-such-machine"));
+    EXPECT_THROW(build_game("no-such-machine", 1, true), precondition_error);
+    EXPECT_THROW(build_game("allsel", 9, true), precondition_error);
+
+    for (const std::string& name : formula_names()) {
+        EXPECT_TRUE(is_formula_name(name));
+    }
+    EXPECT_FALSE(is_formula_name("no-such-formula"));
+}
+
+} // namespace

@@ -1,0 +1,298 @@
+// lph_client: wire-protocol companion to lphd.
+//
+// Three modes:
+//   --generate N [--seed S]    emit N mixed request lines (games, logic,
+//                              decisions, oracle checks, stats/health) drawn
+//                              from a small seeded graph pool, to stdout —
+//                              the smoke-test workload
+//   --verify [--expect N]      read response lines from stdin, check every
+//                              one parses as a response and none is a
+//                              ProtocolError; with --expect, also require
+//                              exactly N responses.  Exit 1 on violation
+//   --connect HOST:PORT        send stdin's request lines to a running lphd
+//                              and print the responses
+//
+//   lph_client --generate 320 --seed 7 | lphd --pipe | lph_client --verify --expect 320
+//
+// Exit status: 0 ok; 1 verification failure or connection error; 2 usage.
+
+#include "obs/metrics.hpp"
+#include "service/json.hpp"
+#include "service/server.hpp"
+#include "service/wire.hpp"
+
+#include <cstdint>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+using namespace lph;
+
+struct Options {
+    long generate = -1;
+    std::uint64_t seed = 1;
+    bool verify = false;
+    long expect = -1;
+    std::string connect;
+};
+
+[[noreturn]] void usage_error(const std::string& message) {
+    std::cerr << "lph_client: " << message << "\n"
+              << "usage: lph_client --generate N [--seed S]\n"
+              << "       lph_client --verify [--expect N]\n"
+              << "       lph_client --connect HOST:PORT\n";
+    std::exit(2);
+}
+
+Options parse_args(int argc, char** argv) {
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                usage_error(arg + " needs a value");
+            }
+            return argv[++i];
+        };
+        if (arg == "--generate") {
+            opt.generate = std::stol(value());
+        } else if (arg == "--seed") {
+            opt.seed = std::stoull(value());
+        } else if (arg == "--verify") {
+            opt.verify = true;
+        } else if (arg == "--expect") {
+            opt.expect = std::stol(value());
+        } else if (arg == "--connect") {
+            opt.connect = value();
+        } else {
+            usage_error("unknown argument '" + arg + "'");
+        }
+    }
+    const int modes = (opt.generate >= 0 ? 1 : 0) + (opt.verify ? 1 : 0) +
+                      (opt.connect.empty() ? 0 : 1);
+    if (modes != 1) {
+        usage_error("pass exactly one of --generate, --verify, --connect");
+    }
+    return opt;
+}
+
+/// Deterministic splitmix64 so the workload is identical across platforms.
+std::uint64_t mix(std::uint64_t& state) {
+    state += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4568bull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+std::string cycle_graph(int n, bool label_ones) {
+    std::ostringstream g;
+    g << "graph " << n << "\n";
+    if (label_ones) {
+        for (int u = 0; u < n; ++u) {
+            g << "label " << u << " 1\n";
+        }
+    }
+    for (int u = 0; u < n; ++u) {
+        g << "edge " << u << " " << (u + 1) % n << "\n";
+    }
+    return g.str();
+}
+
+std::string path_graph(int n) {
+    std::ostringstream g;
+    g << "graph " << n << "\n";
+    for (int u = 0; u + 1 < n; ++u) {
+        g << "edge " << u << " " << u + 1 << "\n";
+    }
+    return g.str();
+}
+
+std::string complete_graph(int n) {
+    std::ostringstream g;
+    g << "graph " << n << "\n";
+    for (int u = 0; u < n; ++u) {
+        for (int v = u + 1; v < n; ++v) {
+            g << "edge " << u << " " << v << "\n";
+        }
+    }
+    return g.str();
+}
+
+int generate(long count, std::uint64_t seed) {
+    // A small pool so graphs repeat: repeats are what exercise micro-batching
+    // and the cross-request memo.
+    std::vector<std::string> graphs;
+    for (int n = 4; n <= 7; ++n) {
+        graphs.push_back(cycle_graph(n, false));
+        graphs.push_back(path_graph(n));
+    }
+    graphs.push_back(cycle_graph(6, true));
+    graphs.push_back(complete_graph(4));
+
+    const std::vector<std::string> machines = {"allsel", "eulerian",
+                                               "coloring2", "coloring3"};
+    // Formulas that stay inside the model checker's SO-universe guard at
+    // these graph sizes: FO sentences plus the monadic-SO colorability pair.
+    // Sentences quantifying a *binary* relation (not_all_selected,
+    // hamiltonian) need |domain|^2 <= 24 and would just error out here.
+    const std::vector<std::string> formulas = {"all_selected", "two_colorable",
+                                               "three_colorable", "random"};
+    const std::vector<std::string> problems = {"eulerian", "coloring",
+                                               "hamiltonian"};
+
+    std::uint64_t state = seed;
+    for (long i = 0; i < count; ++i) {
+        const std::string& graph =
+            graphs[mix(state) % graphs.size()];
+        const std::string payload = obs::json_escape(graph);
+        std::ostringstream line;
+        switch (mix(state) % 16) {
+        case 0:
+            line << "{\"type\":\"stats\",\"id\":" << i << "}";
+            break;
+        case 1:
+            line << "{\"type\":\"health\",\"id\":" << i << "}";
+            break;
+        case 2:
+            line << "{\"type\":\"oracle_check\",\"id\":" << i
+                 << ",\"check\":\"eulerian-vs-bruteforce\",\"seed\":"
+                 << (1 + mix(state) % 3) << ",\"instances\":5}";
+            break;
+        case 3:
+        case 4:
+        case 5:
+        {
+            const std::string& formula = formulas[mix(state) % formulas.size()];
+            line << "{\"type\":\"logic\",\"id\":" << i << ",\"formula\":\""
+                 << formula << "\"";
+            if (formula == "random") {
+                line << ",\"fseed\":" << mix(state) % 64;
+            }
+            line << ",\"graph\":\"" << payload << "\"}";
+            break;
+        }
+        case 6:
+        case 7:
+        case 8:
+            line << "{\"type\":\"decide\",\"id\":" << i << ",\"problem\":\""
+                 << problems[mix(state) % problems.size()]
+                 << "\",\"k\":" << (2 + mix(state) % 3) << ",\"graph\":\""
+                 << payload << "\"}";
+            break;
+        default: {
+            const std::string& machine = machines[mix(state) % machines.size()];
+            const bool decider = machine == "allsel" || machine == "eulerian";
+            line << "{\"type\":\"game\",\"id\":" << i << ",\"machine\":\""
+                 << machine << "\",\"layers\":" << (decider ? 0 : 1)
+                 << ",\"sigma\":true,\"ids\":\""
+                 << (mix(state) % 2 ? "global" : "local") << "\",\"graph\":\""
+                 << payload << "\"}";
+            break;
+        }
+        }
+        std::cout << line.str() << "\n";
+    }
+    return 0;
+}
+
+int verify(long expect) {
+    long total = 0, ok = 0, errors = 0, rejected = 0, protocol = 0;
+    std::string line;
+    std::size_t line_number = 0;
+    while (std::getline(std::cin, line)) {
+        ++line_number;
+        if (line.empty()) {
+            continue;
+        }
+        ++total;
+        try {
+            const service::JsonValue doc = service::parse_json(line);
+            const service::JsonValue* status = doc.find("status");
+            if (status == nullptr || !status->is_string()) {
+                std::cerr << "lph_client: line " << line_number
+                          << ": response has no status\n";
+                ++protocol;
+                continue;
+            }
+            if (status->string == "ok") {
+                ++ok;
+            } else if (status->string == "rejected") {
+                ++rejected;
+            } else {
+                ++errors;
+                const service::JsonValue* error = doc.find("error");
+                if (error != nullptr && error->is_string() &&
+                    error->string == "ProtocolError") {
+                    ++protocol;
+                }
+            }
+        } catch (const std::exception& e) {
+            std::cerr << "lph_client: line " << line_number
+                      << ": unparseable response: " << e.what() << "\n";
+            ++protocol;
+        }
+    }
+    std::cerr << "lph_client: " << total << " responses, " << ok << " ok, "
+              << errors << " error, " << rejected << " rejected, " << protocol
+              << " protocol\n";
+    if (protocol > 0) {
+        return 1;
+    }
+    if (expect >= 0 && total != expect) {
+        std::cerr << "lph_client: expected " << expect << " responses, got "
+                  << total << "\n";
+        return 1;
+    }
+    return 0;
+}
+
+int connect_and_relay(const std::string& target) {
+    const std::size_t colon = target.rfind(':');
+    if (colon == std::string::npos) {
+        usage_error("--connect expects HOST:PORT");
+    }
+    try {
+        service::TcpClient client(target.substr(0, colon),
+                                  static_cast<std::uint16_t>(
+                                      std::stoul(target.substr(colon + 1))));
+        long sent = 0;
+        std::string line;
+        while (std::getline(std::cin, line)) {
+            if (line.empty()) {
+                continue;
+            }
+            client.send_line(line);
+            ++sent;
+        }
+        for (long i = 0; i < sent; ++i) {
+            std::string response;
+            if (!client.recv_line(response)) {
+                std::cerr << "lph_client: connection closed after " << i
+                          << " of " << sent << " responses\n";
+                return 1;
+            }
+            std::cout << response << "\n";
+        }
+        return 0;
+    } catch (const std::exception& e) {
+        std::cerr << "lph_client: " << e.what() << "\n";
+        return 1;
+    }
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    const Options opt = parse_args(argc, argv);
+    if (opt.generate >= 0) {
+        return generate(opt.generate, opt.seed);
+    }
+    if (opt.verify) {
+        return verify(opt.expect);
+    }
+    return connect_and_relay(opt.connect);
+}

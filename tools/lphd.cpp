@@ -1,0 +1,190 @@
+// lphd: the batched query-serving daemon (DESIGN.md "Serving layer").
+//
+// Speaks one strict JSON object per line over stdin/stdout (--pipe) or a
+// loopback TCP listener (--port).  Every request line gets exactly one
+// response line; malformed lines get a ProtocolError response and the
+// connection stays usable.
+//
+//   lph_client --generate 20 --seed 7 | lphd --pipe | lph_client --verify
+//   lphd --port 7411 --threads 4 --queue-cap 512 --default-deadline-ms 250
+//
+// Serving knobs: --threads N (engine workers), --queue-cap N (admission
+// control), --max-batch N (same-graph micro-batching), --default-deadline-ms
+// X, and --no-memo / --no-batch / --no-shared-cache to disable the
+// cross-request result memo, graph micro-batching, or the per-machine shared
+// view cache (the loadgen's ablation switches).
+//
+// Observability: --trace=OUT.json exports a Chrome/Perfetto trace of every
+// queue/batch/dispatch stage; --metrics=OUT.json writes the service.* metrics
+// snapshot (same schema as the bench BENCH rows).
+//
+// Exit status: 0 on a clean run (protocol errors are per-line responses, not
+// daemon failures); 2 on usage errors.
+
+#include "obs/session.hpp"
+#include "service/core.hpp"
+#include "service/server.hpp"
+
+#include <csignal>
+#include <iostream>
+#include <string>
+
+namespace {
+
+using namespace lph;
+
+struct Options {
+    bool pipe = false;
+    int port = -1; // -1 = unset; 0 = pick a free port
+    unsigned threads = 0;
+    std::size_t queue_cap = 256;
+    std::size_t max_batch = 32;
+    std::size_t memo_entries = 1 << 12;
+    double default_deadline_ms = 0;
+    bool memo = true;
+    bool batch = true;
+    bool shared_cache = true;
+    std::string trace_path;
+    std::string metrics_path;
+};
+
+[[noreturn]] void usage_error(const std::string& message) {
+    std::cerr << "lphd: " << message << "\n"
+              << "usage: lphd (--pipe | --port P) [--threads N]\n"
+              << "            [--queue-cap N] [--max-batch N]\n"
+              << "            [--memo-entries N] [--default-deadline-ms X]\n"
+              << "            [--no-memo] [--no-batch] [--no-shared-cache]\n"
+              << "            [--trace OUT.json] [--metrics OUT.json]\n";
+    std::exit(2);
+}
+
+Options parse_args(int argc, char** argv) {
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                usage_error(arg + " needs a value");
+            }
+            return argv[++i];
+        };
+        if (arg == "--pipe") {
+            opt.pipe = true;
+        } else if (arg == "--port") {
+            opt.port = std::stoi(value());
+        } else if (arg == "--threads") {
+            opt.threads = static_cast<unsigned>(std::stoul(value()));
+        } else if (arg == "--queue-cap") {
+            opt.queue_cap = std::stoull(value());
+        } else if (arg == "--max-batch") {
+            opt.max_batch = std::stoull(value());
+        } else if (arg == "--memo-entries") {
+            opt.memo_entries = std::stoull(value());
+        } else if (arg == "--default-deadline-ms") {
+            opt.default_deadline_ms = std::stod(value());
+        } else if (arg == "--no-memo") {
+            opt.memo = false;
+        } else if (arg == "--no-batch") {
+            opt.batch = false;
+        } else if (arg == "--no-shared-cache") {
+            opt.shared_cache = false;
+        } else if (arg == "--trace") {
+            opt.trace_path = value();
+        } else if (arg.rfind("--trace=", 0) == 0) {
+            opt.trace_path = arg.substr(8);
+        } else if (arg == "--metrics") {
+            opt.metrics_path = value();
+        } else if (arg.rfind("--metrics=", 0) == 0) {
+            opt.metrics_path = arg.substr(10);
+        } else {
+            usage_error("unknown argument '" + arg + "'");
+        }
+    }
+    if (opt.pipe == (opt.port >= 0)) {
+        usage_error("pass exactly one of --pipe or --port");
+    }
+    if (opt.port > 65535) {
+        usage_error("--port must be in [0, 65535]");
+    }
+    if (opt.queue_cap == 0 || opt.max_batch == 0) {
+        usage_error("--queue-cap and --max-batch must be positive");
+    }
+    return opt;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    const Options opt = parse_args(argc, argv);
+
+    obs::Session::Options session_options;
+    session_options.tracing = !opt.trace_path.empty();
+    obs::Session session(session_options);
+    session.activate();
+
+    service::ServiceOptions service_options;
+    service_options.threads = opt.threads;
+    service_options.queue_capacity = opt.queue_cap;
+    service_options.max_batch = opt.max_batch;
+    service_options.memo_entries = opt.memo_entries;
+    service_options.default_deadline_ms = opt.default_deadline_ms;
+    service_options.memoize_results = opt.memo;
+    service_options.batch_by_graph = opt.batch;
+    service_options.share_view_cache = opt.shared_cache;
+    service_options.obs = &session;
+
+    int status = 0;
+    {
+        service::ServiceCore core(service_options);
+        if (opt.pipe) {
+            const service::ServeReport report =
+                service::serve_stream(core, std::cin, std::cout);
+            core.stop();
+            std::cerr << "lphd: served " << report.requests << " requests ("
+                      << report.protocol_errors << " protocol errors) over "
+                      << report.lines << " lines\n";
+        } else {
+            // Serve until SIGINT/SIGTERM.  The signals are blocked before any
+            // thread is spawned so only this sigwait sees them.
+            sigset_t signals;
+            sigemptyset(&signals);
+            sigaddset(&signals, SIGINT);
+            sigaddset(&signals, SIGTERM);
+            pthread_sigmask(SIG_BLOCK, &signals, nullptr);
+
+            try {
+                service::TcpServer server(core, static_cast<std::uint16_t>(opt.port));
+                server.start();
+                std::cerr << "lphd: listening on 127.0.0.1:" << server.port()
+                          << "\n";
+                int caught = 0;
+                sigwait(&signals, &caught);
+                std::cerr << "lphd: caught signal " << caught
+                          << ", shutting down\n";
+                server.shutdown();
+                core.stop();
+            } catch (const std::exception& e) {
+                std::cerr << "lphd: " << e.what() << "\n";
+                status = 1;
+            }
+        }
+        core.publish_metrics();
+        const service::ServiceStats stats = core.stats();
+        std::cerr << "lphd: completed " << stats.completed << ", errors "
+                  << stats.errors << ", rejected " << stats.rejected
+                  << ", memo served " << stats.memo_served << ", batches "
+                  << stats.batches << " (avg " << stats.avg_batch() << ")\n";
+    }
+
+    if (!opt.trace_path.empty() && !session.export_chrome_trace(opt.trace_path)) {
+        std::cerr << "lphd: failed to write trace to " << opt.trace_path << "\n";
+        status = 1;
+    }
+    if (!opt.metrics_path.empty() &&
+        !session.write_metrics_json(opt.metrics_path)) {
+        std::cerr << "lphd: failed to write metrics to " << opt.metrics_path
+                  << "\n";
+        status = 1;
+    }
+    return status;
+}
