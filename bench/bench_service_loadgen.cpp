@@ -11,12 +11,14 @@
 
 #include "obs/metrics.hpp"
 #include "service/core.hpp"
+#include "service/retry.hpp"
 
 #include "bench_report.hpp"
 
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <filesystem>
 #include <sstream>
 #include <vector>
 
@@ -106,6 +108,7 @@ struct LoadResult {
     ServiceStats stats;
     ResultMemoStats memo;
     ViewCacheStats cache;
+    SnapshotStats snapshot;
 
     double qps() const {
         return wall_ms > 0
@@ -175,10 +178,13 @@ LoadResult run_load(const std::vector<Request>& workload,
     result.wall_ms =
         std::chrono::duration<double, std::milli>(clock::now() - start).count();
 
+    // stop() before collecting so the counters include the shutdown snapshot
+    // save (counters are monotone; nothing is reset by stop).
+    core.stop();
     result.stats = core.stats();
     result.memo = core.memo_stats();
     result.cache = core.view_cache_stats();
-    core.stop();
+    result.snapshot = core.snapshot_stats();
     return result;
 }
 
@@ -198,7 +204,8 @@ ServiceOptions baseline_options() {
 }
 
 void record_row(const std::string& instance, const LoadResult& result,
-                double baseline_wall_ms) {
+                double baseline_wall_ms,
+                const RetryStats* retry = nullptr) {
     report::Instance row;
     row.bench = "BM_ServiceLoadgen";
     row.instance = instance;
@@ -208,6 +215,10 @@ void record_row(const std::string& instance, const LoadResult& result,
     registry.absorb("service.", result.stats.to_metrics());
     registry.absorb("service.", result.memo.to_metrics());
     registry.absorb("service.", result.cache.to_metrics());
+    registry.absorb("service.", result.snapshot.to_metrics());
+    if (retry != nullptr) {
+        registry.absorb("client.", retry->to_metrics());
+    }
     registry.set("requests", static_cast<double>(result.latency_ms.size()));
     registry.set("qps", result.qps());
     registry.set("p50_ms", percentile(result.latency_ms, 0.50));
@@ -275,6 +286,75 @@ void BM_ServingComparison(benchmark::State& state) {
     }
 }
 BENCHMARK(BM_ServingComparison)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+/// Warm-start comparison (DESIGN.md "Resilience"): the same workload served
+/// cold (empty caches, snapshot written on stop) and then warm (caches
+/// restored from that snapshot at construction).  The warm row's memo hit
+/// rate must be at least the cold row's — the point of snapshotting is that
+/// a restarted worker does not pay the cold-cache tax again.
+void BM_SnapshotWarmStart(benchmark::State& state) {
+    const auto workload = make_workload(384, 11);
+    const std::string snap =
+        (std::filesystem::temp_directory_path() / "lph_loadgen_warm.snap")
+            .string();
+    for (auto _ : state) {
+        std::filesystem::remove(snap);
+        ServiceOptions options = batched_options();
+        options.snapshot_path = snap;
+        const LoadResult cold = run_load(workload, options);
+        const LoadResult warm = run_load(workload, options);
+        record_row("cold_start_384", cold, 0);
+        record_row("warm_start_384", warm, cold.wall_ms);
+        report::note("BM_ServiceLoadgen", "warm_memo_hit_rate_ge_cold",
+                     warm.memo.hit_rate() >= cold.memo.hit_rate(),
+                     "warm " + std::to_string(warm.memo.hit_rate()) +
+                         " vs cold " + std::to_string(cold.memo.hit_rate()));
+        state.counters["warm_memo_hit_rate"] = warm.memo.hit_rate();
+        state.counters["cold_memo_hit_rate"] = cold.memo.hit_rate();
+        sink(cold.ok + warm.ok);
+    }
+    std::filesystem::remove(snap);
+}
+BENCHMARK(BM_SnapshotWarmStart)->Iterations(1)->Unit(benchmark::kMillisecond);
+
+/// Retry-overhead row: the base workload plus 25% idempotent replays (what a
+/// retrying client redelivers after timeouts).  Replays share memo keys with
+/// their originals, so the marginal cost of redelivery should be far below
+/// linear — the property that makes client-side retry safe to default on.
+void BM_RetryReplayOverhead(benchmark::State& state) {
+    const auto workload = make_workload(384, 11);
+    std::vector<Request> with_replays = workload;
+    std::uint64_t replay_state = 77;
+    for (int k = 0; k < 96; ++k) {
+        with_replays.push_back(
+            workload[mix(replay_state) % workload.size()]);
+    }
+    for (auto _ : state) {
+        const LoadResult base = run_load(workload, batched_options());
+        const LoadResult replayed = run_load(with_replays, batched_options());
+        // The client-side retry ledger this scenario models: 96 of the 480
+        // deliveries are redelivered duplicates, none are abandoned.
+        RetryStats retry;
+        retry.sent = workload.size();
+        retry.retries = with_replays.size() - workload.size();
+        retry.redelivered = with_replays.size() - workload.size();
+        retry.abandoned =
+            replayed.rejected + replayed.errors; // 0 on a healthy run
+        record_row("retry_replay_480", replayed, base.wall_ms, &retry);
+        report::note("BM_ServiceLoadgen", "replay_absorbed_by_memo",
+                     replayed.stats.memo_served > base.stats.memo_served,
+                     "memo served " +
+                         std::to_string(replayed.stats.memo_served) +
+                         " with replays vs " +
+                         std::to_string(base.stats.memo_served) + " without");
+        state.counters["replay_wall_ratio"] =
+            base.wall_ms > 0 ? replayed.wall_ms / base.wall_ms : 0.0;
+        sink(base.ok + replayed.ok);
+    }
+}
+BENCHMARK(BM_RetryReplayOverhead)
     ->Iterations(1)
     ->Unit(benchmark::kMillisecond);
 

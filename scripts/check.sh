@@ -36,6 +36,51 @@ python3 scripts/trace_lint.py build/trace_fuzz.json
     | ./build/tools/lph_client --verify --expect 320
 python3 scripts/trace_lint.py build/trace_lphd.json
 
+# Crash-resilience smoke: the same workload served twice — once chaos-free in
+# pipe mode (the golden answers), once through a supervised two-worker daemon
+# under seeded wire-level chaos (worker kills + connection drops) with a
+# retrying client.  Chaos may error or sever individual attempts; it must
+# never flip a verdict (--against), the client must recover every request
+# (abandoned:0), and the supervisor must restart each killed worker.
+./build/tools/lph_client --generate 300 --seed 11 > build/chaos_requests.jsonl
+./build/tools/lphd --pipe --threads 4 < build/chaos_requests.jsonl \
+    > build/chaos_golden.jsonl
+rm -rf build/chaos-snap
+./build/tools/lphd --port 0 --supervise 2 --snapshot-dir build/chaos-snap \
+    --restart-backoff-ms 20 --min-healthy-ms 50 --max-crashes 1000 \
+    --chaos-seed 1234 --chaos-kill 0.01 --chaos-drop 0.05 \
+    2> build/chaos_lphd.log &
+CHAOS_PID=$!
+CHAOS_PORT=""
+for _ in $(seq 50); do
+    CHAOS_PORT=$(sed -n 's/^lphd: listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' \
+        build/chaos_lphd.log)
+    [[ -n "$CHAOS_PORT" ]] && break
+    sleep 0.1
+done
+[[ -n "$CHAOS_PORT" ]] || { echo "chaos smoke: lphd never came up"; exit 1; }
+./build/tools/lph_client --connect "127.0.0.1:$CHAOS_PORT" --retries 8 \
+    < build/chaos_requests.jsonl > build/chaos_replies.jsonl \
+    2> build/chaos_client.log
+kill -TERM "$CHAOS_PID" && wait "$CHAOS_PID"
+./build/tools/lph_client --verify --expect 300 \
+    --against build/chaos_golden.jsonl < build/chaos_replies.jsonl
+grep -q '"abandoned":0' build/chaos_client.log \
+    || { echo "chaos smoke: client abandoned requests"; \
+         cat build/chaos_client.log; exit 1; }
+grep -q '"chaos_kill":true' build/chaos_lphd.log \
+    || { echo "chaos smoke: chaos never killed a worker"; exit 1; }
+grep -q '"event":"worker_start".*"generation":2' build/chaos_lphd.log \
+    || { echo "chaos smoke: supervisor never restarted a worker"; exit 1; }
+
+# A daemon pointed at an unwritable metrics/trace path must refuse at startup
+# with a structured error, not die mid-run after serving traffic.
+if ./build/tools/lphd --pipe --metrics=/nonexistent/m.json </dev/null \
+    >/dev/null 2> build/unwritable.log; then
+    echo "lphd accepted an unwritable --metrics path"; exit 1
+fi
+grep -q '"event":"output_path_unwritable"' build/unwritable.log
+
 # Sanitizer passes: AddressSanitizer + UBSan over the whole suite (the `asan`
 # preset), then ThreadSanitizer over the concurrency-heavy game/cache suites
 # (the `tsan` preset).  Set LPH_SKIP_SANITIZERS=1 for a quick iteration loop.
@@ -52,7 +97,7 @@ if [[ "${LPH_SKIP_SANITIZERS:-0}" != "1" ]]; then
     cmake --preset tsan
     cmake --build build-tsan
     ctest --test-dir build-tsan --output-on-failure \
-        -R 'test_(parallel_game|view_cache|game|faults|oracle|obs|service)'
+        -R 'test_(parallel_game|view_cache|game|faults|oracle|obs|service|resilience)'
 fi
 
 echo "all checks passed"

@@ -90,6 +90,45 @@ void ViewCache::clear() {
     }
 }
 
+std::vector<std::pair<std::string, std::string>>
+ViewCache::export_entries() const {
+    std::vector<std::pair<std::string, std::string>> entries;
+    for (const Shard& shard : shards_) {
+        const std::lock_guard<std::mutex> lock(shard.mutex);
+        // The list runs MRU-to-LRU; walk it backwards for oldest-first.
+        for (auto it = shard.lru.rbegin(); it != shard.lru.rend(); ++it) {
+            entries.push_back(*it);
+        }
+    }
+    return entries;
+}
+
+std::size_t ViewCache::restore(
+    const std::vector<std::pair<std::string, std::string>>& entries) {
+    std::size_t admitted = 0;
+    for (const auto& [key, verdict] : entries) {
+        Shard& shard = shard_for(key);
+        const std::lock_guard<std::mutex> lock(shard.mutex);
+        const auto it = shard.index.find(key);
+        if (it != shard.index.end()) {
+            if (it->second->second != verdict) {
+                verdict_mismatches_.fetch_add(1, std::memory_order_relaxed);
+            }
+            shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+            continue;
+        }
+        shard.lru.emplace_front(key, verdict);
+        shard.index.emplace(key, shard.lru.begin());
+        ++admitted;
+        while (shard.lru.size() > max_entries_per_shard_) {
+            shard.index.erase(shard.lru.back().first);
+            shard.lru.pop_back();
+            --admitted;
+        }
+    }
+    return admitted;
+}
+
 namespace {
 
 /// BFS distances from u, cut off beyond `radius`; -1 = outside the ball.

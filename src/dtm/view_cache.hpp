@@ -71,6 +71,19 @@ public:
     ViewCacheStats stats() const;
     void clear();
 
+    /// Every live entry, oldest-first per shard — the serving layer's
+    /// snapshot support.  Replaying them through restore() reproduces the
+    /// LRU recency order.
+    std::vector<std::pair<std::string, std::string>> export_entries() const;
+
+    /// Re-inserts snapshot entries without touching the hit/miss counters.
+    /// A restored key that already exists keeps its current verdict (and
+    /// counts a verdict mismatch if they differ — a corrupted-but-valid-
+    /// checksum snapshot must not overwrite live soundness data).  Returns
+    /// how many entries were admitted.
+    std::size_t restore(
+        const std::vector<std::pair<std::string, std::string>>& entries);
+
 private:
     struct Shard {
         mutable std::mutex mutex;

@@ -21,6 +21,7 @@
 #include <chrono>
 #include <cstdio>
 #include <memory>
+#include <mutex>
 #include <sstream>
 
 namespace lph {
@@ -511,16 +512,17 @@ std::optional<std::string> compare_reduction_eulerian(const ReproCase& r) {
 // Registry and runner.
 // --------------------------------------------------------------------------
 
-struct DiffCheck {
-    const char* name;
-    ReproCase (*generate)(Rng&);
-    std::optional<std::string> (*compare)(const ReproCase&);
-    std::vector<std::map<std::string, std::string>> (*param_shrinks)(
-        const std::map<std::string, std::string>&);
-};
+/// The open check registry: the built-in engine checks plus whatever higher
+/// layers add through register_check().  Guarded by one mutex; callers copy
+/// what they need out so a concurrent registration never invalidates an
+/// in-flight corpus run.
+std::mutex& registry_mutex() {
+    static std::mutex mutex;
+    return mutex;
+}
 
-const std::vector<DiffCheck>& registry() {
-    static const std::vector<DiffCheck> checks = {
+std::vector<RegisteredCheck>& registry_locked() {
+    static std::vector<RegisteredCheck> checks = {
         {"game-par-vs-ref", generate_game_case, compare_game_par_vs_ref,
          game_param_shrinks},
         {"game-cache-vs-nocache", generate_game_case,
@@ -538,8 +540,9 @@ const std::vector<DiffCheck>& registry() {
     return checks;
 }
 
-const DiffCheck& find_check(const std::string& name) {
-    for (const DiffCheck& c : registry()) {
+RegisteredCheck find_check(const std::string& name) {
+    const std::lock_guard<std::mutex> lock(registry_mutex());
+    for (const RegisteredCheck& c : registry_locked()) {
         if (name == c.name) {
             return c;
         }
@@ -550,7 +553,7 @@ const DiffCheck& find_check(const std::string& name) {
 
 /// Shrinks a diverging case to a fixpoint, alternating graph delta-debugging
 /// with check-specific parameter simplification.
-Divergence shrink_case(const DiffCheck& c, const ReproCase& original,
+Divergence shrink_case(const RegisteredCheck& c, const ReproCase& original,
                        const std::string& original_detail) {
     Divergence result;
     result.original_nodes = original.graph.num_nodes();
@@ -598,15 +601,17 @@ Divergence shrink_case(const DiffCheck& c, const ReproCase& original,
 } // namespace
 
 std::vector<std::string> check_names() {
+    const std::lock_guard<std::mutex> lock(registry_mutex());
     std::vector<std::string> names;
-    for (const DiffCheck& c : registry()) {
+    for (const RegisteredCheck& c : registry_locked()) {
         names.emplace_back(c.name);
     }
     return names;
 }
 
 bool is_check_name(const std::string& name) {
-    for (const DiffCheck& c : registry()) {
+    const std::lock_guard<std::mutex> lock(registry_mutex());
+    for (const RegisteredCheck& c : registry_locked()) {
         if (name == c.name) {
             return true;
         }
@@ -614,9 +619,26 @@ bool is_check_name(const std::string& name) {
     return false;
 }
 
+void register_check(const RegisteredCheck& new_check) {
+    check(!new_check.name.empty() && new_check.generate != nullptr &&
+              new_check.compare != nullptr,
+          "register_check needs a name, a generator, and a comparator");
+    const std::lock_guard<std::mutex> lock(registry_mutex());
+    for (const RegisteredCheck& c : registry_locked()) {
+        if (c.name == new_check.name) {
+            check(c.generate == new_check.generate &&
+                      c.compare == new_check.compare,
+                  "differential check '" + new_check.name +
+                      "' is already registered with different functions");
+            return; // idempotent re-registration
+        }
+    }
+    registry_locked().push_back(new_check);
+}
+
 CheckReport run_check(const std::string& name, std::uint64_t seed,
                       std::size_t instances, obs::Session* obs) {
-    const DiffCheck& c = find_check(name);
+    const RegisteredCheck c = find_check(name);
     CheckReport report;
     report.check = name;
     report.seed = seed;

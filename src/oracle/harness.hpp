@@ -1,8 +1,10 @@
 #pragma once
 
+#include "core/rng.hpp"
 #include "oracle/repro.hpp"
 
 #include <cstdint>
+#include <map>
 #include <optional>
 #include <string>
 #include <vector>
@@ -53,6 +55,24 @@ struct CheckReport {
 std::vector<std::string> check_names();
 
 bool is_check_name(const std::string& name);
+
+/// One differential check as the registry stores it.  Higher layers (the
+/// serving library's chaos check, for instance) register their own checks
+/// through register_check(); the oracle library cannot depend on them, so
+/// the registry is open instead of a closed table.
+struct RegisteredCheck {
+    std::string name;
+    ReproCase (*generate)(Rng&) = nullptr;
+    std::optional<std::string> (*compare)(const ReproCase&) = nullptr;
+    /// Optional check-specific parameter simplifications for the shrinker.
+    std::vector<std::map<std::string, std::string>> (*param_shrinks)(
+        const std::map<std::string, std::string>&) = nullptr;
+};
+
+/// Appends one check to the registry (thread-safe).  Re-registering an
+/// existing name is a checked error except when generate/compare are
+/// pointer-identical (idempotent re-registration from multiple cores).
+void register_check(const RegisteredCheck& check);
 
 /// Fuzzes one check: `instances` seeded random instances, fast path vs
 /// oracle on each; every divergence is shrunk to a 1-minimal counterexample

@@ -1,0 +1,213 @@
+// The "service-chaos-vs-direct" differential check: serve a seeded request
+// workload through a ServiceCore while a ChaosPlan mangles the rendered
+// response lines (and "kills the worker" by tearing the core down and
+// warm-starting a fresh one from an encoded snapshot), with a retrying
+// client on top.  The invariant under test is the resilience contract:
+// chaos may cost retries or leave requests unanswered, but every *valid ok
+// response* that reaches the client must carry exactly the verdict the
+// direct (unbatched, chaos-free) execution produces.  The kill path doubles
+// as a snapshot-codec round-trip fuzz.
+
+#include "graph/serialize.hpp"
+#include "oracle/generators.hpp"
+#include "oracle/harness.hpp"
+#include "service/chaos.hpp"
+#include "service/core.hpp"
+#include "service/snapshot.hpp"
+#include "service/wire.hpp"
+
+#include <memory>
+#include <mutex>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace lph {
+namespace service {
+
+namespace {
+
+constexpr int kMaxClientRounds = 12;
+
+double prob_param(const ReproCase& r, const std::string& key) {
+    const auto it = r.params.find(key);
+    return it != r.params.end() ? std::stod(it->second) : 0.0;
+}
+
+/// A small mixed workload over the repro graph: two decider games (one
+/// repeated, so the memo path is exercised across the simulated crash), a
+/// logic query, and a decide query.
+std::vector<Request> build_workload(const LabeledGraph& graph) {
+    std::vector<Request> requests;
+    auto with_graph = [&graph](Request request) {
+        request.has_graph = true;
+        request.graph = graph;
+        request.canonical_graph = graph_to_text(graph);
+        return request;
+    };
+    Request game;
+    game.type = RequestType::Game;
+    game.machine = "allsel";
+    game.layers = 0;
+    game.sigma = true;
+    game.ids = "global";
+    requests.push_back(with_graph(game));
+    Request eulerian_game = game;
+    eulerian_game.machine = "eulerian";
+    requests.push_back(with_graph(eulerian_game));
+    Request logic;
+    logic.type = RequestType::Logic;
+    logic.formula = "all_selected";
+    requests.push_back(with_graph(logic));
+    Request decide;
+    decide.type = RequestType::Decide;
+    decide.problem = "eulerian";
+    requests.push_back(with_graph(decide));
+    requests.push_back(with_graph(game)); // memo-hit replay of request 0
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+        requests[i].id = std::to_string(i);
+    }
+    return requests;
+}
+
+ReproCase generate_service_chaos_case(Rng& rng) {
+    ReproCase r;
+    GraphGenOptions gopt;
+    gopt.min_nodes = 1;
+    gopt.max_nodes = 5;
+    gopt.max_extra_edges = 3;
+    gopt.allow_disconnected = true;
+    gopt.labels = GraphGenOptions::Labels::ZeroOrOne;
+    r.graph = random_graph_instance(rng, gopt);
+    r.params["chaos_seed"] = std::to_string(rng.uniform(0, 1u << 20));
+    r.params["drop"] = rng.chance(0.5) ? "0.25" : "0.1";
+    r.params["truncate"] = rng.chance(0.5) ? "0.2" : "0";
+    r.params["garble"] = rng.chance(0.5) ? "0.2" : "0";
+    r.params["kill"] = rng.chance(0.5) ? "0.15" : "0";
+    return r;
+}
+
+std::optional<std::string> compare_service_chaos(const ReproCase& r) {
+    const std::vector<Request> requests = build_workload(r.graph);
+
+    ServiceOptions options;
+    options.manual_drain = true;
+    options.memoize_results = true;
+
+    // Golden verdicts: direct execution, no queue, no memo, no chaos.
+    ServiceCore reference(options);
+    std::vector<std::optional<VerdictView>> golden;
+    for (const Request& request : requests) {
+        golden.push_back(parse_verdict(reference.serve_unbatched(request).to_json()));
+    }
+
+    ChaosPlan plan;
+    plan.seed = std::stoull(r.params.at("chaos_seed"));
+    plan.drop_prob = prob_param(r, "drop");
+    plan.truncate_prob = prob_param(r, "truncate");
+    plan.garble_prob = prob_param(r, "garble");
+    plan.kill_prob = prob_param(r, "kill");
+    ChaosInjector injector(&plan);
+
+    auto core = std::make_unique<ServiceCore>(options);
+    std::set<std::size_t> unanswered;
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+        unanswered.insert(i);
+    }
+
+    for (int round = 0; round < kMaxClientRounds && !unanswered.empty();
+         ++round) {
+        const std::vector<std::size_t> attempt(unanswered.begin(),
+                                               unanswered.end());
+        for (const std::size_t i : attempt) {
+            std::string line = core->call(requests[i]).to_json();
+            switch (injector.next_action()) {
+            case ChaosAction::KillWorker: {
+                // Simulated crash + supervised warm restart: the response is
+                // lost with the worker, the next core starts from the dead
+                // worker's snapshot (round-tripped through the codec).
+                const std::string bytes = encode_snapshot(core->snapshot_data());
+                SnapshotData restored;
+                std::string error;
+                if (decode_snapshot(bytes, &restored, &error) !=
+                    SnapshotReadResult::Loaded) {
+                    return "snapshot round-trip rejected its own encoding: " +
+                           error;
+                }
+                core = std::make_unique<ServiceCore>(options);
+                core->restore_from(restored);
+                continue;
+            }
+            case ChaosAction::Drop:
+                continue; // no bytes reached the client; it will retry
+            case ChaosAction::Truncate:
+                line.erase(line.size() / 2);
+                break;
+            case ChaosAction::Garble:
+                ChaosInjector::garble(line);
+                break;
+            case ChaosAction::Delay: // no wall-clock sleeps inside the fuzzer
+            case ChaosAction::None:
+                break;
+            }
+            const std::optional<VerdictView> view = parse_verdict(line);
+            if (!view.has_value()) {
+                continue; // mangled on the wire; the client retries
+            }
+            if (view->status != "ok") {
+                continue; // structured errors/rejections are permitted; retry
+            }
+            // A valid ok response must be *correct*: right id, same verdict
+            // as the direct execution.  This is the zero-incorrect-responses
+            // assertion of the resilience contract.
+            std::ostringstream detail;
+            if (view->id != requests[i].id) {
+                detail << "response to request " << requests[i].id
+                       << " carried id " << view->id;
+                return detail.str();
+            }
+            if (!golden[i].has_value() || golden[i]->status != "ok") {
+                detail << "request " << requests[i].id
+                       << " got ok under chaos but "
+                       << (golden[i] ? golden[i]->status : "unparseable")
+                       << " directly";
+                return detail.str();
+            }
+            if (view->has_verdict != golden[i]->has_verdict ||
+                (view->has_verdict && view->verdict != golden[i]->verdict)) {
+                detail << "request " << requests[i].id << " ("
+                       << to_string(requests[i].type) << ") verdict "
+                       << (view->has_verdict ? (view->verdict ? "true" : "false")
+                                             : "absent")
+                       << " under chaos but "
+                       << (golden[i]->has_verdict
+                               ? (golden[i]->verdict ? "true" : "false")
+                               : "absent")
+                       << " directly";
+                return detail.str();
+            }
+            unanswered.erase(i);
+        }
+    }
+    // Requests still unanswered after the retry budget are a liveness cost
+    // of aggressive chaos, not a correctness failure — only wrong responses
+    // diverge.
+    return std::nullopt;
+}
+
+} // namespace
+
+void register_service_checks() {
+    static std::once_flag once;
+    std::call_once(once, [] {
+        RegisteredCheck chaos_check;
+        chaos_check.name = "service-chaos-vs-direct";
+        chaos_check.generate = generate_service_chaos_case;
+        chaos_check.compare = compare_service_chaos;
+        register_check(chaos_check);
+    });
+}
+
+} // namespace service
+} // namespace lph

@@ -12,6 +12,7 @@
 #include "obs/trace.hpp"
 #include "oracle/generators.hpp"
 #include "oracle/harness.hpp"
+#include "service/chaos.hpp"
 #include "service/registry.hpp"
 #include "structure/graph_structure.hpp"
 
@@ -107,6 +108,13 @@ ServiceCore::ServiceCore(ServiceOptions options)
     if (options_.threads == 0) {
         options_.threads = std::max(1u, std::thread::hardware_concurrency());
     }
+    register_service_checks();
+    if (!options_.snapshot_path.empty()) {
+        load_snapshot();
+        if (options_.snapshot_period_ms > 0) {
+            snapshot_thread_ = std::thread([this] { snapshot_loop(); });
+        }
+    }
     if (!options_.manual_drain) {
         workers_.reserve(options_.threads);
         for (unsigned i = 0; i < options_.threads; ++i) {
@@ -129,6 +137,19 @@ void ServiceCore::stop() {
         }
     }
     workers_.clear();
+    bool first_stop = false;
+    {
+        const std::lock_guard<std::mutex> lock(snapshot_wake_mutex_);
+        first_stop = !snapshot_stop_;
+        snapshot_stop_ = true;
+    }
+    snapshot_wake_cv_.notify_all();
+    if (snapshot_thread_.joinable()) {
+        snapshot_thread_.join();
+    }
+    if (first_stop && !options_.snapshot_path.empty()) {
+        save_snapshot();
+    }
 }
 
 std::future<Response> ServiceCore::submit(Request request) {
@@ -485,6 +506,22 @@ std::string ServiceCore::render_stats_body() {
          << ",\"evictions\":" << cache.evictions
          << ",\"verdict_mismatches\":" << cache.verdict_mismatches
          << ",\"hit_rate\":" << render_ms(cache.hit_rate()) << '}';
+    if (!options_.snapshot_path.empty()) {
+        const SnapshotStats snap = snapshot_stats();
+        body << ",\"snapshot\":{\"loads\":" << snap.loads
+             << ",\"rejected\":" << snap.rejected << ",\"saves\":" << snap.saves
+             << ",\"save_failures\":" << snap.save_failures
+             << ",\"entries_loaded\":" << snap.entries_loaded
+             << ",\"entries_saved\":" << snap.entries_saved << '}';
+    }
+    if (options_.worker_index >= 0) {
+        body << ",\"worker\":{\"index\":" << options_.worker_index
+             << ",\"generation\":" << options_.worker_generation
+             << ",\"restarts\":"
+             << (options_.worker_generation > 0 ? options_.worker_generation - 1
+                                                : 0)
+             << '}';
+    }
     return body.str();
 }
 
@@ -494,6 +531,14 @@ std::string ServiceCore::render_health_body() {
          << render_ms(ms_between(start_time_, std::chrono::steady_clock::now()))
          << ",\"queue_depth\":" << queue_depth()
          << ",\"workers\":" << (options_.manual_drain ? 0 : options_.threads);
+    if (options_.worker_index >= 0) {
+        body << ",\"worker\":{\"index\":" << options_.worker_index
+             << ",\"generation\":" << options_.worker_generation
+             << ",\"restarts\":"
+             << (options_.worker_generation > 0 ? options_.worker_generation - 1
+                                                : 0)
+             << '}';
+    }
     return body.str();
 }
 
@@ -551,6 +596,108 @@ ServiceStats ServiceCore::stats() const {
 
 ResultMemoStats ServiceCore::memo_stats() const { return memo_.stats(); }
 
+SnapshotStats ServiceCore::snapshot_stats() const {
+    const std::lock_guard<std::mutex> lock(snapshot_mutex_);
+    return snapshot_stats_;
+}
+
+SnapshotData ServiceCore::snapshot_data() const {
+    SnapshotData data;
+    SnapshotSection memo_section;
+    memo_section.name = "memo";
+    memo_section.entries = memo_.export_entries();
+    data.sections.push_back(std::move(memo_section));
+    const std::lock_guard<std::mutex> lock(cache_mutex_);
+    for (const auto& [machine, cache] : view_caches_) {
+        SnapshotSection section;
+        section.name = "view:" + machine;
+        section.entries = cache->export_entries();
+        data.sections.push_back(std::move(section));
+    }
+    return data;
+}
+
+std::size_t ServiceCore::restore_from(const SnapshotData& data) {
+    std::size_t admitted = 0;
+    for (const SnapshotSection& section : data.sections) {
+        if (section.name == "memo") {
+            admitted += memo_.restore(section.entries);
+        } else if (section.name.rfind("view:", 0) == 0) {
+            admitted +=
+                cache_for(section.name.substr(5))->restore(section.entries);
+        }
+        // Unknown sections: a newer writer's data we cannot interpret; the
+        // checksummed entries we do understand are still good.
+    }
+    return admitted;
+}
+
+bool ServiceCore::save_snapshot() {
+    if (options_.snapshot_path.empty()) {
+        return true;
+    }
+    const SnapshotData data = snapshot_data();
+    std::string error;
+    // Serialize writers: the periodic thread and stop() share one tmp file.
+    const std::lock_guard<std::mutex> lock(snapshot_mutex_);
+    if (!write_snapshot_file(options_.snapshot_path, data, &error)) {
+        ++snapshot_stats_.save_failures;
+        std::fprintf(stderr,
+                     "{\"event\":\"snapshot_save_failed\",\"path\":\"%s\","
+                     "\"error\":\"%s\"}\n",
+                     options_.snapshot_path.c_str(), error.c_str());
+        return false;
+    }
+    ++snapshot_stats_.saves;
+    snapshot_stats_.entries_saved = data.total_entries();
+    return true;
+}
+
+void ServiceCore::load_snapshot() {
+    SnapshotData data;
+    std::string error;
+    const SnapshotReadResult result =
+        read_snapshot_file(options_.snapshot_path, &data, &error);
+    const std::lock_guard<std::mutex> lock(snapshot_mutex_);
+    switch (result) {
+    case SnapshotReadResult::Loaded:
+        ++snapshot_stats_.loads;
+        snapshot_stats_.entries_loaded = restore_from(data);
+        obs::Tracer::instance().instant("service", "snapshot.load");
+        break;
+    case SnapshotReadResult::Missing:
+        break; // first boot: cold start, not an event
+    case SnapshotReadResult::Rejected:
+        // Never trust a rejected snapshot, even partially: log, count, and
+        // cold-start.
+        ++snapshot_stats_.rejected;
+        std::fprintf(stderr,
+                     "{\"event\":\"snapshot_rejected\",\"path\":\"%s\","
+                     "\"error\":\"%s\",\"action\":\"cold_start\"}\n",
+                     options_.snapshot_path.c_str(), error.c_str());
+        obs::Tracer::instance().instant("service", "snapshot.reject");
+        break;
+    }
+}
+
+void ServiceCore::snapshot_loop() {
+    const auto period = std::chrono::duration<double, std::milli>(
+        options_.snapshot_period_ms);
+    for (;;) {
+        {
+            std::unique_lock<std::mutex> lock(snapshot_wake_mutex_);
+            snapshot_wake_cv_.wait_for(
+                lock,
+                std::chrono::duration_cast<std::chrono::milliseconds>(period),
+                [this] { return snapshot_stop_; });
+            if (snapshot_stop_) {
+                return; // stop() writes the final snapshot itself
+            }
+        }
+        save_snapshot();
+    }
+}
+
 ViewCacheStats ServiceCore::view_cache_stats() const {
     ViewCacheStats total;
     const std::lock_guard<std::mutex> lock(cache_mutex_);
@@ -574,6 +721,16 @@ void ServiceCore::publish_metrics() {
     registry.absorb("service.", memo_stats().to_metrics());
     obs::MetricList cache = view_cache_stats().to_metrics();
     registry.absorb("service.", cache);
+    if (!options_.snapshot_path.empty()) {
+        registry.absorb("service.", snapshot_stats().to_metrics());
+    }
+    if (options_.worker_index >= 0) {
+        registry.absorb(
+            "service.",
+            {{"worker_index", static_cast<double>(options_.worker_index)},
+             {"worker_generation",
+              static_cast<double>(options_.worker_generation)}});
+    }
 }
 
 ViewCache* ServiceCore::cache_for(const std::string& machine) {

@@ -3,6 +3,7 @@
 #include "dtm/view_cache.hpp"
 #include "obs/metrics.hpp"
 #include "service/memo.hpp"
+#include "service/snapshot.hpp"
 #include "service/wire.hpp"
 
 #include <atomic>
@@ -66,6 +67,21 @@ struct ServiceOptions {
     /// queue with drain_some()/drain().  Makes queue-full and batching
     /// behavior deterministic.
     bool manual_drain = false;
+
+    /// Warm-start persistence (DESIGN.md "Resilience"): when set, the memo
+    /// and the shared view caches are loaded from this snapshot file at
+    /// construction (a missing/corrupt/mismatched file cold-starts cleanly)
+    /// and saved back on stop() — and, with snapshot_period_ms > 0, by a
+    /// background thread every period.
+    std::string snapshot_path;
+    double snapshot_period_ms = 0;
+
+    /// Identity of this core inside a supervised pool: worker_index >= 0
+    /// and the 1-based generation (how many times the slot has started) are
+    /// echoed in stats/health bodies and service.* metrics so clients can
+    /// see restarts.  -1 = standalone.
+    int worker_index = -1;
+    std::uint64_t worker_generation = 0;
 
     /// Optional observability session for publish_metrics().
     obs::Session* obs = nullptr;
@@ -142,6 +158,20 @@ public:
     ResultMemoStats memo_stats() const;
     /// Aggregated over the per-machine shared view caches.
     ViewCacheStats view_cache_stats() const;
+    SnapshotStats snapshot_stats() const;
+
+    /// The memo + shared view caches as snapshot sections ("memo", then one
+    /// "view:<machine>" per shared cache), oldest-first for LRU replay.
+    SnapshotData snapshot_data() const;
+
+    /// Replays snapshot sections into the memo / shared view caches (without
+    /// polluting hit/miss counters); unknown sections are ignored so a newer
+    /// writer's extra sections degrade gracefully.  Returns entries admitted.
+    std::size_t restore_from(const SnapshotData& data);
+
+    /// Saves snapshot_path now (atomic tmp+rename); false (with a structured
+    /// stderr line) on I/O failure.  No-op returning true without a path.
+    bool save_snapshot();
 
     /// Publishes service.* gauges (core counters, memo.*, cache.*) into the
     /// session registry handed in ServiceOptions::obs; no-op without one.
@@ -174,6 +204,8 @@ private:
     std::string render_stats_body();
     std::string render_health_body();
     ViewCache* cache_for(const std::string& machine);
+    void load_snapshot();
+    void snapshot_loop();
 
     ServiceOptions options_;
     std::chrono::steady_clock::time_point start_time_;
@@ -198,6 +230,13 @@ private:
     std::atomic<std::uint64_t> batched_requests_{0};
     std::atomic<std::uint64_t> max_queue_depth_{0};
     std::atomic<std::uint64_t> busy_us_{0};
+
+    mutable std::mutex snapshot_mutex_; ///< guards snapshot_stats_ + saves
+    SnapshotStats snapshot_stats_;
+    std::thread snapshot_thread_;
+    std::mutex snapshot_wake_mutex_;
+    std::condition_variable snapshot_wake_cv_;
+    bool snapshot_stop_ = false;
 };
 
 } // namespace service

@@ -10,6 +10,8 @@
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 namespace lph {
 namespace service {
@@ -51,6 +53,17 @@ public:
 
     ResultMemoStats stats() const;
     void clear();
+
+    /// Every live entry, oldest-first (per shard, shards concatenated), so
+    /// that replaying them through restore() reproduces the LRU recency
+    /// order.  Snapshot support (service/snapshot.hpp).
+    std::vector<std::pair<std::string, std::string>> export_entries() const;
+
+    /// Re-inserts snapshot entries without touching the hit/miss counters —
+    /// a warm start must not look like traffic.  Returns how many entries
+    /// were admitted (capacity may have shrunk since the snapshot).
+    std::size_t restore(
+        const std::vector<std::pair<std::string, std::string>>& entries);
 
 private:
     struct Shard {

@@ -1,0 +1,47 @@
+#include "service/retry.hpp"
+
+#include <algorithm>
+
+namespace lph {
+namespace service {
+
+namespace {
+
+std::uint64_t mix(std::uint64_t x) {
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+} // namespace
+
+double backoff_delay_ms(const RetryPolicy& policy, std::uint64_t request_index,
+                        int attempt) {
+    const int exponent = std::max(0, attempt - 1);
+    double ceiling = policy.base_backoff_ms;
+    for (int i = 0; i < exponent && ceiling < policy.max_backoff_ms; ++i) {
+        ceiling *= 2;
+    }
+    ceiling = std::min(ceiling, policy.max_backoff_ms);
+    if (ceiling <= 0) {
+        return 0;
+    }
+    const std::uint64_t h = mix(mix(policy.seed ^ 0xbac0ffULL) ^
+                                mix(request_index * 31 +
+                                    static_cast<std::uint64_t>(attempt)));
+    return static_cast<double>(h >> 11) * 0x1.0p-53 * ceiling;
+}
+
+obs::MetricList RetryStats::to_metrics() const {
+    return {
+        {"retry.sent", static_cast<double>(sent)},
+        {"retry.retries", static_cast<double>(retries)},
+        {"retry.redelivered", static_cast<double>(redelivered)},
+        {"retry.abandoned", static_cast<double>(abandoned)},
+        {"retry.reconnects", static_cast<double>(reconnects)},
+    };
+}
+
+} // namespace service
+} // namespace lph

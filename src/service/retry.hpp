@@ -1,0 +1,44 @@
+#pragma once
+
+#include "obs/metrics.hpp"
+
+#include <cstdint>
+#include <string>
+
+namespace lph {
+namespace service {
+
+/// Client-side retry knobs: jittered exponential backoff with a per-request
+/// timeout.  Replaying a request is always safe against this service —
+/// request execution is a deterministic function of the request's semantic
+/// fields, and the memo key excludes id/deadline, so a redelivered request
+/// returns the same verdict (typically as a memo hit).
+struct RetryPolicy {
+    int max_retries = 3;         ///< attempts beyond the first
+    double timeout_ms = 2000;    ///< per-attempt response deadline; 0 = none
+    double base_backoff_ms = 10; ///< backoff before retry k is base * 2^k ...
+    double max_backoff_ms = 500; ///< ... capped here, then jittered
+    std::uint64_t seed = 1;      ///< jitter seed (splitmix64 channels)
+};
+
+/// Full-jitter backoff before retry `attempt` (1-based) of request
+/// `request_index`: uniform in [0, min(max, base * 2^(attempt-1))).  Pure in
+/// (seed, request_index, attempt), so a retry schedule replays exactly.
+double backoff_delay_ms(const RetryPolicy& policy, std::uint64_t request_index,
+                        int attempt);
+
+/// Counters of one retrying client session.
+struct RetryStats {
+    std::uint64_t sent = 0;        ///< first-attempt sends
+    std::uint64_t retries = 0;     ///< re-sends after timeout/disconnect/reject
+    std::uint64_t redelivered = 0; ///< duplicate responses discarded (the
+                                   ///< first response per id wins)
+    std::uint64_t abandoned = 0;   ///< requests given up after max_retries
+    std::uint64_t reconnects = 0;  ///< connections re-established
+
+    /// Metric list under the `retry.` naming scheme, for BENCH rows.
+    obs::MetricList to_metrics() const;
+};
+
+} // namespace service
+} // namespace lph

@@ -1,6 +1,7 @@
 #include "service/server.hpp"
 
 #include "core/check.hpp"
+#include "service/transport.hpp"
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
@@ -8,6 +9,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <functional>
 #include <future>
@@ -119,47 +121,6 @@ ServeReport serve_lines(ServiceCore& core,
     return report;
 }
 
-void write_all(int fd, const std::string& data) {
-    std::size_t done = 0;
-    while (done < data.size()) {
-        const ssize_t n = ::write(fd, data.data() + done, data.size() - done);
-        if (n <= 0) {
-            if (n < 0 && errno == EINTR) {
-                continue;
-            }
-            return; // peer went away; the reader will see EOF and wind down
-        }
-        done += static_cast<std::size_t>(n);
-    }
-}
-
-/// Reads one '\n'-terminated line from fd into `line` via `buffer`; false on
-/// EOF (a final unterminated line is still delivered).
-bool read_line_fd(int fd, std::string& buffer, std::string& line) {
-    for (;;) {
-        const std::size_t pos = buffer.find('\n');
-        if (pos != std::string::npos) {
-            line.assign(buffer, 0, pos);
-            buffer.erase(0, pos + 1);
-            return true;
-        }
-        char chunk[4096];
-        const ssize_t n = ::read(fd, chunk, sizeof(chunk));
-        if (n < 0 && errno == EINTR) {
-            continue;
-        }
-        if (n <= 0) {
-            if (buffer.empty()) {
-                return false;
-            }
-            line = std::move(buffer);
-            buffer.clear();
-            return true;
-        }
-        buffer.append(chunk, static_cast<std::size_t>(n));
-    }
-}
-
 } // namespace
 
 ServeReport serve_stream(ServiceCore& core, std::istream& in,
@@ -174,33 +135,59 @@ ServeReport serve_stream(ServiceCore& core, std::istream& in,
         });
 }
 
-TcpServer::TcpServer(ServiceCore& core, std::uint16_t port,
-                     unsigned connection_workers)
-    : core_(core) {
-    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-    check(listen_fd_ >= 0,
-          std::string("socket() failed: ") + std::strerror(errno));
+int listen_loopback(std::uint16_t port, std::uint16_t* bound_port) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    check(fd >= 0, std::string("socket() failed: ") + std::strerror(errno));
     const int one = 1;
-    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
 
     sockaddr_in addr{};
     addr.sin_family = AF_INET;
     addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
     addr.sin_port = htons(port);
-    check(::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
-                 sizeof(addr)) == 0,
-          "bind(127.0.0.1:" + std::to_string(port) +
-              ") failed: " + std::strerror(errno));
-    check(::listen(listen_fd_, 64) == 0,
-          std::string("listen() failed: ") + std::strerror(errno));
+    if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+        0) {
+        const std::string detail = std::strerror(errno);
+        ::close(fd);
+        check(false, "bind(127.0.0.1:" + std::to_string(port) +
+                         ") failed: " + detail);
+    }
+    if (::listen(fd, 64) != 0) {
+        const std::string detail = std::strerror(errno);
+        ::close(fd);
+        check(false, std::string("listen() failed: ") + detail);
+    }
 
     sockaddr_in bound{};
     socklen_t len = sizeof(bound);
-    check(::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+    check(::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) == 0,
+          std::string("getsockname() failed: ") + std::strerror(errno));
+    if (bound_port != nullptr) {
+        *bound_port = ntohs(bound.sin_port);
+    }
+    return fd;
+}
+
+TcpServer::TcpServer(ServiceCore& core, std::uint16_t port,
+                     unsigned connection_workers)
+    : core_(core) {
+    std::uint16_t bound = 0;
+    listen_fd_ = listen_loopback(port, &bound);
+    port_ = bound;
+    active_fds_.assign(std::max(1u, connection_workers), -1);
+}
+
+TcpServer::TcpServer(ServiceCore& core, AdoptSocket adopted,
+                     unsigned connection_workers)
+    : core_(core) {
+    check(adopted.fd >= 0, "adopted listener fd must be valid");
+    listen_fd_ = adopted.fd;
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    check(::getsockname(adopted.fd, reinterpret_cast<sockaddr*>(&bound),
                         &len) == 0,
           std::string("getsockname() failed: ") + std::strerror(errno));
     port_ = ntohs(bound.sin_port);
-
     active_fds_.assign(std::max(1u, connection_workers), -1);
 }
 
@@ -318,11 +305,43 @@ void TcpServer::handle_connection(int fd) {
     serve_lines(
         core_,
         [fd, &buffer](std::string& line) {
-            return read_line_fd(fd, buffer, line);
+            return recv_line_fd(fd, buffer, line) == TransportStatus::Ok;
         },
-        [fd, &write_mutex](const std::string& response) {
+        [this, fd, &write_mutex](const std::string& response) {
             const std::lock_guard<std::mutex> lock(write_mutex);
-            write_all(fd, response + '\n');
+            std::string line = response + '\n';
+            const ChaosAction action = chaos_ != nullptr
+                                           ? chaos_->next_action()
+                                           : ChaosAction::None;
+            switch (action) {
+            case ChaosAction::KillWorker:
+                // Die the way a real crash does: no unwinding, no snapshot
+                // save, no response bytes.  The supervisor's waitpid sees
+                // kChaosKillExitStatus and restarts us.
+                std::_Exit(kChaosKillExitStatus);
+            case ChaosAction::Drop:
+                ::shutdown(fd, SHUT_RDWR);
+                return;
+            case ChaosAction::Truncate:
+                line.erase(line.size() / 2);
+                send_all(fd, line);
+                ::shutdown(fd, SHUT_RDWR);
+                return;
+            case ChaosAction::Garble:
+                ChaosInjector::garble(line);
+                break;
+            case ChaosAction::Delay:
+                std::this_thread::sleep_for(std::chrono::duration<double,
+                                                                  std::milli>(
+                    chaos_->delay_ms()));
+                break;
+            case ChaosAction::None:
+                break;
+            }
+            // A failed send (peer gone mid-response) is the reader's cue to
+            // wind the connection down; EPIPE must not kill the daemon,
+            // hence MSG_NOSIGNAL inside send_all.
+            send_all(fd, line);
         });
 }
 
@@ -352,11 +371,21 @@ TcpClient::~TcpClient() {
 }
 
 void TcpClient::send_line(const std::string& line) {
-    write_all(fd_, line + '\n');
+    send_all(fd_, line + '\n');
+}
+
+TransportStatus TcpClient::send_line_status(const std::string& line,
+                                            std::string* error) {
+    return send_all(fd_, line + '\n', error);
 }
 
 bool TcpClient::recv_line(std::string& line) {
-    return read_line_fd(fd_, buffer_, line);
+    return recv_line_fd(fd_, buffer_, line) == TransportStatus::Ok;
+}
+
+TransportStatus TcpClient::recv_line_status(std::string& line, int timeout_ms,
+                                            std::string* error) {
+    return recv_line_fd(fd_, buffer_, line, timeout_ms, error);
 }
 
 } // namespace service

@@ -1,6 +1,8 @@
 #pragma once
 
+#include "service/chaos.hpp"
 #include "service/core.hpp"
+#include "service/transport.hpp"
 
 #include <atomic>
 #include <condition_variable>
@@ -29,6 +31,18 @@ struct ServeReport {
 /// immediate ProtocolError response and the stream stays usable.
 ServeReport serve_stream(ServiceCore& core, std::istream& in, std::ostream& out);
 
+/// Binds + listens on 127.0.0.1:`port` (0 picks a free port) and returns the
+/// listening fd, with the resolved port in `*bound_port`.  Split out of
+/// TcpServer so a supervisor can bind once *before* forking: workers inherit
+/// this fd and accept from one shared kernel queue.  Throws
+/// precondition_error on failure.
+int listen_loopback(std::uint16_t port, std::uint16_t* bound_port);
+
+/// Tag for the adopted-listener TcpServer constructor.
+struct AdoptSocket {
+    int fd = -1;
+};
+
 /// Blocking TCP listener on 127.0.0.1 with a fixed pool of connection
 /// workers, each speaking the same line protocol as serve_stream.
 class TcpServer {
@@ -37,6 +51,11 @@ public:
     /// port()).  Throws precondition_error when the socket cannot be set up.
     TcpServer(ServiceCore& core, std::uint16_t port,
               unsigned connection_workers = 4);
+
+    /// Adopts an fd already listening (from listen_loopback, possibly
+    /// inherited across fork); the server owns and closes it.
+    TcpServer(ServiceCore& core, AdoptSocket adopted,
+              unsigned connection_workers = 4);
     ~TcpServer();
 
     TcpServer(const TcpServer&) = delete;
@@ -44,6 +63,10 @@ public:
 
     /// The bound port (resolves port 0).
     std::uint16_t port() const { return port_; }
+
+    /// Installs a wire-level chaos injector on the response path (nullptr to
+    /// disable); call before start().  The injector must outlive the server.
+    void set_chaos(ChaosInjector* chaos) { chaos_ = chaos; }
 
     /// Spawns the accept thread and the connection workers.
     void start();
@@ -57,6 +80,7 @@ private:
     void handle_connection(int fd);
 
     ServiceCore& core_;
+    ChaosInjector* chaos_ = nullptr;
     std::atomic<int> listen_fd_{-1}; ///< written by shutdown, read by accept
     std::uint16_t port_ = 0;
     std::atomic<bool> stopping_{false};
@@ -84,8 +108,19 @@ public:
 
     void send_line(const std::string& line);
 
+    /// send_line with the transport status surfaced instead of best-effort:
+    /// PeerClosed (EPIPE/ECONNRESET — the daemon died mid-conversation) and
+    /// Error come back as values, with `*error` describing the failure.
+    TransportStatus send_line_status(const std::string& line,
+                                     std::string* error = nullptr);
+
     /// Reads one response line (without the newline); false on EOF.
     bool recv_line(std::string& line);
+
+    /// recv_line with a per-read timeout (0 = block) and the transport
+    /// status surfaced — the retry layer's read primitive.
+    TransportStatus recv_line_status(std::string& line, int timeout_ms = 0,
+                                     std::string* error = nullptr);
 
 private:
     int fd_ = -1;

@@ -1,0 +1,263 @@
+#include "service/snapshot.hpp"
+
+#include "service/wire.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+namespace lph {
+namespace service {
+
+namespace {
+
+constexpr char kMagic[8] = {'L', 'P', 'H', 'S', 'N', 'A', 'P', '\n'};
+
+void put_u32(std::string& out, std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+        out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+    }
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+        out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+    }
+}
+
+/// Bounds-checked little-endian reader over the snapshot bytes.
+class Cursor {
+public:
+    explicit Cursor(const std::string& bytes) : bytes_(bytes) {}
+
+    bool read_u32(std::uint32_t* v) {
+        if (bytes_.size() - pos_ < 4) {
+            return false;
+        }
+        *v = 0;
+        for (int i = 0; i < 4; ++i) {
+            *v |= static_cast<std::uint32_t>(
+                      static_cast<unsigned char>(bytes_[pos_ + i]))
+                  << (8 * i);
+        }
+        pos_ += 4;
+        return true;
+    }
+
+    bool read_u64(std::uint64_t* v) {
+        if (bytes_.size() - pos_ < 8) {
+            return false;
+        }
+        *v = 0;
+        for (int i = 0; i < 8; ++i) {
+            *v |= static_cast<std::uint64_t>(
+                      static_cast<unsigned char>(bytes_[pos_ + i]))
+                  << (8 * i);
+        }
+        pos_ += 8;
+        return true;
+    }
+
+    bool read_bytes(std::size_t n, std::string* out) {
+        if (bytes_.size() - pos_ < n) {
+            return false;
+        }
+        out->assign(bytes_, pos_, n);
+        pos_ += n;
+        return true;
+    }
+
+    std::size_t pos() const { return pos_; }
+    std::size_t remaining() const { return bytes_.size() - pos_; }
+
+private:
+    const std::string& bytes_;
+    std::size_t pos_ = 0;
+};
+
+SnapshotReadResult rejected(std::string* error, const std::string& why) {
+    if (error != nullptr) {
+        *error = why;
+    }
+    return SnapshotReadResult::Rejected;
+}
+
+} // namespace
+
+const char* to_string(SnapshotReadResult result) {
+    switch (result) {
+    case SnapshotReadResult::Loaded: return "loaded";
+    case SnapshotReadResult::Missing: return "missing";
+    case SnapshotReadResult::Rejected: return "rejected";
+    }
+    return "unknown";
+}
+
+obs::MetricList SnapshotStats::to_metrics() const {
+    return {
+        {"snapshot.loads", static_cast<double>(loads)},
+        {"snapshot.rejected", static_cast<double>(rejected)},
+        {"snapshot.saves", static_cast<double>(saves)},
+        {"snapshot.save_failures", static_cast<double>(save_failures)},
+        {"snapshot.entries_loaded", static_cast<double>(entries_loaded)},
+        {"snapshot.entries_saved", static_cast<double>(entries_saved)},
+    };
+}
+
+std::string encode_snapshot(const SnapshotData& data) {
+    std::string out(kMagic, sizeof(kMagic));
+    put_u32(out, kSnapshotVersion);
+    put_u32(out, static_cast<std::uint32_t>(data.sections.size()));
+    for (const SnapshotSection& section : data.sections) {
+        put_u32(out, static_cast<std::uint32_t>(section.name.size()));
+        out += section.name;
+        put_u64(out, section.entries.size());
+        for (const auto& [key, value] : section.entries) {
+            put_u32(out, static_cast<std::uint32_t>(key.size()));
+            out += key;
+            put_u32(out, static_cast<std::uint32_t>(value.size()));
+            out += value;
+        }
+    }
+    // Checksum everything after the magic, so version/count corruption is
+    // detected the same way as entry corruption.
+    put_u64(out, fnv1a64(out.substr(sizeof(kMagic))));
+    return out;
+}
+
+SnapshotReadResult decode_snapshot(const std::string& bytes, SnapshotData* out,
+                                   std::string* error) {
+    out->sections.clear();
+    if (bytes.size() < sizeof(kMagic) + 4 + 4 + 8) {
+        return rejected(error, "file too short (" +
+                                   std::to_string(bytes.size()) + " bytes)");
+    }
+    if (std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
+        return rejected(error, "bad magic");
+    }
+    // Verify the trailing checksum before trusting any length field.
+    const std::string payload =
+        bytes.substr(sizeof(kMagic), bytes.size() - sizeof(kMagic) - 8);
+    std::uint64_t stored = 0;
+    for (int i = 0; i < 8; ++i) {
+        stored |= static_cast<std::uint64_t>(static_cast<unsigned char>(
+                      bytes[bytes.size() - 8 + static_cast<std::size_t>(i)]))
+                  << (8 * i);
+    }
+    if (fnv1a64(payload) != stored) {
+        return rejected(error, "checksum mismatch");
+    }
+
+    Cursor cursor(payload);
+    std::uint32_t version = 0;
+    if (!cursor.read_u32(&version)) {
+        return rejected(error, "truncated before version");
+    }
+    if (version != kSnapshotVersion) {
+        return rejected(error, "version mismatch: file has " +
+                                   std::to_string(version) + ", expected " +
+                                   std::to_string(kSnapshotVersion));
+    }
+    std::uint32_t section_count = 0;
+    if (!cursor.read_u32(&section_count)) {
+        return rejected(error, "truncated before section count");
+    }
+    SnapshotData data;
+    for (std::uint32_t s = 0; s < section_count; ++s) {
+        SnapshotSection section;
+        std::uint32_t name_len = 0;
+        if (!cursor.read_u32(&name_len) ||
+            !cursor.read_bytes(name_len, &section.name)) {
+            return rejected(error, "truncated section header");
+        }
+        std::uint64_t entry_count = 0;
+        if (!cursor.read_u64(&entry_count)) {
+            return rejected(error, "truncated entry count");
+        }
+        // Every entry needs at least its two length prefixes; a hostile count
+        // fails here instead of driving a giant reserve.
+        if (entry_count > cursor.remaining() / 8) {
+            return rejected(error, "entry count " + std::to_string(entry_count) +
+                                       " exceeds remaining bytes");
+        }
+        section.entries.reserve(static_cast<std::size_t>(entry_count));
+        for (std::uint64_t e = 0; e < entry_count; ++e) {
+            std::string key, value;
+            std::uint32_t len = 0;
+            if (!cursor.read_u32(&len) || !cursor.read_bytes(len, &key)) {
+                return rejected(error, "truncated entry key");
+            }
+            if (!cursor.read_u32(&len) || !cursor.read_bytes(len, &value)) {
+                return rejected(error, "truncated entry value");
+            }
+            section.entries.emplace_back(std::move(key), std::move(value));
+        }
+        data.sections.push_back(std::move(section));
+    }
+    if (cursor.remaining() != 0) {
+        return rejected(error, std::to_string(cursor.remaining()) +
+                                   " trailing bytes after the last section");
+    }
+    *out = std::move(data);
+    return SnapshotReadResult::Loaded;
+}
+
+bool write_snapshot_file(const std::string& path, const SnapshotData& data,
+                         std::string* error) {
+    const std::string encoded = encode_snapshot(data);
+    const std::string tmp = path + ".tmp";
+    std::FILE* f = std::fopen(tmp.c_str(), "wb");
+    if (f == nullptr) {
+        if (error != nullptr) {
+            *error = "open " + tmp + ": " + std::strerror(errno);
+        }
+        return false;
+    }
+    const bool wrote =
+        std::fwrite(encoded.data(), 1, encoded.size(), f) == encoded.size();
+    const bool flushed = std::fflush(f) == 0;
+    std::fclose(f);
+    if (!wrote || !flushed) {
+        if (error != nullptr) {
+            *error = "write " + tmp + ": " + std::strerror(errno);
+        }
+        std::remove(tmp.c_str());
+        return false;
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        if (error != nullptr) {
+            *error = "rename " + tmp + " -> " + path + ": " +
+                     std::strerror(errno);
+        }
+        std::remove(tmp.c_str());
+        return false;
+    }
+    return true;
+}
+
+SnapshotReadResult read_snapshot_file(const std::string& path,
+                                      SnapshotData* out, std::string* error) {
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr) {
+        if (errno == ENOENT) {
+            return SnapshotReadResult::Missing;
+        }
+        return rejected(error,
+                        "open " + path + ": " + std::strerror(errno));
+    }
+    std::string bytes;
+    char chunk[1 << 16];
+    std::size_t n = 0;
+    while ((n = std::fread(chunk, 1, sizeof(chunk), f)) > 0) {
+        bytes.append(chunk, n);
+    }
+    const bool read_error = std::ferror(f) != 0;
+    std::fclose(f);
+    if (read_error) {
+        return rejected(error, "read " + path + ": " + std::strerror(errno));
+    }
+    return decode_snapshot(bytes, out, error);
+}
+
+} // namespace service
+} // namespace lph

@@ -1,0 +1,78 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lph {
+namespace service {
+
+/// Restart discipline for supervised workers: exponential backoff between
+/// restarts of a crashing worker, reset once it stays healthy, and a
+/// crash-loop circuit breaker that gives a worker up for good after too many
+/// consecutive short-lived lives.
+struct RestartPolicy {
+    double base_backoff_ms = 200;  ///< backoff after crash k is base * 2^k...
+    double max_backoff_ms = 5000;  ///< ...capped here, then jittered
+    /// A life shorter than this counts as part of a crash loop; a longer one
+    /// resets the consecutive-crash counter.
+    double min_healthy_uptime_ms = 1000;
+    /// Circuit breaker: consecutive short-lived crashes before the
+    /// supervisor stops restarting this worker slot.
+    int max_consecutive_crashes = 5;
+    std::uint64_t jitter_seed = 1;
+};
+
+/// Pure supervision state machine for one pool of worker slots — all time is
+/// passed in explicitly (milliseconds on the caller's monotonic clock), so
+/// the policy is unit-testable without forking or sleeping.  The fork/exec/
+/// waitpid plumbing lives in the lphd tool; this ledger only decides *what*
+/// to do and *when*.
+class SupervisorLedger {
+public:
+    enum class SlotState { Running, BackingOff, GivenUp };
+
+    struct Slot {
+        SlotState state = SlotState::Running;
+        std::uint64_t generation = 0; ///< times this slot was started
+        std::uint64_t restarts = 0;   ///< generation - 1, for reporting
+        int consecutive_crashes = 0;
+        double started_at_ms = 0;
+        double restart_at_ms = 0; ///< meaningful in BackingOff
+    };
+
+    SupervisorLedger(std::size_t workers, RestartPolicy policy);
+
+    std::size_t size() const { return slots_.size(); }
+    const Slot& slot(std::size_t i) const { return slots_[i]; }
+
+    /// Marks slot `i` started at `now_ms` (first launch or restart).
+    void on_started(std::size_t i, double now_ms);
+
+    /// Handles slot `i`'s process exiting at `now_ms`.  `clean` exits (a
+    /// shutdown the supervisor asked for) never trip the breaker.  Returns
+    /// true when the slot should be restarted (after waiting until
+    /// slot(i).restart_at_ms), false when it has been given up.
+    bool on_exit(std::size_t i, double now_ms, bool clean);
+
+    /// The earliest restart_at_ms over BackingOff slots whose time has come
+    /// at or before `now_ms`; -1 when none is due yet.
+    int due_slot(double now_ms) const;
+
+    /// The earliest restart_at_ms over all BackingOff slots; -1 when no slot
+    /// is backing off (nothing to wait for).
+    double next_deadline_ms() const;
+
+    std::size_t running() const;
+    std::size_t given_up() const;
+    std::uint64_t total_restarts() const;
+
+private:
+    double backoff_ms(const Slot& slot) const;
+
+    RestartPolicy policy_;
+    std::vector<Slot> slots_;
+};
+
+} // namespace service
+} // namespace lph

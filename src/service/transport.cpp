@@ -1,0 +1,110 @@
+#include "service/transport.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+
+namespace lph {
+namespace service {
+
+void ignore_sigpipe() { std::signal(SIGPIPE, SIG_IGN); }
+
+const char* to_string(TransportStatus status) {
+    switch (status) {
+    case TransportStatus::Ok: return "ok";
+    case TransportStatus::PeerClosed: return "peer_closed";
+    case TransportStatus::TimedOut: return "timed_out";
+    case TransportStatus::Error: return "error";
+    }
+    return "unknown";
+}
+
+namespace {
+
+void set_error(std::string* error, const char* op) {
+    if (error != nullptr) {
+        *error = std::string(op) + ": " + std::strerror(errno);
+    }
+}
+
+} // namespace
+
+TransportStatus send_all(int fd, const std::string& data, std::string* error) {
+    std::size_t done = 0;
+    while (done < data.size()) {
+        const ssize_t n = ::send(fd, data.data() + done, data.size() - done,
+                                 MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR) {
+                continue;
+            }
+            set_error(error, "send");
+            return (errno == EPIPE || errno == ECONNRESET)
+                       ? TransportStatus::PeerClosed
+                       : TransportStatus::Error;
+        }
+        done += static_cast<std::size_t>(n);
+    }
+    return TransportStatus::Ok;
+}
+
+TransportStatus recv_line_fd(int fd, std::string& buffer, std::string& line,
+                             int timeout_ms, std::string* error) {
+    for (;;) {
+        const std::size_t pos = buffer.find('\n');
+        if (pos != std::string::npos) {
+            line.assign(buffer, 0, pos);
+            buffer.erase(0, pos + 1);
+            return TransportStatus::Ok;
+        }
+        if (timeout_ms > 0) {
+            pollfd pfd{};
+            pfd.fd = fd;
+            pfd.events = POLLIN;
+            const int ready = ::poll(&pfd, 1, timeout_ms);
+            if (ready < 0) {
+                if (errno == EINTR) {
+                    continue;
+                }
+                set_error(error, "poll");
+                return TransportStatus::Error;
+            }
+            if (ready == 0) {
+                if (error != nullptr) {
+                    *error = "no response within " +
+                             std::to_string(timeout_ms) + " ms";
+                }
+                return TransportStatus::TimedOut;
+            }
+        }
+        char chunk[4096];
+        const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+        if (n < 0) {
+            if (errno == EINTR) {
+                continue;
+            }
+            set_error(error, "read");
+            return errno == ECONNRESET ? TransportStatus::PeerClosed
+                                       : TransportStatus::Error;
+        }
+        if (n == 0) {
+            if (buffer.empty()) {
+                if (error != nullptr) {
+                    *error = "connection closed by peer";
+                }
+                return TransportStatus::PeerClosed;
+            }
+            line = std::move(buffer);
+            buffer.clear();
+            return TransportStatus::Ok;
+        }
+        buffer.append(chunk, static_cast<std::size_t>(n));
+    }
+}
+
+} // namespace service
+} // namespace lph

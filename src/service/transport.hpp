@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace lph {
+namespace service {
+
+/// Process-wide SIGPIPE opt-out.  Every tool that writes to a socket or a
+/// pipe calls this once at startup: a peer that disconnects mid-response
+/// must surface as an EPIPE transport error on the write path, never as a
+/// process-killing signal.  (Socket writes additionally pass MSG_NOSIGNAL,
+/// but stdout/stdin pipes have no per-call equivalent.)
+void ignore_sigpipe();
+
+/// What ended a transport operation.  `PeerClosed` folds EPIPE/ECONNRESET
+/// (and EOF on reads): the peer going away is an expected, recoverable event
+/// for a serving daemon, distinct from genuine I/O failures.
+enum class TransportStatus {
+    Ok,
+    PeerClosed,
+    TimedOut,
+    Error,
+};
+
+const char* to_string(TransportStatus status);
+
+/// Writes all of `data` to a socket fd with MSG_NOSIGNAL.  On failure,
+/// `*error` (optional) gets a structured "send: <errno text>" detail.
+TransportStatus send_all(int fd, const std::string& data,
+                         std::string* error = nullptr);
+
+/// Reads one '\n'-terminated line from fd into `line` via `buffer` (a final
+/// unterminated line is still delivered, then the next call reports
+/// PeerClosed).  `timeout_ms` > 0 bounds the wait for *each* read syscall
+/// via poll(); 0 blocks indefinitely.
+TransportStatus recv_line_fd(int fd, std::string& buffer, std::string& line,
+                             int timeout_ms = 0, std::string* error = nullptr);
+
+} // namespace service
+} // namespace lph

@@ -367,6 +367,32 @@ std::string Response::to_json() const {
     return out.str();
 }
 
+std::optional<VerdictView> parse_verdict(const std::string& line) {
+    try {
+        const JsonValue doc = parse_json(line);
+        const JsonValue* status = doc.find("status");
+        if (status == nullptr || !status->is_string()) {
+            return std::nullopt;
+        }
+        VerdictView view;
+        view.status = status->string;
+        if (const JsonValue* id = doc.find("id")) {
+            view.id = parse_id_token(*id);
+        }
+        for (const char* field : {"accepted", "answer", "satisfied", "passed"}) {
+            const JsonValue* v = doc.find(field);
+            if (v != nullptr && v->is_bool()) {
+                view.has_verdict = true;
+                view.verdict = v->boolean;
+                break;
+            }
+        }
+        return view;
+    } catch (const std::exception&) {
+        return std::nullopt;
+    }
+}
+
 Response Response::protocol_error(const std::string& detail) {
     Response r;
     r.status = "error";

@@ -4,6 +4,7 @@
 #include "graph/serialize.hpp"
 
 #include <cstdint>
+#include <optional>
 #include <string>
 
 namespace lph {
@@ -126,6 +127,22 @@ struct Response {
     static Response protocol_error(const std::string& detail);
     static Response rejection(const std::string& id, const std::string& detail);
 };
+
+/// The verdict-bearing view of one response line — what the chaos smoke and
+/// `lph_client --verify --against` compare.  Only the boolean verdict fields
+/// ("accepted", "answer", "satisfied", "passed") are semantic; envelope
+/// fields like service_ms/memo/batch legitimately differ across runs.
+struct VerdictView {
+    std::string id;     ///< raw id token ("7" / "\"abc\""); "" when absent
+    std::string status; ///< "ok" | "error" | "rejected"
+    bool has_verdict = false;
+    bool verdict = false;
+};
+
+/// Strictly parses one response line into its verdict view; nullopt when the
+/// line is not a valid response object (e.g. chaos-garbled bytes) — callers
+/// treat that as a transport error, never as a verdict.
+std::optional<VerdictView> parse_verdict(const std::string& line);
 
 /// FNV-1a 64-bit digest (the memo and batch grouping key hash).
 std::uint64_t fnv1a64(const std::string& data);

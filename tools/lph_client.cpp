@@ -5,12 +5,25 @@
 //                              decisions, oracle checks, stats/health) drawn
 //                              from a small seeded graph pool, to stdout —
 //                              the smoke-test workload
-//   --verify [--expect N]      read response lines from stdin, check every
+//   --verify [--expect N] [--against FILE]
+//                              read response lines from stdin, check every
 //                              one parses as a response and none is a
 //                              ProtocolError; with --expect, also require
-//                              exactly N responses.  Exit 1 on violation
+//                              exactly N responses; with --against, compare
+//                              each ok response's verdict to the same id's
+//                              verdict in FILE (a chaos-free golden run) and
+//                              fail on any mismatch.  Exit 1 on violation
 //   --connect HOST:PORT        send stdin's request lines to a running lphd
-//                              and print the responses
+//                              and print the responses, one request in
+//                              flight at a time, with per-request timeouts,
+//                              jittered exponential backoff, reconnects, and
+//                              idempotent replay (safe: execution is a pure
+//                              function of the request's semantic fields and
+//                              the memo key excludes id/deadline).  Tune with
+//                              --retries/--timeout-ms/--backoff-ms/
+//                              --max-backoff-ms/--retry-seed; a request still
+//                              unanswered after the retry budget is printed
+//                              as a client-side RetriesExhausted error line
 //
 //   lph_client --generate 320 --seed 7 | lphd --pipe | lph_client --verify --expect 320
 //
@@ -18,13 +31,20 @@
 
 #include "obs/metrics.hpp"
 #include "service/json.hpp"
+#include "service/retry.hpp"
 #include "service/server.hpp"
+#include "service/transport.hpp"
 #include "service/wire.hpp"
 
+#include <chrono>
 #include <cstdint>
+#include <fstream>
 #include <iostream>
+#include <map>
+#include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 namespace {
@@ -36,14 +56,18 @@ struct Options {
     std::uint64_t seed = 1;
     bool verify = false;
     long expect = -1;
+    std::string against_path;
     std::string connect;
+    service::RetryPolicy retry;
 };
 
 [[noreturn]] void usage_error(const std::string& message) {
     std::cerr << "lph_client: " << message << "\n"
               << "usage: lph_client --generate N [--seed S]\n"
-              << "       lph_client --verify [--expect N]\n"
-              << "       lph_client --connect HOST:PORT\n";
+              << "       lph_client --verify [--expect N] [--against FILE]\n"
+              << "       lph_client --connect HOST:PORT [--retries N]\n"
+              << "                  [--timeout-ms X] [--backoff-ms X]\n"
+              << "                  [--max-backoff-ms X] [--retry-seed S]\n";
     std::exit(2);
 }
 
@@ -65,8 +89,20 @@ Options parse_args(int argc, char** argv) {
             opt.verify = true;
         } else if (arg == "--expect") {
             opt.expect = std::stol(value());
+        } else if (arg == "--against") {
+            opt.against_path = value();
         } else if (arg == "--connect") {
             opt.connect = value();
+        } else if (arg == "--retries") {
+            opt.retry.max_retries = std::stoi(value());
+        } else if (arg == "--timeout-ms") {
+            opt.retry.timeout_ms = std::stod(value());
+        } else if (arg == "--backoff-ms") {
+            opt.retry.base_backoff_ms = std::stod(value());
+        } else if (arg == "--max-backoff-ms") {
+            opt.retry.max_backoff_ms = std::stod(value());
+        } else if (arg == "--retry-seed") {
+            opt.retry.seed = std::stoull(value());
         } else {
             usage_error("unknown argument '" + arg + "'");
         }
@@ -199,8 +235,37 @@ int generate(long count, std::uint64_t seed) {
     return 0;
 }
 
-int verify(long expect) {
+/// The verdict map of a golden (chaos-free) run: id token -> verdict view of
+/// every ok response that carries both an id and a verdict.
+std::map<std::string, service::VerdictView> load_golden(
+    const std::string& path) {
+    std::ifstream in(path);
+    if (!in) {
+        std::cerr << "lph_client: cannot read --against file " << path << "\n";
+        std::exit(2);
+    }
+    std::map<std::string, service::VerdictView> golden;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty()) {
+            continue;
+        }
+        const auto view = service::parse_verdict(line);
+        if (view.has_value() && view->status == "ok" && !view->id.empty() &&
+            view->has_verdict) {
+            golden[view->id] = *view;
+        }
+    }
+    return golden;
+}
+
+int verify(long expect, const std::string& against_path) {
+    std::map<std::string, service::VerdictView> golden;
+    if (!against_path.empty()) {
+        golden = load_golden(against_path);
+    }
     long total = 0, ok = 0, errors = 0, rejected = 0, protocol = 0;
+    long compared = 0, mismatched = 0;
     std::string line;
     std::size_t line_number = 0;
     while (std::getline(std::cin, line)) {
@@ -235,11 +300,38 @@ int verify(long expect) {
                       << ": unparseable response: " << e.what() << "\n";
             ++protocol;
         }
+        if (!golden.empty()) {
+            // The resilience contract under test: an ok response under chaos
+            // must carry the exact verdict of the chaos-free run.  Errors and
+            // rejections are acceptable outcomes; wrong verdicts never are.
+            const auto view = service::parse_verdict(line);
+            if (view.has_value() && view->status == "ok" &&
+                view->has_verdict) {
+                const auto it = golden.find(view->id);
+                if (it != golden.end()) {
+                    ++compared;
+                    if (it->second.verdict != view->verdict) {
+                        ++mismatched;
+                        std::cerr << "lph_client: line " << line_number
+                                  << ": id " << view->id << " verdict "
+                                  << (view->verdict ? "true" : "false")
+                                  << " but golden run says "
+                                  << (it->second.verdict ? "true" : "false")
+                                  << "\n";
+                    }
+                }
+            }
+        }
     }
     std::cerr << "lph_client: " << total << " responses, " << ok << " ok, "
               << errors << " error, " << rejected << " rejected, " << protocol
-              << " protocol\n";
-    if (protocol > 0) {
+              << " protocol";
+    if (!against_path.empty()) {
+        std::cerr << "; " << compared << " verdicts compared, " << mismatched
+                  << " mismatched";
+    }
+    std::cerr << "\n";
+    if (protocol > 0 || mismatched > 0) {
         return 1;
     }
     if (expect >= 0 && total != expect) {
@@ -250,49 +342,147 @@ int verify(long expect) {
     return 0;
 }
 
-int connect_and_relay(const std::string& target) {
+/// The id token a response to this request line will echo ("" when the
+/// request carries none) — same rendering as the server's parse.
+std::string request_id_token(const std::string& line) {
+    try {
+        const service::JsonValue doc = service::parse_json(line);
+        const service::JsonValue* id = doc.find("id");
+        if (id == nullptr) {
+            return "";
+        }
+        if (id->is_number()) {
+            return id->raw_number;
+        }
+        if (id->is_string()) {
+            return "\"" + obs::json_escape(id->string) + "\"";
+        }
+    } catch (const std::exception&) {
+    }
+    return "";
+}
+
+int connect_and_relay(const std::string& target,
+                      const service::RetryPolicy& policy) {
     const std::size_t colon = target.rfind(':');
     if (colon == std::string::npos) {
         usage_error("--connect expects HOST:PORT");
     }
-    try {
-        service::TcpClient client(target.substr(0, colon),
-                                  static_cast<std::uint16_t>(
-                                      std::stoul(target.substr(colon + 1))));
-        long sent = 0;
-        std::string line;
-        while (std::getline(std::cin, line)) {
-            if (line.empty()) {
+    const std::string host = target.substr(0, colon);
+    const std::uint16_t port =
+        static_cast<std::uint16_t>(std::stoul(target.substr(colon + 1)));
+
+    std::vector<std::string> requests;
+    std::string line;
+    while (std::getline(std::cin, line)) {
+        if (!line.empty()) {
+            requests.push_back(line);
+        }
+    }
+
+    service::RetryStats stats;
+    std::unique_ptr<service::TcpClient> client;
+    bool ever_connected = false;
+    const auto connect = [&]() -> bool {
+        if (client != nullptr) {
+            return true;
+        }
+        try {
+            client = std::make_unique<service::TcpClient>(host, port);
+            if (ever_connected) {
+                ++stats.reconnects;
+            }
+            ever_connected = true;
+            return true;
+        } catch (const std::exception&) {
+            return false;
+        }
+    };
+
+    const int timeout_ms =
+        policy.timeout_ms > 0 ? static_cast<int>(policy.timeout_ms) : 0;
+    long abandoned_requests = 0;
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+        const std::string expected_id = request_id_token(requests[i]);
+        ++stats.sent;
+        bool answered = false;
+        for (int attempt = 1; attempt <= policy.max_retries + 1 && !answered;
+             ++attempt) {
+            if (attempt > 1) {
+                ++stats.retries;
+                const double delay =
+                    service::backoff_delay_ms(policy, i, attempt - 1);
+                std::this_thread::sleep_for(
+                    std::chrono::duration<double, std::milli>(delay));
+            }
+            if (!connect()) {
                 continue;
             }
-            client.send_line(line);
-            ++sent;
-        }
-        for (long i = 0; i < sent; ++i) {
-            std::string response;
-            if (!client.recv_line(response)) {
-                std::cerr << "lph_client: connection closed after " << i
-                          << " of " << sent << " responses\n";
-                return 1;
+            if (client->send_line_status(requests[i]) !=
+                service::TransportStatus::Ok) {
+                client.reset(); // daemon went away mid-send; reconnect
+                continue;
             }
-            std::cout << response << "\n";
+            // Read until our response, the timeout, or the peer vanishing.
+            // A duplicate answer to an earlier replayed request may arrive
+            // first: discard it (first response per id wins — idempotent
+            // replay makes the duplicate identical anyway).
+            for (;;) {
+                std::string response;
+                const service::TransportStatus status =
+                    client->recv_line_status(response, timeout_ms);
+                if (status == service::TransportStatus::TimedOut) {
+                    break; // retry
+                }
+                if (status != service::TransportStatus::Ok) {
+                    client.reset(); // connection torn down; reconnect + retry
+                    break;
+                }
+                const auto view = service::parse_verdict(response);
+                if (!view.has_value()) {
+                    break; // garbled line; resend (chaos on the wire)
+                }
+                if (!expected_id.empty() && view->id != expected_id) {
+                    ++stats.redelivered;
+                    continue;
+                }
+                std::cout << response << "\n";
+                answered = true;
+                break;
+            }
         }
-        return 0;
-    } catch (const std::exception& e) {
-        std::cerr << "lph_client: " << e.what() << "\n";
-        return 1;
+        if (!answered) {
+            ++stats.abandoned;
+            ++abandoned_requests;
+            std::cout << "{"
+                      << (expected_id.empty() ? ""
+                                              : "\"id\":" + expected_id + ",")
+                      << "\"status\":\"error\",\"error\":\"RetriesExhausted\","
+                      << "\"detail\":\"client abandoned the request after "
+                      << policy.max_retries + 1 << " attempts\"}\n";
+        }
     }
+    std::cerr << "{\"event\":\"client_retry_stats\",\"sent\":" << stats.sent
+              << ",\"retries\":" << stats.retries << ",\"redelivered\":"
+              << stats.redelivered << ",\"abandoned\":" << stats.abandoned
+              << ",\"reconnects\":" << stats.reconnects << "}\n";
+    // Abandonment is an availability failure the caller may tolerate;
+    // failing to reach the daemon at all is not.
+    return stats.sent > 0 && abandoned_requests == static_cast<long>(stats.sent)
+               ? 1
+               : 0;
 }
 
 } // namespace
 
 int main(int argc, char** argv) {
     const Options opt = parse_args(argc, argv);
+    service::ignore_sigpipe(); // a dead daemon must not kill the client
     if (opt.generate >= 0) {
         return generate(opt.generate, opt.seed);
     }
     if (opt.verify) {
-        return verify(opt.expect);
+        return verify(opt.expect, opt.against_path);
     }
-    return connect_and_relay(opt.connect);
+    return connect_and_relay(opt.connect, opt.retry);
 }

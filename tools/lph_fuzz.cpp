@@ -24,6 +24,7 @@
 #include "oracle/harness.hpp"
 #include "oracle/repro.hpp"
 #include "oracle/selftest.hpp"
+#include "service/chaos.hpp"
 
 #include <cstdint>
 #include <filesystem>
@@ -189,6 +190,9 @@ void print_smoke_summary(const obs::Session& session, bool healthy) {
 } // namespace
 
 int main(int argc, char** argv) {
+    // The serving library's cross-library checks (service-chaos-vs-direct)
+    // must be in the registry before --check validation and --list.
+    lph::service::register_service_checks();
     const Options opt = parse_args(argc, argv);
     try {
         if (opt.list) {
