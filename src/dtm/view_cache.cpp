@@ -218,6 +218,15 @@ ViewKeyBuilder::ViewKeyBuilder(const LocalMachine& machine, const LabeledGraph& 
             out += ';';
         }
         out += 'E';
+        // Collect edges in canonical-index terms and sort before emitting:
+        // the prefix must not depend on original NodeIds or adjacency-list
+        // order, or isomorphic balls (e.g. rotations of a cycle with
+        // periodic identifiers) would serialize differently and defeat both
+        // cross-instance cache sharing and the compiled core's orbit
+        // sharing.  Interior edges are kept once (smaller canonical index
+        // first); interior-boundary edges order themselves the same way
+        // because boundary nodes sort after all interior nodes.
+        std::vector<std::pair<std::size_t, std::size_t>> edges;
         for (NodeId v : ball) {
             if (dist[v] > radius_ - 1) {
                 continue; // edges among the boundary ring are irrelevant
@@ -226,14 +235,18 @@ ViewKeyBuilder::ViewKeyBuilder(const LocalMachine& machine, const LabeledGraph& 
                 if (canonical[w] == static_cast<std::size_t>(-1)) {
                     continue; // captured by v's degree
                 }
-                if (dist[w] <= radius_ - 1 && w < v) {
+                if (dist[w] <= radius_ - 1 && canonical[w] < canonical[v]) {
                     continue; // emit interior edges once
                 }
-                out += std::to_string(canonical[v]);
-                out += '-';
-                out += std::to_string(canonical[w]);
-                out += ',';
+                edges.emplace_back(canonical[v], canonical[w]);
             }
+        }
+        std::sort(edges.begin(), edges.end());
+        for (const auto& [a, b] : edges) {
+            out += std::to_string(a);
+            out += '-';
+            out += std::to_string(b);
+            out += ',';
         }
         out += '#';
     }

@@ -141,6 +141,23 @@ public:
     void key_for(NodeId u, const CertificateListAssignment& certs,
                  std::string& out) const;
 
+    /// The static (certificate-independent) part of u's key: the canonical
+    /// serialization of u's rooted attributed ball.  Two nodes with equal
+    /// prefixes have isomorphic balls, so their verdicts are the same
+    /// function of the certificates at their (positionally corresponding)
+    /// cert members — the property the compiled game core's class sharing
+    /// rests on.
+    const std::string& static_prefix(NodeId u) const {
+        return nodes_.at(u).static_prefix;
+    }
+
+    /// The nodes whose certificates u's verdict can depend on (distance
+    /// <= radius()-1 from u), in the canonical (distance, id, NodeId) order
+    /// key_for serializes them in.
+    const std::vector<NodeId>& cert_members(NodeId u) const {
+        return nodes_.at(u).cert_members;
+    }
+
 private:
     struct NodeKey {
         std::string static_prefix;

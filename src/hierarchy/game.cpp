@@ -3,13 +3,17 @@
 #include "core/check.hpp"
 #include "core/thread_pool.hpp"
 #include "dtm/view_cache.hpp"
+#include "hierarchy/compiled.hpp"
 #include "obs/session.hpp"
 #include "obs/trace.hpp"
 
 #include <algorithm>
 #include <atomic>
+#include <bit>
 #include <chrono>
 #include <limits>
+#include <mutex>
+#include <sstream>
 
 namespace lph {
 
@@ -30,6 +34,10 @@ constexpr std::uint64_t kSaturated = std::numeric_limits<std::uint64_t>::max();
 constexpr std::uint64_t kNoTerminal = std::numeric_limits<std::uint64_t>::max();
 constexpr std::size_t kMaxRecordedFaults = 64;
 constexpr std::uint64_t kChunksPerWorker = 8;
+/// Cap on the packed low-block width (leaves per pattern rebuild).  A single
+/// node whose option list alone exceeds this also blows the per-class compile
+/// budget, so nothing real is lost by falling back wholesale.
+constexpr std::uint64_t kMaxBlockLeaves = std::uint64_t{1} << 16;
 
 std::uint64_t saturating_mul(std::uint64_t a, std::uint64_t b) {
     if (a == 0 || b == 0) {
@@ -46,8 +54,74 @@ double elapsed_ms(Clock::time_point start) {
 
 } // namespace
 
+/// Lazily-built compiled core, cached on the tables so a whole batch flavor
+/// pays one compilation.  Lives behind a shared_ptr so GameTables stays
+/// movable (std::mutex is not).
+struct GameTables::CompiledSlot {
+    std::mutex mutex;
+    bool attempted = false;
+    std::string signature;
+    std::unique_ptr<CompiledGameCore> core;
+};
+
+namespace {
+
+/// The execution-option fields a compiled table's entries depend on (plus
+/// the machine identity and the compilability gates).  on_violation is
+/// deliberately absent: tables only ever hold clean runs, where the
+/// violation policy never fires.
+std::string compile_signature(const GameSpec& spec, const ExecutionOptions& exec,
+                              double max_cost_ratio) {
+    std::ostringstream sig;
+    sig << static_cast<const void*>(spec.machine) << '|' << exec.max_rounds
+        << '|' << exec.max_steps_per_round << '|'
+        << exec.enforce_declared_bounds << '|' << exec.max_space_per_node
+        << '|' << exec.validate_certificates << '|' << (exec.faults != nullptr)
+        << '|' << (exec.deadline_ms > 0) << '|'
+        << (exec.max_total_message_bytes > 0) << '|' << max_cost_ratio;
+    return sig.str();
+}
+
+} // namespace
+
+const CompiledGameCore* GameTables::compiled(const GameSpec& spec,
+                                             const LabeledGraph& g,
+                                             const IdentifierAssignment& id,
+                                             const ExecutionOptions& exec,
+                                             double* built_now_ms,
+                                             double max_cost_ratio) const {
+    if (built_now_ms != nullptr) {
+        *built_now_ms = 0;
+    }
+    const std::string signature = compile_signature(spec, exec, max_cost_ratio);
+    const std::lock_guard<std::mutex> lock(slot_->mutex);
+    if (slot_->attempted && slot_->signature == signature) {
+        return slot_->core.get();
+    }
+    CompiledLimits limits;
+    limits.max_cost_ratio = max_cost_ratio;
+    auto fresh = CompiledGameCore::compile(spec, *this, g, id, exec, limits);
+    if (fresh != nullptr) {
+        if (built_now_ms != nullptr) {
+            *built_now_ms = fresh->compile_ms();
+        }
+        slot_->core = std::move(fresh);
+        slot_->signature = signature;
+        slot_->attempted = true;
+        return slot_->core.get();
+    }
+    // Keep an existing core built under a different signature: a deadline'd
+    // request in the middle of a batch must not evict the batch's tables.
+    if (!slot_->attempted) {
+        slot_->signature = signature;
+        slot_->attempted = true;
+    }
+    return nullptr;
+}
+
 GameTables::GameTables(const GameSpec& spec, const LabeledGraph& g,
-                       const IdentifierAssignment& id) {
+                       const IdentifierAssignment& id)
+    : slot_(std::make_shared<CompiledSlot>()) {
     for (const CertificateDomain* domain : spec.layers) {
         std::vector<std::vector<BitString>> table(g.num_nodes());
         for (NodeId u = 0; u < g.num_nodes(); ++u) {
@@ -102,16 +176,34 @@ struct ChunkOutcome {
     double busy_ms = 0;
 };
 
+/// Per-worker state of the packed (compiled-backend) deepest-layer scan:
+/// for every node, the configuration contribution of all digits outside the
+/// low block ("base") and the node's known/accept pattern words over the low
+/// block.  Patterns are rebuilt lazily: a digit change dirties exactly the
+/// nodes whose cert ball contains the changed position (the compiled core's
+/// affected lists), so most patterns survive across blocks and across inner
+/// scans.
+struct PackedState {
+    bool ready = false;
+    std::vector<std::uint64_t> base;    ///< per node
+    std::vector<std::uint64_t> known;   ///< node * words + w
+    std::vector<std::uint64_t> accept;  ///< node * words + w
+    std::vector<std::uint8_t> dirty;    ///< per node
+    std::vector<std::size_t> low_digits; ///< odometer scratch
+};
+
 /// Everything one worker mutates while walking its share of the game tree.
 struct WorkerContext {
     std::vector<CertificateAssignment> chosen;
     std::vector<std::vector<std::size_t>> idx;
     Tally tally;
     std::string key_scratch;
+    PackedState packed;
     // Perf counters (accumulated across this worker's chunks).
     std::uint64_t leaves_processed = 0;
     std::uint64_t local_runs = 0;
     std::uint64_t leaf_cache_hits = 0;
+    std::uint64_t packed_words = 0;
 
     void ensure(std::size_t layers, std::size_t n) {
         if (chosen.size() != layers) {
@@ -135,7 +227,24 @@ public:
             check(tables.layer_product(i) <= options.max_assignments_per_layer,
                   "play_game: layer assignment space exceeds the guard");
         }
-        if (options.memoize_views) {
+        if (options.backend == GameBackend::Compiled && tables.layers() > 0) {
+            // Table entries are clean completed ball runs — timing-independent
+            // facts — so compile without the wall-clock deadline: it still
+            // guards every fallback leaf through options.exec, and stripping
+            // it here both keeps the tables deterministic and lets deadline'd
+            // service requests share the batch's compiled core.
+            ExecutionOptions compile_exec = options.exec;
+            compile_exec.deadline_ms = 0;
+            compiled_ = tables.compiled(spec, g, id, compile_exec,
+                                        &compile_ms_paid_,
+                                        options.compile_cost_ratio);
+        }
+        if (compiled_ != nullptr) {
+            setup_packing();
+        }
+        // The compiled tables replace the view cache (both serve the same
+        // per-view verdicts); fallback leaves run the plain interpreter.
+        if (compiled_ == nullptr && options.memoize_views) {
             keys_ = std::make_unique<ViewKeyBuilder>(*spec.machine, g, id,
                                                      options.exec);
             if (!keys_->cacheable()) {
@@ -164,6 +273,11 @@ public:
         }
 
         result.stats.wall_ms = elapsed_ms(start);
+        result.stats.compile_ms = compile_ms_paid_;
+        if (compiled_ != nullptr) {
+            result.stats.orbit_hits = compiled_->orbit_hits();
+            result.stats.compiled_classes = compiled_->classes().size();
+        }
         if (cache_ != nullptr) {
             const ViewCacheStats after = cache_->stats();
             result.stats.node_cache_hits = after.hits - cache_before.hits;
@@ -190,6 +304,9 @@ private:
             const std::uint64_t size = table[u].size();
             const std::size_t digit = static_cast<std::size_t>(linear % size);
             linear /= size;
+            if (ctx.idx[layer][u] != digit) {
+                mark_affected(u, ctx);
+            }
             ctx.idx[layer][u] = digit;
             ctx.chosen[layer].set(u, table[u][digit]);
         }
@@ -201,6 +318,7 @@ private:
         const auto& table = tables_.layer(layer);
         std::vector<std::size_t>& idx = ctx.idx[layer];
         for (std::size_t pos = 0; pos < idx.size(); ++pos) {
+            mark_affected(static_cast<NodeId>(pos), ctx);
             if (++idx[pos] < table[pos].size()) {
                 ctx.chosen[layer].set(pos, table[pos][idx[pos]]);
                 return true;
@@ -209,6 +327,295 @@ private:
             ctx.chosen[layer].set(pos, table[pos][0]);
         }
         return false;
+    }
+
+    // --- Packed evaluation over the compiled decision tables. -------------
+    //
+    // The deepest layer D is scanned 64 leaves per word: its fastest-running
+    // digits — the nodes [0, low_count_) — form a "low block" of block_
+    // consecutive assignments, and every node keeps a bitset pattern (one
+    // known bit + one accept bit per block offset) derived from its class
+    // table.  ANDing the per-node pattern words answers 64 leaves at once;
+    // Unknown bits fall back to the interpreted per-leaf run, which keeps the
+    // deterministic counters and fault records bit-identical to the scalar
+    // engine.  Patterns depend only on the digits *outside* the low block
+    // (folded into a per-node base index), so they survive across blocks and
+    // are rebuilt only for nodes whose cert ball saw a digit change.
+
+    /// Chooses the low block for the deepest layer and precomputes each
+    /// node's per-low-digit strides.  Disables the compiled core when a
+    /// single node's options exceed the block cap.
+    void setup_packing() {
+        deepest_ = tables_.layers() - 1;
+        const auto& table = tables_.layer(deepest_);
+        const std::size_t n = g_.num_nodes();
+        block_ = 1;
+        low_count_ = 0;
+        while (low_count_ < n && block_ < 64) {
+            block_ *= table[low_count_].size();
+            ++low_count_;
+        }
+        if (block_ > kMaxBlockLeaves) {
+            compiled_ = nullptr;
+            compile_ms_paid_ = 0;
+            return;
+        }
+        words_ = static_cast<std::size_t>((block_ + 63) / 64);
+        const std::size_t layers = tables_.layers();
+        low_strides_.assign(n * low_count_, 0);
+        has_low_.assign(n, 0);
+        for (NodeId u = 0; u < n; ++u) {
+            const auto& node = compiled_->nodes()[u];
+            const auto& cls = compiled_->classes()[node.cls];
+            for (std::size_t j = 0; j < node.members.size(); ++j) {
+                const NodeId m = node.members[j];
+                if (m < low_count_) {
+                    low_strides_[u * low_count_ + m] =
+                        cls.strides[j * layers + deepest_];
+                    has_low_[u] = 1;
+                }
+            }
+        }
+    }
+
+    /// Marks every node whose table configuration depends on v's digits as
+    /// needing a base + pattern rebuild.  No-op until the worker's packed
+    /// state exists (initialization computes everything anyway).
+    void mark_affected(NodeId v, WorkerContext& ctx) const {
+        if (compiled_ == nullptr || !ctx.packed.ready) {
+            return;
+        }
+        for (const NodeId u : compiled_->affected()[v]) {
+            ctx.packed.dirty[u] = 1;
+        }
+    }
+
+    void ensure_packed(WorkerContext& ctx) const {
+        PackedState& ps = ctx.packed;
+        if (ps.ready) {
+            return;
+        }
+        const std::size_t n = g_.num_nodes();
+        ps.base.assign(n, 0);
+        ps.known.assign(n * words_, 0);
+        ps.accept.assign(n * words_, 0);
+        ps.dirty.assign(n, 1);
+        ps.low_digits.assign(low_count_, 0);
+        ps.ready = true;
+    }
+
+    /// u's configuration index with all low-block digits at zero: the sum of
+    /// every other (member, layer) digit times its stride.
+    std::uint64_t base_for(NodeId u, const WorkerContext& ctx) const {
+        const auto& node = compiled_->nodes()[u];
+        const auto& cls = compiled_->classes()[node.cls];
+        const std::size_t layers = tables_.layers();
+        std::uint64_t base = 0;
+        for (std::size_t j = 0; j < node.members.size(); ++j) {
+            const NodeId m = node.members[j];
+            for (std::size_t l = 0; l < layers; ++l) {
+                if (l == deepest_ && m < low_count_) {
+                    continue;
+                }
+                base += static_cast<std::uint64_t>(ctx.idx[l][m]) *
+                        cls.strides[j * layers + l];
+            }
+        }
+        return base;
+    }
+
+    /// Recomputes u's known/accept pattern words over the low block from its
+    /// class table, walking the block offsets with an incremental odometer
+    /// over the low digits (configuration updated by stride deltas).
+    void rebuild_pattern(NodeId u, WorkerContext& ctx) const {
+        PackedState& ps = ctx.packed;
+        std::uint64_t* known = ps.known.data() + u * words_;
+        std::uint64_t* accept = ps.accept.data() + u * words_;
+        const std::uint32_t cls = compiled_->nodes()[u].cls;
+        if (!has_low_[u]) {
+            // No cert member inside the low block: one entry answers the
+            // whole block.
+            bool acc = false;
+            const bool k = compiled_->entry(cls, ps.base[u], acc);
+            std::fill(known, known + words_, k ? ~std::uint64_t{0} : 0);
+            std::fill(accept, accept + words_, k && acc ? ~std::uint64_t{0} : 0);
+            return;
+        }
+        const std::uint64_t* strides = low_strides_.data() + u * low_count_;
+        const auto& table = tables_.layer(deepest_);
+        std::fill(known, known + words_, 0);
+        std::fill(accept, accept + words_, 0);
+        std::fill(ps.low_digits.begin(), ps.low_digits.end(), 0);
+        std::uint64_t config = ps.base[u];
+        for (std::uint64_t o = 0;; ++o) {
+            bool acc = false;
+            if (compiled_->entry(cls, config, acc)) {
+                known[o >> 6] |= std::uint64_t{1} << (o & 63);
+                if (acc) {
+                    accept[o >> 6] |= std::uint64_t{1} << (o & 63);
+                }
+            }
+            if (o + 1 == block_) {
+                break;
+            }
+            for (std::size_t v = 0;; ++v) {
+                if (++ps.low_digits[v] < table[v].size()) {
+                    config += strides[v];
+                    break;
+                }
+                config -= static_cast<std::uint64_t>(ps.low_digits[v] - 1) *
+                          strides[v];
+                ps.low_digits[v] = 0;
+            }
+        }
+    }
+
+    /// Seeds the deepest layer's digits to the decomposition of `linear`,
+    /// dirtying the cert balls of changed *high* digits (low digits are
+    /// ranged over by the patterns, so changes there are free).
+    void seed_packed_digits(std::uint64_t linear, WorkerContext& ctx) const {
+        const auto& table = tables_.layer(deepest_);
+        for (NodeId u = 0; u < g_.num_nodes(); ++u) {
+            const std::uint64_t size = table[u].size();
+            const std::size_t digit = static_cast<std::size_t>(linear % size);
+            linear /= size;
+            if (u >= low_count_ && ctx.idx[deepest_][u] != digit) {
+                mark_affected(u, ctx);
+            }
+            ctx.idx[deepest_][u] = digit;
+        }
+    }
+
+    /// Advances the deepest layer's odometer by one whole block (the caller
+    /// guarantees no full wrap).
+    void advance_high(WorkerContext& ctx) const {
+        const auto& table = tables_.layer(deepest_);
+        std::vector<std::size_t>& idx = ctx.idx[deepest_];
+        for (std::size_t pos = low_count_; pos < idx.size(); ++pos) {
+            mark_affected(static_cast<NodeId>(pos), ctx);
+            if (++idx[pos] < table[pos].size()) {
+                return;
+            }
+            idx[pos] = 0;
+        }
+    }
+
+    /// Materializes the full certificate assignment of one packed leaf (low
+    /// digits from the block offset, high digits already current) and runs
+    /// the interpreted evaluator on it.
+    bool materialize_packed_leaf(std::uint64_t offset, WorkerContext& ctx) {
+        const auto& table = tables_.layer(deepest_);
+        for (NodeId u = 0; u < low_count_; ++u) {
+            const std::uint64_t size = table[u].size();
+            ctx.idx[deepest_][u] = static_cast<std::size_t>(offset % size);
+            offset /= size;
+        }
+        for (NodeId u = 0; u < g_.num_nodes(); ++u) {
+            ctx.chosen[deepest_].set(u, table[u][ctx.idx[deepest_][u]]);
+        }
+        return evaluate_leaf(ctx);
+    }
+
+    /// Scans deepest-layer assignments [begin, end) in order for the first
+    /// one whose leaf value equals `want`, 64 leaves per pattern word.
+    /// Returns its index, or kNoTerminal when the range is exhausted (or,
+    /// for outer scans, when a smaller terminal was already published).
+    /// Counters are bit-identical to the scalar scan: table-served leaves
+    /// count as leaf cache hits, Unknown leaves run the interpreter (and are
+    /// the only source of faults — table entries hold clean runs only).  On
+    /// a fallback throw, `*thrown_index` holds the leaf being evaluated.
+    std::uint64_t packed_scan(std::uint64_t begin, std::uint64_t end, bool want,
+                              bool outer, WorkerContext& ctx,
+                              std::uint64_t* thrown_index) {
+        ensure_packed(ctx);
+        seed_packed_digits(begin, ctx);
+        PackedState& ps = ctx.packed;
+        const std::size_t n = g_.num_nodes();
+        std::uint64_t block_first = begin - begin % block_;
+        while (block_first < end) {
+            const std::uint64_t bit_lo =
+                begin > block_first ? begin - block_first : 0;
+            const std::uint64_t bit_hi =
+                std::min<std::uint64_t>(block_, end - block_first);
+            if (thrown_index != nullptr) {
+                *thrown_index = block_first + bit_lo;
+            }
+            if (outer && block_first + bit_lo >
+                             min_terminal_.load(std::memory_order_relaxed)) {
+                return kNoTerminal;
+            }
+            for (NodeId u = 0; u < n; ++u) {
+                if (ps.dirty[u]) {
+                    ps.base[u] = base_for(u, ctx);
+                    rebuild_pattern(u, ctx);
+                    ps.dirty[u] = 0;
+                }
+            }
+            for (std::uint64_t w = bit_lo >> 6; (w << 6) < bit_hi; ++w) {
+                const std::uint64_t word_base = w << 6;
+                const unsigned lo_bit = static_cast<unsigned>(
+                    bit_lo > word_base ? bit_lo - word_base : 0);
+                const unsigned hi_bit = static_cast<unsigned>(
+                    std::min<std::uint64_t>(64, bit_hi - word_base));
+                std::uint64_t mask = hi_bit == 64
+                                         ? ~std::uint64_t{0}
+                                         : (std::uint64_t{1} << hi_bit) - 1;
+                mask &= ~((std::uint64_t{1} << lo_bit) - 1);
+
+                std::uint64_t kword = ~std::uint64_t{0};
+                std::uint64_t aword = ~std::uint64_t{0};
+                for (NodeId u = 0; u < n; ++u) {
+                    kword &= ps.known[u * words_ + w];
+                    aword &= ps.accept[u * words_ + w];
+                }
+                ctx.packed_words += n;
+
+                if ((kword & mask) == mask) {
+                    // Every leaf in range is table-decided: one AND answers
+                    // them all.  A leaf accepts iff every node accepts.
+                    const std::uint64_t match = (want ? aword : ~aword) & mask;
+                    if (match != 0) {
+                        const unsigned pos =
+                            static_cast<unsigned>(std::countr_zero(match));
+                        const std::uint64_t probed = pos - lo_bit + 1;
+                        ctx.tally.machine_runs += probed;
+                        ctx.leaves_processed += probed;
+                        ctx.leaf_cache_hits += probed;
+                        return block_first + word_base + pos;
+                    }
+                    const std::uint64_t probed = hi_bit - lo_bit;
+                    ctx.tally.machine_runs += probed;
+                    ctx.leaves_processed += probed;
+                    ctx.leaf_cache_hits += probed;
+                    continue;
+                }
+                // Mixed word: walk bits in order, falling back to the
+                // interpreter on Unknown entries.
+                for (unsigned b = lo_bit; b < hi_bit; ++b) {
+                    const std::uint64_t a = block_first + word_base + b;
+                    if ((kword >> b) & 1) {
+                        ++ctx.tally.machine_runs;
+                        ++ctx.leaves_processed;
+                        ++ctx.leaf_cache_hits;
+                        if ((((aword >> b) & 1) != 0) == want) {
+                            return a;
+                        }
+                        continue;
+                    }
+                    if (thrown_index != nullptr) {
+                        *thrown_index = a;
+                    }
+                    if (materialize_packed_leaf(a - block_first, ctx) == want) {
+                        return a;
+                    }
+                }
+            }
+            block_first += block_;
+            if (block_first < end) {
+                advance_high(ctx);
+            }
+        }
+        return kNoTerminal;
     }
 
     // --- Leaf evaluation with locality-aware memoization. -----------------
@@ -286,6 +693,12 @@ private:
             return evaluate_leaf(ctx);
         }
         const bool want = existential(layer);
+        if (compiled_ != nullptr && layer == deepest_) {
+            const std::uint64_t found = packed_scan(
+                0, tables_.layer_product(layer), want, /*outer=*/false, ctx,
+                /*thrown_index=*/nullptr);
+            return found != kNoTerminal ? want : !want;
+        }
         seed_layer(layer, 0, ctx);
         while (true) {
             if (inner_value(layer + 1, ctx) == want) {
@@ -312,6 +725,28 @@ private:
         const Clock::time_point start = Clock::now();
         ctx.ensure(spec_.layers.size(), g_.num_nodes());
         ctx.tally = Tally{};
+        if (compiled_ != nullptr && spec_.layers.size() == 1) {
+            // Single-layer game: the outer layer IS the packed layer, so the
+            // chunk is one packed range scan.
+            std::uint64_t threw_at = out.begin;
+            try {
+                const std::uint64_t found =
+                    packed_scan(out.begin, out.end, want_outer_,
+                                /*outer=*/true, ctx, &threw_at);
+                if (found != kNoTerminal) {
+                    out.terminal = found;
+                    publish_terminal(found);
+                }
+            } catch (...) {
+                out.terminal = threw_at;
+                out.error = std::current_exception();
+                publish_terminal(threw_at);
+            }
+            out.tally = std::move(ctx.tally);
+            ctx.tally = Tally{};
+            out.busy_ms = elapsed_ms(start);
+            return;
+        }
         bool seeded = false;
         for (std::uint64_t a = out.begin; a < out.end; ++a) {
             if (a > min_terminal_.load(std::memory_order_relaxed)) {
@@ -505,8 +940,14 @@ private:
                 {"chunks", static_cast<double>(stats.chunks)},
                 {"wall_ms", stats.wall_ms},
                 {"busy_ms", stats.busy_ms},
+                {"compile_ms", stats.compile_ms},
+                {"orbit_hits", static_cast<double>(stats.orbit_hits)},
+                {"packed_words_evaluated",
+                 static_cast<double>(stats.packed_words_evaluated)},
             });
         metrics.set("game.workers", static_cast<double>(stats.workers));
+        metrics.set("game.compiled_classes",
+                    static_cast<double>(stats.compiled_classes));
         if (pool_used_ != nullptr) {
             // Shared-pool lifetime totals (jobs/tasks/steals), so the gauges
             // reflect the pool's state as of the latest solve.
@@ -520,6 +961,7 @@ private:
             result.stats.leaves_processed += ctx->leaves_processed;
             result.stats.local_runs += ctx->local_runs;
             result.stats.leaf_cache_hits += ctx->leaf_cache_hits;
+            result.stats.packed_words_evaluated += ctx->packed_words;
         }
     }
 
@@ -533,6 +975,18 @@ private:
     std::unique_ptr<ViewCache> owned_cache_;
     ViewCache* cache_ = nullptr;
     ThreadPool* pool_used_ = nullptr;
+
+    // Compiled-backend state (null / empty on the interpreted path).
+    const CompiledGameCore* compiled_ = nullptr;
+    double compile_ms_paid_ = 0;
+    std::size_t deepest_ = 0;   ///< the packed layer (layers - 1)
+    std::size_t low_count_ = 0; ///< nodes forming the low block
+    std::uint64_t block_ = 1;   ///< leaves per block (>= 64 unless tiny)
+    std::size_t words_ = 0;     ///< 64-bit words per pattern
+    /// low_strides_[u * low_count_ + v]: stride of digit (v, deepest) in u's
+    /// class table, or 0 when v is not one of u's cert members.
+    std::vector<std::uint64_t> low_strides_;
+    std::vector<std::uint8_t> has_low_;
 
     bool want_outer_ = true;
     std::vector<ChunkOutcome> outcomes_;
@@ -555,6 +1009,10 @@ obs::MetricList GameStats::to_metrics() const {
         {"worker_utilization", worker_utilization()},
         {"busy_ms", busy_ms},
         {"chunks", static_cast<double>(chunks)},
+        {"compile_ms", compile_ms},
+        {"orbit_hits", static_cast<double>(orbit_hits)},
+        {"compiled_classes", static_cast<double>(compiled_classes)},
+        {"packed_words_evaluated", static_cast<double>(packed_words_evaluated)},
     };
 }
 

@@ -9,6 +9,8 @@
 namespace lph {
 
 class ViewCache;
+class CompiledGameCore;
+struct CompiledLimits;
 
 namespace obs {
 class Session;
@@ -86,8 +88,38 @@ public:
     /// Number of leaf evaluations an exhaustive game would need (saturating).
     std::uint64_t tree_size() const;
 
+    /// The compiled decision-table core for this context, built on first use
+    /// and cached on the tables (the per-batch-flavor home: BatchContext
+    /// shares one GameTables across a micro-batch, so the whole batch pays
+    /// one compilation).  Returns nullptr when the context is not compilable
+    /// (see CompiledGameCore::compile).  A later call with execution options
+    /// whose verdict-relevant fields differ recompiles; when `built_now_ms`
+    /// is non-null it receives the compile time this call paid (0 on reuse).
+    /// `max_cost_ratio` is the profitability gate
+    /// (CompiledLimits::max_cost_ratio; 0 = always compile).  Thread-safe.
+    const CompiledGameCore* compiled(const GameSpec& spec, const LabeledGraph& g,
+                                     const IdentifierAssignment& id,
+                                     const ExecutionOptions& exec,
+                                     double* built_now_ms = nullptr,
+                                     double max_cost_ratio = 0) const;
+
 private:
+    struct CompiledSlot; // defined in game.cpp (holds the slot mutex)
+
     std::vector<std::vector<std::vector<BitString>>> tables_;
+    std::shared_ptr<CompiledSlot> slot_;
+};
+
+/// Which leaf-evaluation core play_game uses.
+enum class GameBackend {
+    /// Per-leaf whole-graph machine interpretation (with the view cache).
+    Interpreted,
+    /// Compiled per-view decision tables with 64-wide packed evaluation and
+    /// orbit sharing; falls back to Interpreted automatically when the
+    /// context is not compilable (fault plans, deadlines, byte caps,
+    /// non-locally-unique ids, leaf-only games).  Both backends produce
+    /// bit-identical GameResults apart from stats.
+    Compiled,
 };
 
 struct GameOptions {
@@ -121,6 +153,22 @@ struct GameOptions {
     ViewCache* view_cache = nullptr;
     std::size_t view_cache_entries = 1 << 20;
 
+    /// Leaf-evaluation core.  Compiled replaces the per-leaf interpreter
+    /// (and the view cache) with flat decision tables evaluated 64 leaves
+    /// per word; results stay bit-identical either way.  Interpreted is the
+    /// default so existing engine-level callers keep their exact perf-stat
+    /// profile; the serving layer and the benches opt into Compiled.
+    GameBackend backend = GameBackend::Interpreted;
+
+    /// Compilation profitability gate (CompiledLimits::max_cost_ratio):
+    /// with a positive ratio, the Compiled backend declines to build tables
+    /// whose up-front ball runs exceed ratio x the exhaustive leaf space and
+    /// falls back to Interpreted.  0 always compiles — the oracle and the
+    /// benches want the compiled path exercised regardless of payoff; the
+    /// serving layer gates at 1.0 so tiny one-shot requests keep the
+    /// interpreter's short-circuit exits.
+    double compile_cost_ratio = 0;
+
     /// Optional observability session: when set, the solve accumulates its
     /// GameStats into the session's MetricsRegistry under the `game.` naming
     /// scheme (DESIGN.md Observability).  Span tracing is independent of
@@ -143,6 +191,14 @@ struct GameStats {
     double busy_ms = 0;     ///< summed per-worker processing time
     unsigned workers = 1;   ///< participants in the fan-out
     std::uint64_t chunks = 1;
+
+    // Compiled-backend counters (all zero on the interpreted path).
+    double compile_ms = 0;  ///< table compilation paid by THIS solve (0 on reuse)
+    std::uint64_t orbit_hits = 0; ///< nodes served by another node's class table
+    std::uint64_t compiled_classes = 0;
+    /// 64-leaf pattern words ANDed during packed evaluation (per node, per
+    /// word — the packed path's unit of work).
+    std::uint64_t packed_words_evaluated = 0;
 
     double leaves_per_sec() const {
         return wall_ms > 0 ? 1000.0 * static_cast<double>(leaves_processed) / wall_ms

@@ -6,6 +6,7 @@
 #include "graphalg/coloring.hpp"
 #include "graphalg/eulerian.hpp"
 #include "graphalg/hamiltonian.hpp"
+#include "hierarchy/compiled.hpp"
 #include "hierarchy/game.hpp"
 #include "logic/eval.hpp"
 #include "machines/deciders.hpp"
@@ -290,6 +291,44 @@ std::optional<std::string> compare_game_cache_vs_nocache(const ReproCase& r) {
     return std::nullopt;
 }
 
+std::optional<std::string>
+compare_game_compiled_vs_interpreted(const ReproCase& r) {
+    const BuiltGame built = build_game(r);
+    const IdentifierAssignment id = ids_of(r, *built.machine);
+    GameOptions interpreted;
+    interpreted.threads = 4;
+    interpreted.memoize_views = true;
+    interpreted.tolerate_faults = built.tolerate;
+    interpreted.backend = GameBackend::Interpreted;
+    GameOptions compiled = interpreted;
+    compiled.backend = GameBackend::Compiled;
+    const GameOutcome itp = run_engine(built.spec, r.graph, id, interpreted);
+    const GameOutcome cmp = run_engine(built.spec, r.graph, id, compiled);
+    if (auto diff = diff_outcome("compiled(threads=4)", cmp, "interpreted", itp)) {
+        return diff;
+    }
+    // The sequential packed path (one chunk, no published terminals) must
+    // agree too.
+    GameOptions compiled_seq = compiled;
+    compiled_seq.threads = 1;
+    const GameOutcome seq = run_engine(built.spec, r.graph, id, compiled_seq);
+    if (auto diff = diff_outcome("compiled(threads=1)", seq, "interpreted", itp)) {
+        return diff;
+    }
+    // When the context compiles, the orbit-multiplied game_tree_size must
+    // equal the interpreted per-node product bit for bit.
+    const GameTables tables(built.spec, r.graph, id);
+    if (const CompiledGameCore* core =
+            tables.compiled(built.spec, r.graph, id, ExecutionOptions{})) {
+        if (core->tree_size() != tables.tree_size()) {
+            return "compiled tree_size=" + std::to_string(core->tree_size()) +
+                   " but interpreted tree_size=" +
+                   std::to_string(tables.tree_size());
+        }
+    }
+    return std::nullopt;
+}
+
 std::vector<std::map<std::string, std::string>>
 game_param_shrinks(const std::map<std::string, std::string>& params) {
     std::vector<std::map<std::string, std::string>> candidates;
@@ -527,6 +566,8 @@ std::vector<RegisteredCheck>& registry_locked() {
          game_param_shrinks},
         {"game-cache-vs-nocache", generate_game_case,
          compare_game_cache_vs_nocache, game_param_shrinks},
+        {"game-compiled-vs-interpreted", generate_game_case,
+         compare_game_compiled_vs_interpreted, game_param_shrinks},
         {"logic-eval-vs-expansion", generate_logic_case, compare_logic, nullptr},
         {"eulerian-vs-bruteforce", generate_eulerian_case, compare_eulerian,
          nullptr},

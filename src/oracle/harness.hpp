@@ -45,6 +45,10 @@ struct CheckReport {
 ///                              single-threaded uncached reference
 ///   game-cache-vs-nocache      view cache on vs off, plus a reused shared
 ///                              cache and its verdict-mismatch counter
+///   game-compiled-vs-interpreted
+///                              compiled decision-table backend (packed
+///                              evaluation + orbit sharing) vs interpreted,
+///                              including game_tree_size bit-equality
 ///   logic-eval-vs-expansion    evaluate() vs quantifier-expansion reference
 ///   eulerian-vs-bruteforce     degree/component test + Hierholzer vs
 ///                              brute-force trail search

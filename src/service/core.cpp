@@ -369,6 +369,15 @@ std::string ServiceCore::execute(const Request& request, BatchContext& ctx,
         GameOptions opt;
         opt.threads = 1; // the service parallelizes across requests
         opt.tolerate_faults = request.tolerate_faults;
+        opt.backend = request.backend == "interpreted"
+                          ? GameBackend::Interpreted
+                          : GameBackend::Compiled;
+        // Compile only when the tables can pay for themselves within one
+        // exhaustive solve: a serving mix of small one-shot graphs would
+        // otherwise trade the interpreter's short-circuit exits for
+        // compilation it never amortizes.
+        opt.compile_cost_ratio = 1.0;
+        opt.obs = options_.obs;
         opt.exec.deadline_ms = deadline_ms;
         FaultPlan plan;
         if (request.wants_fault_plan()) {

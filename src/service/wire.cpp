@@ -76,7 +76,8 @@ std::string Request::memo_key() const {
             << '|' << tolerate_faults << '|' << fault_seed << '|'
             << render_double(fault_crash) << '|' << render_double(fault_drop)
             << '|' << render_double(fault_truncate) << '|'
-            << render_double(fault_corrupt) << '|' << graph_digest();
+            << render_double(fault_corrupt) << '|' << backend << '|'
+            << graph_digest();
         break;
     case RequestType::Logic:
         key << "logic|" << formula << '|' << fseed << '|' << graph_digest();
@@ -126,6 +127,9 @@ std::string Request::to_json() const {
         }
         if (fault_corrupt > 0) {
             out << ",\"fault_corrupt\":" << render_double(fault_corrupt);
+        }
+        if (backend != "compiled") {
+            out << ",\"backend\":\"" << json_escape(backend) << "\"";
         }
         break;
     case RequestType::Logic:
@@ -250,6 +254,12 @@ Request parse_request(const std::string& line, std::size_t line_number,
                 } else if (key == "fault_corrupt") {
                     r.fault_corrupt =
                         parse_probability(value, "\"fault_corrupt\"");
+                } else if (key == "backend") {
+                    check(value.is_string() && (value.string == "compiled" ||
+                                                value.string == "interpreted"),
+                          "\"backend\" must be \"compiled\" or "
+                          "\"interpreted\"");
+                    r.backend = value.string;
                 } else {
                     known = false;
                 }

@@ -41,8 +41,11 @@ const char* to_string(RequestType type);
 /// Common optional fields: "id" (echoed back verbatim; number or string) and
 /// "deadline_ms" (propagated into the engine's wall-clock deadline guard).
 /// Game extras: "tolerate_faults", "fault_seed"/"fault_crash"/"fault_drop"/
-/// "fault_truncate"/"fault_corrupt" (a deterministic FaultPlan).  Unknown
-/// fields are protocol errors — strict by design.
+/// "fault_truncate"/"fault_corrupt" (a deterministic FaultPlan), and
+/// "backend" ("compiled", the default, or "interpreted" — which
+/// leaf-evaluation core the game engine uses; results are bit-identical, so
+/// the choice only matters for performance comparisons).  Unknown fields are
+/// protocol errors — strict by design.
 struct Request {
     RequestType type = RequestType::Health;
     std::string id;          ///< client correlation id, "" when absent
@@ -59,6 +62,11 @@ struct Request {
     double fault_drop = 0;
     double fault_truncate = 0;
     double fault_corrupt = 0;
+    /// Leaf-evaluation core: "compiled" | "interpreted".  Part of the memo
+    /// key — the two backends return identical verdicts but differently
+    /// profiled results, and a memo must never serve a result computed by a
+    /// backend the client did not ask for.
+    std::string backend = "compiled";
 
     // logic
     std::string formula;

@@ -39,6 +39,18 @@ std::string cycle6_payload() {
            "edge 5 0\\n";
 }
 
+/// Large enough (2^11 leaves vs ~350 compile-time ball runs) that the
+/// service's compilation profitability gate chooses the compiled tables.
+std::string cycle11_payload() {
+    std::string payload = "graph 11";
+    for (int v = 0; v < 11; ++v) {
+        payload += "\\nedge " + std::to_string(v) + " " +
+                   std::to_string((v + 1) % 11);
+    }
+    payload += "\\n";
+    return payload;
+}
+
 ServiceOptions manual_options() {
     ServiceOptions options;
     options.manual_drain = true;
@@ -221,6 +233,7 @@ TEST(Wire, RequestRoundTripProperty) {
         r.sigma = rng.chance(0.5);
         r.ids = rng.chance(0.5) ? "global" : "local";
         r.tolerate_faults = rng.chance(0.3);
+        r.backend = rng.chance(0.5) ? "compiled" : "interpreted";
         if (rng.chance(0.3)) {
             r.fault_seed = rng.uniform(1, 1000);
             r.fault_crash = 0.25;
@@ -249,6 +262,24 @@ TEST(Wire, MemoKeyExcludesIdAndDeadline) {
     const Request b = parse_request(base + ",\"id\":2,\"deadline_ms\":50}", 1,
                                     WireLimits{});
     EXPECT_EQ(a.memo_key(), b.memo_key());
+}
+
+TEST(Wire, BackendFieldValidatedAndPartOfMemoKey) {
+    const std::string base =
+        "{\"type\":\"game\",\"machine\":\"coloring2\",\"layers\":1,"
+        "\"graph\":\"" + cycle6_payload() + "\"";
+    const Request dflt = parse_request(base + "}", 1, WireLimits{});
+    EXPECT_EQ(dflt.backend, "compiled");
+    const Request interp =
+        parse_request(base + ",\"backend\":\"interpreted\"}", 1, WireLimits{});
+    EXPECT_EQ(interp.backend, "interpreted");
+    // The backends profile differently, so they must never share a memo slot.
+    EXPECT_NE(dflt.memo_key(), interp.memo_key());
+    EXPECT_EQ(parse_request(interp.to_json(), 1, WireLimits{}).backend,
+              "interpreted");
+    EXPECT_THROW(
+        parse_request(base + ",\"backend\":\"quantum\"}", 1, WireLimits{}),
+        precondition_error);
 }
 
 // ---------------------------------------------------------- ServiceCore ----
@@ -311,6 +342,34 @@ TEST(ServiceCore, MemoServesRepeatedRequestsAndReportsGauges) {
     EXPECT_TRUE(snapshot.count("service.queue_depth"));
     EXPECT_TRUE(snapshot.count("service.max_queue_depth"));
     EXPECT_TRUE(snapshot.count("service.cache.hits"));
+}
+
+TEST(ServiceCore, BackendsAgreeOnTheWireButMemoSeparately) {
+    obs::Session session;
+    ServiceOptions options = manual_options();
+    options.obs = &session;
+    ServiceCore core(options);
+    const std::string base =
+        "{\"type\":\"game\",\"machine\":\"coloring2\",\"layers\":1,"
+        "\"graph\":\"" + cycle11_payload() + "\"";
+    const Response interpreted = core.call(parse_request(
+        base + ",\"backend\":\"interpreted\"}", 1, WireLimits{}));
+    const Response compiled = core.call(parse_request(base + "}", 1,
+                                                      WireLimits{}));
+    ASSERT_EQ(compiled.status, "ok");
+    ASSERT_EQ(interpreted.status, "ok");
+    EXPECT_FALSE(compiled.memo_hit); // backend is part of the memo key
+    EXPECT_EQ(compiled.body, interpreted.body); // bit-identical results
+
+    // The default (compiled) request flowed through the packed evaluator and
+    // its counters reached the session registry.
+    core.publish_metrics();
+    std::map<std::string, double> snapshot;
+    for (const auto& [name, value] : session.metrics().snapshot()) {
+        snapshot[name] = value;
+    }
+    EXPECT_GE(snapshot.at("game.compiled_classes"), 1.0);
+    EXPECT_GE(snapshot.at("game.packed_words_evaluated"), 1.0);
 }
 
 TEST(ServiceCore, QueueFullIsStructuredRejectionNotHang) {
