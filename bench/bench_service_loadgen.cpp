@@ -9,6 +9,7 @@
 // same ServiceStats/ResultMemoStats/ViewCacheStats lists `lphd --metrics=`
 // exports — one schema across the daemon and the bench.
 
+#include "graph/serialize.hpp"
 #include "obs/metrics.hpp"
 #include "service/core.hpp"
 #include "service/retry.hpp"
@@ -357,6 +358,164 @@ void BM_RetryReplayOverhead(benchmark::State& state) {
 BENCHMARK(BM_RetryReplayOverhead)
     ->Iterations(1)
     ->Unit(benchmark::kMillisecond);
+
+/// Patch storm (DESIGN.md "Incremental serving"): a 192-node cycle registered
+/// once, then a chain of single-chord-toggle graph_patch requests each
+/// carrying an eulerian decider query.  Every patch dirties only the
+/// radius-(r+p) balls around the toggled chord (a few percent of the graph),
+/// so the incremental path — retained per-node verdicts plus induced-ball
+/// reruns — must beat the same chain served as full recomputes by >= 5x
+/// while producing bit-identical verdicts.  The row's service.patch.* gauges
+/// (applied/incremental/full/dirty_fraction) come from the same
+/// ServiceStats::to_metrics schema lphd exports.
+void BM_PatchStorm(benchmark::State& state) {
+    constexpr int kNodes = 384;
+    constexpr int kPatches = 120;
+    WireLimits limits;
+    limits.max_graph_nodes = 512; // the default 256 is sized for lphd lines
+
+    Request reg = parse_request(
+        "{\"type\":\"graph_register\",\"graph\":\"" + cycle_graph(kNodes) +
+            "\"}",
+        1, limits);
+
+    // Pre-build the whole chain: every digest the patches reference is
+    // mirrored locally (fnv1a64 over graph_to_text, the wire's own scheme),
+    // and each step's full-recompute twin carries the post-patch graph
+    // inline.
+    LabeledGraph mirror = reg.graph;
+    std::uint64_t digest = fnv1a64(reg.canonical_graph);
+    std::vector<Request> patches;
+    std::vector<Request> full_twins;
+    patches.reserve(kPatches);
+    full_twins.reserve(kPatches);
+    for (int k = 0; k < kPatches; ++k) {
+        const auto u = static_cast<NodeId>((k * 7) % kNodes);
+        const auto v = static_cast<NodeId>((u + 2) % kNodes);
+        const bool present = mirror.has_edge(u, v);
+        std::ostringstream line;
+        line << "{\"type\":\"graph_patch\",\"id\":" << k << ",\"digest\":\""
+             << digest << "\",\"ops\":[{\"op\":\""
+             << (present ? "remove_edge" : "add_edge") << "\",\"u\":"
+             << std::min(u, v) << ",\"v\":" << std::max(u, v)
+             << "}],\"machine\":\"eulerian\",\"layers\":0,\"sigma\":true,"
+             << "\"ids\":\"global\"}";
+        patches.push_back(parse_request(line.str(), k + 2, limits));
+        if (present) {
+            mirror.remove_edge(u, v);
+        } else {
+            mirror.add_edge(u, v);
+        }
+        const std::string canonical = graph_to_text(mirror);
+        digest = fnv1a64(canonical);
+        std::ostringstream twin;
+        twin << "{\"type\":\"game\",\"id\":" << k
+             << ",\"machine\":\"eulerian\",\"layers\":0,\"sigma\":true,"
+             << "\"ids\":\"global\",\"graph\":\"";
+        for (const char c : canonical) {
+            if (c == '\n') {
+                twin << "\\n";
+            } else {
+                twin << c;
+            }
+        }
+        twin << "\"}";
+        full_twins.push_back(parse_request(twin.str(), k + 2, limits));
+    }
+
+    ServiceOptions incremental_options;
+    incremental_options.manual_drain = true; // call() pumps inline: FIFO chain
+    incremental_options.wire = limits;
+    ServiceOptions full_options = incremental_options;
+    full_options.memoize_results = false;
+    full_options.share_view_cache = false;
+
+    using clock = std::chrono::steady_clock;
+    double wall_inc = 0;
+    double wall_full = 0;
+    int mismatches = 0;
+    ServiceStats stats;
+    for (auto _ : state) {
+        ServiceCore core(incremental_options);
+        ServiceCore baseline(full_options);
+        if (core.call(reg).status != "ok") {
+            state.SkipWithError("graph_register failed");
+            return;
+        }
+        LoadResult inc;
+        inc.latency_ms.reserve(patches.size());
+        const auto t0 = clock::now();
+        std::vector<Response> served;
+        served.reserve(patches.size());
+        for (const Request& patch : patches) {
+            const auto s = clock::now();
+            served.push_back(core.call(patch));
+            inc.latency_ms.push_back(
+                std::chrono::duration<double, std::milli>(clock::now() - s)
+                    .count());
+        }
+        wall_inc =
+            std::chrono::duration<double, std::milli>(clock::now() - t0)
+                .count();
+
+        const auto t1 = clock::now();
+        std::vector<Response> golden;
+        golden.reserve(full_twins.size());
+        for (const Request& twin : full_twins) {
+            golden.push_back(baseline.serve_unbatched(twin));
+        }
+        wall_full =
+            std::chrono::duration<double, std::milli>(clock::now() - t1)
+                .count();
+
+        mismatches = 0;
+        for (std::size_t i = 0; i < served.size(); ++i) {
+            const auto a = parse_verdict(served[i].to_json());
+            const auto b = parse_verdict(golden[i].to_json());
+            const bool agree = a.has_value() && b.has_value() &&
+                               a->status == "ok" && b->status == "ok" &&
+                               a->has_verdict && b->has_verdict &&
+                               a->verdict == b->verdict;
+            if (!agree) {
+                ++mismatches;
+            }
+            if (served[i].status == "ok") {
+                ++inc.ok;
+            } else {
+                ++inc.errors;
+            }
+        }
+
+        core.stop();
+        inc.wall_ms = wall_inc;
+        inc.stats = core.stats();
+        inc.memo = core.memo_stats();
+        inc.cache = core.view_cache_stats();
+        inc.snapshot = core.snapshot_stats();
+        stats = inc.stats;
+        record_row("patch_storm_384", inc, wall_full);
+        report::note("BM_ServiceLoadgen", "patch_incremental_speedup_ge_5x",
+                     wall_inc > 0 && wall_full / wall_inc >= 5.0,
+                     "incremental " + std::to_string(wall_inc) +
+                         " ms vs full recompute " + std::to_string(wall_full) +
+                         " ms");
+        report::note("BM_ServiceLoadgen", "patch_dirty_fraction_le_10pct",
+                     inc.stats.patch_dirty_fraction() <= 0.10,
+                     "dirty fraction " +
+                         std::to_string(inc.stats.patch_dirty_fraction()));
+        report::note("BM_ServiceLoadgen", "patch_verdicts_match_full",
+                     mismatches == 0,
+                     std::to_string(mismatches) + " of " +
+                         std::to_string(served.size()) +
+                         " verdicts diverged from full recompute");
+        sink(inc.ok);
+    }
+    state.counters["speedup"] =
+        wall_inc > 0 ? wall_full / wall_inc : 0.0;
+    state.counters["dirty_fraction"] = stats.patch_dirty_fraction();
+    state.counters["verdict_mismatches"] = static_cast<double>(mismatches);
+}
+BENCHMARK(BM_PatchStorm)->Iterations(1)->Unit(benchmark::kMillisecond);
 
 /// Overload behavior: an open-loop burst into a deliberately tiny queue must
 /// produce structured rejections (admission control), never hangs.

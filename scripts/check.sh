@@ -36,6 +36,19 @@ python3 scripts/trace_lint.py build/trace_fuzz.json
     | ./build/tools/lph_client --verify --expect 320
 python3 scripts/trace_lint.py build/trace_lphd.json
 
+# Incremental-serving smoke: a seeded patch storm (graph_register + chained
+# graph_patch re-queries over resident graphs) served with dirty-ball
+# recomputation, then the same workload replayed as inline full recomputes.
+# Every verdict must match (--against exits nonzero on any mismatch).
+# --threads 1 because each patch references the digest echoed by the
+# previous response, so FIFO order is part of the protocol.
+./build/tools/lph_client --patch 120 --seed 5 \
+    | ./build/tools/lphd --pipe --threads 1 > build/patch_replies.jsonl
+./build/tools/lph_client --patch-golden 120 --seed 5 \
+    | ./build/tools/lphd --pipe --threads 1 > build/patch_golden.jsonl
+./build/tools/lph_client --verify --expect 120 \
+    --against build/patch_golden.jsonl < build/patch_replies.jsonl
+
 # Crash-resilience smoke: the same workload served twice — once chaos-free in
 # pipe mode (the golden answers), once through a supervised two-worker daemon
 # under seeded wire-level chaos (worker kills + connection drops) with a

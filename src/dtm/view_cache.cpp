@@ -6,6 +6,7 @@
 #include <cassert>
 #include <functional>
 #include <queue>
+#include <unordered_set>
 
 namespace lph {
 
@@ -106,6 +107,7 @@ ViewCache::export_entries() const {
 std::size_t ViewCache::restore(
     const std::vector<std::pair<std::string, std::string>>& entries) {
     std::size_t admitted = 0;
+    std::unordered_set<std::string> admitted_keys;
     for (const auto& [key, verdict] : entries) {
         Shard& shard = shard_for(key);
         const std::lock_guard<std::mutex> lock(shard.mutex);
@@ -120,16 +122,21 @@ std::size_t ViewCache::restore(
         shard.lru.emplace_front(key, verdict);
         shard.index.emplace(key, shard.lru.begin());
         ++admitted;
+        admitted_keys.insert(key);
         while (shard.lru.size() > max_entries_per_shard_) {
-            shard.index.erase(shard.lru.back().first);
+            // Only evictions of entries *this call* admitted cancel out of
+            // the admitted count; displacing a pre-existing LRU tail does
+            // not make the snapshot entry any less admitted.
+            const std::string& victim = shard.lru.back().first;
+            if (admitted_keys.erase(victim) > 0) {
+                --admitted;
+            }
+            shard.index.erase(victim);
             shard.lru.pop_back();
-            --admitted;
         }
     }
     return admitted;
 }
-
-namespace {
 
 /// BFS distances from u, cut off beyond `radius`; -1 = outside the ball.
 std::vector<int> bounded_distances(const LabeledGraph& g, NodeId u, int radius) {
@@ -152,8 +159,6 @@ std::vector<int> bounded_distances(const LabeledGraph& g, NodeId u, int radius) 
     }
     return dist;
 }
-
-} // namespace
 
 ViewKeyBuilder::ViewKeyBuilder(const LocalMachine& machine, const LabeledGraph& g,
                                const IdentifierAssignment& id,

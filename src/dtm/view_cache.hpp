@@ -105,6 +105,12 @@ private:
     std::atomic<std::uint64_t> verdict_mismatches_{0};
 };
 
+/// BFS distances from u, cut off beyond `radius`; -1 = outside the ball.
+/// Shared by the key builder below and the serving layer's dirty-ball
+/// computation (a graph edit can only change verdicts of nodes whose
+/// radius-R ball touches it — the r-locality invariant).
+std::vector<int> bounded_distances(const LabeledGraph& g, NodeId u, int radius);
+
 /// Builds the per-node cache keys for one (machine, graph, identifiers,
 /// execution options) context.
 ///

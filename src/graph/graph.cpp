@@ -32,6 +32,33 @@ void LabeledGraph::add_edge(NodeId u, NodeId v) {
     ++num_edges_;
 }
 
+void LabeledGraph::remove_edge(NodeId u, NodeId v) {
+    check_node(u);
+    check_node(v);
+    check(has_edge(u, v), "LabeledGraph::remove_edge: no such edge");
+    auto erase_sorted = [](std::vector<NodeId>& list, NodeId w) {
+        list.erase(std::lower_bound(list.begin(), list.end(), w));
+    };
+    erase_sorted(adjacency_[u], v);
+    erase_sorted(adjacency_[v], u);
+    --num_edges_;
+}
+
+void LabeledGraph::remove_node(NodeId u) {
+    check_node(u);
+    check(adjacency_[u].empty(),
+          "LabeledGraph::remove_node: node must be isolated");
+    adjacency_.erase(adjacency_.begin() + static_cast<std::ptrdiff_t>(u));
+    labels_.erase(labels_.begin() + static_cast<std::ptrdiff_t>(u));
+    for (auto& list : adjacency_) {
+        for (NodeId& w : list) {
+            if (w > u) {
+                --w;
+            }
+        }
+    }
+}
+
 const std::vector<NodeId>& LabeledGraph::neighbors(NodeId u) const {
     check_node(u);
     return adjacency_[u];

@@ -29,6 +29,13 @@ public:
     /// Adds the undirected edge {u,v}; self-loops and duplicates are rejected.
     void add_edge(NodeId u, NodeId v);
 
+    /// Removes the undirected edge {u,v}; the edge must exist.
+    void remove_edge(NodeId u, NodeId v);
+
+    /// Removes node u, which must be isolated (degree 0); every node with a
+    /// higher id is renumbered down by one.
+    void remove_node(NodeId u);
+
     std::size_t num_nodes() const { return adjacency_.size(); }
     std::size_t num_edges() const { return num_edges_; }
 

@@ -12,8 +12,10 @@
 #include <bit>
 #include <chrono>
 #include <limits>
+#include <memory>
 #include <mutex>
 #include <sstream>
+#include <unordered_map>
 
 namespace lph {
 
@@ -192,18 +194,33 @@ struct PackedState {
     std::vector<std::size_t> low_digits; ///< odometer scratch
 };
 
+/// One node's frozen induced radius-R ball, reused across leaves of a
+/// solve: running the machine on it reproduces the node's full-graph
+/// verdict whenever the run is clean and completed (the ball preserves the
+/// center's radius-R view — the same fact the compiled core's tables and
+/// the view-cache keys rest on).
+struct BallSim {
+    InducedSubgraph sub;
+    IdentifierAssignment id;
+    NodeId center;
+};
+
 /// Everything one worker mutates while walking its share of the game tree.
 struct WorkerContext {
     std::vector<CertificateAssignment> chosen;
     std::vector<std::vector<std::size_t>> idx;
     Tally tally;
     std::string key_scratch;
+    std::vector<NodeId> miss_scratch;
     PackedState packed;
     // Perf counters (accumulated across this worker's chunks).
     std::uint64_t leaves_processed = 0;
     std::uint64_t local_runs = 0;
     std::uint64_t leaf_cache_hits = 0;
     std::uint64_t packed_words = 0;
+    std::uint64_t partial_leaf_evals = 0;
+    std::uint64_t ball_runs = 0;
+    std::uint64_t partial_fallbacks = 0;
 
     void ensure(std::size_t layers, std::size_t n) {
         if (chosen.size() != layers) {
@@ -255,6 +272,16 @@ public:
                 owned_cache_ =
                     std::make_unique<ViewCache>(options.view_cache_entries);
                 cache_ = owned_cache_.get();
+            }
+        }
+        if (cache_ != nullptr && options.partial_leaves) {
+            partial_ = true;
+            if (options.recompute_nodes != nullptr) {
+                for (const NodeId u : *options.recompute_nodes) {
+                    if (u < g.num_nodes()) {
+                        ball_sim_for(u);
+                    }
+                }
             }
         }
     }
@@ -635,11 +662,18 @@ private:
         if (cache_ != nullptr) {
             bool all_hit = true;
             bool all_accept = true;
-            for (NodeId u = 0; u < g_.num_nodes() && all_hit; ++u) {
+            ctx.miss_scratch.clear();
+            // With partial leaves on, keep scanning past the first miss: the
+            // complete miss set is what the ball runs need.
+            for (NodeId u = 0; u < g_.num_nodes() && (all_hit || partial_);
+                 ++u) {
                 keys_->key_for(u, list, ctx.key_scratch);
                 const auto verdict = cache_->lookup(ctx.key_scratch);
                 if (!verdict.has_value()) {
                     all_hit = false;
+                    if (partial_) {
+                        ctx.miss_scratch.push_back(u);
+                    }
                 } else if (*verdict != "1") {
                     all_accept = false;
                 }
@@ -647,6 +681,15 @@ private:
             if (all_hit) {
                 ++ctx.leaf_cache_hits;
                 return all_accept;
+            }
+            if (partial_) {
+                const std::optional<bool> value =
+                    evaluate_partial(list, all_accept, ctx);
+                if (value.has_value()) {
+                    ++ctx.partial_leaf_evals;
+                    return *value;
+                }
+                ++ctx.partial_fallbacks;
             }
         }
 
@@ -684,6 +727,82 @@ private:
             ctx.tally.add_fault(e.fault());
             return false;
         }
+    }
+
+    /// The frozen induced radius-R ball of u, built on first use and shared
+    /// by every worker for the rest of the solve (the graph and identifiers
+    /// are solve-constant; only certificates vary per leaf).
+    std::shared_ptr<const BallSim> ball_sim_for(NodeId u) {
+        {
+            const std::lock_guard<std::mutex> lock(ball_mutex_);
+            const auto it = ball_sims_.find(u);
+            if (it != ball_sims_.end()) {
+                return it->second;
+            }
+        }
+        InducedSubgraph sub = g_.neighborhood(u, keys_->radius());
+        const NodeId center = sub.from_original.at(u);
+        std::vector<BitString> ids(sub.graph.num_nodes());
+        for (NodeId s = 0; s < sub.graph.num_nodes(); ++s) {
+            ids[s] = id_(sub.to_original[s]);
+        }
+        auto sim = std::make_shared<const BallSim>(BallSim{
+            std::move(sub), IdentifierAssignment(std::move(ids)), center});
+        const std::lock_guard<std::mutex> lock(ball_mutex_);
+        return ball_sims_.emplace(u, std::move(sim)).first->second;
+    }
+
+    /// Attempts to finish a leaf from per-node induced-ball runs of the
+    /// cache-missing nodes (ctx.miss_scratch).  Returns the leaf value when
+    /// every ball run was clean and completed — then the full-graph run
+    /// would have been clean too, with identical per-node outputs, by
+    /// r-locality — and nullopt when any run was unclean or the balls cover
+    /// the whole graph anyway, demanding the ordinary full evaluation.
+    /// Clean ball verdicts are inserted under the full-graph keys, so the
+    /// next leaf touching the same views hits outright.
+    std::optional<bool> evaluate_partial(const CertificateListAssignment& list,
+                                         bool all_accept, WorkerContext& ctx) {
+        std::size_t ball_total = 0;
+        std::vector<std::shared_ptr<const BallSim>> sims;
+        sims.reserve(ctx.miss_scratch.size());
+        for (const NodeId u : ctx.miss_scratch) {
+            sims.push_back(ball_sim_for(u));
+            ball_total += sims.back()->sub.graph.num_nodes();
+        }
+        if (ball_total >= g_.num_nodes()) {
+            return std::nullopt; // the full run is no more expensive
+        }
+        ExecutionOptions sim_exec = options_.exec;
+        sim_exec.on_violation = FaultPolicy::Record;
+        for (std::size_t i = 0; i < ctx.miss_scratch.size(); ++i) {
+            const NodeId u = ctx.miss_scratch[i];
+            const BallSim& sim = *sims[i];
+            const std::size_t sub_n = sim.sub.graph.num_nodes();
+            std::vector<std::string> lists(sub_n);
+            for (NodeId s = 0; s < sub_n; ++s) {
+                lists[s] = list.at(sim.sub.to_original[s]);
+            }
+            const auto sub_list = CertificateListAssignment::from_raw(
+                std::move(lists), spec_.layers.size());
+            try {
+                const ExecutionResult run = run_local(
+                    *spec_.machine, sim.sub.graph, sim.id, sub_list, sim_exec);
+                ++ctx.ball_runs;
+                if (!run.ok() || !run.faults.empty() || !run.completed) {
+                    return std::nullopt;
+                }
+                const std::string& verdict = run.outputs[sim.center];
+                keys_->key_for(u, list, ctx.key_scratch);
+                cache_->insert(ctx.key_scratch, verdict);
+                if (verdict != "1") {
+                    all_accept = false;
+                }
+            } catch (const run_error&) {
+                ++ctx.ball_runs;
+                return std::nullopt;
+            }
+        }
+        return all_accept;
     }
 
     /// Exact game value of the subtree below one outer assignment
@@ -944,6 +1063,11 @@ private:
                 {"orbit_hits", static_cast<double>(stats.orbit_hits)},
                 {"packed_words_evaluated",
                  static_cast<double>(stats.packed_words_evaluated)},
+                {"partial_leaf_evals",
+                 static_cast<double>(stats.partial_leaf_evals)},
+                {"ball_runs", static_cast<double>(stats.ball_runs)},
+                {"partial_fallbacks",
+                 static_cast<double>(stats.partial_fallbacks)},
             });
         metrics.set("game.workers", static_cast<double>(stats.workers));
         metrics.set("game.compiled_classes",
@@ -962,6 +1086,9 @@ private:
             result.stats.local_runs += ctx->local_runs;
             result.stats.leaf_cache_hits += ctx->leaf_cache_hits;
             result.stats.packed_words_evaluated += ctx->packed_words;
+            result.stats.partial_leaf_evals += ctx->partial_leaf_evals;
+            result.stats.ball_runs += ctx->ball_runs;
+            result.stats.partial_fallbacks += ctx->partial_fallbacks;
         }
     }
 
@@ -975,6 +1102,11 @@ private:
     std::unique_ptr<ViewCache> owned_cache_;
     ViewCache* cache_ = nullptr;
     ThreadPool* pool_used_ = nullptr;
+
+    // Partial-leaf state (GameOptions::partial_leaves).
+    bool partial_ = false;
+    std::mutex ball_mutex_;
+    std::unordered_map<NodeId, std::shared_ptr<const BallSim>> ball_sims_;
 
     // Compiled-backend state (null / empty on the interpreted path).
     const CompiledGameCore* compiled_ = nullptr;
@@ -1013,6 +1145,9 @@ obs::MetricList GameStats::to_metrics() const {
         {"orbit_hits", static_cast<double>(orbit_hits)},
         {"compiled_classes", static_cast<double>(compiled_classes)},
         {"packed_words_evaluated", static_cast<double>(packed_words_evaluated)},
+        {"partial_leaf_evals", static_cast<double>(partial_leaf_evals)},
+        {"ball_runs", static_cast<double>(ball_runs)},
+        {"partial_fallbacks", static_cast<double>(partial_fallbacks)},
     };
 }
 

@@ -169,6 +169,24 @@ struct GameOptions {
     /// interpreter's short-circuit exits.
     double compile_cost_ratio = 0;
 
+    /// Partial leaf recomputation for dynamic-graph serving (DESIGN.md
+    /// "Incremental serving").  When the context is cacheable, a leaf whose
+    /// view-cache probe misses on some nodes re-derives just those nodes'
+    /// verdicts by running the machine on their induced radius-R balls —
+    /// sound by r-locality (the ball preserves the center's radius-R view,
+    /// so a clean completed ball run reproduces the full-graph verdict) —
+    /// and merges them with the cached verdicts of the untouched region.
+    /// Any unclean or incomplete ball run falls back to the ordinary
+    /// full-graph leaf run, keeping the deterministic counters and fault
+    /// ordering bit-identical to a full solve.  Interpreted backend only
+    /// (the Compiled backend already evaluates per-ball).
+    bool partial_leaves = false;
+
+    /// Optional node subset expected to miss the view cache (the dirty
+    /// region of a graph_patch); their ball simulations are prebuilt up
+    /// front instead of lazily on the first missing leaf.
+    const std::vector<NodeId>* recompute_nodes = nullptr;
+
     /// Optional observability session: when set, the solve accumulates its
     /// GameStats into the session's MetricsRegistry under the `game.` naming
     /// scheme (DESIGN.md Observability).  Span tracing is independent of
@@ -199,6 +217,11 @@ struct GameStats {
     /// 64-leaf pattern words ANDed during packed evaluation (per node, per
     /// word — the packed path's unit of work).
     std::uint64_t packed_words_evaluated = 0;
+
+    // Partial-leaf counters (all zero unless GameOptions::partial_leaves).
+    std::uint64_t partial_leaf_evals = 0; ///< leaves completed from ball runs
+    std::uint64_t ball_runs = 0;          ///< induced-ball run_local calls
+    std::uint64_t partial_fallbacks = 0;  ///< eligible leaves that ran fully
 
     double leaves_per_sec() const {
         return wall_ms > 0 ? 1000.0 * static_cast<double>(leaves_processed) / wall_ms

@@ -36,6 +36,51 @@ std::string render_ms(double value) {
     return buf;
 }
 
+/// One game-result body fragment.  Shared by the plain `game` case and the
+/// graph_patch incremental paths so their fragments are byte-identical — the
+/// patch-vs-full-recompute oracle compares them directly.
+void append_game_result(std::ostream& body, const GameResult& result) {
+    body << "\"accepted\":" << (result.accepted ? "true" : "false")
+         << ",\"machine_runs\":" << result.machine_runs
+         << ",\"faulted_runs\":" << result.faulted_runs;
+    if (!result.probe_faults.empty()) {
+        body << ",\"faults\":[";
+        for (std::size_t i = 0; i < result.probe_faults.size(); ++i) {
+            body << (i ? "," : "") << '"'
+                 << to_string(result.probe_faults[i].code) << '"';
+        }
+        body << ']';
+    }
+    if (result.witness) {
+        body << ",\"witness\":[";
+        for (NodeId u = 0; u < result.witness->size(); ++u) {
+            body << (u ? "," : "") << '"'
+                 << obs::json_escape((*result.witness)(u)) << '"';
+        }
+        body << ']';
+    }
+}
+
+/// The effective view radius of a machine under the service's execution
+/// defaults — the R in "dirty = radius-R balls around the edit".  Must match
+/// ViewKeyBuilder's radius so the engine's partial path and the store's
+/// dirty sets agree.
+int view_radius(const LocalMachine& machine) {
+    const ExecutionOptions exec;
+    const int radius = exec.enforce_declared_bounds
+                           ? std::min(machine.round_bound(), exec.max_rounds)
+                           : exec.max_rounds;
+    return std::max(radius, 1);
+}
+
+/// The retention key of a layers-0 patch query: every field that can change
+/// the per-node outputs (backend is excluded — both backends are
+/// verdict-identical).
+std::string decider_flavor(const Request& request) {
+    return request.machine + '|' + std::to_string(request.layers) + '|' +
+           (request.sigma ? '1' : '0') + '|' + request.ids;
+}
+
 } // namespace
 
 obs::MetricList ServiceStats::to_metrics() const {
@@ -49,10 +94,18 @@ obs::MetricList ServiceStats::to_metrics() const {
         {"batches", static_cast<double>(batches)},
         {"batched_requests", static_cast<double>(batched_requests)},
         {"avg_batch", avg_batch()},
+        {"expired_in_queue", static_cast<double>(expired_in_queue)},
         {"queue_depth", static_cast<double>(queue_depth)},
         {"max_queue_depth", static_cast<double>(max_queue_depth)},
         {"busy_ms", busy_ms},
         {"workers", static_cast<double>(workers)},
+        {"graphs_resident", static_cast<double>(graphs_resident)},
+        {"patch.applied", static_cast<double>(patches_applied)},
+        {"patch.incremental", static_cast<double>(patch_incremental)},
+        {"patch.full", static_cast<double>(patch_full)},
+        {"patch.dirty_nodes", static_cast<double>(patch_dirty_nodes)},
+        {"patch.total_nodes", static_cast<double>(patch_total_nodes)},
+        {"patch.dirty_fraction", patch_dirty_fraction()},
     };
 }
 
@@ -267,17 +320,22 @@ void ServiceCore::process_batch(std::vector<Pending> batch) {
     LPH_SPAN_NAMED(span, "service", "service.batch");
     span.arg("requests", batch.size());
     batches_.fetch_add(1, std::memory_order_relaxed);
-    batched_requests_.fetch_add(batch.size(), std::memory_order_relaxed);
     BatchContext ctx;
+    std::uint64_t served = 0;
     for (Pending& pending : batch) {
-        serve_one(pending, ctx, batch.size());
+        if (serve_one(pending, ctx, batch.size())) {
+            ++served;
+        }
     }
+    // Only requests that were actually served count toward the batch-size
+    // averages; requests that expired while queued never reached the engine.
+    batched_requests_.fetch_add(served, std::memory_order_relaxed);
 }
 
-void ServiceCore::serve_one(Pending& pending, BatchContext& ctx,
+bool ServiceCore::serve_one(Pending& pending, BatchContext& ctx,
                             std::size_t batch_size) {
     LPH_SPAN_NAMED(span, "service", "service.request");
-    const Request& request = pending.request;
+    Request& request = pending.request;
     const auto start = std::chrono::steady_clock::now();
 
     Response response;
@@ -289,10 +347,23 @@ void ServiceCore::serve_one(Pending& pending, BatchContext& ctx,
     const double deadline_ms = request.deadline_ms > 0
                                    ? request.deadline_ms
                                    : options_.default_deadline_ms;
-    const std::string memo_key =
-        options_.memoize_results ? request.memo_key() : std::string{};
+
+    // Resolve a resident-graph reference before anything else: the memo key
+    // embeds the graph digest, so an unresolved reference must never reach
+    // the memo, and a fire-and-forget patch chain must observe every earlier
+    // patch (resolution happens at serve time, never at submit).
+    bool unresolved_ref = false;
+    if (request.has_ref_digest && !request.has_graph &&
+        request.type != RequestType::GraphPatch) {
+        unresolved_ref = !resolve_graph_ref(request);
+    }
+
+    const std::string memo_key = options_.memoize_results && !unresolved_ref
+                                     ? request.memo_key()
+                                     : std::string{};
 
     bool served = false;
+    bool expired = false;
     if (!memo_key.empty()) {
         if (auto hit = memo_.lookup(memo_key)) {
             response.body = std::move(*hit);
@@ -302,7 +373,15 @@ void ServiceCore::serve_one(Pending& pending, BatchContext& ctx,
         }
     }
     if (!served) {
-        if (deadline_ms > 0 && waited_ms >= deadline_ms) {
+        if (unresolved_ref) {
+            response.status = "error";
+            response.error = "UnknownGraph";
+            response.detail = "no resident graph with digest " +
+                              std::to_string(request.ref_digest) +
+                              " (register it, or follow the digest echoed by "
+                              "the latest patch)";
+        } else if (deadline_ms > 0 && waited_ms >= deadline_ms) {
+            expired = true;
             response.status = "error";
             response.error = to_string(RunError::DeadlineExceeded);
             response.detail = "deadline of " + render_ms(deadline_ms) +
@@ -339,9 +418,15 @@ void ServiceCore::serve_one(Pending& pending, BatchContext& ctx,
 
     const auto end = std::chrono::steady_clock::now();
     response.service_ms = ms_between(start, end);
-    busy_us_.fetch_add(
-        static_cast<std::uint64_t>(response.service_ms * 1000.0),
-        std::memory_order_relaxed);
+    if (expired) {
+        // The request never reached the engine: it is an error, but it must
+        // not count as served work (busy time, batch sizes).
+        expired_in_queue_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+        busy_us_.fetch_add(
+            static_cast<std::uint64_t>(response.service_ms * 1000.0),
+            std::memory_order_relaxed);
+    }
     if (response.status == "ok") {
         completed_.fetch_add(1, std::memory_order_relaxed);
     } else {
@@ -350,6 +435,23 @@ void ServiceCore::serve_one(Pending& pending, BatchContext& ctx,
     span.arg("memo_hit", response.memo_hit ? 1 : 0);
     span.arg("ok", response.status == "ok" ? 1 : 0);
     pending.promise.set_value(std::move(response));
+    return !expired;
+}
+
+bool ServiceCore::resolve_graph_ref(Request& request) {
+    const std::shared_ptr<ResidentGraph> resident =
+        graphs_.find(request.ref_digest);
+    if (resident == nullptr) {
+        return false;
+    }
+    const std::lock_guard<std::mutex> lock(resident->mutex);
+    if (resident->digest != request.ref_digest) {
+        return false; // re-keyed by a patch between find() and the lock
+    }
+    request.graph = resident->graph;
+    request.canonical_graph = resident->canonical;
+    request.has_graph = true;
+    return true;
 }
 
 std::string ServiceCore::execute(const Request& request, BatchContext& ctx,
@@ -357,6 +459,12 @@ std::string ServiceCore::execute(const Request& request, BatchContext& ctx,
     std::ostringstream body;
     switch (request.type) {
     case RequestType::Game: {
+        // Validate up front rather than letting run_local do it mid-game:
+        // the engine only reaches a full-graph run on a cache-missing leaf,
+        // so without this a disconnected graph would be accepted or rejected
+        // depending on view-cache warmth and certificate-domain shape — the
+        // answer to one request must never depend on who asked before.
+        request.graph.validate();
         BuiltGame& game = ctx.game(request.machine, request.layers,
                                    request.sigma);
         const int r_id = game.spec.machine->id_radius();
@@ -403,25 +511,7 @@ std::string ServiceCore::execute(const Request& request, BatchContext& ctx,
         if (!request.tolerate_faults && !result.probe_faults.empty()) {
             throw run_error(result.probe_faults.front());
         }
-        body << "\"accepted\":" << (result.accepted ? "true" : "false")
-             << ",\"machine_runs\":" << result.machine_runs
-             << ",\"faulted_runs\":" << result.faulted_runs;
-        if (!result.probe_faults.empty()) {
-            body << ",\"faults\":[";
-            for (std::size_t i = 0; i < result.probe_faults.size(); ++i) {
-                body << (i ? "," : "") << '"'
-                     << to_string(result.probe_faults[i].code) << '"';
-            }
-            body << ']';
-        }
-        if (result.witness) {
-            body << ",\"witness\":[";
-            for (NodeId u = 0; u < result.witness->size(); ++u) {
-                body << (u ? "," : "") << '"'
-                     << obs::json_escape((*result.witness)(u)) << '"';
-            }
-            body << ']';
-        }
+        append_game_result(body, result);
         break;
     }
     case RequestType::Logic: {
@@ -481,8 +571,199 @@ std::string ServiceCore::execute(const Request& request, BatchContext& ctx,
         return render_stats_body();
     case RequestType::Health:
         return render_health_body();
+    case RequestType::GraphRegister: {
+        const GraphStore::RegisterResult reg =
+            graphs_.register_graph(request.graph, request.canonical_graph);
+        body << "\"digest\":\"" << reg.digest << "\",\"nodes\":" << reg.nodes
+             << ",\"edges\":" << reg.edges
+             << ",\"existed\":" << (reg.existed ? "true" : "false");
+        break;
+    }
+    case RequestType::GraphPatch:
+        return execute_patch(request, ctx, deadline_ms);
     }
     return body.str();
+}
+
+std::string ServiceCore::execute_patch(const Request& request,
+                                       BatchContext& ctx, double deadline_ms) {
+    const bool has_query = !request.machine.empty();
+    int radius = 1;
+    int r_id = 1;
+    BuiltGame* game = nullptr;
+    if (has_query) {
+        game = &ctx.game(request.machine, request.layers, request.sigma);
+        r_id = game->spec.machine->id_radius();
+        radius = view_radius(*game->spec.machine);
+    }
+    const std::string flavor = has_query && request.layers == 0
+                                   ? decider_flavor(request)
+                                   : std::string{};
+    const PatchOutcome outcome = graphs_.apply_patch(
+        request.ref_digest, request.ops, radius,
+        has_query ? request.ids : std::string("global"), r_id, flavor,
+        options_.wire);
+    // Any body memoized for the pre-patch content must never be served again
+    // under a digest the client could still be holding.
+    memo_.invalidate_digest(outcome.old_digest);
+    patches_applied_.fetch_add(1, std::memory_order_relaxed);
+    patch_dirty_nodes_.fetch_add(outcome.dirty.size(),
+                                 std::memory_order_relaxed);
+    patch_total_nodes_.fetch_add(outcome.graph.num_nodes(),
+                                 std::memory_order_relaxed);
+
+    std::ostringstream body;
+    const double fraction =
+        outcome.graph.num_nodes() > 0
+            ? static_cast<double>(outcome.dirty.size()) /
+                  static_cast<double>(outcome.graph.num_nodes())
+            : 0.0;
+    body << "\"digest\":\"" << outcome.new_digest << '"'
+         << ",\"version\":" << outcome.version
+         << ",\"nodes\":" << outcome.graph.num_nodes()
+         << ",\"edges\":" << outcome.graph.num_edges()
+         << ",\"dirty_nodes\":" << outcome.dirty.size()
+         << ",\"dirty_fraction\":" << render_ms(fraction);
+    if (!has_query) {
+        return body.str();
+    }
+    // Same upfront rule as the Game case: a patch may pass through a
+    // disconnected state — that is how graphs grow, add_node then add_edge —
+    // but a query attached to one fails like any other query on that graph.
+    // The patch itself stays committed; a later patch can reconnect and
+    // query again.
+    outcome.graph.validate();
+    body << ',';
+    if (request.layers == 0) {
+        body << evaluate_patch_decider(request, *game, outcome, deadline_ms);
+        return body.str();
+    }
+
+    // Layered query: the engine's partial-leaf path re-derives only the
+    // view-cache misses (the dirty balls) and merges with the cached
+    // verdicts of the untouched region; counters, fault ordering and the
+    // witness stay bit-identical to a full solve.
+    const IdentifierAssignment id =
+        identifier_scheme_by_name(request.ids, outcome.graph, r_id);
+    const GameTables tables(game->spec, outcome.graph, id);
+    GameOptions opt;
+    opt.threads = 1;
+    opt.backend = GameBackend::Interpreted; // partial leaves live here
+    opt.obs = options_.obs;
+    opt.exec.deadline_ms = deadline_ms;
+    opt.view_cache = cache_for(request.machine);
+    opt.view_cache_entries = options_.view_cache_entries;
+    opt.partial_leaves = true;
+    opt.recompute_nodes = &outcome.dirty;
+    const GameResult result =
+        play_game(game->spec, tables, outcome.graph, id, opt);
+    if (!result.probe_faults.empty()) {
+        throw run_error(result.probe_faults.front());
+    }
+    if (result.stats.partial_fallbacks == 0 &&
+        (result.stats.partial_leaf_evals > 0 ||
+         result.stats.leaf_cache_hits > 0)) {
+        patch_incremental_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+        patch_full_.fetch_add(1, std::memory_order_relaxed);
+    }
+    append_game_result(body, result);
+    return body.str();
+}
+
+std::string ServiceCore::evaluate_patch_decider(const Request& request,
+                                                const BuiltGame& game,
+                                                const PatchOutcome& outcome,
+                                                double deadline_ms) {
+    const LabeledGraph& g = outcome.graph;
+    const LocalMachine& machine = *game.spec.machine;
+    const int radius = view_radius(machine);
+    const IdentifierAssignment id =
+        identifier_scheme_by_name(request.ids, g, machine.id_radius());
+
+    std::vector<std::string> outputs;
+    bool incremental = false;
+    if (outcome.has_retained) {
+        // Map the retained verdicts of the untouched region across the
+        // patch's renumbering; every dirty node re-derives its verdict from
+        // a clean run on its induced radius-R ball (sound by r-locality).
+        outputs.assign(g.num_nodes(), std::string{});
+        std::vector<char> dirty(g.num_nodes(), 0);
+        for (const NodeId u : outcome.dirty) {
+            dirty[u] = 1;
+        }
+        bool usable = true;
+        for (NodeId v = 0; v < g.num_nodes() && usable; ++v) {
+            if (dirty[v] != 0) {
+                continue;
+            }
+            const std::ptrdiff_t old = outcome.old_of_new[v];
+            if (old < 0 || static_cast<std::size_t>(old) >=
+                               outcome.retained_outputs.size()) {
+                usable = false; // retention predates this graph's shape
+            } else {
+                outputs[v] =
+                    outcome.retained_outputs[static_cast<std::size_t>(old)];
+            }
+        }
+        ExecutionOptions ball_exec;
+        ball_exec.on_violation = FaultPolicy::Record;
+        for (std::size_t i = 0; i < outcome.dirty.size() && usable; ++i) {
+            const NodeId v = outcome.dirty[i];
+            const InducedSubgraph sub = g.neighborhood(v, radius);
+            std::vector<BitString> sub_ids(sub.graph.num_nodes());
+            for (NodeId s = 0; s < sub.graph.num_nodes(); ++s) {
+                sub_ids[s] = id(sub.to_original[s]);
+            }
+            const IdentifierAssignment sub_id(std::move(sub_ids));
+            try {
+                const ExecutionResult run = run_local(
+                    machine, sub.graph, sub_id,
+                    CertificateListAssignment::empty(sub.graph.num_nodes()),
+                    ball_exec);
+                if (!run.ok() || !run.faults.empty() || !run.completed) {
+                    usable = false; // unclean ball: replay the full run
+                } else {
+                    outputs[v] = run.outputs[sub.from_original.at(v)];
+                }
+            } catch (const run_error&) {
+                usable = false;
+            }
+        }
+        incremental = usable;
+    }
+    if (!incremental) {
+        ExecutionOptions exec;
+        exec.on_violation = FaultPolicy::Record;
+        exec.deadline_ms = deadline_ms;
+        const ExecutionResult run = run_local(
+            machine, g, id, CertificateListAssignment::empty(g.num_nodes()),
+            exec);
+        // Mirror the wire contract of a plain game request (tolerate_faults
+        // is not a patch field): a faulted run escalates to a structured
+        // error carrying the taxonomy code.
+        if (!run.faults.empty()) {
+            throw run_error(run.faults.front());
+        }
+        check(run.ok() && run.completed, "patch: decider run did not complete");
+        outputs = run.outputs;
+    }
+    graphs_.store_verdicts(outcome.new_digest, decider_flavor(request),
+                           outputs);
+    (incremental ? patch_incremental_ : patch_full_)
+        .fetch_add(1, std::memory_order_relaxed);
+
+    // Rendered through the same fragment as a clean full solve: one leaf,
+    // no faults, no witness (layers == 0).
+    GameResult shaped;
+    shaped.accepted =
+        std::all_of(outputs.begin(), outputs.end(),
+                    [](const std::string& out) { return out == "1"; });
+    shaped.machine_runs = 1;
+    shaped.faulted_runs = 0;
+    std::ostringstream fragment;
+    append_game_result(fragment, shaped);
+    return fragment.str();
 }
 
 std::string ServiceCore::render_stats_body() {
@@ -502,7 +783,16 @@ std::string ServiceCore::render_stats_body() {
          << ",\"batches\":" << s.batches
          << ",\"batched_requests\":" << s.batched_requests
          << ",\"avg_batch\":" << render_ms(s.avg_batch())
+         << ",\"expired_in_queue\":" << s.expired_in_queue
          << ",\"busy_ms\":" << render_ms(s.busy_ms)
+         << ",\"graphs\":{\"resident\":" << s.graphs_resident
+         << ",\"patches\":" << s.patches_applied
+         << ",\"incremental\":" << s.patch_incremental
+         << ",\"full\":" << s.patch_full
+         << ",\"dirty_nodes\":" << s.patch_dirty_nodes
+         << ",\"total_nodes\":" << s.patch_total_nodes
+         << ",\"dirty_fraction\":" << render_ms(s.patch_dirty_fraction())
+         << '}'
          // "memo_cache", not "memo": the response envelope already carries a
          // top-level "memo":"hit|miss" and response objects must not have
          // duplicate keys (the client's own parser rejects them).
@@ -560,8 +850,24 @@ Response ServiceCore::serve_unbatched(const Request& request) {
     const double deadline_ms = request.deadline_ms > 0
                                    ? request.deadline_ms
                                    : options_.default_deadline_ms;
+    Request resolved;
+    const Request* effective = &request;
+    if (request.has_ref_digest && !request.has_graph &&
+        request.type != RequestType::GraphPatch) {
+        resolved = request;
+        if (!resolve_graph_ref(resolved)) {
+            response.status = "error";
+            response.error = "UnknownGraph";
+            response.detail = "no resident graph with digest " +
+                              std::to_string(request.ref_digest);
+            response.service_ms =
+                ms_between(start, std::chrono::steady_clock::now());
+            return response;
+        }
+        effective = &resolved;
+    }
     try {
-        response.body = execute(request, ctx, deadline_ms);
+        response.body = execute(*effective, ctx, deadline_ms);
     } catch (const run_error& e) {
         response.status = "error";
         response.error = to_string(e.code());
@@ -595,6 +901,13 @@ ServiceStats ServiceCore::stats() const {
     s.memo_served = memo_served_.load(std::memory_order_relaxed);
     s.batches = batches_.load(std::memory_order_relaxed);
     s.batched_requests = batched_requests_.load(std::memory_order_relaxed);
+    s.expired_in_queue = expired_in_queue_.load(std::memory_order_relaxed);
+    s.graphs_resident = graphs_.size();
+    s.patches_applied = patches_applied_.load(std::memory_order_relaxed);
+    s.patch_incremental = patch_incremental_.load(std::memory_order_relaxed);
+    s.patch_full = patch_full_.load(std::memory_order_relaxed);
+    s.patch_dirty_nodes = patch_dirty_nodes_.load(std::memory_order_relaxed);
+    s.patch_total_nodes = patch_total_nodes_.load(std::memory_order_relaxed);
     s.max_queue_depth = max_queue_depth_.load(std::memory_order_relaxed);
     s.queue_depth = queue_depth();
     s.busy_ms =

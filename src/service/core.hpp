@@ -2,6 +2,7 @@
 
 #include "dtm/view_cache.hpp"
 #include "obs/metrics.hpp"
+#include "service/graph_store.hpp"
 #include "service/memo.hpp"
 #include "service/snapshot.hpp"
 #include "service/wire.hpp"
@@ -25,6 +26,8 @@ class Session;
 }
 
 namespace service {
+
+struct BuiltGame; // registry.hpp
 
 /// Tuning knobs of one ServiceCore.
 struct ServiceOptions {
@@ -97,10 +100,30 @@ struct ServiceStats {
     std::uint64_t memo_served = 0; ///< completed straight from the result memo
     std::uint64_t batches = 0;     ///< micro-batches drained
     std::uint64_t batched_requests = 0; ///< requests inside those batches
+    /// Requests whose deadline expired while still queued.  They error with
+    /// DeadlineExceeded but never reach the engine, so they are excluded from
+    /// batched_requests and busy_ms (they would otherwise inflate avg_batch
+    /// and the busy/throughput ratios the loadgen reports).
+    std::uint64_t expired_in_queue = 0;
     std::uint64_t queue_depth = 0;     ///< at snapshot time
     std::uint64_t max_queue_depth = 0; ///< high-water mark
     double busy_ms = 0;  ///< summed per-request service time
     unsigned workers = 0;
+
+    // Incremental serving (DESIGN.md "Incremental serving").
+    std::uint64_t graphs_resident = 0;   ///< resident-store size at snapshot time
+    std::uint64_t patches_applied = 0;   ///< graph_patch requests applied
+    std::uint64_t patch_incremental = 0; ///< patch queries served incrementally
+    std::uint64_t patch_full = 0;        ///< patch queries that recomputed fully
+    std::uint64_t patch_dirty_nodes = 0; ///< summed dirty-set sizes
+    std::uint64_t patch_total_nodes = 0; ///< summed patched-graph sizes
+
+    double patch_dirty_fraction() const {
+        return patch_total_nodes > 0
+                   ? static_cast<double>(patch_dirty_nodes) /
+                         static_cast<double>(patch_total_nodes)
+                   : 0.0;
+    }
 
     double avg_batch() const {
         return batches > 0
@@ -197,10 +220,29 @@ private:
     void worker_loop();
     std::vector<Pending> take_batch_locked();
     void process_batch(std::vector<Pending> batch);
-    void serve_one(Pending& pending, BatchContext& ctx, std::size_t batch_size);
+    /// Serves one request.  Returns false when the request expired in the
+    /// queue (it then counts toward expired_in_queue, not batched_requests
+    /// or busy time).
+    bool serve_one(Pending& pending, BatchContext& ctx, std::size_t batch_size);
+    /// Copies the resident graph a "digest" reference names into `request`;
+    /// false when the digest does not resolve (the caller reports
+    /// UnknownGraph).
+    bool resolve_graph_ref(Request& request);
     /// Executes the request and renders the response body; throws on failure.
     std::string execute(const Request& request, BatchContext& ctx,
                         double deadline_ms);
+    /// graph_patch: mutates the resident graph, invalidates stale memo
+    /// entries, and re-evaluates the optional machine query over the dirty
+    /// region (DESIGN.md "Incremental serving").
+    std::string execute_patch(const Request& request, BatchContext& ctx,
+                              double deadline_ms);
+    /// The layers-0 fast path: merges retained per-node verdicts with
+    /// induced-ball reruns of the dirty nodes; falls back to one full
+    /// run_local when retention is unavailable or any ball run is unclean.
+    std::string evaluate_patch_decider(const Request& request,
+                                       const BuiltGame& game,
+                                       const PatchOutcome& outcome,
+                                       double deadline_ms);
     std::string render_stats_body();
     std::string render_health_body();
     ViewCache* cache_for(const std::string& machine);
@@ -217,6 +259,7 @@ private:
     std::vector<std::thread> workers_;
 
     ResultMemo memo_;
+    GraphStore graphs_;
     mutable std::mutex cache_mutex_;
     std::map<std::string, std::unique_ptr<ViewCache>> view_caches_;
 
@@ -228,6 +271,12 @@ private:
     std::atomic<std::uint64_t> memo_served_{0};
     std::atomic<std::uint64_t> batches_{0};
     std::atomic<std::uint64_t> batched_requests_{0};
+    std::atomic<std::uint64_t> expired_in_queue_{0};
+    std::atomic<std::uint64_t> patches_applied_{0};
+    std::atomic<std::uint64_t> patch_incremental_{0};
+    std::atomic<std::uint64_t> patch_full_{0};
+    std::atomic<std::uint64_t> patch_dirty_nodes_{0};
+    std::atomic<std::uint64_t> patch_total_nodes_{0};
     std::atomic<std::uint64_t> max_queue_depth_{0};
     std::atomic<std::uint64_t> busy_us_{0};
 

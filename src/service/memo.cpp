@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <functional>
+#include <unordered_set>
 
 namespace lph {
 namespace service {
@@ -13,6 +14,7 @@ obs::MetricList ResultMemoStats::to_metrics() const {
         {"memo.hits", static_cast<double>(hits)},
         {"memo.misses", static_cast<double>(misses)},
         {"memo.evictions", static_cast<double>(evictions)},
+        {"memo.invalidated", static_cast<double>(invalidated)},
         {"memo.entries", static_cast<double>(entries)},
         {"memo.hit_rate", hit_rate()},
     };
@@ -62,11 +64,36 @@ void ResultMemo::insert(const std::string& key, const std::string& body) {
     }
 }
 
+std::size_t ResultMemo::invalidate_digest(std::uint64_t digest) {
+    // Game/logic/decide memo keys end with '|' + decimal digest (wire.cpp
+    // memo_key); everything else (stats/health/register/patch) is unkeyed.
+    const std::string suffix = "|" + std::to_string(digest);
+    std::size_t dropped = 0;
+    for (Shard& shard : shards_) {
+        const std::lock_guard<std::mutex> lock(shard.mutex);
+        for (auto it = shard.lru.begin(); it != shard.lru.end();) {
+            const std::string& key = it->first;
+            if (key.size() >= suffix.size() &&
+                key.compare(key.size() - suffix.size(), suffix.size(),
+                            suffix) == 0) {
+                shard.index.erase(key);
+                it = shard.lru.erase(it);
+                ++dropped;
+            } else {
+                ++it;
+            }
+        }
+    }
+    invalidated_.fetch_add(dropped, std::memory_order_relaxed);
+    return dropped;
+}
+
 ResultMemoStats ResultMemo::stats() const {
     ResultMemoStats stats;
     stats.hits = hits_.load(std::memory_order_relaxed);
     stats.misses = misses_.load(std::memory_order_relaxed);
     stats.evictions = evictions_.load(std::memory_order_relaxed);
+    stats.invalidated = invalidated_.load(std::memory_order_relaxed);
     for (const Shard& shard : shards_) {
         const std::lock_guard<std::mutex> lock(shard.mutex);
         stats.entries += shard.lru.size();
@@ -98,6 +125,7 @@ ResultMemo::export_entries() const {
 std::size_t ResultMemo::restore(
     const std::vector<std::pair<std::string, std::string>>& entries) {
     std::size_t admitted = 0;
+    std::unordered_set<std::string> admitted_keys;
     for (const auto& [key, body] : entries) {
         Shard& shard = shard_for(key);
         const std::lock_guard<std::mutex> lock(shard.mutex);
@@ -109,10 +137,17 @@ std::size_t ResultMemo::restore(
         shard.lru.emplace_front(key, body);
         shard.index.emplace(key, shard.lru.begin());
         ++admitted;
+        admitted_keys.insert(key);
         while (shard.lru.size() > max_entries_per_shard_) {
-            shard.index.erase(shard.lru.back().first);
+            // Only evictions of entries *this call* admitted cancel out of
+            // the admitted count; displacing a pre-existing LRU tail does
+            // not make the snapshot entry any less admitted.
+            const std::string& victim = shard.lru.back().first;
+            if (admitted_keys.erase(victim) > 0) {
+                --admitted;
+            }
+            shard.index.erase(victim);
             shard.lru.pop_back();
-            --admitted;
         }
     }
     return admitted;

@@ -21,6 +21,7 @@ struct ResultMemoStats {
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
     std::uint64_t evictions = 0;
+    std::uint64_t invalidated = 0;
     std::uint64_t entries = 0;
 
     double hit_rate() const {
@@ -50,6 +51,12 @@ public:
     /// Inserts (or refreshes) a body, evicting the shard's LRU tail when the
     /// shard is over budget.
     void insert(const std::string& key, const std::string& body);
+
+    /// Drops every entry whose memo key embeds `digest` (game/logic/decide
+    /// keys end in "|<digest>").  graph_patch calls this when a resident
+    /// graph's content changes so a patched graph can never be served a
+    /// pre-patch body, even if a same-digest graph is re-registered later.
+    std::size_t invalidate_digest(std::uint64_t digest);
 
     ResultMemoStats stats() const;
     void clear();
@@ -83,6 +90,7 @@ private:
     std::atomic<std::uint64_t> hits_{0};
     std::atomic<std::uint64_t> misses_{0};
     std::atomic<std::uint64_t> evictions_{0};
+    std::atomic<std::uint64_t> invalidated_{0};
 };
 
 } // namespace service

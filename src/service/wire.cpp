@@ -6,6 +6,7 @@
 #include "service/registry.hpp"
 
 #include <cstdio>
+#include <limits>
 #include <sstream>
 
 namespace lph {
@@ -41,6 +42,102 @@ std::string parse_id_token(const JsonValue& v) {
     return {};
 }
 
+/// "digest" travels as a decimal string — a u64 digest does not survive a
+/// JSON double round-trip.
+std::uint64_t parse_digest(const JsonValue& v) {
+    check(v.is_string(), "\"digest\" must be a decimal string");
+    const std::string& text = v.string;
+    check(!text.empty() && text.size() <= 20 &&
+              text.find_first_not_of("0123456789") == std::string::npos &&
+              (text.size() == 1 || text[0] != '0'),
+          "\"digest\" must be a canonical decimal u64");
+    std::uint64_t value = 0;
+    for (const char c : text) {
+        const std::uint64_t digit = static_cast<std::uint64_t>(c - '0');
+        check(value <= (std::numeric_limits<std::uint64_t>::max() - digit) / 10,
+              "\"digest\" out of u64 range");
+        value = value * 10 + digit;
+    }
+    return value;
+}
+
+void check_label(const std::string& label, const WireLimits& limits) {
+    check(label.size() <= limits.max_label_bits,
+          "patch label exceeds " + std::to_string(limits.max_label_bits) +
+              " bits");
+    check(label.find_first_not_of("01") == std::string::npos,
+          "patch label must be a bit string");
+}
+
+std::vector<PatchOp> parse_ops(const JsonValue& value,
+                               const WireLimits& limits) {
+    check(value.kind == JsonValue::Kind::Array, "\"ops\" must be an array");
+    check(!value.items.empty(), "\"ops\" must not be empty");
+    check(value.items.size() <= limits.max_patch_ops,
+          "\"ops\" exceeds the limit of " +
+              std::to_string(limits.max_patch_ops) + " ops");
+    std::vector<PatchOp> ops;
+    ops.reserve(value.items.size());
+    for (const JsonValue& item : value.items) {
+        check(item.is_object(), "each op must be a JSON object");
+        const JsonValue* op_field = item.find("op");
+        check(op_field != nullptr && op_field->is_string(),
+              "each op needs a string \"op\" field");
+        PatchOp op;
+        const std::string& name = op_field->string;
+        bool needs_u = true;
+        bool needs_v = false;
+        bool needs_label = false;
+        if (name == "add_edge") {
+            op.kind = PatchOp::Kind::AddEdge;
+            needs_v = true;
+        } else if (name == "remove_edge") {
+            op.kind = PatchOp::Kind::RemoveEdge;
+            needs_v = true;
+        } else if (name == "relabel") {
+            op.kind = PatchOp::Kind::Relabel;
+            needs_label = true;
+        } else if (name == "add_node") {
+            op.kind = PatchOp::Kind::AddNode;
+            needs_u = false;
+            needs_label = true;
+        } else if (name == "remove_node") {
+            op.kind = PatchOp::Kind::RemoveNode;
+        } else {
+            check(false, "unknown op '" + name + "'");
+        }
+        bool saw_u = false;
+        bool saw_v = false;
+        bool saw_label = false;
+        for (const auto& [key, field] : item.members) {
+            if (key == "op") {
+                continue;
+            }
+            if (key == "u" && needs_u) {
+                op.u = static_cast<NodeId>(json_to_u64(field, "op \"u\""));
+                saw_u = true;
+            } else if (key == "v" && needs_v) {
+                op.v = static_cast<NodeId>(json_to_u64(field, "op \"v\""));
+                saw_v = true;
+            } else if (key == "label" && needs_label) {
+                check(field.is_string(), "op \"label\" must be a string");
+                check_label(field.string, limits);
+                op.label = field.string;
+                saw_label = true;
+            } else {
+                check(false,
+                      "unknown field \"" + key + "\" for op '" + name + "'");
+            }
+        }
+        check(!needs_u || saw_u, "op '" + name + "' is missing \"u\"");
+        check(!needs_v || saw_v, "op '" + name + "' is missing \"v\"");
+        check(!needs_label || saw_label,
+              "op '" + name + "' is missing \"label\"");
+        ops.push_back(std::move(op));
+    }
+    return ops;
+}
+
 } // namespace
 
 const char* to_string(RequestType type) {
@@ -51,6 +148,19 @@ const char* to_string(RequestType type) {
     case RequestType::OracleCheck: return "oracle_check";
     case RequestType::Stats: return "stats";
     case RequestType::Health: return "health";
+    case RequestType::GraphRegister: return "graph_register";
+    case RequestType::GraphPatch: return "graph_patch";
+    }
+    return "unknown";
+}
+
+const char* to_string(PatchOp::Kind kind) {
+    switch (kind) {
+    case PatchOp::Kind::AddEdge: return "add_edge";
+    case PatchOp::Kind::RemoveEdge: return "remove_edge";
+    case PatchOp::Kind::Relabel: return "relabel";
+    case PatchOp::Kind::AddNode: return "add_node";
+    case PatchOp::Kind::RemoveNode: return "remove_node";
     }
     return "unknown";
 }
@@ -90,6 +200,10 @@ std::string Request::memo_key() const {
         break;
     case RequestType::Stats:
     case RequestType::Health:
+    // Register is idempotent but cheap; a patch mutates state, so neither
+    // may ever be served from the memo.
+    case RequestType::GraphRegister:
+    case RequestType::GraphPatch:
         return "";
     }
     return key.str();
@@ -150,10 +264,46 @@ std::string Request::to_json() const {
         break;
     case RequestType::Stats:
     case RequestType::Health:
+    case RequestType::GraphRegister:
+        break;
+    case RequestType::GraphPatch:
+        out << ",\"digest\":\"" << ref_digest << "\",\"ops\":[";
+        for (std::size_t i = 0; i < ops.size(); ++i) {
+            const PatchOp& op = ops[i];
+            if (i > 0) {
+                out << ",";
+            }
+            out << "{\"op\":\"" << to_string(op.kind) << "\"";
+            if (op.kind != PatchOp::Kind::AddNode) {
+                out << ",\"u\":" << op.u;
+            }
+            if (op.kind == PatchOp::Kind::AddEdge ||
+                op.kind == PatchOp::Kind::RemoveEdge) {
+                out << ",\"v\":" << op.v;
+            }
+            if (op.kind == PatchOp::Kind::Relabel ||
+                op.kind == PatchOp::Kind::AddNode) {
+                out << ",\"label\":\"" << json_escape(op.label) << "\"";
+            }
+            out << "}";
+        }
+        out << "]";
+        if (!machine.empty()) {
+            out << ",\"machine\":\"" << json_escape(machine) << "\""
+                << ",\"layers\":" << layers
+                << ",\"sigma\":" << (sigma ? "true" : "false") << ",\"ids\":\""
+                << json_escape(ids) << "\"";
+            if (backend != "compiled") {
+                out << ",\"backend\":\"" << json_escape(backend) << "\"";
+            }
+        }
         break;
     }
     if (has_graph) {
         out << ",\"graph\":\"" << json_escape(canonical_graph) << "\"";
+    }
+    if (has_ref_digest && type != RequestType::GraphPatch) {
+        out << ",\"digest\":\"" << ref_digest << "\"";
     }
     out << "}";
     return out.str();
@@ -188,6 +338,10 @@ Request parse_request(const std::string& line, std::size_t line_number,
             r.type = RequestType::Stats;
         } else if (type == "health") {
             r.type = RequestType::Health;
+        } else if (type == "graph_register") {
+            r.type = RequestType::GraphRegister;
+        } else if (type == "graph_patch") {
+            r.type = RequestType::GraphPatch;
         } else {
             check(false, "unknown request type '" + type + "'");
         }
@@ -210,11 +364,25 @@ Request parse_request(const std::string& line, std::size_t line_number,
             }
             const bool takes_graph = r.type == RequestType::Game ||
                                      r.type == RequestType::Logic ||
-                                     r.type == RequestType::Decide;
+                                     r.type == RequestType::Decide ||
+                                     r.type == RequestType::GraphRegister;
             if (key == "graph" && takes_graph) {
                 check(value.is_string(), "\"graph\" must be a string payload");
                 graph_text = value.string;
                 saw_graph = true;
+                continue;
+            }
+            const bool takes_digest = r.type == RequestType::Game ||
+                                      r.type == RequestType::Logic ||
+                                      r.type == RequestType::Decide ||
+                                      r.type == RequestType::GraphPatch;
+            if (key == "digest" && takes_digest) {
+                r.ref_digest = parse_digest(value);
+                r.has_ref_digest = true;
+                continue;
+            }
+            if (key == "ops" && r.type == RequestType::GraphPatch) {
+                r.ops = parse_ops(value, limits);
                 continue;
             }
             bool known = false;
@@ -311,26 +479,67 @@ Request parse_request(const std::string& line, std::size_t line_number,
                     known = false;
                 }
                 break;
+            case RequestType::GraphPatch:
+                // The optional patch-and-reevaluate query: the clean-game
+                // subset of the game fields (faults and deadlines make
+                // verdicts time/plan-dependent, which an incremental result
+                // must never be).
+                known = true;
+                if (key == "machine") {
+                    check(value.is_string(), "\"machine\" must be a string");
+                    check(is_machine_name(value.string),
+                          "unknown machine '" + value.string + "'");
+                    r.machine = value.string;
+                } else if (key == "layers") {
+                    const std::uint64_t layers = json_to_u64(value, "\"layers\"");
+                    check(layers <= 3, "\"layers\" must be in [0, 3]");
+                    r.layers = static_cast<int>(layers);
+                } else if (key == "sigma") {
+                    check(value.is_bool(), "\"sigma\" must be a boolean");
+                    r.sigma = value.boolean;
+                } else if (key == "ids") {
+                    check(value.is_string() &&
+                              (value.string == "global" || value.string == "local"),
+                          "\"ids\" must be \"global\" or \"local\"");
+                    r.ids = value.string;
+                } else if (key == "backend") {
+                    check(value.is_string() && (value.string == "compiled" ||
+                                                value.string == "interpreted"),
+                          "\"backend\" must be \"compiled\" or "
+                          "\"interpreted\"");
+                    r.backend = value.string;
+                } else {
+                    known = false;
+                }
+                break;
             case RequestType::Stats:
             case RequestType::Health:
+            case RequestType::GraphRegister:
                 known = false;
                 break;
             }
             check(known, "unknown field \"" + key + "\" for type '" + type + "'");
         }
 
+        const auto graph_or_digest = [&](const char* what) {
+            check(saw_graph || r.has_ref_digest,
+                  std::string(what) + " request needs \"graph\" or \"digest\"");
+            check(!(saw_graph && r.has_ref_digest),
+                  std::string(what) +
+                      " request must not carry both \"graph\" and \"digest\"");
+        };
         switch (r.type) {
         case RequestType::Game:
             check(!r.machine.empty(), "game request is missing \"machine\"");
-            check(saw_graph, "game request is missing \"graph\"");
+            graph_or_digest("game");
             break;
         case RequestType::Logic:
             check(!r.formula.empty(), "logic request is missing \"formula\"");
-            check(saw_graph, "logic request is missing \"graph\"");
+            graph_or_digest("logic");
             break;
         case RequestType::Decide:
             check(!r.problem.empty(), "decide request is missing \"problem\"");
-            check(saw_graph, "decide request is missing \"graph\"");
+            graph_or_digest("decide");
             break;
         case RequestType::OracleCheck:
             check(!r.oracle_check.empty(),
@@ -338,6 +547,14 @@ Request parse_request(const std::string& line, std::size_t line_number,
             break;
         case RequestType::Stats:
         case RequestType::Health:
+            break;
+        case RequestType::GraphRegister:
+            check(saw_graph, "graph_register request is missing \"graph\"");
+            break;
+        case RequestType::GraphPatch:
+            check(r.has_ref_digest,
+                  "graph_patch request is missing \"digest\"");
+            check(!r.ops.empty(), "graph_patch request is missing \"ops\"");
             break;
         }
 

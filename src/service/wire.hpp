@@ -16,6 +16,7 @@ struct WireLimits {
     std::size_t max_graph_nodes = 256;    ///< per graph payload
     std::size_t max_graph_edges = 4096;
     std::size_t max_label_bits = 64;
+    std::size_t max_patch_ops = 64;       ///< per graph_patch request
 
     GraphReadLimits graph_limits() const {
         return GraphReadLimits{max_graph_nodes, max_graph_edges, max_label_bits,
@@ -23,9 +24,32 @@ struct WireLimits {
     }
 };
 
-enum class RequestType { Game, Logic, Decide, OracleCheck, Stats, Health };
+enum class RequestType {
+    Game,
+    Logic,
+    Decide,
+    OracleCheck,
+    Stats,
+    Health,
+    GraphRegister,
+    GraphPatch,
+};
 
 const char* to_string(RequestType type);
+
+/// One mutation of a resident graph (an element of graph_patch's "ops"
+/// array).  Node indices refer to the resident graph *as of this op* —
+/// earlier ops in the same request (including remove_node renumbering)
+/// already applied.
+struct PatchOp {
+    enum class Kind { AddEdge, RemoveEdge, Relabel, AddNode, RemoveNode };
+    Kind kind = Kind::AddEdge;
+    NodeId u = 0;      ///< add_edge / remove_edge / relabel / remove_node
+    NodeId v = 0;      ///< add_edge / remove_edge
+    std::string label; ///< relabel / add_node
+};
+
+const char* to_string(PatchOp::Kind kind);
 
 /// One parsed wire request.  The line grammar is one strict JSON object per
 /// line (DESIGN.md "Serving layer" has the full field table):
@@ -37,6 +61,18 @@ const char* to_string(RequestType type);
 ///   {"type":"oracle_check","check":"eulerian-vs-bruteforce","seed":7,
 ///    "instances":25}
 ///   {"type":"stats"}   {"type":"health"}
+///   {"type":"graph_register","graph":"graph 3\nedge 0 1\nedge 1 2\n"}
+///   {"type":"graph_patch","digest":"17352...","ops":[
+///    {"op":"add_edge","u":0,"v":2},{"op":"relabel","u":1,"label":"1"},
+///    {"op":"add_node","label":"0"},{"op":"remove_node","u":3},
+///    {"op":"remove_edge","u":0,"v":1}],"machine":"eulerian","layers":0}
+///
+/// graph_register admits a graph into the resident store and echoes its
+/// canonical digest (a decimal string — u64 digests do not survive JSON
+/// doubles); graph_patch mutates the resident copy, echoes the new digest,
+/// and, when a machine is named, re-evaluates the game incrementally over
+/// the dirty region.  game/logic/decide accept "digest":"<decimal>" in
+/// place of "graph" to run against a resident graph.
 ///
 /// Common optional fields: "id" (echoed back verbatim; number or string) and
 /// "deadline_ms" (propagated into the engine's wall-clock deadline guard).
@@ -81,10 +117,23 @@ struct Request {
     std::uint64_t seed = 1;
     std::size_t instances = 25;
 
-    // graph payload (game/logic/decide)
+    // graph payload (game/logic/decide/graph_register)
     bool has_graph = false;
     LabeledGraph graph;
     std::string canonical_graph; ///< graph_to_text(graph) — the digest input
+
+    // resident-graph reference ("digest" field, decimal-string u64):
+    // game/logic/decide may name a registered graph instead of carrying one
+    // inline; graph_patch must.  Resolved against the GraphStore at serve
+    // time (never at submit — a fire-and-forget patch chain must see every
+    // earlier patch applied).
+    bool has_ref_digest = false;
+    std::uint64_t ref_digest = 0;
+
+    // graph_patch: the mutations, plus an optional machine query evaluated
+    // incrementally on the patched graph (the game fields above carry the
+    // flavor; empty machine = mutate only).
+    std::vector<PatchOp> ops;
 
     bool wants_fault_plan() const {
         return fault_crash > 0 || fault_drop > 0 || fault_truncate > 0 ||

@@ -29,6 +29,44 @@ TEST(LabeledGraph, RejectsSelfLoopsAndDuplicates) {
     EXPECT_THROW(g.add_edge(b, a), precondition_error);
 }
 
+TEST(LabeledGraph, RemoveEdge) {
+    LabeledGraph g;
+    const NodeId a = g.add_node();
+    const NodeId b = g.add_node();
+    const NodeId c = g.add_node();
+    g.add_edge(a, b);
+    g.add_edge(b, c);
+    g.remove_edge(b, a); // either endpoint order
+    EXPECT_EQ(g.num_edges(), 1u);
+    EXPECT_FALSE(g.has_edge(a, b));
+    EXPECT_TRUE(g.has_edge(b, c));
+    EXPECT_THROW(g.remove_edge(a, b), precondition_error); // already gone
+    EXPECT_THROW(g.remove_edge(a, a), precondition_error);
+    EXPECT_THROW(g.remove_edge(a, 9), precondition_error);
+    g.add_edge(a, b); // removal leaves the slot reusable
+    EXPECT_TRUE(g.has_edge(a, b));
+}
+
+TEST(LabeledGraph, RemoveNodeRenumbersAndRequiresIsolation) {
+    LabeledGraph g;
+    g.add_node("1");
+    g.add_node("0");
+    g.add_node("1");
+    g.add_node("0");
+    g.add_edge(0, 1);
+    g.add_edge(2, 3);
+    EXPECT_THROW(g.remove_node(0), precondition_error); // degree 1
+    g.remove_edge(0, 1);
+    g.remove_node(1);
+    // Nodes 2,3 renumber down to 1,2; the edge and labels follow.
+    EXPECT_EQ(g.num_nodes(), 3u);
+    EXPECT_TRUE(g.has_edge(1, 2));
+    EXPECT_EQ(g.label(0), "1");
+    EXPECT_EQ(g.label(1), "1");
+    EXPECT_EQ(g.label(2), "0");
+    EXPECT_THROW(g.remove_node(7), precondition_error);
+}
+
 TEST(LabeledGraph, RejectsNonBitLabels) {
     LabeledGraph g;
     EXPECT_THROW(g.add_node("abc"), precondition_error);

@@ -5,14 +5,24 @@
 // (never a hang), malformed lines as ProtocolError with the connection
 // still usable, injected engine faults as structured per-request failures —
 // plus the memo/queue gauges flowing through the MetricsRegistry snapshot
-// and a TCP loopback session.
+// and a TCP loopback session.  The incremental-serving section covers the
+// resident-graph store (graph_register/graph_patch), the exact r-locality
+// dirty-ball boundary, memo invalidation on patch, and patch-vs-full-
+// recompute agreement (including the registered oracle check).
 
 #include "core/rng.hpp"
+#include "dtm/view_cache.hpp"
 #include "graph/generators.hpp"
+#include "graph/identifiers.hpp"
 #include "graph/serialize.hpp"
+#include "hierarchy/game.hpp"
 #include "obs/session.hpp"
+#include "oracle/harness.hpp"
+#include "service/chaos.hpp"
 #include "service/core.hpp"
+#include "service/graph_store.hpp"
 #include "service/json.hpp"
+#include "service/memo.hpp"
 #include "service/registry.hpp"
 #include "service/server.hpp"
 #include "service/wire.hpp"
@@ -183,7 +193,8 @@ TEST(Wire, RejectsMalformedRequestsWithLineNumbers) {
     const std::map<std::string, std::string> rejects = {
         {"not json at all", "line 3"},
         {"{\"type\":\"nope\"}", "unknown request type"},
-        {"{\"type\":\"game\",\"machine\":\"coloring3\"}", "missing \"graph\""},
+        {"{\"type\":\"game\",\"machine\":\"coloring3\"}",
+         "needs \"graph\" or \"digest\""},
         {"{\"type\":\"game\",\"machine\":\"unknown-machine\",\"graph\":\"x\"}",
          "unknown machine"},
         {"{\"type\":\"stats\",\"bogus\":1}", "unknown field"},
@@ -563,6 +574,595 @@ TEST(TcpServerTest, ServesLoopbackConnections) {
 
     server.shutdown();
     core.stop();
+}
+
+// ------------------------------------------------------------ result memo ---
+
+TEST(ResultMemo, RestoreCountsAdmittedOnlyAndIsNotTraffic) {
+    // Regression: restore() used to count every insertion, including entries
+    // its own later insertions evicted again.  Invariant on an empty memo:
+    // admitted == entries retrievable afterwards, and a warm start must not
+    // look like traffic (hits/misses stay zero).
+    ResultMemo memo(1); // clamps every shard to one entry
+    std::vector<std::pair<std::string, std::string>> snapshot;
+    for (int i = 0; i < 32; ++i) {
+        snapshot.emplace_back("key" + std::to_string(i), "body");
+    }
+    const std::size_t admitted = memo.restore(snapshot);
+    EXPECT_EQ(memo.stats().hits, 0u);
+    EXPECT_EQ(memo.stats().misses, 0u);
+    EXPECT_EQ(admitted, memo.stats().entries);
+    EXPECT_LE(admitted, 8u); // one per shard
+    std::size_t live = 0;
+    for (const auto& [key, body] : snapshot) {
+        live += memo.lookup(key).has_value() ? 1 : 0;
+    }
+    EXPECT_EQ(admitted, live);
+    // A snapshot key that already exists is a refresh, not an admission.
+    ResultMemo roomy(64);
+    roomy.insert("k", "b");
+    EXPECT_EQ(roomy.restore({{"k", "b"}, {"fresh", "b2"}}), 1u);
+    EXPECT_EQ(roomy.stats().entries, 2u);
+}
+
+TEST(ResultMemo, InvalidateDigestDropsOnlyKeysEmbeddingTheDigest) {
+    ResultMemo memo(64);
+    memo.insert("game|eulerian|0|1|global|0|0|0|0|0|0|compiled|123", "a");
+    memo.insert("decide|eulerian|3|123", "b");
+    memo.insert("decide|eulerian|3|456", "c");
+    memo.insert("decide|eulerian|3|1123", "d"); // "|123" is not a suffix of "|1123"
+    EXPECT_EQ(memo.invalidate_digest(123), 2u);
+    EXPECT_EQ(memo.stats().invalidated, 2u);
+    EXPECT_EQ(memo.stats().entries, 2u);
+    EXPECT_FALSE(memo.lookup("decide|eulerian|3|123").has_value());
+    EXPECT_TRUE(memo.lookup("decide|eulerian|3|456").has_value());
+    EXPECT_TRUE(memo.lookup("decide|eulerian|3|1123").has_value());
+    EXPECT_EQ(memo.invalidate_digest(999), 0u);
+}
+
+// ------------------------------------------------- wire: incremental ops ----
+
+TEST(Wire, ParsesGraphRegisterAndPatchAndRoundTrips) {
+    const Request reg = parse_request(
+        "{\"type\":\"graph_register\",\"id\":9,\"graph\":\"" +
+            cycle6_payload() + "\"}",
+        1, WireLimits{});
+    EXPECT_EQ(reg.type, RequestType::GraphRegister);
+    EXPECT_TRUE(reg.has_graph);
+    EXPECT_EQ(reg.graph_digest(), fnv1a64(reg.canonical_graph));
+    EXPECT_EQ(reg.memo_key(), ""); // register must never be memo-served
+
+    const Request patch = parse_request(
+        "{\"type\":\"graph_patch\",\"id\":10,\"digest\":\"12345\",\"ops\":["
+        "{\"op\":\"add_edge\",\"u\":0,\"v\":2},"
+        "{\"op\":\"remove_edge\",\"u\":1,\"v\":2},"
+        "{\"op\":\"relabel\",\"u\":3,\"label\":\"0\"},"
+        "{\"op\":\"add_node\",\"label\":\"1\"},"
+        "{\"op\":\"remove_node\",\"u\":4}],"
+        "\"machine\":\"eulerian\",\"layers\":0}",
+        1, WireLimits{});
+    EXPECT_EQ(patch.type, RequestType::GraphPatch);
+    EXPECT_TRUE(patch.has_ref_digest);
+    EXPECT_EQ(patch.ref_digest, 12345u);
+    EXPECT_EQ(patch.machine, "eulerian");
+    EXPECT_EQ(patch.memo_key(), ""); // a patch mutates state
+    ASSERT_EQ(patch.ops.size(), 5u);
+    EXPECT_EQ(patch.ops[0].kind, PatchOp::Kind::AddEdge);
+    EXPECT_EQ(patch.ops[0].u, 0u);
+    EXPECT_EQ(patch.ops[0].v, 2u);
+    EXPECT_EQ(patch.ops[1].kind, PatchOp::Kind::RemoveEdge);
+    EXPECT_EQ(patch.ops[2].kind, PatchOp::Kind::Relabel);
+    EXPECT_EQ(patch.ops[2].label, "0");
+    EXPECT_EQ(patch.ops[3].kind, PatchOp::Kind::AddNode);
+    EXPECT_EQ(patch.ops[3].label, "1");
+    EXPECT_EQ(patch.ops[4].kind, PatchOp::Kind::RemoveNode);
+    EXPECT_EQ(patch.ops[4].u, 4u);
+
+    // to_json -> parse_request is a fixed point for both new types.
+    const Request reg2 = parse_request(reg.to_json(), 1, WireLimits{});
+    EXPECT_EQ(reg2.to_json(), reg.to_json());
+    const Request patch2 = parse_request(patch.to_json(), 1, WireLimits{});
+    EXPECT_EQ(patch2.to_json(), patch.to_json());
+
+    // game/decide accept a digest reference in place of a graph payload.
+    const Request ref = parse_request(
+        "{\"type\":\"game\",\"machine\":\"eulerian\",\"layers\":0,"
+        "\"digest\":\"777\"}",
+        1, WireLimits{});
+    EXPECT_TRUE(ref.has_ref_digest);
+    EXPECT_EQ(ref.ref_digest, 777u);
+    EXPECT_FALSE(ref.has_graph);
+}
+
+TEST(Wire, RejectsMalformedPatchRequests) {
+    const WireLimits limits;
+    const std::vector<std::string> rejects = {
+        // missing digest / missing or empty ops
+        "{\"type\":\"graph_patch\",\"ops\":[{\"op\":\"add_node\","
+        "\"label\":\"1\"}]}",
+        "{\"type\":\"graph_patch\",\"digest\":\"1\"}",
+        "{\"type\":\"graph_patch\",\"digest\":\"1\",\"ops\":[]}",
+        // digests travel as canonical decimal strings, never numbers
+        "{\"type\":\"graph_patch\",\"digest\":1,\"ops\":[{\"op\":\"add_node\","
+        "\"label\":\"1\"}]}",
+        "{\"type\":\"graph_patch\",\"digest\":\"0x12\",\"ops\":["
+        "{\"op\":\"add_node\",\"label\":\"1\"}]}",
+        // unknown op, per-op field rules
+        "{\"type\":\"graph_patch\",\"digest\":\"1\",\"ops\":["
+        "{\"op\":\"teleport\",\"u\":0}]}",
+        "{\"type\":\"graph_patch\",\"digest\":\"1\",\"ops\":["
+        "{\"op\":\"add_node\",\"label\":\"1\",\"u\":0}]}",
+        "{\"type\":\"graph_patch\",\"digest\":\"1\",\"ops\":["
+        "{\"op\":\"add_edge\",\"u\":0}]}",
+        // a request carries a graph or a digest reference, never both
+        "{\"type\":\"game\",\"machine\":\"eulerian\",\"layers\":0,"
+        "\"digest\":\"1\",\"graph\":\"graph 1\\n\"}",
+        // a register must carry the graph inline
+        "{\"type\":\"graph_register\",\"digest\":\"1\"}",
+    };
+    for (const std::string& line : rejects) {
+        EXPECT_THROW(parse_request(line, 1, limits), precondition_error)
+            << "accepted: " << line;
+    }
+
+    WireLimits tight;
+    tight.max_patch_ops = 2;
+    EXPECT_THROW(
+        parse_request("{\"type\":\"graph_patch\",\"digest\":\"1\",\"ops\":["
+                      "{\"op\":\"add_node\",\"label\":\"1\"},"
+                      "{\"op\":\"add_node\",\"label\":\"1\"},"
+                      "{\"op\":\"add_node\",\"label\":\"1\"}]}",
+                      1, tight),
+        precondition_error);
+}
+
+// -------------------------------------------------- incremental serving ----
+
+std::string escape_newlines(const std::string& text) {
+    std::string out;
+    for (const char c : text) {
+        if (c == '\n') {
+            out += "\\n";
+        } else {
+            out += c;
+        }
+    }
+    return out;
+}
+
+/// Registers `g` as a resident graph and returns its canonical digest.
+std::uint64_t register_resident(ServiceCore& core, const LabeledGraph& g) {
+    const std::string canonical = graph_to_text(g);
+    const Response r = core.call(
+        parse_request("{\"type\":\"graph_register\",\"graph\":\"" +
+                          escape_newlines(canonical) + "\"}",
+                      1, WireLimits{}));
+    EXPECT_EQ(r.status, "ok") << r.detail;
+    return fnv1a64(canonical);
+}
+
+Request game_by_digest(std::uint64_t digest, const std::string& machine,
+                       int layers, const std::string& extras = "") {
+    return parse_request("{\"type\":\"game\",\"machine\":\"" + machine +
+                             "\",\"layers\":" + std::to_string(layers) +
+                             ",\"digest\":\"" + std::to_string(digest) + "\"" +
+                             extras + "}",
+                         1, WireLimits{});
+}
+
+Request patch_request(std::uint64_t digest, const std::string& ops_json,
+                      const std::string& extras = "") {
+    return parse_request("{\"type\":\"graph_patch\",\"digest\":\"" +
+                             std::to_string(digest) + "\",\"ops\":[" +
+                             ops_json + "]" + extras + "}",
+                         1, WireLimits{});
+}
+
+/// The boolean verdict of a patch/game response (the field `lph_client
+/// --verify --against` compares).
+bool response_verdict(const Response& r) {
+    const std::optional<VerdictView> view = parse_verdict(r.to_json());
+    EXPECT_TRUE(view.has_value() && view->has_verdict) << r.to_json();
+    return view.has_value() && view->has_verdict && view->verdict;
+}
+
+TEST(ServiceCore, GraphRegisterIsIdempotentAndServesDigestReferences) {
+    ServiceCore core(manual_options());
+    const LabeledGraph cycle = graph_from_text(cycle6_text());
+    const std::uint64_t digest = fnv1a64(graph_to_text(cycle));
+
+    const Response first = core.call(
+        parse_request("{\"type\":\"graph_register\",\"graph\":\"" +
+                          cycle6_payload() + "\"}",
+                      1, WireLimits{}));
+    EXPECT_EQ(first.status, "ok");
+    EXPECT_NE(first.body.find("\"digest\":\"" + std::to_string(digest) + "\""),
+              std::string::npos);
+    EXPECT_NE(first.body.find("\"existed\":false"), std::string::npos);
+
+    const Response again = core.call(
+        parse_request("{\"type\":\"graph_register\",\"graph\":\"" +
+                          cycle6_payload() + "\"}",
+                      1, WireLimits{}));
+    EXPECT_NE(again.body.find("\"existed\":true"), std::string::npos);
+    EXPECT_EQ(core.stats().graphs_resident, 1u);
+
+    // decide/game resolve the resident copy through the digest.
+    const Response ref = core.call(parse_request(
+        "{\"type\":\"decide\",\"problem\":\"eulerian\",\"digest\":\"" +
+            std::to_string(digest) + "\"}",
+        1, WireLimits{}));
+    EXPECT_EQ(ref.status, "ok") << ref.detail;
+    EXPECT_NE(ref.body.find("\"answer\":true"), std::string::npos);
+
+    const Response unknown = core.call(parse_request(
+        "{\"type\":\"decide\",\"problem\":\"eulerian\",\"digest\":\"" +
+            std::to_string(digest + 1) + "\"}",
+        1, WireLimits{}));
+    EXPECT_EQ(unknown.status, "error");
+    EXPECT_EQ(unknown.error, "UnknownGraph");
+}
+
+TEST(ServiceCore, ExpiredInQueueRequestsAreNotBatchAccounted) {
+    // Regression: requests whose deadline expired while queued used to count
+    // toward batched_requests and busy time, skewing avg_batch and the
+    // busy/throughput ratios the loadgen reports.  They error, they count in
+    // the dedicated gauge, and the batch accounting only sees served work.
+    obs::Session session;
+    ServiceOptions options = manual_options();
+    options.obs = &session;
+    ServiceCore core(options);
+
+    Request e1 = decide_request("eulerian", "e1");
+    Request e2 = decide_request("eulerian", "e2");
+    e1.deadline_ms = 0.01;
+    e2.deadline_ms = 0.01;
+    auto f1 = core.submit(std::move(e1));
+    auto f2 = core.submit(std::move(e2));
+    auto f3 = core.submit(decide_request("eulerian", "live"));
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    core.drain();
+
+    EXPECT_EQ(f1.get().error, "DeadlineExceeded");
+    EXPECT_EQ(f2.get().error, "DeadlineExceeded");
+    EXPECT_EQ(f3.get().status, "ok");
+
+    const ServiceStats stats = core.stats();
+    EXPECT_EQ(stats.errors, 2u);
+    EXPECT_EQ(stats.expired_in_queue, 2u);
+    EXPECT_EQ(stats.completed, 1u);
+    // All three shared a digest, so one batch was drained — but only the
+    // live request counts as batched work.
+    EXPECT_EQ(stats.batches, 1u);
+    EXPECT_EQ(stats.batched_requests, 1u);
+    EXPECT_EQ(stats.avg_batch(), 1.0);
+
+    core.publish_metrics();
+    std::map<std::string, double> snapshot;
+    for (const auto& [name, value] : session.metrics().snapshot()) {
+        snapshot[name] = value;
+    }
+    EXPECT_EQ(snapshot.at("service.expired_in_queue"), 2.0);
+    EXPECT_EQ(snapshot.at("service.batched_requests"), 1.0);
+}
+
+TEST(GraphStore, DirtyBallStopsAtExactRadius) {
+    // The r-locality boundary, pinned exactly: with view radius R, a relabel
+    // dirties ball(u, R-1) — a node at distance exactly R never sees the
+    // label — and an edge edit dirties the radius-R balls of both endpoints
+    // in the pre- AND post-edit graphs.  Nodes one step beyond provably keep
+    // their verdicts.
+    GraphStore store;
+    const LabeledGraph cycle = cycle_graph(20, "1");
+    const std::string canonical = graph_to_text(cycle);
+    store.register_graph(cycle, canonical);
+    std::uint64_t digest = fnv1a64(canonical);
+    const int radius = 3;
+
+    {
+        std::vector<PatchOp> relabel(1);
+        relabel[0].kind = PatchOp::Kind::Relabel;
+        relabel[0].u = 10;
+        relabel[0].label = "0";
+        const PatchOutcome out = store.apply_patch(digest, relabel, radius,
+                                                   "global", 1, "",
+                                                   WireLimits{});
+        // ball(10, R-1 = 2): nodes 8..12.  Node 7 sits at distance R and is
+        // clean; node 8 at R-1 is dirty.
+        EXPECT_EQ(out.dirty, (std::vector<NodeId>{8, 9, 10, 11, 12}));
+        digest = out.new_digest;
+    }
+    {
+        std::vector<PatchOp> cut(1);
+        cut[0].kind = PatchOp::Kind::RemoveEdge;
+        cut[0].u = 0;
+        cut[0].v = 1;
+        const PatchOutcome out = store.apply_patch(digest, cut, radius,
+                                                   "global", 1, "",
+                                                   WireLimits{});
+        // Pre-edit balls of radius 3 around 0 and 1 cover 17..4; the
+        // post-edit (path) balls are a subset.  Node 5, at distance R+1 from
+        // the nearer endpoint, stays clean.
+        EXPECT_EQ(out.dirty, (std::vector<NodeId>{0, 1, 2, 3, 4, 17, 18, 19}));
+        digest = out.new_digest;
+    }
+    {
+        // Re-adding the edge dirties the same region through the post-edit
+        // graph, and round-trips the content back to a previous digest.
+        std::vector<PatchOp> mend(1);
+        mend[0].kind = PatchOp::Kind::AddEdge;
+        mend[0].u = 0;
+        mend[0].v = 1;
+        const PatchOutcome out = store.apply_patch(digest, mend, radius,
+                                                   "global", 1, "",
+                                                   WireLimits{});
+        EXPECT_EQ(out.dirty, (std::vector<NodeId>{0, 1, 2, 3, 4, 17, 18, 19}));
+    }
+}
+
+TEST(GraphStore, InvalidOpRollsBackTheWholePatch) {
+    GraphStore store;
+    const LabeledGraph cycle = graph_from_text(cycle6_text());
+    const std::string canonical = graph_to_text(cycle);
+    store.register_graph(cycle, canonical);
+    const std::uint64_t digest = fnv1a64(canonical);
+
+    // Op 0 is valid, op 1 is not — the resident must stay untouched.
+    std::vector<PatchOp> ops(2);
+    ops[0].kind = PatchOp::Kind::AddEdge;
+    ops[0].u = 0;
+    ops[0].v = 3;
+    ops[1].kind = PatchOp::Kind::RemoveEdge;
+    ops[1].u = 1;
+    ops[1].v = 4;
+    try {
+        store.apply_patch(digest, ops, 1, "global", 1, "", WireLimits{});
+        FAIL() << "invalid patch accepted";
+    } catch (const precondition_error& e) {
+        EXPECT_NE(std::string(e.what()).find("op 1: "), std::string::npos);
+    }
+    const std::shared_ptr<ResidentGraph> resident = store.find(digest);
+    ASSERT_NE(resident, nullptr);
+    EXPECT_FALSE(resident->graph.has_edge(0, 3));
+    EXPECT_EQ(resident->canonical, canonical);
+}
+
+TEST(ServiceCore, PatchRekeysDigestAndNeverServesPrePatchBody) {
+    ServiceCore core(manual_options());
+    LabeledGraph mirror = graph_from_text(cycle6_text());
+    const std::uint64_t d0 = register_resident(core, mirror);
+
+    const Response before = core.call(game_by_digest(d0, "eulerian", 0));
+    ASSERT_EQ(before.status, "ok") << before.detail;
+    EXPECT_TRUE(response_verdict(before)); // a cycle is eulerian
+    EXPECT_TRUE(core.call(game_by_digest(d0, "eulerian", 0)).memo_hit);
+
+    // The chord gives nodes 0 and 2 odd degree; the patch re-keys the
+    // resident and drops every memoized body for the old digest.
+    mirror.add_edge(0, 2);
+    const std::uint64_t d1 = fnv1a64(graph_to_text(mirror));
+    const Response patched = core.call(
+        patch_request(d0, "{\"op\":\"add_edge\",\"u\":0,\"v\":2}"));
+    ASSERT_EQ(patched.status, "ok") << patched.detail;
+    EXPECT_NE(patched.body.find("\"digest\":\"" + std::to_string(d1) + "\""),
+              std::string::npos);
+    EXPECT_NE(patched.body.find("\"version\":1"), std::string::npos);
+    EXPECT_GE(core.memo_stats().invalidated, 1u);
+
+    const Response stale = core.call(game_by_digest(d0, "eulerian", 0));
+    EXPECT_EQ(stale.status, "error");
+    EXPECT_EQ(stale.error, "UnknownGraph");
+
+    const Response after = core.call(game_by_digest(d1, "eulerian", 0));
+    ASSERT_EQ(after.status, "ok") << after.detail;
+    EXPECT_FALSE(after.memo_hit);
+    EXPECT_FALSE(response_verdict(after));
+
+    // Patch back: the content (and digest) round-trips to d0, but the memo
+    // entry for d0 was invalidated, so the verdict is recomputed — a client
+    // can never observe a body computed for content the digest no longer
+    // names.
+    mirror.remove_edge(0, 2);
+    ASSERT_EQ(fnv1a64(graph_to_text(mirror)), d0);
+    const Response reverted = core.call(
+        patch_request(d1, "{\"op\":\"remove_edge\",\"u\":0,\"v\":2}"));
+    ASSERT_EQ(reverted.status, "ok") << reverted.detail;
+    EXPECT_NE(reverted.body.find("\"version\":2"), std::string::npos);
+    const Response recomputed = core.call(game_by_digest(d0, "eulerian", 0));
+    ASSERT_EQ(recomputed.status, "ok");
+    EXPECT_FALSE(recomputed.memo_hit);
+    EXPECT_TRUE(response_verdict(recomputed));
+    EXPECT_EQ(recomputed.body, before.body); // same content, same body
+}
+
+TEST(ServiceCore, DisconnectedQueryErrorsButPatchCommits) {
+    ServiceCore core(manual_options());
+    LabeledGraph mirror = graph_from_text("graph 3\nedge 0 1\nedge 1 2\n");
+    const std::uint64_t d0 = register_resident(core, mirror);
+
+    // The cut disconnects node 2.  The patch commits — that is how graphs
+    // move through intermediate shapes — but the attached query fails the
+    // same way any query on a disconnected graph does.
+    mirror.remove_edge(1, 2);
+    const std::uint64_t d1 = fnv1a64(graph_to_text(mirror));
+    const Response cut = core.call(
+        patch_request(d0, "{\"op\":\"remove_edge\",\"u\":1,\"v\":2}",
+                      ",\"machine\":\"eulerian\",\"layers\":0"));
+    EXPECT_EQ(cut.status, "error");
+    EXPECT_EQ(cut.error, "InvalidRequest");
+    EXPECT_NE(cut.detail.find("connected"), std::string::npos);
+
+    // The new digest resolves (the patch committed) and the old one is gone;
+    // plain queries against the disconnected resident error identically.
+    const Response direct = core.call(game_by_digest(d1, "eulerian", 0));
+    EXPECT_EQ(direct.status, "error");
+    EXPECT_EQ(direct.error, "InvalidRequest");
+    EXPECT_EQ(core.call(game_by_digest(d0, "eulerian", 0)).error,
+              "UnknownGraph");
+
+    // Reconnecting restores service; the verdict matches a full recompute
+    // of the same content.
+    mirror.add_edge(0, 2);
+    const Response mended = core.call(
+        patch_request(d1, "{\"op\":\"add_edge\",\"u\":0,\"v\":2}",
+                      ",\"machine\":\"eulerian\",\"layers\":0"));
+    ASSERT_EQ(mended.status, "ok") << mended.detail;
+
+    ServiceOptions golden_options = manual_options();
+    golden_options.memoize_results = false;
+    ServiceCore golden(golden_options);
+    const Response full = golden.serve_unbatched(parse_request(
+        "{\"type\":\"game\",\"machine\":\"eulerian\",\"layers\":0,"
+        "\"graph\":\"" + escape_newlines(graph_to_text(mirror)) + "\"}",
+        1, WireLimits{}));
+    ASSERT_EQ(full.status, "ok") << full.detail;
+    EXPECT_EQ(response_verdict(mended), response_verdict(full));
+}
+
+TEST(ServiceCore, PatchSequenceMatchesFullRecomputeAndGoesIncremental) {
+    // A grow/shrink/relabel sequence replayed against full recomputation of
+    // every intermediate graph — the deterministic core of what the
+    // service-patch-vs-full-recompute oracle check fuzzes at scale.
+    ServiceCore core(manual_options());
+    ServiceOptions golden_options = manual_options();
+    golden_options.memoize_results = false;
+    golden_options.share_view_cache = false;
+    ServiceCore golden(golden_options);
+
+    LabeledGraph mirror = cycle_graph(8, "1");
+    std::uint64_t digest = register_resident(core, mirror);
+
+    const auto check_step = [&](const std::string& ops_json,
+                                const std::string& machine, int layers,
+                                const std::string& backend) {
+        const std::string extras = ",\"machine\":\"" + machine +
+                                   "\",\"layers\":" + std::to_string(layers) +
+                                   ",\"backend\":\"" + backend + "\"";
+        const Response served =
+            core.call(patch_request(digest, ops_json, extras));
+        ASSERT_EQ(served.status, "ok") << served.detail;
+        digest = fnv1a64(graph_to_text(mirror));
+        EXPECT_NE(served.body.find("\"digest\":\"" + std::to_string(digest) +
+                                   "\""),
+                  std::string::npos)
+            << served.body;
+        const Response full = golden.serve_unbatched(parse_request(
+            "{\"type\":\"game\",\"machine\":\"" + machine +
+                "\",\"layers\":" + std::to_string(layers) + ",\"backend\":\"" +
+                backend + "\",\"graph\":\"" +
+                escape_newlines(graph_to_text(mirror)) + "\"}",
+            1, WireLimits{}));
+        ASSERT_EQ(full.status, "ok") << full.detail;
+        EXPECT_EQ(response_verdict(served), response_verdict(full))
+            << ops_json;
+    };
+
+    // Chord toggle, twice: the second query reuses the verdicts retained by
+    // the first and goes through the incremental decider path.
+    mirror.add_edge(0, 2);
+    check_step("{\"op\":\"add_edge\",\"u\":0,\"v\":2}", "eulerian", 0,
+               "interpreted");
+    mirror.remove_edge(0, 2);
+    check_step("{\"op\":\"remove_edge\",\"u\":0,\"v\":2}", "eulerian", 0,
+               "interpreted");
+
+    // Grow through a (momentarily) disconnected state inside one patch.
+    mirror.add_node("1");
+    mirror.add_edge(8, 3);
+    check_step(
+        "{\"op\":\"add_node\",\"label\":\"1\"},"
+        "{\"op\":\"add_edge\",\"u\":8,\"v\":3}",
+        "eulerian", 0, "interpreted");
+
+    // Relabel plus a layered query: the engine's partial-leaves path.
+    mirror.set_label(5, "0");
+    check_step("{\"op\":\"relabel\",\"u\":5,\"label\":\"0\"}", "coloring2", 1,
+               "interpreted");
+
+    // Shrink back (LIFO, so no renumbering surprises on the mirror).
+    mirror.remove_edge(8, 3);
+    mirror.remove_node(8);
+    check_step(
+        "{\"op\":\"remove_edge\",\"u\":8,\"v\":3},"
+        "{\"op\":\"remove_node\",\"u\":8}",
+        "eulerian", 0, "interpreted");
+
+    const ServiceStats stats = core.stats();
+    EXPECT_EQ(stats.patches_applied, 5u);
+    EXPECT_EQ(stats.patch_incremental + stats.patch_full, 5u);
+    EXPECT_GE(stats.patch_incremental, 1u); // retention actually engaged
+    EXPECT_GT(stats.patch_total_nodes, stats.patch_dirty_nodes);
+}
+
+TEST(EnginePartialLeaves, MatchesFullSolveBitIdentically) {
+    // The engine boundary of incremental serving: partial_leaves with a
+    // dirty-node hint, against a shared cache warmed by the pre-patch graph,
+    // must reproduce the verdict AND the deterministic counters of a fresh
+    // full solve on the patched graph.
+    // allsel gathers at radius 0 (round bound 1), so a relabel dirties only
+    // the node itself and its radius-1 ball sim stays far below the
+    // whole-graph cost — the profitability gate keeps the partial path.
+    const BuiltGame game = build_game("allsel", 1, true);
+    const LabeledGraph before = cycle_graph(8, "1");
+    LabeledGraph after = before;
+    after.set_label(5, "0");
+    const IdentifierAssignment id = make_global_ids(after);
+
+    ViewCache shared(1 << 16);
+    GameOptions warm;
+    warm.threads = 1;
+    warm.view_cache = &shared;
+    play_game(game.spec, before, id, warm);
+
+    // Dirty set for the relabel, computed by the same store the service uses.
+    GraphStore store;
+    store.register_graph(before, graph_to_text(before));
+    std::vector<PatchOp> relabel(1);
+    relabel[0].kind = PatchOp::Kind::Relabel;
+    relabel[0].u = 5;
+    relabel[0].label = "0";
+    const ViewKeyBuilder keys(*game.spec.machine, after, id,
+                              ExecutionOptions{});
+    const PatchOutcome outcome = store.apply_patch(
+        fnv1a64(graph_to_text(before)), relabel, keys.radius(), "global",
+        game.spec.machine->id_radius(), "", WireLimits{});
+    EXPECT_EQ(outcome.dirty, (std::vector<NodeId>{5}));
+
+    GameOptions partial;
+    partial.threads = 1;
+    partial.view_cache = &shared;
+    partial.partial_leaves = true;
+    partial.recompute_nodes = &outcome.dirty;
+    const GameResult incremental = play_game(game.spec, after, id, partial);
+
+    GameOptions fresh;
+    fresh.threads = 1;
+    const GameResult full = play_game(game.spec, after, id, fresh);
+
+    EXPECT_EQ(incremental.accepted, full.accepted);
+    EXPECT_EQ(incremental.machine_runs, full.machine_runs);
+    EXPECT_EQ(incremental.faulted_runs, full.faulted_runs);
+    EXPECT_EQ(incremental.witness.has_value(), full.witness.has_value());
+    // The incremental solve actually took the partial path: ball runs for
+    // the dirty region, no full-graph fallbacks.
+    EXPECT_GT(incremental.stats.ball_runs, 0u);
+    EXPECT_EQ(incremental.stats.partial_fallbacks, 0u);
+    EXPECT_GT(incremental.stats.partial_leaf_evals +
+                  incremental.stats.leaf_cache_hits,
+              0u);
+}
+
+TEST(ServiceOracle, PatchOracleSmoke) {
+    // The registered differential check that fuzzes random patch sequences
+    // (incremental core vs full-recompute reference); lph_fuzz --smoke runs
+    // it at 350 instances, this is the in-tree canary.
+    register_service_checks();
+    ASSERT_TRUE(is_check_name("service-patch-vs-full-recompute"));
+    const CheckReport report =
+        run_check("service-patch-vs-full-recompute", 1, 25);
+    EXPECT_TRUE(report.passed())
+        << report.divergences.front().detail;
+    EXPECT_EQ(report.instances, 25u);
 }
 
 // --------------------------------------------------------------- registry ---

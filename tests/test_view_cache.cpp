@@ -106,6 +106,78 @@ TEST(ViewCache, LruKeepsRecentlyUsedEntries) {
     EXPECT_EQ(cache.lookup("hot"), "1");
 }
 
+TEST(ViewCache, RestoreCountsAdmittedEntriesOnly) {
+    // Regression: restore() used to count every insertion, including entries
+    // its own later insertions evicted again — a warm start into a shrunken
+    // cache reported more admissions than entries actually live.  The
+    // invariant: starting empty, admitted == entries retrievable afterwards.
+    ViewCache cache(1); // clamps every shard to one entry
+    std::vector<std::pair<std::string, std::string>> snapshot;
+    for (int i = 0; i < 64; ++i) {
+        snapshot.emplace_back("key" + std::to_string(i), "1");
+    }
+    const std::size_t admitted = cache.restore(snapshot);
+    std::size_t live = 0;
+    for (const auto& [key, verdict] : snapshot) {
+        live += cache.lookup(key).has_value() ? 1 : 0;
+    }
+    EXPECT_EQ(admitted, live);
+    EXPECT_EQ(admitted, cache.stats().entries);
+    EXPECT_LE(admitted, 16u); // one per shard
+
+    // Displacing a PRE-existing tail still counts: the snapshot entry was
+    // admitted, the victim just wasn't from this call.
+    ViewCache mixed(1);
+    for (int i = 0; i < 32; ++i) {
+        mixed.insert("pre" + std::to_string(i), "1");
+    }
+    std::vector<std::pair<std::string, std::string>> fresh;
+    for (int i = 0; i < 32; ++i) {
+        fresh.emplace_back("snap" + std::to_string(i), "0");
+    }
+    const std::size_t mixed_admitted = mixed.restore(fresh);
+    std::size_t fresh_live = 0;
+    for (const auto& [key, verdict] : fresh) {
+        fresh_live += mixed.lookup(key).has_value() ? 1 : 0;
+    }
+    EXPECT_EQ(mixed_admitted, fresh_live);
+    EXPECT_GT(mixed_admitted, 0u);
+}
+
+TEST(ViewCache, RestoreKeepsLiveVerdictOnConflict) {
+    // A snapshot key that already exists is not an admission, and a
+    // conflicting snapshot verdict must not overwrite live soundness data.
+    ViewCache cache(1024);
+    cache.insert("k", "1");
+    EXPECT_EQ(cache.restore({{"k", "0"}}), 0u);
+    EXPECT_EQ(cache.lookup("k"), "1");
+    EXPECT_EQ(cache.stats().verdict_mismatches, 1u);
+    EXPECT_EQ(cache.restore({{"k", "1"}}), 0u); // agreeing replay, no mismatch
+    EXPECT_EQ(cache.stats().verdict_mismatches, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// bounded_distances (the serving layer's dirty-ball primitive).
+// ---------------------------------------------------------------------------
+
+TEST(BoundedDistances, MatchesFullBfsInsideTheBallAndCutsOffOutside) {
+    const LabeledGraph g = cycle_graph(9, "1");
+    const std::vector<int> full = g.distances_from(0);
+    const std::vector<int> bounded = bounded_distances(g, 0, 2);
+    ASSERT_EQ(bounded.size(), g.num_nodes());
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+        if (full[v] <= 2) {
+            EXPECT_EQ(bounded[v], full[v]) << "node " << v;
+        } else {
+            EXPECT_EQ(bounded[v], -1) << "node " << v;
+        }
+    }
+    const std::vector<int> self_only = bounded_distances(g, 4, 0);
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+        EXPECT_EQ(self_only[v], v == 4 ? 0 : -1);
+    }
+}
+
 // ---------------------------------------------------------------------------
 // ViewKeyBuilder gates and radius.
 // ---------------------------------------------------------------------------

@@ -1,10 +1,25 @@
 // lph_client: wire-protocol companion to lphd.
 //
-// Three modes:
+// Modes:
 //   --generate N [--seed S]    emit N mixed request lines (games, logic,
 //                              decisions, oracle checks, stats/health) drawn
 //                              from a small seeded graph pool, to stdout —
 //                              the smoke-test workload
+//   --patch N [--seed S]       emit an incremental-serving workload: one
+//                              graph_register followed by graph_patch lines
+//                              (chord toggles, relabels, grow/shrink pairs)
+//                              that each carry a machine query, plus
+//                              digest-reference game lines — every digest is
+//                              mirrored client-side, so the stream is valid
+//                              against a single-threaded lphd (--threads 1,
+//                              FIFO patch order)
+//   --patch-golden N [--seed S]
+//                              the same seeded sequence rendered as
+//                              self-contained full-recompute game requests
+//                              (inline post-patch graphs, same ids): feed it
+//                              to a fresh lphd and use the output as the
+//                              --against file to differential-check the
+//                              incremental stream, verdict by verdict
 //   --verify [--expect N] [--against FILE]
 //                              read response lines from stdin, check every
 //                              one parses as a response and none is a
@@ -29,7 +44,9 @@
 //
 // Exit status: 0 ok; 1 verification failure or connection error; 2 usage.
 
+#include "graph/serialize.hpp"
 #include "obs/metrics.hpp"
+#include "service/graph_store.hpp"
 #include "service/json.hpp"
 #include "service/retry.hpp"
 #include "service/server.hpp"
@@ -53,6 +70,8 @@ using namespace lph;
 
 struct Options {
     long generate = -1;
+    long patch = -1;
+    long patch_golden = -1;
     std::uint64_t seed = 1;
     bool verify = false;
     long expect = -1;
@@ -64,6 +83,8 @@ struct Options {
 [[noreturn]] void usage_error(const std::string& message) {
     std::cerr << "lph_client: " << message << "\n"
               << "usage: lph_client --generate N [--seed S]\n"
+              << "       lph_client --patch N [--seed S]\n"
+              << "       lph_client --patch-golden N [--seed S]\n"
               << "       lph_client --verify [--expect N] [--against FILE]\n"
               << "       lph_client --connect HOST:PORT [--retries N]\n"
               << "                  [--timeout-ms X] [--backoff-ms X]\n"
@@ -83,6 +104,10 @@ Options parse_args(int argc, char** argv) {
         };
         if (arg == "--generate") {
             opt.generate = std::stol(value());
+        } else if (arg == "--patch") {
+            opt.patch = std::stol(value());
+        } else if (arg == "--patch-golden") {
+            opt.patch_golden = std::stol(value());
         } else if (arg == "--seed") {
             opt.seed = std::stoull(value());
         } else if (arg == "--verify") {
@@ -107,10 +132,12 @@ Options parse_args(int argc, char** argv) {
             usage_error("unknown argument '" + arg + "'");
         }
     }
-    const int modes = (opt.generate >= 0 ? 1 : 0) + (opt.verify ? 1 : 0) +
+    const int modes = (opt.generate >= 0 ? 1 : 0) + (opt.patch >= 0 ? 1 : 0) +
+                      (opt.patch_golden >= 0 ? 1 : 0) + (opt.verify ? 1 : 0) +
                       (opt.connect.empty() ? 0 : 1);
     if (modes != 1) {
-        usage_error("pass exactly one of --generate, --verify, --connect");
+        usage_error("pass exactly one of --generate, --patch, --patch-golden, "
+                    "--verify, --connect");
     }
     return opt;
 }
@@ -229,6 +256,165 @@ int generate(long count, std::uint64_t seed) {
                  << payload << "\"}";
             break;
         }
+        }
+        std::cout << line.str() << "\n";
+    }
+    return 0;
+}
+
+std::string render_ops(const std::vector<service::PatchOp>& ops) {
+    std::ostringstream out;
+    out << '[';
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+        const service::PatchOp& op = ops[i];
+        out << (i ? "," : "") << "{\"op\":\"" << service::to_string(op.kind)
+            << '"';
+        switch (op.kind) {
+        case service::PatchOp::Kind::AddEdge:
+        case service::PatchOp::Kind::RemoveEdge:
+            out << ",\"u\":" << op.u << ",\"v\":" << op.v;
+            break;
+        case service::PatchOp::Kind::Relabel:
+            out << ",\"u\":" << op.u << ",\"label\":\"" << op.label << '"';
+            break;
+        case service::PatchOp::Kind::AddNode:
+            out << ",\"label\":\"" << op.label << '"';
+            break;
+        case service::PatchOp::Kind::RemoveNode:
+            out << ",\"u\":" << op.u;
+            break;
+        }
+        out << '}';
+    }
+    out << ']';
+    return out.str();
+}
+
+/// The seeded incremental-serving workload (and its full-recompute golden
+/// twin).  Both modes walk the identical op sequence over a client-side
+/// mirror of the resident graph; the digests the server will echo are
+/// recomputed locally (fnv1a64 over graph_to_text, the wire's own scheme),
+/// so the patch stream can reference them without ever reading a response.
+/// The base cycle stays intact — chords toggle, labels flip, and grown nodes
+/// hang off it by one edge (removed last-in-first-out) — so every queried
+/// graph is connected and every line earns a verdict to compare.
+int generate_patch(long count, std::uint64_t seed, bool golden) {
+    // A one-layer game enumerates 2^n certificate leaves, so the workload
+    // keeps n small: a 10-cycle plus at most 2 grown nodes.  The layers-0
+    // deciders are linear and dominate the mix.
+    constexpr NodeId kBase = 10; // cycle nodes; chords stay inside the cycle
+    constexpr std::size_t kMaxGrown = 2;
+    LabeledGraph mirror;
+    for (NodeId u = 0; u < kBase; ++u) {
+        mirror.add_node("1");
+    }
+    for (NodeId u = 0; u < kBase; ++u) {
+        mirror.add_edge(u, (u + 1) % kBase);
+    }
+    std::string canonical = graph_to_text(mirror);
+    std::uint64_t digest = service::fnv1a64(canonical);
+
+    if (!golden) {
+        std::cout << "{\"type\":\"graph_register\",\"id\":0,\"graph\":\""
+                  << obs::json_escape(canonical) << "\"}\n";
+    }
+
+    std::vector<NodeId> grown_anchor; // anchor of each grown node, LIFO
+    std::uint64_t state = seed;
+    for (long i = 1; i < count; ++i) {
+        // One query flavor per line, drawn before the ops so both modes
+        // consume the stream identically.
+        const std::uint64_t qpick = mix(state) % 100;
+        const char* machine = "eulerian";
+        int layers = 0;
+        if (qpick < 20) {
+            machine = "allsel";
+        } else if (qpick < 30) {
+            machine = "coloring2";
+            layers = 1;
+        }
+
+        const bool plain_query = i % 8 == 0; // digest-reference game line
+        std::vector<service::PatchOp> ops;
+        if (!plain_query) {
+            const std::uint64_t pick = mix(state) % 100;
+            if (pick < 55) {
+                // Chord toggle: endpoints at cyclic distance >= 2, so the
+                // base cycle is never cut.
+                const NodeId u = static_cast<NodeId>(mix(state) % kBase);
+                const NodeId v = static_cast<NodeId>(
+                    (u + 2 + mix(state) % (kBase - 3)) % kBase);
+                service::PatchOp op;
+                op.kind = mirror.has_edge(u, v)
+                              ? service::PatchOp::Kind::RemoveEdge
+                              : service::PatchOp::Kind::AddEdge;
+                op.u = std::min(u, v);
+                op.v = std::max(u, v);
+                ops.push_back(op);
+            } else if (pick < 75) {
+                service::PatchOp op;
+                op.kind = service::PatchOp::Kind::Relabel;
+                op.u = static_cast<NodeId>(mix(state) % mirror.num_nodes());
+                op.label = mix(state) % 2 ? "1" : "0";
+                ops.push_back(op);
+            } else if (grown_anchor.empty() ||
+                       (pick < 90 && grown_anchor.size() < kMaxGrown)) {
+                // Grow: add a node and wire it to the cycle in one patch, so
+                // the graph never serves a query disconnected.
+                const NodeId anchor = static_cast<NodeId>(mix(state) % kBase);
+                service::PatchOp add;
+                add.kind = service::PatchOp::Kind::AddNode;
+                add.label = "1";
+                service::PatchOp wire_up;
+                wire_up.kind = service::PatchOp::Kind::AddEdge;
+                wire_up.u = static_cast<NodeId>(mirror.num_nodes());
+                wire_up.v = anchor;
+                ops.push_back(add);
+                ops.push_back(wire_up);
+                grown_anchor.push_back(anchor);
+            } else {
+                // Shrink the most recent growth: detach, then remove.  LIFO
+                // keeps the victim at the highest id, so no renumbering.
+                const NodeId victim =
+                    static_cast<NodeId>(mirror.num_nodes() - 1);
+                service::PatchOp cut;
+                cut.kind = service::PatchOp::Kind::RemoveEdge;
+                cut.u = victim;
+                cut.v = grown_anchor.back();
+                service::PatchOp drop;
+                drop.kind = service::PatchOp::Kind::RemoveNode;
+                drop.u = victim;
+                ops.push_back(cut);
+                ops.push_back(drop);
+                grown_anchor.pop_back();
+            }
+        }
+
+        const std::uint64_t ref = digest; // pre-patch: what the request names
+        for (const service::PatchOp& op : ops) {
+            service::apply_patch_op(mirror, op);
+        }
+        if (!ops.empty()) {
+            canonical = graph_to_text(mirror);
+            digest = service::fnv1a64(canonical);
+        }
+
+        std::ostringstream line;
+        if (golden) {
+            line << "{\"type\":\"game\",\"id\":" << i << ",\"machine\":\""
+                 << machine << "\",\"layers\":" << layers
+                 << ",\"sigma\":true,\"ids\":\"global\",\"graph\":\""
+                 << obs::json_escape(canonical) << "\"}";
+        } else if (plain_query) {
+            line << "{\"type\":\"game\",\"id\":" << i << ",\"machine\":\""
+                 << machine << "\",\"layers\":" << layers
+                 << ",\"sigma\":true,\"ids\":\"global\",\"digest\":\"" << ref
+                 << "\"}";
+        } else {
+            line << "{\"type\":\"graph_patch\",\"id\":" << i
+                 << ",\"digest\":\"" << ref << "\",\"ops\":" << render_ops(ops)
+                 << ",\"machine\":\"" << machine << "\",\"layers\":" << layers
+                 << ",\"sigma\":true,\"ids\":\"global\"}";
         }
         std::cout << line.str() << "\n";
     }
@@ -480,6 +666,12 @@ int main(int argc, char** argv) {
     service::ignore_sigpipe(); // a dead daemon must not kill the client
     if (opt.generate >= 0) {
         return generate(opt.generate, opt.seed);
+    }
+    if (opt.patch >= 0) {
+        return generate_patch(opt.patch, opt.seed, /*golden=*/false);
+    }
+    if (opt.patch_golden >= 0) {
+        return generate_patch(opt.patch_golden, opt.seed, /*golden=*/true);
     }
     if (opt.verify) {
         return verify(opt.expect, opt.against_path);
