@@ -10,6 +10,7 @@
 // exports — one schema across the daemon and the bench.
 
 #include "graph/serialize.hpp"
+#include "obs/log_histogram.hpp"
 #include "obs/metrics.hpp"
 #include "service/core.hpp"
 #include "service/retry.hpp"
@@ -103,6 +104,10 @@ std::vector<Request> make_workload(std::size_t count, std::uint64_t seed) {
 struct LoadResult {
     double wall_ms = 0;
     std::vector<double> latency_ms; ///< submit-to-resolution, per request
+    /// Server-side stage breakdown harvested from each response's timing
+    /// envelope — the same bucketing lphd exports, so the BENCH row's server
+    /// percentiles are comparable with lph_top's cluster view.
+    obs::LogHistogram queue_us, batch_us, exec_us, write_us, stage_us;
     std::uint64_t ok = 0;
     std::uint64_t errors = 0;
     std::uint64_t rejected = 0;
@@ -162,6 +167,18 @@ LoadResult run_load(const std::vector<Request>& workload,
             result.latency_ms[i] = std::chrono::duration<double, std::milli>(
                                        clock::now() - submitted[i])
                                        .count();
+            if (response.timing.present) {
+                result.queue_us.record(
+                    static_cast<double>(response.timing.queue_us));
+                result.batch_us.record(
+                    static_cast<double>(response.timing.batch_us));
+                result.exec_us.record(
+                    static_cast<double>(response.timing.exec_us));
+                result.write_us.record(
+                    static_cast<double>(response.timing.write_us));
+                result.stage_us.record(
+                    static_cast<double>(response.timing.stage_sum_us()));
+            }
             if (response.status == "ok") {
                 ++result.ok;
             } else if (response.status == "rejected") {
@@ -225,6 +242,14 @@ void record_row(const std::string& instance, const LoadResult& result,
     registry.set("p50_ms", percentile(result.latency_ms, 0.50));
     registry.set("p95_ms", percentile(result.latency_ms, 0.95));
     registry.set("p99_ms", percentile(result.latency_ms, 0.99));
+    if (result.stage_us.count() > 0) {
+        registry.set("server_p50_us", result.stage_us.percentile(0.50));
+        registry.set("server_p99_us", result.stage_us.percentile(0.99));
+        registry.set("server_queue_p99_us", result.queue_us.percentile(0.99));
+        registry.set("server_batch_p99_us", result.batch_us.percentile(0.99));
+        registry.set("server_exec_p99_us", result.exec_us.percentile(0.99));
+        registry.set("server_write_p99_us", result.write_us.percentile(0.99));
+    }
     registry.set("rejection_rate", result.rejection_rate());
     registry.set("memo_hit_rate", result.memo.hit_rate());
     registry.set("view_cache_hit_rate", result.cache.hit_rate());

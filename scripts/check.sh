@@ -94,6 +94,70 @@ if ./build/tools/lphd --pipe --metrics=/nonexistent/m.json </dev/null \
 fi
 grep -q '"event":"output_path_unwritable"' build/unwritable.log
 
+# Slow-request logging: with a tiny threshold every request crosses it (one
+# structured slow_request line each); with a huge threshold none may fire.
+./build/tools/lph_client --generate 80 --seed 3 \
+    | ./build/tools/lphd --pipe --threads 2 --slow-ms 0.0001 \
+        2> build/slow_pos.log >/dev/null
+grep -q '"event":"slow_request"' build/slow_pos.log \
+    || { echo "slow-ms smoke: no slow_request lines at tiny threshold"; exit 1; }
+./build/tools/lph_client --generate 80 --seed 3 \
+    | ./build/tools/lphd --pipe --threads 2 --slow-ms 10000 \
+        2> build/slow_neg.log >/dev/null
+if grep -q '"event":"slow_request"' build/slow_neg.log; then
+    echo "slow-ms smoke: slow_request fired under threshold"; exit 1
+fi
+
+# Cluster observability smoke: a supervised two-worker daemon under load,
+# scraped by lph_top.  The probe-adjusted cluster totals must equal the
+# loadgen's request count exactly (histogram merge is bit-exact), tail
+# percentiles must be present for the latency and stage histograms, and the
+# client's timing summary must report zero stage-sum-exceeds-wall violations.
+# Afterwards the per-process traces (worker-0/worker-1/supervisor) merge into
+# one lint-clean timeline.
+rm -rf build/obs-traces
+./build/tools/lph_client --generate 400 --seed 21 > build/obs_requests.jsonl
+./build/tools/lphd --port 0 --supervise 2 --trace build/obs-traces \
+    2> build/obs_lphd.log &
+OBS_PID=$!
+OBS_PORT=""
+for _ in $(seq 50); do
+    OBS_PORT=$(sed -n 's/^lphd: listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' \
+        build/obs_lphd.log)
+    [[ -n "$OBS_PORT" ]] && break
+    sleep 0.1
+done
+[[ -n "$OBS_PORT" ]] || { echo "obs smoke: lphd never came up"; exit 1; }
+./build/tools/lph_client --connect "127.0.0.1:$OBS_PORT" \
+    < build/obs_requests.jsonl > build/obs_replies.jsonl \
+    2> build/obs_client.log
+./build/tools/lph_client --verify --expect 400 < build/obs_replies.jsonl
+./build/tools/lph_top --connect "127.0.0.1:$OBS_PORT" --workers 2 --once \
+    --json > build/obs_top.json
+python3 - <<'EOF'
+import json
+top = json.load(open("build/obs_top.json"))
+cluster = top["cluster"]
+assert cluster["submitted"] == 400, "submitted: %s" % cluster["submitted"]
+assert cluster["completed"] == 400, "completed: %s" % cluster["completed"]
+hist = cluster["histograms"]
+for name in ("service.latency_us", "service.queue_us", "service.batch_us",
+             "service.exec_us"):
+    assert name in hist, "missing histogram %s" % name
+    assert "p99" in hist[name], "missing p99 for %s" % name
+merged = hist["service.latency_us"]["count"]
+summed = sum(w["latency_count"] for w in top["workers"])
+assert merged == summed, "merge %d != per-worker sum %d" % (merged, summed)
+print("obs smoke: lph_top cluster totals and percentiles ok")
+EOF
+grep -q '"timing_violations":0' build/obs_client.log \
+    || { echo "obs smoke: server stage sum exceeded client wall"; \
+         cat build/obs_client.log; exit 1; }
+kill -TERM "$OBS_PID" && wait "$OBS_PID"
+python3 scripts/trace_merge.py -o build/obs_merged_trace.json build/obs-traces
+python3 scripts/trace_lint.py build/obs_merged_trace.json
+python3 scripts/trace_summary.py build/obs_merged_trace.json --json >/dev/null
+
 # Sanitizer passes: AddressSanitizer + UBSan over the whole suite (the `asan`
 # preset), then ThreadSanitizer over the concurrency-heavy game/cache suites
 # (the `tsan` preset).  Set LPH_SKIP_SANITIZERS=1 for a quick iteration loop.

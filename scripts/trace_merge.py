@@ -1,0 +1,142 @@
+#!/usr/bin/env python3
+"""Stitches Chrome trace-event files from several processes into one timeline.
+
+A supervised `lphd --supervise N --trace DIR` run leaves one trace per
+process in DIR: worker-<slot>.trace (each with its real pid) plus
+supervisor.trace (worker_start/worker_exit/backoff instants).  Every file's
+timestamps count microseconds from that process's own steady-clock epoch,
+and the exporter records the wall-clock instant of that epoch in
+otherData.epoch_realtime_us.  This script aligns the files by shifting each
+one's timestamps by (its epoch - the earliest epoch across all inputs), so
+the merged file shows every process on one shared time axis with t=0 at the
+earliest process start.
+
+Events keep their original pids, so Perfetto / chrome://tracing renders one
+process group per worker (named by the exporter's process_name metadata).
+
+Usage:
+    trace_merge.py -o merged.json DIR_OR_FILE [DIR_OR_FILE ...]
+
+A directory argument expands to its *.trace files.  Inputs without an
+epoch anchor are aligned as-is (shift 0) with a warning — their relative
+placement is meaningless, but the file still loads.  Exit status: 0 on
+success, 1 when no input file could be read.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def expand_inputs(paths):
+    files = []
+    for path in paths:
+        if os.path.isdir(path):
+            entries = sorted(
+                os.path.join(path, name)
+                for name in os.listdir(path)
+                if name.endswith(".trace")
+            )
+            if not entries:
+                print("trace_merge: %s: no *.trace files" % path,
+                      file=sys.stderr)
+            files.extend(entries)
+        else:
+            files.append(path)
+    return files
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print("trace_merge: %s: %s" % (path, e), file=sys.stderr)
+        return None
+    if not isinstance(doc.get("traceEvents"), list):
+        print("trace_merge: %s: no 'traceEvents' list" % path, file=sys.stderr)
+        return None
+    return doc
+
+
+def merge(docs_with_paths):
+    epochs = []
+    for path, doc in docs_with_paths:
+        epoch = doc.get("otherData", {}).get("epoch_realtime_us")
+        if not isinstance(epoch, (int, float)):
+            print(
+                "trace_merge: %s: no epoch_realtime_us anchor; "
+                "keeping its timestamps unshifted" % path,
+                file=sys.stderr,
+            )
+            epoch = None
+        epochs.append(epoch)
+    anchored = [e for e in epochs if e is not None]
+    base = min(anchored) if anchored else 0
+
+    events = []
+    dropped = 0
+    for (path, doc), epoch in zip(docs_with_paths, epochs):
+        shift = (epoch - base) if epoch is not None else 0
+        for ev in doc["traceEvents"]:
+            if isinstance(ev, dict) and isinstance(ev.get("ts"), (int, float)):
+                ev = dict(ev)
+                ev["ts"] = ev["ts"] + shift
+            events.append(ev)
+        dropped += doc.get("otherData", {}).get("dropped_spans", 0)
+
+    # Stable order helps diffing and keeps trace_lint's per-(pid,tid)
+    # monotonicity check meaningful: a constant shift per file preserves each
+    # track's internal order, so sorting by (pid, tid, ts) never reorders
+    # B/E pairs within a track.  Metadata events (no ts) sort first per pid.
+    def key(ev):
+        if not isinstance(ev, dict):
+            return (0, 0, 0, 1)
+        return (
+            ev.get("pid", 0),
+            ev.get("tid", -1),
+            ev.get("ts", -1),
+            0 if ev.get("ph") == "M" else 1,
+        )
+
+    events.sort(key=key)
+    return {
+        "displayTimeUnit": "ms",
+        "traceEvents": events,
+        "otherData": {
+            "dropped_spans": dropped,
+            "merged_from": len(docs_with_paths),
+            "epoch_realtime_us": base,
+        },
+    }
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("-o", "--out", required=True,
+                        help="merged output file")
+    parser.add_argument("inputs", nargs="+",
+                        help="trace files or directories of *.trace files")
+    args = parser.parse_args(argv[1:])
+
+    files = expand_inputs(args.inputs)
+    docs = [(p, load(p)) for p in files]
+    docs = [(p, d) for p, d in docs if d is not None]
+    if not docs:
+        print("trace_merge: no readable inputs", file=sys.stderr)
+        return 1
+
+    merged = merge(docs)
+    with open(args.out, "w", encoding="utf-8") as f:
+        json.dump(merged, f)
+        f.write("\n")
+    print(
+        "trace_merge: %s: %d event(s) from %d file(s)"
+        % (args.out, len(merged["traceEvents"]), len(docs))
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

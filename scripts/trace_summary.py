@@ -3,15 +3,22 @@
 
 Replays each thread's B/E events under stack discipline and attributes to
 every span its *self* time — wall duration minus the durations of its direct
-children — then aggregates by span name across all threads:
+children — then aggregates by span name across all threads (and, for a
+merged multi-process trace, across all pids):
 
-    name            count    total_ms     self_ms    avg_us
-    dtm.run_local    6573      1203.5      1203.5     183.1
-    game.chunk         64      1241.2        37.7     589.4
+    name            count    total_ms     self_ms    avg_us    p50_us    p99_us
+    dtm.run_local    6573      1203.5      1203.5     183.1     170.2     401.7
+    game.chunk         64      1241.2        37.7     589.4     522.0    1830.9
 
-Instant events ("i") are counted but carry no time.  Usage:
+p50/p99 are exact per-name wall-duration quantiles (every duration is kept,
+no bucketing).  Instant events ("i") are counted but carry no time.  Usage:
 
-    trace_summary.py TRACE.json [--top N]
+    trace_summary.py TRACE.json [--top N] [--json]
+
+--json emits the full aggregation (no top-N cut) as one JSON object:
+    {"spans": [{"name": ..., "count": ..., "total_ms": ..., "self_ms": ...,
+                "avg_us": ..., "p50_us": ..., "p99_us": ...}, ...],
+     "instants": {...}, "dropped_spans": N}
 """
 
 import argparse
@@ -21,12 +28,21 @@ from collections import defaultdict
 
 
 class Agg:
-    __slots__ = ("count", "total_us", "self_us")
+    __slots__ = ("count", "total_us", "self_us", "durations_us")
 
     def __init__(self):
         self.count = 0
         self.total_us = 0.0
         self.self_us = 0.0
+        self.durations_us = []
+
+
+def exact_percentile(values, q):
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = max(1, min(len(ordered), int(-(-q * len(ordered) // 1))))
+    return ordered[rank - 1]
 
 
 def summarize(events):
@@ -55,6 +71,7 @@ def summarize(events):
         agg.count += 1
         agg.total_us += dur
         agg.self_us += max(0.0, dur - child_us)
+        agg.durations_us.append(dur)
         if stack:
             stack[-1][2] += dur
     return by_name, instants
@@ -65,6 +82,8 @@ def main(argv):
     parser.add_argument("trace", help="Chrome trace-event JSON file")
     parser.add_argument("--top", type=int, default=15, metavar="N",
                         help="rows to print (default 15)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the full aggregation as JSON")
     args = parser.parse_args(argv[1:])
 
     try:
@@ -75,20 +94,44 @@ def main(argv):
         return 1
     events = doc.get("traceEvents", [])
     by_name, instants = summarize(events)
+    dropped = doc.get("otherData", {}).get("dropped_spans", 0)
 
     rows = sorted(by_name.items(), key=lambda kv: -kv[1].self_us)
-    print("%-28s %8s %12s %12s %10s" %
-          ("name", "count", "total_ms", "self_ms", "avg_us"))
+    if args.json:
+        out = {
+            "spans": [
+                {
+                    "name": name,
+                    "count": agg.count,
+                    "total_ms": agg.total_us / 1000.0,
+                    "self_ms": agg.self_us / 1000.0,
+                    "avg_us": agg.total_us / agg.count if agg.count else 0.0,
+                    "p50_us": exact_percentile(agg.durations_us, 0.50),
+                    "p99_us": exact_percentile(agg.durations_us, 0.99),
+                }
+                for name, agg in rows
+            ],
+            "instants": dict(sorted(instants.items())),
+            "dropped_spans": dropped,
+        }
+        json.dump(out, sys.stdout)
+        sys.stdout.write("\n")
+        return 0
+
+    print("%-28s %8s %12s %12s %10s %10s %10s" %
+          ("name", "count", "total_ms", "self_ms", "avg_us", "p50_us",
+           "p99_us"))
     for name, agg in rows[: args.top]:
-        print("%-28s %8d %12.2f %12.2f %10.1f" % (
+        print("%-28s %8d %12.2f %12.2f %10.1f %10.1f %10.1f" % (
             name, agg.count, agg.total_us / 1000.0, agg.self_us / 1000.0,
-            agg.total_us / agg.count if agg.count else 0.0))
+            agg.total_us / agg.count if agg.count else 0.0,
+            exact_percentile(agg.durations_us, 0.50),
+            exact_percentile(agg.durations_us, 0.99)))
     if len(rows) > args.top:
         print("... %d more span name(s)" % (len(rows) - args.top))
     if instants:
         print("instants: " + ", ".join(
             "%s=%d" % (n, c) for n, c in sorted(instants.items())))
-    dropped = doc.get("otherData", {}).get("dropped_spans", 0)
     if dropped:
         print("warning: %s spans dropped by ring wraparound" % dropped)
     return 0

@@ -2,6 +2,8 @@
 
 #include "obs/metrics.hpp"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <fstream>
 
@@ -10,10 +12,13 @@ namespace obs {
 
 namespace {
 
-std::string event_prefix(const char* ph, unsigned tid, std::uint64_t ts) {
+std::string event_prefix(const char* ph, std::int64_t pid, unsigned tid,
+                         std::uint64_t ts) {
     std::string out = "{\"ph\":\"";
     out += ph;
-    out += "\",\"pid\":1,\"tid\":";
+    out += "\",\"pid\":";
+    out += std::to_string(pid);
+    out += ",\"tid\":";
     out += std::to_string(tid);
     out += ",\"ts\":";
     out += std::to_string(ts);
@@ -45,11 +50,15 @@ struct OpenSpan {
 
 } // namespace
 
-std::string chrome_trace_json(const std::vector<Tracer::ThreadTrack>& tracks) {
+std::string chrome_trace_json(const std::vector<Tracer::ThreadTrack>& tracks,
+                              std::int64_t pid,
+                              std::uint64_t epoch_realtime_us,
+                              const std::string& process_name) {
     std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
     std::vector<std::string> events;
-    events.push_back("{\"ph\":\"M\",\"pid\":1,\"name\":\"process_name\","
-                     "\"args\":{\"name\":\"lph\"}}");
+    events.push_back("{\"ph\":\"M\",\"pid\":" + std::to_string(pid) +
+                     ",\"name\":\"process_name\",\"args\":{\"name\":\"" +
+                     json_escape(process_name) + "\"}}");
 
     std::uint64_t dropped_total = 0;
     for (const Tracer::ThreadTrack& track : tracks) {
@@ -57,8 +66,8 @@ std::string chrome_trace_json(const std::vector<Tracer::ThreadTrack>& tracks) {
         if (track.spans.empty()) {
             continue;
         }
-        events.push_back("{\"ph\":\"M\",\"pid\":1,\"tid\":" +
-                         std::to_string(track.tid) +
+        events.push_back("{\"ph\":\"M\",\"pid\":" + std::to_string(pid) +
+                         ",\"tid\":" + std::to_string(track.tid) +
                          ",\"name\":\"thread_name\",\"args\":{\"name\":\"worker-" +
                          std::to_string(track.tid) + "\"}}");
 
@@ -82,7 +91,7 @@ std::string chrome_trace_json(const std::vector<Tracer::ThreadTrack>& tracks) {
         std::vector<OpenSpan> stack;
         const auto pop_one = [&] {
             const OpenSpan& top = stack.back();
-            std::string ev = event_prefix("E", track.tid, top.end);
+            std::string ev = event_prefix("E", pid, track.tid, top.end);
             append_name_cat(ev, top.span);
             ev += "}";
             events.push_back(std::move(ev));
@@ -93,7 +102,7 @@ std::string chrome_trace_json(const std::vector<Tracer::ThreadTrack>& tracks) {
                 pop_one();
             }
             if (span.dur_us == kInstantDur) {
-                std::string ev = event_prefix("i", track.tid, span.start_us);
+                std::string ev = event_prefix("i", pid, track.tid, span.start_us);
                 append_name_cat(ev, span);
                 append_args(ev, span);
                 ev += ",\"s\":\"t\"}";
@@ -105,7 +114,7 @@ std::string chrome_trace_json(const std::vector<Tracer::ThreadTrack>& tracks) {
                 end = std::min(end, stack.back().end);
             }
             end = std::max(end, span.start_us);
-            std::string ev = event_prefix("B", track.tid, span.start_us);
+            std::string ev = event_prefix("B", pid, track.tid, span.start_us);
             append_name_cat(ev, span);
             append_args(ev, span);
             ev += "}";
@@ -122,20 +131,29 @@ std::string chrome_trace_json(const std::vector<Tracer::ThreadTrack>& tracks) {
         out += i + 1 < events.size() ? ",\n" : "\n";
     }
     out += "],\"otherData\":{\"dropped_spans\":" + std::to_string(dropped_total) +
+           ",\"pid\":" + std::to_string(pid) +
+           ",\"epoch_realtime_us\":" + std::to_string(epoch_realtime_us) +
            "}}\n";
     return out;
 }
 
 std::string chrome_trace_json() {
-    return chrome_trace_json(Tracer::instance().snapshot());
+    const Tracer& tracer = Tracer::instance();
+    return chrome_trace_json(tracer.snapshot(),
+                             static_cast<std::int64_t>(::getpid()),
+                             tracer.epoch_realtime_us());
 }
 
-bool write_chrome_trace(const std::string& path) {
+bool write_chrome_trace(const std::string& path,
+                        const std::string& process_name) {
     std::ofstream out(path);
     if (!out) {
         return false;
     }
-    out << chrome_trace_json();
+    const Tracer& tracer = Tracer::instance();
+    out << chrome_trace_json(tracer.snapshot(),
+                             static_cast<std::int64_t>(::getpid()),
+                             tracer.epoch_realtime_us(), process_name);
     return static_cast<bool>(out);
 }
 

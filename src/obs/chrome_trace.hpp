@@ -18,13 +18,25 @@ namespace obs {
 /// (guarding against clock jitter and torn ring records) so the output is
 /// *always* balanced and monotone — `scripts/trace_lint.py` checks exactly
 /// these invariants.
-std::string chrome_trace_json(const std::vector<Tracer::ThreadTrack>& tracks);
+///
+/// Events carry the real process id (`pid`) and the document's otherData
+/// records `pid` plus `epoch_realtime_us` — the wall-clock instant of the
+/// tracer's steady-clock zero — so scripts/trace_merge.py can stitch traces
+/// from several processes (supervised workers + supervisor) onto one
+/// timeline.  `process_name` labels the process track in the viewer.
+std::string chrome_trace_json(const std::vector<Tracer::ThreadTrack>& tracks,
+                              std::int64_t pid,
+                              std::uint64_t epoch_realtime_us,
+                              const std::string& process_name = "lph");
 
-/// Snapshot the global tracer and render it.
+/// Snapshot the global tracer and render it with this process's identity
+/// (getpid + the global tracer's wall-clock epoch).
 std::string chrome_trace_json();
 
-/// Writes chrome_trace_json() to `path`; false on I/O failure (never throws).
-bool write_chrome_trace(const std::string& path);
+/// Writes chrome_trace_json() to `path` with this process's identity and
+/// `process_name` as the viewer label; false on I/O failure (never throws).
+bool write_chrome_trace(const std::string& path,
+                        const std::string& process_name = "lph");
 
 } // namespace obs
 } // namespace lph

@@ -1,0 +1,163 @@
+#include "obs/log_histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace lph {
+namespace obs {
+
+namespace {
+
+// Largest double that still floors into uint64 range.
+constexpr double kMaxRepresentable = 1.8446744073709550e19;
+
+std::uint64_t floor_to_u64(double value) {
+    if (!(value > 0.0)) {
+        return 0; // negatives and NaN clamp to the zero bucket
+    }
+    if (value >= kMaxRepresentable) {
+        return std::numeric_limits<std::uint64_t>::max();
+    }
+    return static_cast<std::uint64_t>(value);
+}
+
+} // namespace
+
+std::size_t LogHistogram::bucket_index(double value) {
+    const std::uint64_t u = floor_to_u64(value);
+    if (u < kSubBuckets) {
+        return static_cast<std::size_t>(u);
+    }
+    // Position of the leading bit (>= 2 here), then the next two bits pick
+    // the sub-bucket inside the power-of-two group.
+    const unsigned msb = 63u - static_cast<unsigned>(__builtin_clzll(u));
+    const std::size_t sub = static_cast<std::size_t>((u >> (msb - 2)) & 3u);
+    return kSubBuckets + (msb - 2) * kSubBuckets + sub;
+}
+
+double LogHistogram::bucket_lower(std::size_t index) {
+    if (index < kSubBuckets) {
+        return static_cast<double>(index);
+    }
+    const std::size_t group = (index - kSubBuckets) / kSubBuckets;
+    const std::size_t sub = (index - kSubBuckets) % kSubBuckets;
+    return std::ldexp(static_cast<double>(kSubBuckets + sub),
+                      static_cast<int>(group));
+}
+
+double LogHistogram::bucket_upper(std::size_t index) {
+    if (index + 1 >= kBucketCount) {
+        return std::numeric_limits<double>::infinity();
+    }
+    return bucket_lower(index + 1);
+}
+
+void LogHistogram::record(double value) {
+    if (std::isnan(value)) {
+        value = 0.0;
+    }
+    ++buckets_[bucket_index(value)];
+    if (count_ == 0) {
+        min_ = value;
+        max_ = value;
+    } else {
+        min_ = std::min(min_, value);
+        max_ = std::max(max_, value);
+    }
+    ++count_;
+    sum_ += value;
+}
+
+void LogHistogram::merge(const LogHistogram& other) {
+    if (other.count_ == 0) {
+        return;
+    }
+    if (count_ == 0) {
+        min_ = other.min_;
+        max_ = other.max_;
+    } else {
+        min_ = std::min(min_, other.min_);
+        max_ = std::max(max_, other.max_);
+    }
+    count_ += other.count_;
+    sum_ += other.sum_;
+    for (std::size_t i = 0; i < kBucketCount; ++i) {
+        buckets_[i] += other.buckets_[i];
+    }
+}
+
+double LogHistogram::percentile(double q) const {
+    if (count_ == 0) {
+        return 0.0;
+    }
+    q = std::min(1.0, std::max(0.0, q));
+    std::uint64_t target = static_cast<std::uint64_t>(
+        std::ceil(q * static_cast<double>(count_)));
+    target = std::min(count_, std::max<std::uint64_t>(1, target));
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < kBucketCount; ++i) {
+        cumulative += buckets_[i];
+        if (cumulative >= target) {
+            const double lo = bucket_lower(i);
+            double hi = bucket_upper(i);
+            if (!(hi < std::numeric_limits<double>::infinity())) {
+                hi = std::max(lo, max_);
+            }
+            const double mid = lo + (hi - lo) * 0.5;
+            return std::min(max_, std::max(min_, mid));
+        }
+    }
+    return max_; // unreachable: cumulative counts always reach count_
+}
+
+std::vector<std::pair<std::size_t, std::uint64_t>>
+LogHistogram::nonzero_buckets() const {
+    std::vector<std::pair<std::size_t, std::uint64_t>> out;
+    for (std::size_t i = 0; i < kBucketCount; ++i) {
+        if (buckets_[i] != 0) {
+            out.emplace_back(i, buckets_[i]);
+        }
+    }
+    return out;
+}
+
+void LogHistogram::append_json(std::string& out) const {
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "{\"count\":%llu",
+                  static_cast<unsigned long long>(count_));
+    out += buf;
+    std::snprintf(buf, sizeof(buf), ",\"sum\":%.17g,\"min\":%.17g,\"max\":%.17g",
+                  sum_, min(), max());
+    out += buf;
+    out += ",\"buckets\":[";
+    bool first = true;
+    for (std::size_t i = 0; i < kBucketCount; ++i) {
+        if (buckets_[i] == 0) {
+            continue;
+        }
+        std::snprintf(buf, sizeof(buf), "%s[%zu,%llu]", first ? "" : ",", i,
+                      static_cast<unsigned long long>(buckets_[i]));
+        out += buf;
+        first = false;
+    }
+    out += "]}";
+}
+
+void LogHistogram::inject(std::size_t index, std::uint64_t n) {
+    if (index >= kBucketCount || n == 0) {
+        return;
+    }
+    buckets_[index] += n;
+    count_ += n;
+}
+
+void LogHistogram::set_summary(double sum, double min, double max) {
+    sum_ = sum;
+    min_ = min;
+    max_ = max;
+}
+
+} // namespace obs
+} // namespace lph

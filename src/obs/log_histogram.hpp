@@ -1,0 +1,96 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace lph {
+namespace obs {
+
+/// Fixed-layout log2-bucketed histogram, mergeable across threads and
+/// processes.
+///
+/// Layout (HdrHistogram-style log-linear): values are floored to integers and
+/// land in one of 252 buckets — four linear buckets for 0..3, then 62 powers
+/// of two each split into 4 sub-buckets by the two bits below the leading
+/// bit.  Bucket boundaries are a pure function of the index, so two
+/// histograms recorded by different workers merge by adding bucket counts
+/// (bit-exact on the counts, associative and commutative).  Relative
+/// quantile error is bounded by one sub-bucket, i.e. <= 25%.
+///
+/// The struct is plain data with no locking; MetricsRegistry guards it with
+/// its own mutex, and cross-process merging happens on serialized snapshots.
+class LogHistogram {
+public:
+    static constexpr std::size_t kSubBuckets = 4;   // per power-of-two group
+    static constexpr std::size_t kGroups = 62;      // exponents 2..63
+    static constexpr std::size_t kBucketCount = kSubBuckets + kGroups * kSubBuckets;
+
+    /// Records one sample.  Negative values clamp to zero; the exact value
+    /// still feeds sum/min/max, only the bucket index is quantized.
+    void record(double value);
+
+    /// Adds `other` into this histogram.  Associative and commutative:
+    /// bucket counts and totals are plain sums, min/max combine.
+    void merge(const LogHistogram& other);
+
+    std::uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double min() const { return count_ > 0 ? min_ : 0.0; }
+    double max() const { return count_ > 0 ? max_ : 0.0; }
+    double avg() const {
+        return count_ > 0 ? sum_ / static_cast<double>(count_) : 0.0;
+    }
+
+    /// Quantile estimate for q in [0,1]: the midpoint of the bucket holding
+    /// the ceil(q*count)-th sample, clamped to the observed [min, max].
+    /// Returns 0 for an empty histogram.
+    double percentile(double q) const;
+
+    std::uint64_t bucket(std::size_t index) const {
+        return index < kBucketCount ? buckets_[index] : 0;
+    }
+
+    /// Non-empty buckets as (index, count) pairs, ascending by index — the
+    /// sparse form used on the wire.
+    std::vector<std::pair<std::size_t, std::uint64_t>> nonzero_buckets() const;
+
+    /// Maps a value to its bucket index (total order: larger values never map
+    /// to smaller indices).
+    static std::size_t bucket_index(double value);
+
+    /// Inclusive lower edge of a bucket.
+    static double bucket_lower(std::size_t index);
+
+    /// Exclusive upper edge of a bucket (lower edge of the next one; +inf
+    /// past the last).
+    static double bucket_upper(std::size_t index);
+
+    /// Appends the wire form:
+    /// {"count":N,"sum":S,"min":m,"max":M,"buckets":[[index,count],...]}
+    /// Counts are exact integers; sum/min/max print with enough digits to
+    /// round-trip.
+    void append_json(std::string& out) const;
+
+    /// Rebuilds from a parsed wire form: adds `n` samples to bucket `index`
+    /// (and to the total count) without touching sum/min/max.  Pair with
+    /// set_summary().  Out-of-range indices are ignored.
+    void inject(std::size_t index, std::uint64_t n);
+
+    /// Restores the exact-value summary after inject() calls.  Merging the
+    /// result with another histogram behaves identically to merging the
+    /// originals.
+    void set_summary(double sum, double min, double max);
+
+private:
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+    std::uint64_t buckets_[kBucketCount] = {};
+};
+
+} // namespace obs
+} // namespace lph

@@ -1,6 +1,7 @@
 #include "obs/metrics.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 
 namespace lph {
@@ -18,16 +19,19 @@ void MetricsRegistry::set(const std::string& name, double value) {
 
 void MetricsRegistry::observe(const std::string& name, double value) {
     const std::lock_guard<std::mutex> lock(mutex_);
-    Histogram& h = histograms_[name];
-    if (h.count == 0) {
-        h.min = value;
-        h.max = value;
-    } else {
-        h.min = std::min(h.min, value);
-        h.max = std::max(h.max, value);
-    }
-    ++h.count;
-    h.sum += value;
+    histograms_[name].record(value);
+}
+
+void MetricsRegistry::merge_histogram(const std::string& name,
+                                      const LogHistogram& h) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    histograms_[name].merge(h);
+}
+
+void MetricsRegistry::set_histogram(const std::string& name,
+                                    const LogHistogram& h) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    histograms_[name] = h;
 }
 
 void MetricsRegistry::absorb(const std::string& prefix, const MetricList& values) {
@@ -48,7 +52,7 @@ void MetricsRegistry::accumulate(const std::string& prefix,
 MetricList MetricsRegistry::snapshot() const {
     const std::lock_guard<std::mutex> lock(mutex_);
     MetricList out;
-    out.reserve(counters_.size() + gauges_.size() + 5 * histograms_.size());
+    out.reserve(counters_.size() + gauges_.size() + 9 * histograms_.size());
     for (const auto& [name, value] : counters_) {
         out.emplace_back(name, value);
     }
@@ -56,27 +60,58 @@ MetricList MetricsRegistry::snapshot() const {
         out.emplace_back(name, value);
     }
     for (const auto& [name, h] : histograms_) {
-        out.emplace_back(name + ".count", static_cast<double>(h.count));
-        out.emplace_back(name + ".sum", h.sum);
-        out.emplace_back(name + ".min", h.min);
-        out.emplace_back(name + ".max", h.max);
-        out.emplace_back(name + ".avg",
-                         h.count > 0 ? h.sum / static_cast<double>(h.count) : 0.0);
+        out.emplace_back(name + ".count", static_cast<double>(h.count()));
+        out.emplace_back(name + ".sum", h.sum());
+        out.emplace_back(name + ".min", h.min());
+        out.emplace_back(name + ".max", h.max());
+        out.emplace_back(name + ".avg", h.avg());
+        out.emplace_back(name + ".p50", h.percentile(0.50));
+        out.emplace_back(name + ".p90", h.percentile(0.90));
+        out.emplace_back(name + ".p99", h.percentile(0.99));
+        out.emplace_back(name + ".p999", h.percentile(0.999));
     }
     std::sort(out.begin(), out.end());
     return out;
 }
 
 std::string MetricsRegistry::snapshot_json() const {
-    const MetricList metrics = snapshot();
-    std::string out = "{\n";
+    return render_metrics_json(snapshot(), /*pretty=*/true);
+}
+
+std::string render_metrics_json(const MetricList& metrics, bool pretty) {
+    std::string out = pretty ? "{\n" : "{";
     for (std::size_t i = 0; i < metrics.size(); ++i) {
         char buf[64];
-        std::snprintf(buf, sizeof(buf), "%.6g", metrics[i].second);
-        out += "  \"" + json_escape(metrics[i].first) + "\": " + buf;
-        out += i + 1 < metrics.size() ? ",\n" : "\n";
+        const double value = metrics[i].second;
+        // Counters must survive a parse-and-merge round trip exactly, so
+        // integral values within double's exact-integer range print as
+        // integers; %.6g would turn 1234567 into 1.23457e+06.
+        if (value >= -9.007199254740992e15 && value <= 9.007199254740992e15 &&
+            value == std::floor(value)) {
+            std::snprintf(buf, sizeof(buf), "%.0f", value);
+        } else {
+            std::snprintf(buf, sizeof(buf), "%.6g", value);
+        }
+        out += pretty ? "  \"" : "\"";
+        out += json_escape(metrics[i].first) + (pretty ? "\": " : "\":") + buf;
+        if (i + 1 < metrics.size()) {
+            out += pretty ? ",\n" : ",";
+        } else if (pretty) {
+            out += "\n";
+        }
     }
-    out += "}\n";
+    out += pretty ? "}\n" : "}";
+    return out;
+}
+
+std::vector<std::pair<std::string, LogHistogram>>
+MetricsRegistry::histograms() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::pair<std::string, LogHistogram>> out;
+    out.reserve(histograms_.size());
+    for (const auto& [name, h] : histograms_) {
+        out.emplace_back(name, h);
+    }
     return out;
 }
 

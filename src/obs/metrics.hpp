@@ -7,6 +7,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/log_histogram.hpp"
+
 namespace lph {
 namespace obs {
 
@@ -21,8 +23,8 @@ using MetricList = std::vector<std::pair<std::string, double>>;
 /// Naming scheme (see DESIGN.md "Observability"): dot-separated
 /// `<subsystem>.<metric>`, e.g. `game.leaves_processed`, `cache.hits`,
 /// `pool.steals`, `oracle.instances`.  Counters are monotone sums, gauges are
-/// last-write-wins, histograms expand in the snapshot to
-/// `<name>.count/.sum/.min/.max/.avg`.
+/// last-write-wins, histograms are log2-bucketed (LogHistogram) and expand in
+/// the snapshot to `<name>.count/.sum/.min/.max/.avg/.p50/.p90/.p99/.p999`.
 ///
 /// Updates are coarse-grained (end of a solve, end of a check corpus), so a
 /// single mutex is deliberate; the per-event hot path belongs to the tracer,
@@ -37,6 +39,15 @@ public:
 
     /// Records one histogram sample.
     void observe(const std::string& name, double value);
+
+    /// Merges a whole histogram into the named one (creating it empty) — the
+    /// cross-process aggregation point used by lph_top and publish paths.
+    void merge_histogram(const std::string& name, const LogHistogram& h);
+
+    /// Replaces the named histogram wholesale.  The idempotent counterpart of
+    /// merge_histogram for publish paths that run repeatedly (republishing a
+    /// merge would double-count every sample).
+    void set_histogram(const std::string& name, const LogHistogram& h);
 
     /// Sets one gauge per entry, each name prefixed with `prefix` — the
     /// absorption point for the stats structs' to_metrics() lists.
@@ -53,25 +64,28 @@ public:
     /// The snapshot as a JSON object (name -> number), pretty-printed.
     std::string snapshot_json() const;
 
+    /// Copies of every histogram, sorted by name — the bucket-level export
+    /// behind the `detail:"full"` stats response and lph_top's merge.
+    std::vector<std::pair<std::string, LogHistogram>> histograms() const;
+
     void clear();
 
 private:
-    struct Histogram {
-        std::uint64_t count = 0;
-        double sum = 0;
-        double min = 0;
-        double max = 0;
-    };
-
     mutable std::mutex mutex_;
     std::map<std::string, double> counters_;
     std::map<std::string, double> gauges_;
-    std::map<std::string, Histogram> histograms_;
+    std::map<std::string, LogHistogram> histograms_;
 };
 
 /// Escapes a string for embedding in a JSON string literal (obs keeps its own
 /// copy so the library stays dependency-free below core).
 std::string json_escape(const std::string& s);
+
+/// Renders a metric list as a JSON object (name -> number).  pretty = one
+/// entry per line (the --metrics= file form); compact = a single line, for
+/// embedding inside a wire response.  Every consumer of the registry renders
+/// through here, so the file and wire forms can never drift apart.
+std::string render_metrics_json(const MetricList& metrics, bool pretty);
 
 } // namespace obs
 } // namespace lph

@@ -42,8 +42,9 @@ void Session::activate() {
 
 Session* Session::active() { return g_active.load(std::memory_order_acquire); }
 
-bool Session::export_chrome_trace(const std::string& path) const {
-    return write_chrome_trace(path);
+bool Session::export_chrome_trace(const std::string& path,
+                                  const std::string& process_name) const {
+    return write_chrome_trace(path, process_name);
 }
 
 bool Session::write_metrics_json(const std::string& path) const {

@@ -47,8 +47,11 @@ public:
     static Session* active();
 
     /// Exports the global tracer's spans as Chrome trace JSON to `path`.
+    /// `process_name` labels this process's track in the viewer (supervised
+    /// workers pass "lphd worker <slot>" so a merged timeline reads well).
     /// Returns false on I/O failure (never throws).
-    bool export_chrome_trace(const std::string& path) const;
+    bool export_chrome_trace(const std::string& path,
+                             const std::string& process_name = "lph") const;
 
     /// Writes the metrics snapshot as a JSON object to `path`.
     bool write_metrics_json(const std::string& path) const;

@@ -63,6 +63,15 @@ std::uint64_t Tracer::now_us() const {
     return (steady_ns() - epoch_ns_) / 1000;
 }
 
+std::uint64_t Tracer::epoch_realtime_us() const {
+    const std::uint64_t realtime_now_us = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count());
+    const std::uint64_t elapsed_us = now_us();
+    return realtime_now_us > elapsed_us ? realtime_now_us - elapsed_us : 0;
+}
+
 Tracer::Ring* Tracer::local_ring() {
     thread_local Ring* cached = nullptr;
     if (cached == nullptr) {

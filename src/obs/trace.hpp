@@ -57,6 +57,12 @@ public:
     /// Microseconds since the tracer's epoch (process start of use).
     std::uint64_t now_us() const;
 
+    /// The tracer's epoch as a CLOCK_REALTIME timestamp (microseconds since
+    /// the Unix epoch), measured at call time as `realtime_now - now_us()`.
+    /// Exported into the trace's otherData so scripts/trace_merge.py can
+    /// shift per-process steady-clock timelines onto one wall-clock axis.
+    std::uint64_t epoch_realtime_us() const;
+
     /// Records a completed span on the calling thread's ring.
     void record(const char* cat, const char* name, std::uint64_t start_us,
                 std::uint64_t dur_us, const char* arg_name = nullptr,

@@ -20,6 +20,8 @@
 #include <cstdio>
 #include <sstream>
 
+#include <unistd.h>
+
 namespace lph {
 namespace service {
 
@@ -34,6 +36,10 @@ std::string render_ms(double value) {
     char buf[32];
     std::snprintf(buf, sizeof(buf), "%.3f", value);
     return buf;
+}
+
+std::uint64_t ms_to_us(double ms) {
+    return ms > 0 ? static_cast<std::uint64_t>(ms * 1000.0 + 0.5) : 0;
 }
 
 /// One game-result body fragment.  Shared by the plain `game` case and the
@@ -157,6 +163,7 @@ struct ServiceCore::BatchContext {
 ServiceCore::ServiceCore(ServiceOptions options)
     : options_(options),
       start_time_(std::chrono::steady_clock::now()),
+      pid_(static_cast<std::int64_t>(::getpid())),
       memo_(options.memo_entries) {
     if (options_.threads == 0) {
         options_.threads = std::max(1u, std::thread::hardware_concurrency());
@@ -319,11 +326,12 @@ std::vector<ServiceCore::Pending> ServiceCore::take_batch_locked() {
 void ServiceCore::process_batch(std::vector<Pending> batch) {
     LPH_SPAN_NAMED(span, "service", "service.batch");
     span.arg("requests", batch.size());
+    const auto batch_start = std::chrono::steady_clock::now();
     batches_.fetch_add(1, std::memory_order_relaxed);
     BatchContext ctx;
     std::uint64_t served = 0;
     for (Pending& pending : batch) {
-        if (serve_one(pending, ctx, batch.size())) {
+        if (serve_one(pending, ctx, batch.size(), batch_start)) {
             ++served;
         }
     }
@@ -333,7 +341,8 @@ void ServiceCore::process_batch(std::vector<Pending> batch) {
 }
 
 bool ServiceCore::serve_one(Pending& pending, BatchContext& ctx,
-                            std::size_t batch_size) {
+                            std::size_t batch_size,
+                            std::chrono::steady_clock::time_point batch_start) {
     LPH_SPAN_NAMED(span, "service", "service.request");
     Request& request = pending.request;
     const auto start = std::chrono::steady_clock::now();
@@ -434,8 +443,73 @@ bool ServiceCore::serve_one(Pending& pending, BatchContext& ctx,
     }
     span.arg("memo_hit", response.memo_hit ? 1 : 0);
     span.arg("ok", response.status == "ok" ? 1 : 0);
+    // Stage split: queue covers submit -> batch formation, batch covers the
+    // shared prep plus this request's intra-batch wait, exec is its own turn.
+    finish_timing(response, request,
+                  std::max(0.0, ms_between(pending.enqueued, batch_start)),
+                  std::max(0.0, ms_between(batch_start, start)),
+                  response.service_ms, end);
     pending.promise.set_value(std::move(response));
     return !expired;
+}
+
+void ServiceCore::finish_timing(
+    Response& response, const Request& request, double queue_ms,
+    double batch_ms, double exec_ms,
+    std::chrono::steady_clock::time_point exec_end) {
+    response.trace_id = request.trace_id;
+    ResponseTiming& t = response.timing;
+    t.present = true;
+    t.queue_us = ms_to_us(queue_ms);
+    t.batch_us = ms_to_us(batch_ms);
+    t.exec_us = ms_to_us(exec_ms);
+    if (request.type == RequestType::Game ||
+        (request.type == RequestType::GraphPatch && !request.machine.empty())) {
+        t.backend = request.backend;
+    }
+    t.worker_pid = pid_;
+    t.generation = options_.worker_generation;
+    // write covers response materialization after execute (memo insert,
+    // counters, span args) — everything downstream of here (serialization,
+    // socket) only the client can observe, so stage sum <= client wall time.
+    t.write_us =
+        ms_to_us(ms_between(exec_end, std::chrono::steady_clock::now()));
+
+    const std::uint64_t total_us = t.stage_sum_us();
+    stage_metrics_.observe("service.latency_us",
+                           static_cast<double>(total_us));
+    stage_metrics_.observe("service.queue_us", static_cast<double>(t.queue_us));
+    stage_metrics_.observe("service.batch_us", static_cast<double>(t.batch_us));
+    stage_metrics_.observe("service.exec_us", static_cast<double>(t.exec_us));
+    stage_metrics_.observe("service.write_us", static_cast<double>(t.write_us));
+
+    if (options_.slow_ms > 0 &&
+        static_cast<double>(total_us) > options_.slow_ms * 1000.0) {
+        std::string line = "{\"event\":\"slow_request\",\"type\":\"";
+        line += to_string(request.type);
+        line += '"';
+        if (!response.id.empty()) {
+            line += ",\"id\":" + response.id;
+        }
+        char buf[256];
+        std::snprintf(
+            buf, sizeof(buf),
+            ",\"status\":\"%s\",\"queue_us\":%llu,\"batch_us\":%llu,"
+            "\"exec_us\":%llu,\"write_us\":%llu,\"total_us\":%llu,"
+            "\"memo_hit\":%s,\"batch_size\":%zu,\"worker_pid\":%lld,"
+            "\"generation\":%llu}\n",
+            response.status.c_str(),
+            static_cast<unsigned long long>(t.queue_us),
+            static_cast<unsigned long long>(t.batch_us),
+            static_cast<unsigned long long>(t.exec_us),
+            static_cast<unsigned long long>(t.write_us),
+            static_cast<unsigned long long>(total_us),
+            response.memo_hit ? "true" : "false", response.batch,
+            static_cast<long long>(t.worker_pid),
+            static_cast<unsigned long long>(t.generation));
+        line += buf;
+        std::fwrite(line.data(), 1, line.size(), stderr);
+    }
 }
 
 bool ServiceCore::resolve_graph_ref(Request& request) {
@@ -568,7 +642,7 @@ std::string ServiceCore::execute(const Request& request, BatchContext& ctx,
         break;
     }
     case RequestType::Stats:
-        return render_stats_body();
+        return render_stats_body(request.stats_detail == "full");
     case RequestType::Health:
         return render_health_body();
     case RequestType::GraphRegister: {
@@ -766,53 +840,19 @@ std::string ServiceCore::evaluate_patch_decider(const Request& request,
     return fragment.str();
 }
 
-std::string ServiceCore::render_stats_body() {
-    const ServiceStats s = stats();
-    const ResultMemoStats memo = memo_stats();
-    const ViewCacheStats cache = view_cache_stats();
+std::string ServiceCore::render_stats_body(bool full) {
+    // The body is derived from the same collect_metrics() snapshot that
+    // feeds publish_metrics() and the --metrics= file, rendered through the
+    // registry's own renderer — one schema, impossible to drift.  The only
+    // hand-built fields are the worker identity (pid, generation, uptime)
+    // that an aggregator needs to tell scraped workers apart.
+    obs::MetricsRegistry registry;
+    collect_metrics(registry);
     std::ostringstream body;
     body << "\"uptime_ms\":"
          << render_ms(ms_between(start_time_, std::chrono::steady_clock::now()))
-         << ",\"workers\":" << s.workers
-         << ",\"queue_depth\":" << s.queue_depth
-         << ",\"max_queue_depth\":" << s.max_queue_depth
-         << ",\"submitted\":" << s.submitted << ",\"rejected\":" << s.rejected
-         << ",\"protocol_errors\":" << s.protocol_errors
-         << ",\"completed\":" << s.completed << ",\"errors\":" << s.errors
-         << ",\"memo_served\":" << s.memo_served
-         << ",\"batches\":" << s.batches
-         << ",\"batched_requests\":" << s.batched_requests
-         << ",\"avg_batch\":" << render_ms(s.avg_batch())
-         << ",\"expired_in_queue\":" << s.expired_in_queue
-         << ",\"busy_ms\":" << render_ms(s.busy_ms)
-         << ",\"graphs\":{\"resident\":" << s.graphs_resident
-         << ",\"patches\":" << s.patches_applied
-         << ",\"incremental\":" << s.patch_incremental
-         << ",\"full\":" << s.patch_full
-         << ",\"dirty_nodes\":" << s.patch_dirty_nodes
-         << ",\"total_nodes\":" << s.patch_total_nodes
-         << ",\"dirty_fraction\":" << render_ms(s.patch_dirty_fraction())
-         << '}'
-         // "memo_cache", not "memo": the response envelope already carries a
-         // top-level "memo":"hit|miss" and response objects must not have
-         // duplicate keys (the client's own parser rejects them).
-         << ",\"memo_cache\":{\"hits\":" << memo.hits
-         << ",\"misses\":" << memo.misses << ",\"entries\":" << memo.entries
-         << ",\"evictions\":" << memo.evictions
-         << ",\"hit_rate\":" << render_ms(memo.hit_rate())
-         << "},\"view_cache\":{\"hits\":" << cache.hits
-         << ",\"misses\":" << cache.misses << ",\"entries\":" << cache.entries
-         << ",\"evictions\":" << cache.evictions
-         << ",\"verdict_mismatches\":" << cache.verdict_mismatches
-         << ",\"hit_rate\":" << render_ms(cache.hit_rate()) << '}';
-    if (!options_.snapshot_path.empty()) {
-        const SnapshotStats snap = snapshot_stats();
-        body << ",\"snapshot\":{\"loads\":" << snap.loads
-             << ",\"rejected\":" << snap.rejected << ",\"saves\":" << snap.saves
-             << ",\"save_failures\":" << snap.save_failures
-             << ",\"entries_loaded\":" << snap.entries_loaded
-             << ",\"entries_saved\":" << snap.entries_saved << '}';
-    }
+         << ",\"pid\":" << pid_
+         << ",\"generation\":" << options_.worker_generation;
     if (options_.worker_index >= 0) {
         body << ",\"worker\":{\"index\":" << options_.worker_index
              << ",\"generation\":" << options_.worker_generation
@@ -820,6 +860,25 @@ std::string ServiceCore::render_stats_body() {
              << (options_.worker_generation > 0 ? options_.worker_generation - 1
                                                 : 0)
              << '}';
+    }
+    body << ",\"metrics\":"
+         << obs::render_metrics_json(registry.snapshot(), /*pretty=*/false);
+    if (full) {
+        // Bucket-level histogram serialization: counts merge bit-exactly
+        // across workers, so a scraper can reconstruct cluster percentiles.
+        body << ",\"histograms\":{";
+        bool first = true;
+        for (const auto& [name, histogram] : registry.histograms()) {
+            if (!first) {
+                body << ',';
+            }
+            body << '"' << obs::json_escape(name) << "\":";
+            std::string serialized;
+            histogram.append_json(serialized);
+            body << serialized;
+            first = false;
+        }
+        body << '}';
     }
     return body.str();
 }
@@ -860,8 +919,10 @@ Response ServiceCore::serve_unbatched(const Request& request) {
             response.error = "UnknownGraph";
             response.detail = "no resident graph with digest " +
                               std::to_string(request.ref_digest);
-            response.service_ms =
-                ms_between(start, std::chrono::steady_clock::now());
+            const auto end = std::chrono::steady_clock::now();
+            response.service_ms = ms_between(start, end);
+            finish_timing(response, request, 0.0, 0.0, response.service_ms,
+                          end);
             return response;
         }
         effective = &resolved;
@@ -881,8 +942,10 @@ Response ServiceCore::serve_unbatched(const Request& request) {
         response.error = "InternalError";
         response.detail = e.what();
     }
-    response.service_ms =
-        ms_between(start, std::chrono::steady_clock::now());
+    const auto end = std::chrono::steady_clock::now();
+    response.service_ms = ms_between(start, end);
+    // No queue or batch stage on the inline path; exec is the whole turn.
+    finish_timing(response, request, 0.0, 0.0, response.service_ms, end);
     return response;
 }
 
@@ -1038,11 +1101,13 @@ void ServiceCore::publish_metrics() {
     if (options_.obs == nullptr) {
         return;
     }
-    obs::MetricsRegistry& registry = options_.obs->metrics();
+    collect_metrics(options_.obs->metrics());
+}
+
+void ServiceCore::collect_metrics(obs::MetricsRegistry& registry) const {
     registry.absorb("service.", stats().to_metrics());
     registry.absorb("service.", memo_stats().to_metrics());
-    obs::MetricList cache = view_cache_stats().to_metrics();
-    registry.absorb("service.", cache);
+    registry.absorb("service.", view_cache_stats().to_metrics());
     if (!options_.snapshot_path.empty()) {
         registry.absorb("service.", snapshot_stats().to_metrics());
     }
@@ -1052,6 +1117,10 @@ void ServiceCore::publish_metrics() {
             {{"worker_index", static_cast<double>(options_.worker_index)},
              {"worker_generation",
               static_cast<double>(options_.worker_generation)}});
+    }
+    // set (not merge): publishing runs repeatedly and must stay idempotent.
+    for (const auto& [name, histogram] : stage_metrics_.histograms()) {
+        registry.set_histogram(name, histogram);
     }
 }
 

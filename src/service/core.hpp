@@ -86,6 +86,12 @@ struct ServiceOptions {
     int worker_index = -1;
     std::uint64_t worker_generation = 0;
 
+    /// Slow-request logging: a request whose stage sum (queue + batch + exec
+    /// + write) exceeds this many milliseconds emits one structured
+    /// `slow_request` JSON line to stderr with the full breakdown and hit
+    /// flags.  0 = off (the default).
+    double slow_ms = 0;
+
     /// Optional observability session for publish_metrics().
     obs::Session* obs = nullptr;
 };
@@ -222,8 +228,10 @@ private:
     void process_batch(std::vector<Pending> batch);
     /// Serves one request.  Returns false when the request expired in the
     /// queue (it then counts toward expired_in_queue, not batched_requests
-    /// or busy time).
-    bool serve_one(Pending& pending, BatchContext& ctx, std::size_t batch_size);
+    /// or busy time).  `batch_start` anchors the queue/batch stage split of
+    /// the response's timing object.
+    bool serve_one(Pending& pending, BatchContext& ctx, std::size_t batch_size,
+                   std::chrono::steady_clock::time_point batch_start);
     /// Copies the resident graph a "digest" reference names into `request`;
     /// false when the digest does not resolve (the caller reports
     /// UnknownGraph).
@@ -243,14 +251,30 @@ private:
                                        const BuiltGame& game,
                                        const PatchOutcome& outcome,
                                        double deadline_ms);
-    std::string render_stats_body();
+    std::string render_stats_body(bool full);
     std::string render_health_body();
+    /// Fills the response's timing/trace envelope, feeds the stage
+    /// histograms, and emits the slow-request line when configured.
+    void finish_timing(Response& response, const Request& request,
+                       double queue_ms, double batch_ms, double exec_ms,
+                       std::chrono::steady_clock::time_point exec_end);
+    /// Absorbs every service.* metric (core counters, memo.*, cache.*,
+    /// snapshot.*, worker identity) plus the stage histograms into
+    /// `registry` — the single collection point behind publish_metrics(),
+    /// the stats wire body, and the `--metrics=` file.
+    void collect_metrics(obs::MetricsRegistry& registry) const;
     ViewCache* cache_for(const std::string& machine);
     void load_snapshot();
     void snapshot_loop();
 
     ServiceOptions options_;
     std::chrono::steady_clock::time_point start_time_;
+    std::int64_t pid_ = 0; ///< serving process, echoed in timing objects
+
+    /// Per-stage latency histograms (service.latency_us, service.queue_us,
+    /// service.batch_us, service.exec_us, service.write_us), recorded on the
+    /// serve path and exported through collect_metrics().
+    obs::MetricsRegistry stage_metrics_;
 
     mutable std::mutex queue_mutex_;
     std::condition_variable queue_cv_;

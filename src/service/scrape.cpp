@@ -1,0 +1,116 @@
+#include "service/scrape.hpp"
+
+#include "core/check.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace lph {
+namespace service {
+
+double WorkerSnapshot::metric(const std::string& name, double fallback) const {
+    const auto it = metrics.find(name);
+    return it != metrics.end() ? it->second : fallback;
+}
+
+obs::LogHistogram parse_log_histogram(const JsonValue& value) {
+    check(value.is_object(), "histogram must be a JSON object");
+    const JsonValue* count = value.find("count");
+    const JsonValue* sum = value.find("sum");
+    const JsonValue* min = value.find("min");
+    const JsonValue* max = value.find("max");
+    const JsonValue* buckets = value.find("buckets");
+    check(count != nullptr && sum != nullptr && min != nullptr &&
+              max != nullptr && buckets != nullptr &&
+              buckets->kind == JsonValue::Kind::Array,
+          "histogram needs count/sum/min/max/buckets");
+    check(sum->is_number() && min->is_number() && max->is_number(),
+          "histogram sum/min/max must be numbers");
+
+    obs::LogHistogram h;
+    for (const JsonValue& entry : buckets->items) {
+        check(entry.kind == JsonValue::Kind::Array && entry.items.size() == 2,
+              "each histogram bucket must be an [index, count] pair");
+        const std::uint64_t index =
+            json_to_u64(entry.items[0], "bucket index");
+        const std::uint64_t n = json_to_u64(entry.items[1], "bucket count");
+        check(index < obs::LogHistogram::kBucketCount,
+              "bucket index out of range");
+        h.inject(static_cast<std::size_t>(index), n);
+    }
+    const std::uint64_t expected = json_to_u64(*count, "histogram count");
+    check(h.count() == expected,
+          "histogram bucket counts do not add up to \"count\"");
+    h.set_summary(sum->number, min->number, max->number);
+    return h;
+}
+
+std::optional<WorkerSnapshot> parse_worker_snapshot(const std::string& line) {
+    try {
+        const JsonValue doc = parse_json(line);
+        const JsonValue* status = doc.find("status");
+        const JsonValue* type = doc.find("type");
+        const JsonValue* metrics = doc.find("metrics");
+        if (status == nullptr || !status->is_string() ||
+            status->string != "ok" || type == nullptr ||
+            !type->is_string() || type->string != "stats" ||
+            metrics == nullptr || !metrics->is_object()) {
+            return std::nullopt;
+        }
+        WorkerSnapshot snap;
+        if (const JsonValue* pid = doc.find("pid")) {
+            snap.pid = static_cast<std::int64_t>(json_to_u64(*pid, "\"pid\""));
+        }
+        if (const JsonValue* generation = doc.find("generation")) {
+            snap.generation = json_to_u64(*generation, "\"generation\"");
+        }
+        if (const JsonValue* uptime = doc.find("uptime_ms")) {
+            check(uptime->is_number(), "\"uptime_ms\" must be a number");
+            snap.uptime_ms = uptime->number;
+        }
+        if (const JsonValue* worker = doc.find("worker")) {
+            if (const JsonValue* index = worker->find("index")) {
+                snap.worker_index =
+                    static_cast<int>(json_to_u64(*index, "worker index"));
+            }
+        }
+        for (const auto& [name, value] : metrics->members) {
+            check(value.is_number(), "metric \"" + name + "\" must be a number");
+            snap.metrics[name] = value.number;
+        }
+        if (const JsonValue* histograms = doc.find("histograms")) {
+            check(histograms->is_object(), "\"histograms\" must be an object");
+            for (const auto& [name, value] : histograms->members) {
+                snap.histograms[name] = parse_log_histogram(value);
+            }
+        }
+        return snap;
+    } catch (const std::exception&) {
+        return std::nullopt;
+    }
+}
+
+ClusterView merge_workers(std::vector<WorkerSnapshot> snapshots) {
+    // Last snapshot per pid wins: a scraper probing a shared listener sees
+    // the same worker several times, and the latest counters subsume the
+    // earlier ones (counters are monotone within a worker generation).
+    std::map<std::int64_t, WorkerSnapshot> by_pid;
+    for (WorkerSnapshot& snap : snapshots) {
+        by_pid[snap.pid] = std::move(snap);
+    }
+    ClusterView view;
+    view.workers.reserve(by_pid.size());
+    for (auto& [pid, snap] : by_pid) {
+        for (const auto& [name, value] : snap.metrics) {
+            view.summed_metrics[name] += value;
+        }
+        for (const auto& [name, histogram] : snap.histograms) {
+            view.histograms[name].merge(histogram);
+        }
+        view.workers.push_back(std::move(snap));
+    }
+    return view;
+}
+
+} // namespace service
+} // namespace lph

@@ -218,6 +218,9 @@ std::string Request::to_json() const {
     if (deadline_ms > 0) {
         out << ",\"deadline_ms\":" << render_double(deadline_ms);
     }
+    if (!trace_id.empty()) {
+        out << ",\"trace\":{\"id\":" << trace_id << "}";
+    }
     switch (type) {
     case RequestType::Game:
         out << ",\"machine\":\"" << json_escape(machine) << "\""
@@ -263,6 +266,10 @@ std::string Request::to_json() const {
             << ",\"seed\":" << seed << ",\"instances\":" << instances;
         break;
     case RequestType::Stats:
+        if (stats_detail == "full") {
+            out << ",\"detail\":\"full\"";
+        }
+        break;
     case RequestType::Health:
     case RequestType::GraphRegister:
         break;
@@ -360,6 +367,18 @@ Request parse_request(const std::string& line, std::size_t line_number,
                 check(value.is_number() && value.number >= 0,
                       "\"deadline_ms\" must be a non-negative number");
                 r.deadline_ms = value.number;
+                continue;
+            }
+            if (key == "trace") {
+                check(value.is_object(), "\"trace\" must be an object");
+                const JsonValue* trace_id = nullptr;
+                for (const auto& [tkey, tvalue] : value.members) {
+                    check(tkey == "id",
+                          "unknown field \"" + tkey + "\" in \"trace\"");
+                    trace_id = &tvalue;
+                }
+                check(trace_id != nullptr, "\"trace\" is missing \"id\"");
+                r.trace_id = parse_id_token(*trace_id);
                 continue;
             }
             const bool takes_graph = r.type == RequestType::Game ||
@@ -513,6 +532,14 @@ Request parse_request(const std::string& line, std::size_t line_number,
                 }
                 break;
             case RequestType::Stats:
+                if (key == "detail") {
+                    check(value.is_string() && (value.string == "summary" ||
+                                                value.string == "full"),
+                          "\"detail\" must be \"summary\" or \"full\"");
+                    r.stats_detail = value.string == "full" ? "full" : "";
+                    known = true;
+                }
+                break;
             case RequestType::Health:
             case RequestType::GraphRegister:
                 known = false;
@@ -590,8 +617,61 @@ std::string Response::to_json() const {
         out << ",\"memo\":\"" << (memo_hit ? "hit" : "miss")
             << "\",\"batch\":" << batch << ",\"service_ms\":" << service_ms;
     }
+    if (timing.present) {
+        out << ",\"timing\":{\"queue_us\":" << timing.queue_us
+            << ",\"batch_us\":" << timing.batch_us
+            << ",\"exec_us\":" << timing.exec_us
+            << ",\"write_us\":" << timing.write_us << ",\"memo_hit\":"
+            << (memo_hit ? "true" : "false") << ",\"batch_size\":" << batch;
+        if (!timing.backend.empty()) {
+            out << ",\"backend\":\"" << json_escape(timing.backend) << "\"";
+        }
+        out << ",\"worker_pid\":" << timing.worker_pid
+            << ",\"generation\":" << timing.generation << "}";
+    }
+    if (!trace_id.empty()) {
+        out << ",\"trace\":{\"id\":" << trace_id << "}";
+    }
     out << "}";
     return out.str();
+}
+
+std::optional<TimingView> parse_timing(const std::string& line) {
+    try {
+        const JsonValue doc = parse_json(line);
+        const JsonValue* t = doc.find("timing");
+        if (t == nullptr || !t->is_object()) {
+            return std::nullopt;
+        }
+        TimingView view;
+        for (const auto& [key, value] : t->members) {
+            if (key == "queue_us") {
+                view.queue_us = json_to_u64(value, "\"queue_us\"");
+            } else if (key == "batch_us") {
+                view.batch_us = json_to_u64(value, "\"batch_us\"");
+            } else if (key == "exec_us") {
+                view.exec_us = json_to_u64(value, "\"exec_us\"");
+            } else if (key == "write_us") {
+                view.write_us = json_to_u64(value, "\"write_us\"");
+            } else if (key == "memo_hit") {
+                check(value.is_bool(), "\"memo_hit\" must be a boolean");
+                view.memo_hit = value.boolean;
+            } else if (key == "batch_size") {
+                view.batch_size = json_to_u64(value, "\"batch_size\"");
+            } else if (key == "backend") {
+                check(value.is_string(), "\"backend\" must be a string");
+                view.backend = value.string;
+            } else if (key == "worker_pid") {
+                view.worker_pid = static_cast<std::int64_t>(
+                    json_to_u64(value, "\"worker_pid\""));
+            } else if (key == "generation") {
+                view.generation = json_to_u64(value, "\"generation\"");
+            }
+        }
+        return view;
+    } catch (const std::exception&) {
+        return std::nullopt;
+    }
 }
 
 std::optional<VerdictView> parse_verdict(const std::string& line) {

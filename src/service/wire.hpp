@@ -74,8 +74,12 @@ const char* to_string(PatchOp::Kind kind);
 /// the dirty region.  game/logic/decide accept "digest":"<decimal>" in
 /// place of "graph" to run against a resident graph.
 ///
-/// Common optional fields: "id" (echoed back verbatim; number or string) and
-/// "deadline_ms" (propagated into the engine's wall-clock deadline guard).
+/// Common optional fields: "id" (echoed back verbatim; number or string),
+/// "deadline_ms" (propagated into the engine's wall-clock deadline guard),
+/// and "trace":{"id":<number|string>} — a client-chosen trace id echoed back
+/// inside the response so multi-hop timings can be correlated; like "id" it
+/// is excluded from the memo key.  "stats" additionally accepts
+/// "detail":"full" for the bucket-level registry snapshot.
 /// Game extras: "tolerate_faults", "fault_seed"/"fault_crash"/"fault_drop"/
 /// "fault_truncate"/"fault_corrupt" (a deterministic FaultPlan), and
 /// "backend" ("compiled", the default, or "interpreted" — which
@@ -86,6 +90,10 @@ struct Request {
     RequestType type = RequestType::Health;
     std::string id;          ///< client correlation id, "" when absent
     double deadline_ms = 0;  ///< 0 = server default
+    std::string trace_id;    ///< raw token from "trace":{"id":...}, "" absent
+
+    // stats
+    std::string stats_detail; ///< "" (summary) | "full" (bucket-level)
 
     // game
     std::string machine;
@@ -159,10 +167,43 @@ struct Request {
 Request parse_request(const std::string& line, std::size_t line_number,
                       const WireLimits& limits);
 
+/// Server-side stage breakdown of one request, carried on the response as the
+/// "timing" object (all stages in whole microseconds):
+///
+///   queue_us  submit -> dequeue (bounded-queue wait, deadline-eligible)
+///   batch_us  batch formation start -> this request's turn (shared prep +
+///             intra-batch wait; 0 on unbatched paths)
+///   exec_us   engine/memo execution for this request
+///   write_us  response materialization after execute (memo insert + body
+///             bookkeeping) — socket transmission is only visible to the
+///             client, so queue+batch+exec+write <= client-measured wall time
+///
+/// The identity fields let an aggregator attribute the sample to a worker:
+/// worker_pid is the serving process, generation its supervisor restart
+/// count.  memo_hit/batch_size/backend mirror the envelope so the timing
+/// object is self-contained for clients that only parse it.
+struct ResponseTiming {
+    bool present = false;
+    std::uint64_t queue_us = 0;
+    std::uint64_t batch_us = 0;
+    std::uint64_t exec_us = 0;
+    std::uint64_t write_us = 0;
+    std::string backend;          ///< "" = not a game execution, omitted
+    std::int64_t worker_pid = 0;
+    std::uint64_t generation = 0;
+
+    std::uint64_t stage_sum_us() const {
+        return queue_us + batch_us + exec_us + write_us;
+    }
+};
+
 /// One wire response: a single JSON line.
 ///
 ///   {"id":7,"status":"ok","type":"game","accepted":true,...,
-///    "memo":"miss","batch":3,"service_ms":0.42}
+///    "memo":"miss","batch":3,"service_ms":0.42,
+///    "timing":{"queue_us":12,"batch_us":3,"exec_us":410,"write_us":2,
+///     "memo_hit":false,"batch_size":3,"backend":"compiled",
+///     "worker_pid":4242,"generation":1}}
 ///   {"status":"error","error":"DeadlineExceeded","detail":"..."}
 ///   {"status":"rejected","error":"QueueFull","detail":"..."}
 struct Response {
@@ -178,6 +219,8 @@ struct Response {
     bool memo_hit = false;
     std::size_t batch = 1;   ///< requests served by this request's batch
     double service_ms = 0;   ///< dequeue-to-completion time
+    std::string trace_id;    ///< echoed request trace id token, "" absent
+    ResponseTiming timing;   ///< stage breakdown, rendered when present
 
     std::string to_json() const;
 
@@ -200,6 +243,27 @@ struct VerdictView {
 /// line is not a valid response object (e.g. chaos-garbled bytes) — callers
 /// treat that as a transport error, never as a verdict.
 std::optional<VerdictView> parse_verdict(const std::string& line);
+
+/// Client-side view of a response's "timing" object (plus the mirrored
+/// memo/batch fields), for latency-breakdown reporting in lph_client and the
+/// loadgen.  nullopt when the line has no well-formed timing object.
+struct TimingView {
+    std::uint64_t queue_us = 0;
+    std::uint64_t batch_us = 0;
+    std::uint64_t exec_us = 0;
+    std::uint64_t write_us = 0;
+    bool memo_hit = false;
+    std::uint64_t batch_size = 1;
+    std::string backend;
+    std::int64_t worker_pid = 0;
+    std::uint64_t generation = 0;
+
+    std::uint64_t stage_sum_us() const {
+        return queue_us + batch_us + exec_us + write_us;
+    }
+};
+
+std::optional<TimingView> parse_timing(const std::string& line);
 
 /// FNV-1a 64-bit digest (the memo and batch grouping key hash).
 std::uint64_t fnv1a64(const std::string& data);

@@ -6,13 +6,17 @@
 // overhead guard.
 
 #include "obs/chrome_trace.hpp"
+#include "obs/log_histogram.hpp"
 #include "obs/metrics.hpp"
 #include "obs/session.hpp"
 #include "obs/trace.hpp"
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <chrono>
+#include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
 #include <map>
@@ -299,6 +303,194 @@ TEST(MetricsRegistry, SnapshotJsonParses) {
     ASSERT_NE(doc.find("game.solves"), nullptr);
     EXPECT_DOUBLE_EQ(doc.find("game.solves")->number, 3.0);
     EXPECT_DOUBLE_EQ(doc.find("game.workers")->number, 4.0);
+}
+
+// --------------------------------------------------------------------------
+// LogHistogram: bucket geometry, merge algebra, percentile accuracy.
+// --------------------------------------------------------------------------
+
+std::uint64_t mix64(std::uint64_t& state) {
+    state += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4568bull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+TEST(LogHistogram, BucketBoundariesAndMonotonicity) {
+    // The first four buckets are exact.
+    for (std::uint64_t v = 0; v < 4; ++v) {
+        EXPECT_EQ(obs::LogHistogram::bucket_index(static_cast<double>(v)), v);
+        EXPECT_DOUBLE_EQ(obs::LogHistogram::bucket_lower(v),
+                         static_cast<double>(v));
+    }
+    // Every value lands in [bucket_lower, bucket_upper), and the index is
+    // monotone in the value.
+    std::uint64_t state = 42;
+    std::vector<double> values = {0, 1, 3, 4, 5, 7, 8, 1023, 1024, 1025};
+    for (int i = 0; i < 200; ++i) {
+        values.push_back(static_cast<double>(mix64(state) >> (i % 50)));
+    }
+    std::sort(values.begin(), values.end());
+    std::size_t previous = 0;
+    for (const double v : values) {
+        const std::size_t index = obs::LogHistogram::bucket_index(v);
+        ASSERT_LT(index, obs::LogHistogram::kBucketCount);
+        EXPECT_GE(index, previous) << "index not monotone at " << v;
+        EXPECT_LE(obs::LogHistogram::bucket_lower(index), v);
+        EXPECT_LT(v, obs::LogHistogram::bucket_upper(index));
+        previous = index;
+    }
+    // Negative and NaN clamp to the zero bucket rather than crashing.
+    EXPECT_EQ(obs::LogHistogram::bucket_index(-5.0), 0u);
+}
+
+TEST(LogHistogram, EmptyAndSingleValueEdges) {
+    const obs::LogHistogram empty;
+    EXPECT_EQ(empty.count(), 0u);
+    EXPECT_DOUBLE_EQ(empty.percentile(0.5), 0.0);
+    EXPECT_DOUBLE_EQ(empty.avg(), 0.0);
+
+    obs::LogHistogram one;
+    one.record(37.0);
+    EXPECT_EQ(one.count(), 1u);
+    // Percentiles of a single sample are that sample: the bucket midpoint
+    // clamps to [min, max] = [37, 37].
+    EXPECT_DOUBLE_EQ(one.percentile(0.0), 37.0);
+    EXPECT_DOUBLE_EQ(one.percentile(0.5), 37.0);
+    EXPECT_DOUBLE_EQ(one.percentile(0.999), 37.0);
+}
+
+TEST(LogHistogram, MergeIsAssociativeAndCommutative) {
+    std::uint64_t state = 7;
+    const auto random_histogram = [&state](int samples) {
+        obs::LogHistogram h;
+        for (int i = 0; i < samples; ++i) {
+            h.record(static_cast<double>(mix64(state) >> (mix64(state) % 52)));
+        }
+        return h;
+    };
+    // Bucket counts, count, min, and max merge bit-exactly in any order;
+    // `sum` is a double accumulator, so reassociation may move its last ulp.
+    const auto equal = [](const obs::LogHistogram& x,
+                          const obs::LogHistogram& y) {
+        if (x.count() != y.count() || x.min() != y.min() ||
+            x.max() != y.max()) {
+            return false;
+        }
+        if (std::abs(x.sum() - y.sum()) >
+            1e-12 * std::max(std::abs(x.sum()), std::abs(y.sum()))) {
+            return false;
+        }
+        for (std::size_t i = 0; i < obs::LogHistogram::kBucketCount; ++i) {
+            if (x.bucket(i) != y.bucket(i)) {
+                return false;
+            }
+        }
+        return true;
+    };
+
+    for (int round = 0; round < 10; ++round) {
+        const obs::LogHistogram a = random_histogram(50);
+        const obs::LogHistogram b = random_histogram(80);
+        const obs::LogHistogram c = random_histogram(30);
+
+        obs::LogHistogram ab = a;
+        ab.merge(b);
+        obs::LogHistogram ab_c = ab;
+        ab_c.merge(c);
+
+        obs::LogHistogram bc = b;
+        bc.merge(c);
+        obs::LogHistogram a_bc = a;
+        a_bc.merge(bc);
+
+        obs::LogHistogram ba = b;
+        ba.merge(a);
+
+        EXPECT_TRUE(equal(ab_c, a_bc)) << "merge not associative";
+        EXPECT_TRUE(equal(ab, ba)) << "merge not commutative";
+    }
+}
+
+TEST(LogHistogram, MergeEqualsRecordingEverything) {
+    std::uint64_t state = 13;
+    obs::LogHistogram left, right, all;
+    for (int i = 0; i < 300; ++i) {
+        const double v =
+            static_cast<double>(mix64(state) >> (mix64(state) % 40));
+        (i % 2 == 0 ? left : right).record(v);
+        all.record(v);
+    }
+    left.merge(right);
+    EXPECT_EQ(left.count(), all.count());
+    EXPECT_DOUBLE_EQ(left.sum(), all.sum());
+    EXPECT_DOUBLE_EQ(left.min(), all.min());
+    EXPECT_DOUBLE_EQ(left.max(), all.max());
+    for (std::size_t i = 0; i < obs::LogHistogram::kBucketCount; ++i) {
+        EXPECT_EQ(left.bucket(i), all.bucket(i)) << "bucket " << i;
+    }
+}
+
+TEST(LogHistogram, PercentilesTrackExactQuantiles) {
+    std::uint64_t state = 99;
+    obs::LogHistogram h;
+    std::vector<double> values;
+    for (int i = 0; i < 5000; ++i) {
+        const double v = static_cast<double>(1 + mix64(state) % 1000000);
+        values.push_back(v);
+        h.record(v);
+    }
+    std::sort(values.begin(), values.end());
+    for (const double q : {0.50, 0.90, 0.99, 0.999}) {
+        const std::size_t rank = static_cast<std::size_t>(
+            std::ceil(q * static_cast<double>(values.size())));
+        const double exact = values[std::min(rank, values.size()) - 1];
+        const double approx = h.percentile(q);
+        // Sub-bucketed base-2 buckets guarantee <= 25% relative error; the
+        // reported value is a bucket midpoint, so allow that on both sides.
+        EXPECT_NEAR(approx, exact, 0.25 * exact + 1.0)
+            << "quantile " << q;
+    }
+}
+
+TEST(LogHistogram, SnapshotExposesTailPercentiles) {
+    obs::MetricsRegistry registry;
+    for (int i = 1; i <= 100; ++i) {
+        registry.observe("h.us", static_cast<double>(i));
+    }
+    const obs::MetricList snap = registry.snapshot();
+    EXPECT_DOUBLE_EQ(metric(snap, "h.us.count"), 100.0);
+    // p50 near 50, p99 near 99 — bucket midpoints, so generous bounds.
+    EXPECT_NEAR(metric(snap, "h.us.p50"), 50.0, 15.0);
+    EXPECT_NEAR(metric(snap, "h.us.p99"), 99.0, 25.0);
+    EXPECT_NEAR(metric(snap, "h.us.p999"), 100.0, 25.0);
+    EXPECT_GE(metric(snap, "h.us.p90"), metric(snap, "h.us.p50"));
+    EXPECT_GE(metric(snap, "h.us.p99"), metric(snap, "h.us.p90"));
+    EXPECT_GE(metric(snap, "h.us.p999"), metric(snap, "h.us.p99"));
+}
+
+TEST(LogHistogram, AppendJsonShape) {
+    obs::LogHistogram h;
+    h.record(5.0);
+    h.record(500.0);
+    std::string out;
+    h.append_json(out);
+    const JsonValue doc = parse_json(out);
+    ASSERT_EQ(doc.kind, JsonValue::Kind::Object);
+    EXPECT_DOUBLE_EQ(doc.find("count")->number, 2.0);
+    EXPECT_DOUBLE_EQ(doc.find("sum")->number, 505.0);
+    EXPECT_DOUBLE_EQ(doc.find("min")->number, 5.0);
+    EXPECT_DOUBLE_EQ(doc.find("max")->number, 500.0);
+    ASSERT_NE(doc.find("buckets"), nullptr);
+    ASSERT_EQ(doc.find("buckets")->kind, JsonValue::Kind::Array);
+    double bucket_total = 0;
+    for (const JsonValue& entry : doc.find("buckets")->array) {
+        ASSERT_EQ(entry.kind, JsonValue::Kind::Array);
+        ASSERT_EQ(entry.array.size(), 2u);
+        bucket_total += entry.array[1].number;
+    }
+    EXPECT_DOUBLE_EQ(bucket_total, 2.0);
 }
 
 // --------------------------------------------------------------------------

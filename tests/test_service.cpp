@@ -16,6 +16,7 @@
 #include "graph/identifiers.hpp"
 #include "graph/serialize.hpp"
 #include "hierarchy/game.hpp"
+#include "obs/log_histogram.hpp"
 #include "obs/session.hpp"
 #include "oracle/harness.hpp"
 #include "service/chaos.hpp"
@@ -24,6 +25,7 @@
 #include "service/json.hpp"
 #include "service/memo.hpp"
 #include "service/registry.hpp"
+#include "service/scrape.hpp"
 #include "service/server.hpp"
 #include "service/wire.hpp"
 
@@ -1182,6 +1184,195 @@ TEST(Registry, NamesAreValidatedAndBuildable) {
         EXPECT_TRUE(is_formula_name(name));
     }
     EXPECT_FALSE(is_formula_name("no-such-formula"));
+}
+
+// ---------------------------------------------------- timing observability --
+
+TEST(WireTiming, TimingAndTraceRoundTripOverTheWire) {
+    ServiceCore core(manual_options());
+    const Request request = parse_request(
+        "{\"type\":\"decide\",\"id\":9,\"trace\":{\"id\":77},"
+        "\"problem\":\"eulerian\",\"graph\":\"" + cycle6_payload() + "\"}",
+        1, WireLimits{});
+    EXPECT_EQ(request.trace_id, "77");
+
+    const Response response = core.call(request);
+    ASSERT_EQ(response.status, "ok");
+    ASSERT_TRUE(response.timing.present);
+    const std::string line = response.to_json();
+    EXPECT_NE(line.find("\"trace\":{\"id\":77}"), std::string::npos);
+
+    const auto view = parse_timing(line);
+    ASSERT_TRUE(view.has_value());
+    EXPECT_EQ(view->queue_us, response.timing.queue_us);
+    EXPECT_EQ(view->batch_us, response.timing.batch_us);
+    EXPECT_EQ(view->exec_us, response.timing.exec_us);
+    EXPECT_EQ(view->write_us, response.timing.write_us);
+    EXPECT_EQ(view->worker_pid, response.timing.worker_pid);
+    EXPECT_EQ(view->generation, response.timing.generation);
+    EXPECT_EQ(view->batch_size, response.batch);
+    EXPECT_EQ(view->stage_sum_us(), response.timing.stage_sum_us());
+
+    // Lines without a timing envelope parse to nullopt, not garbage.
+    EXPECT_FALSE(parse_timing("{\"status\":\"ok\"}").has_value());
+    EXPECT_FALSE(parse_timing("not json").has_value());
+}
+
+TEST(WireTiming, StageSumBoundedByClientObservedWall) {
+    ServiceOptions options;
+    options.threads = 2;
+    ServiceCore core(options);
+    for (int i = 0; i < 8; ++i) {
+        const auto start = std::chrono::steady_clock::now();
+        const Response response =
+            core.call(decide_request("eulerian", std::to_string(i)));
+        const double wall_us = std::chrono::duration<double, std::micro>(
+                                   std::chrono::steady_clock::now() - start)
+                                   .count();
+        ASSERT_EQ(response.status, "ok");
+        ASSERT_TRUE(response.timing.present);
+        // Each stage rounds to whole microseconds, so allow half-ulp-per-
+        // stage slack on top of the measured wall.
+        EXPECT_LE(static_cast<double>(response.timing.stage_sum_us()),
+                  wall_us + 3.0)
+            << "request " << i;
+    }
+    core.stop();
+}
+
+TEST(WireTiming, MemoHitsCarryFreshTiming) {
+    ServiceCore core(manual_options());
+    const Request request = decide_request("eulerian", "memo");
+    const Response miss = core.call(request);
+    const Response hit = core.call(request);
+    ASSERT_EQ(hit.status, "ok");
+    EXPECT_TRUE(hit.memo_hit);
+    ASSERT_TRUE(hit.timing.present);
+    // The memo stores body fragments, not envelopes: a hit's timing is its
+    // own serve, not a replay of the miss's.
+    EXPECT_NE(hit.to_json().find("\"memo_hit\":true"), std::string::npos);
+}
+
+TEST(StatsDetail, FullSnapshotExposesHistogramsAndIdentity) {
+    ServiceCore core(manual_options());
+    for (int i = 0; i < 5; ++i) {
+        EXPECT_EQ(core.call(decide_request("eulerian", std::to_string(i)))
+                      .status,
+                  "ok");
+    }
+    const Response summary = core.call(
+        parse_request("{\"type\":\"stats\",\"id\":90}", 1, WireLimits{}));
+    ASSERT_EQ(summary.status, "ok");
+    EXPECT_EQ(summary.body.find("\"histograms\""), std::string::npos);
+
+    const Response full = core.call(parse_request(
+        "{\"type\":\"stats\",\"id\":91,\"detail\":\"full\"}", 1,
+        WireLimits{}));
+    ASSERT_EQ(full.status, "ok");
+    const auto snapshot = parse_worker_snapshot(full.to_json());
+    ASSERT_TRUE(snapshot.has_value());
+    EXPECT_GT(snapshot->pid, 0);
+    EXPECT_GE(snapshot->uptime_ms, 0.0);
+    EXPECT_GE(snapshot->metric("service.completed"), 5.0);
+    const auto latency = snapshot->histograms.find("service.latency_us");
+    ASSERT_NE(latency, snapshot->histograms.end());
+    // The full-stats probe renders before its own timing is recorded, so the
+    // latency histogram holds every request served before it.
+    EXPECT_GE(latency->second.count(), 5u);
+    EXPECT_GT(latency->second.percentile(0.99), 0.0);
+    for (const char* stage : {"service.queue_us", "service.batch_us",
+                              "service.exec_us", "service.write_us"}) {
+        EXPECT_NE(snapshot->histograms.find(stage),
+                  snapshot->histograms.end())
+            << stage;
+    }
+}
+
+TEST(Scrape, RejectsMalformedSnapshots) {
+    EXPECT_FALSE(parse_worker_snapshot("not json").has_value());
+    EXPECT_FALSE(parse_worker_snapshot("{\"status\":\"ok\"}").has_value());
+    EXPECT_FALSE(
+        parse_worker_snapshot(
+            "{\"status\":\"error\",\"type\":\"stats\",\"metrics\":{}}")
+            .has_value());
+    // Bucket counts that do not add up to "count" are rejected, not merged.
+    EXPECT_FALSE(
+        parse_worker_snapshot(
+            "{\"status\":\"ok\",\"type\":\"stats\",\"metrics\":{},"
+            "\"histograms\":{\"h\":{\"count\":5,\"sum\":1,\"min\":1,"
+            "\"max\":1,\"buckets\":[[0,2]]}}}")
+            .has_value());
+}
+
+TEST(Scrape, ClusterMergeEqualsPerWorkerSums) {
+    // Two independent cores behind two loopback listeners stand in for two
+    // supervised workers; both answer a full-stats probe over the real wire.
+    ServiceOptions options;
+    options.threads = 2;
+    ServiceCore core_a(options);
+    ServiceCore core_b(options);
+    TcpServer server_a(core_a, 0, 2);
+    TcpServer server_b(core_b, 0, 2);
+    server_a.start();
+    server_b.start();
+
+    const auto drive = [](std::uint16_t port, int requests) -> WorkerSnapshot {
+        TcpClient client("127.0.0.1", port);
+        for (int i = 0; i < requests; ++i) {
+            client.send_line(
+                "{\"type\":\"decide\",\"id\":" + std::to_string(i) +
+                ",\"problem\":\"eulerian\",\"graph\":\"" + cycle6_payload() +
+                "\"}");
+            std::string line;
+            EXPECT_TRUE(client.recv_line(line));
+        }
+        client.send_line("{\"type\":\"stats\",\"detail\":\"full\"}");
+        std::string line;
+        EXPECT_TRUE(client.recv_line(line));
+        const auto snapshot = parse_worker_snapshot(line);
+        EXPECT_TRUE(snapshot.has_value());
+        return snapshot.value_or(WorkerSnapshot{});
+    };
+
+    WorkerSnapshot a = drive(server_a.port(), 7);
+    WorkerSnapshot b = drive(server_b.port(), 11);
+    server_a.shutdown();
+    server_b.shutdown();
+    core_a.stop();
+    core_b.stop();
+
+    // Both cores live in this process, so fake distinct worker pids the way
+    // a real supervised cluster would present them.
+    a.pid = 111;
+    b.pid = 222;
+    const double completed_sum = a.metric("service.completed") +
+                                 b.metric("service.completed");
+    const std::uint64_t latency_count_sum =
+        a.histograms.at("service.latency_us").count() +
+        b.histograms.at("service.latency_us").count();
+
+    const ClusterView view = merge_workers({a, b});
+    ASSERT_EQ(view.workers.size(), 2u);
+    EXPECT_DOUBLE_EQ(view.summed_metrics.at("service.completed"),
+                     completed_sum);
+    const auto merged = view.histograms.find("service.latency_us");
+    ASSERT_NE(merged, view.histograms.end());
+    EXPECT_EQ(merged->second.count(), latency_count_sum);
+    // Bucket-by-bucket, the merge is the per-worker sum — the bit-exactness
+    // lph_top's cluster totals rely on.
+    for (std::size_t i = 0; i < obs::LogHistogram::kBucketCount; ++i) {
+        EXPECT_EQ(merged->second.bucket(i),
+                  a.histograms.at("service.latency_us").bucket(i) +
+                      b.histograms.at("service.latency_us").bucket(i))
+            << "bucket " << i;
+    }
+
+    // Duplicate probes of the same worker dedupe (last wins), never
+    // double-count.
+    const ClusterView deduped = merge_workers({a, a, b});
+    EXPECT_EQ(deduped.workers.size(), 2u);
+    EXPECT_DOUBLE_EQ(deduped.summed_metrics.at("service.completed"),
+                     completed_sum);
 }
 
 } // namespace

@@ -45,6 +45,7 @@
 // Exit status: 0 ok; 1 verification failure or connection error; 2 usage.
 
 #include "graph/serialize.hpp"
+#include "obs/log_histogram.hpp"
 #include "obs/metrics.hpp"
 #include "service/graph_store.hpp"
 #include "service/json.hpp"
@@ -55,6 +56,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <map>
@@ -567,6 +569,15 @@ int connect_and_relay(const std::string& target,
     }
 
     service::RetryStats stats;
+    // Client-vs-server latency breakdown: the wall clock around the winning
+    // attempt, and the server's own stage timings parsed back out of each
+    // response.  Both go through the same bucketing, so the percentiles in
+    // the summary line are directly comparable; the gap between them is time
+    // spent on the socket.
+    obs::LogHistogram client_wall_us;
+    obs::LogHistogram server_stage_us;
+    obs::LogHistogram queue_us, batch_us, exec_us, write_us;
+    long timing_violations = 0; // server stage sum > client wall: impossible
     std::unique_ptr<service::TcpClient> client;
     bool ever_connected = false;
     const auto connect = [&]() -> bool {
@@ -604,6 +615,7 @@ int connect_and_relay(const std::string& target,
             if (!connect()) {
                 continue;
             }
+            const auto attempt_start = std::chrono::steady_clock::now();
             if (client->send_line_status(requests[i]) !=
                 service::TransportStatus::Ok) {
                 client.reset(); // daemon went away mid-send; reconnect
@@ -633,6 +645,23 @@ int connect_and_relay(const std::string& target,
                     continue;
                 }
                 std::cout << response << "\n";
+                const double wall_us =
+                    std::chrono::duration<double, std::micro>(
+                        std::chrono::steady_clock::now() - attempt_start)
+                        .count();
+                client_wall_us.record(wall_us);
+                if (const auto timing = service::parse_timing(response)) {
+                    server_stage_us.record(
+                        static_cast<double>(timing->stage_sum_us()));
+                    queue_us.record(static_cast<double>(timing->queue_us));
+                    batch_us.record(static_cast<double>(timing->batch_us));
+                    exec_us.record(static_cast<double>(timing->exec_us));
+                    write_us.record(static_cast<double>(timing->write_us));
+                    if (static_cast<double>(timing->stage_sum_us()) >
+                        wall_us) {
+                        ++timing_violations;
+                    }
+                }
                 answered = true;
                 break;
             }
@@ -652,6 +681,26 @@ int connect_and_relay(const std::string& target,
               << ",\"retries\":" << stats.retries << ",\"redelivered\":"
               << stats.redelivered << ",\"abandoned\":" << stats.abandoned
               << ",\"reconnects\":" << stats.reconnects << "}\n";
+    if (client_wall_us.count() > 0) {
+        const auto quartet = [](const obs::LogHistogram& h) {
+            char buf[128];
+            std::snprintf(buf, sizeof(buf),
+                          "{\"p50\":%.6g,\"p90\":%.6g,\"p99\":%.6g,"
+                          "\"p999\":%.6g}",
+                          h.percentile(0.50), h.percentile(0.90),
+                          h.percentile(0.99), h.percentile(0.999));
+            return std::string(buf);
+        };
+        std::cerr << "{\"event\":\"client_timing\",\"count\":"
+                  << client_wall_us.count() << ",\"client_wall_us\":"
+                  << quartet(client_wall_us) << ",\"server_stage_us\":"
+                  << quartet(server_stage_us) << ",\"stage_p99_us\":{"
+                  << "\"queue\":" << queue_us.percentile(0.99)
+                  << ",\"batch\":" << batch_us.percentile(0.99)
+                  << ",\"exec\":" << exec_us.percentile(0.99)
+                  << ",\"write\":" << write_us.percentile(0.99)
+                  << "},\"timing_violations\":" << timing_violations << "}\n";
+    }
     // Abandonment is an availability failure the caller may tolerate;
     // failing to reach the daemon at all is not.
     return stats.sent > 0 && abandoned_requests == static_cast<long>(stats.sent)

@@ -1,0 +1,353 @@
+// lph_top — cluster-wide serving observability.
+//
+// Scrapes every worker behind an lphd listener (standalone or supervised:
+// repeated loopback connections land on different workers of a pre-forked
+// pool and are deduplicated by pid) with `{"type":"stats","detail":"full"}`,
+// merges the bucket-level latency histograms bit-exactly, and renders
+// cluster p50/p99/p999 plus per-worker memo/view-cache hit rates, queue
+// depths, and restart generations.
+//
+//   lph_top --connect 127.0.0.1:4000 --workers 2            # live table
+//   lph_top --connect 127.0.0.1:4000 --workers 2 --once --json   # CI / scripts
+//
+// The scraper's own stats probes are data-plane requests on whichever worker
+// answers them; lph_top tracks how many probes each pid served and subtracts
+// them, so the cluster "submitted"/"completed" totals it reports equal the
+// client workload's totals exactly.
+
+#include "obs/log_histogram.hpp"
+#include "service/scrape.hpp"
+#include "service/server.hpp"
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace {
+
+using lph::obs::LogHistogram;
+using lph::service::ClusterView;
+using lph::service::TcpClient;
+using lph::service::WorkerSnapshot;
+
+struct Options {
+    std::string host = "127.0.0.1";
+    std::uint16_t port = 0;
+    std::size_t workers = 1;    // distinct pids a round must find
+    std::size_t max_probes = 0; // 0 = derived from workers
+    bool once = false;
+    bool json = false;
+    int interval_ms = 1000;
+};
+
+[[noreturn]] void usage(const char* argv0) {
+    std::fprintf(
+        stderr,
+        "usage: %s --connect HOST:PORT [--workers N] [--probes K] [--once]\n"
+        "          [--json] [--interval-ms M]\n"
+        "  --workers N      distinct worker pids to find per round (default 1)\n"
+        "  --probes K       max stats probes per round (default 16*N)\n"
+        "  --once           one scrape round, then exit\n"
+        "  --json           machine-readable output (one JSON object per round)\n"
+        "  --interval-ms M  delay between rounds (default 1000)\n",
+        argv0);
+    std::exit(2);
+}
+
+Options parse_args(int argc, char** argv) {
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto value = [&]() -> std::string {
+            const std::size_t eq = arg.find('=');
+            if (eq != std::string::npos) {
+                return arg.substr(eq + 1);
+            }
+            if (i + 1 >= argc) {
+                usage(argv[0]);
+            }
+            return argv[++i];
+        };
+        const auto is = [&](const char* name) {
+            return arg == name || arg.rfind(std::string(name) + "=", 0) == 0;
+        };
+        if (is("--connect")) {
+            const std::string target = value();
+            const std::size_t colon = target.rfind(':');
+            if (colon == std::string::npos) {
+                usage(argv[0]);
+            }
+            opt.host = target.substr(0, colon);
+            opt.port = static_cast<std::uint16_t>(
+                std::strtoul(target.c_str() + colon + 1, nullptr, 10));
+        } else if (is("--workers")) {
+            opt.workers = std::strtoul(value().c_str(), nullptr, 10);
+        } else if (is("--probes")) {
+            opt.max_probes = std::strtoul(value().c_str(), nullptr, 10);
+        } else if (arg == "--once") {
+            opt.once = true;
+        } else if (arg == "--json") {
+            opt.json = true;
+        } else if (is("--interval-ms")) {
+            opt.interval_ms = std::atoi(value().c_str());
+        } else {
+            usage(argv[0]);
+        }
+    }
+    if (opt.port == 0 || opt.workers == 0) {
+        usage(argv[0]);
+    }
+    if (opt.max_probes == 0) {
+        opt.max_probes = 16 * opt.workers;
+    }
+    return opt;
+}
+
+/// One probe: connect, ask for a full-stats snapshot, parse it.
+std::optional<WorkerSnapshot> probe(const Options& opt) {
+    try {
+        TcpClient client(opt.host, opt.port);
+        client.send_line("{\"type\":\"stats\",\"detail\":\"full\"}");
+        std::string line;
+        if (!client.recv_line(line)) {
+            return std::nullopt;
+        }
+        return lph::service::parse_worker_snapshot(line);
+    } catch (const std::exception&) {
+        return std::nullopt;
+    }
+}
+
+/// Probes until `opt.workers` distinct pids answered (or the probe budget is
+/// spent), keeping the latest snapshot per pid.  `probes_by_pid` accumulates
+/// across rounds — worker counters are cumulative, so the correction must be
+/// too.
+std::vector<WorkerSnapshot> scrape_round(
+    const Options& opt, std::map<std::int64_t, std::uint64_t>& probes_by_pid) {
+    std::map<std::int64_t, WorkerSnapshot> latest;
+    for (std::size_t attempt = 0;
+         attempt < opt.max_probes && latest.size() < opt.workers; ++attempt) {
+        std::optional<WorkerSnapshot> snap = probe(opt);
+        if (!snap) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(20));
+            continue;
+        }
+        ++probes_by_pid[snap->pid];
+        latest[snap->pid] = std::move(*snap);
+    }
+    std::vector<WorkerSnapshot> out;
+    out.reserve(latest.size());
+    for (auto& [pid, snap] : latest) {
+        out.push_back(std::move(snap));
+    }
+    return out;
+}
+
+double rate(double hits, double misses) {
+    const double total = hits + misses;
+    return total > 0 ? hits / total : 0.0;
+}
+
+std::string render_count(double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+    return buf;
+}
+
+void append_histogram_summary(std::string& out, const LogHistogram& h) {
+    char buf[224];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"count\":%llu,\"sum\":%.17g,\"min\":%.17g,\"max\":%.17g,"
+                  "\"avg\":%.6g,\"p50\":%.6g,\"p90\":%.6g,\"p99\":%.6g,"
+                  "\"p999\":%.6g}",
+                  static_cast<unsigned long long>(h.count()), h.sum(), h.min(),
+                  h.max(), h.avg(), h.percentile(0.50), h.percentile(0.90),
+                  h.percentile(0.99), h.percentile(0.999));
+    out += buf;
+}
+
+/// The probe-adjusted data-plane totals (see the file comment): the kept
+/// snapshot of pid p was rendered while its n-th probe was in flight, so it
+/// counts all n probes as submitted but only n-1 as completed.
+struct AdjustedTotals {
+    double submitted = 0;
+    double completed = 0;
+    std::uint64_t probes = 0;
+};
+
+AdjustedTotals adjust(const ClusterView& view,
+                      const std::map<std::int64_t, std::uint64_t>& probes_by_pid) {
+    AdjustedTotals totals;
+    for (const WorkerSnapshot& w : view.workers) {
+        const auto it = probes_by_pid.find(w.pid);
+        const std::uint64_t n = it != probes_by_pid.end() ? it->second : 0;
+        totals.submitted +=
+            w.metric("service.submitted") - static_cast<double>(n);
+        totals.completed += w.metric("service.completed") -
+                            static_cast<double>(n > 0 ? n - 1 : 0);
+        totals.probes += n;
+    }
+    return totals;
+}
+
+void render_json(const ClusterView& view, const AdjustedTotals& totals) {
+    std::string out = "{\"workers\":[";
+    bool first = true;
+    for (const WorkerSnapshot& w : view.workers) {
+        char buf[512];
+        const auto latency = w.histograms.find("service.latency_us");
+        const LogHistogram empty;
+        const LogHistogram& h =
+            latency != w.histograms.end() ? latency->second : empty;
+        std::snprintf(
+            buf, sizeof(buf),
+            "%s{\"pid\":%lld,\"index\":%d,\"generation\":%llu,"
+            "\"restarts\":%llu,\"uptime_ms\":%.3f,\"queue_depth\":%.0f,"
+            "\"max_queue_depth\":%.0f,\"submitted\":%.0f,\"completed\":%.0f,"
+            "\"errors\":%.0f,\"rejected\":%.0f,\"memo_hit_rate\":%.6g,"
+            "\"view_cache_hit_rate\":%.6g,\"latency_count\":%llu,"
+            "\"latency_p50_us\":%.6g,\"latency_p99_us\":%.6g}",
+            first ? "" : ",", static_cast<long long>(w.pid), w.worker_index,
+            static_cast<unsigned long long>(w.generation),
+            static_cast<unsigned long long>(
+                w.generation > 0 ? w.generation - 1 : 0),
+            w.uptime_ms, w.metric("service.queue_depth"),
+            w.metric("service.max_queue_depth"), w.metric("service.submitted"),
+            w.metric("service.completed"), w.metric("service.errors"),
+            w.metric("service.rejected"),
+            rate(w.metric("service.memo.hits"), w.metric("service.memo.misses")),
+            rate(w.metric("service.cache.hits"),
+                 w.metric("service.cache.misses")),
+            static_cast<unsigned long long>(h.count()), h.percentile(0.50),
+            h.percentile(0.99));
+        out += buf;
+        first = false;
+    }
+    out += "],\"cluster\":{\"workers\":" + std::to_string(view.workers.size());
+    out += ",\"submitted\":" + render_count(totals.submitted);
+    out += ",\"completed\":" + render_count(totals.completed);
+    out += ",\"errors\":" +
+           render_count(view.summed_metrics.count("service.errors")
+                            ? view.summed_metrics.at("service.errors")
+                            : 0.0);
+    out += ",\"rejected\":" +
+           render_count(view.summed_metrics.count("service.rejected")
+                            ? view.summed_metrics.at("service.rejected")
+                            : 0.0);
+    out += ",\"probe_requests\":" + std::to_string(totals.probes);
+    {
+        char buf[96];
+        double memo_hits = 0, memo_misses = 0, cache_hits = 0, cache_misses = 0;
+        for (const WorkerSnapshot& w : view.workers) {
+            memo_hits += w.metric("service.memo.hits");
+            memo_misses += w.metric("service.memo.misses");
+            cache_hits += w.metric("service.cache.hits");
+            cache_misses += w.metric("service.cache.misses");
+        }
+        std::snprintf(buf, sizeof(buf),
+                      ",\"memo_hit_rate\":%.6g,\"view_cache_hit_rate\":%.6g",
+                      rate(memo_hits, memo_misses),
+                      rate(cache_hits, cache_misses));
+        out += buf;
+    }
+    out += ",\"histograms\":{";
+    first = true;
+    for (const auto& [name, histogram] : view.histograms) {
+        if (!first) {
+            out += ',';
+        }
+        out += '"' + name + "\":";
+        append_histogram_summary(out, histogram);
+        first = false;
+    }
+    out += "}}}";
+    std::printf("%s\n", out.c_str());
+}
+
+void render_table(const ClusterView& view, const AdjustedTotals& totals,
+                  bool clear_screen) {
+    if (clear_screen) {
+        std::printf("\033[H\033[2J");
+    }
+    const auto cluster_hist = [&](const char* name) -> const LogHistogram* {
+        const auto it = view.histograms.find(name);
+        return it != view.histograms.end() ? &it->second : nullptr;
+    };
+    if (const LogHistogram* h = cluster_hist("service.latency_us")) {
+        std::printf("lph_top — %zu worker(s)   latency_us p50 %.0f  p90 %.0f  "
+                    "p99 %.0f  p999 %.0f   (%llu samples)\n",
+                    view.workers.size(), h->percentile(0.50),
+                    h->percentile(0.90), h->percentile(0.99),
+                    h->percentile(0.999),
+                    static_cast<unsigned long long>(h->count()));
+    } else {
+        std::printf("lph_top — %zu worker(s)   (no latency samples yet)\n",
+                    view.workers.size());
+    }
+    std::printf("stage p99 (us):");
+    for (const char* stage :
+         {"service.queue_us", "service.batch_us", "service.exec_us",
+          "service.write_us"}) {
+        if (const LogHistogram* h = cluster_hist(stage)) {
+            std::printf("  %s %.0f", stage + sizeof("service.") - 1,
+                        h->percentile(0.99));
+        }
+    }
+    std::printf("\ncluster: submitted %.0f  completed %.0f  (probe-adjusted; "
+                "%llu probes)\n\n",
+                totals.submitted, totals.completed,
+                static_cast<unsigned long long>(totals.probes));
+    std::printf("%-8s %-4s %-4s %-10s %-7s %-6s %-6s %-10s %-7s\n", "PID",
+                "IDX", "GEN", "UPTIME_S", "QDEPTH", "MEMO%", "VIEW%",
+                "COMPLETED", "ERRORS");
+    for (const WorkerSnapshot& w : view.workers) {
+        std::printf(
+            "%-8lld %-4d %-4llu %-10.1f %-7.0f %-6.1f %-6.1f %-10.0f %-7.0f\n",
+            static_cast<long long>(w.pid), w.worker_index,
+            static_cast<unsigned long long>(w.generation), w.uptime_ms / 1000.0,
+            w.metric("service.queue_depth"),
+            100.0 * rate(w.metric("service.memo.hits"),
+                         w.metric("service.memo.misses")),
+            100.0 * rate(w.metric("service.cache.hits"),
+                         w.metric("service.cache.misses")),
+            w.metric("service.completed"), w.metric("service.errors"));
+    }
+    std::fflush(stdout);
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    const Options opt = parse_args(argc, argv);
+    std::map<std::int64_t, std::uint64_t> probes_by_pid;
+    bool complete = false;
+    for (;;) {
+        std::vector<WorkerSnapshot> snapshots =
+            scrape_round(opt, probes_by_pid);
+        if (snapshots.size() < opt.workers) {
+            std::fprintf(stderr,
+                         "lph_top: found %zu of %zu workers after %zu probes\n",
+                         snapshots.size(), opt.workers, opt.max_probes);
+        }
+        complete = snapshots.size() >= opt.workers;
+        const ClusterView view = merge_workers(std::move(snapshots));
+        const AdjustedTotals totals = adjust(view, probes_by_pid);
+        if (opt.json) {
+            render_json(view, totals);
+        } else {
+            render_table(view, totals, /*clear_screen=*/!opt.once);
+        }
+        if (opt.once) {
+            break;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(opt.interval_ms));
+    }
+    return complete ? 0 : 1;
+}

@@ -34,7 +34,13 @@
 // queue/batch/dispatch stage; --metrics=OUT.json writes the service.* metrics
 // snapshot (same schema as the bench BENCH rows).  Both paths are probed at
 // startup: an unwritable path is a structured startup error, not a silent
-// loss at exit.  Supervised workers write to PATH.workerI.
+// loss at exit.  In supervised mode --trace names a *directory*: each worker
+// writes DIR/worker-<slot>.trace with its real pid, the supervisor writes
+// DIR/supervisor.trace with worker_start/worker_exit/backoff instants, and
+// scripts/trace_merge.py stitches them onto one timeline.  Supervised
+// --metrics still writes to PATH.workerI.  --slow-ms X makes every request
+// whose server-side stage sum exceeds X ms emit one structured
+// {"event":"slow_request",...} line on stderr (0 = off).
 //
 // Exit status: 0 on a clean run (protocol errors are per-line responses, not
 // daemon failures); 1 when every supervised worker crash-looped into the
@@ -42,6 +48,7 @@
 
 #include "core/check.hpp"
 #include "obs/session.hpp"
+#include "obs/trace.hpp"
 #include "service/chaos.hpp"
 #include "service/core.hpp"
 #include "service/server.hpp"
@@ -78,6 +85,7 @@ struct Options {
     bool memo = true;
     bool batch = true;
     bool shared_cache = true;
+    double slow_ms = 0;
     std::string trace_path;
     std::string metrics_path;
 
@@ -105,7 +113,9 @@ struct Options {
               << "            [--chaos-seed S] [--chaos-drop P] [--chaos-truncate P]\n"
               << "            [--chaos-garble P] [--chaos-delay P] [--chaos-kill P]\n"
               << "            [--chaos-delay-ms X]\n"
-              << "            [--trace OUT.json] [--metrics OUT.json]\n";
+              << "            [--slow-ms X]\n"
+              << "            [--trace OUT.json | --trace DIR (supervised)]\n"
+              << "            [--metrics OUT.json]\n";
     std::exit(2);
 }
 
@@ -169,6 +179,8 @@ Options parse_args(int argc, char** argv) {
             opt.chaos.kill_prob = std::stod(value());
         } else if (arg == "--chaos-delay-ms") {
             opt.chaos.delay_ms = std::stod(value());
+        } else if (arg == "--slow-ms") {
+            opt.slow_ms = std::stod(value());
         } else if (arg == "--trace") {
             opt.trace_path = value();
         } else if (arg.rfind("--trace=", 0) == 0) {
@@ -243,6 +255,7 @@ service::ServiceOptions make_service_options(const Options& opt,
     service_options.batch_by_graph = opt.batch;
     service_options.share_view_cache = opt.shared_cache;
     service_options.snapshot_period_ms = opt.snapshot_period_ms;
+    service_options.slow_ms = opt.slow_ms;
     service_options.obs = session;
     return service_options;
 }
@@ -321,11 +334,20 @@ int serve_tcp(const Options& opt, int listen_fd, int worker_index,
     }
 
     const std::string suffix = worker_suffix(worker_index);
-    if (!opt.trace_path.empty() &&
-        !session.export_chrome_trace(opt.trace_path + suffix)) {
-        std::cerr << "lphd: failed to write trace to " << opt.trace_path
-                  << suffix << "\n";
-        status = 1;
+    if (!opt.trace_path.empty()) {
+        // Supervised workers write distinct per-slot files into the --trace
+        // directory so trace_merge.py can stitch the whole cluster.
+        const std::string trace_out =
+            worker_index >= 0 ? opt.trace_path + "/worker-" +
+                                    std::to_string(worker_index) + ".trace"
+                              : opt.trace_path;
+        const std::string label =
+            worker_index >= 0 ? "lphd worker " + std::to_string(worker_index)
+                              : "lphd";
+        if (!session.export_chrome_trace(trace_out, label)) {
+            std::cerr << "lphd: failed to write trace to " << trace_out << "\n";
+            status = 1;
+        }
     }
     if (!opt.metrics_path.empty() &&
         !session.write_metrics_json(opt.metrics_path + suffix)) {
@@ -347,6 +369,14 @@ int run_supervisor(const Options& opt) {
     if (!opt.snapshot_dir.empty()) {
         std::filesystem::create_directories(opt.snapshot_dir);
     }
+
+    // The supervisor traces its own lifecycle decisions (worker_start /
+    // worker_exit / backoff instants) into DIR/supervisor.trace so the merged
+    // timeline shows restarts next to the workers' serving spans.
+    obs::Session::Options session_options;
+    session_options.tracing = !opt.trace_path.empty();
+    obs::Session session(session_options);
+    obs::Tracer& tracer = obs::Tracer::instance();
 
     // Masked before any fork: workers inherit the mask and sigwait on it;
     // the supervisor consumes SIGCHLD/SIGINT/SIGTERM via sigtimedwait.
@@ -380,6 +410,8 @@ int run_supervisor(const Options& opt) {
                                  generation));
         }
         pids[slot] = pid;
+        tracer.instant("supervisor", "worker_start", "slot",
+                       static_cast<std::uint64_t>(slot));
         std::cerr << "{\"event\":\"worker_start\",\"slot\":" << slot
                   << ",\"pid\":" << pid << ",\"generation\":" << generation
                   << "}\n";
@@ -406,6 +438,12 @@ int run_supervisor(const Options& opt) {
                 WEXITSTATUS(status) == service::kChaosKillExitStatus;
             const bool restart = ledger.on_exit(slot, now_ms(), clean);
             const service::SupervisorLedger::Slot& s = ledger.slot(slot);
+            tracer.instant("supervisor", "worker_exit", "slot",
+                           static_cast<std::uint64_t>(slot));
+            if (restart) {
+                tracer.instant("supervisor", "backoff", "slot",
+                               static_cast<std::uint64_t>(slot));
+            }
             std::cerr << "{\"event\":\"worker_exit\",\"slot\":" << slot
                       << ",\"pid\":" << pid << ",\"clean\":"
                       << (clean ? "true" : "false") << ",\"chaos_kill\":"
@@ -467,6 +505,12 @@ int run_supervisor(const Options& opt) {
         }
     }
     ::close(listen_fd);
+    if (!opt.trace_path.empty() &&
+        !session.export_chrome_trace(opt.trace_path + "/supervisor.trace",
+                                     "lphd supervisor")) {
+        std::cerr << "lphd: failed to write trace to " << opt.trace_path
+                  << "/supervisor.trace\n";
+    }
     const bool crash_looped = ledger.given_up() > 0 && !interrupted;
     std::cerr << "{\"event\":\"supervisor_exit\",\"restarts\":"
               << ledger.total_restarts() << ",\"given_up\":"
@@ -487,7 +531,21 @@ int main(int argc, char** argv) {
     // --pipe stdout path).
     service::ignore_sigpipe();
 
-    require_writable("--trace", opt.trace_path);
+    if (opt.supervise > 0 && !opt.trace_path.empty()) {
+        // Supervised --trace is a directory of per-process files; create it
+        // now and probe a file inside it.
+        std::error_code ec;
+        std::filesystem::create_directories(opt.trace_path, ec);
+        if (ec) {
+            std::cerr << "{\"event\":\"output_path_unwritable\",\"flag\":"
+                      << "\"--trace\",\"path\":\"" << opt.trace_path
+                      << "\",\"error\":\"" << ec.message() << "\"}\n";
+            return 2;
+        }
+        require_writable("--trace", opt.trace_path + "/supervisor.trace");
+    } else {
+        require_writable("--trace", opt.trace_path);
+    }
     require_writable("--metrics", opt.metrics_path);
 
     if (opt.supervise > 0) {
