@@ -222,8 +222,8 @@ ServiceOptions baseline_options() {
 }
 
 void record_row(const std::string& instance, const LoadResult& result,
-                double baseline_wall_ms,
-                const RetryStats* retry = nullptr) {
+                double baseline_wall_ms, const RetryStats* retry = nullptr,
+                const obs::MetricList* extra = nullptr) {
     report::Instance row;
     row.bench = "BM_ServiceLoadgen";
     row.instance = instance;
@@ -255,6 +255,9 @@ void record_row(const std::string& instance, const LoadResult& result,
     registry.set("view_cache_hit_rate", result.cache.hit_rate());
     if (baseline_wall_ms > 0 && result.wall_ms > 0) {
         registry.set("speedup_vs_unbatched", baseline_wall_ms / result.wall_ms);
+    }
+    if (extra != nullptr) {
+        registry.absorb("", *extra);
     }
     row.metrics = registry.snapshot();
     report::Recorder::global().record(std::move(row));
@@ -541,6 +544,135 @@ void BM_PatchStorm(benchmark::State& state) {
     state.counters["verdict_mismatches"] = static_cast<double>(mismatches);
 }
 BENCHMARK(BM_PatchStorm)->Iterations(1)->Unit(benchmark::kMillisecond);
+
+/// Mixed interactive + big-job storm (DESIGN.md "Language frontend &
+/// admission control"): a stream of cheap requests (layers-0 games, eulerian
+/// decides, FO evals) with a user-written 7-quantifier eval formula injected
+/// every 48th slot.  Each big job enumerates ~7^7 assignments (~hundreds of
+/// ms); cost-model admission routes them to a dedicated big-job worker, so
+/// the acceptance criterion is that the *interactive* p99 with admission on
+/// is at most half the admission-off p99 on the same 3-worker budget.
+struct MixedWorkload {
+    std::vector<Request> requests;
+    std::vector<bool> interactive; ///< per-index: not one of the big jobs
+};
+
+MixedWorkload make_admission_mixed(std::size_t count, std::uint64_t seed) {
+    std::vector<std::string> graphs;
+    for (int n = 5; n <= 7; ++n) {
+        graphs.push_back(cycle_graph(n));
+        graphs.push_back(path_graph(n));
+    }
+    // Distinct bodies so the big jobs never share a memo slot; each is a
+    // full-enumeration forall chain (no short-circuit) over a 7-node graph.
+    const std::vector<std::string> big_bodies = {
+        "(a = a | O1(b))", "(b = b | O1(a))", "(c = c | O1(a))",
+        "(d = d | O1(a))", "(e = e | O1(a))", "(f = f | O1(a))"};
+    const std::string big_graph = cycle_graph(7);
+
+    const WireLimits limits;
+    MixedWorkload workload;
+    std::uint64_t state = seed;
+    std::size_t big = 0;
+    for (std::size_t i = 0; i < count; ++i) {
+        const std::string& graph = graphs[mix(state) % graphs.size()];
+        std::ostringstream line;
+        bool is_big = false;
+        if (i % 48 == 47) {
+            is_big = true;
+            line << "{\"type\":\"eval\",\"id\":" << i
+                 << ",\"formula\":\"forall a. forall b. forall c. forall d. "
+                 << "forall e. forall f. forall g. "
+                 << big_bodies[big++ % big_bodies.size()]
+                 << "\",\"graph\":\"" << big_graph << "\"}";
+        } else {
+            switch (mix(state) % 4) {
+            case 0:
+                line << "{\"type\":\"decide\",\"id\":" << i
+                     << ",\"problem\":\"eulerian\",\"graph\":\"" << graph
+                     << "\"}";
+                break;
+            case 1:
+                line << "{\"type\":\"eval\",\"id\":" << i
+                     << ",\"formula\":\"exists x. O1(x)\",\"graph\":\"" << graph
+                     << "\"}";
+                break;
+            default:
+                line << "{\"type\":\"game\",\"id\":" << i << ",\"machine\":\""
+                     << (mix(state) % 2 ? "allsel" : "eulerian")
+                     << "\",\"layers\":0,\"graph\":\"" << graph << "\"}";
+                break;
+            }
+        }
+        workload.requests.push_back(parse_request(line.str(), i + 1, limits));
+        workload.interactive.push_back(!is_big);
+    }
+    return workload;
+}
+
+double interactive_percentile(const MixedWorkload& workload,
+                              const LoadResult& result, double q) {
+    std::vector<double> latencies;
+    for (std::size_t i = 0; i < result.latency_ms.size(); ++i) {
+        if (workload.interactive[i]) {
+            latencies.push_back(result.latency_ms[i]);
+        }
+    }
+    return percentile(std::move(latencies), q);
+}
+
+void BM_AdmissionMixed(benchmark::State& state) {
+    const MixedWorkload workload = make_admission_mixed(288, 31);
+
+    // Same 3-worker budget on both sides: admission-off serves everything
+    // from one pool, admission-on splits it 2 interactive + 1 big-job.
+    ServiceOptions off = batched_options();
+    off.threads = 3;
+    ServiceOptions on = batched_options();
+    on.threads = 2;
+    on.admission.enabled = true;
+    on.admission.defer_cost_us = 1e5;
+    on.admission.max_cost_us = 1e18; // route, never reject: all must complete
+    on.admission.big_job_threads = 1;
+
+    double p99_off = 0;
+    double p99_on = 0;
+    for (auto _ : state) {
+        const LoadResult result_off = run_load(workload.requests, off);
+        const LoadResult result_on = run_load(workload.requests, on);
+        p99_off = interactive_percentile(workload, result_off, 0.99);
+        p99_on = interactive_percentile(workload, result_on, 0.99);
+
+        const obs::MetricList extra_off = {
+            {"interactive_p50_ms",
+             interactive_percentile(workload, result_off, 0.50)},
+            {"interactive_p99_ms", p99_off}};
+        const obs::MetricList extra_on = {
+            {"interactive_p50_ms",
+             interactive_percentile(workload, result_on, 0.50)},
+            {"interactive_p99_ms", p99_on}};
+        record_row("admission_off_mixed_288", result_off, 0, nullptr,
+                   &extra_off);
+        record_row("admission_on_mixed_288", result_on, result_off.wall_ms,
+                   nullptr, &extra_on);
+        report::note("BM_ServiceLoadgen", "admission_everything_served",
+                     result_off.errors == 0 && result_on.errors == 0 &&
+                         result_off.rejected == 0 && result_on.rejected == 0,
+                     "off ok=" + std::to_string(result_off.ok) + " on ok=" +
+                         std::to_string(result_on.ok));
+        report::note(
+            "BM_ServiceLoadgen", "admission_interactive_p99_halved",
+            p99_on <= 0.5 * p99_off,
+            "interactive p99 " + std::to_string(p99_on) +
+                " ms with admission vs " + std::to_string(p99_off) +
+                " ms without under the same big-job storm");
+        sink(result_off.ok + result_on.ok);
+    }
+    state.counters["interactive_p99_off_ms"] = p99_off;
+    state.counters["interactive_p99_on_ms"] = p99_on;
+    state.counters["p99_ratio"] = p99_off > 0 ? p99_on / p99_off : 0.0;
+}
+BENCHMARK(BM_AdmissionMixed)->Iterations(1)->Unit(benchmark::kMillisecond);
 
 /// Overload behavior: an open-loop burst into a deliberately tiny queue must
 /// produce structured rejections (admission control), never hangs.

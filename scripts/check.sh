@@ -49,6 +49,31 @@ python3 scripts/trace_lint.py build/trace_lphd.json
 ./build/tools/lph_client --verify --expect 120 \
     --against build/patch_golden.jsonl < build/patch_replies.jsonl
 
+# Language-frontend + admission-control smoke: the committed cost-model
+# calibration must match a fresh fit from the bench baselines, then a storm
+# of user-written formulas with one hostile 8-quantifier request mixed in.
+# The daemon must price and reject exactly the oversized one (a structured
+# AdmissionRejected line, not a protocol error or a hang) and serve the rest.
+python3 scripts/cost_calibrate.py --check
+BIG_FORMULA='exists a. exists b. exists c. exists d. exists e. exists f. exists g. exists h. (a = b & O1(c))'
+{ ./build/tools/lph_client --formula 'exists x. O1(x)' --count 24 --seed 9; \
+  ./build/tools/lph_client --formula "$BIG_FORMULA" --count 1; } \
+    > build/adm_requests.jsonl
+./build/tools/lphd --pipe --threads 2 --admission \
+    --metrics build/adm_metrics.json < build/adm_requests.jsonl \
+    > build/adm_replies.jsonl
+./build/tools/lph_client --verify --expect 25 < build/adm_replies.jsonl
+grep -c '"error":"AdmissionRejected"' build/adm_replies.jsonl \
+    | grep -qx 1 || { echo "admission smoke: expected exactly 1 rejection"; exit 1; }
+python3 - <<'EOF'
+import json
+metrics = json.load(open("build/adm_metrics.json"))
+assert metrics["service.admission.rejected"] == 1, metrics
+assert metrics["service.admission.admitted"] == 24, metrics
+assert metrics["service.admission.predicted_cost_us.count"] == 25, metrics
+print("admission smoke: exactly one oversized formula rejected")
+EOF
+
 # Crash-resilience smoke: the same workload served twice — once chaos-free in
 # pipe mode (the golden answers), once through a supervised two-worker daemon
 # under seeded wire-level chaos (worker kills + connection drops) with a
@@ -174,7 +199,7 @@ if [[ "${LPH_SKIP_SANITIZERS:-0}" != "1" ]]; then
     cmake --preset tsan
     cmake --build build-tsan
     ctest --test-dir build-tsan --output-on-failure \
-        -R 'test_(parallel_game|view_cache|game|faults|oracle|obs|service|resilience)'
+        -R 'test_(parallel_game|view_cache|game|faults|oracle|obs|service|resilience|lang|admission)'
 fi
 
 echo "all checks passed"

@@ -1,0 +1,68 @@
+#include "lang/analyze.hpp"
+
+#include <algorithm>
+
+namespace lph {
+namespace lang {
+
+namespace {
+
+void count_quantifiers(const Formula& phi, FormulaAnalysis& out) {
+    out.size += 1;
+    switch (phi->kind) {
+    case FormulaKind::ExistsFO:
+    case FormulaKind::ForallFO:
+        out.fo_quantifiers += 1;
+        break;
+    case FormulaKind::ExistsConn:
+    case FormulaKind::ForallConn:
+        out.conn_quantifiers += 1;
+        break;
+    case FormulaKind::ExistsSO:
+    case FormulaKind::ForallSO:
+        out.so_quantifiers += 1;
+        out.max_so_arity = std::max(out.max_so_arity, phi->arity);
+        out.total_so_arity += phi->arity;
+        break;
+    default:
+        break;
+    }
+    for (const auto& child : phi->children) {
+        count_quantifiers(child, out);
+    }
+}
+
+} // namespace
+
+std::string FormulaAnalysis::class_name() const {
+    if (sigma_level == 0) {
+        return cls.local_fo ? "LFO" : "FO";
+    }
+    if (sigma_level > 0) {
+        return "Sigma_" + std::to_string(sigma_level) + "^LFO";
+    }
+    if (pi_level > 0) {
+        return "Pi_" + std::to_string(pi_level) + "^LFO";
+    }
+    if (cls.first_order) {
+        return "FO";
+    }
+    if (cls.matrix_is_fo) {
+        return (cls.starts_existential ? "Sigma_" : "Pi_") +
+               std::to_string(cls.so_blocks) + "^FO";
+    }
+    return "SO";
+}
+
+FormulaAnalysis analyze(const Formula& phi) {
+    FormulaAnalysis out;
+    out.cls = classify(phi);
+    out.sigma_level = sigma_lfo_level(phi);
+    out.pi_level = pi_lfo_level(phi);
+    out.radius = out.cls.bf_depth;
+    count_quantifiers(phi, out);
+    return out;
+}
+
+} // namespace lang
+} // namespace lph

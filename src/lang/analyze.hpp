@@ -1,0 +1,41 @@
+#pragma once
+
+#include "logic/classify.hpp"
+#include "logic/formula.hpp"
+
+#include <cstddef>
+#include <string>
+
+namespace lph {
+namespace lang {
+
+/// Everything the admission controller (and the tools' human output) wants
+/// to know about a parsed formula: the Σℓ/Πℓ position from the classifier
+/// plus the size features the cost model consumes.
+struct FormulaAnalysis {
+    FormulaClass cls;
+
+    /// sigma_lfo_level / pi_lfo_level of the formula (-1 when not on that
+    /// side of the local hierarchy; both 0 for an LFO formula).
+    int sigma_level = -1;
+    int pi_level = -1;
+
+    /// Locality radius: the nesting depth of bounded quantifiers (bf_depth).
+    int radius = 0;
+
+    std::size_t size = 0;              ///< AST node count
+    std::size_t fo_quantifiers = 0;    ///< unbounded exists/forall
+    std::size_t conn_quantifiers = 0;  ///< bounded exists~/forall~
+    std::size_t so_quantifiers = 0;    ///< EXISTS/FORALL (count, not blocks)
+    std::size_t max_so_arity = 0;
+    std::size_t total_so_arity = 0;    ///< sum of SO arities (universe bits)
+
+    /// Human-readable hierarchy position: "Sigma_3^LFO", "Pi_4^LFO", "LFO",
+    /// "FO", or "SO" when outside the classified fragments.
+    std::string class_name() const;
+};
+
+FormulaAnalysis analyze(const Formula& phi);
+
+} // namespace lang
+} // namespace lph

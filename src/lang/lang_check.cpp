@@ -1,0 +1,187 @@
+// Differential checks for the language frontend.
+//
+// lang-roundtrip: the printed form of a random sentence must parse back to a
+// bit-identical AST, and re-printing the parse must reproduce the text — the
+// parse∘print == id guarantee the frontend advertises.
+//
+// lang-eval-vs-corpus: the paper's corpus formulas (plus random sentences)
+// are pretty-printed, re-parsed, and evaluated on a random graph structure;
+// the re-parsed formula must produce exactly the original's outcome —
+// including throwing the identical SO-universe guard where the original
+// throws (binary-SO corpus formulas trip SOPolicy::max_universe_size on all
+// but the tiniest graphs, and identical refusals are agreement).
+
+#include "lang/lang_check.hpp"
+
+#include "lang/parser.hpp"
+#include "logic/eval.hpp"
+#include "logic/examples.hpp"
+#include "oracle/generators.hpp"
+#include "oracle/harness.hpp"
+#include "structure/graph_structure.hpp"
+
+#include <mutex>
+#include <utility>
+
+namespace lph {
+namespace lang {
+
+namespace {
+
+std::string param(const ReproCase& r, const std::string& key,
+                  const std::string& fallback) {
+    const auto it = r.params.find(key);
+    return it != r.params.end() ? it->second : fallback;
+}
+
+FormulaGenOptions roundtrip_gen_options(const ReproCase& r) {
+    FormulaGenOptions opt;
+    opt.max_quantifiers = std::stoi(param(r, "max_quantifiers", "4"));
+    opt.max_depth = std::stoi(param(r, "max_depth", "4"));
+    opt.allow_so = param(r, "allow_so", "0") == "1";
+    return opt;
+}
+
+Formula rebuild_formula(const ReproCase& r) {
+    namespace pf = paper_formulas;
+    const std::string name = param(r, "formula", "random");
+    if (name == "all_selected") return pf::all_selected();
+    if (name == "two_colorable") return pf::two_colorable();
+    if (name == "three_colorable") return pf::three_colorable();
+    if (name == "not_all_selected") return pf::exists_unselected_node();
+    if (name == "non_three_colorable") return pf::non_three_colorable();
+    if (name == "hamiltonian") return pf::hamiltonian();
+    if (name == "non_hamiltonian") return pf::non_hamiltonian();
+    Rng rng(std::stoull(param(r, "fseed", "1")));
+    return random_sentence(rng, roundtrip_gen_options(r));
+}
+
+ReproCase generate_roundtrip_case(Rng& rng) {
+    ReproCase r;
+    // The check is purely syntactic; a 1-node placeholder keeps the repro
+    // format happy without suggesting the graph matters.
+    GraphGenOptions gopt;
+    gopt.min_nodes = 1;
+    gopt.max_nodes = 1;
+    gopt.max_extra_edges = 0;
+    r.graph = random_graph_instance(rng, gopt);
+    r.params["formula"] = "random";
+    r.params["fseed"] = std::to_string(rng.uniform(0, 1u << 30));
+    r.params["max_quantifiers"] = std::to_string(rng.uniform(1, 6));
+    r.params["max_depth"] = std::to_string(rng.uniform(1, 5));
+    r.params["allow_so"] = rng.chance(0.4) ? "1" : "0";
+    return r;
+}
+
+std::optional<std::string> compare_roundtrip(const ReproCase& r) {
+    const Formula original = rebuild_formula(r);
+    const std::string text = to_string(original);
+    Formula reparsed;
+    try {
+        reparsed = parse_formula(text);
+    } catch (const parse_error& e) {
+        return "printed formula failed to parse: " + std::string(e.what()) +
+               "; text: " + text;
+    }
+    if (!ast_identical(original, reparsed)) {
+        return "parse(print(phi)) is not bit-identical to phi; text: " + text +
+               "; reparsed: " + to_string(reparsed);
+    }
+    if (to_string(reparsed) != text) {
+        return "print(parse(text)) != text; text: " + text +
+               "; reprint: " + to_string(reparsed);
+    }
+    return std::nullopt;
+}
+
+ReproCase generate_eval_case(Rng& rng) {
+    // Per-formula node caps: SO enumeration is 2^|universe| per quantifier
+    // block, so the deep-alternation corpus formulas only finish (instead of
+    // tripping the universe guard, which the check also accepts as agreement)
+    // on the tiniest structures.
+    struct CorpusEntry {
+        const char* name;
+        std::size_t max_nodes;
+    };
+    static const CorpusEntry kCorpus[] = {
+        {"all_selected", 4},        {"two_colorable", 3},
+        {"three_colorable", 2},     {"not_all_selected", 1},
+        {"hamiltonian", 1},         {"non_hamiltonian", 1},
+        {"non_three_colorable", 1},
+    };
+    ReproCase r;
+    GraphGenOptions gopt;
+    gopt.min_nodes = 1;
+    gopt.max_extra_edges = 2;
+    gopt.labels = GraphGenOptions::Labels::ZeroOrOne;
+    if (rng.chance(0.5)) {
+        const CorpusEntry& entry = kCorpus[rng.index(7)];
+        r.params["formula"] = entry.name;
+        gopt.max_nodes = entry.max_nodes;
+    } else {
+        r.params["formula"] = "random";
+        r.params["fseed"] = std::to_string(rng.uniform(0, 1u << 30));
+        r.params["max_quantifiers"] = "3";
+        r.params["max_depth"] = "3";
+        r.params["allow_so"] = rng.chance(0.5) ? "1" : "0";
+        gopt.max_nodes = 4;
+    }
+    r.graph = random_graph_instance(rng, gopt);
+    return r;
+}
+
+/// Evaluation outcome including the guard-refusal case: verdicts agree when
+/// both sides answer the same boolean or throw the same precondition text.
+std::pair<int, std::string> eval_outcome(const Structure& s,
+                                         const Formula& phi) {
+    try {
+        return {satisfies(s, phi) ? 1 : 0, ""};
+    } catch (const precondition_error& e) {
+        return {2, e.what()};
+    }
+}
+
+std::optional<std::string> compare_eval_vs_corpus(const ReproCase& r) {
+    const Formula original = rebuild_formula(r);
+    const std::string text = to_string(original);
+    Formula reparsed;
+    try {
+        reparsed = parse_formula(text);
+    } catch (const parse_error& e) {
+        return "corpus formula '" + param(r, "formula", "random") +
+               "' failed to parse: " + std::string(e.what());
+    }
+    const GraphStructure gs(r.graph);
+    const auto expected = eval_outcome(gs.structure(), original);
+    const auto actual = eval_outcome(gs.structure(), reparsed);
+    if (expected != actual) {
+        auto render = [](const std::pair<int, std::string>& o) {
+            return o.first == 2 ? "throw(" + o.second + ")"
+                                : std::string(o.first == 1 ? "true" : "false");
+        };
+        return "formula '" + param(r, "formula", "random") + "': original " +
+               render(expected) + " but re-parsed " + render(actual);
+    }
+    return std::nullopt;
+}
+
+} // namespace
+
+void register_lang_checks() {
+    static std::once_flag once;
+    std::call_once(once, [] {
+        RegisteredCheck roundtrip;
+        roundtrip.name = "lang-roundtrip";
+        roundtrip.generate = generate_roundtrip_case;
+        roundtrip.compare = compare_roundtrip;
+        register_check(roundtrip);
+        RegisteredCheck eval_check;
+        eval_check.name = "lang-eval-vs-corpus";
+        eval_check.generate = generate_eval_case;
+        eval_check.compare = compare_eval_vs_corpus;
+        register_check(eval_check);
+    });
+}
+
+} // namespace lang
+} // namespace lph

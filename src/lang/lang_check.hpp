@@ -1,0 +1,14 @@
+#pragma once
+
+namespace lph {
+namespace lang {
+
+/// Registers the language-frontend differential checks with the oracle
+/// harness (idempotent):
+///   lang-roundtrip        random AST -> print -> parse -> bit-identical AST
+///   lang-eval-vs-corpus   pretty-printed corpus/random sentence re-parsed,
+///                         verdicts must match the original AST's
+void register_lang_checks();
+
+} // namespace lang
+} // namespace lph

@@ -1,0 +1,180 @@
+#include "lang/lexer.hpp"
+
+namespace lph {
+namespace lang {
+
+namespace {
+
+bool is_ident_start(char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+           c == '$';
+}
+
+bool is_ident_char(char c) {
+    return is_ident_start(c) || (c >= '0' && c <= '9') || c == '\'';
+}
+
+bool is_digit(char c) { return c >= '0' && c <= '9'; }
+
+} // namespace
+
+const char* to_string(TokenKind kind) {
+    switch (kind) {
+    case TokenKind::Ident: return "identifier";
+    case TokenKind::Number: return "number";
+    case TokenKind::ExistsFO: return "'exists'";
+    case TokenKind::ForallFO: return "'forall'";
+    case TokenKind::ExistsSO: return "'EXISTS'";
+    case TokenKind::ForallSO: return "'FORALL'";
+    case TokenKind::LParen: return "'('";
+    case TokenKind::RParen: return "')'";
+    case TokenKind::Comma: return "','";
+    case TokenKind::Dot: return "'.'";
+    case TokenKind::Tilde: return "'~'";
+    case TokenKind::Slash: return "'/'";
+    case TokenKind::Bang: return "'!'";
+    case TokenKind::Equals: return "'='";
+    case TokenKind::Pipe: return "'|'";
+    case TokenKind::Amp: return "'&'";
+    case TokenKind::Implies: return "'->'";
+    case TokenKind::Iff: return "'<->'";
+    case TokenKind::ArrowIdx: return "'->K'";
+    case TokenKind::End: return "end of input";
+    }
+    return "token";
+}
+
+std::vector<Token> lex(const std::string& text, const LexLimits& limits) {
+    if (text.size() > limits.max_text_bytes) {
+        throw parse_error(1, 1,
+                          "formula text of " + std::to_string(text.size()) +
+                              " bytes exceeds the limit of " +
+                              std::to_string(limits.max_text_bytes));
+    }
+    std::vector<Token> tokens;
+    std::size_t line = 1;
+    std::size_t column = 1;
+    std::size_t pos = 0;
+    const auto peek = [&](std::size_t ahead) -> char {
+        return pos + ahead < text.size() ? text[pos + ahead] : '\0';
+    };
+    const auto advance = [&](std::size_t count) {
+        for (std::size_t i = 0; i < count; ++i) {
+            if (text[pos] == '\n') {
+                ++line;
+                column = 1;
+            } else {
+                ++column;
+            }
+            ++pos;
+        }
+    };
+    while (pos < text.size()) {
+        const char c = text[pos];
+        if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+            advance(1);
+            continue;
+        }
+        Token token;
+        token.line = line;
+        token.column = column;
+        if (is_ident_start(c)) {
+            std::size_t end = pos;
+            while (end < text.size() && is_ident_char(text[end])) {
+                ++end;
+            }
+            token.text = text.substr(pos, end - pos);
+            if (token.text == "exists") {
+                token.kind = TokenKind::ExistsFO;
+            } else if (token.text == "forall") {
+                token.kind = TokenKind::ForallFO;
+            } else if (token.text == "EXISTS") {
+                token.kind = TokenKind::ExistsSO;
+            } else if (token.text == "FORALL") {
+                token.kind = TokenKind::ForallSO;
+            } else {
+                token.kind = TokenKind::Ident;
+            }
+            advance(end - pos);
+            tokens.push_back(std::move(token));
+            continue;
+        }
+        if (is_digit(c)) {
+            std::size_t end = pos;
+            while (end < text.size() && is_digit(text[end])) {
+                ++end;
+            }
+            token.kind = TokenKind::Number;
+            token.text = text.substr(pos, end - pos);
+            // Arities and relation indices are tiny; 6 digits is already
+            // absurd, and the cap keeps stoul overflow off the table.
+            if (token.text.size() > 6) {
+                throw parse_error(line, column,
+                                  "number '" + token.text + "' is too large");
+            }
+            token.number = std::stoul(token.text);
+            advance(end - pos);
+            tokens.push_back(std::move(token));
+            continue;
+        }
+        switch (c) {
+        case '(': token.kind = TokenKind::LParen; advance(1); break;
+        case ')': token.kind = TokenKind::RParen; advance(1); break;
+        case ',': token.kind = TokenKind::Comma; advance(1); break;
+        case '.': token.kind = TokenKind::Dot; advance(1); break;
+        case '~': token.kind = TokenKind::Tilde; advance(1); break;
+        case '/': token.kind = TokenKind::Slash; advance(1); break;
+        case '!': token.kind = TokenKind::Bang; advance(1); break;
+        case '=': token.kind = TokenKind::Equals; advance(1); break;
+        case '|': token.kind = TokenKind::Pipe; advance(1); break;
+        case '&': token.kind = TokenKind::Amp; advance(1); break;
+        case '<':
+            if (peek(1) != '-' || peek(2) != '>') {
+                throw parse_error(line, column, "expected '<->' after '<'");
+            }
+            token.kind = TokenKind::Iff;
+            advance(3);
+            break;
+        case '-': {
+            if (peek(1) != '>') {
+                throw parse_error(line, column, "expected '->' after '-'");
+            }
+            if (is_digit(peek(2))) {
+                // "->K" with no intervening space is the binary-relation
+                // atom arrow (x ->1 y), exactly as the printer emits it; a
+                // spaced "-> 1" stays an implication followed by a number.
+                std::size_t end = pos + 2;
+                while (end < text.size() && is_digit(text[end])) {
+                    ++end;
+                }
+                token.kind = TokenKind::ArrowIdx;
+                token.text = text.substr(pos + 2, end - pos - 2);
+                if (token.text.size() > 6) {
+                    throw parse_error(line, column,
+                                      "relation index '" + token.text +
+                                          "' is too large");
+                }
+                token.number = std::stoul(token.text);
+                advance(end - pos);
+            } else {
+                token.kind = TokenKind::Implies;
+                advance(2);
+            }
+            break;
+        }
+        default:
+            throw parse_error(line, column,
+                              std::string("unexpected character '") + c + "'");
+        }
+        tokens.push_back(std::move(token));
+    }
+    Token end;
+    end.kind = TokenKind::End;
+    end.line = line;
+    end.column = column;
+    tokens.push_back(std::move(end));
+    return tokens;
+}
+
+} // namespace lang
+} // namespace lph

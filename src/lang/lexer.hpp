@@ -1,0 +1,80 @@
+#pragma once
+
+#include "core/check.hpp"
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace lph {
+namespace lang {
+
+/// A parse failure with its source position.  `what()` carries the rendered
+/// "line L, col C: message" text; the structured fields let tools (and the
+/// error-position tests) point at the offending character without re-parsing
+/// the message.
+class parse_error : public precondition_error {
+public:
+    parse_error(std::size_t line, std::size_t column, const std::string& message)
+        : precondition_error("line " + std::to_string(line) + ", col " +
+                             std::to_string(column) + ": " + message),
+          line_(line),
+          column_(column) {}
+
+    std::size_t line() const { return line_; }
+    std::size_t column() const { return column_; }
+
+private:
+    std::size_t line_;
+    std::size_t column_;
+};
+
+/// Token kinds of the textual LFO/MSO surface syntax.  The alphabet matches
+/// the logic printer (lph::to_string) exactly, so every printed formula
+/// lexes back; see parser.hpp for the grammar.
+enum class TokenKind {
+    Ident,     ///< variable / relation-variable name
+    Number,    ///< arity digits after '/' in an SO quantifier
+    ExistsFO,  ///< "exists"
+    ForallFO,  ///< "forall"
+    ExistsSO,  ///< "EXISTS"
+    ForallSO,  ///< "FORALL"
+    LParen,
+    RParen,
+    Comma,
+    Dot,
+    Tilde,
+    Slash,
+    Bang,
+    Equals,    ///< '='
+    Pipe,      ///< '|'
+    Amp,       ///< '&'
+    Implies,   ///< "->" (not followed by a digit)
+    Iff,       ///< "<->"
+    ArrowIdx,  ///< "->K": the binary-relation atom arrow, K in `number`
+    End,
+};
+
+const char* to_string(TokenKind kind);
+
+struct Token {
+    TokenKind kind = TokenKind::End;
+    std::string text;          ///< identifier name / digit run
+    std::size_t number = 0;    ///< Number and ArrowIdx: the parsed digits
+    std::size_t line = 1;      ///< 1-based source position of the first char
+    std::size_t column = 1;
+};
+
+/// Size guards applied before and during lexing; the parser adds its own
+/// depth/variable limits on top (parser.hpp).
+struct LexLimits {
+    std::size_t max_text_bytes = 1 << 16;
+};
+
+/// Tokenizes `text` (whitespace including newlines separates tokens; there
+/// are no comments).  Throws parse_error on oversized input or any character
+/// outside the surface alphabet.
+std::vector<Token> lex(const std::string& text, const LexLimits& limits = {});
+
+} // namespace lang
+} // namespace lph

@@ -1,0 +1,312 @@
+#include "lang/parser.hpp"
+
+namespace lph {
+namespace lang {
+
+namespace {
+
+/// Identifiers of the shape O<digits> are the unary-atom spelling and can
+/// never name a variable or relation variable.
+bool is_unary_atom_name(const std::string& name) {
+    if (name.size() < 2 || name[0] != 'O') {
+        return false;
+    }
+    for (std::size_t i = 1; i < name.size(); ++i) {
+        if (name[i] < '0' || name[i] > '9') {
+            return false;
+        }
+    }
+    return true;
+}
+
+bool is_reserved_name(const std::string& name) {
+    return name == "T" || name == "F" || is_unary_atom_name(name);
+}
+
+class Parser {
+public:
+    Parser(std::vector<Token> tokens, const ParseLimits& limits)
+        : tokens_(std::move(tokens)), limits_(limits) {}
+
+    Formula parse() {
+        Formula phi = formula();
+        expect(TokenKind::End, "after the formula");
+        return phi;
+    }
+
+private:
+    const Token& peek(std::size_t ahead = 0) const {
+        const std::size_t i = pos_ + ahead;
+        return i < tokens_.size() ? tokens_[i] : tokens_.back();
+    }
+
+    const Token& take() {
+        const Token& token = peek();
+        if (pos_ + 1 < tokens_.size()) {
+            ++pos_;
+        }
+        return token;
+    }
+
+    bool accept(TokenKind kind) {
+        if (peek().kind != kind) {
+            return false;
+        }
+        take();
+        return true;
+    }
+
+    const Token& expect(TokenKind kind, const char* context) {
+        const Token& token = peek();
+        if (token.kind != kind) {
+            fail(token, std::string("expected ") + lang::to_string(kind) + " " +
+                            context + ", found " + describe(token));
+        }
+        return take();
+    }
+
+    [[noreturn]] static void fail(const Token& at, const std::string& message) {
+        throw parse_error(at.line, at.column, message);
+    }
+
+    static std::string describe(const Token& token) {
+        if (token.kind == TokenKind::Ident) {
+            return "'" + token.text + "'";
+        }
+        return lang::to_string(token.kind);
+    }
+
+    /// RAII nesting guard: every self-recursive production passes through
+    /// formula() or unary(), so guarding those two bounds the parse stack.
+    struct DepthGuard {
+        DepthGuard(Parser& parser, const Token& at) : parser_(parser) {
+            if (++parser_.depth_ > parser_.limits_.max_depth) {
+                fail(at, "formula nesting deeper than " +
+                             std::to_string(parser_.limits_.max_depth) +
+                             " levels");
+            }
+        }
+        ~DepthGuard() { --parser_.depth_; }
+        Parser& parser_;
+    };
+
+    std::string variable(const char* role) {
+        const Token& token = expect(TokenKind::Ident, role);
+        if (is_reserved_name(token.text)) {
+            fail(token, "'" + token.text + "' is reserved and cannot name " +
+                            std::string(role + 3));  // strip "as "
+        }
+        if (names_.insert(token.text).second &&
+            names_.size() > limits_.max_variables) {
+            fail(token, "more than " +
+                            std::to_string(limits_.max_variables) +
+                            " distinct variable names");
+        }
+        return token.text;
+    }
+
+    Formula formula() {
+        DepthGuard guard(*this, peek());
+        // iff: left-associative fold, lowest precedence.
+        Formula left = implies_chain();
+        while (accept(TokenKind::Iff)) {
+            left = fl::iff(left, implies_chain());
+        }
+        return left;
+    }
+
+    Formula implies_chain() {
+        Formula left = or_chain();
+        if (accept(TokenKind::Implies)) {
+            // Right-associative: a -> b -> c is a -> (b -> c).
+            return fl::implies(left, implies_chain());
+        }
+        return left;
+    }
+
+    Formula or_chain() {
+        Formula left = and_chain();
+        while (accept(TokenKind::Pipe)) {
+            left = fl::disj(left, and_chain());
+        }
+        return left;
+    }
+
+    Formula and_chain() {
+        Formula left = unary();
+        while (accept(TokenKind::Amp)) {
+            left = fl::conj(left, unary());
+        }
+        return left;
+    }
+
+    Formula unary() {
+        DepthGuard guard(*this, peek());
+        const Token& token = peek();
+        switch (token.kind) {
+        case TokenKind::Bang:
+            take();
+            return fl::negate(unary());
+        case TokenKind::ExistsFO:
+        case TokenKind::ForallFO:
+            return fo_quantifier(take().kind);
+        case TokenKind::ExistsSO:
+        case TokenKind::ForallSO:
+            return so_quantifier(take().kind);
+        default:
+            return primary();
+        }
+    }
+
+    Formula fo_quantifier(TokenKind kind) {
+        const std::string x = variable("as the bound variable");
+        if (accept(TokenKind::Tilde)) {
+            const Token& anchor_at = peek();
+            const std::string y = variable("as the anchor variable");
+            if (x == y) {
+                fail(anchor_at,
+                     "bound and anchor variables must differ, both are '" + x +
+                         "'");
+            }
+            expect(TokenKind::Dot, "after the quantified variables");
+            Formula body = unary();
+            return kind == TokenKind::ExistsFO ? fl::exists_conn(x, y, body)
+                                               : fl::forall_conn(x, y, body);
+        }
+        expect(TokenKind::Dot, "after the quantified variable");
+        Formula body = unary();
+        return kind == TokenKind::ExistsFO ? fl::exists(x, body)
+                                           : fl::forall(x, body);
+    }
+
+    Formula so_quantifier(TokenKind kind) {
+        const std::string rel = variable("as the relation variable");
+        expect(TokenKind::Slash, "after the relation variable");
+        const Token& arity_token = expect(TokenKind::Number, "as the arity");
+        if (arity_token.number < 1) {
+            fail(arity_token, "relation arity must be at least 1");
+        }
+        expect(TokenKind::Dot, "after the arity");
+        Formula body = unary();
+        return kind == TokenKind::ExistsSO
+                   ? fl::exists_so(rel, arity_token.number, body)
+                   : fl::forall_so(rel, arity_token.number, body);
+    }
+
+    Formula primary() {
+        const Token& token = peek();
+        switch (token.kind) {
+        case TokenKind::LParen: {
+            take();
+            Formula inner = formula();
+            expect(TokenKind::RParen, "to close the parenthesis");
+            return inner;
+        }
+        case TokenKind::Ident:
+            return atom();
+        default:
+            fail(token, "expected a formula, found " + describe(token));
+        }
+    }
+
+    Formula atom() {
+        const Token& name = take();
+        if (name.text == "T") {
+            return fl::top();
+        }
+        if (name.text == "F") {
+            return fl::bottom();
+        }
+        if (is_unary_atom_name(name.text)) {
+            const std::size_t index = std::stoul(name.text.substr(1));
+            if (index < 1) {
+                fail(name, "unary relation indices are 1-based, got '" +
+                               name.text + "'");
+            }
+            expect(TokenKind::LParen, "after the unary relation");
+            const std::string x = variable("as the atom argument");
+            expect(TokenKind::RParen, "to close the unary atom");
+            return fl::unary(index, x);
+        }
+        if (is_reserved_name(name.text)) {
+            fail(name, "'" + name.text + "' is reserved");
+        }
+        switch (peek().kind) {
+        case TokenKind::ArrowIdx: {
+            record_variable(name);
+            const Token& arrow = take();
+            if (arrow.number < 1) {
+                fail(arrow, "binary relation indices are 1-based, got '->" +
+                                arrow.text + "'");
+            }
+            const std::string y = variable("as the atom argument");
+            return fl::binary(arrow.number, name.text, y);
+        }
+        case TokenKind::Equals: {
+            record_variable(name);
+            take();
+            const std::string y = variable("as the atom argument");
+            return fl::equals(name.text, y);
+        }
+        case TokenKind::LParen: {
+            record_variable(name);
+            take();
+            std::vector<std::string> args;
+            args.push_back(variable("as the atom argument"));
+            while (accept(TokenKind::Comma)) {
+                args.push_back(variable("as the atom argument"));
+            }
+            expect(TokenKind::RParen, "to close the argument list");
+            return fl::apply(name.text, std::move(args));
+        }
+        default:
+            fail(peek(), "expected '=', '->K', or '(' after '" + name.text +
+                             "', found " + describe(peek()));
+        }
+    }
+
+    void record_variable(const Token& name) {
+        if (names_.insert(name.text).second &&
+            names_.size() > limits_.max_variables) {
+            fail(name, "more than " + std::to_string(limits_.max_variables) +
+                           " distinct variable names");
+        }
+    }
+
+    std::vector<Token> tokens_;
+    const ParseLimits& limits_;
+    std::size_t pos_ = 0;
+    std::size_t depth_ = 0;
+    std::set<std::string> names_;
+};
+
+} // namespace
+
+Formula parse_formula(const std::string& text, const ParseLimits& limits) {
+    Parser parser(lex(text, limits.lex), limits);
+    return parser.parse();
+}
+
+bool ast_identical(const Formula& a, const Formula& b) {
+    if (a == b) {
+        return true;
+    }
+    if (!a || !b) {
+        return false;
+    }
+    if (a->kind != b->kind || a->rel_index != b->rel_index ||
+        a->var != b->var || a->var2 != b->var2 || a->rel_var != b->rel_var ||
+        a->arity != b->arity || a->args != b->args ||
+        a->children.size() != b->children.size()) {
+        return false;
+    }
+    for (std::size_t i = 0; i < a->children.size(); ++i) {
+        if (!ast_identical(a->children[i], b->children[i])) {
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace lang
+} // namespace lph

@@ -1,0 +1,57 @@
+#pragma once
+
+#include "lang/lexer.hpp"
+#include "logic/formula.hpp"
+
+namespace lph {
+namespace lang {
+
+/// Hard caps enforced while parsing untrusted formula text.  Defaults are
+/// generous enough for every corpus formula (including the exists_within
+/// expansions, which mint many $fresh variables) while keeping hostile
+/// inputs from exhausting the stack or the evaluator's environment.
+struct ParseLimits {
+    LexLimits lex;
+    std::size_t max_depth = 256;      ///< recursive-descent nesting depth
+    std::size_t max_variables = 512;  ///< distinct FO + SO variable names
+};
+
+/// Parses the textual LFO/MSO surface syntax into the logic AST.
+///
+/// Grammar (lowest precedence first; the printer's output is fully
+/// parenthesised, so any precedence choice round-trips — these rules only
+/// matter for hand-written input):
+///
+///   formula  :=  iff
+///   iff      :=  implies ( "<->" implies )*          left-associative
+///   implies  :=  or ( "->" implies )?                right-associative
+///   or       :=  and ( "|" and )*                    left-associative
+///   and      :=  unary ( "&" unary )*                left-associative
+///   unary    :=  "!" unary | quantifier | primary
+///   quantifier :=
+///       "exists" x "." unary     | "forall" x "." unary
+///     | "exists" x "~" y "." unary   | "forall" x "~" y "." unary
+///     | "EXISTS" R "/" k "." unary   | "FORALL" R "/" k "." unary
+///   primary  :=  "T" | "F" | "(" formula ")"
+///     | "O" digits "(" x ")"                         unary atom O_i(x)
+///     | x "->" digits y                              binary atom x ->_i y
+///       (the digits must touch the arrow: "x ->1 y"; "a -> 1 = 1" is an
+///        implication)
+///     | x "=" y
+///     | R "(" x ("," x)* ")"                         second-order atom
+///
+/// A quantifier body is ONE unary-level unit — an atom, a negation, a
+/// parenthesised formula, or another quantifier.  This matches the printer,
+/// which never parenthesises quantifier bodies: "(forall x. A <-> B)" is
+/// "(forall x. A) <-> B"; write "forall x. (A <-> B)" for the wide scope.
+/// "T" and "F" are
+/// reserved constants; identifiers of the shape O<digits> are reserved for
+/// unary atoms.  Throws parse_error (with 1-based line/column) on syntax
+/// errors or any ParseLimits violation.
+Formula parse_formula(const std::string& text, const ParseLimits& limits = {});
+
+/// Structural (bit-exact) AST equality — the parse∘print == id predicate.
+bool ast_identical(const Formula& a, const Formula& b);
+
+} // namespace lang
+} // namespace lph

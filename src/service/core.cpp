@@ -7,6 +7,7 @@
 #include "graphalg/eulerian.hpp"
 #include "graphalg/hamiltonian.hpp"
 #include "hierarchy/game.hpp"
+#include "lang/analyze.hpp"
 #include "logic/eval.hpp"
 #include "obs/session.hpp"
 #include "obs/trace.hpp"
@@ -112,6 +113,10 @@ obs::MetricList ServiceStats::to_metrics() const {
         {"patch.dirty_nodes", static_cast<double>(patch_dirty_nodes)},
         {"patch.total_nodes", static_cast<double>(patch_total_nodes)},
         {"patch.dirty_fraction", patch_dirty_fraction()},
+        {"admission.admitted", static_cast<double>(admission_admitted)},
+        {"admission.rejected", static_cast<double>(admission_rejected)},
+        {"admission.deferred", static_cast<double>(admission_deferred)},
+        {"admission.big_queue_depth", static_cast<double>(big_queue_depth)},
     };
 }
 
@@ -178,7 +183,14 @@ ServiceCore::ServiceCore(ServiceOptions options)
     if (!options_.manual_drain) {
         workers_.reserve(options_.threads);
         for (unsigned i = 0; i < options_.threads; ++i) {
-            workers_.emplace_back([this] { worker_loop(); });
+            workers_.emplace_back([this] { worker_loop(/*big=*/false); });
+        }
+        if (options_.admission.enabled &&
+            options_.admission.big_job_threads > 0) {
+            big_workers_.reserve(options_.admission.big_job_threads);
+            for (unsigned i = 0; i < options_.admission.big_job_threads; ++i) {
+                big_workers_.emplace_back([this] { worker_loop(/*big=*/true); });
+            }
         }
     }
 }
@@ -191,12 +203,19 @@ void ServiceCore::stop() {
         stopping_ = true;
     }
     queue_cv_.notify_all();
+    big_cv_.notify_all();
     for (std::thread& worker : workers_) {
         if (worker.joinable()) {
             worker.join();
         }
     }
     workers_.clear();
+    for (std::thread& worker : big_workers_) {
+        if (worker.joinable()) {
+            worker.join();
+        }
+    }
+    big_workers_.clear();
     bool first_stop = false;
     {
         const std::lock_guard<std::mutex> lock(snapshot_wake_mutex_);
@@ -212,17 +231,58 @@ void ServiceCore::stop() {
     }
 }
 
+admission::Decision ServiceCore::admission_decision(const Request& request) {
+    if (!options_.admission.enabled || !admission::is_workload(request.type)) {
+        return {};
+    }
+    // A digest reference is priced against the graph as currently resident;
+    // an unknown digest prices as a 0-node graph — always admitted, and the
+    // serve path turns it into the structured UnknownGraph error.
+    std::size_t resolved_nodes = 0;
+    if (!request.has_graph && request.has_ref_digest) {
+        if (const std::shared_ptr<ResidentGraph> resident =
+                graphs_.find(request.ref_digest)) {
+            const std::lock_guard<std::mutex> lock(resident->mutex);
+            resolved_nodes = resident->graph.num_nodes();
+        }
+    }
+    const admission::Decision decision =
+        admission::decide(request, resolved_nodes, options_.admission);
+    stage_metrics_.observe("service.admission.predicted_cost_us",
+                           decision.predicted_us);
+    return decision;
+}
+
 std::future<Response> ServiceCore::submit(Request request) {
     std::promise<Response> promise;
     std::future<Response> future = promise.get_future();
+
+    const admission::Decision decision = admission_decision(request);
+    if (decision.verdict == admission::Verdict::Reject) {
+        admission_rejected_.fetch_add(1, std::memory_order_relaxed);
+        obs::Tracer::instance().instant("service", "service.admission_reject");
+        promise.set_value(Response::admission_rejection(
+            request.id, decision.predicted_us, decision.limit_us));
+        return future;
+    }
+    // Deferral needs someone to drain the big queue: the dedicated workers,
+    // or the caller's pump in manual_drain mode.  Without either, a deferred
+    // job would hang — serve it on the interactive workers instead.
+    const bool big = decision.verdict == admission::Verdict::Defer &&
+                     (options_.manual_drain || !big_workers_.empty());
+    if (options_.admission.enabled && admission::is_workload(request.type)) {
+        (big ? admission_deferred_ : admission_admitted_)
+            .fetch_add(1, std::memory_order_relaxed);
+    }
 
     bool admitted = false;
     std::string reject_detail;
     {
         const std::lock_guard<std::mutex> lock(queue_mutex_);
+        std::deque<Pending>& target = big ? big_queue_ : queue_;
         if (stopping_) {
             reject_detail = "service is stopping";
-        } else if (queue_.size() >= options_.queue_capacity) {
+        } else if (target.size() >= options_.queue_capacity) {
             reject_detail = "queue at capacity " +
                             std::to_string(options_.queue_capacity);
         } else {
@@ -231,7 +291,7 @@ std::future<Response> ServiceCore::submit(Request request) {
             pending.request = std::move(request);
             pending.promise = std::move(promise);
             pending.enqueued = std::chrono::steady_clock::now();
-            queue_.push_back(std::move(pending));
+            target.push_back(std::move(pending));
             submitted_.fetch_add(1, std::memory_order_relaxed);
             const std::uint64_t depth = queue_.size();
             if (depth > max_queue_depth_.load(std::memory_order_relaxed)) {
@@ -248,7 +308,7 @@ std::future<Response> ServiceCore::submit(Request request) {
         promise.set_value(Response::rejection(request.id, reject_detail));
         return future;
     }
-    queue_cv_.notify_one();
+    (big ? big_cv_ : queue_cv_).notify_one();
     return future;
 }
 
@@ -274,10 +334,15 @@ bool ServiceCore::drain_some() {
     std::vector<Pending> batch;
     {
         const std::lock_guard<std::mutex> lock(queue_mutex_);
-        if (queue_.empty()) {
+        // Interactive first: the manual pump honors the same priority the
+        // dedicated worker pools give a live deployment.
+        if (!queue_.empty()) {
+            batch = take_batch_locked(queue_);
+        } else if (!big_queue_.empty()) {
+            batch = take_batch_locked(big_queue_);
+        } else {
             return false;
         }
-        batch = take_batch_locked();
     }
     process_batch(std::move(batch));
     return true;
@@ -288,33 +353,36 @@ void ServiceCore::drain() {
     }
 }
 
-void ServiceCore::worker_loop() {
+void ServiceCore::worker_loop(bool big) {
+    std::deque<Pending>& my_queue = big ? big_queue_ : queue_;
+    std::condition_variable& my_cv = big ? big_cv_ : queue_cv_;
     for (;;) {
         std::vector<Pending> batch;
         {
             std::unique_lock<std::mutex> lock(queue_mutex_);
-            queue_cv_.wait(lock,
-                           [this] { return stopping_ || !queue_.empty(); });
-            if (queue_.empty()) {
+            my_cv.wait(lock,
+                       [&] { return stopping_ || !my_queue.empty(); });
+            if (my_queue.empty()) {
                 return; // stopping, queue fully drained
             }
-            batch = take_batch_locked();
+            batch = take_batch_locked(my_queue);
         }
         process_batch(std::move(batch));
     }
 }
 
-std::vector<ServiceCore::Pending> ServiceCore::take_batch_locked() {
+std::vector<ServiceCore::Pending>
+ServiceCore::take_batch_locked(std::deque<Pending>& from) {
     std::vector<Pending> batch;
-    batch.push_back(std::move(queue_.front()));
-    queue_.pop_front();
+    batch.push_back(std::move(from.front()));
+    from.pop_front();
     if (options_.batch_by_graph && batch.front().request.has_graph) {
         const std::uint64_t digest = batch.front().digest;
-        for (auto it = queue_.begin();
-             it != queue_.end() && batch.size() < options_.max_batch;) {
+        for (auto it = from.begin();
+             it != from.end() && batch.size() < options_.max_batch;) {
             if (it->request.has_graph && it->digest == digest) {
                 batch.push_back(std::move(*it));
-                it = queue_.erase(it);
+                it = from.erase(it);
             } else {
                 ++it;
             }
@@ -594,6 +662,22 @@ std::string ServiceCore::execute(const Request& request, BatchContext& ctx,
         const bool sat = satisfies(gs.structure(), formula);
         body << "\"satisfied\":" << (sat ? "true" : "false")
              << ",\"formula_size\":" << formula_size(formula)
+             << ",\"cardinality\":" << gs.cardinality();
+        break;
+    }
+    case RequestType::Eval: {
+        // User-supplied formula text, already parsed and canonicalized by
+        // the wire layer.  The SO-universe guard applies exactly as in the
+        // logic case: an enumeration the evaluator refuses surfaces as a
+        // structured InvalidRequest, never a hang.
+        const GraphStructure gs(request.graph);
+        const lang::FormulaAnalysis analysis =
+            lang::analyze(request.eval_formula);
+        const bool sat = satisfies(gs.structure(), request.eval_formula);
+        body << "\"satisfied\":" << (sat ? "true" : "false")
+             << ",\"formula_size\":" << analysis.size << ",\"class\":\""
+             << obs::json_escape(analysis.class_name()) << "\""
+             << ",\"radius\":" << analysis.radius
              << ",\"cardinality\":" << gs.cardinality();
         break;
     }
@@ -971,8 +1055,15 @@ ServiceStats ServiceCore::stats() const {
     s.patch_full = patch_full_.load(std::memory_order_relaxed);
     s.patch_dirty_nodes = patch_dirty_nodes_.load(std::memory_order_relaxed);
     s.patch_total_nodes = patch_total_nodes_.load(std::memory_order_relaxed);
+    s.admission_admitted = admission_admitted_.load(std::memory_order_relaxed);
+    s.admission_rejected = admission_rejected_.load(std::memory_order_relaxed);
+    s.admission_deferred = admission_deferred_.load(std::memory_order_relaxed);
     s.max_queue_depth = max_queue_depth_.load(std::memory_order_relaxed);
     s.queue_depth = queue_depth();
+    {
+        const std::lock_guard<std::mutex> lock(queue_mutex_);
+        s.big_queue_depth = big_queue_.size();
+    }
     s.busy_ms =
         static_cast<double>(busy_us_.load(std::memory_order_relaxed)) / 1000.0;
     s.workers = options_.manual_drain ? 0 : options_.threads;

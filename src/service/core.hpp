@@ -2,6 +2,7 @@
 
 #include "dtm/view_cache.hpp"
 #include "obs/metrics.hpp"
+#include "service/admission/admission.hpp"
 #include "service/graph_store.hpp"
 #include "service/memo.hpp"
 #include "service/snapshot.hpp"
@@ -92,6 +93,13 @@ struct ServiceOptions {
     /// flags.  0 = off (the default).
     double slow_ms = 0;
 
+    /// Cost-model admission control (default-off).  When enabled, workload
+    /// requests are priced at submit: over max_cost_us they are rejected
+    /// with a structured AdmissionRejected response; over defer_cost_us they
+    /// are routed to a separate big-job queue drained by its own
+    /// big_job_threads workers, so interactive latency never pays for them.
+    admission::AdmissionOptions admission;
+
     /// Optional observability session for publish_metrics().
     obs::Session* obs = nullptr;
 };
@@ -123,6 +131,12 @@ struct ServiceStats {
     std::uint64_t patch_full = 0;        ///< patch queries that recomputed fully
     std::uint64_t patch_dirty_nodes = 0; ///< summed dirty-set sizes
     std::uint64_t patch_total_nodes = 0; ///< summed patched-graph sizes
+
+    // Cost-model admission control (all 0 while disabled).
+    std::uint64_t admission_admitted = 0; ///< priced and sent interactive
+    std::uint64_t admission_rejected = 0; ///< refused: predicted > max cost
+    std::uint64_t admission_deferred = 0; ///< routed to the big-job queue
+    std::uint64_t big_queue_depth = 0;    ///< at snapshot time
 
     double patch_dirty_fraction() const {
         return patch_total_nodes > 0
@@ -223,8 +237,14 @@ private:
 
     struct BatchContext; // per-batch shared graph preparation
 
-    void worker_loop();
-    std::vector<Pending> take_batch_locked();
+    /// Drains the interactive queue (big = false) or the big-job queue
+    /// (big = true); one body, two queues, so admitted and deferred work get
+    /// identical serving semantics and differ only in worker budget.
+    void worker_loop(bool big);
+    std::vector<Pending> take_batch_locked(std::deque<Pending>& from);
+    /// Prices one workload request against the cost model; Admit-everything
+    /// when admission is disabled or the type is control-plane.
+    admission::Decision admission_decision(const Request& request);
     void process_batch(std::vector<Pending> batch);
     /// Serves one request.  Returns false when the request expired in the
     /// queue (it then counts toward expired_in_queue, not batched_requests
@@ -279,8 +299,14 @@ private:
     mutable std::mutex queue_mutex_;
     std::condition_variable queue_cv_;
     std::deque<Pending> queue_;
+    /// Deferred big jobs; guarded by queue_mutex_ like queue_, but drained
+    /// by the dedicated big-job workers (big_cv_) so a storm of expensive
+    /// requests can never occupy the interactive workers.
+    std::condition_variable big_cv_;
+    std::deque<Pending> big_queue_;
     bool stopping_ = false;
     std::vector<std::thread> workers_;
+    std::vector<std::thread> big_workers_;
 
     ResultMemo memo_;
     GraphStore graphs_;
@@ -301,6 +327,9 @@ private:
     std::atomic<std::uint64_t> patch_full_{0};
     std::atomic<std::uint64_t> patch_dirty_nodes_{0};
     std::atomic<std::uint64_t> patch_total_nodes_{0};
+    std::atomic<std::uint64_t> admission_admitted_{0};
+    std::atomic<std::uint64_t> admission_rejected_{0};
+    std::atomic<std::uint64_t> admission_deferred_{0};
     std::atomic<std::uint64_t> max_queue_depth_{0};
     std::atomic<std::uint64_t> busy_us_{0};
 

@@ -1,6 +1,7 @@
 #include "service/wire.hpp"
 
 #include "core/check.hpp"
+#include "lang/parser.hpp"
 #include "obs/metrics.hpp"
 #include "service/json.hpp"
 #include "service/registry.hpp"
@@ -144,6 +145,7 @@ const char* to_string(RequestType type) {
     switch (type) {
     case RequestType::Game: return "game";
     case RequestType::Logic: return "logic";
+    case RequestType::Eval: return "eval";
     case RequestType::Decide: return "decide";
     case RequestType::OracleCheck: return "oracle_check";
     case RequestType::Stats: return "stats";
@@ -191,6 +193,12 @@ std::string Request::memo_key() const {
         break;
     case RequestType::Logic:
         key << "logic|" << formula << '|' << fseed << '|' << graph_digest();
+        break;
+    case RequestType::Eval:
+        // Keyed on the canonical re-print: two spellings of the same formula
+        // share a memo entry (parse-print is idempotent, so the key is
+        // stable).
+        key << "eval|" << eval_text << '|' << graph_digest();
         break;
     case RequestType::Decide:
         key << "decide|" << problem << '|' << k << '|' << graph_digest();
@@ -254,6 +262,9 @@ std::string Request::to_json() const {
         if (formula == "random") {
             out << ",\"fseed\":" << fseed;
         }
+        break;
+    case RequestType::Eval:
+        out << ",\"formula\":\"" << json_escape(eval_text) << "\"";
         break;
     case RequestType::Decide:
         out << ",\"problem\":\"" << json_escape(problem) << "\"";
@@ -337,6 +348,8 @@ Request parse_request(const std::string& line, std::size_t line_number,
             r.type = RequestType::Game;
         } else if (type == "logic") {
             r.type = RequestType::Logic;
+        } else if (type == "eval") {
+            r.type = RequestType::Eval;
         } else if (type == "decide") {
             r.type = RequestType::Decide;
         } else if (type == "oracle_check") {
@@ -383,6 +396,7 @@ Request parse_request(const std::string& line, std::size_t line_number,
             }
             const bool takes_graph = r.type == RequestType::Game ||
                                      r.type == RequestType::Logic ||
+                                     r.type == RequestType::Eval ||
                                      r.type == RequestType::Decide ||
                                      r.type == RequestType::GraphRegister;
             if (key == "graph" && takes_graph) {
@@ -393,6 +407,7 @@ Request parse_request(const std::string& line, std::size_t line_number,
             }
             const bool takes_digest = r.type == RequestType::Game ||
                                       r.type == RequestType::Logic ||
+                                      r.type == RequestType::Eval ||
                                       r.type == RequestType::Decide ||
                                       r.type == RequestType::GraphPatch;
             if (key == "digest" && takes_digest) {
@@ -460,6 +475,28 @@ Request parse_request(const std::string& line, std::size_t line_number,
                     r.formula = value.string;
                 } else if (key == "fseed") {
                     r.fseed = json_to_u64(value, "\"fseed\"");
+                } else {
+                    known = false;
+                }
+                break;
+            case RequestType::Eval:
+                known = true;
+                if (key == "formula") {
+                    check(value.is_string(), "\"formula\" must be a string");
+                    check(value.string.size() <= limits.max_formula_bytes,
+                          "\"formula\" of " +
+                              std::to_string(value.string.size()) +
+                              " bytes exceeds the limit of " +
+                              std::to_string(limits.max_formula_bytes));
+                    lang::ParseLimits parse_limits;
+                    parse_limits.lex.max_text_bytes = limits.max_formula_bytes;
+                    try {
+                        r.eval_formula =
+                            lang::parse_formula(value.string, parse_limits);
+                    } catch (const lang::parse_error& e) {
+                        check(false, std::string("\"formula\": ") + e.what());
+                    }
+                    r.eval_text = lph::to_string(r.eval_formula);
                 } else {
                     known = false;
                 }
@@ -563,6 +600,11 @@ Request parse_request(const std::string& line, std::size_t line_number,
         case RequestType::Logic:
             check(!r.formula.empty(), "logic request is missing \"formula\"");
             graph_or_digest("logic");
+            break;
+        case RequestType::Eval:
+            check(r.eval_formula != nullptr,
+                  "eval request is missing \"formula\"");
+            graph_or_digest("eval");
             break;
         case RequestType::Decide:
             check(!r.problem.empty(), "decide request is missing \"problem\"");
@@ -714,6 +756,25 @@ Response Response::rejection(const std::string& id, const std::string& detail) {
     r.status = "rejected";
     r.error = "QueueFull";
     r.detail = detail;
+    return r;
+}
+
+Response Response::admission_rejection(const std::string& id,
+                                       double predicted_us, double limit_us) {
+    Response r;
+    r.id = id;
+    r.status = "rejected";
+    r.error = "AdmissionRejected";
+    char buf[192];
+    std::snprintf(buf, sizeof(buf),
+                  "predicted cost %.0f us exceeds the admission limit of "
+                  "%.0f us",
+                  predicted_us, limit_us);
+    r.detail = buf;
+    std::snprintf(buf, sizeof(buf),
+                  "\"predicted_cost_us\":%.0f,\"admission_limit_us\":%.0f",
+                  predicted_us, limit_us);
+    r.body = buf;
     return r;
 }
 

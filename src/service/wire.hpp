@@ -2,6 +2,7 @@
 
 #include "graph/graph.hpp"
 #include "graph/serialize.hpp"
+#include "logic/formula.hpp"
 
 #include <cstdint>
 #include <optional>
@@ -17,6 +18,7 @@ struct WireLimits {
     std::size_t max_graph_edges = 4096;
     std::size_t max_label_bits = 64;
     std::size_t max_patch_ops = 64;       ///< per graph_patch request
+    std::size_t max_formula_bytes = 1 << 14; ///< per eval formula text
 
     GraphReadLimits graph_limits() const {
         return GraphReadLimits{max_graph_nodes, max_graph_edges, max_label_bits,
@@ -27,6 +29,7 @@ struct WireLimits {
 enum class RequestType {
     Game,
     Logic,
+    Eval,
     Decide,
     OracleCheck,
     Stats,
@@ -57,6 +60,7 @@ const char* to_string(PatchOp::Kind kind);
 ///   {"type":"game","machine":"coloring3","layers":1,"sigma":true,
 ///    "ids":"global","graph":"graph 3\nedge 0 1\nedge 1 2\nedge 0 2\n"}
 ///   {"type":"logic","formula":"all_selected","graph":"..."}
+///   {"type":"eval","formula":"exists x. O1(x)","graph":"..."}
 ///   {"type":"decide","problem":"eulerian","graph":"..."}
 ///   {"type":"oracle_check","check":"eulerian-vs-bruteforce","seed":7,
 ///    "instances":25}
@@ -71,7 +75,7 @@ const char* to_string(PatchOp::Kind kind);
 /// canonical digest (a decimal string — u64 digests do not survive JSON
 /// doubles); graph_patch mutates the resident copy, echoes the new digest,
 /// and, when a machine is named, re-evaluates the game incrementally over
-/// the dirty region.  game/logic/decide accept "digest":"<decimal>" in
+/// the dirty region.  game/logic/eval/decide accept "digest":"<decimal>" in
 /// place of "graph" to run against a resident graph.
 ///
 /// Common optional fields: "id" (echoed back verbatim; number or string),
@@ -115,6 +119,14 @@ struct Request {
     // logic
     std::string formula;
     std::uint64_t fseed = 0;
+
+    // eval: "formula" carries arbitrary surface-syntax text, parsed through
+    // the language frontend at parse_request time (a syntax error is a
+    // protocol error carrying the frontend's line/column position).  The
+    // stored text is the parser's canonical re-print, so the memo key and
+    // to_json round-trip are independent of the client's spelling.
+    Formula eval_formula;
+    std::string eval_text;
 
     // decide
     std::string problem; ///< "eulerian" | "coloring" | "hamiltonian"
@@ -226,6 +238,11 @@ struct Response {
 
     static Response protocol_error(const std::string& detail);
     static Response rejection(const std::string& id, const std::string& detail);
+    /// Cost-model rejection: status "rejected", error "AdmissionRejected",
+    /// with the predicted cost and the violated limit echoed both in the
+    /// detail text and as structured body fields.
+    static Response admission_rejection(const std::string& id,
+                                        double predicted_us, double limit_us);
 };
 
 /// The verdict-bearing view of one response line — what the chaos smoke and

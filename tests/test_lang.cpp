@@ -1,0 +1,186 @@
+// Tests for the language frontend (src/lang): hand-written precedence and
+// scope against the printer-normative grammar, the parse∘print == id
+// guarantee over the corpus formulas, structured error positions, the
+// untrusted-input limits (depth, text size, variable count), and the
+// prenex/alternation classifier features the admission cost model consumes.
+
+#include "lang/analyze.hpp"
+#include "lang/lexer.hpp"
+#include "lang/parser.hpp"
+#include "logic/formula.hpp"
+#include "service/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace {
+
+using namespace lph;
+using lang::parse_error;
+using lang::parse_formula;
+using lang::ParseLimits;
+
+/// Both spellings must build the identical AST — precedence asserted
+/// against an explicitly parenthesised twin, not against printer output.
+void expect_same_ast(const std::string& loose, const std::string& explicit_) {
+    const Formula a = parse_formula(loose);
+    const Formula b = parse_formula(explicit_);
+    EXPECT_TRUE(lang::ast_identical(a, b))
+        << loose << " != " << explicit_ << "\n  loose:    " << to_string(a)
+        << "\n  explicit: " << to_string(b);
+}
+
+// ----------------------------------------------------------- precedence ----
+
+TEST(LangParser, BinaryConnectivePrecedence) {
+    expect_same_ast("T & F | T", "((T & F) | T)");
+    expect_same_ast("T | F & T", "(T | (F & T))");
+    expect_same_ast("T -> F -> F", "(T -> (F -> F))"); // right-associative
+    expect_same_ast("T <-> F <-> T", "((T <-> F) <-> T)"); // left-associative
+    expect_same_ast("T <-> F -> T", "(T <-> (F -> T))");
+    expect_same_ast("T -> F | T", "(T -> (F | T))");
+    expect_same_ast("! T & F", "(!(T) & F)");
+    expect_same_ast("! ! T", "!(!(T))");
+}
+
+TEST(LangParser, QuantifierBodyIsOneUnaryUnit) {
+    // The printer never parenthesises quantifier bodies, so the parser gives
+    // them exactly one unary-level unit: "exists x. A & B" is
+    // "(exists x. A) & B", not "exists x. (A & B)".
+    expect_same_ast("exists x. x = x & T", "((exists x. x = x) & T)");
+    const Formula narrow = parse_formula("exists x. x = x & T");
+    const Formula wide = parse_formula("exists x. (x = x & T)");
+    EXPECT_FALSE(lang::ast_identical(narrow, wide));
+}
+
+TEST(LangParser, ArrowAtomBindsDigitsNotImplication) {
+    // "x ->1 y" is the binary-relation atom; with a space before the digits
+    // the arrow is an implication and "1" fails to parse as a formula.
+    const Formula atom = parse_formula("exists x. exists y. x ->1 y");
+    EXPECT_EQ(to_string(parse_formula(to_string(atom))), to_string(atom));
+    EXPECT_THROW(parse_formula("exists x. exists y. x -> 1 y"), parse_error);
+}
+
+// ----------------------------------------------------- parse∘print == id ---
+
+TEST(LangParser, CorpusFormulasRoundTrip) {
+    const std::vector<std::string> names = {
+        "all_selected",    "two_colorable", "three_colorable",
+        "not_all_selected", "hamiltonian",  "non_hamiltonian"};
+    for (const std::string& name : names) {
+        const Formula original = service::formula_by_name(name, 0);
+        const std::string text = to_string(original);
+        const Formula reparsed = parse_formula(text);
+        EXPECT_TRUE(lang::ast_identical(original, reparsed)) << name;
+        EXPECT_EQ(to_string(reparsed), text) << name;
+    }
+    for (std::uint64_t fseed = 0; fseed < 16; ++fseed) {
+        const Formula original = service::formula_by_name("random", fseed);
+        const std::string text = to_string(original);
+        EXPECT_TRUE(lang::ast_identical(original, parse_formula(text)))
+            << "random fseed=" << fseed;
+    }
+}
+
+// -------------------------------------------------------- error positions --
+
+TEST(LangParser, LexErrorsCarryLineAndColumn) {
+    try {
+        parse_formula("exists x.\n  @");
+        FAIL() << "'@' accepted";
+    } catch (const parse_error& e) {
+        EXPECT_EQ(e.line(), 2u);
+        EXPECT_EQ(e.column(), 3u);
+        EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+    }
+}
+
+TEST(LangParser, SyntaxErrorsCarryPositions) {
+    try {
+        parse_formula("(T &\nF");
+        FAIL() << "unclosed paren accepted";
+    } catch (const parse_error& e) {
+        EXPECT_EQ(e.line(), 2u);
+        EXPECT_GE(e.column(), 1u);
+    }
+    EXPECT_THROW(parse_formula(""), parse_error);
+    EXPECT_THROW(parse_formula("exists T. T"), parse_error); // reserved name
+    EXPECT_THROW(parse_formula("T F"), parse_error);         // trailing token
+}
+
+// ------------------------------------------------------------------ limits -
+
+TEST(LangParser, DeepNestingParsesUpToTheLimitThenFails) {
+    // Each paren level costs one formula() and one unary() guard, so 120
+    // levels sit comfortably under the default 256 while 200 blow past it.
+    const auto nested = [](int levels) {
+        std::string text(static_cast<std::size_t>(levels), '(');
+        text += "T";
+        text += std::string(static_cast<std::size_t>(levels), ')');
+        return text;
+    };
+    EXPECT_NO_THROW(parse_formula(nested(120)));
+    try {
+        parse_formula(nested(200));
+        FAIL() << "200-deep nesting accepted";
+    } catch (const parse_error& e) {
+        EXPECT_NE(std::string(e.what()).find("nesting"), std::string::npos);
+    }
+    // Custom limits bind tighter.
+    ParseLimits tight;
+    tight.max_depth = 8;
+    EXPECT_THROW(parse_formula(nested(10), tight), parse_error);
+}
+
+TEST(LangParser, TextAndVariableLimitsAreEnforced) {
+    ParseLimits tiny;
+    tiny.lex.max_text_bytes = 8;
+    EXPECT_THROW(parse_formula("exists longname. T", tiny), parse_error);
+
+    ParseLimits few_vars;
+    few_vars.max_variables = 2;
+    EXPECT_NO_THROW(parse_formula("exists a. exists b. a = b", few_vars));
+    EXPECT_THROW(
+        parse_formula("exists a. exists b. exists c. a = b", few_vars),
+        parse_error);
+}
+
+// -------------------------------------------------------------- classifier -
+
+TEST(LangAnalyze, CountsQuantifierFeatures) {
+    const lang::FormulaAnalysis fo = lang::analyze(parse_formula(
+        "exists x. O1(x)"));
+    EXPECT_EQ(fo.fo_quantifiers, 1u);
+    EXPECT_EQ(fo.conn_quantifiers, 0u);
+    EXPECT_EQ(fo.so_quantifiers, 0u);
+    EXPECT_EQ(fo.radius, 0);
+    EXPECT_GE(fo.size, 2u);
+    EXPECT_FALSE(fo.class_name().empty());
+
+    const lang::FormulaAnalysis local = lang::analyze(parse_formula(
+        "forall x. exists y~x. O1(y)"));
+    EXPECT_EQ(local.fo_quantifiers, 1u);
+    EXPECT_EQ(local.conn_quantifiers, 1u);
+    EXPECT_GE(local.radius, 1);
+
+    const lang::FormulaAnalysis so = lang::analyze(parse_formula(
+        "EXISTS R/2. forall x. R(x,x)"));
+    EXPECT_EQ(so.so_quantifiers, 1u);
+    EXPECT_EQ(so.max_so_arity, 2u);
+    EXPECT_EQ(so.total_so_arity, 2u);
+}
+
+TEST(LangAnalyze, CorpusFormulaSizesMatchTheLogicCore) {
+    const std::vector<std::string> names = {"all_selected", "two_colorable",
+                                            "three_colorable", "hamiltonian"};
+    for (const std::string& name : names) {
+        const Formula f = service::formula_by_name(name, 0);
+        const lang::FormulaAnalysis analysis = lang::analyze(f);
+        EXPECT_EQ(analysis.size, formula_size(f)) << name;
+        EXPECT_FALSE(analysis.class_name().empty()) << name;
+    }
+}
+
+} // namespace

@@ -109,11 +109,30 @@ TEST(ServiceJson, RejectsMalformedDocuments) {
 }
 
 TEST(ServiceJson, RejectsOverDeepNesting) {
-    std::string deep;
-    for (int i = 0; i < 40; ++i) {
-        deep += "[";
+    // Exactly at the 32-level limit parses; one past it is a structured
+    // error naming the limit — never a stack overflow.
+    const auto nested = [](int levels) {
+        std::string text(static_cast<std::size_t>(levels), '[');
+        text += "1";
+        text += std::string(static_cast<std::size_t>(levels), ']');
+        return text;
+    };
+    EXPECT_NO_THROW(parse_json(nested(32)));
+    try {
+        parse_json(nested(33));
+        FAIL() << "33-deep nesting accepted";
+    } catch (const precondition_error& e) {
+        EXPECT_NE(std::string(e.what()).find("nesting deeper than 32"),
+                  std::string::npos);
     }
-    EXPECT_THROW(parse_json(deep), precondition_error);
+    // Unclosed nesting fails the same way, not with "unexpected end".
+    EXPECT_THROW(parse_json(std::string(40, '[')), precondition_error);
+    // Mixed object/array nesting counts every level.
+    std::string mixed;
+    for (int i = 0; i < 20; ++i) {
+        mixed += "{\"k\":[";
+    }
+    EXPECT_THROW(parse_json(mixed), precondition_error);
 }
 
 // ------------------------------------------------- graph wire hardening ----
@@ -292,6 +311,57 @@ TEST(Wire, BackendFieldValidatedAndPartOfMemoKey) {
               "interpreted");
     EXPECT_THROW(
         parse_request(base + ",\"backend\":\"quantum\"}", 1, WireLimits{}),
+        precondition_error);
+}
+
+TEST(Wire, EvalRequestCanonicalizesAndRoundTrips) {
+    // The stored formula text is the parser's canonical re-print, so two
+    // spellings of the same sentence share a memo slot and a wire rendering.
+    const std::string base = ",\"graph\":\"" + cycle6_payload() + "\"}";
+    const Request tight = parse_request(
+        "{\"type\":\"eval\",\"formula\":\"exists x. O1(x)\"" + base, 1,
+        WireLimits{});
+    const Request spaced = parse_request(
+        "{\"type\":\"eval\",\"formula\":\"exists   x .  O1( x )\"" + base, 1,
+        WireLimits{});
+    EXPECT_EQ(tight.eval_text, lph::to_string(tight.eval_formula));
+    EXPECT_EQ(tight.eval_text, spaced.eval_text);
+    EXPECT_EQ(tight.memo_key(), spaced.memo_key());
+    EXPECT_FALSE(tight.memo_key().empty());
+
+    // to_json -> parse_request is a fixed point.
+    const Request reparsed = parse_request(tight.to_json(), 1, WireLimits{});
+    EXPECT_EQ(reparsed.to_json(), tight.to_json());
+    EXPECT_EQ(reparsed.memo_key(), tight.memo_key());
+
+    // A digest reference is accepted in place of an inline graph.
+    const Request by_ref = parse_request(
+        "{\"type\":\"eval\",\"formula\":\"T\",\"digest\":\"12345\"}", 1,
+        WireLimits{});
+    EXPECT_TRUE(by_ref.has_ref_digest);
+}
+
+TEST(Wire, EvalRequestSurfacesParseErrorsAsProtocol) {
+    const std::string base = ",\"graph\":\"" + cycle6_payload() + "\"}";
+    // A syntax error is a protocol error carrying the frontend's position.
+    try {
+        parse_request("{\"type\":\"eval\",\"formula\":\"exists x. ((\"" + base,
+                      7, WireLimits{});
+        FAIL() << "syntax error accepted";
+    } catch (const precondition_error& e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("line 7"), std::string::npos); // wire line
+        EXPECT_NE(what.find("col"), std::string::npos);    // formula position
+    }
+    // Missing formula / oversized formula are protocol errors too.
+    EXPECT_THROW(parse_request("{\"type\":\"eval\"" + base, 1, WireLimits{}),
+                 precondition_error);
+    WireLimits tiny;
+    tiny.max_formula_bytes = 4;
+    EXPECT_THROW(
+        parse_request("{\"type\":\"eval\",\"formula\":\"exists x. O1(x)\"" +
+                          base,
+                      1, tiny),
         precondition_error);
 }
 

@@ -28,6 +28,14 @@
 //                              each ok response's verdict to the same id's
 //                              verdict in FILE (a chaos-free golden run) and
 //                              fail on any mismatch.  Exit 1 on violation
+//   --formula TEXT [--count N] [--seed S]
+//   --formula-file PATH [--count N] [--seed S]
+//                              emit N eval request lines carrying a
+//                              user-written surface-syntax formula (see
+//                              DESIGN.md "Language frontend"), each against a
+//                              graph drawn from the same seeded pool as
+//                              --generate; the daemon parses, classifies,
+//                              prices, and evaluates it
 //   --connect HOST:PORT        send stdin's request lines to a running lphd
 //                              and print the responses, one request in
 //                              flight at a time, with per-request timeouts,
@@ -74,6 +82,9 @@ struct Options {
     long generate = -1;
     long patch = -1;
     long patch_golden = -1;
+    std::string formula_text;
+    std::string formula_file;
+    long count = 8;
     std::uint64_t seed = 1;
     bool verify = false;
     long expect = -1;
@@ -87,6 +98,8 @@ struct Options {
               << "usage: lph_client --generate N [--seed S]\n"
               << "       lph_client --patch N [--seed S]\n"
               << "       lph_client --patch-golden N [--seed S]\n"
+              << "       lph_client --formula TEXT [--count N] [--seed S]\n"
+              << "       lph_client --formula-file PATH [--count N] [--seed S]\n"
               << "       lph_client --verify [--expect N] [--against FILE]\n"
               << "       lph_client --connect HOST:PORT [--retries N]\n"
               << "                  [--timeout-ms X] [--backoff-ms X]\n"
@@ -110,6 +123,12 @@ Options parse_args(int argc, char** argv) {
             opt.patch = std::stol(value());
         } else if (arg == "--patch-golden") {
             opt.patch_golden = std::stol(value());
+        } else if (arg == "--formula") {
+            opt.formula_text = value();
+        } else if (arg == "--formula-file") {
+            opt.formula_file = value();
+        } else if (arg == "--count") {
+            opt.count = std::stol(value());
         } else if (arg == "--seed") {
             opt.seed = std::stoull(value());
         } else if (arg == "--verify") {
@@ -136,10 +155,15 @@ Options parse_args(int argc, char** argv) {
     }
     const int modes = (opt.generate >= 0 ? 1 : 0) + (opt.patch >= 0 ? 1 : 0) +
                       (opt.patch_golden >= 0 ? 1 : 0) + (opt.verify ? 1 : 0) +
+                      (opt.formula_text.empty() ? 0 : 1) +
+                      (opt.formula_file.empty() ? 0 : 1) +
                       (opt.connect.empty() ? 0 : 1);
     if (modes != 1) {
         usage_error("pass exactly one of --generate, --patch, --patch-golden, "
-                    "--verify, --connect");
+                    "--formula, --formula-file, --verify, --connect");
+    }
+    if (opt.count <= 0) {
+        usage_error("--count must be positive");
     }
     return opt;
 }
@@ -262,6 +286,48 @@ int generate(long count, std::uint64_t seed) {
         std::cout << line.str() << "\n";
     }
     return 0;
+}
+
+/// Emit `count` eval lines carrying one user-written formula, each against a
+/// graph from the --generate pool.  The daemon does the real work — parse,
+/// classify, price, evaluate — so a syntax error comes back as one
+/// ProtocolError line with the frontend's line/column, not a client crash.
+int generate_eval(const std::string& formula, long count, std::uint64_t seed) {
+    std::vector<std::string> graphs;
+    for (int n = 4; n <= 7; ++n) {
+        graphs.push_back(cycle_graph(n, false));
+        graphs.push_back(path_graph(n));
+    }
+    graphs.push_back(cycle_graph(6, true));
+    graphs.push_back(complete_graph(4));
+
+    const std::string escaped = obs::json_escape(formula);
+    std::uint64_t state = seed;
+    for (long i = 0; i < count; ++i) {
+        const std::string& graph = graphs[mix(state) % graphs.size()];
+        std::cout << "{\"type\":\"eval\",\"id\":" << i << ",\"formula\":\""
+                  << escaped << "\",\"graph\":\"" << obs::json_escape(graph)
+                  << "\"}\n";
+    }
+    return 0;
+}
+
+/// Whole-file read for --formula-file, with the trailing newline(s) trimmed:
+/// the wire carries the formula as one JSON string and the surface syntax is
+/// newline-insensitive anyway.
+std::string read_formula_file(const std::string& path) {
+    std::ifstream in(path);
+    if (!in) {
+        std::cerr << "lph_client: cannot read --formula-file " << path << "\n";
+        std::exit(2);
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    std::string text = buffer.str();
+    while (!text.empty() && (text.back() == '\n' || text.back() == '\r')) {
+        text.pop_back();
+    }
+    return text;
 }
 
 std::string render_ops(const std::vector<service::PatchOp>& ops) {
@@ -721,6 +787,13 @@ int main(int argc, char** argv) {
     }
     if (opt.patch_golden >= 0) {
         return generate_patch(opt.patch_golden, opt.seed, /*golden=*/true);
+    }
+    if (!opt.formula_text.empty()) {
+        return generate_eval(opt.formula_text, opt.count, opt.seed);
+    }
+    if (!opt.formula_file.empty()) {
+        return generate_eval(read_formula_file(opt.formula_file), opt.count,
+                             opt.seed);
     }
     if (opt.verify) {
         return verify(opt.expect, opt.against_path);

@@ -20,6 +20,7 @@
 // planted bug; 2 on usage errors.
 
 #include "core/check.hpp"
+#include "lang/lang_check.hpp"
 #include "obs/session.hpp"
 #include "oracle/harness.hpp"
 #include "oracle/repro.hpp"
@@ -191,8 +192,10 @@ void print_smoke_summary(const obs::Session& session, bool healthy) {
 
 int main(int argc, char** argv) {
     // The serving library's cross-library checks (service-chaos-vs-direct)
-    // must be in the registry before --check validation and --list.
+    // and the language frontend's round-trip checks must be in the registry
+    // before --check validation and --list.
     lph::service::register_service_checks();
+    lph::lang::register_lang_checks();
     const Options opt = parse_args(argc, argv);
     try {
         if (opt.list) {

@@ -16,6 +16,14 @@
 // cross-request result memo, graph micro-batching, or the per-machine shared
 // view cache (the loadgen's ablation switches).
 //
+// Admission control (off by default): --admission prices every workload
+// request through the calibrated cost model before it is queued.  Requests
+// whose predicted cost exceeds --admission-max-cost-us are rejected with a
+// structured AdmissionRejected response; requests over
+// --admission-defer-cost-us are routed to a dedicated big-job queue drained
+// by --admission-big-threads workers, so interactive deadlines never wait
+// behind a big job.
+//
 // Resilience knobs:
 //   --supervise N          fork N worker processes sharing one listener; a
 //                          crashed worker is restarted with exponential
@@ -89,6 +97,12 @@ struct Options {
     std::string trace_path;
     std::string metrics_path;
 
+    // admission control (DESIGN.md "Language frontend & admission control")
+    bool admission = false;
+    double admission_max_cost_us = 5e6;
+    double admission_defer_cost_us = 250e3;
+    unsigned admission_big_threads = 1;
+
     // resilience
     int supervise = 0; // 0 = no supervisor, run in-process
     service::RestartPolicy restart;
@@ -105,6 +119,9 @@ struct Options {
               << "            [--queue-cap N] [--max-batch N]\n"
               << "            [--memo-entries N] [--default-deadline-ms X]\n"
               << "            [--no-memo] [--no-batch] [--no-shared-cache]\n"
+              << "            [--admission] [--admission-max-cost-us X]\n"
+              << "            [--admission-defer-cost-us X]\n"
+              << "            [--admission-big-threads N]\n"
               << "            [--supervise N] [--restart-backoff-ms X]\n"
               << "            [--restart-max-backoff-ms X] [--min-healthy-ms X]\n"
               << "            [--max-crashes N]\n"
@@ -149,6 +166,15 @@ Options parse_args(int argc, char** argv) {
             opt.batch = false;
         } else if (arg == "--no-shared-cache") {
             opt.shared_cache = false;
+        } else if (arg == "--admission") {
+            opt.admission = true;
+        } else if (arg == "--admission-max-cost-us") {
+            opt.admission_max_cost_us = std::stod(value());
+        } else if (arg == "--admission-defer-cost-us") {
+            opt.admission_defer_cost_us = std::stod(value());
+        } else if (arg == "--admission-big-threads") {
+            opt.admission_big_threads =
+                static_cast<unsigned>(std::stoul(value()));
         } else if (arg == "--supervise") {
             opt.supervise = std::stoi(value());
         } else if (arg == "--restart-backoff-ms") {
@@ -256,6 +282,10 @@ service::ServiceOptions make_service_options(const Options& opt,
     service_options.share_view_cache = opt.shared_cache;
     service_options.snapshot_period_ms = opt.snapshot_period_ms;
     service_options.slow_ms = opt.slow_ms;
+    service_options.admission.enabled = opt.admission;
+    service_options.admission.max_cost_us = opt.admission_max_cost_us;
+    service_options.admission.defer_cost_us = opt.admission_defer_cost_us;
+    service_options.admission.big_job_threads = opt.admission_big_threads;
     service_options.obs = session;
     return service_options;
 }
